@@ -1,0 +1,283 @@
+//! The ACE-like profiling run: a [`Probe`] implementation that turns the
+//! core's lifetime events into [`VulnerableIntervals`] for the three target
+//! structures in a single fault-free execution (the paper's "preprocessing"
+//! phase, §3.1.1).
+
+use crate::intervals::{Interval, VulnerableIntervals};
+use merlin_cpu::{Cpu, CpuConfig, Probe, ReadInfo, RunResult, Structure};
+use merlin_isa::Program;
+use std::collections::HashMap;
+
+/// A raw lifetime event collected during profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Write,
+    Read {
+        rip: u32,
+        upc: u8,
+        dyn_instance: u64,
+        path_sig: u64,
+    },
+    Invalidate,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    cycle: u64,
+    kind: EventKind,
+}
+
+/// Probe that records every lifetime event of the three target structures.
+#[derive(Debug, Default)]
+pub struct AceProfiler {
+    events: HashMap<(Structure, usize), Vec<Event>>,
+}
+
+impl AceProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, structure: Structure, entry: usize, event: Event) {
+        self.events.entry((structure, entry)).or_default().push(event);
+    }
+
+    /// Converts the collected events into per-structure vulnerable-interval
+    /// repositories.
+    pub fn into_intervals(
+        self,
+        entry_counts: &HashMap<Structure, usize>,
+        total_cycles: u64,
+    ) -> HashMap<Structure, VulnerableIntervals> {
+        let mut out: HashMap<Structure, VulnerableIntervals> = Structure::all()
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    VulnerableIntervals::new(s, entry_counts.get(&s).copied().unwrap_or(0), total_cycles),
+                )
+            })
+            .collect();
+        for ((structure, entry), mut events) in self.events {
+            // Events arrive out of cycle order (reads are reported at commit
+            // but carry their read cycle), so sort first.  Ties: writes
+            // before reads before invalidations, mirroring the in-cycle
+            // ordering of the core (a value written and read in the same
+            // cycle was produced before it was consumed).
+            events.sort_by_key(|e| {
+                (
+                    e.cycle,
+                    match e.kind {
+                        EventKind::Write => 0u8,
+                        EventKind::Read { .. } => 1,
+                        EventKind::Invalidate => 2,
+                    },
+                )
+            });
+            let repo = out.get_mut(&structure).expect("all structures present");
+            let mut open_start: Option<u64> = None;
+            for e in events {
+                match e.kind {
+                    EventKind::Write => open_start = Some(e.cycle),
+                    EventKind::Invalidate => open_start = None,
+                    EventKind::Read {
+                        rip,
+                        upc,
+                        dyn_instance,
+                        path_sig,
+                    } => {
+                        // Architectural initial state (registers holding
+                        // zero at cycle 0, untouched-but-resident cache
+                        // words) counts as written at cycle 0.
+                        let start = open_start.unwrap_or(0);
+                        repo.push(
+                            entry,
+                            Interval {
+                                start,
+                                end: e.cycle,
+                                rip,
+                                upc,
+                                dyn_instance,
+                                path_sig,
+                            },
+                        );
+                        open_start = Some(e.cycle);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Probe for AceProfiler {
+    fn write(&mut self, structure: Structure, entry: usize, cycle: u64) {
+        self.push(structure, entry, Event {
+            cycle,
+            kind: EventKind::Write,
+        });
+    }
+
+    fn committed_read(&mut self, structure: Structure, info: &ReadInfo) {
+        self.push(structure, info.entry, Event {
+            cycle: info.cycle,
+            kind: EventKind::Read {
+                rip: info.rip,
+                upc: info.upc,
+                dyn_instance: info.dyn_instance,
+                path_sig: info.path_sig,
+            },
+        });
+    }
+
+    fn invalidate(&mut self, structure: Structure, entry: usize, cycle: u64) {
+        self.push(structure, entry, Event {
+            cycle,
+            kind: EventKind::Invalidate,
+        });
+    }
+}
+
+/// Result of the ACE-like preprocessing run.
+#[derive(Debug, Clone)]
+pub struct AceAnalysis {
+    /// The fault-free run the profile was collected on.
+    pub golden: RunResult,
+    /// Per-structure vulnerable intervals.
+    pub intervals: HashMap<Structure, VulnerableIntervals>,
+}
+
+/// Errors from the ACE-like analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AceError {
+    /// The profiled run did not halt.
+    RunFailed(String),
+    /// The processor configuration is invalid.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for AceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AceError::RunFailed(e) => write!(f, "ACE-like profiling run failed: {e}"),
+            AceError::BadConfig(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AceError {}
+
+impl AceAnalysis {
+    /// Runs `program` once under `cfg` with the profiler attached and builds
+    /// the vulnerable-interval repositories for all three structures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AceError`] if the configuration is invalid or the program
+    /// does not halt within `max_cycles`.
+    pub fn run(program: &Program, cfg: &CpuConfig, max_cycles: u64) -> Result<Self, AceError> {
+        let mut cpu = Cpu::new(program.clone(), cfg.clone())
+            .map_err(|e| AceError::BadConfig(e.to_string()))?;
+        let entry_counts: HashMap<Structure, usize> = Structure::all()
+            .iter()
+            .map(|&s| (s, cpu.structure_entries(s)))
+            .collect();
+        let mut profiler = AceProfiler::new();
+        let golden = cpu.run(max_cycles, &mut profiler);
+        if !golden.exit.is_halted() {
+            return Err(AceError::RunFailed(format!(
+                "exit {:?} after {} cycles",
+                golden.exit, golden.cycles
+            )));
+        }
+        let intervals = profiler.into_intervals(&entry_counts, golden.cycles);
+        Ok(AceAnalysis { golden, intervals })
+    }
+
+    /// The vulnerable intervals of one structure.
+    pub fn structure(&self, structure: Structure) -> &VulnerableIntervals {
+        &self.intervals[&structure]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_construction_from_events() {
+        let mut p = AceProfiler::new();
+        let s = Structure::RegisterFile;
+        // Entry 5: write@10, read@20 (rip 1), read@30 (rip 2), write@40,
+        // invalidate@50, write@60, read@70 (rip 3).
+        p.write(s, 5, 10);
+        p.committed_read(s, &read_info(5, 20, 1));
+        p.committed_read(s, &read_info(5, 30, 2));
+        p.write(s, 5, 40);
+        p.invalidate(s, 5, 50);
+        p.write(s, 5, 60);
+        p.committed_read(s, &read_info(5, 70, 3));
+        let mut counts = HashMap::new();
+        counts.insert(s, 8usize);
+        counts.insert(Structure::StoreQueue, 4);
+        counts.insert(Structure::L1DCache, 16);
+        let repos = p.into_intervals(&counts, 100);
+        let rf = &repos[&s];
+        let ivs = rf.entry_intervals(5);
+        assert_eq!(ivs.len(), 3);
+        assert_eq!((ivs[0].start, ivs[0].end, ivs[0].rip), (10, 20, 1));
+        assert_eq!((ivs[1].start, ivs[1].end, ivs[1].rip), (20, 30, 2));
+        assert_eq!((ivs[2].start, ivs[2].end, ivs[2].rip), (60, 70, 3));
+        // The write at 40 followed by the invalidate at 50 produced no
+        // vulnerable interval.
+        assert!(rf.lookup(5, 45).is_none());
+        assert!(rf.lookup(5, 25).is_some());
+    }
+
+    #[test]
+    fn out_of_order_event_arrival_is_sorted() {
+        let mut p = AceProfiler::new();
+        let s = Structure::StoreQueue;
+        // The read is reported (at commit) before the write event of a
+        // younger store to the same slot, but with an older cycle.
+        p.write(s, 0, 10);
+        p.committed_read(s, &read_info(0, 15, 9));
+        p.write(s, 0, 12); // arrives after the read event but is older
+        let mut counts = HashMap::new();
+        for &st in Structure::all() {
+            counts.insert(st, 4usize);
+        }
+        let repos = p.into_intervals(&counts, 50);
+        let ivs = repos[&s].entry_intervals(0);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].start, 12);
+        assert_eq!(ivs[0].end, 15);
+    }
+
+    #[test]
+    fn read_of_initial_state_starts_at_cycle_zero() {
+        let mut p = AceProfiler::new();
+        let s = Structure::RegisterFile;
+        p.committed_read(s, &read_info(2, 8, 4));
+        let mut counts = HashMap::new();
+        for &st in Structure::all() {
+            counts.insert(st, 4usize);
+        }
+        let repos = p.into_intervals(&counts, 50);
+        let ivs = repos[&s].entry_intervals(2);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].start, 0);
+    }
+
+    fn read_info(entry: usize, cycle: u64, rip: u32) -> ReadInfo {
+        ReadInfo {
+            entry,
+            cycle,
+            rip,
+            upc: 0,
+            dyn_instance: 0,
+            path_sig: 0,
+        }
+    }
+}

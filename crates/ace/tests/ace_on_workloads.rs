@@ -1,0 +1,102 @@
+//! Integration tests: the ACE-like analysis against real workloads, and the
+//! consistency property MeRLiN depends on — faults pruned by the ACE-like
+//! step really are masked when injected.
+
+use merlin_ace::AceAnalysis;
+use merlin_cpu::{CpuConfig, Structure};
+use merlin_inject::{generate_fault_list, run_golden, run_single_fault, FaultEffect};
+use merlin_workloads::workload_by_name;
+
+#[test]
+fn ace_avf_decreases_with_register_file_size() {
+    // The paper's motivating observation (§1): larger register files have
+    // more dead entries, so the AVF drops as the file grows.
+    let w = workload_by_name("qsort").unwrap();
+    let mut avfs = Vec::new();
+    for regs in [64usize, 128, 256] {
+        let cfg = CpuConfig::default().with_phys_regs(regs);
+        let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
+        avfs.push(ace.structure(Structure::RegisterFile).ace_avf());
+    }
+    assert!(
+        avfs[0] > avfs[1] && avfs[1] > avfs[2],
+        "ACE AVF must shrink as the register file grows: {avfs:?}"
+    );
+}
+
+#[test]
+fn intervals_exist_for_all_three_structures() {
+    let w = workload_by_name("fft").unwrap();
+    let ace = AceAnalysis::run(&w.program, &CpuConfig::default(), 50_000_000).unwrap();
+    for &s in Structure::all() {
+        let iv = ace.structure(s);
+        assert!(iv.interval_count() > 0, "{s} has no vulnerable intervals");
+        assert!(iv.ace_avf() > 0.0, "{s} ACE AVF is zero");
+        assert!(iv.ace_avf() <= 1.0, "{s} ACE AVF above 1");
+        // Intervals lie within the execution and are well formed.
+        for (_, interval) in iv.iter() {
+            assert!(interval.end >= interval.start);
+            assert!(interval.end <= ace.golden.cycles);
+        }
+    }
+}
+
+#[test]
+fn intervals_per_entry_do_not_overlap() {
+    let w = workload_by_name("susan_e").unwrap();
+    let cfg = CpuConfig::default().with_phys_regs(64);
+    let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
+    for &s in Structure::all() {
+        let repo = ace.structure(s);
+        for entry in 0..64 {
+            let ivs = repo.entry_intervals(entry);
+            for pair in ivs.windows(2) {
+                assert!(
+                    pair[1].start >= pair[0].end,
+                    "{s} entry {entry}: overlapping intervals {:?} {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ace_pruned_faults_are_masked_when_injected() {
+    // The soundness property behind MeRLiN's first phase: a statistically
+    // sampled fault that lands outside every vulnerable interval must be
+    // Masked in real injection.
+    let w = workload_by_name("stringsearch").unwrap();
+    let cfg = CpuConfig::default().with_phys_regs(128).with_store_queue(16);
+    let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
+    let golden = run_golden(&w.program, &cfg, 50_000_000).unwrap();
+    for &structure in Structure::all() {
+        let entries = match structure {
+            Structure::RegisterFile => cfg.phys_int_regs,
+            Structure::StoreQueue => cfg.sq_entries,
+            Structure::L1DCache => cfg.l1d.total_words(),
+        };
+        let faults = generate_fault_list(structure, entries, golden.result.cycles, 120, 5);
+        let repo = ace.structure(structure);
+        let mut pruned_checked = 0;
+        for f in faults {
+            if repo.lookup(f.entry, f.cycle).is_none() {
+                pruned_checked += 1;
+                if pruned_checked > 25 {
+                    break; // keep the test fast; 25 samples per structure
+                }
+                let effect = run_single_fault(&w.program, &cfg, &golden, f);
+                assert_eq!(
+                    effect,
+                    FaultEffect::Masked,
+                    "{structure} fault {f} was pruned by ACE-like but not masked"
+                );
+            }
+        }
+        assert!(
+            pruned_checked > 0,
+            "{structure}: no pruned faults sampled at all"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion benchmark: cost of the ACE-like profiling run (the paper's
+//! single-run preprocessing step, §3.1.1) relative to a plain golden run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use merlin_ace::AceAnalysis;
+use merlin_cpu::CpuConfig;
+use merlin_inject::run_golden;
+use merlin_workloads::workload_by_name;
+
+fn ace_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ace_like_analysis");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["sha", "susan_s"] {
+        let w = workload_by_name(name).expect("workload exists");
+        let cfg = CpuConfig::default().with_phys_regs(128);
+        group.bench_function(format!("profiled_run/{name}"), |b| {
+            b.iter(|| AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap())
+        });
+        group.bench_function(format!("plain_golden_run/{name}"), |b| {
+            b.iter(|| run_golden(&w.program, &cfg, 100_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ace_profiling);
+criterion_main!(benches);

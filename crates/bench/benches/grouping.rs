@@ -1,0 +1,37 @@
+//! Criterion benchmark: MeRLiN's fault-list reduction (ACE pruning + RIP/uPC
+//! + byte grouping) over paper-scale 60,000-fault initial lists, and the
+//! Relyzer control-equivalence grouping for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use merlin_ace::AceAnalysis;
+use merlin_core::{initial_fault_list, reduce_fault_list, relyzer_reduce};
+use merlin_cpu::{CpuConfig, Structure};
+use merlin_inject::run_golden;
+use merlin_workloads::workload_by_name;
+
+fn fault_list_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_list_reduction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let w = workload_by_name("qsort").expect("workload exists");
+    let cfg = CpuConfig::default().with_phys_regs(128);
+    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
+    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    for &structure in Structure::all() {
+        let initial =
+            initial_fault_list(&cfg, structure, golden.result.cycles, 60_000, 2017);
+        group.throughput(Throughput::Elements(initial.len() as u64));
+        let intervals = ace.structure(structure);
+        group.bench_function(format!("merlin_60k/{structure}"), |b| {
+            b.iter(|| reduce_fault_list(&initial, intervals))
+        });
+        group.bench_function(format!("relyzer_60k/{structure}"), |b| {
+            b.iter(|| relyzer_reduce(&initial, intervals))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fault_list_reduction);
+criterion_main!(benches);

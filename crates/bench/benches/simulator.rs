@@ -1,0 +1,35 @@
+//! Criterion benchmark: throughput of the cycle-level core and the
+//! architectural interpreter on representative workloads.  These numbers
+//! feed the wall-clock projections of Figure 11 / Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use merlin_cpu::{interpret, Cpu, CpuConfig, NullProbe};
+use merlin_workloads::workload_by_name;
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["sha", "qsort", "stringsearch"] {
+        let w = workload_by_name(name).expect("workload exists");
+        let cycles = {
+            let mut cpu = Cpu::new(w.program.clone(), CpuConfig::default()).unwrap();
+            cpu.run(100_000_000, &mut NullProbe).cycles
+        };
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(format!("cycle_level/{name}"), |b| {
+            b.iter(|| {
+                let mut cpu = Cpu::new(w.program.clone(), CpuConfig::default()).unwrap();
+                cpu.run(100_000_000, &mut NullProbe)
+            })
+        });
+        group.bench_function(format!("interpreter/{name}"), |b| {
+            b.iter(|| interpret(&w.program, 100_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,433 @@
+//! End-to-end MeRLiN campaigns: preprocessing (ACE-like profiling + initial
+//! fault list), fault-list reduction, injection of the representatives and
+//! extrapolation of their effects to the whole group, plus the comprehensive
+//! baseline campaign used for accuracy comparisons.
+
+use crate::grouping::{reduce_fault_list, FaultListReduction};
+use merlin_ace::AceAnalysis;
+use merlin_cpu::{CpuConfig, FaultSpec, Structure};
+use merlin_inject::{
+    generate_fault_list, run_campaign, run_golden, run_single_fault, CampaignError,
+    CampaignResult, Classification, FaultEffect, GoldenRun,
+};
+use merlin_isa::Program;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tunables of a MeRLiN run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MerlinConfig {
+    /// Worker threads for the injection phase.
+    pub threads: usize,
+    /// Cycle budget for the golden/profiling run.
+    pub max_cycles: u64,
+    /// Seed for the statistical fault sampling.
+    pub seed: u64,
+}
+
+impl Default for MerlinConfig {
+    fn default() -> Self {
+        MerlinConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_cycles: 200_000_000,
+            seed: 0x4D45_524C, // "MERL"
+        }
+    }
+}
+
+/// Per-fault effect after extrapolation (every fault of a sub-group inherits
+/// its representative's observed effect; ACE-pruned faults are Masked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtrapolatedOutcome {
+    /// The fault.
+    pub fault: FaultSpec,
+    /// Its (extrapolated or directly observed) effect.
+    pub effect: FaultEffect,
+    /// `true` if this fault was actually injected (it was a representative).
+    pub injected: bool,
+}
+
+/// Result of one MeRLiN campaign on one (benchmark, structure, configuration)
+/// triple.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MerlinReport {
+    /// Target structure.
+    pub structure: Structure,
+    /// Size of the initial statistical fault list.
+    pub initial_faults: usize,
+    /// Faults pruned by the ACE-like step.
+    pub ace_pruned: usize,
+    /// Faults remaining after the ACE-like step.
+    pub post_ace_faults: usize,
+    /// Number of (RIP, uPC) groups.
+    pub groups: usize,
+    /// Number of injections actually performed (representatives).
+    pub injections: usize,
+    /// Average step-1 group size.
+    pub mean_group_size: f64,
+    /// Extrapolated classification over the full initial list.
+    pub classification: Classification,
+    /// Classification restricted to the post-ACE fault list (used by the
+    /// Figure 14 comparison).
+    pub post_ace_classification: Classification,
+    /// Per-representative observed effects keyed by sub-group index order.
+    pub representative_effects: Vec<FaultEffect>,
+    /// The ACE-like AVF upper bound of the structure.
+    pub ace_avf: f64,
+    /// Golden-run cycle count.
+    pub golden_cycles: u64,
+    /// Speedup of the ACE-like step alone.
+    pub speedup_ace: f64,
+    /// Final speedup (initial faults / injections).
+    pub speedup_total: f64,
+}
+
+impl MerlinReport {
+    /// The AVF MeRLiN reports (non-masked fraction of the initial list).
+    pub fn avf(&self) -> f64 {
+        self.classification.avf()
+    }
+}
+
+/// A full MeRLiN campaign plus everything needed to evaluate it against the
+/// baselines (the reduction itself and the golden run are kept).
+#[derive(Debug, Clone)]
+pub struct MerlinCampaign {
+    /// The target structure.
+    pub structure: Structure,
+    /// The reduction produced in phase 2.
+    pub reduction: FaultListReduction,
+    /// The golden run used for classification.
+    pub golden: GoldenRun,
+    /// The initial statistical fault list.
+    pub initial_faults: Vec<FaultSpec>,
+    /// Extrapolated outcome for every initial fault.
+    pub outcomes: Vec<ExtrapolatedOutcome>,
+    /// The report summarising the campaign.
+    pub report: MerlinReport,
+}
+
+/// Errors from MeRLiN campaign execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MerlinError {
+    /// The underlying golden/profiling run failed.
+    Preprocessing(String),
+}
+
+impl std::fmt::Display for MerlinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MerlinError::Preprocessing(e) => write!(f, "MeRLiN preprocessing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MerlinError {}
+
+impl From<CampaignError> for MerlinError {
+    fn from(e: CampaignError) -> Self {
+        MerlinError::Preprocessing(e.to_string())
+    }
+}
+
+/// Generates the initial statistical fault list for `structure` given the
+/// golden execution length (phase 1, task 2 of the paper).
+pub fn initial_fault_list(
+    cfg: &CpuConfig,
+    structure: Structure,
+    golden_cycles: u64,
+    count: usize,
+    seed: u64,
+) -> Vec<FaultSpec> {
+    let entries = match structure {
+        Structure::RegisterFile => cfg.phys_int_regs,
+        Structure::StoreQueue => cfg.sq_entries,
+        Structure::L1DCache => cfg.l1d.total_words(),
+    };
+    generate_fault_list(structure, entries, golden_cycles, count, seed)
+}
+
+/// Runs the complete MeRLiN methodology for one structure of one benchmark.
+///
+/// `ace` must come from [`AceAnalysis::run`] with the same program and
+/// configuration; `fault_count` is the size of the initial statistical fault
+/// list (60,000 in the paper's baseline campaigns).
+///
+/// # Errors
+///
+/// Returns [`MerlinError`] if the golden run cannot be established.
+pub fn run_merlin(
+    program: &Program,
+    cfg: &CpuConfig,
+    structure: Structure,
+    ace: &AceAnalysis,
+    fault_count: usize,
+    merlin_cfg: &MerlinConfig,
+) -> Result<MerlinCampaign, MerlinError> {
+    let golden = run_golden(program, cfg, merlin_cfg.max_cycles)?;
+    let initial = initial_fault_list(
+        cfg,
+        structure,
+        golden.result.cycles,
+        fault_count,
+        merlin_cfg.seed,
+    );
+    run_merlin_with_faults(program, cfg, structure, ace, &initial, &golden, merlin_cfg)
+}
+
+/// Runs MeRLiN over an explicitly provided initial fault list (used when the
+/// same list must also feed the comprehensive baseline campaign).
+pub fn run_merlin_with_faults(
+    program: &Program,
+    cfg: &CpuConfig,
+    structure: Structure,
+    ace: &AceAnalysis,
+    initial: &[FaultSpec],
+    golden: &GoldenRun,
+    merlin_cfg: &MerlinConfig,
+) -> Result<MerlinCampaign, MerlinError> {
+    let intervals = ace.structure(structure);
+    let reduction = reduce_fault_list(initial, intervals);
+
+    // Phase 3: inject only the representatives.
+    let representatives = reduction.reduced_fault_list();
+    let rep_result = run_campaign(program, cfg, golden, &representatives, merlin_cfg.threads);
+    let rep_effects: HashMap<FaultSpec, FaultEffect> = rep_result
+        .outcomes
+        .iter()
+        .map(|o| (o.fault, o.effect))
+        .collect();
+
+    // Extrapolate: pruned faults are Masked, grouped faults inherit their
+    // representative's effect.
+    let mut outcomes = Vec::with_capacity(initial.len());
+    let mut classification = Classification::default();
+    let mut post_ace_classification = Classification::default();
+    for &fault in &reduction.ace_masked {
+        classification.record(FaultEffect::Masked, 1);
+        outcomes.push(ExtrapolatedOutcome {
+            fault,
+            effect: FaultEffect::Masked,
+            injected: false,
+        });
+    }
+    let mut representative_effects = Vec::new();
+    for group in &reduction.groups {
+        for sub in &group.subgroups {
+            let effect = rep_effects[&sub.representative];
+            representative_effects.push(effect);
+            for f in &sub.faults {
+                classification.record(effect, 1);
+                post_ace_classification.record(effect, 1);
+                outcomes.push(ExtrapolatedOutcome {
+                    fault: f.fault,
+                    effect,
+                    injected: f.fault == sub.representative,
+                });
+            }
+        }
+    }
+
+    let report = MerlinReport {
+        structure,
+        initial_faults: reduction.initial_faults(),
+        ace_pruned: reduction.ace_masked.len(),
+        post_ace_faults: reduction.post_ace_faults(),
+        groups: reduction.groups.len(),
+        injections: reduction.injections(),
+        mean_group_size: reduction.mean_group_size(),
+        classification,
+        post_ace_classification,
+        representative_effects,
+        ace_avf: intervals.ace_avf(),
+        golden_cycles: golden.result.cycles,
+        speedup_ace: reduction.ace_speedup(),
+        speedup_total: reduction.total_speedup(),
+    };
+    Ok(MerlinCampaign {
+        structure,
+        reduction,
+        golden: golden.clone(),
+        initial_faults: initial.to_vec(),
+        outcomes,
+        report,
+    })
+}
+
+/// Runs the comprehensive baseline campaign (every fault of the initial list
+/// injected individually) — the reference MeRLiN's accuracy is judged
+/// against (Figure 15).
+pub fn run_comprehensive(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    initial: &[FaultSpec],
+    threads: usize,
+) -> CampaignResult {
+    run_campaign(program, cfg, golden, initial, threads)
+}
+
+/// Runs the "post-ACE" baseline: every fault that survives the ACE-like
+/// pruning is injected individually (the blue bars of Figure 14).  Returns
+/// the classification over that remaining list.
+pub fn run_post_ace_baseline(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    reduction: &FaultListReduction,
+    threads: usize,
+) -> CampaignResult {
+    let remaining: Vec<FaultSpec> = reduction
+        .groups
+        .iter()
+        .flat_map(|g| g.subgroups.iter().flat_map(|s| s.faults.iter().map(|f| f.fault)))
+        .collect();
+    run_campaign(program, cfg, golden, &remaining, threads)
+}
+
+/// Truncated-run classification (§4.4.3.4, Table 4): the faulty run is
+/// compared against the golden run at the end of a truncated interval; faults
+/// that are still architecturally live are `Unknown`.
+pub fn classify_truncated(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    ace: &AceAnalysis,
+    structure: Structure,
+    fault: FaultSpec,
+    horizon_cycles: u64,
+) -> merlin_inject::TruncatedEffect {
+    use merlin_inject::TruncatedEffect;
+    let intervals = ace.structure(structure);
+    // A fault outside every vulnerable interval that starts before the
+    // horizon is masked within the interval.
+    let covering = intervals.lookup(fault.entry, fault.cycle);
+    if fault.cycle > horizon_cycles {
+        return TruncatedEffect::Masked;
+    }
+    match run_single_fault(program, cfg, golden, fault) {
+        FaultEffect::Crash => TruncatedEffect::Crash,
+        FaultEffect::Assert => TruncatedEffect::Assert,
+        FaultEffect::Due => TruncatedEffect::Due,
+        FaultEffect::Masked => {
+            if covering.is_none() {
+                TruncatedEffect::Masked
+            } else if covering.map(|iv| iv.end <= horizon_cycles).unwrap_or(true) {
+                // Consumed within the interval without architectural effect.
+                TruncatedEffect::Masked
+            } else {
+                TruncatedEffect::Unknown
+            }
+        }
+        // SDC or Timeout manifest only after the truncation horizon in the
+        // paper's setting; before the horizon their eventual fate is unknown.
+        FaultEffect::Sdc | FaultEffect::Timeout => TruncatedEffect::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_workloads::workload_by_name;
+
+    fn small_cfg() -> CpuConfig {
+        CpuConfig::default().with_phys_regs(64).with_store_queue(16)
+    }
+
+    fn merlin_cfg() -> MerlinConfig {
+        MerlinConfig {
+            threads: 4,
+            max_cycles: 50_000_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn merlin_campaign_accounts_for_every_fault() {
+        let w = workload_by_name("stringsearch").unwrap();
+        let cfg = small_cfg();
+        let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
+        let campaign = run_merlin(
+            &w.program,
+            &cfg,
+            Structure::RegisterFile,
+            &ace,
+            400,
+            &merlin_cfg(),
+        )
+        .unwrap();
+        let r = &campaign.report;
+        assert_eq!(r.initial_faults, 400);
+        assert_eq!(r.ace_pruned + r.post_ace_faults, 400);
+        assert_eq!(r.classification.total(), 400);
+        assert_eq!(campaign.outcomes.len(), 400);
+        assert!(r.injections <= r.post_ace_faults);
+        assert!(r.injections >= r.groups);
+        assert!(r.speedup_total >= r.speedup_ace);
+        assert!(r.speedup_ace >= 1.0);
+        // Extrapolation bookkeeping: injected representatives equal the
+        // reported injection count.
+        assert_eq!(
+            campaign.outcomes.iter().filter(|o| o.injected).count(),
+            r.injections
+        );
+    }
+
+    #[test]
+    fn merlin_matches_comprehensive_campaign_closely() {
+        let w = workload_by_name("sha").unwrap();
+        let cfg = small_cfg();
+        let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
+        let golden = run_golden(&w.program, &cfg, 50_000_000).unwrap();
+        let initial = initial_fault_list(
+            &cfg,
+            Structure::RegisterFile,
+            golden.result.cycles,
+            500,
+            13,
+        );
+        let merlin = run_merlin_with_faults(
+            &w.program,
+            &cfg,
+            Structure::RegisterFile,
+            &ace,
+            &initial,
+            &golden,
+            &merlin_cfg(),
+        )
+        .unwrap();
+        let comprehensive = run_comprehensive(&w.program, &cfg, &golden, &initial, 4);
+        let inaccuracy = merlin
+            .report
+            .classification
+            .max_inaccuracy(&comprehensive.classification);
+        assert!(
+            inaccuracy < 6.0,
+            "MeRLiN vs comprehensive inaccuracy {inaccuracy:.2} percentile units\nmerlin: {}\nbaseline: {}",
+            merlin.report.classification,
+            comprehensive.classification
+        );
+        // And it must be much cheaper.
+        assert!(merlin.report.injections * 3 < initial.len());
+    }
+
+    #[test]
+    fn store_queue_campaign_runs() {
+        let w = workload_by_name("qsort").unwrap();
+        let cfg = small_cfg();
+        let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
+        let campaign = run_merlin(
+            &w.program,
+            &cfg,
+            Structure::StoreQueue,
+            &ace,
+            300,
+            &merlin_cfg(),
+        )
+        .unwrap();
+        assert_eq!(campaign.report.classification.total(), 300);
+        assert!(campaign.report.speedup_total > 1.0);
+    }
+}

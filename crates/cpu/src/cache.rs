@@ -1,0 +1,609 @@
+//! Set-associative write-back caches and the two-level memory system.
+//!
+//! The L1 data cache's data array is one of the paper's three fault-injection
+//! targets, so the cache stores *actual data bytes*: a bit flipped in a line
+//! propagates to loads, writebacks and refills exactly as it would in
+//! hardware.  The L2 is modelled with the same structure (1 MB, 16-way in the
+//! baseline configuration) but is not a fault target.
+
+use crate::config::CacheConfig;
+use crate::memory::{MemError, Memory};
+use merlin_isa::MemSize;
+
+/// One cache line.
+#[derive(Debug, Clone)]
+struct CacheLine {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    data: Vec<u8>,
+    last_use: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with true data
+/// storage and LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<CacheLine>>,
+    use_counter: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let line = CacheLine {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            data: vec![0; cfg.line_bytes as usize],
+            last_use: 0,
+        };
+        Cache {
+            sets: vec![vec![line; cfg.ways]; cfg.sets()],
+            cfg,
+            use_counter: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes) % self.cfg.sets() as u64) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes / self.cfg.sets() as u64
+    }
+
+    /// The line-aligned base address containing `addr`.
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr - addr % self.cfg.line_bytes
+    }
+
+    /// Looks up `addr`; returns `(set, way)` on a hit.
+    pub fn lookup(&mut self, addr: u64) -> Option<(usize, usize)> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        for way in 0..self.cfg.ways {
+            let l = &self.sets[set][way];
+            if l.valid && l.tag == tag {
+                return Some((set, way));
+            }
+        }
+        None
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.use_counter += 1;
+        self.sets[set][way].last_use = self.use_counter;
+    }
+
+    /// Picks the LRU victim way within `set` (invalid ways first).
+    pub fn victim_way(&self, set: usize) -> usize {
+        for way in 0..self.cfg.ways {
+            if !self.sets[set][way].valid {
+                return way;
+            }
+        }
+        (0..self.cfg.ways)
+            .min_by_key(|&w| self.sets[set][w].last_use)
+            .expect("cache has at least one way")
+    }
+
+    /// Reads bytes `[offset, offset+len)` of the line at `(set, way)`.
+    pub fn read_bytes(&mut self, set: usize, way: usize, offset: usize, len: usize) -> u64 {
+        self.touch(set, way);
+        let line = &self.sets[set][way];
+        let mut v = 0u64;
+        for i in 0..len {
+            v |= (line.data[offset + i] as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `len` bytes of `value` at `offset` of the line at
+    /// `(set, way)` and marks it dirty.
+    pub fn write_bytes(&mut self, set: usize, way: usize, offset: usize, len: usize, value: u64) {
+        self.touch(set, way);
+        let line = &mut self.sets[set][way];
+        for i in 0..len {
+            line.data[offset + i] = ((value >> (8 * i)) & 0xFF) as u8;
+        }
+        line.dirty = true;
+    }
+
+    /// Installs a whole line for `addr`, returning the evicted victim
+    /// `(set, way, dirty, victim_line_addr, old_data)` if a valid line had to
+    /// be displaced.
+    #[allow(clippy::type_complexity)]
+    pub fn install(
+        &mut self,
+        addr: u64,
+        data: Vec<u8>,
+        dirty: bool,
+    ) -> (usize, usize, Option<(bool, u64, Vec<u8>)>) {
+        assert_eq!(data.len(), self.cfg.line_bytes as usize);
+        // If the line is already resident, update it in place (no duplicate
+        // copies, no eviction).
+        if let Some((set, way)) = self.lookup(addr) {
+            self.use_counter += 1;
+            let last_use = self.use_counter;
+            let line = &mut self.sets[set][way];
+            line.data = data;
+            line.dirty = line.dirty || dirty;
+            line.last_use = last_use;
+            return (set, way, None);
+        }
+        let set = self.set_index(addr);
+        let way = self.victim_way(set);
+        let evicted = {
+            let l = &self.sets[set][way];
+            if l.valid {
+                let victim_addr =
+                    (l.tag * self.cfg.sets() as u64 + set as u64) * self.cfg.line_bytes;
+                Some((l.dirty, victim_addr, l.data.clone()))
+            } else {
+                None
+            }
+        };
+        let tag = self.tag(addr);
+        self.use_counter += 1;
+        let last_use = self.use_counter;
+        let line = &mut self.sets[set][way];
+        line.valid = true;
+        line.dirty = dirty;
+        line.tag = tag;
+        line.data = data;
+        line.last_use = last_use;
+        (set, way, evicted)
+    }
+
+    /// A copy of the line data at `(set, way)`.
+    pub fn line_data(&self, set: usize, way: usize) -> &[u8] {
+        &self.sets[set][way].data
+    }
+
+    /// Whether the line at `(set, way)` is valid.
+    pub fn is_valid(&self, set: usize, way: usize) -> bool {
+        self.sets[set][way].valid
+    }
+
+    /// Whether the line at `(set, way)` is dirty.
+    pub fn is_dirty(&self, set: usize, way: usize) -> bool {
+        self.sets[set][way].dirty
+    }
+
+    /// Flips a single stored bit — the L1D fault-injection hook.  The flip
+    /// happens regardless of the line's valid bit (the SRAM cell exists
+    /// either way); faults in invalid lines are naturally masked because the
+    /// next refill overwrites them.
+    pub fn flip_bit(&mut self, set: usize, way: usize, byte: usize, bit: u8) {
+        self.sets[set][way].data[byte] ^= 1 << bit;
+    }
+
+    /// Flattened 8-byte-word entry index of `(set, way, word_in_line)` used
+    /// by probes and fault specifications.
+    pub fn word_entry(&self, set: usize, way: usize, word_in_line: usize) -> usize {
+        (set * self.cfg.ways + way) * self.cfg.words_per_line() + word_in_line
+    }
+
+    /// Inverse of [`Cache::word_entry`].
+    pub fn entry_location(&self, entry: usize) -> (usize, usize, usize) {
+        let wpl = self.cfg.words_per_line();
+        let line = entry / wpl;
+        let word = entry % wpl;
+        let set = line / self.cfg.ways;
+        let way = line % self.cfg.ways;
+        (set, way, word)
+    }
+}
+
+/// Per-access side effects on the L1D data array, expressed as flattened
+/// word-entry indices (see [`Cache::word_entry`]).  The core turns these into
+/// probe events: reads are attached to the requesting micro-op and reported
+/// only if it commits; writes, invalidates and writeback reads are physical
+/// effects reported immediately.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheEffects {
+    /// Words read by this access.
+    pub word_reads: Vec<usize>,
+    /// Words written by this access (stores covering the full word, refills,
+    /// drains).
+    pub word_writes: Vec<usize>,
+    /// Words of lines that were evicted (their storage no longer holds live
+    /// data for the old address).
+    pub word_invalidates: Vec<usize>,
+    /// Words of dirty lines that were read out and written back to L2.
+    pub writeback_reads: Vec<usize>,
+    /// Total access latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheEffects {
+    fn merge(&mut self, other: CacheEffects) {
+        self.word_reads.extend(other.word_reads);
+        self.word_writes.extend(other.word_writes);
+        self.word_invalidates.extend(other.word_invalidates);
+        self.writeback_reads.extend(other.writeback_reads);
+        self.latency = self.latency.max(other.latency);
+    }
+}
+
+/// The two-level data memory system: L1D + L2 backed by flat [`Memory`].
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    /// L1 data cache (fault-injection target).
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    /// Backing memory.
+    pub mem: Memory,
+    mem_latency: u64,
+}
+
+impl MemSystem {
+    /// Creates the memory system with empty caches.
+    pub fn new(l1d: CacheConfig, l2: CacheConfig, mem: Memory, mem_latency: u64) -> Self {
+        MemSystem {
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            mem,
+            mem_latency,
+        }
+    }
+
+    /// Architectural load: reads `size` bytes at `addr` through the cache
+    /// hierarchy, returning the zero-extended value and the L1D side
+    /// effects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] for unmapped addresses; the cache
+    /// state is left unchanged in that case.
+    pub fn load(&mut self, addr: u64, size: MemSize) -> Result<(u64, CacheEffects), MemError> {
+        self.mem.check_range(addr, size.bytes(), false)?;
+        self.access(addr, size, None)
+    }
+
+    /// Architectural store: writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] for unmapped addresses or stores into the code
+    /// region.
+    pub fn store(
+        &mut self,
+        addr: u64,
+        value: u64,
+        size: MemSize,
+    ) -> Result<CacheEffects, MemError> {
+        self.mem.check_range(addr, size.bytes(), true)?;
+        let (_, eff) = self.access(addr, size, Some(value))?;
+        Ok(eff)
+    }
+
+    fn access(
+        &mut self,
+        addr: u64,
+        size: MemSize,
+        write: Option<u64>,
+    ) -> Result<(u64, CacheEffects), MemError> {
+        let line_bytes = self.l1d.config().line_bytes;
+        let first_line = addr / line_bytes;
+        let last_line = (addr + size.bytes() - 1) / line_bytes;
+        if first_line == last_line {
+            return self.access_within_line(addr, size.bytes() as usize, write);
+        }
+        // Line-crossing access (possible when a fault corrupts an address):
+        // split at the line boundary.
+        let lo_bytes = (line_bytes - addr % line_bytes) as usize;
+        let hi_bytes = size.bytes() as usize - lo_bytes;
+        let mut effects = CacheEffects::default();
+        let (lo_write, hi_write) = match write {
+            Some(v) => (
+                Some(v & low_mask(lo_bytes)),
+                Some(v >> (8 * lo_bytes as u32)),
+            ),
+            None => (None, None),
+        };
+        let (lo_val, lo_eff) = self.access_within_line(addr, lo_bytes, lo_write)?;
+        effects.merge(lo_eff);
+        let (hi_val, hi_eff) =
+            self.access_within_line(addr + lo_bytes as u64, hi_bytes, hi_write)?;
+        effects.merge(hi_eff);
+        let value = lo_val | hi_val.wrapping_shl(8 * lo_bytes as u32);
+        Ok((value, effects))
+    }
+
+    /// Access fully contained in one L1D line.
+    fn access_within_line(
+        &mut self,
+        addr: u64,
+        len: usize,
+        write: Option<u64>,
+    ) -> Result<(u64, CacheEffects), MemError> {
+        let mut effects = CacheEffects::default();
+        let (set, way) = match self.l1d.lookup(addr) {
+            Some(sw) => {
+                effects.latency = self.l1d.config().hit_latency;
+                sw
+            }
+            None => {
+                let (sw, lat) = self.refill_l1d(addr, &mut effects);
+                effects.latency = self.l1d.config().hit_latency + lat;
+                sw
+            }
+        };
+        let offset = (addr % self.l1d.config().line_bytes) as usize;
+        let wpl_bytes = 8;
+        let first_word = offset / wpl_bytes;
+        let last_word = (offset + len - 1) / wpl_bytes;
+        let value = match write {
+            Some(v) => {
+                self.l1d.write_bytes(set, way, offset, len, v);
+                for w in first_word..=last_word {
+                    // Only fully covered words are reported as overwritten;
+                    // partially covered words keep their old vulnerable
+                    // interval open (conservative, see DESIGN.md).
+                    let word_start = w * wpl_bytes;
+                    let word_end = word_start + wpl_bytes;
+                    if offset <= word_start && offset + len >= word_end {
+                        effects.word_writes.push(self.l1d.word_entry(set, way, w));
+                    }
+                }
+                v & low_mask(len)
+            }
+            None => {
+                let v = self.l1d.read_bytes(set, way, offset, len);
+                for w in first_word..=last_word {
+                    effects.word_reads.push(self.l1d.word_entry(set, way, w));
+                }
+                v
+            }
+        };
+        Ok((value, effects))
+    }
+
+    /// Brings the line containing `addr` into the L1D, handling the victim
+    /// writeback.  Returns the (set, way) it landed in and the extra latency.
+    fn refill_l1d(&mut self, addr: u64, effects: &mut CacheEffects) -> ((usize, usize), u64) {
+        let line_bytes = self.l1d.config().line_bytes;
+        let line_addr = addr - addr % line_bytes;
+        let (data, lat) = self.l2_get_line(line_addr);
+        let (set, way, evicted) = self.l1d.install(line_addr, data, false);
+        let wpl = self.l1d.config().words_per_line();
+        if let Some((dirty, victim_addr, old_data)) = evicted {
+            for w in 0..wpl {
+                let e = self.l1d.word_entry(set, way, w);
+                if dirty {
+                    effects.writeback_reads.push(e);
+                }
+                effects.word_invalidates.push(e);
+            }
+            if dirty {
+                self.l2_put_line(victim_addr, old_data);
+            }
+        }
+        for w in 0..wpl {
+            effects.word_writes.push(self.l1d.word_entry(set, way, w));
+        }
+        ((set, way), lat)
+    }
+
+    /// Fetches a line from the L2 (refilling from memory on an L2 miss).
+    fn l2_get_line(&mut self, line_addr: u64) -> (Vec<u8>, u64) {
+        if let Some((set, way)) = self.l2.lookup(line_addr) {
+            let data = self.l2.line_data(set, way).to_vec();
+            self.l2.read_bytes(set, way, 0, 1); // LRU touch
+            return (data, self.l2.config().hit_latency);
+        }
+        let data = self.mem.read_line(line_addr, self.l2.config().line_bytes);
+        let (_, _, evicted) = self.l2.install(line_addr, data.clone(), false);
+        if let Some((dirty, victim_addr, old)) = evicted {
+            if dirty {
+                self.mem.write_line(victim_addr, &old);
+            }
+        }
+        (data, self.l2.config().hit_latency + self.mem_latency)
+    }
+
+    /// Writes an evicted dirty L1D line into the L2.
+    fn l2_put_line(&mut self, line_addr: u64, data: Vec<u8>) {
+        let (_, _, evicted) = self.l2.install(line_addr, data, true);
+        if let Some((dirty, victim_addr, old)) = evicted {
+            if dirty {
+                self.mem.write_line(victim_addr, &old);
+            }
+        }
+    }
+
+    /// Architecturally visible value at `addr` considering every level of the
+    /// hierarchy (L1D, then L2, then memory) without disturbing any state —
+    /// used by tests and by output extraction.
+    pub fn peek(&mut self, addr: u64, size: MemSize) -> Result<u64, MemError> {
+        self.mem.check_range(addr, size.bytes(), false)?;
+        let mut v = 0u64;
+        for i in 0..size.bytes() {
+            let a = addr + i;
+            let byte = self.peek_byte(a);
+            v |= (byte as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn peek_byte(&mut self, addr: u64) -> u8 {
+        if let Some((set, way)) = self.l1d.lookup(addr) {
+            let off = (addr % self.l1d.config().line_bytes) as usize;
+            return self.l1d.line_data(set, way)[off];
+        }
+        if let Some((set, way)) = self.l2.lookup(addr) {
+            let off = (addr % self.l2.config().line_bytes) as usize;
+            return self.l2.line_data(set, way)[off];
+        }
+        self.mem.read_line(addr, 1)[0]
+    }
+}
+
+fn low_mask(bytes: usize) -> u64 {
+    if bytes >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * bytes)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_isa::DATA_BASE;
+
+    fn small_system() -> MemSystem {
+        let l1d = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 3,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 10,
+        };
+        MemSystem::new(l1d, l2, Memory::new(64 * 1024), 50)
+    }
+
+    #[test]
+    fn load_after_store_returns_value() {
+        let mut ms = small_system();
+        let addr = DATA_BASE + 0x100;
+        ms.store(addr, 0xDEAD_BEEF_1234_5678, MemSize::B8).unwrap();
+        let (v, eff) = ms.load(addr, MemSize::B8).unwrap();
+        assert_eq!(v, 0xDEAD_BEEF_1234_5678);
+        assert_eq!(eff.word_reads.len(), 1);
+        assert!(eff.latency >= 3);
+    }
+
+    #[test]
+    fn miss_then_hit_latency() {
+        let mut ms = small_system();
+        let addr = DATA_BASE + 0x200;
+        let (_, miss) = ms.load(addr, MemSize::B8).unwrap();
+        let (_, hit) = ms.load(addr, MemSize::B8).unwrap();
+        assert!(miss.latency > hit.latency);
+        assert_eq!(hit.latency, 3);
+        // The refill reported writes for every word of the line.
+        assert_eq!(miss.word_writes.len(), 8);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_reports_reads() {
+        let mut ms = small_system();
+        // 1 KB, 2-way, 64 B lines → 8 sets; addresses 512 bytes apart map to
+        // the same set.  Three distinct lines in one set force an eviction.
+        let a0 = DATA_BASE;
+        let a1 = DATA_BASE + 512;
+        let a2 = DATA_BASE + 1024;
+        ms.store(a0, 0x1111, MemSize::B8).unwrap();
+        ms.store(a1, 0x2222, MemSize::B8).unwrap();
+        let eff = ms.store(a2, 0x3333, MemSize::B8).unwrap();
+        assert!(
+            !eff.writeback_reads.is_empty(),
+            "dirty victim must be read out for writeback"
+        );
+        assert!(!eff.word_invalidates.is_empty());
+        // The evicted value is still architecturally visible (now in L2).
+        let (v, _) = ms.load(a0, MemSize::B8).unwrap();
+        assert_eq!(v, 0x1111);
+    }
+
+    #[test]
+    fn flipped_bit_is_visible_to_loads() {
+        let mut ms = small_system();
+        let addr = DATA_BASE + 0x40;
+        ms.store(addr, 0, MemSize::B8).unwrap();
+        let (set, way) = ms.l1d.lookup(addr).unwrap();
+        let offset = (addr % 64) as usize;
+        ms.l1d.flip_bit(set, way, offset, 5);
+        let (v, _) = ms.load(addr, MemSize::B8).unwrap();
+        assert_eq!(v, 1 << 5);
+    }
+
+    #[test]
+    fn flipped_bit_in_clean_line_discarded_on_eviction() {
+        let mut ms = small_system();
+        let a0 = DATA_BASE;
+        ms.store(a0, 0xAB, MemSize::B8).unwrap();
+        // Make the line clean by forcing it through an eviction+reload cycle:
+        // evict dirty, reload clean.
+        let a1 = DATA_BASE + 512;
+        let a2 = DATA_BASE + 1024;
+        ms.load(a1, MemSize::B8).unwrap();
+        ms.load(a2, MemSize::B8).unwrap(); // a0 evicted (dirty → L2)
+        ms.load(a0, MemSize::B8).unwrap(); // reloaded, clean copy
+        let (set, way) = ms.l1d.lookup(a0).unwrap();
+        assert!(!ms.l1d.is_dirty(set, way));
+        ms.l1d.flip_bit(set, way, 0, 0);
+        // Evict the clean, corrupted line.
+        ms.load(a1, MemSize::B8).unwrap();
+        ms.load(a2, MemSize::B8).unwrap();
+        // The corruption was dropped with the clean line.
+        let (v, _) = ms.load(a0, MemSize::B8).unwrap();
+        assert_eq!(v, 0xAB);
+    }
+
+    #[test]
+    fn line_crossing_access_is_consistent() {
+        let mut ms = small_system();
+        let addr = DATA_BASE + 64 - 4; // crosses a line boundary
+        ms.store(addr, 0x1122_3344_5566_7788, MemSize::B8).unwrap();
+        let (v, _) = ms.load(addr, MemSize::B8).unwrap();
+        assert_eq!(v, 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn partial_word_store_does_not_report_word_write() {
+        let mut ms = small_system();
+        let addr = DATA_BASE + 0x80;
+        // Bring the line in first so the refill's word writes do not obscure
+        // what the store itself reports.
+        ms.load(addr, MemSize::B8).unwrap();
+        let eff = ms.store(addr, 0xFF, MemSize::B1).unwrap();
+        assert!(eff.word_writes.is_empty());
+        let eff = ms.store(addr, 0xFFFF_FFFF_FFFF_FFFF, MemSize::B8).unwrap();
+        assert_eq!(eff.word_writes.len(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected_without_state_change() {
+        let mut ms = small_system();
+        let bad = DATA_BASE + 10 * 1024 * 1024;
+        assert!(ms.load(bad, MemSize::B8).is_err());
+        assert!(ms.store(bad, 0, MemSize::B8).is_err());
+        assert!(ms.store(0x10, 0, MemSize::B8).is_err());
+    }
+
+    #[test]
+    fn word_entry_roundtrip() {
+        let ms = small_system();
+        for entry in 0..ms.l1d.config().total_words() {
+            let (s, w, word) = ms.l1d.entry_location(entry);
+            assert_eq!(ms.l1d.word_entry(s, w, word), entry);
+        }
+    }
+
+    #[test]
+    fn peek_sees_all_levels() {
+        let mut ms = small_system();
+        let a0 = DATA_BASE;
+        ms.store(a0, 0x77, MemSize::B8).unwrap();
+        // Evict to L2.
+        ms.load(DATA_BASE + 512, MemSize::B8).unwrap();
+        ms.load(DATA_BASE + 1024, MemSize::B8).unwrap();
+        assert_eq!(ms.peek(a0, MemSize::B8).unwrap(), 0x77);
+    }
+}

@@ -1,0 +1,1077 @@
+//! The out-of-order core: fetch/decode, rename/dispatch, issue/execute,
+//! writeback, and commit, with branch misprediction squash, store-to-load
+//! forwarding, precise exceptions and fault-injection hooks.
+//!
+//! The model is deliberately simple where timing fidelity does not matter to
+//! MeRLiN (no MSHRs, instant store drain at commit) and faithful where it
+//! does: data physically lives in the physical register file, the store-queue
+//! data field and the L1D data array; wrong-path micro-ops execute and are
+//! squashed; reads are attributed to the (RIP, uPC) of the reading micro-op
+//! and reported only if that micro-op commits.
+
+use crate::cache::MemSystem;
+use crate::config::{ConfigError, CpuConfig};
+use crate::fault::FaultSpec;
+use crate::lsq::{LoadQueue, StoreQueue};
+use crate::memory::{MemError, Memory};
+use crate::predictor::{BranchPredictor, Btb};
+use crate::probe::{Probe, ReadInfo, Structure, WRITEBACK_RIP};
+use crate::regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
+use merlin_isa::{decode, Inst, Program, Rip, Uop, UopKind, NUM_ARCH_REGS};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Reasons a run ends with a crash of the simulated program or system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashKind {
+    /// A committed memory access fell outside the program's data region.
+    MemoryOutOfBounds {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// The committed control flow reached an instruction address outside the
+    /// program text.
+    InvalidFetchPc {
+        /// Faulting instruction pointer.
+        pc: Rip,
+    },
+}
+
+/// Reasons the simulator itself refuses to continue (the paper's *Assert*
+/// class: the simulator process stops on an internal assertion).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssertKind {
+    /// A committed store targeted the read-only code region (self-modifying
+    /// code is unsupported by the model).
+    StoreToCode {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// An internal invariant of the model was violated (captured panic).
+    InternalInvariant(String),
+}
+
+/// How a simulation ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitReason {
+    /// The program committed its `Halt` instruction.
+    Halted,
+    /// The cycle limit was reached before the program halted.
+    Timeout,
+    /// The simulated program crashed.
+    Crash(CrashKind),
+    /// The simulator stopped on an internal assertion.
+    Assert(AssertKind),
+}
+
+impl ExitReason {
+    /// `true` when the program ran to completion.
+    pub fn is_halted(&self) -> bool {
+        matches!(self, ExitReason::Halted)
+    }
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Halted => write!(f, "halted"),
+            ExitReason::Timeout => write!(f, "timeout"),
+            ExitReason::Crash(CrashKind::MemoryOutOfBounds { addr }) => {
+                write!(f, "crash: memory access out of bounds at {addr:#x}")
+            }
+            ExitReason::Crash(CrashKind::InvalidFetchPc { pc }) => {
+                write!(f, "crash: invalid fetch pc {pc}")
+            }
+            ExitReason::Assert(AssertKind::StoreToCode { addr }) => {
+                write!(f, "assert: store to code region at {addr:#x}")
+            }
+            ExitReason::Assert(AssertKind::InternalInvariant(msg)) => {
+                write!(f, "assert: {msg}")
+            }
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Why the run ended.
+    pub exit: ExitReason,
+    /// The architected output stream (values emitted by `Out` instructions).
+    pub output: Vec<u64>,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Committed macro-instructions.
+    pub committed_instructions: u64,
+    /// Committed micro-ops.
+    pub committed_uops: u64,
+    /// Committed arithmetic exceptions (divide/remainder by zero).
+    pub arithmetic_exceptions: u64,
+    /// Committed misaligned-access exceptions.
+    pub misaligned_exceptions: u64,
+}
+
+impl RunResult {
+    /// Total architectural exceptions observed (the count compared against
+    /// the golden run for DUE classification).
+    pub fn exceptions(&self) -> u64 {
+        self.arithmetic_exceptions + self.misaligned_exceptions
+    }
+}
+
+/// Errors returned by [`Cpu::inject_fault`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// The fault's entry index is outside the target structure.
+    EntryOutOfRange {
+        /// Target structure.
+        structure: Structure,
+        /// Requested entry.
+        entry: usize,
+        /// Number of entries the structure has in this configuration.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::EntryOutOfRange {
+                structure,
+                entry,
+                limit,
+            } => write!(
+                f,
+                "fault entry {entry} out of range for {structure} ({limit} entries)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// Exceptions recorded on a micro-op and handled precisely at commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Exception {
+    MemOutOfBounds { addr: u64 },
+    StoreToCode { addr: u64 },
+    DivByZero,
+    Misaligned,
+}
+
+/// A micro-op waiting in the fetch buffer together with the next fetch PC the
+/// front end assumed after it.
+#[derive(Debug, Clone, Copy)]
+struct FetchedUop {
+    uop: Uop,
+    pred_next: Rip,
+}
+
+/// One re-order buffer entry.
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    uop: Uop,
+    src_phys: [Option<PhysReg>; 3],
+    dst_phys: Option<PhysReg>,
+    prev_phys: Option<PhysReg>,
+    in_iq: bool,
+    complete_at: Option<u64>,
+    completed: bool,
+    pred_next: Rip,
+    actual_next: Option<Rip>,
+    result: Option<u64>,
+    exception: Option<Exception>,
+    lq_slot: Option<usize>,
+    sq_slot: Option<usize>,
+    reg_reads: Vec<(PhysReg, u64)>,
+    sq_reads: Vec<(usize, u64)>,
+    l1d_reads: Vec<(usize, u64)>,
+}
+
+/// The cycle-level out-of-order core.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_cpu::{Cpu, CpuConfig, NullProbe};
+/// use merlin_isa::{reg, AluOp, Cond, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.movi(reg(1), 0);
+/// b.movi(reg(2), 1);
+/// let top = b.bind_label();
+/// b.alu_rr(AluOp::Add, reg(1), reg(1), reg(2));
+/// b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+/// b.branch_ri(Cond::Le, reg(2), 100, top);
+/// b.out(reg(1));
+/// b.halt();
+/// let program = b.build().unwrap();
+///
+/// let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+/// let result = cpu.run(1_000_000, &mut NullProbe);
+/// assert!(result.exit.is_halted());
+/// assert_eq!(result.output, vec![5050]);
+/// ```
+#[derive(Debug)]
+pub struct Cpu {
+    cfg: CpuConfig,
+    program: Program,
+    cycle: u64,
+    next_seq: u64,
+    // Front end.
+    fetch_pc: Rip,
+    fetch_halted: bool,
+    fetch_invalid: bool,
+    fetch_buffer: VecDeque<FetchedUop>,
+    // Rename.
+    rat: RenameTable,
+    free_list: FreeList,
+    prf: PhysRegFile,
+    // Window.
+    rob: VecDeque<RobEntry>,
+    iq_count: usize,
+    lq: LoadQueue,
+    sq: StoreQueue,
+    pending_store_slot: Option<usize>,
+    // Memory.
+    mem: MemSystem,
+    // Prediction.
+    bp: BranchPredictor,
+    btb: Btb,
+    // Architectural results.
+    output: Vec<u64>,
+    committed_instructions: u64,
+    committed_uops: u64,
+    arithmetic_exceptions: u64,
+    misaligned_exceptions: u64,
+    dyn_counts: HashMap<Rip, u64>,
+    path_history: VecDeque<(Rip, bool)>,
+    path_sig: u64,
+    // Faults pending application, sorted by cycle.
+    faults: Vec<FaultSpec>,
+    finished: Option<ExitReason>,
+}
+
+impl Cpu {
+    /// Creates a core ready to run `program` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(program: Program, cfg: CpuConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let mem_len = program.data_size + cfg.extra_memory_bytes;
+        let mut memory = Memory::new(mem_len);
+        for seg in &program.data {
+            memory
+                .load_segment(seg.addr, &seg.bytes)
+                .expect("program data segment must fit in memory");
+        }
+        let mem = MemSystem::new(cfg.l1d, cfg.l2, memory, cfg.mem_latency);
+        let entry = program.entry;
+        Ok(Cpu {
+            fetch_pc: entry,
+            fetch_halted: false,
+            fetch_invalid: false,
+            fetch_buffer: VecDeque::new(),
+            rat: RenameTable::identity(),
+            free_list: FreeList::new(NUM_ARCH_REGS, cfg.phys_int_regs),
+            prf: PhysRegFile::new(cfg.phys_int_regs),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            iq_count: 0,
+            lq: LoadQueue::new(cfg.lq_entries),
+            sq: StoreQueue::new(cfg.sq_entries),
+            pending_store_slot: None,
+            mem,
+            bp: BranchPredictor::new(cfg.predictor_entries),
+            btb: Btb::new(cfg.btb_entries),
+            output: Vec::new(),
+            committed_instructions: 0,
+            committed_uops: 0,
+            arithmetic_exceptions: 0,
+            misaligned_exceptions: 0,
+            dyn_counts: HashMap::new(),
+            path_history: VecDeque::new(),
+            path_sig: 0,
+            faults: Vec::new(),
+            finished: None,
+            cycle: 0,
+            next_seq: 0,
+            program,
+            cfg,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The architected output stream so far.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Number of entries a fault may target in `structure` under this
+    /// configuration.
+    pub fn structure_entries(&self, structure: Structure) -> usize {
+        match structure {
+            Structure::RegisterFile => self.cfg.phys_int_regs,
+            Structure::StoreQueue => self.cfg.sq_entries,
+            Structure::L1DCache => self.cfg.l1d.total_words(),
+        }
+    }
+
+    /// Schedules a transient fault to be applied at the start of its cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectError::EntryOutOfRange`] if the entry index does not
+    /// exist in this configuration.
+    pub fn inject_fault(&mut self, fault: FaultSpec) -> Result<(), InjectError> {
+        let limit = self.structure_entries(fault.structure);
+        if fault.entry >= limit {
+            return Err(InjectError::EntryOutOfRange {
+                structure: fault.structure,
+                entry: fault.entry,
+                limit,
+            });
+        }
+        self.faults.push(fault);
+        Ok(())
+    }
+
+    /// Runs until the program finishes or `max_cycles` is reached.
+    pub fn run(&mut self, max_cycles: u64, probe: &mut dyn Probe) -> RunResult {
+        while self.finished.is_none() && self.cycle < max_cycles {
+            self.step(probe);
+        }
+        let exit = self.finished.clone().unwrap_or(ExitReason::Timeout);
+        RunResult {
+            exit,
+            output: self.output.clone(),
+            cycles: self.cycle,
+            committed_instructions: self.committed_instructions,
+            committed_uops: self.committed_uops,
+            arithmetic_exceptions: self.arithmetic_exceptions,
+            misaligned_exceptions: self.misaligned_exceptions,
+        }
+    }
+
+    /// Simulates one cycle.
+    pub fn step(&mut self, probe: &mut dyn Probe) {
+        if self.finished.is_some() {
+            return;
+        }
+        self.apply_faults();
+        self.commit(probe);
+        if self.finished.is_some() {
+            self.cycle += 1;
+            return;
+        }
+        self.writeback(probe);
+        self.issue(probe);
+        self.dispatch();
+        self.fetch();
+        self.cycle += 1;
+    }
+
+    // ----- fault application ---------------------------------------------
+
+    fn apply_faults(&mut self) {
+        let cycle = self.cycle;
+        let due: Vec<FaultSpec> = self
+            .faults
+            .iter()
+            .copied()
+            .filter(|f| f.cycle == cycle)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        self.faults.retain(|f| f.cycle != cycle);
+        for f in due {
+            match f.structure {
+                Structure::RegisterFile => self.prf.flip_bit(f.entry, f.bit),
+                Structure::StoreQueue => self.sq.flip_bit(f.entry, f.bit),
+                Structure::L1DCache => {
+                    let (set, way, word) = self.mem.l1d.entry_location(f.entry);
+                    let byte_in_line = word * 8 + (f.bit / 8) as usize;
+                    self.mem.l1d.flip_bit(set, way, byte_in_line, f.bit % 8);
+                }
+            }
+        }
+    }
+
+    // ----- fetch -----------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.fetch_halted || self.fetch_invalid {
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width
+            && self.fetch_buffer.len() < self.cfg.fetch_width * 3
+        {
+            if (self.fetch_pc as usize) >= self.program.len() {
+                self.fetch_invalid = true;
+                return;
+            }
+            let inst = self.program.instructions[self.fetch_pc as usize];
+            let pc = self.fetch_pc;
+            let next_pc = match inst {
+                Inst::Jump { target } => target,
+                Inst::Call { target, .. } => target,
+                Inst::BranchRR { target, .. } | Inst::BranchRI { target, .. } => {
+                    if self.bp.predict(pc) {
+                        target
+                    } else {
+                        pc + 1
+                    }
+                }
+                Inst::JumpReg { .. } => self.btb.predict(pc).unwrap_or(pc + 1),
+                _ => pc + 1,
+            };
+            for uop in decode(pc, &inst) {
+                self.fetch_buffer.push_back(FetchedUop {
+                    uop,
+                    pred_next: next_pc,
+                });
+                fetched += 1;
+            }
+            self.fetch_pc = next_pc;
+            if matches!(inst, Inst::Halt) {
+                self.fetch_halted = true;
+                return;
+            }
+        }
+    }
+
+    // ----- rename / dispatch ----------------------------------------------
+
+    fn dispatch(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.rename_width {
+            let Some(front) = self.fetch_buffer.front() else {
+                break;
+            };
+            let uop = front.uop;
+            if self.rob.len() >= self.cfg.rob_entries
+                || self.iq_count >= self.cfg.iq_entries
+                || (uop.dst.is_some() && self.free_list.available() == 0)
+                || (uop.kind.is_load() && self.lq.is_full())
+                || (uop.kind == UopKind::StoreAddr && self.sq.is_full())
+            {
+                break;
+            }
+            let fetched = self.fetch_buffer.pop_front().expect("checked front");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut src_phys = [None; 3];
+            for (i, s) in fetched.uop.srcs.iter().enumerate() {
+                if let Some(r) = s {
+                    src_phys[i] = Some(self.rat.lookup(*r));
+                }
+            }
+            let (dst_phys, prev_phys) = if let Some(d) = fetched.uop.dst {
+                let p = self.free_list.allocate().expect("checked availability");
+                self.prf.mark_pending(p);
+                let prev = self.rat.remap(d, p);
+                (Some(p), Some(prev))
+            } else {
+                (None, None)
+            };
+            let mut lq_slot = None;
+            let mut sq_slot = None;
+            match fetched.uop.kind {
+                UopKind::Load => lq_slot = Some(self.lq.allocate(seq)),
+                UopKind::StoreAddr => {
+                    let slot = self.sq.allocate(seq, fetched.uop.rip);
+                    self.sq.slot_mut(slot).size =
+                        fetched.uop.mem_size.expect("store has a size");
+                    sq_slot = Some(slot);
+                    self.pending_store_slot = Some(slot);
+                }
+                UopKind::StoreData => {
+                    sq_slot = self.pending_store_slot.take();
+                    debug_assert!(sq_slot.is_some(), "STD dispatched without its STA");
+                }
+                _ => {}
+            }
+            self.rob.push_back(RobEntry {
+                seq,
+                uop: fetched.uop,
+                src_phys,
+                dst_phys,
+                prev_phys,
+                in_iq: true,
+                complete_at: None,
+                completed: false,
+                pred_next: fetched.pred_next,
+                actual_next: None,
+                result: None,
+                exception: None,
+                lq_slot,
+                sq_slot,
+                reg_reads: Vec::new(),
+                sq_reads: Vec::new(),
+                l1d_reads: Vec::new(),
+            });
+            self.iq_count += 1;
+            n += 1;
+        }
+    }
+
+    // ----- issue / execute -------------------------------------------------
+
+    fn issue(&mut self, probe: &mut dyn Probe) {
+        let mut issued = 0;
+        let mut alu_used = 0;
+        let mut complex_used = 0;
+        let mut mem_used = 0;
+        let mut branch_used = 0;
+        let mut idx = 0;
+        while idx < self.rob.len() && issued < self.cfg.issue_width {
+            if !self.rob[idx].in_iq {
+                idx += 1;
+                continue;
+            }
+            let kind = self.rob[idx].uop.kind;
+            let ready = self.rob[idx]
+                .src_phys
+                .iter()
+                .flatten()
+                .all(|&p| self.prf.is_ready(p));
+            if !ready {
+                idx += 1;
+                continue;
+            }
+            let fu_ok = match kind {
+                UopKind::Alu(op) if op.is_complex() => complex_used < self.cfg.complex_alus,
+                UopKind::Alu(_) | UopKind::Out | UopKind::Nop | UopKind::Halt => {
+                    alu_used < self.cfg.int_alus
+                }
+                UopKind::Load | UopKind::StoreAddr | UopKind::StoreData => {
+                    mem_used < self.cfg.mem_ports
+                }
+                UopKind::Branch(_) | UopKind::Jump | UopKind::JumpReg | UopKind::Call => {
+                    branch_used < self.cfg.branch_units
+                }
+            };
+            if !fu_ok {
+                idx += 1;
+                continue;
+            }
+            if self.execute_uop(idx, probe) {
+                self.rob[idx].in_iq = false;
+                self.iq_count -= 1;
+                issued += 1;
+                match kind {
+                    UopKind::Alu(op) if op.is_complex() => complex_used += 1,
+                    UopKind::Alu(_) | UopKind::Out | UopKind::Nop | UopKind::Halt => alu_used += 1,
+                    UopKind::Load | UopKind::StoreAddr | UopKind::StoreData => mem_used += 1,
+                    _ => branch_used += 1,
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    /// Attempts to execute the micro-op at ROB position `idx`.  Returns
+    /// `false` if it cannot issue yet (load waiting on disambiguation or
+    /// forwarding), `true` otherwise.
+    fn execute_uop(&mut self, idx: usize, probe: &mut dyn Probe) -> bool {
+        let cycle = self.cycle;
+        let uop = self.rob[idx].uop;
+        let seq = self.rob[idx].seq;
+        let src_phys = self.rob[idx].src_phys;
+        let mut vals = [0u64; 3];
+        for (i, p) in src_phys.iter().enumerate() {
+            if let Some(p) = p {
+                vals[i] = self.prf.read(*p);
+            }
+        }
+        // Any committed read of the register file is recorded here and
+        // reported at commit; record lazily only when the uop really issues.
+        let record_reg_reads = |entry: &mut RobEntry| {
+            for p in src_phys.iter().flatten() {
+                entry.reg_reads.push((*p, cycle));
+            }
+        };
+
+        match uop.kind {
+            UopKind::Alu(op) => {
+                let b = if uop.cmp_with_imm {
+                    uop.imm as u64
+                } else {
+                    vals[1]
+                };
+                let r = op.eval(vals[0], b);
+                let exception = r.arithmetic_exception.then_some(Exception::DivByZero);
+                let entry = &mut self.rob[idx];
+                record_reg_reads(entry);
+                entry.result = Some(r.value);
+                entry.exception = exception;
+                entry.complete_at = Some(cycle + op.latency());
+                true
+            }
+            UopKind::Load => {
+                if !self.sq.older_addresses_known(seq) {
+                    return false;
+                }
+                let mem_ref = uop.mem.expect("load has a memory reference");
+                let size = uop.mem_size.expect("load has a size");
+                let index_val = if mem_ref.index.is_some() { vals[1] } else { 0 };
+                let addr = mem_ref.effective_address(vals[0], index_val);
+                let misaligned = addr % size.bytes() != 0;
+                // Store-to-load forwarding.
+                if let Some((slot, covers)) = self.sq.forwarding_candidate(seq, addr, size.bytes())
+                {
+                    let (s_addr, s_data, s_ready) = {
+                        let s = self.sq.slot(slot);
+                        (s.addr.expect("candidate has an address"), s.data, s.data_ready)
+                    };
+                    if !covers || !s_ready {
+                        return false;
+                    }
+                    let shift = ((addr - s_addr) * 8) as u32;
+                    let raw = (s_data >> shift) & size.mask();
+                    let value = if uop.mem_signed {
+                        size.sign_extend(raw)
+                    } else {
+                        raw
+                    };
+                    let entry = &mut self.rob[idx];
+                    record_reg_reads(entry);
+                    entry.sq_reads.push((slot, cycle));
+                    entry.result = Some(value);
+                    entry.exception = misaligned.then_some(Exception::Misaligned);
+                    entry.complete_at = Some(cycle + self.cfg.l1d.hit_latency);
+                    return true;
+                }
+                match self.mem.load(addr, size) {
+                    Ok((raw, eff)) => {
+                        let raw = raw & size.mask();
+                        let value = if uop.mem_signed {
+                            size.sign_extend(raw)
+                        } else {
+                            raw
+                        };
+                        // Physical side effects (refill writes, evictions,
+                        // writebacks) are reported immediately; the data
+                        // reads are commit-gated.
+                        for w in &eff.word_writes {
+                            probe.write(Structure::L1DCache, *w, cycle);
+                        }
+                        for w in &eff.writeback_reads {
+                            probe.committed_read(
+                                Structure::L1DCache,
+                                &ReadInfo {
+                                    entry: *w,
+                                    cycle,
+                                    rip: WRITEBACK_RIP,
+                                    upc: 0,
+                                    dyn_instance: 0,
+                                    path_sig: 0,
+                                },
+                            );
+                        }
+                        for w in &eff.word_invalidates {
+                            probe.invalidate(Structure::L1DCache, *w, cycle);
+                        }
+                        let latency = eff.latency;
+                        let entry = &mut self.rob[idx];
+                        record_reg_reads(entry);
+                        for w in &eff.word_reads {
+                            entry.l1d_reads.push((*w, cycle));
+                        }
+                        entry.result = Some(value);
+                        entry.exception = misaligned.then_some(Exception::Misaligned);
+                        entry.complete_at = Some(cycle + latency);
+                        true
+                    }
+                    Err(e) => {
+                        let exception = match e {
+                            MemError::OutOfBounds { addr, .. } => {
+                                Exception::MemOutOfBounds { addr }
+                            }
+                            MemError::StoreToCode { addr } => Exception::StoreToCode { addr },
+                        };
+                        let entry = &mut self.rob[idx];
+                        record_reg_reads(entry);
+                        entry.result = Some(0);
+                        entry.exception = Some(exception);
+                        entry.complete_at = Some(cycle + self.cfg.l1d.hit_latency);
+                        true
+                    }
+                }
+            }
+            UopKind::StoreAddr => {
+                let mem_ref = uop.mem.expect("store has a memory reference");
+                let size = uop.mem_size.expect("store has a size");
+                let index_val = if mem_ref.index.is_some() { vals[1] } else { 0 };
+                let addr = mem_ref.effective_address(vals[0], index_val);
+                let slot = self.rob[idx].sq_slot.expect("STA has a store-queue slot");
+                self.sq.slot_mut(slot).addr = Some(addr);
+                let entry = &mut self.rob[idx];
+                record_reg_reads(entry);
+                entry.exception = (addr % size.bytes() != 0).then_some(Exception::Misaligned);
+                entry.complete_at = Some(cycle + 1);
+                true
+            }
+            UopKind::StoreData => {
+                let slot = self.rob[idx].sq_slot.expect("STD has a store-queue slot");
+                {
+                    let s = self.sq.slot_mut(slot);
+                    s.data = vals[0];
+                    s.data_ready = true;
+                    s.upc_std = uop.upc;
+                }
+                // Depositing the data is a physical write of the SQ entry.
+                probe.write(Structure::StoreQueue, slot, cycle);
+                let entry = &mut self.rob[idx];
+                record_reg_reads(entry);
+                entry.complete_at = Some(cycle + 1);
+                true
+            }
+            UopKind::Branch(cond) => {
+                let b = if uop.cmp_with_imm {
+                    uop.cmp_imm as u64
+                } else {
+                    vals[1]
+                };
+                let taken = cond.eval(vals[0], b);
+                let next = if taken { uop.imm as Rip } else { uop.rip + 1 };
+                let entry = &mut self.rob[idx];
+                record_reg_reads(entry);
+                entry.actual_next = Some(next);
+                entry.result = None;
+                // Branch outcome needed at commit for predictor training.
+                entry.exception = None;
+                entry.complete_at = Some(cycle + 1);
+                // Stash the direction for commit-time training.
+                entry.result = Some(taken as u64);
+                true
+            }
+            UopKind::Jump => {
+                let entry = &mut self.rob[idx];
+                entry.actual_next = Some(uop.imm as Rip);
+                entry.complete_at = Some(cycle + 1);
+                true
+            }
+            UopKind::JumpReg => {
+                let target = vals[0].min(u32::MAX as u64) as Rip;
+                let entry = &mut self.rob[idx];
+                record_reg_reads(entry);
+                entry.actual_next = Some(target);
+                entry.complete_at = Some(cycle + 1);
+                true
+            }
+            UopKind::Call => {
+                let entry = &mut self.rob[idx];
+                entry.result = Some(uop.rip as u64 + 1);
+                entry.actual_next = Some(uop.imm as Rip);
+                entry.complete_at = Some(cycle + 1);
+                true
+            }
+            UopKind::Out => {
+                let entry = &mut self.rob[idx];
+                record_reg_reads(entry);
+                entry.result = Some(vals[0]);
+                entry.complete_at = Some(cycle + 1);
+                true
+            }
+            UopKind::Halt | UopKind::Nop => {
+                let entry = &mut self.rob[idx];
+                entry.complete_at = Some(cycle + 1);
+                true
+            }
+        }
+    }
+
+    // ----- writeback --------------------------------------------------------
+
+    fn writeback(&mut self, probe: &mut dyn Probe) {
+        let cycle = self.cycle;
+        let mut idx = 0;
+        while idx < self.rob.len() {
+            let due = matches!(self.rob[idx].complete_at, Some(c) if c <= cycle)
+                && !self.rob[idx].completed;
+            if !due {
+                idx += 1;
+                continue;
+            }
+            if let Some(p) = self.rob[idx].dst_phys {
+                let value = self.rob[idx].result.unwrap_or(0);
+                self.prf.write(p, value);
+                probe.write(Structure::RegisterFile, p as usize, cycle);
+            }
+            self.rob[idx].completed = true;
+            // Branch resolution: squash on a mispredicted next PC.
+            if self.rob[idx].uop.kind.is_control() {
+                let actual = self.rob[idx]
+                    .actual_next
+                    .expect("control uop resolved its target");
+                if actual != self.rob[idx].pred_next {
+                    let seq = self.rob[idx].seq;
+                    self.squash_after(seq, actual, probe);
+                    // Indices beyond the squash point are gone; the remaining
+                    // completions are picked up next cycle.
+                    return;
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    fn squash_after(&mut self, branch_seq: u64, new_pc: Rip, probe: &mut dyn Probe) {
+        let cycle = self.cycle;
+        while let Some(back) = self.rob.back() {
+            if back.seq <= branch_seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("checked back");
+            if let (Some(d), Some(prev)) = (e.uop.dst, e.prev_phys) {
+                self.rat.restore(d, prev);
+            }
+            if let Some(p) = e.dst_phys {
+                self.free_list.release(p);
+                self.prf.mark_ready(p);
+                probe.invalidate(Structure::RegisterFile, p as usize, cycle);
+            }
+            if e.in_iq {
+                self.iq_count -= 1;
+            }
+            if let Some(l) = e.lq_slot {
+                self.lq.release(l);
+            }
+            if e.uop.kind == UopKind::StoreAddr {
+                if let Some(s) = e.sq_slot {
+                    self.sq.release_tail(s);
+                    probe.invalidate(Structure::StoreQueue, s, cycle);
+                }
+            }
+        }
+        self.fetch_buffer.clear();
+        self.pending_store_slot = None;
+        self.fetch_pc = new_pc;
+        self.fetch_halted = false;
+        self.fetch_invalid = false;
+    }
+
+    // ----- commit ------------------------------------------------------------
+
+    fn commit(&mut self, probe: &mut dyn Probe) {
+        let cycle = self.cycle;
+        let mut committed = 0;
+        while committed < self.cfg.commit_width {
+            let ready = matches!(self.rob.front(), Some(e) if e.completed);
+            if !ready {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked front");
+            committed += 1;
+            self.committed_uops += 1;
+
+            if let Some(exc) = e.exception {
+                match exc {
+                    Exception::MemOutOfBounds { addr } => {
+                        self.finished =
+                            Some(ExitReason::Crash(CrashKind::MemoryOutOfBounds { addr }));
+                        return;
+                    }
+                    Exception::StoreToCode { addr } => {
+                        self.finished = Some(ExitReason::Assert(AssertKind::StoreToCode { addr }));
+                        return;
+                    }
+                    Exception::DivByZero => self.arithmetic_exceptions += 1,
+                    Exception::Misaligned => self.misaligned_exceptions += 1,
+                }
+            }
+
+            let dyn_instance = *self.dyn_counts.get(&e.uop.rip).unwrap_or(&0);
+            let path_sig = self.path_sig;
+            for (p, read_cycle) in &e.reg_reads {
+                probe.committed_read(
+                    Structure::RegisterFile,
+                    &ReadInfo {
+                        entry: *p as usize,
+                        cycle: *read_cycle,
+                        rip: e.uop.rip,
+                        upc: e.uop.upc,
+                        dyn_instance,
+                        path_sig,
+                    },
+                );
+            }
+            for (s, read_cycle) in &e.sq_reads {
+                probe.committed_read(
+                    Structure::StoreQueue,
+                    &ReadInfo {
+                        entry: *s,
+                        cycle: *read_cycle,
+                        rip: e.uop.rip,
+                        upc: e.uop.upc,
+                        dyn_instance,
+                        path_sig,
+                    },
+                );
+            }
+            for (w, read_cycle) in &e.l1d_reads {
+                probe.committed_read(
+                    Structure::L1DCache,
+                    &ReadInfo {
+                        entry: *w,
+                        cycle: *read_cycle,
+                        rip: e.uop.rip,
+                        upc: e.uop.upc,
+                        dyn_instance,
+                        path_sig,
+                    },
+                );
+            }
+
+            if let Some(prev) = e.prev_phys {
+                self.free_list.release(prev);
+                self.prf.mark_ready(prev);
+                probe.invalidate(Structure::RegisterFile, prev as usize, cycle);
+            }
+
+            match e.uop.kind {
+                UopKind::Out => self.output.push(e.result.unwrap_or(0)),
+                UopKind::Halt => {
+                    self.finished = Some(ExitReason::Halted);
+                }
+                UopKind::Load => {
+                    if let Some(l) = e.lq_slot {
+                        self.lq.release(l);
+                    }
+                }
+                UopKind::StoreData => {
+                    if self.drain_store(&e, dyn_instance, probe).is_err() {
+                        return;
+                    }
+                }
+                UopKind::Branch(_) => {
+                    let taken = e.result.unwrap_or(0) != 0;
+                    self.bp.update(e.uop.rip, taken);
+                    self.push_path(e.uop.rip, taken);
+                }
+                UopKind::JumpReg => {
+                    if let Some(t) = e.actual_next {
+                        self.btb.update(e.uop.rip, t);
+                    }
+                    self.push_path(e.uop.rip, true);
+                }
+                _ => {}
+            }
+
+            if e.uop.last_in_inst {
+                self.committed_instructions += 1;
+                *self.dyn_counts.entry(e.uop.rip).or_insert(0) += 1;
+            }
+            if self.finished.is_some() {
+                return;
+            }
+        }
+        // The committed path reached an invalid instruction address: the
+        // machine has drained and cannot make progress.
+        if self.finished.is_none()
+            && self.rob.is_empty()
+            && self.fetch_buffer.is_empty()
+            && self.fetch_invalid
+        {
+            self.finished = Some(ExitReason::Crash(CrashKind::InvalidFetchPc {
+                pc: self.fetch_pc,
+            }));
+        }
+    }
+
+    /// Drains the committed store in ROB entry `e` to the cache hierarchy.
+    fn drain_store(
+        &mut self,
+        e: &RobEntry,
+        dyn_instance: u64,
+        probe: &mut dyn Probe,
+    ) -> Result<(), ()> {
+        let cycle = self.cycle;
+        let slot = e.sq_slot.expect("committed store has a slot");
+        let (addr, size, data, rip, upc_std) = {
+            let s = self.sq.slot(slot);
+            (
+                s.addr.expect("committed store has an address"),
+                s.size,
+                s.data,
+                s.rip,
+                s.upc_std,
+            )
+        };
+        // Draining reads the store-queue data field.
+        probe.committed_read(
+            Structure::StoreQueue,
+            &ReadInfo {
+                entry: slot,
+                cycle,
+                rip,
+                upc: upc_std,
+                dyn_instance,
+                path_sig: self.path_sig,
+            },
+        );
+        match self.mem.store(addr, data, size) {
+            Ok(eff) => {
+                for w in &eff.word_writes {
+                    probe.write(Structure::L1DCache, *w, cycle);
+                }
+                for w in &eff.writeback_reads {
+                    probe.committed_read(
+                        Structure::L1DCache,
+                        &ReadInfo {
+                            entry: *w,
+                            cycle,
+                            rip: WRITEBACK_RIP,
+                            upc: 0,
+                            dyn_instance: 0,
+                            path_sig: 0,
+                        },
+                    );
+                }
+                for w in &eff.word_invalidates {
+                    probe.invalidate(Structure::L1DCache, *w, cycle);
+                }
+                self.sq.release_head(slot);
+                probe.invalidate(Structure::StoreQueue, slot, cycle);
+                Ok(())
+            }
+            Err(MemError::OutOfBounds { addr, .. }) => {
+                self.finished = Some(ExitReason::Crash(CrashKind::MemoryOutOfBounds { addr }));
+                Err(())
+            }
+            Err(MemError::StoreToCode { addr }) => {
+                self.finished = Some(ExitReason::Assert(AssertKind::StoreToCode { addr }));
+                Err(())
+            }
+        }
+    }
+
+    fn push_path(&mut self, rip: Rip, taken: bool) {
+        self.path_history.push_back((rip, taken));
+        while self.path_history.len() > 5 {
+            self.path_history.pop_front();
+        }
+        let mut sig: u64 = 0xcbf2_9ce4_8422_2325;
+        for (r, t) in &self.path_history {
+            sig ^= (*r as u64) << 1 | *t as u64;
+            sig = sig.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.path_sig = sig;
+    }
+}

@@ -1,0 +1,91 @@
+//! Transient-fault specification applied to live microarchitectural state.
+
+use crate::Structure;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single-bit transient fault: at the start of `cycle`, bit `bit` of entry
+/// `entry` of `structure` is flipped in the live simulator state, exactly as
+/// the paper's GeFIN injector flips a physical bit of a Gem5 structure.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_cpu::{FaultSpec, Structure};
+/// let f = FaultSpec::new(Structure::RegisterFile, 17, 5, 1000);
+/// assert_eq!(f.byte(), 0);
+/// let f = FaultSpec::new(Structure::StoreQueue, 3, 63, 42);
+/// assert_eq!(f.byte(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Target structure.
+    pub structure: Structure,
+    /// Entry index within the structure (physical register index, store
+    /// queue slot, or flattened L1D word index).
+    pub entry: usize,
+    /// Bit position within the 64-bit entry (0 = least significant).
+    pub bit: u8,
+    /// Cycle at whose start the flip is applied.
+    pub cycle: u64,
+}
+
+impl FaultSpec {
+    /// Creates a fault specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn new(structure: Structure, entry: usize, bit: u8, cycle: u64) -> Self {
+        assert!(bit < 64, "bit index {bit} out of range");
+        FaultSpec {
+            structure,
+            entry,
+            bit,
+            cycle,
+        }
+    }
+
+    /// The byte position (0–7) within the entry that this fault hits — the
+    /// key of MeRLiN's second grouping step.
+    pub fn byte(&self) -> u8 {
+        self.bit / 8
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] bit {} @ cycle {}",
+            self.structure, self.entry, self.bit, self.cycle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_positions() {
+        for bit in 0u8..64 {
+            let f = FaultSpec::new(Structure::L1DCache, 0, bit, 0);
+            assert_eq!(f.byte(), bit / 8);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bit_out_of_range_panics() {
+        let _ = FaultSpec::new(Structure::RegisterFile, 0, 64, 0);
+    }
+
+    #[test]
+    fn display_mentions_structure_and_cycle() {
+        let f = FaultSpec::new(Structure::StoreQueue, 2, 9, 77);
+        let s = f.to_string();
+        assert!(s.contains("SQ"));
+        assert!(s.contains("77"));
+    }
+}

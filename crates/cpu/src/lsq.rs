@@ -1,0 +1,363 @@
+//! Load queue and store queue.
+//!
+//! The store queue's *data field* is one of the paper's fault-injection
+//! targets: store-data micro-ops physically deposit the value to be stored
+//! in the slot, loads may forward from it, and the value is read out again
+//! when the store drains to the cache at commit.  Slots are allocated
+//! circularly so a fault specification's entry index denotes a physical slot.
+
+use merlin_isa::{MemSize, Rip, Upc};
+
+/// One store-queue slot.
+#[derive(Debug, Clone)]
+pub struct SqSlot {
+    /// Whether the slot currently holds an in-flight store.
+    pub valid: bool,
+    /// Sequence number of the owning store's STA micro-op.
+    pub seq: u64,
+    /// Effective address once the STA micro-op has executed.
+    pub addr: Option<u64>,
+    /// Access width.
+    pub size: MemSize,
+    /// The data field (fault-injection target).
+    pub data: u64,
+    /// Whether the STD micro-op has deposited the data.
+    pub data_ready: bool,
+    /// RIP of the owning store.
+    pub rip: Rip,
+    /// uPC of the store-data micro-op (the reader attributed when the store
+    /// drains or forwards).
+    pub upc_std: Upc,
+}
+
+impl SqSlot {
+    fn empty() -> Self {
+        SqSlot {
+            valid: false,
+            seq: 0,
+            addr: None,
+            size: MemSize::B8,
+            data: 0,
+            data_ready: false,
+            rip: 0,
+            upc_std: 0,
+        }
+    }
+}
+
+/// Circular store queue.
+#[derive(Debug, Clone)]
+pub struct StoreQueue {
+    slots: Vec<SqSlot>,
+    head: usize,
+    tail: usize,
+    count: usize,
+}
+
+impl StoreQueue {
+    /// Creates a store queue with `n` slots.
+    pub fn new(n: usize) -> Self {
+        StoreQueue {
+            slots: (0..n).map(|_| SqSlot::empty()).collect(),
+            head: 0,
+            tail: 0,
+            count: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no stores are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `true` when no more stores can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.count == self.capacity()
+    }
+
+    /// Allocates the next slot (at the tail) for a store with the given
+    /// sequence number; returns the physical slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (the dispatcher must check first).
+    pub fn allocate(&mut self, seq: u64, rip: Rip) -> usize {
+        assert!(!self.is_full(), "store queue overflow");
+        let slot = self.tail;
+        self.slots[slot] = SqSlot {
+            valid: true,
+            seq,
+            addr: None,
+            size: MemSize::B8,
+            data: 0,
+            data_ready: false,
+            rip,
+            upc_std: 1,
+        };
+        self.tail = (self.tail + 1) % self.capacity();
+        self.count += 1;
+        slot
+    }
+
+    /// Frees the oldest store (commit-time drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the freed slot is not the oldest valid slot.
+    pub fn release_head(&mut self, slot: usize) {
+        assert_eq!(slot, self.head, "stores must drain in order");
+        assert!(self.slots[slot].valid);
+        self.slots[slot].valid = false;
+        self.head = (self.head + 1) % self.capacity();
+        self.count -= 1;
+    }
+
+    /// Frees the youngest store (squash recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the freed slot is not the youngest valid slot.
+    pub fn release_tail(&mut self, slot: usize) {
+        let youngest = (self.tail + self.capacity() - 1) % self.capacity();
+        assert_eq!(slot, youngest, "squash must free stores youngest-first");
+        assert!(self.slots[slot].valid);
+        self.slots[slot].valid = false;
+        self.tail = youngest;
+        self.count -= 1;
+    }
+
+    /// Immutable access to a slot.
+    pub fn slot(&self, idx: usize) -> &SqSlot {
+        &self.slots[idx]
+    }
+
+    /// Mutable access to a slot.
+    pub fn slot_mut(&mut self, idx: usize) -> &mut SqSlot {
+        &mut self.slots[idx]
+    }
+
+    /// Iterates over the valid slots (any order).
+    pub fn valid_slots(&self) -> impl Iterator<Item = (usize, &SqSlot)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid)
+    }
+
+    /// Checks whether every older (by sequence number) valid store has a
+    /// known address — the conservative memory-disambiguation condition a
+    /// load must satisfy before issuing.
+    pub fn older_addresses_known(&self, load_seq: u64) -> bool {
+        self.valid_slots()
+            .filter(|(_, s)| s.seq < load_seq)
+            .all(|(_, s)| s.addr.is_some())
+    }
+
+    /// Finds the youngest older store that overlaps `[addr, addr+len)`.
+    /// Returns `(slot index, fully_covers)`.
+    pub fn forwarding_candidate(
+        &self,
+        load_seq: u64,
+        addr: u64,
+        len: u64,
+    ) -> Option<(usize, bool)> {
+        let mut best: Option<(usize, u64, bool)> = None;
+        for (i, s) in self.valid_slots() {
+            if s.seq >= load_seq {
+                continue;
+            }
+            let Some(saddr) = s.addr else { continue };
+            let slen = s.size.bytes();
+            let overlap = saddr < addr + len && addr < saddr + slen;
+            if !overlap {
+                continue;
+            }
+            let covers = saddr <= addr && saddr + slen >= addr + len;
+            if best.map_or(true, |(_, bseq, _)| s.seq > bseq) {
+                best = Some((i, s.seq, covers));
+            }
+        }
+        best.map(|(i, _, covers)| (i, covers))
+    }
+
+    /// Flips one bit of a slot's data field — the store-queue fault-injection
+    /// hook.  Applies regardless of slot validity.
+    pub fn flip_bit(&mut self, slot: usize, bit: u8) {
+        self.slots[slot].data ^= 1u64 << bit;
+    }
+}
+
+/// Load queue: only tracks occupancy (Gem5 models no data field in the load
+/// queue, and neither does the paper).
+#[derive(Debug, Clone)]
+pub struct LoadQueue {
+    seqs: Vec<Option<u64>>,
+    count: usize,
+}
+
+impl LoadQueue {
+    /// Creates a load queue with `n` slots.
+    pub fn new(n: usize) -> Self {
+        LoadQueue {
+            seqs: vec![None; n],
+            count: 0,
+        }
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no loads are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `true` when no more loads can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.count == self.seqs.len()
+    }
+
+    /// Allocates a slot for the load with sequence number `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn allocate(&mut self, seq: u64) -> usize {
+        assert!(!self.is_full(), "load queue overflow");
+        let slot = self
+            .seqs
+            .iter()
+            .position(|s| s.is_none())
+            .expect("free load-queue slot");
+        self.seqs[slot] = Some(seq);
+        self.count += 1;
+        slot
+    }
+
+    /// Releases the slot of the load with sequence number `seq` (commit or
+    /// squash).
+    pub fn release(&mut self, slot: usize) {
+        if self.seqs[slot].take().is_some() {
+            self.count -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circular_allocation_and_ordered_release() {
+        let mut sq = StoreQueue::new(4);
+        let a = sq.allocate(10, 1);
+        let b = sq.allocate(11, 2);
+        let c = sq.allocate(12, 3);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(sq.len(), 3);
+        sq.release_head(a);
+        sq.release_head(b);
+        let d = sq.allocate(13, 4);
+        let e = sq.allocate(14, 5);
+        assert_eq!(d, 3);
+        assert_eq!(e, 0, "allocation wraps around");
+        assert!(!sq.is_full());
+        sq.allocate(15, 6);
+        assert!(sq.is_full());
+    }
+
+    #[test]
+    fn squash_releases_youngest_first() {
+        let mut sq = StoreQueue::new(4);
+        let a = sq.allocate(1, 0);
+        let b = sq.allocate(2, 0);
+        sq.release_tail(b);
+        sq.release_tail(a);
+        assert!(sq.is_empty());
+        // Queue is usable again.
+        assert_eq!(sq.allocate(3, 0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_head_release_panics() {
+        let mut sq = StoreQueue::new(4);
+        let _a = sq.allocate(1, 0);
+        let b = sq.allocate(2, 0);
+        sq.release_head(b);
+    }
+
+    #[test]
+    fn forwarding_picks_youngest_covering_store() {
+        let mut sq = StoreQueue::new(8);
+        let s0 = sq.allocate(10, 0);
+        sq.slot_mut(s0).addr = Some(0x1000);
+        sq.slot_mut(s0).size = MemSize::B8;
+        sq.slot_mut(s0).data = 0xAAAA;
+        sq.slot_mut(s0).data_ready = true;
+        let s1 = sq.allocate(20, 0);
+        sq.slot_mut(s1).addr = Some(0x1000);
+        sq.slot_mut(s1).size = MemSize::B8;
+        sq.slot_mut(s1).data = 0xBBBB;
+        sq.slot_mut(s1).data_ready = true;
+        // A load younger than both forwards from the youngest older store.
+        let (slot, covers) = sq.forwarding_candidate(30, 0x1000, 8).unwrap();
+        assert_eq!(slot, s1);
+        assert!(covers);
+        // A load between the two stores only sees the older one.
+        let (slot, _) = sq.forwarding_candidate(15, 0x1000, 8).unwrap();
+        assert_eq!(slot, s0);
+        // Partial overlap is flagged as not covering.
+        let (_, covers) = sq.forwarding_candidate(30, 0x1004, 8).unwrap();
+        assert!(!covers);
+        // No overlap at all.
+        assert!(sq.forwarding_candidate(30, 0x2000, 8).is_none());
+    }
+
+    #[test]
+    fn older_address_disambiguation() {
+        let mut sq = StoreQueue::new(4);
+        let s0 = sq.allocate(5, 0);
+        assert!(!sq.older_addresses_known(10));
+        sq.slot_mut(s0).addr = Some(0x1000);
+        assert!(sq.older_addresses_known(10));
+        // Stores younger than the load do not matter.
+        let _s1 = sq.allocate(20, 0);
+        assert!(sq.older_addresses_known(10));
+    }
+
+    #[test]
+    fn flip_bit_touches_only_data_field() {
+        let mut sq = StoreQueue::new(2);
+        let s = sq.allocate(1, 0);
+        sq.slot_mut(s).data = 0;
+        sq.flip_bit(s, 7);
+        assert_eq!(sq.slot(s).data, 1 << 7);
+        assert_eq!(sq.slot(s).addr, None);
+    }
+
+    #[test]
+    fn load_queue_capacity() {
+        let mut lq = LoadQueue::new(2);
+        assert!(lq.is_empty());
+        let a = lq.allocate(1);
+        let b = lq.allocate(2);
+        assert!(lq.is_full());
+        lq.release(a);
+        assert_eq!(lq.len(), 1);
+        lq.release(b);
+        assert!(lq.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Flat backing memory behind the cache hierarchy.
+
+use merlin_isa::{MemSize, DATA_BASE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory access faults detected by the memory system.
+///
+/// Out-of-bounds accesses correspond to the paper's *Crash* outcomes
+/// (the simulated process dies); stores into the read-only code region
+/// correspond to *Assert* outcomes (the simulator refuses to continue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemError {
+    /// Access outside the program's data region.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+    },
+    /// A store targeted the code region below [`DATA_BASE`].
+    StoreToCode {
+        /// Faulting address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size } => {
+                write!(f, "memory access of {size} bytes at {addr:#x} out of bounds")
+            }
+            MemError::StoreToCode { addr } => {
+                write!(f, "store to code region at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Byte-addressable backing memory covering `[DATA_BASE, DATA_BASE + len)`.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zero-initialised memory of `len` bytes starting at
+    /// [`DATA_BASE`].
+    pub fn new(len: u64) -> Self {
+        Memory {
+            bytes: vec![0; len as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// `true` when the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Checks that `[addr, addr+size)` lies inside the data region.
+    pub fn check_range(&self, addr: u64, size: u64, is_store: bool) -> Result<(), MemError> {
+        if is_store && addr < DATA_BASE {
+            return Err(MemError::StoreToCode { addr });
+        }
+        if addr < DATA_BASE
+            || addr.checked_add(size).is_none()
+            || addr + size > DATA_BASE + self.len()
+        {
+            return Err(MemError::OutOfBounds { addr, size });
+        }
+        Ok(())
+    }
+
+    /// Reads `size` bytes at `addr`, zero-extended into a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the range is not mapped.
+    pub fn read(&self, addr: u64, size: MemSize) -> Result<u64, MemError> {
+        self.check_range(addr, size.bytes(), false)?;
+        let off = (addr - DATA_BASE) as usize;
+        let n = size.bytes() as usize;
+        let mut v: u64 = 0;
+        for i in 0..n {
+            v |= (self.bytes[off + i] as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range is not mapped or lies in the code
+    /// region.
+    pub fn write(&mut self, addr: u64, value: u64, size: MemSize) -> Result<(), MemError> {
+        self.check_range(addr, size.bytes(), true)?;
+        let off = (addr - DATA_BASE) as usize;
+        let n = size.bytes() as usize;
+        for i in 0..n {
+            self.bytes[off + i] = ((value >> (8 * i)) & 0xFF) as u8;
+        }
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory (used to load program data segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if the segment does not fit.
+    pub fn load_segment(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        self.check_range(addr, data.len() as u64, false)?;
+        let off = (addr - DATA_BASE) as usize;
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads an entire cache line (`len` bytes, `addr` assumed line-aligned).
+    ///
+    /// Bytes outside the mapped region read as zero so that cache refills
+    /// near the end of memory do not fault (only architectural accesses
+    /// fault).
+    pub fn read_line(&self, addr: u64, len: u64) -> Vec<u8> {
+        let mut out = vec![0u8; len as usize];
+        for (i, b) in out.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            if a >= DATA_BASE && a < DATA_BASE + self.len() {
+                *b = self.bytes[(a - DATA_BASE) as usize];
+            }
+        }
+        out
+    }
+
+    /// Writes an entire cache line back; bytes outside the mapped region are
+    /// silently dropped (mirrors `read_line`).
+    pub fn write_line(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            if a >= DATA_BASE && a < DATA_BASE + self.len() {
+                self.bytes[(a - DATA_BASE) as usize] = b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_all_sizes() {
+        let mut m = Memory::new(4096);
+        for (i, &size) in MemSize::all().iter().enumerate() {
+            let addr = DATA_BASE + 64 * i as u64;
+            let value = 0x1122_3344_5566_7788u64;
+            m.write(addr, value, size).unwrap();
+            assert_eq!(m.read(addr, size).unwrap(), value & size.mask());
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(64);
+        m.write(DATA_BASE, 0x0102_0304, MemSize::B4).unwrap();
+        assert_eq!(m.read(DATA_BASE, MemSize::B1).unwrap(), 0x04);
+        assert_eq!(m.read(DATA_BASE + 1, MemSize::B1).unwrap(), 0x03);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let m = Memory::new(64);
+        assert!(matches!(
+            m.read(DATA_BASE + 60, MemSize::B8),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.read(DATA_BASE - 8, MemSize::B8),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.read(u64::MAX - 2, MemSize::B8),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn store_to_code_detected() {
+        let mut m = Memory::new(64);
+        assert!(matches!(
+            m.write(0x100, 1, MemSize::B8),
+            Err(MemError::StoreToCode { .. })
+        ));
+    }
+
+    #[test]
+    fn segments_and_lines() {
+        let mut m = Memory::new(256);
+        m.load_segment(DATA_BASE + 8, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read(DATA_BASE + 8, MemSize::B4).unwrap(), 0x0403_0201);
+        let line = m.read_line(DATA_BASE, 64);
+        assert_eq!(line[8], 1);
+        let mut line2 = line.clone();
+        line2[0] = 0xFF;
+        m.write_line(DATA_BASE, &line2);
+        assert_eq!(m.read(DATA_BASE, MemSize::B1).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn line_access_beyond_bounds_is_zero_and_dropped() {
+        let mut m = Memory::new(32);
+        let line = m.read_line(DATA_BASE + 16, 64);
+        assert_eq!(line.len(), 64);
+        assert!(line.iter().all(|&b| b == 0));
+        m.write_line(DATA_BASE + 16, &vec![0xAA; 64]);
+        assert_eq!(m.read(DATA_BASE + 31, MemSize::B1).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!MemError::OutOfBounds { addr: 1, size: 8 }.to_string().is_empty());
+        assert!(!MemError::StoreToCode { addr: 1 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! Integration tests of the out-of-order pipeline: architectural correctness
+//! against the reference interpreter, control flow, memory ordering,
+//! exceptions, crashes and determinism.
+
+use merlin_cpu::{interpret, Cpu, CpuConfig, ExitReason, NullProbe};
+use merlin_isa::{reg, AluOp, Cond, MemRef, MemSize, Program, ProgramBuilder};
+
+fn run_both(program: Program) -> (merlin_cpu::InterpResult, merlin_cpu::RunResult) {
+    let golden = interpret(&program, 10_000_000);
+    let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+    let result = cpu.run(10_000_000, &mut NullProbe);
+    (golden, result)
+}
+
+fn assert_matches_interpreter(program: Program) {
+    let (golden, result) = run_both(program);
+    assert!(
+        result.exit.is_halted(),
+        "pipeline did not halt: {:?}",
+        result.exit
+    );
+    assert_eq!(result.output, golden.output, "output mismatch");
+    assert_eq!(
+        result.arithmetic_exceptions, golden.arithmetic_exceptions,
+        "arithmetic exception mismatch"
+    );
+    assert_eq!(
+        result.misaligned_exceptions, golden.misaligned_exceptions,
+        "misalignment exception mismatch"
+    );
+    assert_eq!(
+        result.committed_instructions, golden.instructions,
+        "committed instruction count mismatch"
+    );
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    let mut b = ProgramBuilder::new();
+    b.movi(reg(1), 1000);
+    b.movi(reg(2), 37);
+    b.alu_rr(AluOp::Add, reg(3), reg(1), reg(2));
+    b.alu_rr(AluOp::Mul, reg(4), reg(3), reg(2));
+    b.alu_ri(AluOp::Xor, reg(5), reg(4), 0x5555);
+    b.alu_ri(AluOp::Shl, reg(6), reg(5), 3);
+    b.alu_rr(AluOp::Sub, reg(7), reg(6), reg(1));
+    b.alu_rr(AluOp::Div, reg(8), reg(7), reg(2));
+    b.alu_rr(AluOp::Rem, reg(9), reg(7), reg(2));
+    for r in 3..=9 {
+        b.out(reg(r));
+    }
+    b.halt();
+    assert_matches_interpreter(b.build().unwrap());
+}
+
+#[test]
+fn dependent_chain_through_same_register() {
+    let mut b = ProgramBuilder::new();
+    b.movi(reg(1), 1);
+    for i in 0..50 {
+        b.alu_ri(AluOp::Add, reg(1), reg(1), i);
+        b.alu_ri(AluOp::Xor, reg(1), reg(1), 0b1010);
+    }
+    b.out(reg(1));
+    b.halt();
+    assert_matches_interpreter(b.build().unwrap());
+}
+
+#[test]
+fn nested_loops_with_data_dependent_branches() {
+    let mut b = ProgramBuilder::new();
+    b.movi(reg(1), 0); // acc
+    b.movi(reg(2), 0); // i
+    let outer = b.bind_label();
+    b.movi(reg(3), 0); // j
+    let inner = b.bind_label();
+    b.alu_rr(AluOp::Mul, reg(4), reg(2), reg(3));
+    b.alu_rr(AluOp::Add, reg(1), reg(1), reg(4));
+    // Data-dependent branch: skip odd accumulations.
+    b.alu_ri(AluOp::And, reg(5), reg(1), 1);
+    let skip = b.label();
+    b.branch_ri(Cond::Eq, reg(5), 0, skip);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 13);
+    b.bind(skip);
+    b.alu_ri(AluOp::Add, reg(3), reg(3), 1);
+    b.branch_ri(Cond::Lt, reg(3), 17, inner);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 13, outer);
+    b.out(reg(1));
+    b.halt();
+    assert_matches_interpreter(b.build().unwrap());
+}
+
+#[test]
+fn memory_store_load_roundtrip_all_widths() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.reserve(256);
+    b.movi(reg(1), buf as i64);
+    b.movi(reg(2), 0x1122_3344_5566_7788);
+    for (i, size) in [MemSize::B1, MemSize::B2, MemSize::B4, MemSize::B8]
+        .iter()
+        .enumerate()
+    {
+        b.store_sized(reg(2), MemRef::base(reg(1)).disp(16 * i as i64), *size);
+        b.load_sized(reg(3), MemRef::base(reg(1)).disp(16 * i as i64), *size, false);
+        b.out(reg(3));
+        b.load_sized(reg(4), MemRef::base(reg(1)).disp(16 * i as i64), *size, true);
+        b.out(reg(4));
+    }
+    b.halt();
+    assert_matches_interpreter(b.build().unwrap());
+}
+
+#[test]
+fn store_to_load_forwarding_and_memory_ordering() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_words(&[5, 6, 7, 8]);
+    b.movi(reg(1), buf as i64);
+    b.movi(reg(2), 0);
+    b.movi(reg(6), 0);
+    let top = b.bind_label();
+    // Read, modify, write, then immediately re-read the same location: the
+    // load must see the just-stored value (forwarded or drained).
+    b.load(reg(3), MemRef::base(reg(1)).indexed(reg(2), 8));
+    b.alu_ri(AluOp::Mul, reg(3), reg(3), 3);
+    b.store(reg(3), MemRef::base(reg(1)).indexed(reg(2), 8));
+    b.load(reg(4), MemRef::base(reg(1)).indexed(reg(2), 8));
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(4));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 4, top);
+    b.out(reg(6));
+    b.halt();
+    assert_matches_interpreter(b.build().unwrap());
+}
+
+#[test]
+fn load_op_and_indexed_addressing() {
+    let mut b = ProgramBuilder::new();
+    let data = b.alloc_words(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]);
+    b.movi(reg(1), data as i64);
+    b.movi(reg(2), 0);
+    b.movi(reg(3), 0);
+    let top = b.bind_label();
+    b.load_op(AluOp::Add, reg(3), MemRef::base(reg(1)).indexed(reg(2), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 11, top);
+    b.out(reg(3));
+    b.halt();
+    let (golden, result) = run_both(b.build().unwrap());
+    assert_eq!(golden.output, vec![44]);
+    assert_eq!(result.output, vec![44]);
+}
+
+#[test]
+fn call_and_return_through_link_register() {
+    let mut b = ProgramBuilder::new();
+    let func = b.label();
+    b.movi(reg(1), 20);
+    b.call(func, ProgramBuilder::link_reg());
+    b.out(reg(2));
+    b.movi(reg(1), 30);
+    b.call(func, ProgramBuilder::link_reg());
+    b.out(reg(2));
+    b.halt();
+    b.bind(func);
+    // r2 = r1 * r1 + 1
+    b.alu_rr(AluOp::Mul, reg(2), reg(1), reg(1));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.ret(ProgramBuilder::link_reg());
+    let (golden, result) = run_both(b.build().unwrap());
+    assert_eq!(golden.output, vec![401, 901]);
+    assert_eq!(result.output, vec![401, 901]);
+    assert!(result.exit.is_halted());
+}
+
+#[test]
+fn division_by_zero_is_a_recoverable_exception() {
+    let mut b = ProgramBuilder::new();
+    b.movi(reg(1), 100);
+    b.movi(reg(2), 0);
+    b.alu_rr(AluOp::Div, reg(3), reg(1), reg(2));
+    b.alu_rr(AluOp::Rem, reg(4), reg(1), reg(2));
+    b.out(reg(3));
+    b.out(reg(4));
+    b.halt();
+    let (golden, result) = run_both(b.build().unwrap());
+    assert!(result.exit.is_halted());
+    assert_eq!(result.output, golden.output);
+    assert_eq!(result.arithmetic_exceptions, 2);
+}
+
+#[test]
+fn misaligned_access_is_counted_but_completes() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.reserve(64);
+    b.movi(reg(1), buf as i64 + 1); // deliberately unaligned
+    b.movi(reg(2), 0xABCD);
+    b.store(reg(2), MemRef::base(reg(1)));
+    b.load(reg(3), MemRef::base(reg(1)));
+    b.out(reg(3));
+    b.halt();
+    let (golden, result) = run_both(b.build().unwrap());
+    assert!(result.exit.is_halted());
+    assert_eq!(result.output, vec![0xABCD]);
+    assert_eq!(result.misaligned_exceptions, golden.misaligned_exceptions);
+    assert!(result.misaligned_exceptions >= 2);
+}
+
+#[test]
+fn out_of_bounds_load_crashes() {
+    let mut b = ProgramBuilder::new();
+    b.movi(reg(1), 0x7000_0000);
+    b.load(reg(2), MemRef::base(reg(1)));
+    b.out(reg(2));
+    b.halt();
+    let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
+    let result = cpu.run(100_000, &mut NullProbe);
+    assert!(matches!(result.exit, ExitReason::Crash(_)), "{:?}", result.exit);
+    assert!(result.output.is_empty());
+}
+
+#[test]
+fn store_to_code_region_asserts() {
+    let mut b = ProgramBuilder::new();
+    b.movi(reg(1), 0x10); // inside the code region
+    b.movi(reg(2), 1);
+    b.store(reg(2), MemRef::base(reg(1)));
+    b.halt();
+    let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
+    let result = cpu.run(100_000, &mut NullProbe);
+    assert!(matches!(result.exit, ExitReason::Assert(_)), "{:?}", result.exit);
+}
+
+#[test]
+fn jump_to_invalid_target_crashes() {
+    let mut b = ProgramBuilder::new();
+    b.movi(reg(1), 1_000_000);
+    b.jump_reg(reg(1));
+    b.halt();
+    let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
+    let result = cpu.run(100_000, &mut NullProbe);
+    assert!(matches!(result.exit, ExitReason::Crash(_)), "{:?}", result.exit);
+}
+
+#[test]
+fn infinite_loop_times_out() {
+    let mut b = ProgramBuilder::new();
+    let top = b.bind_label();
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.jump(top);
+    b.halt();
+    let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
+    let result = cpu.run(5_000, &mut NullProbe);
+    assert_eq!(result.exit, ExitReason::Timeout);
+    assert_eq!(result.cycles, 5_000);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let mut outputs = Vec::new();
+    for _ in 0..2 {
+        let mut b = ProgramBuilder::new();
+        let data = b.alloc_words(&(0..64).map(|i| i * i + 7).collect::<Vec<u64>>());
+        b.movi(reg(1), data as i64);
+        b.movi(reg(2), 0);
+        b.movi(reg(3), 0);
+        let top = b.bind_label();
+        b.load_op(AluOp::Xor, reg(3), MemRef::base(reg(1)).indexed(reg(2), 8));
+        b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+        b.branch_ri(Cond::Lt, reg(2), 64, top);
+        b.out(reg(3));
+        b.halt();
+        let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
+        let r = cpu.run(1_000_000, &mut NullProbe);
+        outputs.push((r.output.clone(), r.cycles, r.committed_instructions));
+    }
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+#[test]
+fn small_structures_still_execute_correctly() {
+    // Shrink every window resource to force stalls and replay paths.
+    let cfg = CpuConfig::default()
+        .with_phys_regs(24)
+        .with_store_queue(2)
+        .with_l1d_kb(1);
+    let mut b = ProgramBuilder::new();
+    let buf = b.reserve(512);
+    b.movi(reg(1), buf as i64);
+    b.movi(reg(2), 0);
+    let top = b.bind_label();
+    b.alu_rr(AluOp::Mul, reg(3), reg(2), reg(2));
+    b.store(reg(3), MemRef::base(reg(1)).indexed(reg(2), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 64, top);
+    // Sum them back.
+    b.movi(reg(2), 0);
+    b.movi(reg(4), 0);
+    let top2 = b.bind_label();
+    b.load_op(AluOp::Add, reg(4), MemRef::base(reg(1)).indexed(reg(2), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 64, top2);
+    b.out(reg(4));
+    b.halt();
+    let program = b.build().unwrap();
+    let golden = interpret(&program, 1_000_000);
+    let mut cpu = Cpu::new(program, cfg).unwrap();
+    let result = cpu.run(1_000_000, &mut NullProbe);
+    assert!(result.exit.is_halted(), "{:?}", result.exit);
+    assert_eq!(result.output, golden.output);
+    // sum of squares 0..63
+    assert_eq!(result.output, vec![(0..64u64).map(|i| i * i).sum()]);
+}
+
+#[test]
+fn ipc_is_plausible_for_an_out_of_order_core() {
+    // Independent operations should achieve an IPC above 1 on a 4-wide core.
+    let mut b = ProgramBuilder::new();
+    for _ in 0..200 {
+        b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+        b.alu_ri(AluOp::Add, reg(2), reg(2), 2);
+        b.alu_ri(AluOp::Add, reg(3), reg(3), 3);
+        b.alu_ri(AluOp::Add, reg(4), reg(4), 4);
+    }
+    b.out(reg(1));
+    b.halt();
+    let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
+    let result = cpu.run(1_000_000, &mut NullProbe);
+    assert!(result.exit.is_halted());
+    let ipc = result.committed_instructions as f64 / result.cycles as f64;
+    assert!(ipc > 1.0, "ipc {ipc} unexpectedly low");
+    assert!(ipc <= 4.0, "ipc {ipc} exceeds commit width");
+}

@@ -1,0 +1,272 @@
+//! Injection campaign execution: golden runs, single-fault runs and
+//! multi-threaded campaigns over a fault list.
+
+use crate::classify::{classify, Classification, FaultEffect};
+use merlin_cpu::{Cpu, CpuConfig, FaultSpec, NullProbe, RunResult};
+use merlin_isa::Program;
+use serde::{Deserialize, Serialize};
+
+/// The fault-free reference execution a campaign compares against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenRun {
+    /// Result of the fault-free run.
+    pub result: RunResult,
+    /// Cycle budget granted to faulty runs: the paper's 3× rule for
+    /// deadlock/livelock detection.
+    pub timeout_cycles: u64,
+}
+
+/// Errors produced while setting up or executing a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The golden (fault-free) run did not terminate cleanly, so no
+    /// reference to classify against exists.
+    GoldenRunFailed(String),
+    /// The processor configuration is invalid.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::GoldenRunFailed(e) => write!(f, "golden run failed: {e}"),
+            CampaignError::BadConfig(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Executes the fault-free reference run of `program` under `cfg`.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::GoldenRunFailed`] if the program does not halt
+/// within `max_cycles`, and [`CampaignError::BadConfig`] for invalid
+/// configurations.
+pub fn run_golden(
+    program: &Program,
+    cfg: &CpuConfig,
+    max_cycles: u64,
+) -> Result<GoldenRun, CampaignError> {
+    let mut cpu = Cpu::new(program.clone(), cfg.clone())
+        .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
+    let result = cpu.run(max_cycles, &mut NullProbe);
+    if !result.exit.is_halted() {
+        return Err(CampaignError::GoldenRunFailed(format!(
+            "golden run exited with {:?} after {} cycles",
+            result.exit, result.cycles
+        )));
+    }
+    let timeout_cycles = result.cycles.saturating_mul(3).max(1000);
+    Ok(GoldenRun {
+        result,
+        timeout_cycles,
+    })
+}
+
+/// Runs a single fault-injection experiment and classifies its effect.
+pub fn run_single_fault(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    fault: FaultSpec,
+) -> FaultEffect {
+    let mut cpu = match Cpu::new(program.clone(), cfg.clone()) {
+        Ok(c) => c,
+        Err(_) => return FaultEffect::Assert,
+    };
+    if cpu.inject_fault(fault).is_err() {
+        // A fault site that does not exist in this configuration cannot
+        // affect it.
+        return FaultEffect::Masked;
+    }
+    // An internal invariant violation inside the simulator is the paper's
+    // Assert class: catch it rather than tearing the campaign down.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cpu.run(golden.timeout_cycles, &mut NullProbe)
+    }));
+    match outcome {
+        Ok(result) => classify(&golden.result, &result),
+        Err(_) => FaultEffect::Assert,
+    }
+}
+
+/// Outcome of one injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: FaultSpec,
+    /// Its observed effect.
+    pub effect: FaultEffect,
+}
+
+/// Result of a full injection campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Per-fault outcomes, in the order of the input fault list.
+    pub outcomes: Vec<FaultOutcome>,
+    /// Aggregate histogram.
+    pub classification: Classification,
+    /// Number of simulation runs actually executed (excludes faults resolved
+    /// without simulation).
+    pub runs_executed: u64,
+}
+
+impl CampaignResult {
+    /// Builds the aggregate result from per-fault outcomes.
+    pub fn from_outcomes(outcomes: Vec<FaultOutcome>, runs_executed: u64) -> Self {
+        let mut classification = Classification::default();
+        for o in &outcomes {
+            classification.record(o.effect, 1);
+        }
+        CampaignResult {
+            outcomes,
+            classification,
+            runs_executed,
+        }
+    }
+}
+
+/// Executes an injection campaign over `faults`, running `threads` worker
+/// threads (1 = sequential).
+///
+/// Every fault is an independent single-bit-flip experiment against the same
+/// program and configuration, exactly like the paper's GeFIN campaigns.
+pub fn run_campaign(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    faults: &[FaultSpec],
+    threads: usize,
+) -> CampaignResult {
+    let threads = threads.max(1);
+    if threads == 1 || faults.len() < 2 {
+        let outcomes: Vec<FaultOutcome> = faults
+            .iter()
+            .map(|&fault| FaultOutcome {
+                fault,
+                effect: run_single_fault(program, cfg, golden, fault),
+            })
+            .collect();
+        let runs = outcomes.len() as u64;
+        return CampaignResult::from_outcomes(outcomes, runs);
+    }
+    let chunk_size = faults.len().div_ceil(threads);
+    let mut outcomes: Vec<Option<Vec<FaultOutcome>>> = vec![None; threads.min(faults.len())];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, chunk) in faults.chunks(chunk_size).enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&fault| FaultOutcome {
+                            fault,
+                            effect: run_single_fault(program, cfg, golden, fault),
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (i, h) in handles {
+            outcomes[i] = Some(h.join().expect("campaign worker panicked"));
+        }
+    });
+    let outcomes: Vec<FaultOutcome> = outcomes.into_iter().flatten().flatten().collect();
+    let runs = outcomes.len() as u64;
+    CampaignResult::from_outcomes(outcomes, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::generate_fault_list;
+    use merlin_cpu::Structure;
+    use merlin_isa::{reg, AluOp, Cond, MemRef, ProgramBuilder};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let data = b.alloc_words(&[11, 22, 33, 44, 55, 66, 77, 88]);
+        b.movi(reg(10), data as i64);
+        b.movi(reg(1), 0);
+        b.movi(reg(2), 0);
+        let top = b.bind_label();
+        b.load_op(AluOp::Add, reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.store(reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+        b.branch_ri(Cond::Lt, reg(1), 8, top);
+        b.out(reg(2));
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn golden_run_succeeds_and_sets_timeout() {
+        let g = run_golden(&tiny_program(), &CpuConfig::default(), 1_000_000).unwrap();
+        assert!(g.result.exit.is_halted());
+        assert!(g.timeout_cycles >= 3 * g.result.cycles);
+    }
+
+    #[test]
+    fn golden_run_failure_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_label();
+        b.jump(top);
+        b.halt();
+        let err = run_golden(&b.build().unwrap(), &CpuConfig::default(), 10_000);
+        assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
+    }
+
+    #[test]
+    fn sequential_and_parallel_campaigns_agree() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let golden = run_golden(&program, &cfg, 1_000_000).unwrap();
+        let faults = generate_fault_list(
+            Structure::RegisterFile,
+            cfg.phys_int_regs,
+            golden.result.cycles,
+            60,
+            7,
+        );
+        let seq = run_campaign(&program, &cfg, &golden, &faults, 1);
+        let par = run_campaign(&program, &cfg, &golden, &faults, 4);
+        assert_eq!(seq.outcomes, par.outcomes);
+        assert_eq!(seq.classification, par.classification);
+        assert_eq!(seq.classification.total(), 60);
+    }
+
+    #[test]
+    fn campaign_finds_both_masked_and_non_masked_faults() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let golden = run_golden(&program, &cfg, 1_000_000).unwrap();
+        let faults = generate_fault_list(
+            Structure::RegisterFile,
+            cfg.phys_int_regs,
+            golden.result.cycles,
+            200,
+            99,
+        );
+        let result = run_campaign(&program, &cfg, &golden, &faults, 2);
+        assert!(result.classification.masked > 0);
+        // With 256 mostly-idle registers the masked fraction must dominate.
+        assert!(result.classification.avf() < 0.5);
+    }
+
+    #[test]
+    fn out_of_range_fault_sites_are_masked() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default().with_phys_regs(64);
+        let golden = run_golden(&program, &cfg, 1_000_000).unwrap();
+        let effect = run_single_fault(
+            &program,
+            &cfg,
+            &golden,
+            FaultSpec::new(Structure::RegisterFile, 200, 1, 10),
+        );
+        assert_eq!(effect, FaultEffect::Masked);
+    }
+}

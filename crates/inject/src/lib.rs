@@ -1,0 +1,58 @@
+//! # merlin-inject
+//!
+//! Statistical microarchitecture-level fault injection — the GeFIN analog of
+//! the MeRLiN reproduction.  It provides:
+//!
+//! * the statistical sampling machinery of Leveugle et al. used by the paper
+//!   to size its campaigns ([`SamplingPlan`], [`sample_size`],
+//!   [`generate_fault_list`]),
+//! * golden (fault-free) reference runs with the 3× timeout rule
+//!   ([`run_golden`]),
+//! * single-fault experiments and multi-threaded campaigns
+//!   ([`run_single_fault`], [`run_campaign`]),
+//! * the fault-effect classification of Table 2 ([`FaultEffect`],
+//!   [`classify`], [`Classification`]) and the truncated-run classification
+//!   of §4.4.3.4 ([`TruncatedEffect`]).
+//!
+//! # Examples
+//!
+//! A miniature comprehensive campaign on one workload:
+//!
+//! ```
+//! use merlin_cpu::{CpuConfig, Structure};
+//! use merlin_inject::{generate_fault_list, run_campaign, run_golden};
+//! use merlin_workloads::workload_by_name;
+//!
+//! let w = workload_by_name("sha").unwrap();
+//! let cfg = CpuConfig::default();
+//! let golden = run_golden(&w.program, &cfg, 10_000_000).unwrap();
+//! let faults = generate_fault_list(
+//!     Structure::RegisterFile,
+//!     cfg.phys_int_regs,
+//!     golden.result.cycles,
+//!     8,
+//!     42,
+//! );
+//! let result = run_campaign(&w.program, &cfg, &golden, &faults, 2);
+//! assert_eq!(result.classification.total(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod campaign;
+mod classify;
+mod sampling;
+
+pub use campaign::{
+    run_campaign, run_golden, run_single_fault, CampaignError, CampaignResult, FaultOutcome,
+    GoldenRun,
+};
+pub use classify::{classify, Classification, FaultEffect, TruncatedEffect};
+pub use sampling::{
+    fault_population, generate_fault_list, probit, sample_size, z_score, SamplingPlan,
+};
+
+// Re-exported so downstream crates can name fault sites without depending on
+// merlin-cpu directly.
+pub use merlin_cpu::{FaultSpec, Structure};

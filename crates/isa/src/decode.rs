@@ -1,0 +1,335 @@
+//! Macro-instruction → micro-op cracking.
+//!
+//! The cracker mirrors an x86-64 decoder at the level of detail MeRLiN
+//! cares about: one static instruction may touch a microarchitectural
+//! structure with *several distinct micro-ops* (e.g. the STA/STD pair of a
+//! store, or the load and ALU halves of a memory-operand instruction), and
+//! those micro-ops must carry stable (RIP, uPC) identifiers because MeRLiN's
+//! first grouping step classifies faults by the micro-op that reads the
+//! faulty entry.
+
+use crate::{ArchReg, Inst, Rip, Uop, UopKind};
+
+/// Maximum number of micro-ops a single macro-instruction can crack into.
+pub const MAX_UOPS_PER_INST: usize = 3;
+
+/// Cracks a macro-instruction into its micro-op sequence.
+///
+/// The returned vector always contains between 1 and [`MAX_UOPS_PER_INST`]
+/// micro-ops; the final micro-op has `last_in_inst == true`.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_isa::{decode, reg, Inst, MemRef, MemSize, UopKind};
+/// let store = Inst::Store {
+///     rs: reg(1),
+///     mem: MemRef::base(reg(2)).disp(8),
+///     size: MemSize::B8,
+/// };
+/// let uops = decode(4, &store);
+/// assert_eq!(uops.len(), 2);
+/// assert_eq!(uops[0].kind, UopKind::StoreAddr);
+/// assert_eq!(uops[1].kind, UopKind::StoreData);
+/// assert_eq!(uops[1].upc, 1);
+/// assert!(uops[1].last_in_inst);
+/// ```
+pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
+    let mut uops = match *inst {
+        Inst::AluRR { op, rd, rs1, rs2 } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Alu(op));
+            u.dst = Some(rd);
+            u.srcs = [Some(rs1), Some(rs2), None];
+            vec![u]
+        }
+        Inst::AluRI { op, rd, rs1, imm } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Alu(op));
+            u.dst = Some(rd);
+            u.srcs = [Some(rs1), None, None];
+            u.imm = imm;
+            u.cmp_with_imm = true;
+            vec![u]
+        }
+        Inst::MovImm { rd, imm } => {
+            // mov rd, imm  ==  or rd, zero-sources, imm : modelled as an ALU
+            // op with no register sources.
+            let mut u = Uop::blank(rip, 0, UopKind::Alu(crate::AluOp::Or));
+            u.dst = Some(rd);
+            u.imm = imm;
+            u.cmp_with_imm = true;
+            vec![u]
+        }
+        Inst::Mov { rd, rs } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Alu(crate::AluOp::Or));
+            u.dst = Some(rd);
+            u.srcs = [Some(rs), None, None];
+            u.imm = 0;
+            u.cmp_with_imm = true;
+            vec![u]
+        }
+        Inst::Load {
+            rd,
+            mem,
+            size,
+            signed,
+        } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Load);
+            u.dst = Some(rd);
+            u.srcs = [Some(mem.base), mem.index, None];
+            u.mem = Some(mem);
+            u.mem_size = Some(size);
+            u.mem_signed = signed;
+            vec![u]
+        }
+        Inst::Store { rs, mem, size } => {
+            // STA computes the address; STD supplies the data.
+            let mut sta = Uop::blank(rip, 0, UopKind::StoreAddr);
+            sta.srcs = [Some(mem.base), mem.index, None];
+            sta.mem = Some(mem);
+            sta.mem_size = Some(size);
+            let mut std_uop = Uop::blank(rip, 1, UopKind::StoreData);
+            std_uop.srcs = [Some(rs), None, None];
+            std_uop.mem_size = Some(size);
+            vec![sta, std_uop]
+        }
+        Inst::LoadOp { op, rd, mem, size } => {
+            // Load the memory operand into a cracker temporary, then combine.
+            let tmp = ArchReg::temp(0);
+            let mut ld = Uop::blank(rip, 0, UopKind::Load);
+            ld.dst = Some(tmp);
+            ld.srcs = [Some(mem.base), mem.index, None];
+            ld.mem = Some(mem);
+            ld.mem_size = Some(size);
+            let mut alu = Uop::blank(rip, 1, UopKind::Alu(op));
+            alu.dst = Some(rd);
+            alu.srcs = [Some(rd), Some(tmp), None];
+            vec![ld, alu]
+        }
+        Inst::BranchRR {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Branch(cond));
+            u.srcs = [Some(rs1), Some(rs2), None];
+            u.imm = target as i64;
+            vec![u]
+        }
+        Inst::BranchRI {
+            cond,
+            rs1,
+            imm,
+            target,
+        } => {
+            // Compare-with-immediate branch: crack into a compare micro-op
+            // producing a temporary predicate, then the branch micro-op, so
+            // that a single static instruction exercises two distinct uPCs
+            // (as x86 cmp/jcc fusion would after cracking).
+            let tmp = ArchReg::temp(1);
+            let mut cmp = Uop::blank(rip, 0, UopKind::Alu(crate::AluOp::Sub));
+            cmp.dst = Some(tmp);
+            cmp.srcs = [Some(rs1), None, None];
+            cmp.imm = imm;
+            cmp.cmp_with_imm = true;
+            let mut br = Uop::blank(rip, 1, UopKind::Branch(cond));
+            // The branch compares the original register against the
+            // comparison immediate; the compare micro-op exists to model the
+            // extra register-file read traffic of x86 cmp/jcc pairs and to
+            // give the static instruction a second uPC.
+            br.srcs = [Some(rs1), None, None];
+            br.imm = target as i64;
+            br.cmp_with_imm = true;
+            br.cmp_imm = imm;
+            vec![cmp, br]
+        }
+        Inst::Jump { target } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Jump);
+            u.imm = target as i64;
+            vec![u]
+        }
+        Inst::JumpReg { rs } => {
+            let mut u = Uop::blank(rip, 0, UopKind::JumpReg);
+            u.srcs = [Some(rs), None, None];
+            vec![u]
+        }
+        Inst::Call { target, link } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Call);
+            u.dst = Some(link);
+            u.imm = target as i64;
+            vec![u]
+        }
+        Inst::Out { rs } => {
+            let mut u = Uop::blank(rip, 0, UopKind::Out);
+            u.srcs = [Some(rs), None, None];
+            vec![u]
+        }
+        Inst::Halt => vec![Uop::blank(rip, 0, UopKind::Halt)],
+        Inst::Nop => vec![Uop::blank(rip, 0, UopKind::Nop)],
+    };
+    debug_assert!(!uops.is_empty() && uops.len() <= MAX_UOPS_PER_INST);
+    let n = uops.len();
+    uops[n - 1].last_in_inst = true;
+    for (i, u) in uops.iter().enumerate() {
+        debug_assert_eq!(u.upc as usize, i, "uPC must equal position");
+        debug_assert_eq!(u.rip, rip);
+    }
+    uops
+}
+
+/// The comparison immediate of a `BranchRI` macro-instruction, if any.
+/// Provided for tooling; the cracked branch micro-op already carries the
+/// value in [`Uop::cmp_imm`].
+pub fn branch_compare_immediate(inst: &Inst) -> Option<i64> {
+    match inst {
+        Inst::BranchRI { imm, .. } => Some(*imm),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{reg, AluOp, Cond, MemRef, MemSize};
+
+    fn sample_instructions() -> Vec<Inst> {
+        vec![
+            Inst::AluRR {
+                op: AluOp::Add,
+                rd: reg(1),
+                rs1: reg(2),
+                rs2: reg(3),
+            },
+            Inst::AluRI {
+                op: AluOp::Shl,
+                rd: reg(1),
+                rs1: reg(1),
+                imm: 3,
+            },
+            Inst::MovImm { rd: reg(4), imm: -7 },
+            Inst::Mov {
+                rd: reg(5),
+                rs: reg(4),
+            },
+            Inst::Load {
+                rd: reg(6),
+                mem: MemRef::base(reg(7)).indexed(reg(8), 8),
+                size: MemSize::B8,
+                signed: false,
+            },
+            Inst::Store {
+                rs: reg(6),
+                mem: MemRef::base(reg(7)).disp(16),
+                size: MemSize::B4,
+            },
+            Inst::LoadOp {
+                op: AluOp::Xor,
+                rd: reg(9),
+                mem: MemRef::base(reg(7)),
+                size: MemSize::B8,
+            },
+            Inst::BranchRR {
+                cond: Cond::Lt,
+                rs1: reg(1),
+                rs2: reg(2),
+                target: 5,
+            },
+            Inst::BranchRI {
+                cond: Cond::Ne,
+                rs1: reg(1),
+                imm: 0,
+                target: 9,
+            },
+            Inst::Jump { target: 2 },
+            Inst::JumpReg { rs: reg(15) },
+            Inst::Call {
+                target: 30,
+                link: reg(15),
+            },
+            Inst::Out { rs: reg(1) },
+            Inst::Halt,
+            Inst::Nop,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_cracks_within_bounds() {
+        for (i, inst) in sample_instructions().iter().enumerate() {
+            let uops = decode(i as Rip, inst);
+            assert!(!uops.is_empty());
+            assert!(uops.len() <= MAX_UOPS_PER_INST);
+            assert!(uops.last().unwrap().last_in_inst);
+            for (j, u) in uops.iter().enumerate() {
+                assert_eq!(u.rip, i as Rip);
+                assert_eq!(u.upc as usize, j);
+                if j + 1 < uops.len() {
+                    assert!(!u.last_in_inst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_cracks_into_sta_std() {
+        let st = Inst::Store {
+            rs: reg(3),
+            mem: MemRef::base(reg(4)).indexed(reg(5), 4).disp(-8),
+            size: MemSize::B8,
+        };
+        let uops = decode(11, &st);
+        assert_eq!(uops.len(), 2);
+        assert_eq!(uops[0].kind, UopKind::StoreAddr);
+        assert_eq!(uops[0].num_sources(), 2);
+        assert_eq!(uops[1].kind, UopKind::StoreData);
+        assert_eq!(uops[1].srcs[0], Some(reg(3)));
+    }
+
+    #[test]
+    fn load_op_uses_temporary() {
+        let lo = Inst::LoadOp {
+            op: AluOp::Add,
+            rd: reg(2),
+            mem: MemRef::base(reg(3)),
+            size: MemSize::B8,
+        };
+        let uops = decode(0, &lo);
+        assert_eq!(uops.len(), 2);
+        assert_eq!(uops[0].kind, UopKind::Load);
+        let tmp = uops[0].dst.unwrap();
+        assert!(tmp.is_temp());
+        assert_eq!(uops[1].kind, UopKind::Alu(AluOp::Add));
+        assert!(uops[1].sources().any(|s| s == tmp));
+        assert!(uops[1].sources().any(|s| s == reg(2)));
+    }
+
+    #[test]
+    fn branch_ri_has_two_upcs() {
+        let b = Inst::BranchRI {
+            cond: Cond::Ge,
+            rs1: reg(1),
+            imm: 100,
+            target: 55,
+        };
+        let uops = decode(7, &b);
+        assert_eq!(uops.len(), 2);
+        assert_eq!(uops[1].kind, UopKind::Branch(Cond::Ge));
+        assert_eq!(uops[1].imm, 55);
+        assert_eq!(uops[1].cmp_imm, 100);
+        assert!(uops[1].cmp_with_imm);
+        assert_eq!(branch_compare_immediate(&b), Some(100));
+    }
+
+    #[test]
+    fn direct_targets_match_uop_imm() {
+        let j = Inst::Jump { target: 77 };
+        let uops = decode(1, &j);
+        assert_eq!(uops[0].imm, 77);
+        let c = Inst::Call {
+            target: 12,
+            link: reg(14),
+        };
+        let uops = decode(2, &c);
+        assert_eq!(uops[0].imm, 12);
+        assert_eq!(uops[0].dst, Some(reg(14)));
+    }
+}

@@ -1,0 +1,68 @@
+//! # merlin-isa
+//!
+//! The instruction-set architecture used by the MeRLiN reproduction: a
+//! compact 64-bit register–memory ISA whose macro-instructions crack into
+//! 1–3 micro-ops, standing in for the x86-64 front end of the paper's Gem5
+//! setup.
+//!
+//! The crate provides:
+//!
+//! * architectural register names ([`ArchReg`], [`reg`]),
+//! * ALU operations and branch conditions with their evaluation semantics
+//!   ([`AluOp`], [`Cond`]),
+//! * memory access widths and x86-style addressing expressions
+//!   ([`MemSize`], [`MemRef`]),
+//! * the macro-instruction set ([`Inst`]) and micro-op form ([`Uop`],
+//!   [`UopKind`]) together with the cracker ([`decode`]),
+//! * executable [`Program`] images and the [`ProgramBuilder`]
+//!   macro-assembler used by every workload kernel.
+//!
+//! The (RIP, uPC) pair that identifies a static micro-op — the key of
+//! MeRLiN's first grouping step — is defined here: RIP is the macro
+//! instruction's index in the program text ([`Rip`]) and uPC is the
+//! micro-op's position within its macro-instruction ([`Upc`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_isa::{decode, reg, AluOp, Cond, ProgramBuilder};
+//!
+//! // Build a program that computes 5! and emits it.
+//! let mut b = ProgramBuilder::new();
+//! b.movi(reg(1), 1); // acc
+//! b.movi(reg(2), 5); // n
+//! let top = b.bind_label();
+//! b.alu_rr(AluOp::Mul, reg(1), reg(1), reg(2));
+//! b.alu_ri(AluOp::Sub, reg(2), reg(2), 1);
+//! b.branch_ri(Cond::Gt, reg(2), 0, top);
+//! b.out(reg(1));
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! // Every instruction cracks into at most 3 micro-ops.
+//! for (rip, inst) in program.instructions.iter().enumerate() {
+//!     assert!(decode(rip as u32, inst).len() <= 3);
+//! }
+//! # Ok::<(), merlin_isa::BuildError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod alu;
+mod asm;
+mod decode;
+mod inst;
+mod mem;
+mod program;
+mod reg;
+mod uop;
+
+pub use alu::{AluOp, AluResult, Cond};
+pub use asm::{BuildError, Label, ProgramBuilder};
+pub use decode::{branch_compare_immediate, decode, MAX_UOPS_PER_INST};
+pub use inst::{Inst, Rip};
+pub use mem::{MemRef, MemSize};
+pub use program::{DataSegment, Program, DATA_BASE};
+pub use reg::{reg, ArchReg, NUM_ARCH_REGS, NUM_GPRS, NUM_TEMPS};
+pub use uop::{Uop, UopKind, Upc};

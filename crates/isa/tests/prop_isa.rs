@@ -1,0 +1,192 @@
+//! Property-based tests for the ISA crate: cracking invariants, assembler
+//! label resolution and ALU/branch semantics.
+
+use merlin_isa::{
+    decode, reg, AluOp, ArchReg, Cond, Inst, MemRef, MemSize, ProgramBuilder, MAX_UOPS_PER_INST,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = ArchReg> {
+    (0usize..16).prop_map(reg)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::all().to_vec())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::all().to_vec())
+}
+
+fn arb_size() -> impl Strategy<Value = MemSize> {
+    prop::sample::select(MemSize::all().to_vec())
+}
+
+fn arb_memref() -> impl Strategy<Value = MemRef> {
+    (
+        arb_reg(),
+        prop::option::of(arb_reg()),
+        prop::sample::select(vec![1u8, 2, 4, 8]),
+        -64i64..64,
+    )
+        .prop_map(|(base, index, scale, disp)| {
+            let mut m = MemRef::base(base);
+            if let Some(i) = index {
+                m = m.indexed(i, scale);
+            }
+            m.disp(disp)
+        })
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::AluRR { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), -1000i64..1000)
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluRI { op, rd, rs1, imm }),
+        (arb_reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::MovImm {
+            rd,
+            imm: imm as i64
+        }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Inst::Mov { rd, rs }),
+        (arb_reg(), arb_memref(), arb_size(), any::<bool>()).prop_map(|(rd, mem, size, signed)| {
+            Inst::Load {
+                rd,
+                mem,
+                size,
+                signed,
+            }
+        }),
+        (arb_reg(), arb_memref(), arb_size())
+            .prop_map(|(rs, mem, size)| Inst::Store { rs, mem, size }),
+        (arb_alu_op(), arb_reg(), arb_memref(), arb_size())
+            .prop_map(|(op, rd, mem, size)| Inst::LoadOp { op, rd, mem, size }),
+        (arb_cond(), arb_reg(), arb_reg(), 0u32..100).prop_map(|(cond, rs1, rs2, target)| {
+            Inst::BranchRR {
+                cond,
+                rs1,
+                rs2,
+                target,
+            }
+        }),
+        (arb_cond(), arb_reg(), -100i64..100, 0u32..100).prop_map(|(cond, rs1, imm, target)| {
+            Inst::BranchRI {
+                cond,
+                rs1,
+                imm,
+                target,
+            }
+        }),
+        (0u32..100).prop_map(|target| Inst::Jump { target }),
+        arb_reg().prop_map(|rs| Inst::JumpReg { rs }),
+        (0u32..100, arb_reg()).prop_map(|(target, link)| Inst::Call { target, link }),
+        arb_reg().prop_map(|rs| Inst::Out { rs }),
+        Just(Inst::Halt),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    /// Every macro-instruction cracks into 1..=3 micro-ops with consecutive
+    /// uPCs, correct RIP, and exactly one `last_in_inst`.
+    #[test]
+    fn cracking_invariants(inst in arb_inst(), rip in 0u32..10_000) {
+        let uops = decode(rip, &inst);
+        prop_assert!(!uops.is_empty());
+        prop_assert!(uops.len() <= MAX_UOPS_PER_INST);
+        for (i, u) in uops.iter().enumerate() {
+            prop_assert_eq!(u.rip, rip);
+            prop_assert_eq!(u.upc as usize, i);
+            prop_assert_eq!(u.last_in_inst, i == uops.len() - 1);
+            prop_assert!(u.num_sources() <= 3);
+        }
+        // Memory micro-ops always carry a size.
+        for u in &uops {
+            if u.kind.is_load() || u.kind == merlin_isa::UopKind::StoreAddr {
+                prop_assert!(u.mem.is_some());
+                prop_assert!(u.mem_size.is_some());
+            }
+        }
+    }
+
+    /// Temporaries produced by the cracker are always consumed within the
+    /// same macro-instruction (they never leak as live-out destinations of
+    /// the final micro-op unless also program-visible).
+    #[test]
+    fn temporaries_do_not_escape(inst in arb_inst(), rip in 0u32..1000) {
+        let uops = decode(rip, &inst);
+        if let Some(dst) = uops.last().unwrap().dst {
+            // The architecturally visible result of an instruction is
+            // written by its last micro-op (for our cracker); it must be a
+            // program-visible register.
+            prop_assert!(dst.is_gpr());
+        }
+    }
+
+    /// ALU evaluation never panics and respects basic algebraic identities.
+    #[test]
+    fn alu_identities(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.eval(a, b).value, AluOp::Add.eval(b, a).value);
+        prop_assert_eq!(AluOp::Xor.eval(a, a).value, 0);
+        prop_assert_eq!(AluOp::And.eval(a, a).value, a);
+        prop_assert_eq!(AluOp::Or.eval(a, 0).value, a);
+        prop_assert_eq!(AluOp::Sub.eval(a, 0).value, a);
+        let slt = AluOp::Slt.eval(a, b).value;
+        prop_assert!(slt == 0 || slt == 1);
+    }
+
+    /// Branch conditions are exactly complementary to their negation.
+    #[test]
+    fn cond_complement(a in any::<u64>(), b in any::<u64>(), c in arb_cond()) {
+        prop_assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+    }
+
+    /// Effective address computation matches the reference expression.
+    #[test]
+    fn memref_effective_address(base in any::<u64>(), idx in any::<u64>(),
+                                scale in prop::sample::select(vec![1u8,2,4,8]),
+                                disp in -1_000i64..1_000) {
+        let m = MemRef::base(reg(1)).indexed(reg(2), scale).disp(disp);
+        let want = base
+            .wrapping_add(idx.wrapping_mul(scale as u64))
+            .wrapping_add(disp as u64);
+        prop_assert_eq!(m.effective_address(base, idx), want);
+    }
+
+    /// Sign extension agrees with casting through the corresponding integer
+    /// width.
+    #[test]
+    fn sign_extension_matches_reference(v in any::<u64>()) {
+        prop_assert_eq!(MemSize::B1.sign_extend(v & 0xFF), (v as u8) as i8 as i64 as u64);
+        prop_assert_eq!(MemSize::B2.sign_extend(v & 0xFFFF), (v as u16) as i16 as i64 as u64);
+        prop_assert_eq!(MemSize::B4.sign_extend(v & 0xFFFF_FFFF), (v as u32) as i32 as i64 as u64);
+    }
+
+    /// Programs assembled with arbitrary loop structures resolve all labels
+    /// to in-range targets.
+    #[test]
+    fn assembled_targets_in_range(n_blocks in 1usize..20) {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        let mut tops = Vec::new();
+        for i in 0..n_blocks {
+            let top = b.bind_label();
+            tops.push(top);
+            b.alu_ri(AluOp::Add, reg(1), reg(1), i as i64);
+            b.branch_ri(Cond::Eq, reg(1), -1, end);
+        }
+        // Backward edges.
+        for &t in &tops {
+            b.branch_ri(Cond::Eq, reg(2), -2, t);
+        }
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        let len = p.len() as u32;
+        for inst in &p.instructions {
+            if let Some(t) = inst.direct_target() {
+                prop_assert!(t < len);
+            }
+        }
+    }
+}

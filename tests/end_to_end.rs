@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: the full MeRLiN pipeline (ISA → CPU →
+//! workloads → ACE-like analysis → fault injection → grouping →
+//! extrapolation) exercised through the umbrella crate's public API.
+
+use merlin_repro::ace::AceAnalysis;
+use merlin_repro::cpu::{CpuConfig, Structure};
+use merlin_repro::inject::{run_golden, FaultEffect};
+use merlin_repro::merlin::{
+    homogeneity, initial_fault_list, reduce_fault_list, relyzer_reduce, run_comprehensive,
+    run_merlin_with_faults, run_post_ace_baseline, MerlinConfig,
+};
+use merlin_repro::workloads::workload_by_name;
+use std::collections::HashMap;
+
+fn merlin_cfg() -> MerlinConfig {
+    MerlinConfig {
+        threads: 4,
+        max_cycles: 100_000_000,
+        seed: 31,
+    }
+}
+
+#[test]
+fn merlin_is_accurate_and_cheap_across_structures() {
+    let w = workload_by_name("stringsearch").unwrap();
+    let cfg = CpuConfig::default().with_phys_regs(64).with_store_queue(16).with_l1d_kb(16);
+    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
+    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    for &structure in Structure::all() {
+        let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 300, 11);
+        let merlin = run_merlin_with_faults(
+            &w.program,
+            &cfg,
+            structure,
+            &ace,
+            &faults,
+            &golden,
+            &merlin_cfg(),
+        )
+        .unwrap();
+        let baseline = run_comprehensive(&w.program, &cfg, &golden, &faults, 4);
+        let inaccuracy = merlin
+            .report
+            .classification
+            .max_inaccuracy(&baseline.classification);
+        assert!(
+            inaccuracy <= 8.0,
+            "{structure}: inaccuracy {inaccuracy:.2} too large\n merlin   {}\n baseline {}",
+            merlin.report.classification,
+            baseline.classification
+        );
+        assert!(
+            merlin.report.injections < faults.len(),
+            "{structure}: no reduction achieved"
+        );
+        assert_eq!(merlin.report.classification.total() as usize, faults.len());
+        // AVF agreement within a few points.
+        assert!((merlin.report.avf() - baseline.classification.avf()).abs() < 0.08);
+    }
+}
+
+#[test]
+fn groups_are_homogeneous_on_a_real_workload() {
+    let w = workload_by_name("sha").unwrap();
+    let cfg = CpuConfig::default().with_phys_regs(128);
+    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
+    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    let faults = initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 400, 3);
+    let reduction = reduce_fault_list(&faults, ace.structure(Structure::RegisterFile));
+    let post_ace = run_post_ace_baseline(&w.program, &cfg, &golden, &reduction, 4);
+    let effects: HashMap<_, _> = post_ace
+        .outcomes
+        .iter()
+        .map(|o| (o.fault, o.effect))
+        .collect();
+    let h = homogeneity(&reduction, &effects);
+    assert!(
+        h.fine_grained > 0.85,
+        "fine-grained homogeneity {:.3} below the paper's ~0.9 band",
+        h.fine_grained
+    );
+    assert!(h.coarse >= h.fine_grained - 1e-12);
+    assert!(h.perfect_group_fraction > 0.7);
+}
+
+#[test]
+fn relyzer_heuristic_produces_fewer_but_coarser_groups() {
+    let w = workload_by_name("qsort").unwrap();
+    let cfg = CpuConfig::default().with_phys_regs(128);
+    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
+    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    let faults = initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 500, 17);
+    let merlin = reduce_fault_list(&faults, ace.structure(Structure::RegisterFile));
+    let relyzer = relyzer_reduce(&faults, ace.structure(Structure::RegisterFile));
+    // Both prune the identical ACE-masked set.
+    assert_eq!(merlin.ace_masked.len(), relyzer.ace_masked.len());
+    // Both reduce the list substantially.
+    assert!(merlin.injections() * 5 < faults.len());
+    assert!(relyzer.injections() * 5 < faults.len());
+    let _ = golden;
+}
+
+#[test]
+fn masked_dominates_for_large_structures_and_every_class_is_reachable() {
+    // Aggregate a few hundred faults across workloads/structures and check
+    // the overall shape: Masked dominates, SDC and Crash both occur.
+    let mut totals = merlin_repro::inject::Classification::default();
+    for (name, structure) in [
+        ("qsort", Structure::RegisterFile),
+        ("caes", Structure::StoreQueue),
+        ("susan_s", Structure::L1DCache),
+    ] {
+        let w = workload_by_name(name).unwrap();
+        let cfg = CpuConfig::default();
+        let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
+        let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+        let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 250, 23);
+        let merlin = run_merlin_with_faults(
+            &w.program,
+            &cfg,
+            structure,
+            &ace,
+            &faults,
+            &golden,
+            &merlin_cfg(),
+        )
+        .unwrap();
+        totals += merlin.report.classification;
+    }
+    assert!(totals.percentage(FaultEffect::Masked) > 60.0);
+    assert!(totals.sdc > 0, "no SDCs at all is implausible");
+    assert_eq!(totals.total(), 750);
+}

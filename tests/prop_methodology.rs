@@ -1,0 +1,154 @@
+//! Property-based tests of the methodology-level invariants, driven by
+//! synthetic vulnerable-interval repositories and fault lists (no simulation
+//! involved, so thousands of cases stay fast).
+
+use merlin_repro::ace::{Interval, VulnerableIntervals};
+use merlin_repro::cpu::{FaultSpec, Structure};
+use merlin_repro::inject::{sample_size, Classification, FaultEffect};
+use merlin_repro::merlin::{reduce_fault_list, relyzer_reduce, AvfMoments, GroupStat};
+use proptest::prelude::*;
+
+fn arb_structure() -> impl Strategy<Value = Structure> {
+    prop::sample::select(Structure::all().to_vec())
+}
+
+/// Builds a synthetic interval repository with non-overlapping intervals per
+/// entry.
+fn arb_repository() -> impl Strategy<Value = (Structure, VulnerableIntervals)> {
+    (
+        arb_structure(),
+        prop::collection::vec(
+            (
+                0usize..16,              // entry
+                1u64..500,               // start
+                1u64..120,               // length
+                0u32..12,                // rip
+                0u8..3,                  // upc
+                0u64..20,                // dyn instance
+                0u64..4,                 // path signature
+            ),
+            0..60,
+        ),
+    )
+        .prop_map(|(structure, raw)| {
+            let mut repo = VulnerableIntervals::new(structure, 16, 2_000);
+            let mut per_entry: std::collections::HashMap<usize, u64> = Default::default();
+            for (entry, start, len, rip, upc, dyn_instance, path_sig) in raw {
+                // Keep intervals of one entry disjoint and ordered by pushing
+                // them after the previous end.
+                let base = per_entry.entry(entry).or_insert(0);
+                let s = *base + start;
+                let e = s + len;
+                repo.push(
+                    entry,
+                    Interval {
+                        start: s,
+                        end: e,
+                        rip,
+                        upc,
+                        dyn_instance,
+                        path_sig,
+                    },
+                );
+                *base = e;
+            }
+            (structure, repo)
+        })
+}
+
+fn arb_faults(structure: Structure) -> impl Strategy<Value = Vec<FaultSpec>> {
+    prop::collection::vec(
+        (0usize..16, 0u8..64, 1u64..2_000),
+        1..400,
+    )
+    .prop_map(move |raw| {
+        raw.into_iter()
+            .map(|(entry, bit, cycle)| FaultSpec::new(structure, entry, bit, cycle))
+            .collect()
+    })
+}
+
+/// A repository plus a fault list drawn for the same structure.
+fn arb_repo_and_faults() -> impl Strategy<Value = (VulnerableIntervals, Vec<FaultSpec>)> {
+    arb_repository().prop_flat_map(|(structure, repo)| (Just(repo), arb_faults(structure)))
+}
+
+proptest! {
+    /// The reduction is a partition: every initial fault is either pruned or
+    /// in exactly one sub-group, representatives come from their own
+    /// sub-group, pruned faults really lie outside every interval and
+    /// grouped faults inside one, and the speedups are consistent.
+    #[test]
+    fn reduction_is_a_sound_partition((repo, faults) in arb_repo_and_faults()) {
+        let red = reduce_fault_list(&faults, &repo);
+        prop_assert_eq!(red.initial_faults(), faults.len());
+        prop_assert_eq!(red.post_ace_faults() + red.ace_masked.len(), faults.len());
+        prop_assert!(red.injections() <= red.post_ace_faults());
+        for f in &red.ace_masked {
+            prop_assert!(repo.lookup(f.entry, f.cycle).is_none());
+        }
+        for g in &red.groups {
+            for s in &g.subgroups {
+                prop_assert!(s.faults.iter().any(|f| f.fault == s.representative));
+                for f in &s.faults {
+                    prop_assert_eq!(f.fault.byte(), s.byte);
+                    let iv = repo.lookup(f.fault.entry, f.fault.cycle).unwrap();
+                    prop_assert_eq!((iv.rip, iv.upc), (g.key.rip, g.key.upc));
+                }
+            }
+        }
+        prop_assert!(red.total_speedup() + 1e-12 >= red.ace_speedup());
+        // The Relyzer reduction prunes exactly the same ACE-masked set.
+        let rel = relyzer_reduce(&faults, &repo);
+        prop_assert_eq!(rel.ace_masked.len(), red.ace_masked.len());
+        prop_assert!(rel.injections() <= red.post_ace_faults());
+    }
+
+    /// Extrapolation preserves totals regardless of what effects the
+    /// representatives produce: distributing any effect over each sub-group
+    /// keeps the histogram total equal to the initial list size.
+    #[test]
+    fn extrapolation_preserves_totals((repo, faults) in arb_repo_and_faults(),
+                                      effect_pick in prop::collection::vec(0usize..6, 1..50)) {
+        let red = reduce_fault_list(&faults, &repo);
+        let mut classification = Classification::default();
+        classification.record(FaultEffect::Masked, red.ace_masked.len() as u64);
+        let all_effects = FaultEffect::all();
+        let mut i = 0usize;
+        for g in &red.groups {
+            for s in &g.subgroups {
+                let e = all_effects[effect_pick[i % effect_pick.len()] % all_effects.len()];
+                classification.record(e, s.len() as u64);
+                i += 1;
+            }
+        }
+        prop_assert_eq!(classification.total() as usize, faults.len());
+        prop_assert!(classification.avf() >= 0.0 && classification.avf() <= 1.0);
+    }
+
+    /// §4.4.5 invariants on arbitrary group populations: identical means,
+    /// MeRLiN variance at least the comprehensive variance but bounded by
+    /// the largest group size.
+    #[test]
+    fn estimator_moments_behave(groups in prop::collection::vec((1u64..200, 0.0f64..=1.0), 1..200),
+                                pruned in 0u64..10_000) {
+        let stats: Vec<GroupStat> = groups.iter().map(|&(size, p)| GroupStat { size, p }).collect();
+        let m = AvfMoments::from_groups(&stats, pruned);
+        prop_assert!(m.mean >= 0.0 && m.mean <= 1.0);
+        prop_assert!(m.variance_merlin + 1e-15 >= m.variance_comprehensive);
+        let max_size = groups.iter().map(|g| g.0).max().unwrap() as f64;
+        prop_assert!(m.variance_merlin <= m.variance_comprehensive * max_size + 1e-12);
+    }
+
+    /// The Leveugle sample size is monotone in the error margin and never
+    /// exceeds the population.
+    #[test]
+    fn sample_size_bounds(population in 1u64..10_000_000_000, margin_bp in 10u64..500) {
+        let margin = margin_bp as f64 / 10_000.0;
+        let n = sample_size(population, 0.998, margin);
+        prop_assert!(n <= population);
+        prop_assert!(n >= 1);
+        let looser = sample_size(population, 0.998, margin * 2.0);
+        prop_assert!(looser <= n);
+    }
+}
