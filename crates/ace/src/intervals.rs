@@ -80,7 +80,7 @@ impl VulnerableIntervals {
     /// non-decreasing start order per entry, which the profiler guarantees).
     pub fn push(&mut self, entry: usize, interval: Interval) {
         let v = self.per_entry.entry(entry).or_default();
-        debug_assert!(v.last().map_or(true, |last| last.start <= interval.start));
+        debug_assert!(v.last().is_none_or(|last| last.start <= interval.start));
         v.push(interval);
     }
 

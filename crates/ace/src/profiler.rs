@@ -40,7 +40,10 @@ impl AceProfiler {
     }
 
     fn push(&mut self, structure: Structure, entry: usize, event: Event) {
-        self.events.entry((structure, entry)).or_default().push(event);
+        self.events
+            .entry((structure, entry))
+            .or_default()
+            .push(event);
     }
 
     /// Converts the collected events into per-structure vulnerable-interval
@@ -55,7 +58,11 @@ impl AceProfiler {
             .map(|&s| {
                 (
                     s,
-                    VulnerableIntervals::new(s, entry_counts.get(&s).copied().unwrap_or(0), total_cycles),
+                    VulnerableIntervals::new(
+                        s,
+                        entry_counts.get(&s).copied().unwrap_or(0),
+                        total_cycles,
+                    ),
                 )
             })
             .collect();
@@ -113,29 +120,41 @@ impl AceProfiler {
 
 impl Probe for AceProfiler {
     fn write(&mut self, structure: Structure, entry: usize, cycle: u64) {
-        self.push(structure, entry, Event {
-            cycle,
-            kind: EventKind::Write,
-        });
+        self.push(
+            structure,
+            entry,
+            Event {
+                cycle,
+                kind: EventKind::Write,
+            },
+        );
     }
 
     fn committed_read(&mut self, structure: Structure, info: &ReadInfo) {
-        self.push(structure, info.entry, Event {
-            cycle: info.cycle,
-            kind: EventKind::Read {
-                rip: info.rip,
-                upc: info.upc,
-                dyn_instance: info.dyn_instance,
-                path_sig: info.path_sig,
+        self.push(
+            structure,
+            info.entry,
+            Event {
+                cycle: info.cycle,
+                kind: EventKind::Read {
+                    rip: info.rip,
+                    upc: info.upc,
+                    dyn_instance: info.dyn_instance,
+                    path_sig: info.path_sig,
+                },
             },
-        });
+        );
     }
 
     fn invalidate(&mut self, structure: Structure, entry: usize, cycle: u64) {
-        self.push(structure, entry, Event {
-            cycle,
-            kind: EventKind::Invalidate,
-        });
+        self.push(
+            structure,
+            entry,
+            Event {
+                cycle,
+                kind: EventKind::Invalidate,
+            },
+        );
     }
 }
 

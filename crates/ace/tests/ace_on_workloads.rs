@@ -68,7 +68,9 @@ fn ace_pruned_faults_are_masked_when_injected() {
     // sampled fault that lands outside every vulnerable interval must be
     // Masked in real injection.
     let w = workload_by_name("stringsearch").unwrap();
-    let cfg = CpuConfig::default().with_phys_regs(128).with_store_queue(16);
+    let cfg = CpuConfig::default()
+        .with_phys_regs(128)
+        .with_store_queue(16);
     let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
     let golden = run_golden(&w.program, &cfg, 50_000_000).unwrap();
     for &structure in Structure::all() {

@@ -30,6 +30,7 @@ fn injection_campaigns(c: &mut Criterion) {
         threads: 4,
         max_cycles: 100_000_000,
         seed: 2017,
+        ..Default::default()
     };
 
     group.bench_function("single_fault_run", |b| {

@@ -1,0 +1,120 @@
+//! Criterion benchmark: the checkpoint-and-restore injection engine against
+//! from-scratch simulation, on a MiBench workload and a SPEC-analog
+//! workload.  The measured speedup is the wall-clock realisation of turning
+//! per-fault cost from O(program length) into O(post-injection suffix).
+//!
+//! Besides the criterion report, the benchmark writes
+//! `BENCH_CHECKPOINTING.json` at the workspace root so the speedup is
+//! tracked across revisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use merlin_core::initial_fault_list;
+use merlin_cpu::{CheckpointPolicy, CpuConfig, Structure};
+use merlin_inject::{run_campaign, run_campaign_from_scratch, run_golden_checkpointed, GoldenRun};
+use merlin_workloads::{workload_by_name, Workload};
+use std::time::Instant;
+
+const FAULTS: usize = 200;
+const THREADS: usize = 4;
+
+struct Prepared {
+    workload: Workload,
+    cfg: CpuConfig,
+    golden: GoldenRun,
+    faults: Vec<merlin_cpu::FaultSpec>,
+}
+
+fn prepare(name: &str) -> Prepared {
+    let workload = workload_by_name(name).expect("workload exists");
+    let cfg = CpuConfig::default().with_phys_regs(64);
+    let policy = CheckpointPolicy::default();
+    let golden = run_golden_checkpointed(&workload.program, &cfg, 100_000_000, &policy).unwrap();
+    let store = &golden.checkpoints.as_ref().unwrap().store;
+    assert!(
+        store.len() >= 8,
+        "{name}: expected ≥ 8 checkpoints, got {}",
+        store.len()
+    );
+    let faults = initial_fault_list(
+        &cfg,
+        Structure::RegisterFile,
+        golden.result.cycles,
+        FAULTS,
+        2017,
+    );
+    Prepared {
+        workload,
+        cfg,
+        golden,
+        faults,
+    }
+}
+
+/// One timed run of each engine outside criterion's sampling, for the JSON
+/// record (criterion's own samples drive the statistics in the report).
+fn record_speedup(p: &Prepared) -> (f64, f64, f64) {
+    let t0 = Instant::now();
+    let scratch =
+        run_campaign_from_scratch(&p.workload.program, &p.cfg, &p.golden, &p.faults, THREADS);
+    let scratch_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let ck = run_campaign(&p.workload.program, &p.cfg, &p.golden, &p.faults, THREADS);
+    let ck_s = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        scratch.outcomes, ck.outcomes,
+        "{}: engines disagree",
+        p.workload.name
+    );
+    (scratch_s, ck_s, scratch_s / ck_s)
+}
+
+fn checkpointing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpointing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let mut json_rows = Vec::new();
+    for name in ["stringsearch", "mcf"] {
+        let p = prepare(name);
+        group.bench_function(format!("from_scratch/{name}"), |b| {
+            b.iter(|| {
+                run_campaign_from_scratch(
+                    &p.workload.program,
+                    &p.cfg,
+                    &p.golden,
+                    &p.faults,
+                    THREADS,
+                )
+            })
+        });
+        group.bench_function(format!("checkpointed/{name}"), |b| {
+            b.iter(|| run_campaign(&p.workload.program, &p.cfg, &p.golden, &p.faults, THREADS))
+        });
+        let (scratch_s, ck_s, speedup) = record_speedup(&p);
+        let checkpoints = p.golden.checkpoints.as_ref().unwrap().store.len();
+        println!(
+            "checkpointing/{name}: {FAULTS} faults, {checkpoints} checkpoints, \
+             from-scratch {scratch_s:.3}s vs checkpointed {ck_s:.3}s -> {speedup:.2}x"
+        );
+        json_rows.push(format!(
+            "  {{\"workload\": \"{name}\", \"faults\": {FAULTS}, \
+             \"golden_cycles\": {}, \"checkpoints\": {checkpoints}, \
+             \"from_scratch_s\": {scratch_s:.6}, \"checkpointed_s\": {ck_s:.6}, \
+             \"speedup\": {speedup:.3}}}",
+            p.golden.result.cycles
+        ));
+    }
+    group.finish();
+
+    let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+    // The bench runs from the crate directory or the workspace root; write
+    // next to the workspace Cargo.toml in either case.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if let Err(e) = std::fs::write(root.join("BENCH_CHECKPOINTING.json"), &json) {
+        eprintln!("could not write BENCH_CHECKPOINTING.json: {e}");
+    }
+}
+
+criterion_group!(benches, checkpointing);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion benchmark: MeRLiN's fault-list reduction (ACE pruning + RIP/uPC
-//! + byte grouping) over paper-scale 60,000-fault initial lists, and the
-//! Relyzer control-equivalence grouping for comparison.
+//! Criterion benchmark: MeRLiN's fault-list reduction (ACE pruning plus
+//! RIP/uPC and byte grouping) over paper-scale 60,000-fault initial lists,
+//! and the Relyzer control-equivalence grouping for comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use merlin_ace::AceAnalysis;
@@ -19,8 +19,7 @@ fn fault_list_reduction(c: &mut Criterion) {
     let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
     let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
     for &structure in Structure::all() {
-        let initial =
-            initial_fault_list(&cfg, structure, golden.result.cycles, 60_000, 2017);
+        let initial = initial_fault_list(&cfg, structure, golden.result.cycles, 60_000, 2017);
         group.throughput(Throughput::Elements(initial.len() as u64));
         let intervals = ace.structure(structure);
         group.bench_function(format!("merlin_60k/{structure}"), |b| {

@@ -17,16 +17,19 @@ use merlin_core::{
     merlin_exhaustive_row, reduce_fault_list, relyzer_exhaustive_row, relyzer_reduce,
     run_comprehensive, run_post_ace_baseline, run_relyzer, structure_bits, AvfMoments, WallClock,
 };
-use merlin_cpu::{CpuConfig, Structure};
+use merlin_cpu::{CheckpointPolicy, CpuConfig, Structure};
 use merlin_inject::{
-    run_golden, Classification, FaultEffect, SamplingPlan, TruncatedEffect,
+    run_golden, run_golden_checkpointed, Classification, FaultEffect, FaultInjector, SamplingPlan,
+    TruncatedEffect,
 };
 use merlin_workloads::{mibench_workloads, spec_workloads, workload_by_name};
 use std::collections::HashMap;
 use std::time::Instant;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "help".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "help".to_string());
     let scale = ExperimentScale::from_env();
     println!(
         "# MeRLiN reproduction — experiment `{arg}` (baseline faults {}, threads {}, seed {})\n",
@@ -104,8 +107,14 @@ fn table1() {
         c.l2.sets(),
         c.l2.ways
     );
-    println!("Branch predictor         bimodal + gshare (tournament-style), {} entries", c.predictor_entries);
-    println!("Branch target buffer     direct mapped, {} entries\n", c.btb_entries);
+    println!(
+        "Branch predictor         bimodal + gshare (tournament-style), {} entries",
+        c.predictor_entries
+    );
+    println!(
+        "Branch target buffer     direct mapped, {} entries\n",
+        c.btb_entries
+    );
 }
 
 /// Table 2: fault-effect classes.
@@ -184,10 +193,13 @@ fn table4(scale: &ExperimentScale) {
     for name in ["gcc", "bzip2"] {
         let w = workload_by_name(name).expect("workload exists");
         let ace = AceAnalysis::run(&w.program, &cfg, 500_000_000).expect("ace");
-        let golden = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
+        let golden =
+            run_golden_checkpointed(&w.program, &cfg, 500_000_000, &CheckpointPolicy::default())
+                .expect("golden");
         // Truncation horizon: half of the execution, standing in for the end
         // of the Simpoint interval.
         let horizon = golden.result.cycles / 2;
+        let mut injector = FaultInjector::new(&w.program, &cfg, &golden);
         let faults = initial_fault_list(
             &cfg,
             Structure::RegisterFile,
@@ -208,9 +220,7 @@ fn table4(scale: &ExperimentScale) {
         for g in &reduction.groups {
             for s in &g.subgroups {
                 let rep_effect = classify_truncated(
-                    &w.program,
-                    &cfg,
-                    &golden,
+                    &mut injector,
                     &ace,
                     Structure::RegisterFile,
                     s.representative,
@@ -219,9 +229,7 @@ fn table4(scale: &ExperimentScale) {
                 *merlin.entry(rep_effect).or_default() += s.faults.len() as u64;
                 for f in &s.faults {
                     let e = classify_truncated(
-                        &w.program,
-                        &cfg,
-                        &golden,
+                        &mut injector,
                         &ace,
                         Structure::RegisterFile,
                         f.fault,
@@ -272,11 +280,8 @@ fn fig6_fig7(scale: &ExperimentScale) {
                     &cell.campaign.reduction,
                     scale.threads,
                 );
-                let effects: HashMap<_, _> = post
-                    .outcomes
-                    .iter()
-                    .map(|o| (o.fault, o.effect))
-                    .collect();
+                let effects: HashMap<_, _> =
+                    post.outcomes.iter().map(|o| (o.fault, o.effect)).collect();
                 let h = homogeneity(&cell.campaign.reduction, &effects);
                 println!(
                     "{:<28} {:>5.3} {:>6.3} {:>14.1}% {:>7}",
@@ -286,7 +291,10 @@ fn fig6_fig7(scale: &ExperimentScale) {
                     100.0 * h.perfect_group_fraction,
                     h.groups
                 );
-                per_structure.entry(structure).or_default().push(h.fine_grained);
+                per_structure
+                    .entry(structure)
+                    .or_default()
+                    .push(h.fine_grained);
             }
         }
     }
@@ -413,7 +421,12 @@ fn fig12(scale: &ExperimentScale) {
     println!(
         "{}",
         row(
-            &["benchmark".into(), "unit".into(), "ACE-like x".into(), "total x".into()],
+            &[
+                "benchmark".into(),
+                "unit".into(),
+                "ACE-like x".into(),
+                "total x".into()
+            ],
             &widths
         )
     );
@@ -437,7 +450,10 @@ fn fig12(scale: &ExperimentScale) {
                     &widths
                 )
             );
-            averages.entry(structure).or_default().push(red.total_speedup());
+            averages
+                .entry(structure)
+                .or_default()
+                .push(red.total_speedup());
         }
     }
     println!();
@@ -454,8 +470,16 @@ fn fig12(scale: &ExperimentScale) {
 fn fig13(scale: &ExperimentScale) {
     println!("## Figure 13 — speedup scaling with the initial-list size (60K vs 600K)\n");
     let plans = [
-        ("0.63% margin (60K)", SamplingPlan::paper_baseline(), 60_000usize),
-        ("0.19% margin (600K)", SamplingPlan::paper_scaled(), 600_000usize),
+        (
+            "0.63% margin (60K)",
+            SamplingPlan::paper_baseline(),
+            60_000usize,
+        ),
+        (
+            "0.19% margin (600K)",
+            SamplingPlan::paper_scaled(),
+            600_000usize,
+        ),
     ];
     println!("config           structure   faults    ACE-like x   total x");
     let mut scaling: Vec<(f64, f64)> = Vec::new();
@@ -494,7 +518,8 @@ fn fig13(scale: &ExperimentScale) {
             }
         }
     }
-    let avg_scale: f64 = scaling.iter().map(|(a, b)| b / a).sum::<f64>() / scaling.len().max(1) as f64;
+    let avg_scale: f64 =
+        scaling.iter().map(|(a, b)| b / a).sum::<f64>() / scaling.len().max(1) as f64;
     println!("\naverage speedup scaling factor (600K vs 60K): {avg_scale:.2}x\n");
 }
 
@@ -557,8 +582,14 @@ fn accuracy_figures(scale: &ExperimentScale) {
 fn fig17(scale: &ExperimentScale) {
     println!("## Figure 17 — inaccuracy vs the post-ACE baseline (percentile units)\n");
     let configs = [
-        (Structure::RegisterFile, CpuConfig::default().with_phys_regs(128)),
-        (Structure::StoreQueue, CpuConfig::default().with_store_queue(16)),
+        (
+            Structure::RegisterFile,
+            CpuConfig::default().with_phys_regs(128),
+        ),
+        (
+            Structure::StoreQueue,
+            CpuConfig::default().with_store_queue(16),
+        ),
         (Structure::L1DCache, CpuConfig::default().with_l1d_kb(32)),
     ];
     println!("structure  class     Relyzer   MeRLiN");
@@ -581,17 +612,10 @@ fn fig17(scale: &ExperimentScale) {
             merlin_sum += cell.campaign.report.post_ace_classification;
             merlin_speedups.push(cell.campaign.report.speedup_total);
             // Relyzer heuristic over the same post-ACE list.
-            let relyzer_red = relyzer_reduce(
-                &cell.campaign.initial_faults,
-                cell.ace.structure(structure),
-            );
-            let (mut relyzer_cls, injections) = run_relyzer(
-                &w.program,
-                &cfg,
-                &cell.golden,
-                &relyzer_red,
-                scale.threads,
-            );
+            let relyzer_red =
+                relyzer_reduce(&cell.campaign.initial_faults, cell.ace.structure(structure));
+            let (mut relyzer_cls, injections) =
+                run_relyzer(&w.program, &cfg, &cell.golden, &relyzer_red, scale.threads);
             // Restrict to the post-ACE portion for a like-for-like comparison.
             relyzer_cls.masked -= relyzer_red.ace_masked.len() as u64;
             relyzer_sum += relyzer_cls;
@@ -621,7 +645,13 @@ fn theory(scale: &ExperimentScale) {
     println!("## §4.4.5 — statistical behaviour of the MeRLiN estimator\n");
     let w = workload_by_name("fft").expect("fft exists");
     let cfg = CpuConfig::default().with_phys_regs(128);
-    let cell = run_cell(&w, &cfg, Structure::RegisterFile, scale.baseline_faults, scale);
+    let cell = run_cell(
+        &w,
+        &cfg,
+        Structure::RegisterFile,
+        scale.baseline_faults,
+        scale,
+    );
     let post_ace = run_post_ace_baseline(
         &w.program,
         &cfg,
@@ -629,7 +659,11 @@ fn theory(scale: &ExperimentScale) {
         &cell.campaign.reduction,
         scale.threads,
     );
-    let effects: HashMap<_, _> = post_ace.outcomes.iter().map(|o| (o.fault, o.effect)).collect();
+    let effects: HashMap<_, _> = post_ace
+        .outcomes
+        .iter()
+        .map(|o| (o.fault, o.effect))
+        .collect();
     let counts: Vec<(u64, u64)> = cell
         .campaign
         .reduction
@@ -640,7 +674,12 @@ fn theory(scale: &ExperimentScale) {
             let non_masked = s
                 .faults
                 .iter()
-                .filter(|f| effects.get(&f.fault).map(|e| e.is_non_masked()).unwrap_or(false))
+                .filter(|f| {
+                    effects
+                        .get(&f.fault)
+                        .map(|e| e.is_non_masked())
+                        .unwrap_or(false)
+                })
                 .count() as u64;
             (s.len() as u64, non_masked)
         })
@@ -649,10 +688,22 @@ fn theory(scale: &ExperimentScale) {
     let moments = AvfMoments::from_groups(&stats, cell.campaign.reduction.ace_masked.len() as u64);
     println!("total faults F              = {}", moments.total_faults);
     println!("E[k] = E[k_MeRLiN]          = {:.6}", moments.mean);
-    println!("Var[k]  (comprehensive)     = {:.3e}", moments.variance_comprehensive);
-    println!("Var[k_MeRLiN]               = {:.3e}", moments.variance_merlin);
-    println!("std-dev inflation           = {:.2}x", moments.stddev_inflation());
-    println!("mean group size             = {:.1}", cell.campaign.report.mean_group_size);
+    println!(
+        "Var[k]  (comprehensive)     = {:.3e}",
+        moments.variance_comprehensive
+    );
+    println!(
+        "Var[k_MeRLiN]               = {:.3e}",
+        moments.variance_merlin
+    );
+    println!(
+        "std-dev inflation           = {:.2}x",
+        moments.stddev_inflation()
+    );
+    println!(
+        "mean group size             = {:.1}",
+        cell.campaign.report.mean_group_size
+    );
     println!(
         "measured AVF (MeRLiN)        = {:.4}, measured AVF (baseline over post-ACE+pruned) = {:.4}\n",
         cell.campaign.report.avf(),
@@ -670,7 +721,13 @@ fn avf_rf(scale: &ExperimentScale) {
         let mut merlin_sum = Classification::default();
         let mut ace_avfs = Vec::new();
         for w in scale.filter(mibench_workloads()) {
-            let cell = run_cell(&w, &cfg, Structure::RegisterFile, scale.baseline_faults, scale);
+            let cell = run_cell(
+                &w,
+                &cfg,
+                Structure::RegisterFile,
+                scale.baseline_faults,
+                scale,
+            );
             merlin_sum += cell.campaign.report.classification;
             ace_avfs.push(cell.ace.structure(Structure::RegisterFile).ace_avf());
         }

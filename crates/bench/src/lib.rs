@@ -16,7 +16,7 @@
 use merlin_ace::AceAnalysis;
 use merlin_core::{initial_fault_list, run_merlin_with_faults, MerlinCampaign, MerlinConfig};
 use merlin_cpu::{CpuConfig, Structure};
-use merlin_inject::{run_golden, GoldenRun};
+use merlin_inject::{run_golden_checkpointed, GoldenRun};
 use merlin_workloads::Workload;
 
 /// Experiment-scale knobs, read from the environment so the full paper-scale
@@ -85,6 +85,7 @@ impl ExperimentScale {
             threads: self.threads,
             max_cycles: 500_000_000,
             seed: self.seed,
+            ..Default::default()
         }
     }
 }
@@ -148,8 +149,13 @@ pub fn run_cell(
     let merlin_cfg = scale.merlin_config();
     let ace = AceAnalysis::run(&workload.program, cfg, merlin_cfg.max_cycles)
         .unwrap_or_else(|e| panic!("ACE analysis failed for {}: {e}", workload.name));
-    let golden = run_golden(&workload.program, cfg, merlin_cfg.max_cycles)
-        .unwrap_or_else(|e| panic!("golden run failed for {}: {e}", workload.name));
+    let golden = run_golden_checkpointed(
+        &workload.program,
+        cfg,
+        merlin_cfg.max_cycles,
+        &merlin_cfg.checkpoints,
+    )
+    .unwrap_or_else(|e| panic!("golden run failed for {}: {e}", workload.name));
     let initial = initial_fault_list(
         cfg,
         structure,

@@ -5,10 +5,10 @@
 
 use crate::grouping::{reduce_fault_list, FaultListReduction};
 use merlin_ace::AceAnalysis;
-use merlin_cpu::{CpuConfig, FaultSpec, Structure};
+use merlin_cpu::{CheckpointPolicy, CpuConfig, FaultSpec, Structure};
 use merlin_inject::{
-    generate_fault_list, run_campaign, run_golden, run_single_fault, CampaignError,
-    CampaignResult, Classification, FaultEffect, GoldenRun,
+    generate_fault_list, run_campaign, run_golden_checkpointed, CampaignError, CampaignResult,
+    Classification, FaultEffect, FaultInjector, GoldenRun,
 };
 use merlin_isa::Program;
 use serde::{Deserialize, Serialize};
@@ -23,6 +23,10 @@ pub struct MerlinConfig {
     pub max_cycles: u64,
     /// Seed for the statistical fault sampling.
     pub seed: u64,
+    /// Checkpointing of the golden run: every campaign phase (representative
+    /// injection, comprehensive and post-ACE baselines) restores these
+    /// checkpoints instead of re-simulating from cycle 0.
+    pub checkpoints: CheckpointPolicy,
 }
 
 impl Default for MerlinConfig {
@@ -33,6 +37,7 @@ impl Default for MerlinConfig {
                 .unwrap_or(4),
             max_cycles: 200_000_000,
             seed: 0x4D45_524C, // "MERL"
+            checkpoints: CheckpointPolicy::default(),
         }
     }
 }
@@ -166,7 +171,8 @@ pub fn run_merlin(
     fault_count: usize,
     merlin_cfg: &MerlinConfig,
 ) -> Result<MerlinCampaign, MerlinError> {
-    let golden = run_golden(program, cfg, merlin_cfg.max_cycles)?;
+    let golden =
+        run_golden_checkpointed(program, cfg, merlin_cfg.max_cycles, &merlin_cfg.checkpoints)?;
     let initial = initial_fault_list(
         cfg,
         structure,
@@ -258,7 +264,9 @@ pub fn run_merlin_with_faults(
 
 /// Runs the comprehensive baseline campaign (every fault of the initial list
 /// injected individually) — the reference MeRLiN's accuracy is judged
-/// against (Figure 15).
+/// against (Figure 15).  When `golden` carries checkpoints (see
+/// [`run_golden_checkpointed`]) each injection restores the nearest
+/// checkpoint and simulates only its suffix.
 pub fn run_comprehensive(
     program: &Program,
     cfg: &CpuConfig,
@@ -271,7 +279,8 @@ pub fn run_comprehensive(
 
 /// Runs the "post-ACE" baseline: every fault that survives the ACE-like
 /// pruning is injected individually (the blue bars of Figure 14).  Returns
-/// the classification over that remaining list.
+/// the classification over that remaining list.  Uses the checkpointed
+/// engine whenever `golden` carries checkpoints.
 pub fn run_post_ace_baseline(
     program: &Program,
     cfg: &CpuConfig,
@@ -282,7 +291,11 @@ pub fn run_post_ace_baseline(
     let remaining: Vec<FaultSpec> = reduction
         .groups
         .iter()
-        .flat_map(|g| g.subgroups.iter().flat_map(|s| s.faults.iter().map(|f| f.fault)))
+        .flat_map(|g| {
+            g.subgroups
+                .iter()
+                .flat_map(|s| s.faults.iter().map(|f| f.fault))
+        })
         .collect();
     run_campaign(program, cfg, golden, &remaining, threads)
 }
@@ -290,10 +303,13 @@ pub fn run_post_ace_baseline(
 /// Truncated-run classification (§4.4.3.4, Table 4): the faulty run is
 /// compared against the golden run at the end of a truncated interval; faults
 /// that are still architecturally live are `Unknown`.
+///
+/// Takes a reusable [`FaultInjector`] (build one per (program, config,
+/// golden) triple) so callers classifying whole fault lists pay no per-fault
+/// program clone and get checkpoint-restore suffix simulation whenever the
+/// injector's golden run carries a store.
 pub fn classify_truncated(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
+    injector: &mut FaultInjector,
     ace: &AceAnalysis,
     structure: Structure,
     fault: FaultSpec,
@@ -307,7 +323,7 @@ pub fn classify_truncated(
     if fault.cycle > horizon_cycles {
         return TruncatedEffect::Masked;
     }
-    match run_single_fault(program, cfg, golden, fault) {
+    match injector.run(fault) {
         FaultEffect::Crash => TruncatedEffect::Crash,
         FaultEffect::Assert => TruncatedEffect::Assert,
         FaultEffect::Due => TruncatedEffect::Due,
@@ -341,6 +357,7 @@ mod tests {
             threads: 4,
             max_cycles: 50_000_000,
             seed: 7,
+            ..Default::default()
         }
     }
 
@@ -380,14 +397,11 @@ mod tests {
         let w = workload_by_name("sha").unwrap();
         let cfg = small_cfg();
         let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
-        let golden = run_golden(&w.program, &cfg, 50_000_000).unwrap();
-        let initial = initial_fault_list(
-            &cfg,
-            Structure::RegisterFile,
-            golden.result.cycles,
-            500,
-            13,
-        );
+        let golden =
+            run_golden_checkpointed(&w.program, &cfg, 50_000_000, &CheckpointPolicy::default())
+                .unwrap();
+        let initial =
+            initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 500, 13);
         let merlin = run_merlin_with_faults(
             &w.program,
             &cfg,

@@ -63,7 +63,10 @@ pub fn homogeneity(
             let dominant_fine = counts.values().copied().max().unwrap_or(0);
             fine_weighted += dominant_fine as f64;
             // Coarse dominant class (masked vs non-masked).
-            let masked = outcomes.iter().filter(|e| **e == FaultEffect::Masked).count();
+            let masked = outcomes
+                .iter()
+                .filter(|e| **e == FaultEffect::Masked)
+                .count();
             let non_masked = outcomes.len() - masked;
             let dominant_coarse = masked.max(non_masked);
             coarse_weighted += dominant_coarse as f64;

@@ -77,10 +77,7 @@ impl RelyzerReduction {
 }
 
 /// Groups a post-ACE fault list with the control-equivalence heuristic.
-pub fn relyzer_reduce(
-    initial: &[FaultSpec],
-    intervals: &VulnerableIntervals,
-) -> RelyzerReduction {
+pub fn relyzer_reduce(initial: &[FaultSpec], intervals: &VulnerableIntervals) -> RelyzerReduction {
     let mut ace_masked = Vec::new();
     let mut by_key: BTreeMap<(Rip, u64), Vec<GroupedFault>> = BTreeMap::new();
     for &fault in initial {

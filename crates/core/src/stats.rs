@@ -117,7 +117,10 @@ mod tests {
         assert!((m.mean - 0.35).abs() < 1e-12);
         // Perfectly homogeneous groups (p = 0 or 1) contribute no variance.
         let only_homogeneous = AvfMoments::from_groups(
-            &[GroupStat { size: 10, p: 0.0 }, GroupStat { size: 20, p: 1.0 }],
+            &[
+                GroupStat { size: 10, p: 0.0 },
+                GroupStat { size: 20, p: 1.0 },
+            ],
             0,
         );
         assert_eq!(only_homogeneous.variance_comprehensive, 0.0);

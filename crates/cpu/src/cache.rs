@@ -9,9 +9,10 @@
 use crate::config::CacheConfig;
 use crate::memory::{MemError, Memory};
 use merlin_isa::MemSize;
+use serde::{Deserialize, Serialize};
 
 /// One cache line.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct CacheLine {
     valid: bool,
     dirty: bool,
@@ -22,7 +23,7 @@ struct CacheLine {
 
 /// A set-associative, write-back, write-allocate cache with true data
 /// storage and LRU replacement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<CacheLine>>,
@@ -200,6 +201,131 @@ impl Cache {
         let way = line % self.cfg.ways;
         (set, way, word)
     }
+
+    /// Captures the live contents of the cache.  Only valid lines are stored,
+    /// so the snapshot footprint is proportional to the data actually cached,
+    /// not to the cache's capacity (a mostly-idle 1 MB L2 snapshots in a few
+    /// hundred bytes).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut lines = Vec::new();
+        for (set, ways) in self.sets.iter().enumerate() {
+            for (way, l) in ways.iter().enumerate() {
+                if l.valid {
+                    lines.push(LineSnapshot {
+                        set: set as u32,
+                        way: way as u32,
+                        tag: l.tag,
+                        dirty: l.dirty,
+                        last_use: l.last_use,
+                        data: l.data.clone().into_boxed_slice(),
+                    });
+                }
+            }
+        }
+        CacheSnapshot {
+            use_counter: self.use_counter,
+            lines,
+        }
+    }
+
+    /// Restores the cache to a previously captured snapshot, reusing the
+    /// existing line buffers (no allocation on the restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a cache with different geometry.
+    pub fn restore_snapshot(&mut self, snap: &CacheSnapshot) {
+        for ways in &mut self.sets {
+            for l in ways.iter_mut() {
+                l.valid = false;
+            }
+        }
+        for s in &snap.lines {
+            let line = &mut self.sets[s.set as usize][s.way as usize];
+            line.valid = true;
+            line.dirty = s.dirty;
+            line.tag = s.tag;
+            line.last_use = s.last_use;
+            line.data.copy_from_slice(&s.data);
+        }
+        self.use_counter = snap.use_counter;
+    }
+
+    /// Whether the cache's live contents are bit-identical to the snapshot.
+    pub fn matches_snapshot(&self, snap: &CacheSnapshot) -> bool {
+        if self.use_counter != snap.use_counter {
+            return false;
+        }
+        let mut it = snap.lines.iter();
+        for (set, ways) in self.sets.iter().enumerate() {
+            for (way, l) in ways.iter().enumerate() {
+                if !l.valid {
+                    continue;
+                }
+                let Some(s) = it.next() else { return false };
+                if s.set as usize != set
+                    || s.way as usize != way
+                    || s.tag != l.tag
+                    || s.dirty != l.dirty
+                    || s.last_use != l.last_use
+                    || *s.data != *l.data
+                {
+                    return false;
+                }
+            }
+        }
+        it.next().is_none()
+    }
+}
+
+/// One valid line captured by [`Cache::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LineSnapshot {
+    set: u32,
+    way: u32,
+    tag: u64,
+    dirty: bool,
+    last_use: u64,
+    data: Box<[u8]>,
+}
+
+/// The live contents of one cache, valid lines only (see
+/// [`Cache::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    use_counter: u64,
+    lines: Vec<LineSnapshot>,
+}
+
+impl CacheSnapshot {
+    /// Number of valid lines captured.
+    pub fn lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Approximate heap footprint of the snapshot in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.lines
+            .iter()
+            .map(|l| l.data.len() + std::mem::size_of::<LineSnapshot>())
+            .sum()
+    }
+}
+
+/// The full memory-hierarchy state captured by [`MemSystem::snapshot`]:
+/// sparse cache images plus a dense copy of the backing memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemSystemSnapshot {
+    l1d: CacheSnapshot,
+    l2: CacheSnapshot,
+    mem: Memory,
+}
+
+impl MemSystemSnapshot {
+    /// Approximate heap footprint of the snapshot in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.l1d.footprint_bytes() + self.l2.footprint_bytes() + self.mem.len() as usize
+    }
 }
 
 /// Per-access side effects on the L1D data array, expressed as flattened
@@ -234,7 +360,7 @@ impl CacheEffects {
 }
 
 /// The two-level data memory system: L1D + L2 backed by flat [`Memory`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemSystem {
     /// L1 data cache (fault-injection target).
     pub l1d: Cache,
@@ -433,6 +559,31 @@ impl MemSystem {
             v |= (byte as u64) << (8 * i);
         }
         Ok(v)
+    }
+
+    /// Captures the full state of the memory hierarchy (both caches plus the
+    /// backing memory).
+    pub fn snapshot(&self) -> MemSystemSnapshot {
+        MemSystemSnapshot {
+            l1d: self.l1d.snapshot(),
+            l2: self.l2.snapshot(),
+            mem: self.mem.clone(),
+        }
+    }
+
+    /// Restores a previously captured snapshot in place, reusing existing
+    /// buffers where possible.
+    pub fn restore_snapshot(&mut self, snap: &MemSystemSnapshot) {
+        self.l1d.restore_snapshot(&snap.l1d);
+        self.l2.restore_snapshot(&snap.l2);
+        self.mem.clone_from(&snap.mem);
+    }
+
+    /// Whether the hierarchy's state is bit-identical to the snapshot.
+    pub fn matches_snapshot(&self, snap: &MemSystemSnapshot) -> bool {
+        self.l1d.matches_snapshot(&snap.l1d)
+            && self.l2.matches_snapshot(&snap.l2)
+            && self.mem == snap.mem
     }
 
     fn peek_byte(&mut self, addr: u64) -> u8 {

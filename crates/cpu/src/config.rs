@@ -349,8 +349,10 @@ mod tests {
 
     #[test]
     fn zero_parameter_rejected() {
-        let mut c = CpuConfig::default();
-        c.iq_entries = 0;
+        let c = CpuConfig {
+            iq_entries: 0,
+            ..CpuConfig::default()
+        };
         assert!(matches!(c.validate(), Err(ConfigError::ZeroParameter(_))));
     }
 

@@ -21,6 +21,7 @@ use merlin_isa::{decode, Inst, Program, Rip, Uop, UopKind, NUM_ARCH_REGS};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Reasons a run ends with a crash of the simulated program or system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,14 +163,14 @@ enum Exception {
 
 /// A micro-op waiting in the fetch buffer together with the next fetch PC the
 /// front end assumed after it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FetchedUop {
     uop: Uop,
     pred_next: Rip,
 }
 
 /// One re-order buffer entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct RobEntry {
     seq: u64,
     uop: Uop,
@@ -217,7 +218,7 @@ struct RobEntry {
 #[derive(Debug)]
 pub struct Cpu {
     cfg: CpuConfig,
-    program: Program,
+    program: Arc<Program>,
     cycle: u64,
     next_seq: u64,
     // Front end.
@@ -257,10 +258,15 @@ pub struct Cpu {
 impl Cpu {
     /// Creates a core ready to run `program` under `cfg`.
     ///
+    /// Accepts either an owned [`Program`] or an `Arc<Program>`; campaigns
+    /// share one `Arc` across thousands of per-fault cores instead of cloning
+    /// the program image for each one.
+    ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if the configuration is inconsistent.
-    pub fn new(program: Program, cfg: CpuConfig) -> Result<Self, ConfigError> {
+    pub fn new(program: impl Into<Arc<Program>>, cfg: CpuConfig) -> Result<Self, ConfigError> {
+        let program: Arc<Program> = program.into();
         cfg.validate()?;
         let mem_len = program.data_size + cfg.extra_memory_bytes;
         let mut memory = Memory::new(mem_len);
@@ -309,9 +315,24 @@ impl Cpu {
         &self.cfg
     }
 
+    /// The program this core executes.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// `true` once the run has ended (halt, crash, assert).
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// Why the run ended, if it has.
+    pub fn exit_reason(&self) -> Option<&ExitReason> {
+        self.finished.as_ref()
     }
 
     /// The architected output stream so far.
@@ -417,9 +438,7 @@ impl Cpu {
             return;
         }
         let mut fetched = 0;
-        while fetched < self.cfg.fetch_width
-            && self.fetch_buffer.len() < self.cfg.fetch_width * 3
-        {
+        while fetched < self.cfg.fetch_width && self.fetch_buffer.len() < self.cfg.fetch_width * 3 {
             if (self.fetch_pc as usize) >= self.program.len() {
                 self.fetch_invalid = true;
                 return;
@@ -495,8 +514,7 @@ impl Cpu {
                 UopKind::Load => lq_slot = Some(self.lq.allocate(seq)),
                 UopKind::StoreAddr => {
                     let slot = self.sq.allocate(seq, fetched.uop.rip);
-                    self.sq.slot_mut(slot).size =
-                        fetched.uop.mem_size.expect("store has a size");
+                    self.sq.slot_mut(slot).size = fetched.uop.mem_size.expect("store has a size");
                     sq_slot = Some(slot);
                     self.pending_store_slot = Some(slot);
                 }
@@ -631,13 +649,17 @@ impl Cpu {
                 let size = uop.mem_size.expect("load has a size");
                 let index_val = if mem_ref.index.is_some() { vals[1] } else { 0 };
                 let addr = mem_ref.effective_address(vals[0], index_val);
-                let misaligned = addr % size.bytes() != 0;
+                let misaligned = !addr.is_multiple_of(size.bytes());
                 // Store-to-load forwarding.
                 if let Some((slot, covers)) = self.sq.forwarding_candidate(seq, addr, size.bytes())
                 {
                     let (s_addr, s_data, s_ready) = {
                         let s = self.sq.slot(slot);
-                        (s.addr.expect("candidate has an address"), s.data, s.data_ready)
+                        (
+                            s.addr.expect("candidate has an address"),
+                            s.data,
+                            s.data_ready,
+                        )
                     };
                     if !covers || !s_ready {
                         return false;
@@ -723,7 +745,8 @@ impl Cpu {
                 self.sq.slot_mut(slot).addr = Some(addr);
                 let entry = &mut self.rob[idx];
                 record_reg_reads(entry);
-                entry.exception = (addr % size.bytes() != 0).then_some(Exception::Misaligned);
+                entry.exception =
+                    (!addr.is_multiple_of(size.bytes())).then_some(Exception::Misaligned);
                 entry.complete_at = Some(cycle + 1);
                 true
             }
@@ -955,10 +978,8 @@ impl Cpu {
                         self.lq.release(l);
                     }
                 }
-                UopKind::StoreData => {
-                    if self.drain_store(&e, dyn_instance, probe).is_err() {
-                        return;
-                    }
+                UopKind::StoreData if self.drain_store(&e, dyn_instance, probe).is_err() => {
+                    return;
                 }
                 UopKind::Branch(_) => {
                     let taken = e.result.unwrap_or(0) != 0;
@@ -1073,5 +1094,183 @@ impl Cpu {
             sig = sig.wrapping_mul(0x1000_0000_01b3);
         }
         self.path_sig = sig;
+    }
+
+    // ----- checkpoint/restore ---------------------------------------------
+
+    /// Captures the complete microarchitectural state of the core.
+    ///
+    /// The core is deterministic (no RNG anywhere), so
+    /// `snapshot → restore_from → step*` is cycle-for-cycle identical to
+    /// continuing the original run — the foundation of the checkpointed
+    /// injection engine in `merlin-inject`.
+    pub fn snapshot(&self) -> CpuState {
+        CpuState {
+            cycle: self.cycle,
+            next_seq: self.next_seq,
+            fetch_pc: self.fetch_pc,
+            fetch_halted: self.fetch_halted,
+            fetch_invalid: self.fetch_invalid,
+            fetch_buffer: self.fetch_buffer.clone(),
+            rat: self.rat.clone(),
+            free_list: self.free_list.clone(),
+            prf: self.prf.clone(),
+            rob: self.rob.clone(),
+            iq_count: self.iq_count,
+            lq: self.lq.clone(),
+            sq: self.sq.clone(),
+            pending_store_slot: self.pending_store_slot,
+            mem: self.mem.snapshot(),
+            bp: self.bp.clone(),
+            btb: self.btb.clone(),
+            output: self.output.clone(),
+            committed_instructions: self.committed_instructions,
+            committed_uops: self.committed_uops,
+            arithmetic_exceptions: self.arithmetic_exceptions,
+            misaligned_exceptions: self.misaligned_exceptions,
+            dyn_counts: self.dyn_counts.clone(),
+            path_history: self.path_history.clone(),
+            path_sig: self.path_sig,
+            faults: self.faults.clone(),
+            finished: self.finished.clone(),
+        }
+    }
+
+    /// Restores the core to a previously captured state.
+    ///
+    /// Every mutable field is overwritten, so the core behaves identically to
+    /// the one the snapshot was taken from regardless of what it executed in
+    /// between (including a run that panicked mid-cycle).  Existing heap
+    /// buffers are reused where possible, making repeated restores on one
+    /// core object allocation-light.
+    ///
+    /// The state must come from a core running the same program under the
+    /// same configuration; this is not checked.
+    pub fn restore_from(&mut self, s: &CpuState) {
+        self.cycle = s.cycle;
+        self.next_seq = s.next_seq;
+        self.fetch_pc = s.fetch_pc;
+        self.fetch_halted = s.fetch_halted;
+        self.fetch_invalid = s.fetch_invalid;
+        self.fetch_buffer.clone_from(&s.fetch_buffer);
+        self.rat.clone_from(&s.rat);
+        self.free_list.clone_from(&s.free_list);
+        self.prf.clone_from(&s.prf);
+        self.rob.clone_from(&s.rob);
+        self.iq_count = s.iq_count;
+        self.lq.clone_from(&s.lq);
+        self.sq.clone_from(&s.sq);
+        self.pending_store_slot = s.pending_store_slot;
+        self.mem.restore_snapshot(&s.mem);
+        self.bp.clone_from(&s.bp);
+        self.btb.clone_from(&s.btb);
+        self.output.clone_from(&s.output);
+        self.committed_instructions = s.committed_instructions;
+        self.committed_uops = s.committed_uops;
+        self.arithmetic_exceptions = s.arithmetic_exceptions;
+        self.misaligned_exceptions = s.misaligned_exceptions;
+        self.dyn_counts.clone_from(&s.dyn_counts);
+        self.path_history.clone_from(&s.path_history);
+        self.path_sig = s.path_sig;
+        self.faults.clone_from(&s.faults);
+        self.finished.clone_from(&s.finished);
+    }
+
+    /// Whether the core's current state is bit-identical to `s`.
+    ///
+    /// Used by the injection engine's early-exit test: once a faulty run's
+    /// state re-converges with a golden checkpoint, the remainder of the run
+    /// is guaranteed identical to the golden run, so the fault is Masked.
+    /// Cheap scalar fields are compared first so divergent states bail out
+    /// without touching the memory image.
+    pub fn matches_state(&self, s: &CpuState) -> bool {
+        self.cycle == s.cycle
+            && self.next_seq == s.next_seq
+            && self.committed_instructions == s.committed_instructions
+            && self.committed_uops == s.committed_uops
+            && self.arithmetic_exceptions == s.arithmetic_exceptions
+            && self.misaligned_exceptions == s.misaligned_exceptions
+            && self.path_sig == s.path_sig
+            && self.fetch_pc == s.fetch_pc
+            && self.fetch_halted == s.fetch_halted
+            && self.fetch_invalid == s.fetch_invalid
+            && self.iq_count == s.iq_count
+            && self.pending_store_slot == s.pending_store_slot
+            && self.finished == s.finished
+            && self.faults == s.faults
+            && self.output == s.output
+            && self.path_history == s.path_history
+            && self.rat == s.rat
+            && self.fetch_buffer == s.fetch_buffer
+            && self.rob == s.rob
+            && self.free_list == s.free_list
+            && self.lq == s.lq
+            && self.sq == s.sq
+            && self.prf == s.prf
+            && self.bp == s.bp
+            && self.btb == s.btb
+            && self.dyn_counts == s.dyn_counts
+            && self.mem.matches_snapshot(&s.mem)
+    }
+}
+
+/// A complete snapshot of the core's microarchitectural state, produced by
+/// [`Cpu::snapshot`] and consumed by [`Cpu::restore_from`].
+///
+/// The snapshot does not include the program or the configuration — those
+/// are immutable over a run and shared (via `Arc`) between the cores of a
+/// campaign.  Cache contents are stored sparsely (valid lines only) so a
+/// snapshot's footprint tracks the data the workload actually touched, not
+/// the configured cache capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuState {
+    cycle: u64,
+    next_seq: u64,
+    fetch_pc: Rip,
+    fetch_halted: bool,
+    fetch_invalid: bool,
+    fetch_buffer: VecDeque<FetchedUop>,
+    rat: RenameTable,
+    free_list: FreeList,
+    prf: PhysRegFile,
+    rob: VecDeque<RobEntry>,
+    iq_count: usize,
+    lq: LoadQueue,
+    sq: StoreQueue,
+    pending_store_slot: Option<usize>,
+    mem: crate::cache::MemSystemSnapshot,
+    bp: BranchPredictor,
+    btb: Btb,
+    output: Vec<u64>,
+    committed_instructions: u64,
+    committed_uops: u64,
+    arithmetic_exceptions: u64,
+    misaligned_exceptions: u64,
+    dyn_counts: HashMap<Rip, u64>,
+    path_history: VecDeque<(Rip, bool)>,
+    path_sig: u64,
+    faults: Vec<FaultSpec>,
+    finished: Option<ExitReason>,
+}
+
+impl CpuState {
+    /// The cycle at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the captured run had already ended.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// Approximate heap footprint of the snapshot in bytes (dominated by the
+    /// memory image and the touched cache lines).
+    pub fn footprint_bytes(&self) -> usize {
+        self.mem.footprint_bytes()
+            + self.prf.len() * 9
+            + self.output.len() * 8
+            + self.rob.len() * std::mem::size_of::<RobEntry>()
+            + self.fetch_buffer.len() * std::mem::size_of::<FetchedUop>()
     }
 }

@@ -158,10 +158,7 @@ pub fn interpret(program: &Program, max_instructions: u64) -> InterpResult {
                 }
             }
             Inst::BranchRI {
-                cond,
-                rs1,
-                target,
-                ..
+                cond, rs1, target, ..
             } => {
                 let imm = branch_compare_immediate(&inst).expect("BranchRI has an immediate");
                 if cond.eval(regs[rs1.index()], imm as u64) {

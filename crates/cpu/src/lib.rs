@@ -59,10 +59,11 @@ mod memory;
 mod predictor;
 mod probe;
 mod regfile;
+mod snapshot;
 
-pub use cache::{Cache, CacheEffects, MemSystem};
+pub use cache::{Cache, CacheEffects, CacheSnapshot, MemSystem, MemSystemSnapshot};
 pub use config::{CacheConfig, ConfigError, CpuConfig};
-pub use core::{AssertKind, CrashKind, Cpu, ExitReason, InjectError, RunResult};
+pub use core::{AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, RunResult};
 pub use fault::FaultSpec;
 pub use interp::{interpret, InterpExit, InterpResult};
 pub use lsq::{LoadQueue, SqSlot, StoreQueue};
@@ -70,3 +71,4 @@ pub use memory::{MemError, Memory};
 pub use predictor::{BranchPredictor, Btb};
 pub use probe::{NullProbe, Probe, ReadInfo, RecordingProbe, Structure, WRITEBACK_RIP};
 pub use regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
+pub use snapshot::{CheckpointPolicy, CheckpointStore};

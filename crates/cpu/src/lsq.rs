@@ -9,7 +9,7 @@
 use merlin_isa::{MemSize, Rip, Upc};
 
 /// One store-queue slot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SqSlot {
     /// Whether the slot currently holds an in-flight store.
     pub valid: bool,
@@ -46,7 +46,7 @@ impl SqSlot {
 }
 
 /// Circular store queue.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreQueue {
     slots: Vec<SqSlot>,
     head: usize,
@@ -148,10 +148,7 @@ impl StoreQueue {
 
     /// Iterates over the valid slots (any order).
     pub fn valid_slots(&self) -> impl Iterator<Item = (usize, &SqSlot)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.valid)
+        self.slots.iter().enumerate().filter(|(_, s)| s.valid)
     }
 
     /// Checks whether every older (by sequence number) valid store has a
@@ -183,7 +180,7 @@ impl StoreQueue {
                 continue;
             }
             let covers = saddr <= addr && saddr + slen >= addr + len;
-            if best.map_or(true, |(_, bseq, _)| s.seq > bseq) {
+            if best.is_none_or(|(_, bseq, _)| s.seq > bseq) {
                 best = Some((i, s.seq, covers));
             }
         }
@@ -199,7 +196,7 @@ impl StoreQueue {
 
 /// Load queue: only tracks occupancy (Gem5 models no data field in the load
 /// queue, and neither does the paper).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadQueue {
     seqs: Vec<Option<u64>>,
     count: usize,

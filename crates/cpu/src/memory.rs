@@ -29,7 +29,10 @@ impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemError::OutOfBounds { addr, size } => {
-                write!(f, "memory access of {size} bytes at {addr:#x} out of bounds")
+                write!(
+                    f,
+                    "memory access of {size} bytes at {addr:#x} out of bounds"
+                )
             }
             MemError::StoreToCode { addr } => {
                 write!(f, "store to code region at {addr:#x}")
@@ -41,7 +44,7 @@ impl fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// Byte-addressable backing memory covering `[DATA_BASE, DATA_BASE + len)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Memory {
     bytes: Vec<u8>,
 }
@@ -219,13 +222,15 @@ mod tests {
         let line = m.read_line(DATA_BASE + 16, 64);
         assert_eq!(line.len(), 64);
         assert!(line.iter().all(|&b| b == 0));
-        m.write_line(DATA_BASE + 16, &vec![0xAA; 64]);
+        m.write_line(DATA_BASE + 16, &[0xAA; 64]);
         assert_eq!(m.read(DATA_BASE + 31, MemSize::B1).unwrap(), 0xAA);
     }
 
     #[test]
     fn error_display() {
-        assert!(!MemError::OutOfBounds { addr: 1, size: 8 }.to_string().is_empty());
+        assert!(!MemError::OutOfBounds { addr: 1, size: 8 }
+            .to_string()
+            .is_empty());
         assert!(!MemError::StoreToCode { addr: 1 }.to_string().is_empty());
     }
 }

@@ -10,7 +10,7 @@ use merlin_isa::Rip;
 /// A 2-bit saturating counter direction predictor (bimodal) combined with a
 /// global-history gshare table; the stronger of the two provides the
 /// prediction, loosely mirroring the tournament predictor of Table 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchPredictor {
     bimodal: Vec<u8>,
     gshare: Vec<u8>,
@@ -82,7 +82,7 @@ fn confidence(counter: u8) -> u8 {
 }
 
 /// Direct-mapped branch target buffer for indirect jumps.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Btb {
     entries: Vec<Option<(Rip, Rip)>>,
 }

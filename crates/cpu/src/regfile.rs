@@ -8,7 +8,7 @@ pub type PhysReg = u16;
 
 /// The physical integer register file: actual 64-bit storage plus per-entry
 /// ready bits.  The value array is a fault-injection target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysRegFile {
     values: Vec<u64>,
     ready: Vec<bool>,
@@ -72,7 +72,7 @@ impl PhysRegFile {
 }
 
 /// FIFO free list of physical registers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FreeList {
     free: VecDeque<PhysReg>,
 }
@@ -106,7 +106,7 @@ impl FreeList {
 }
 
 /// Register alias table: the speculative architectural → physical mapping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RenameTable {
     map: [PhysReg; NUM_ARCH_REGS],
 }

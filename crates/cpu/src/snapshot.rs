@@ -1,0 +1,250 @@
+//! Checkpointing of golden runs: policy, store and the instrumented run that
+//! builds the store.
+//!
+//! A fault-injection campaign re-executes the same program once per fault,
+//! and every faulty run is bit-identical to the fault-free (golden) run up to
+//! the fault's injection cycle.  Recording periodic [`CpuState`] snapshots
+//! during one golden run lets each faulty run restore the latest checkpoint
+//! at or before its injection cycle and simulate only the suffix, turning
+//! per-fault cost from O(program length) into O(checkpoint interval +
+//! post-injection length).
+
+use crate::core::{Cpu, CpuState, RunResult};
+use crate::probe::Probe;
+use serde::{Deserialize, Serialize};
+
+/// How (and whether) a golden run is checkpointed.
+///
+/// The default targets 16 checkpoints per run (plus the cycle-0 snapshot),
+/// clamped by a minimum interval so very short runs do not snapshot every few
+/// cycles for no gain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Whether campaigns build and use checkpoints at all.
+    pub enabled: bool,
+    /// Desired number of checkpoints across the golden run (8–32 is the
+    /// sensible band; the cycle-0 snapshot comes on top).
+    pub target_checkpoints: u32,
+    /// Lower bound on the checkpoint interval in cycles.
+    pub min_interval: u64,
+    /// Whether faulty runs may classify as Masked early when their state
+    /// re-converges with the golden checkpoint stream (sound: identical state
+    /// implies an identical remainder of the run).
+    pub early_exit: bool,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            enabled: true,
+            target_checkpoints: 16,
+            min_interval: 256,
+            early_exit: true,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// A policy that disables checkpointing entirely (campaigns fall back to
+    /// from-scratch simulation).
+    pub fn disabled() -> Self {
+        CheckpointPolicy {
+            enabled: false,
+            ..CheckpointPolicy::default()
+        }
+    }
+
+    /// A policy targeting `n` checkpoints per run.
+    pub fn with_target(n: u32) -> Self {
+        CheckpointPolicy {
+            target_checkpoints: n.max(1),
+            ..CheckpointPolicy::default()
+        }
+    }
+
+    /// The snapshot interval this policy picks for a golden run of
+    /// `golden_cycles` cycles.
+    pub fn interval_for(&self, golden_cycles: u64) -> u64 {
+        (golden_cycles / self.target_checkpoints.max(1) as u64)
+            .max(self.min_interval)
+            .max(1)
+    }
+}
+
+/// Checkpoints of one golden run, cycle-ascending, always starting with the
+/// cycle-0 (reset) state so every injection cycle has a checkpoint at or
+/// before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointStore {
+    interval: u64,
+    checkpoints: Vec<CpuState>,
+}
+
+impl CheckpointStore {
+    /// The snapshot interval the store was built with.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of checkpoints held (including the cycle-0 snapshot).
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// `true` when the store holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// The latest checkpoint at or before `cycle` — the restore point for a
+    /// fault injected at `cycle`.
+    pub fn latest_at_or_before(&self, cycle: u64) -> Option<&CpuState> {
+        match self.checkpoints.partition_point(|s| s.cycle() <= cycle) {
+            0 => None,
+            n => Some(&self.checkpoints[n - 1]),
+        }
+    }
+
+    /// The checkpoint taken exactly at `cycle`, if one exists (used by the
+    /// early-exit convergence test).
+    pub fn at_cycle(&self, cycle: u64) -> Option<&CpuState> {
+        let idx = self.checkpoints.partition_point(|s| s.cycle() < cycle);
+        self.checkpoints.get(idx).filter(|s| s.cycle() == cycle)
+    }
+
+    /// Cycles at which checkpoints were taken.
+    pub fn cycles(&self) -> impl Iterator<Item = u64> + '_ {
+        self.checkpoints.iter().map(|s| s.cycle())
+    }
+
+    /// Approximate heap footprint of the whole store in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.checkpoints.iter().map(|s| s.footprint_bytes()).sum()
+    }
+}
+
+impl Cpu {
+    /// Runs like [`Cpu::run`] while snapshotting the state every `interval`
+    /// cycles (including cycle 0), returning the run result together with the
+    /// populated [`CheckpointStore`].
+    pub fn run_with_checkpoints(
+        &mut self,
+        max_cycles: u64,
+        probe: &mut dyn Probe,
+        interval: u64,
+    ) -> (RunResult, CheckpointStore) {
+        let interval = interval.max(1);
+        let mut checkpoints = Vec::new();
+        while !self.is_finished() && self.cycle() < max_cycles {
+            if self.cycle().is_multiple_of(interval) {
+                checkpoints.push(self.snapshot());
+            }
+            self.step(probe);
+        }
+        let result = self.run(max_cycles, probe);
+        (
+            result,
+            CheckpointStore {
+                interval,
+                checkpoints,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpuConfig, NullProbe};
+    use merlin_isa::{reg, AluOp, Cond, MemRef, ProgramBuilder};
+
+    fn looped_program() -> merlin_isa::Program {
+        let mut b = ProgramBuilder::new();
+        let data = b.alloc_words(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        b.movi(reg(10), data as i64);
+        b.movi(reg(1), 0);
+        b.movi(reg(2), 0);
+        let top = b.bind_label();
+        b.load_op(AluOp::Add, reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.store(reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+        b.branch_ri(Cond::Lt, reg(1), 8, top);
+        b.out(reg(2));
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn policy_interval_bands() {
+        let p = CheckpointPolicy::default();
+        assert_eq!(p.interval_for(16_000), 1_000);
+        // Short runs are clamped by the minimum interval.
+        assert_eq!(p.interval_for(100), p.min_interval);
+        assert_eq!(
+            CheckpointPolicy::with_target(8).interval_for(80_000),
+            10_000
+        );
+        assert!(!CheckpointPolicy::disabled().enabled);
+    }
+
+    #[test]
+    fn store_lookup_semantics() {
+        let program = looped_program();
+        let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+        let (result, store) = cpu.run_with_checkpoints(100_000, &mut NullProbe, 10);
+        assert!(result.exit.is_halted());
+        assert!(store.len() >= 2, "expected several checkpoints");
+        assert_eq!(store.latest_at_or_before(0).unwrap().cycle(), 0);
+        assert_eq!(store.latest_at_or_before(9).unwrap().cycle(), 0);
+        assert_eq!(store.latest_at_or_before(10).unwrap().cycle(), 10);
+        assert_eq!(
+            store.latest_at_or_before(u64::MAX).unwrap().cycle(),
+            store.cycles().last().unwrap()
+        );
+        assert!(store.at_cycle(10).is_some());
+        assert!(store.at_cycle(11).is_none());
+        let cycles: Vec<u64> = store.cycles().collect();
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        assert!(store.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn restored_run_is_identical_to_uninterrupted_run() {
+        let program = looped_program();
+        let mut reference = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let expected = reference.run(100_000, &mut NullProbe);
+
+        let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        for _ in 0..17 {
+            cpu.step(&mut NullProbe);
+        }
+        let state = cpu.snapshot();
+        // Diverge: run the original to completion, then restore and re-run.
+        let first = cpu.run(100_000, &mut NullProbe);
+        assert_eq!(first, expected);
+        cpu.restore_from(&state);
+        assert_eq!(cpu.cycle(), 17);
+        let second = cpu.run(100_000, &mut NullProbe);
+        assert_eq!(second, expected);
+
+        // A fresh core restored from the same state also agrees.
+        let mut other = Cpu::new(program, CpuConfig::default()).unwrap();
+        other.restore_from(&state);
+        assert!(other.matches_state(&state));
+        let third = other.run(100_000, &mut NullProbe);
+        assert_eq!(third, expected);
+    }
+
+    #[test]
+    fn matches_state_detects_divergence() {
+        let program = looped_program();
+        let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+        for _ in 0..5 {
+            cpu.step(&mut NullProbe);
+        }
+        let state = cpu.snapshot();
+        assert!(cpu.matches_state(&state));
+        cpu.step(&mut NullProbe);
+        assert!(!cpu.matches_state(&state));
+    }
+}

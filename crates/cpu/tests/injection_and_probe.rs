@@ -53,11 +53,19 @@ fn fault_in_free_register_is_masked() {
     // The default configuration has 256 physical registers; a register near
     // the top of the file is never allocated by this tiny program.
     let mut cpu = Cpu::new(sample_program(), CpuConfig::default()).unwrap();
-    cpu.inject_fault(FaultSpec::new(Structure::RegisterFile, 250, 13, g.cycles / 2))
-        .unwrap();
+    cpu.inject_fault(FaultSpec::new(
+        Structure::RegisterFile,
+        250,
+        13,
+        g.cycles / 2,
+    ))
+    .unwrap();
     let r = cpu.run(1_000_000, &mut NullProbe);
     assert!(r.exit.is_halted());
-    assert_eq!(r.output, g.output, "fault in a dead register must be masked");
+    assert_eq!(
+        r.output, g.output,
+        "fault in a dead register must be masked"
+    );
 }
 
 #[test]
@@ -119,8 +127,13 @@ fn l1d_fault_in_untouched_word_is_masked() {
     // The program touches a few hundred bytes near the bottom of the address
     // space; a word in a far-away set is never accessed.
     let far_entry = cfg.l1d.total_words() - 1;
-    cpu.inject_fault(FaultSpec::new(Structure::L1DCache, far_entry, 7, g.cycles / 3))
-        .unwrap();
+    cpu.inject_fault(FaultSpec::new(
+        Structure::L1DCache,
+        far_entry,
+        7,
+        g.cycles / 3,
+    ))
+    .unwrap();
     let r = cpu.run(1_000_000, &mut NullProbe);
     assert_eq!(r.output, g.output);
 }
@@ -156,7 +169,11 @@ fn probe_reads_only_come_from_committed_micro_ops() {
     // that wrong-path micro-ops execute; then check that no committed read is
     // attributed to the instruction that only executes on the wrong path.
     let mut b = ProgramBuilder::new();
-    let data = b.alloc_words(&(0..64).map(|i| (i * 2654435761u64) >> 3).collect::<Vec<u64>>());
+    let data = b.alloc_words(
+        &(0..64)
+            .map(|i| (i * 2654435761u64) >> 3)
+            .collect::<Vec<u64>>(),
+    );
     b.movi(reg(1), data as i64);
     b.movi(reg(2), 0);
     b.movi(reg(3), 0);
@@ -193,10 +210,19 @@ fn probe_reads_only_come_from_committed_micro_ops() {
     }
     // Register-file reads and writes were both observed, and the loads left
     // L1D read events (this program has no stores, so no SQ events).
-    assert!(probe.reads.iter().any(|(s, _)| *s == Structure::RegisterFile));
-    assert!(probe.writes.iter().any(|(s, _, _)| *s == Structure::RegisterFile));
+    assert!(probe
+        .reads
+        .iter()
+        .any(|(s, _)| *s == Structure::RegisterFile));
+    assert!(probe
+        .writes
+        .iter()
+        .any(|(s, _, _)| *s == Structure::RegisterFile));
     assert!(probe.reads.iter().any(|(s, _)| *s == Structure::L1DCache));
-    assert!(probe.writes.iter().any(|(s, _, _)| *s == Structure::L1DCache));
+    assert!(probe
+        .writes
+        .iter()
+        .any(|(s, _, _)| *s == Structure::L1DCache));
 }
 
 #[test]

@@ -102,9 +102,19 @@ fn memory_store_load_roundtrip_all_widths() {
         .enumerate()
     {
         b.store_sized(reg(2), MemRef::base(reg(1)).disp(16 * i as i64), *size);
-        b.load_sized(reg(3), MemRef::base(reg(1)).disp(16 * i as i64), *size, false);
+        b.load_sized(
+            reg(3),
+            MemRef::base(reg(1)).disp(16 * i as i64),
+            *size,
+            false,
+        );
         b.out(reg(3));
-        b.load_sized(reg(4), MemRef::base(reg(1)).disp(16 * i as i64), *size, true);
+        b.load_sized(
+            reg(4),
+            MemRef::base(reg(1)).disp(16 * i as i64),
+            *size,
+            true,
+        );
         b.out(reg(4));
     }
     b.halt();
@@ -215,7 +225,11 @@ fn out_of_bounds_load_crashes() {
     b.halt();
     let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
     let result = cpu.run(100_000, &mut NullProbe);
-    assert!(matches!(result.exit, ExitReason::Crash(_)), "{:?}", result.exit);
+    assert!(
+        matches!(result.exit, ExitReason::Crash(_)),
+        "{:?}",
+        result.exit
+    );
     assert!(result.output.is_empty());
 }
 
@@ -228,7 +242,11 @@ fn store_to_code_region_asserts() {
     b.halt();
     let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
     let result = cpu.run(100_000, &mut NullProbe);
-    assert!(matches!(result.exit, ExitReason::Assert(_)), "{:?}", result.exit);
+    assert!(
+        matches!(result.exit, ExitReason::Assert(_)),
+        "{:?}",
+        result.exit
+    );
 }
 
 #[test]
@@ -239,7 +257,11 @@ fn jump_to_invalid_target_crashes() {
     b.halt();
     let mut cpu = Cpu::new(b.build().unwrap(), CpuConfig::default()).unwrap();
     let result = cpu.run(100_000, &mut NullProbe);
-    assert!(matches!(result.exit, ExitReason::Crash(_)), "{:?}", result.exit);
+    assert!(
+        matches!(result.exit, ExitReason::Crash(_)),
+        "{:?}",
+        result.exit
+    );
 }
 
 #[test]

@@ -1,19 +1,79 @@
 //! Injection campaign execution: golden runs, single-fault runs and
 //! multi-threaded campaigns over a fault list.
+//!
+//! # The checkpoint-and-restore injection engine
+//!
+//! Every faulty run is bit-identical to the golden run until its fault's
+//! injection cycle, so simulating each fault from cycle 0 (the classic GeFIN
+//! approach) repays the same prefix thousands of times.  The engine here
+//! removes that cost:
+//!
+//! 1. [`run_golden_checkpointed`] executes the golden run once while
+//!    snapshotting the complete microarchitectural state
+//!    ([`CpuState`](merlin_cpu::CpuState)) every
+//!    N cycles into a [`CheckpointStore`] (N is picked by the
+//!    [`CheckpointPolicy`] so a run gets ~8–32 checkpoints).  The store rides
+//!    inside the returned [`GoldenRun`], so every campaign over that golden
+//!    run shares it.
+//! 2. [`run_campaign`] sorts the fault list by injection cycle and hands
+//!    faults to worker threads through an atomic work index (dynamic
+//!    scheduling — a slow faulty run no longer serialises a whole static
+//!    chunk).  Each worker builds **one** core object and, per fault,
+//!    restores the latest checkpoint at or before the injection cycle,
+//!    injects, and simulates only the suffix against the golden timeout.
+//! 3. While a faulty run is past its injection cycle, the worker compares the
+//!    core's state against the golden checkpoint at each checkpoint boundary
+//!    it crosses.  If the states are bit-identical the remainder of the run
+//!    is guaranteed identical to the golden run, so the fault is classified
+//!    Masked immediately (early exit) instead of simulating to the end.
+//!
+//! The program and configuration are shared across workers via `Arc` — no
+//! per-fault `Program`/`CpuConfig` clones, no per-fault core construction.
+//!
+//! Correctness bar: a checkpointed campaign produces byte-identical
+//! [`CampaignResult::outcomes`] to the from-scratch path.  Restoration is
+//! exact (the core is deterministic and [`CpuState`](merlin_cpu::CpuState)
+//! captures all mutable state) and the early exit only fires when the faulty
+//! state has provably re-converged, so both paths classify every fault
+//! identically.
 
 use crate::classify::{classify, Classification, FaultEffect};
-use merlin_cpu::{Cpu, CpuConfig, FaultSpec, NullProbe, RunResult};
+use merlin_cpu::{
+    CheckpointPolicy, CheckpointStore, Cpu, CpuConfig, FaultSpec, NullProbe, RunResult,
+};
 use merlin_isa::Program;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The fault-free reference execution a campaign compares against.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// When produced by [`run_golden_checkpointed`] it also carries the
+/// checkpoint store, which every campaign and baseline over this golden run
+/// then shares (`Arc`); [`run_golden`] leaves it empty and campaigns fall
+/// back to from-scratch simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GoldenRun {
     /// Result of the fault-free run.
     pub result: RunResult,
     /// Cycle budget granted to faulty runs: the paper's 3× rule for
     /// deadlock/livelock detection.
     pub timeout_cycles: u64,
+    /// Checkpoints of the golden run plus the policy they were built under,
+    /// when checkpointing is enabled.  Never serialised (a store can run to
+    /// many megabytes and is cheap to rebuild); with real serde this field
+    /// must keep its `skip` attribute or the derive stops compiling.
+    #[serde(skip)]
+    pub checkpoints: Option<Arc<GoldenCheckpoints>>,
+}
+
+/// A checkpoint store together with the policy that built it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenCheckpoints {
+    /// The per-cycle-interval snapshots of the golden run.
+    pub store: CheckpointStore,
+    /// The policy the store was built under (controls early exit).
+    pub policy: CheckpointPolicy,
 }
 
 /// Errors produced while setting up or executing a campaign.
@@ -37,7 +97,20 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
-/// Executes the fault-free reference run of `program` under `cfg`.
+fn golden_run_from_result(result: RunResult) -> Result<RunResult, CampaignError> {
+    if !result.exit.is_halted() {
+        return Err(CampaignError::GoldenRunFailed(format!(
+            "golden run exited with {:?} after {} cycles",
+            result.exit, result.cycles
+        )));
+    }
+    Ok(result)
+}
+
+/// Executes the fault-free reference run of `program` under `cfg`, without
+/// checkpoints (campaigns over this golden run simulate every fault from
+/// cycle 0).  Prefer [`run_golden_checkpointed`] for anything beyond a
+/// handful of faults.
 ///
 /// # Errors
 ///
@@ -51,28 +124,80 @@ pub fn run_golden(
 ) -> Result<GoldenRun, CampaignError> {
     let mut cpu = Cpu::new(program.clone(), cfg.clone())
         .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
-    let result = cpu.run(max_cycles, &mut NullProbe);
-    if !result.exit.is_halted() {
-        return Err(CampaignError::GoldenRunFailed(format!(
-            "golden run exited with {:?} after {} cycles",
-            result.exit, result.cycles
-        )));
-    }
+    let result = golden_run_from_result(cpu.run(max_cycles, &mut NullProbe))?;
     let timeout_cycles = result.cycles.saturating_mul(3).max(1000);
     Ok(GoldenRun {
         result,
         timeout_cycles,
+        checkpoints: None,
     })
 }
 
-/// Runs a single fault-injection experiment and classifies its effect.
+/// Executes the golden run while building the checkpoint store that the
+/// checkpointed injection engine restores from.
+///
+/// The program is simulated twice: an uninstrumented pre-pass establishes
+/// the run length (and catches golden-run failures) so the policy can pick
+/// the snapshot interval, then the instrumented pass records the store.
+/// That fixed 2× golden cost is amortised over every fault subsequently
+/// injected against this golden run; use plain [`run_golden`] for phases
+/// that never inject (one-pass adaptive store construction is a ROADMAP
+/// open item).
+///
+/// # Errors
+///
+/// Same contract as [`run_golden`].
+pub fn run_golden_checkpointed(
+    program: &Program,
+    cfg: &CpuConfig,
+    max_cycles: u64,
+    policy: &CheckpointPolicy,
+) -> Result<GoldenRun, CampaignError> {
+    if !policy.enabled {
+        return run_golden(program, cfg, max_cycles);
+    }
+    // A cheap pre-pass establishes the golden length so the policy can pick
+    // the snapshot interval; it doubles as the failure check.
+    let mut cpu = Cpu::new(program.clone(), cfg.clone())
+        .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
+    let probe_result = golden_run_from_result(cpu.run(max_cycles, &mut NullProbe))?;
+    let interval = policy.interval_for(probe_result.cycles);
+
+    let mut cpu = Cpu::new(program.clone(), cfg.clone())
+        .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
+    let (result, store) = cpu.run_with_checkpoints(max_cycles, &mut NullProbe, interval);
+    debug_assert_eq!(result, probe_result);
+    let timeout_cycles = result.cycles.saturating_mul(3).max(1000);
+    Ok(GoldenRun {
+        result,
+        timeout_cycles,
+        checkpoints: Some(Arc::new(GoldenCheckpoints {
+            store,
+            policy: *policy,
+        })),
+    })
+}
+
+/// Runs a single fault-injection experiment from cycle 0 and classifies its
+/// effect (the from-scratch path; campaigns use the checkpointed engine).
 pub fn run_single_fault(
     program: &Program,
     cfg: &CpuConfig,
     golden: &GoldenRun,
     fault: FaultSpec,
 ) -> FaultEffect {
-    let mut cpu = match Cpu::new(program.clone(), cfg.clone()) {
+    run_single_fault_shared(&Arc::new(program.clone()), cfg, golden, fault)
+}
+
+/// From-scratch single-fault run over a shared program image (no per-fault
+/// program clone).
+fn run_single_fault_shared(
+    program: &Arc<Program>,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    fault: FaultSpec,
+) -> FaultEffect {
+    let mut cpu = match Cpu::new(Arc::clone(program), cfg.clone()) {
         Ok(c) => c,
         Err(_) => return FaultEffect::Assert,
     };
@@ -89,6 +214,107 @@ pub fn run_single_fault(
     match outcome {
         Ok(result) => classify(&golden.result, &result),
         Err(_) => FaultEffect::Assert,
+    }
+}
+
+/// Runs one fault on a reusable core by restoring the nearest checkpoint and
+/// simulating only the suffix.  Returns the same classification the
+/// from-scratch path would, plus whether the early-exit convergence test
+/// resolved it before the program's end.
+fn run_fault_from_checkpoint(
+    cpu: &mut Cpu,
+    golden: &GoldenRun,
+    ckpts: &GoldenCheckpoints,
+    fault: FaultSpec,
+) -> (FaultEffect, bool) {
+    if fault.entry >= cpu.structure_entries(fault.structure) {
+        // Same semantics as the from-scratch path: a fault site that does
+        // not exist in this configuration cannot affect it.
+        return (FaultEffect::Masked, false);
+    }
+    let state = ckpts
+        .store
+        .latest_at_or_before(fault.cycle)
+        .expect("a store built by run_with_checkpoints always holds the cycle-0 snapshot");
+    cpu.restore_from(state);
+    if cpu.inject_fault(fault).is_err() {
+        return (FaultEffect::Masked, false);
+    }
+    let interval = ckpts.store.interval();
+    let early_exit = ckpts.policy.early_exit;
+    let timeout = golden.timeout_cycles;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut probe = NullProbe;
+        while !cpu.is_finished() && cpu.cycle() < timeout {
+            // Early exit: past the injection cycle, compare against the
+            // golden checkpoint stream at each boundary.  Bit-identical state
+            // implies an identical remainder, hence Masked.
+            if early_exit
+                && cpu.cycle() > fault.cycle
+                && cpu.cycle().is_multiple_of(interval)
+                && cpu.cycle() <= golden.result.cycles
+            {
+                if let Some(g) = ckpts.store.at_cycle(cpu.cycle()) {
+                    if cpu.matches_state(g) {
+                        return (FaultEffect::Masked, true);
+                    }
+                }
+            }
+            cpu.step(&mut probe);
+        }
+        let result = cpu.run(timeout, &mut probe);
+        (classify(&golden.result, &result), false)
+    }));
+    outcome.unwrap_or((FaultEffect::Assert, false))
+}
+
+/// A reusable single-fault runner for callers that classify faults one at a
+/// time (e.g. truncated-run studies) rather than through [`run_campaign`].
+///
+/// Shares the program and configuration across faults via `Arc`.  When the
+/// golden run carries a checkpoint store it also reuses one core object,
+/// restoring the nearest checkpoint per fault — the same engine the
+/// campaigns use; without a store each fault builds a fresh core and
+/// simulates from cycle 0.
+pub struct FaultInjector {
+    program: Arc<Program>,
+    cfg: Arc<CpuConfig>,
+    golden: GoldenRun,
+    cpu: Option<Cpu>,
+}
+
+impl FaultInjector {
+    /// Creates an injector over one (program, configuration, golden run)
+    /// triple.  The program is cloned once here, never per fault.
+    pub fn new(program: &Program, cfg: &CpuConfig, golden: &GoldenRun) -> Self {
+        FaultInjector {
+            program: Arc::new(program.clone()),
+            cfg: Arc::new(cfg.clone()),
+            golden: golden.clone(),
+            cpu: None,
+        }
+    }
+
+    /// The golden run faults are classified against.
+    pub fn golden(&self) -> &GoldenRun {
+        &self.golden
+    }
+
+    /// Runs one fault and classifies its effect, exactly like
+    /// [`run_single_fault`] but without per-fault clones and with
+    /// checkpoint-restore suffix simulation when available.
+    pub fn run(&mut self, fault: FaultSpec) -> FaultEffect {
+        let Some(ckpts) = self.golden.checkpoints.clone() else {
+            return run_single_fault_shared(&self.program, &self.cfg, &self.golden, fault);
+        };
+        if self.cpu.is_none() {
+            match Cpu::new(Arc::clone(&self.program), (*self.cfg).clone()) {
+                Ok(c) => self.cpu = Some(c),
+                Err(_) => return FaultEffect::Assert,
+            }
+        }
+        let core = self.cpu.as_mut().expect("injector core initialised above");
+        run_fault_from_checkpoint(core, &self.golden, &ckpts, fault).0
     }
 }
 
@@ -111,6 +337,10 @@ pub struct CampaignResult {
     /// Number of simulation runs actually executed (excludes faults resolved
     /// without simulation).
     pub runs_executed: u64,
+    /// Faults the checkpointed engine classified Masked by state
+    /// re-convergence with the golden checkpoint stream, without simulating
+    /// to the program's end (always 0 on the from-scratch path).
+    pub early_exits: u64,
 }
 
 impl CampaignResult {
@@ -124,7 +354,19 @@ impl CampaignResult {
             outcomes,
             classification,
             runs_executed,
+            early_exits: 0,
         }
+    }
+
+    /// Same, with the engine's early-exit count attached.
+    fn from_outcomes_with_stats(
+        outcomes: Vec<FaultOutcome>,
+        runs_executed: u64,
+        early_exits: u64,
+    ) -> Self {
+        let mut result = CampaignResult::from_outcomes(outcomes, runs_executed);
+        result.early_exits = early_exits;
+        result
     }
 }
 
@@ -132,7 +374,11 @@ impl CampaignResult {
 /// threads (1 = sequential).
 ///
 /// Every fault is an independent single-bit-flip experiment against the same
-/// program and configuration, exactly like the paper's GeFIN campaigns.
+/// program and configuration, exactly like the paper's GeFIN campaigns.  If
+/// `golden` carries checkpoints (see [`run_golden_checkpointed`]) each fault
+/// restores the nearest checkpoint and simulates only its suffix; otherwise
+/// every fault simulates from cycle 0.  Both paths produce byte-identical
+/// results.
 pub fn run_campaign(
     program: &Program,
     cfg: &CpuConfig,
@@ -140,43 +386,137 @@ pub fn run_campaign(
     faults: &[FaultSpec],
     threads: usize,
 ) -> CampaignResult {
-    let threads = threads.max(1);
-    if threads == 1 || faults.len() < 2 {
-        let outcomes: Vec<FaultOutcome> = faults
-            .iter()
-            .map(|&fault| FaultOutcome {
-                fault,
-                effect: run_single_fault(program, cfg, golden, fault),
-            })
-            .collect();
-        let runs = outcomes.len() as u64;
-        return CampaignResult::from_outcomes(outcomes, runs);
+    let shared = SharedCampaign {
+        program: Arc::new(program.clone()),
+        cfg: Arc::new(cfg.clone()),
+    };
+    run_campaign_dynamic(
+        &shared,
+        golden,
+        golden.checkpoints.as_ref(),
+        faults,
+        threads,
+    )
+}
+
+/// Executes a campaign with checkpointing forcibly disabled — every fault is
+/// simulated from cycle 0.  Exists so the checkpointed engine can be
+/// benchmarked and differentially tested against the naive path even when
+/// the golden run carries a checkpoint store.
+pub fn run_campaign_from_scratch(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    faults: &[FaultSpec],
+    threads: usize,
+) -> CampaignResult {
+    let shared = SharedCampaign {
+        program: Arc::new(program.clone()),
+        cfg: Arc::new(cfg.clone()),
+    };
+    run_campaign_dynamic(&shared, golden, None, faults, threads)
+}
+
+/// Program/config shared by every worker of one campaign (one clone per
+/// campaign instead of one per fault).
+struct SharedCampaign {
+    program: Arc<Program>,
+    cfg: Arc<CpuConfig>,
+}
+
+/// The engine proper: dynamic scheduling over a cycle-sorted fault order.
+fn run_campaign_dynamic(
+    shared: &SharedCampaign,
+    golden: &GoldenRun,
+    ckpts: Option<&Arc<GoldenCheckpoints>>,
+    faults: &[FaultSpec],
+    threads: usize,
+) -> CampaignResult {
+    let threads = threads.max(1).min(faults.len().max(1));
+    // Sorting by injection cycle gives workers runs of faults that restore
+    // from the same checkpoint (warm caches for the restore source) and
+    // keeps the suffix lengths of concurrently executing faults similar.
+    // The sort is stable on the original index so results are reproducible.
+    let mut order: Vec<usize> = (0..faults.len()).collect();
+    order.sort_by_key(|&i| (faults[i].cycle, i));
+
+    let next = AtomicUsize::new(0);
+    let run_worker = |collected: &mut Vec<(usize, FaultOutcome)>, early_exits: &mut u64| {
+        let mut cpu: Option<Cpu> = None;
+        loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&idx) = order.get(k) else { break };
+            let fault = faults[idx];
+            let (effect, early) = match ckpts {
+                Some(ckpts) => {
+                    // One core per worker, restored per fault.
+                    if cpu.is_none() {
+                        match Cpu::new(Arc::clone(&shared.program), (*shared.cfg).clone()) {
+                            Ok(c) => cpu = Some(c),
+                            Err(_) => {
+                                collected.push((
+                                    idx,
+                                    FaultOutcome {
+                                        fault,
+                                        effect: FaultEffect::Assert,
+                                    },
+                                ));
+                                continue;
+                            }
+                        }
+                    }
+                    let core = cpu.as_mut().expect("worker core initialised above");
+                    run_fault_from_checkpoint(core, golden, ckpts, fault)
+                }
+                None => (
+                    run_single_fault_shared(&shared.program, &shared.cfg, golden, fault),
+                    false,
+                ),
+            };
+            if early {
+                *early_exits += 1;
+            }
+            collected.push((idx, FaultOutcome { fault, effect }));
+        }
+    };
+
+    let mut per_thread: Vec<(Vec<(usize, FaultOutcome)>, u64)> = Vec::new();
+    if threads == 1 {
+        let mut collected = Vec::with_capacity(faults.len());
+        let mut early_exits = 0u64;
+        run_worker(&mut collected, &mut early_exits);
+        per_thread.push((collected, early_exits));
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                handles.push(scope.spawn(|| {
+                    let mut collected = Vec::new();
+                    let mut early_exits = 0u64;
+                    run_worker(&mut collected, &mut early_exits);
+                    (collected, early_exits)
+                }));
+            }
+            for h in handles {
+                per_thread.push(h.join().expect("campaign worker panicked"));
+            }
+        });
     }
-    let chunk_size = faults.len().div_ceil(threads);
-    let mut outcomes: Vec<Option<Vec<FaultOutcome>>> = vec![None; threads.min(faults.len())];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, chunk) in faults.chunks(chunk_size).enumerate() {
-            handles.push((
-                i,
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&fault| FaultOutcome {
-                            fault,
-                            effect: run_single_fault(program, cfg, golden, fault),
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
+
+    let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; faults.len()];
+    let mut early_exits = 0u64;
+    for (collected, early) in per_thread {
+        early_exits += early;
+        for (idx, outcome) in collected {
+            outcomes[idx] = Some(outcome);
         }
-        for (i, h) in handles {
-            outcomes[i] = Some(h.join().expect("campaign worker panicked"));
-        }
-    });
-    let outcomes: Vec<FaultOutcome> = outcomes.into_iter().flatten().flatten().collect();
+    }
+    let outcomes: Vec<FaultOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every fault produced an outcome"))
+        .collect();
     let runs = outcomes.len() as u64;
-    CampaignResult::from_outcomes(outcomes, runs)
+    CampaignResult::from_outcomes_with_stats(outcomes, runs, early_exits)
 }
 
 #[cfg(test)]
@@ -202,11 +542,37 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn small_policy() -> CheckpointPolicy {
+        CheckpointPolicy {
+            enabled: true,
+            target_checkpoints: 8,
+            min_interval: 8,
+            early_exit: true,
+        }
+    }
+
     #[test]
     fn golden_run_succeeds_and_sets_timeout() {
         let g = run_golden(&tiny_program(), &CpuConfig::default(), 1_000_000).unwrap();
         assert!(g.result.exit.is_halted());
         assert!(g.timeout_cycles >= 3 * g.result.cycles);
+        assert!(g.checkpoints.is_none());
+    }
+
+    #[test]
+    fn checkpointed_golden_run_matches_plain_golden_run() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let plain = run_golden(&program, &cfg, 1_000_000).unwrap();
+        let ck = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        assert_eq!(plain.result, ck.result);
+        assert_eq!(plain.timeout_cycles, ck.timeout_cycles);
+        let ckpts = ck.checkpoints.as_ref().unwrap();
+        assert!(ckpts.store.len() >= 2);
+        // Disabled policy produces no store.
+        let off = run_golden_checkpointed(&program, &cfg, 1_000_000, &CheckpointPolicy::disabled())
+            .unwrap();
+        assert!(off.checkpoints.is_none());
     }
 
     #[test]
@@ -215,7 +581,10 @@ mod tests {
         let top = b.bind_label();
         b.jump(top);
         b.halt();
-        let err = run_golden(&b.build().unwrap(), &CpuConfig::default(), 10_000);
+        let program = b.build().unwrap();
+        let err = run_golden(&program, &CpuConfig::default(), 10_000);
+        assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
+        let err = run_golden_checkpointed(&program, &CpuConfig::default(), 10_000, &small_policy());
         assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
     }
 
@@ -223,7 +592,7 @@ mod tests {
     fn sequential_and_parallel_campaigns_agree() {
         let program = tiny_program();
         let cfg = CpuConfig::default();
-        let golden = run_golden(&program, &cfg, 1_000_000).unwrap();
+        let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
         let faults = generate_fault_list(
             Structure::RegisterFile,
             cfg.phys_int_regs,
@@ -239,10 +608,47 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_campaign_is_byte_identical_to_from_scratch() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let mut early_exits_with_policy_on = 0u64;
+        for policy in [
+            small_policy(),
+            CheckpointPolicy {
+                early_exit: false,
+                ..small_policy()
+            },
+        ] {
+            let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &policy).unwrap();
+            for structure in [Structure::RegisterFile, Structure::StoreQueue] {
+                let entries = match structure {
+                    Structure::RegisterFile => cfg.phys_int_regs,
+                    Structure::StoreQueue => cfg.sq_entries,
+                    Structure::L1DCache => cfg.l1d.total_words(),
+                };
+                let faults = generate_fault_list(structure, entries, golden.result.cycles, 150, 13);
+                let checkpointed = run_campaign(&program, &cfg, &golden, &faults, 4);
+                let scratch = run_campaign_from_scratch(&program, &cfg, &golden, &faults, 4);
+                assert_eq!(checkpointed.outcomes, scratch.outcomes, "{structure}");
+                assert_eq!(checkpointed.classification, scratch.classification);
+                assert_eq!(scratch.early_exits, 0);
+                if !policy.early_exit {
+                    assert_eq!(checkpointed.early_exits, 0);
+                }
+                early_exits_with_policy_on +=
+                    u64::from(policy.early_exit) * checkpointed.early_exits;
+            }
+        }
+        // The convergence early exit must actually fire somewhere (dead
+        // engine paths would hide bugs behind the identical-results check).
+        assert!(early_exits_with_policy_on > 0);
+    }
+
+    #[test]
     fn campaign_finds_both_masked_and_non_masked_faults() {
         let program = tiny_program();
         let cfg = CpuConfig::default();
-        let golden = run_golden(&program, &cfg, 1_000_000).unwrap();
+        let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
         let faults = generate_fault_list(
             Structure::RegisterFile,
             cfg.phys_int_regs,
@@ -260,7 +666,7 @@ mod tests {
     fn out_of_range_fault_sites_are_masked() {
         let program = tiny_program();
         let cfg = CpuConfig::default().with_phys_regs(64);
-        let golden = run_golden(&program, &cfg, 1_000_000).unwrap();
+        let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
         let effect = run_single_fault(
             &program,
             &cfg,
@@ -268,5 +674,14 @@ mod tests {
             FaultSpec::new(Structure::RegisterFile, 200, 1, 10),
         );
         assert_eq!(effect, FaultEffect::Masked);
+        // Same through the checkpointed engine.
+        let out = run_campaign(
+            &program,
+            &cfg,
+            &golden,
+            &[FaultSpec::new(Structure::RegisterFile, 200, 1, 10)],
+            1,
+        );
+        assert_eq!(out.outcomes[0].effect, FaultEffect::Masked);
     }
 }

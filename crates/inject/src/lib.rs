@@ -7,9 +7,14 @@
 //!   to size its campaigns ([`SamplingPlan`], [`sample_size`],
 //!   [`generate_fault_list`]),
 //! * golden (fault-free) reference runs with the 3× timeout rule
-//!   ([`run_golden`]),
+//!   ([`run_golden`], [`run_golden_checkpointed`]),
 //! * single-fault experiments and multi-threaded campaigns
-//!   ([`run_single_fault`], [`run_campaign`]),
+//!   ([`run_single_fault`], [`run_campaign`]) built on a
+//!   checkpoint-and-restore engine: the golden run is snapshotted at a
+//!   configurable cycle interval and every faulty run restores the nearest
+//!   checkpoint and simulates only its post-injection suffix (see the
+//!   [`campaign`](crate::run_campaign) module documentation for the engine's
+//!   design and its byte-identical-results guarantee),
 //! * the fault-effect classification of Table 2 ([`FaultEffect`],
 //!   [`classify`], [`Classification`]) and the truncated-run classification
 //!   of §4.4.3.4 ([`TruncatedEffect`]).
@@ -26,6 +31,7 @@
 //! let w = workload_by_name("sha").unwrap();
 //! let cfg = CpuConfig::default();
 //! let golden = run_golden(&w.program, &cfg, 10_000_000).unwrap();
+//! # // (use run_golden_checkpointed for real campaigns)
 //! let faults = generate_fault_list(
 //!     Structure::RegisterFile,
 //!     cfg.phys_int_regs,
@@ -45,14 +51,14 @@ mod classify;
 mod sampling;
 
 pub use campaign::{
-    run_campaign, run_golden, run_single_fault, CampaignError, CampaignResult, FaultOutcome,
-    GoldenRun,
+    run_campaign, run_campaign_from_scratch, run_golden, run_golden_checkpointed, run_single_fault,
+    CampaignError, CampaignResult, FaultInjector, FaultOutcome, GoldenCheckpoints, GoldenRun,
 };
 pub use classify::{classify, Classification, FaultEffect, TruncatedEffect};
 pub use sampling::{
     fault_population, generate_fault_list, probit, sample_size, z_score, SamplingPlan,
 };
 
-// Re-exported so downstream crates can name fault sites without depending on
-// merlin-cpu directly.
-pub use merlin_cpu::{FaultSpec, Structure};
+// Re-exported so downstream crates can name fault sites and checkpoint
+// policies without depending on merlin-cpu directly.
+pub use merlin_cpu::{CheckpointPolicy, CheckpointStore, FaultSpec, Structure};

@@ -85,14 +85,10 @@ impl AluOp {
             AluOp::Shr => a.wrapping_shr((b & 63) as u32),
             AluOp::Sar => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    exc = true;
-                    0
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or_else(|| {
+                exc = true;
+                0
+            }),
             AluOp::Rem => {
                 if b == 0 {
                     exc = true;

@@ -323,11 +323,7 @@ impl ProgramBuilder {
                 other => unreachable!("fixup applied to non-control instruction {other}"),
             }
         }
-        if !self
-            .instructions
-            .iter()
-            .any(|i| matches!(i, Inst::Halt))
-        {
+        if !self.instructions.iter().any(|i| matches!(i, Inst::Halt)) {
             return Err(BuildError::MissingHalt);
         }
         let data_size = (self.next_data - DATA_BASE).max(8) + 4096;

@@ -206,7 +206,10 @@ mod tests {
                 rs1: reg(1),
                 imm: 3,
             },
-            Inst::MovImm { rd: reg(4), imm: -7 },
+            Inst::MovImm {
+                rd: reg(4),
+                imm: -7,
+            },
             Inst::Mov {
                 rd: reg(5),
                 rs: reg(4),

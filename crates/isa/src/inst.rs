@@ -316,6 +316,10 @@ mod tests {
         let mut uniq = rendered.clone();
         uniq.sort();
         uniq.dedup();
-        assert_eq!(uniq.len(), rendered.len(), "display strings must be distinct");
+        assert_eq!(
+            uniq.len(),
+            rendered.len(),
+            "display strings must be distinct"
+        );
     }
 }

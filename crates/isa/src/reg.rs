@@ -54,7 +54,10 @@ impl ArchReg {
     ///
     /// Panics if `n >= NUM_TEMPS`.
     pub fn temp(n: usize) -> Self {
-        assert!(n < NUM_TEMPS, "temp index {n} out of range (0..{NUM_TEMPS})");
+        assert!(
+            n < NUM_TEMPS,
+            "temp index {n} out of range (0..{NUM_TEMPS})"
+        );
         ArchReg((NUM_GPRS + n) as u8)
     }
 

@@ -57,8 +57,11 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
                 signed,
             }
         }),
-        (arb_reg(), arb_memref(), arb_size())
-            .prop_map(|(rs, mem, size)| Inst::Store { rs, mem, size }),
+        (arb_reg(), arb_memref(), arb_size()).prop_map(|(rs, mem, size)| Inst::Store {
+            rs,
+            mem,
+            size
+        }),
         (arb_alu_op(), arb_reg(), arb_memref(), arb_size())
             .prop_map(|(op, rd, mem, size)| Inst::LoadOp { op, rd, mem, size }),
         (arb_cond(), arb_reg(), arb_reg(), 0u32..100).prop_map(|(cond, rs1, rs2, target)| {

@@ -78,7 +78,12 @@ pub fn susan_e() -> Program {
     b.alu_rr(AluOp::Sub, reg(4), reg(4), reg(5));
     // gy = img[i+W] - img[i-W]
     b.load_sized(reg(5), MemRef::base(reg(3)).disp(IMG_W), MemSize::B1, false);
-    b.load_sized(reg(6), MemRef::base(reg(3)).disp(-IMG_W), MemSize::B1, false);
+    b.load_sized(
+        reg(6),
+        MemRef::base(reg(3)).disp(-IMG_W),
+        MemSize::B1,
+        false,
+    );
     b.alu_rr(AluOp::Sub, reg(5), reg(5), reg(6));
     // |gx| + |gy| via max(v, -v)
     b.movi(reg(6), 0);
@@ -163,7 +168,10 @@ pub fn susan_c() -> Program {
 /// stringsearch analog: naive multi-pattern substring search.
 pub fn stringsearch() -> Program {
     // Text over a 4-letter alphabet so patterns actually occur.
-    let text: Vec<u8> = input_bytes(0x5732, 1536).iter().map(|b| b % 4 + 97).collect();
+    let text: Vec<u8> = input_bytes(0x5732, 1536)
+        .iter()
+        .map(|b| b % 4 + 97)
+        .collect();
     let patterns: Vec<Vec<u8>> = (0..6u64)
         .map(|i| {
             input_bytes(0x7A7 + i, 3 + (i as usize % 3))
@@ -252,7 +260,7 @@ pub fn sha() -> Program {
     let round_loop = b.bind_label();
     b.alu_ri(AluOp::And, reg(3), reg(2), 15);
     b.load(reg(4), MemRef::base(reg(11)).indexed(reg(3), 8)); // w[t%16]
-    // mix = rotl(h0,5) + (h1 ^ h2 ^ h3) + w + 0x5A827999 + t
+                                                              // mix = rotl(h0,5) + (h1 ^ h2 ^ h3) + w + 0x5A827999 + t
     b.alu_ri(AluOp::Shl, reg(12), reg(5), 5);
     b.alu_ri(AluOp::Shr, reg(13), reg(5), 59);
     b.alu_rr(AluOp::Or, reg(12), reg(12), reg(13));
@@ -326,12 +334,12 @@ pub fn fft() -> Program {
     b.alu_rr(AluOp::Mul, reg(5), reg(5), reg(3));
     b.alu_rr(AluOp::Add, reg(5), reg(5), reg(6)); // top index
     b.alu_rr(AluOp::Add, reg(4), reg(5), reg(4)); // bottom index
-    // twiddle index = stage*(n/2) + k
+                                                  // twiddle index = stage*(n/2) + k
     b.alu_ri(AluOp::Mul, reg(6), reg(1), n / 2);
     b.alu_rr(AluOp::Add, reg(6), reg(6), reg(2));
     b.load(reg(7), MemRef::base(reg(12)).indexed(reg(6), 8)); // c
     b.load(reg(8), MemRef::base(reg(13)).indexed(reg(6), 8)); // s
-    // load bottom (re, im)
+                                                              // load bottom (re, im)
     b.load(reg(9), MemRef::base(reg(10)).indexed(reg(4), 8));
     b.load(reg(6), MemRef::base(reg(11)).indexed(reg(4), 8));
     // t_re = (c*br - s*bi) >> 10 ; t_im = (c*bi + s*br) >> 10

@@ -43,13 +43,13 @@ pub fn bzip2() -> Program {
     b.alu_rr(AluOp::Add, reg(1), reg(1), reg(5));
     b.branch_ri(Cond::Lt, reg(1), data.len() as i64, rle_loop);
     b.out(reg(2)); // encoded length
-    // ---- MTF pass over the RLE output ----
+                   // ---- MTF pass over the RLE output ----
     b.movi(reg(1), 0); // index
     b.movi(reg(8), 0); // mtf checksum
     let mtf_loop = b.bind_label();
     b.alu_rr(AluOp::Add, reg(3), reg(11), reg(1));
     b.load_sized(reg(4), MemRef::base(reg(3)), MemSize::B1, false); // symbol
-    // find the symbol's current rank (linear scan of the table)
+                                                                    // find the symbol's current rank (linear scan of the table)
     b.movi(reg(5), 0); // rank
     let find_loop = b.bind_label();
     b.alu_rr(AluOp::Add, reg(6), reg(12), reg(5));
@@ -322,7 +322,7 @@ pub fn sjeng() -> Program {
     let sq_loop = b.bind_label();
     b.alu_rr(AluOp::Add, reg(3), reg(10), reg(2));
     b.load_sized(reg(4), MemRef::base(reg(3)), MemSize::B1, false); // piece
-    // perturb the piece identity by the position index
+                                                                    // perturb the piece identity by the position index
     b.alu_rr(AluOp::Add, reg(4), reg(4), reg(1));
     b.alu_ri(AluOp::Rem, reg(4), reg(4), 7);
     let empty = b.label();
@@ -467,7 +467,7 @@ pub fn omnetpp() -> Program {
     b.movi(reg(11), init_addr as i64);
     b.movi(reg(9), 0); // processed-event checksum
     b.movi(reg(13), 0x1234_5678); // xorshift state
-    // ---- seed the heap by repeated push ----
+                                  // ---- seed the heap by repeated push ----
     b.movi(reg(8), 0); // heap size
     b.movi(reg(1), 0);
     let seed_loop = b.bind_label();
@@ -578,7 +578,13 @@ pub fn astar() -> Program {
     let cells = w * h;
     let cost: Vec<u64> = input_bytes(0xA57A, cells as usize)
         .iter()
-        .map(|b| if b % 5 == 0 { 10_000 } else { 1 + (b % 9) as u64 })
+        .map(|b| {
+            if b % 5 == 0 {
+                10_000
+            } else {
+                1 + (b % 9) as u64
+            }
+        })
         .collect();
     let mut b = ProgramBuilder::new();
     let cost_addr = b.alloc_words(&cost);
@@ -593,7 +599,7 @@ pub fn astar() -> Program {
     b.movi(reg(2), 0); // cell
     let cell_loop = b.bind_label();
     b.load(reg(3), MemRef::base(reg(11)).indexed(reg(2), 8)); // dist[cell]
-    // examine the 4 neighbours (skip those outside the grid)
+                                                              // examine the 4 neighbours (skip those outside the grid)
     for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
         let skip = b.label();
         // x = cell % w, y = cell / w
@@ -672,7 +678,11 @@ mod tests {
     #[test]
     fn astar_finds_a_path() {
         let out = runs_clean(&astar());
-        assert!(out[0] < 1_000_000, "target must be reachable, got {}", out[0]);
+        assert!(
+            out[0] < 1_000_000,
+            "target must be reachable, got {}",
+            out[0]
+        );
     }
 
     #[test]

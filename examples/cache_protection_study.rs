@@ -19,6 +19,7 @@ fn main() {
         threads: 4,
         max_cycles: 100_000_000,
         seed: 99,
+        ..Default::default()
     };
     let benchmarks: Vec<_> = mibench_workloads()
         .into_iter()

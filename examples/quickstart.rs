@@ -5,8 +5,9 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use merlin_repro::ace::AceAnalysis;
+use merlin_repro::cpu::CheckpointPolicy;
 use merlin_repro::cpu::{CpuConfig, Structure};
-use merlin_repro::inject::{run_golden, SamplingPlan};
+use merlin_repro::inject::{run_golden_checkpointed, SamplingPlan};
 use merlin_repro::merlin::{
     initial_fault_list, run_comprehensive, run_merlin_with_faults, MerlinConfig,
 };
@@ -19,7 +20,13 @@ fn main() {
 
     // Phase 1a: one instrumented run records every vulnerable interval.
     let ace = AceAnalysis::run(&workload.program, &cfg, 100_000_000).expect("ACE analysis");
-    let golden = run_golden(&workload.program, &cfg, 100_000_000).expect("golden run");
+    let golden = run_golden_checkpointed(
+        &workload.program,
+        &cfg,
+        100_000_000,
+        &CheckpointPolicy::default(),
+    )
+    .expect("golden run");
     println!(
         "golden run: {} cycles, {} instructions, ACE-like AVF {:.2}%",
         golden.result.cycles,
@@ -45,6 +52,7 @@ fn main() {
         threads: 4,
         max_cycles: 100_000_000,
         seed: 2017,
+        ..Default::default()
     };
     let campaign = run_merlin_with_faults(
         &workload.program,
@@ -57,7 +65,11 @@ fn main() {
     )
     .expect("MeRLiN campaign");
 
-    println!("\ncomprehensive ({} injections): {}", faults.len(), comprehensive.classification);
+    println!(
+        "\ncomprehensive ({} injections): {}",
+        faults.len(),
+        comprehensive.classification
+    );
     println!(
         "MeRLiN        ({} injections): {}",
         campaign.report.injections, campaign.report.classification

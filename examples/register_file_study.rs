@@ -16,14 +16,21 @@ fn main() {
         threads: 4,
         max_cycles: 100_000_000,
         seed: 7,
+        ..Default::default()
     };
     let benchmarks: Vec<_> = mibench_workloads()
         .into_iter()
         .filter(|w| ["sha", "qsort", "stringsearch"].contains(&w.name))
         .collect();
 
-    println!("register-file sizing study ({} benchmarks, 600 faults each)\n", benchmarks.len());
-    println!("{:<10} {:>14} {:>14} {:>12} {:>12}", "size", "AVF(injection)", "AVF(ACE-like)", "FIT(inj)", "speedup");
+    println!(
+        "register-file sizing study ({} benchmarks, 600 faults each)\n",
+        benchmarks.len()
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "size", "AVF(injection)", "AVF(ACE-like)", "FIT(inj)", "speedup"
+    );
     for regs in [256usize, 128, 64] {
         let cfg = CpuConfig::default().with_phys_regs(regs);
         let mut avf_sum = 0.0;

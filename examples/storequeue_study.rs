@@ -15,6 +15,7 @@ fn main() {
         threads: 4,
         max_cycles: 100_000_000,
         seed: 5,
+        ..Default::default()
     };
     let workload = workload_by_name("caes").expect("caes is registered");
     println!("store-queue sizing study on `{}`\n", workload.name);
@@ -37,8 +38,13 @@ fn main() {
         let r = &campaign.report;
         println!(
             "{:<10} {:>8} {:>10} {:>12} {:>12.1} {:>9.1}x {:>9.1}x",
-            entries, r.initial_faults, r.post_ace_faults, r.injections, r.mean_group_size,
-            r.speedup_ace, r.speedup_total
+            entries,
+            r.initial_faults,
+            r.post_ace_faults,
+            r.injections,
+            r.mean_group_size,
+            r.speedup_ace,
+            r.speedup_total
         );
         println!("           classification: {}", r.classification);
     }

@@ -4,7 +4,9 @@
 
 use merlin_repro::ace::AceAnalysis;
 use merlin_repro::cpu::{CpuConfig, Structure};
-use merlin_repro::inject::{run_golden, FaultEffect};
+use merlin_repro::inject::{
+    run_campaign, run_campaign_from_scratch, run_golden_checkpointed, CheckpointPolicy, FaultEffect,
+};
 use merlin_repro::merlin::{
     homogeneity, initial_fault_list, reduce_fault_list, relyzer_reduce, run_comprehensive,
     run_merlin_with_faults, run_post_ace_baseline, MerlinConfig,
@@ -17,15 +19,21 @@ fn merlin_cfg() -> MerlinConfig {
         threads: 4,
         max_cycles: 100_000_000,
         seed: 31,
+        ..Default::default()
     }
 }
 
 #[test]
 fn merlin_is_accurate_and_cheap_across_structures() {
     let w = workload_by_name("stringsearch").unwrap();
-    let cfg = CpuConfig::default().with_phys_regs(64).with_store_queue(16).with_l1d_kb(16);
+    let cfg = CpuConfig::default()
+        .with_phys_regs(64)
+        .with_store_queue(16)
+        .with_l1d_kb(16);
     let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    let golden =
+        run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
+            .unwrap();
     for &structure in Structure::all() {
         let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 300, 11);
         let merlin = run_merlin_with_faults(
@@ -64,7 +72,9 @@ fn groups_are_homogeneous_on_a_real_workload() {
     let w = workload_by_name("sha").unwrap();
     let cfg = CpuConfig::default().with_phys_regs(128);
     let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    let golden =
+        run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
+            .unwrap();
     let faults = initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 400, 3);
     let reduction = reduce_fault_list(&faults, ace.structure(Structure::RegisterFile));
     let post_ace = run_post_ace_baseline(&w.program, &cfg, &golden, &reduction, 4);
@@ -88,7 +98,9 @@ fn relyzer_heuristic_produces_fewer_but_coarser_groups() {
     let w = workload_by_name("qsort").unwrap();
     let cfg = CpuConfig::default().with_phys_regs(128);
     let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    let golden =
+        run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
+            .unwrap();
     let faults = initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 500, 17);
     let merlin = reduce_fault_list(&faults, ace.structure(Structure::RegisterFile));
     let relyzer = relyzer_reduce(&faults, ace.structure(Structure::RegisterFile));
@@ -98,6 +110,39 @@ fn relyzer_heuristic_produces_fewer_but_coarser_groups() {
     assert!(merlin.injections() * 5 < faults.len());
     assert!(relyzer.injections() * 5 < faults.len());
     let _ = golden;
+}
+
+#[test]
+fn checkpointed_campaigns_match_from_scratch_byte_for_byte() {
+    // The acceptance bar of the checkpoint-and-restore engine: on real
+    // workloads, restoring a mid-run snapshot and simulating only the
+    // post-injection suffix classifies every fault exactly as a from-cycle-0
+    // simulation does.
+    for (name, structure) in [
+        ("stringsearch", Structure::RegisterFile),
+        ("sha", Structure::StoreQueue),
+        ("qsort", Structure::L1DCache),
+    ] {
+        let w = workload_by_name(name).unwrap();
+        let cfg = CpuConfig::default().with_phys_regs(64).with_store_queue(16);
+        let golden =
+            run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
+                .unwrap();
+        let store = &golden.checkpoints.as_ref().unwrap().store;
+        assert!(
+            store.len() >= 8,
+            "{name}: expected ≥ 8 checkpoints, got {}",
+            store.len()
+        );
+        let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 200, 41);
+        let checkpointed = run_campaign(&w.program, &cfg, &golden, &faults, 4);
+        let scratch = run_campaign_from_scratch(&w.program, &cfg, &golden, &faults, 4);
+        assert_eq!(
+            checkpointed.outcomes, scratch.outcomes,
+            "{name}/{structure}: engine diverged from the from-scratch path"
+        );
+        assert_eq!(checkpointed.classification, scratch.classification);
+    }
 }
 
 #[test]
@@ -113,7 +158,9 @@ fn masked_dominates_for_large_structures_and_every_class_is_reachable() {
         let w = workload_by_name(name).unwrap();
         let cfg = CpuConfig::default();
         let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-        let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+        let golden =
+            run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
+                .unwrap();
         let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 250, 23);
         let merlin = run_merlin_with_faults(
             &w.program,

@@ -19,13 +19,13 @@ fn arb_repository() -> impl Strategy<Value = (Structure, VulnerableIntervals)> {
         arb_structure(),
         prop::collection::vec(
             (
-                0usize..16,              // entry
-                1u64..500,               // start
-                1u64..120,               // length
-                0u32..12,                // rip
-                0u8..3,                  // upc
-                0u64..20,                // dyn instance
-                0u64..4,                 // path signature
+                0usize..16, // entry
+                1u64..500,  // start
+                1u64..120,  // length
+                0u32..12,   // rip
+                0u8..3,     // upc
+                0u64..20,   // dyn instance
+                0u64..4,    // path signature
             ),
             0..60,
         ),
@@ -57,11 +57,7 @@ fn arb_repository() -> impl Strategy<Value = (Structure, VulnerableIntervals)> {
 }
 
 fn arb_faults(structure: Structure) -> impl Strategy<Value = Vec<FaultSpec>> {
-    prop::collection::vec(
-        (0usize..16, 0u8..64, 1u64..2_000),
-        1..400,
-    )
-    .prop_map(move |raw| {
+    prop::collection::vec((0usize..16, 0u8..64, 1u64..2_000), 1..400).prop_map(move |raw| {
         raw.into_iter()
             .map(|(entry, bit, cycle)| FaultSpec::new(structure, entry, bit, cycle))
             .collect()

@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! crate re-implements the criterion API subset the benches use: benchmark
+//! groups with `sample_size`/`warm_up_time`/`measurement_time`/`throughput`,
+//! `bench_function` with `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: after a warm-up phase, each sample times a batch of
+//! iterations and the report prints the minimum, mean and maximum per-iteration
+//! time (the same `time: [low mid high]` shape criterion prints, so existing
+//! log scrapers keep working).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("ungrouped");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            f(&mut b);
+            if b.iters == 0 || warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.sample = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.sample.as_secs_f64() / b.iters as f64);
+            }
+            if budget_start.elapsed() >= self.measurement_time && samples.len() >= 2 {
+                break;
+            }
+        }
+        if samples.is_empty() {
+            println!("{}/{id}: no samples (empty iter body?)", self.name);
+            return self;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let fmt = |s: f64| {
+            if s >= 1.0 {
+                format!("{s:.4} s")
+            } else if s >= 1e-3 {
+                format!("{:.4} ms", s * 1e3)
+            } else if s >= 1e-6 {
+                format!("{:.4} µs", s * 1e6)
+            } else {
+                format!("{:.4} ns", s * 1e9)
+            }
+        };
+        let mut line = format!(
+            "{}/{id}: time: [{} {} {}]",
+            self.name,
+            fmt(min),
+            fmt(mean),
+            fmt(max)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            if mean > 0.0 {
+                line.push_str(&format!(" thrpt: {:.0} {unit}", count as f64 / mean));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure of `bench_function`; times the measured routine.
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.sample += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

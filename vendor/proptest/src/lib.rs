@@ -1,0 +1,93 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! crate re-implements the proptest API subset the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`, range
+//! and tuple strategies, `any::<T>()`, `Just`, `prop::sample::select`,
+//! `prop::collection::vec`, `prop::option::of`, the [`proptest!`] test macro
+//! with `#![proptest_config(...)]`, and the `prop_assert*` macros.
+//!
+//! Differences from the real proptest, by design:
+//!
+//! * **No shrinking.**  A failing case reports the generated inputs via the
+//!   test's `Debug` formatting in the panic message, unminimised.
+//! * **Deterministic.**  Case `i` of test `t` always sees the same inputs
+//!   (seeded from a hash of the test path and `i`), so failures reproduce
+//!   exactly across runs and machines.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop` namespace (`prop::sample`, `prop::collection`, ...).
+pub mod prop {
+    /// Strategies that pick from explicit value lists.
+    pub mod sample {
+        use crate::strategy::{Select, Strategy};
+
+        /// Uniformly selects one of the given values.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select requires at least one value");
+            Select(values)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut crate::test_runner::TestRng) -> T {
+                let i = rng.below(self.0.len() as u64) as usize;
+                self.0[i].clone()
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Generates `Vec`s with a length drawn from `len` and elements drawn
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "vec length range must be non-empty");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut crate::test_runner::TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// Generates `None` about a quarter of the time, otherwise `Some` of
+        /// the inner strategy.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn new_value(&self, rng: &mut crate::test_runner::TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.new_value(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in environments with no crates.io access.  The
+//! simulator types carry `#[derive(Serialize, Deserialize)]` to declare their
+//! on-disk format intent, but nothing in the workspace serialises values yet,
+//! so marker traits are sufficient.  Swapping this stub for the real serde is
+//! a one-line change in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

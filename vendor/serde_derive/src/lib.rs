@@ -1,0 +1,119 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no crates.io access, so the real
+//! serde cannot be fetched.  Nothing in the workspace actually serialises
+//! values yet — the `#[derive(Serialize, Deserialize)]` annotations only
+//! declare intent — so these derives parse the item and emit marker-trait
+//! impls that satisfy `T: Serialize` / `T: Deserialize<'de>` bounds without
+//! generating any runtime code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(name, generics_params, where_unusable)` from a struct/enum item.
+/// Returns the type name and the raw generic parameter list (without bounds
+/// stripped — we re-emit it verbatim for the impl).
+fn type_name_and_generics(input: &TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.clone().into_iter().peekable();
+    // Skip attributes and visibility until `struct` / `enum`.
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" || *id.to_string() == *"enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return None,
+                };
+                // Collect simple generic parameter idents from `<...>` if present.
+                let mut params = Vec::new();
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        iter.next();
+                        let mut depth = 1usize;
+                        let mut expect_param = true;
+                        while let Some(tt) = iter.next() {
+                            match tt {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                    expect_param = true;
+                                }
+                                TokenTree::Punct(p)
+                                    if p.as_char() == '\'' && depth == 1
+                                    // Lifetime parameter: consume its ident.
+                                    && expect_param =>
+                                {
+                                    if let Some(TokenTree::Ident(l)) = iter.next() {
+                                        params.push(format!("'{l}"));
+                                    }
+                                    expect_param = false;
+                                }
+                                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                                    params.push(id.to_string());
+                                    expect_param = false;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                return Some((name, params));
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        iter.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let Some((name, params)) = type_name_and_generics(&input) else {
+        return TokenStream::new();
+    };
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(params.iter().cloned());
+    let generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_args = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let trait_args = extra_lifetime
+        .map(|lt| format!("<{lt}>"))
+        .unwrap_or_default();
+    // Marker impls have no members, so no per-parameter bounds are needed.
+    let code = format!(
+        "#[automatically_derived] impl{generics} {trait_path}{trait_args} for {name}{ty_args} \
+         where {name}{ty_args}: Sized {{}}"
+    );
+    code.parse().unwrap_or_default()
+}
+
+/// Stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", None)
+}
+
+/// Stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize", Some("'de"))
+}
