@@ -31,6 +31,8 @@
 
 mod intervals;
 mod profiler;
+mod session;
 
 pub use intervals::{Interval, VulnerableIntervals};
 pub use profiler::{AceAnalysis, AceError, AceProfiler};
+pub use session::SessionAce;

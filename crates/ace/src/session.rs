@@ -1,0 +1,54 @@
+//! Session extension: the ACE-like analysis as a cached method on
+//! [`Session`].
+//!
+//! The profiling run is a second instrumented execution of the session's
+//! program (it cannot share the golden run's core, because it attaches the
+//! interval-recording probe), but it is just as context-determined as the
+//! golden run itself — so the session caches it the same way: built on first
+//! use, shared by every later phase that needs vulnerable intervals.
+
+use crate::profiler::{AceAnalysis, AceError};
+use merlin_inject::Session;
+use std::sync::Arc;
+
+/// Adds the ACE-like profiling phase to [`Session`].
+pub trait SessionAce {
+    /// The ACE-like analysis of this session's program and configuration,
+    /// profiled on first call and cached on the session afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AceError`] if the profiled run does not halt within the
+    /// session's cycle budget (errors are not cached; a later call retries).
+    fn ace_profile(&self) -> Result<Arc<AceAnalysis>, AceError>;
+}
+
+impl SessionAce for Session {
+    fn ace_profile(&self) -> Result<Arc<AceAnalysis>, AceError> {
+        self.ext_get_or_try_init(|session| {
+            AceAnalysis::run(session.program(), session.config(), session.max_cycles())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_cpu::{CpuConfig, Structure};
+    use merlin_workloads::workload_by_name;
+
+    #[test]
+    fn ace_profile_is_cached_per_session() {
+        let w = workload_by_name("sha").unwrap();
+        let session = Session::builder(&w.program, &CpuConfig::default())
+            .max_cycles(10_000_000)
+            .build()
+            .unwrap();
+        let a = session.ace_profile().unwrap();
+        let b = session.ace_profile().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert!(a.structure(Structure::RegisterFile).interval_count() > 0);
+        // Profiling does not build the golden run.
+        assert_eq!(session.golden_builds(), 0);
+    }
+}

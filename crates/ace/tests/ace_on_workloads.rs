@@ -2,9 +2,9 @@
 //! consistency property MeRLiN depends on — faults pruned by the ACE-like
 //! step really are masked when injected.
 
-use merlin_ace::AceAnalysis;
+use merlin_ace::{AceAnalysis, SessionAce};
 use merlin_cpu::{CpuConfig, Structure};
-use merlin_inject::{generate_fault_list, run_golden, run_single_fault, FaultEffect};
+use merlin_inject::{FaultEffect, Session};
 use merlin_workloads::workload_by_name;
 
 #[test]
@@ -71,16 +71,15 @@ fn ace_pruned_faults_are_masked_when_injected() {
     let cfg = CpuConfig::default()
         .with_phys_regs(128)
         .with_store_queue(16);
-    let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
-    let golden = run_golden(&w.program, &cfg, 50_000_000).unwrap();
+    let session = Session::builder(&w.program, &cfg)
+        .max_cycles(50_000_000)
+        .build()
+        .unwrap();
+    let ace = session.ace_profile().unwrap();
     for &structure in Structure::all() {
-        let entries = match structure {
-            Structure::RegisterFile => cfg.phys_int_regs,
-            Structure::StoreQueue => cfg.sq_entries,
-            Structure::L1DCache => cfg.l1d.total_words(),
-        };
-        let faults = generate_fault_list(structure, entries, golden.result.cycles, 120, 5);
+        let faults = session.fault_list(structure, 120, 5).unwrap();
         let repo = ace.structure(structure);
+        let mut injector = session.injector().unwrap();
         let mut pruned_checked = 0;
         for f in faults {
             if repo.lookup(f.entry, f.cycle).is_none() {
@@ -88,7 +87,7 @@ fn ace_pruned_faults_are_masked_when_injected() {
                 if pruned_checked > 25 {
                     break; // keep the test fast; 25 samples per structure
                 }
-                let effect = run_single_fault(&w.program, &cfg, &golden, f);
+                let effect = injector.run(f);
                 assert_eq!(
                     effect,
                     FaultEffect::Masked,

@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use merlin_ace::AceAnalysis;
-use merlin_cpu::CpuConfig;
-use merlin_inject::run_golden;
+use merlin_cpu::{Cpu, CpuConfig, NullProbe};
 use merlin_workloads::workload_by_name;
 
 fn ace_profiling(c: &mut Criterion) {
@@ -18,8 +17,13 @@ fn ace_profiling(c: &mut Criterion) {
         group.bench_function(format!("profiled_run/{name}"), |b| {
             b.iter(|| AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap())
         });
+        // The baseline is a deliberate re-simulation, so it drives the core
+        // directly instead of going through a (caching) session.
         group.bench_function(format!("plain_golden_run/{name}"), |b| {
-            b.iter(|| run_golden(&w.program, &cfg, 100_000_000).unwrap())
+            b.iter(|| {
+                let mut cpu = Cpu::new(w.program.clone(), cfg.clone()).unwrap();
+                cpu.run(100_000_000, &mut NullProbe)
+            })
         });
     }
     group.finish();

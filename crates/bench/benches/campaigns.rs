@@ -4,10 +4,9 @@
 //! Figures 8–10.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use merlin_ace::AceAnalysis;
-use merlin_core::{initial_fault_list, run_merlin_with_faults, MerlinConfig};
+use merlin_core::SessionMethodology;
 use merlin_cpu::{CpuConfig, FaultSpec, Structure};
-use merlin_inject::{run_campaign, run_golden, run_single_fault};
+use merlin_inject::Session;
 use merlin_workloads::workload_by_name;
 
 fn injection_campaigns(c: &mut Criterion) {
@@ -17,47 +16,35 @@ fn injection_campaigns(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let w = workload_by_name("stringsearch").expect("workload exists");
     let cfg = CpuConfig::default().with_phys_regs(64);
-    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
-    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let faults = initial_fault_list(
-        &cfg,
-        Structure::RegisterFile,
-        golden.result.cycles,
-        200,
-        2017,
-    );
-    let merlin_cfg = MerlinConfig {
-        threads: 4,
-        max_cycles: 100_000_000,
-        seed: 2017,
-        ..Default::default()
-    };
+    let session = Session::builder(&w.program, &cfg)
+        .max_cycles(100_000_000)
+        .threads(4)
+        .build()
+        .unwrap();
+    let golden_cycles = session.golden().unwrap().result.cycles;
+    let faults = session
+        .fault_list(Structure::RegisterFile, 200, 2017)
+        .unwrap();
 
     group.bench_function("single_fault_run", |b| {
+        let mut injector = session.injector().unwrap();
         b.iter(|| {
-            run_single_fault(
-                &w.program,
-                &cfg,
-                &golden,
-                FaultSpec::new(Structure::RegisterFile, 5, 17, golden.result.cycles / 2),
-            )
+            injector.run(FaultSpec::new(
+                Structure::RegisterFile,
+                5,
+                17,
+                golden_cycles / 2,
+            ))
         })
     });
     group.bench_function("comprehensive_200_faults", |b| {
-        b.iter(|| run_campaign(&w.program, &cfg, &golden, &faults, 4))
+        b.iter(|| session.campaign(&faults).unwrap())
     });
     group.bench_function("merlin_200_faults", |b| {
         b.iter(|| {
-            run_merlin_with_faults(
-                &w.program,
-                &cfg,
-                Structure::RegisterFile,
-                &ace,
-                &faults,
-                &golden,
-                &merlin_cfg,
-            )
-            .unwrap()
+            session
+                .merlin_with_faults(Structure::RegisterFile, &faults)
+                .unwrap()
         })
     });
     group.finish();

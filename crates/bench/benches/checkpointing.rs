@@ -8,44 +8,44 @@
 //! tracked across revisions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use merlin_core::initial_fault_list;
-use merlin_cpu::{CheckpointPolicy, CpuConfig, Structure};
-use merlin_inject::{run_campaign, run_campaign_from_scratch, run_golden_checkpointed, GoldenRun};
-use merlin_workloads::{workload_by_name, Workload};
+use merlin_cpu::{CpuConfig, Structure};
+use merlin_inject::Session;
+use merlin_workloads::workload_by_name;
 use std::time::Instant;
 
 const FAULTS: usize = 200;
 const THREADS: usize = 4;
 
 struct Prepared {
-    workload: Workload,
-    cfg: CpuConfig,
-    golden: GoldenRun,
+    name: &'static str,
+    session: Session,
     faults: Vec<merlin_cpu::FaultSpec>,
 }
 
-fn prepare(name: &str) -> Prepared {
+fn prepare(name: &'static str) -> Prepared {
     let workload = workload_by_name(name).expect("workload exists");
     let cfg = CpuConfig::default().with_phys_regs(64);
-    let policy = CheckpointPolicy::default();
-    let golden = run_golden_checkpointed(&workload.program, &cfg, 100_000_000, &policy).unwrap();
-    let store = &golden.checkpoints.as_ref().unwrap().store;
+    let session = Session::builder(&workload.program, &cfg)
+        .max_cycles(100_000_000)
+        .threads(THREADS)
+        .build()
+        .unwrap();
+    session.golden().unwrap();
+    let store_len = session
+        .golden_checkpoints()
+        .expect("checkpoints on")
+        .store
+        .len();
     assert!(
-        store.len() >= 8,
-        "{name}: expected ≥ 8 checkpoints, got {}",
-        store.len()
+        store_len >= 8,
+        "{name}: expected ≥ 8 checkpoints, got {store_len}"
     );
-    let faults = initial_fault_list(
-        &cfg,
-        Structure::RegisterFile,
-        golden.result.cycles,
-        FAULTS,
-        2017,
-    );
+    let faults = session
+        .fault_list(Structure::RegisterFile, FAULTS, 2017)
+        .unwrap();
     Prepared {
-        workload,
-        cfg,
-        golden,
+        name,
+        session,
         faults,
     }
 }
@@ -54,16 +54,15 @@ fn prepare(name: &str) -> Prepared {
 /// record (criterion's own samples drive the statistics in the report).
 fn record_speedup(p: &Prepared) -> (f64, f64, f64) {
     let t0 = Instant::now();
-    let scratch =
-        run_campaign_from_scratch(&p.workload.program, &p.cfg, &p.golden, &p.faults, THREADS);
+    let scratch = p.session.campaign_from_scratch(&p.faults).unwrap();
     let scratch_s = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let ck = run_campaign(&p.workload.program, &p.cfg, &p.golden, &p.faults, THREADS);
+    let ck = p.session.campaign(&p.faults).unwrap();
     let ck_s = t1.elapsed().as_secs_f64();
     assert_eq!(
         scratch.outcomes, ck.outcomes,
         "{}: engines disagree",
-        p.workload.name
+        p.name
     );
     (scratch_s, ck_s, scratch_s / ck_s)
 }
@@ -78,21 +77,13 @@ fn checkpointing(c: &mut Criterion) {
     for name in ["stringsearch", "mcf"] {
         let p = prepare(name);
         group.bench_function(format!("from_scratch/{name}"), |b| {
-            b.iter(|| {
-                run_campaign_from_scratch(
-                    &p.workload.program,
-                    &p.cfg,
-                    &p.golden,
-                    &p.faults,
-                    THREADS,
-                )
-            })
+            b.iter(|| p.session.campaign_from_scratch(&p.faults).unwrap())
         });
         group.bench_function(format!("checkpointed/{name}"), |b| {
-            b.iter(|| run_campaign(&p.workload.program, &p.cfg, &p.golden, &p.faults, THREADS))
+            b.iter(|| p.session.campaign(&p.faults).unwrap())
         });
         let (scratch_s, ck_s, speedup) = record_speedup(&p);
-        let checkpoints = p.golden.checkpoints.as_ref().unwrap().store.len();
+        let checkpoints = p.session.golden_checkpoints().unwrap().store.len();
         println!(
             "checkpointing/{name}: {FAULTS} faults, {checkpoints} checkpoints, \
              from-scratch {scratch_s:.3}s vs checkpointed {ck_s:.3}s -> {speedup:.2}x"
@@ -102,7 +93,7 @@ fn checkpointing(c: &mut Criterion) {
              \"golden_cycles\": {}, \"checkpoints\": {checkpoints}, \
              \"from_scratch_s\": {scratch_s:.6}, \"checkpointed_s\": {ck_s:.6}, \
              \"speedup\": {speedup:.3}}}",
-            p.golden.result.cycles
+            p.session.golden().unwrap().result.cycles
         ));
     }
     group.finish();

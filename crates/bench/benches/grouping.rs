@@ -3,10 +3,10 @@
 //! and the Relyzer control-equivalence grouping for comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use merlin_ace::AceAnalysis;
-use merlin_core::{initial_fault_list, reduce_fault_list, relyzer_reduce};
+use merlin_ace::SessionAce;
+use merlin_core::{reduce_fault_list, relyzer_reduce};
 use merlin_cpu::{CpuConfig, Structure};
-use merlin_inject::run_golden;
+use merlin_inject::Session;
 use merlin_workloads::workload_by_name;
 
 fn fault_list_reduction(c: &mut Criterion) {
@@ -16,10 +16,13 @@ fn fault_list_reduction(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     let w = workload_by_name("qsort").expect("workload exists");
     let cfg = CpuConfig::default().with_phys_regs(128);
-    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let golden = run_golden(&w.program, &cfg, 100_000_000).unwrap();
+    let session = Session::builder(&w.program, &cfg)
+        .max_cycles(100_000_000)
+        .build()
+        .unwrap();
+    let ace = session.ace_profile().unwrap();
     for &structure in Structure::all() {
-        let initial = initial_fault_list(&cfg, structure, golden.result.cycles, 60_000, 2017);
+        let initial = session.fault_list(structure, 60_000, 2017).unwrap();
         group.throughput(Throughput::Elements(initial.len() as u64));
         let intervals = ace.structure(structure);
         group.bench_function(format!("merlin_60k/{structure}"), |b| {

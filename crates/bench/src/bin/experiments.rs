@@ -10,18 +10,15 @@
 //! paper's 60,000 / 600,000-fault statistical lists because they require no
 //! injection.
 
-use merlin_ace::AceAnalysis;
-use merlin_bench::{row, run_cell, spec_config, structure_sweep, ExperimentScale};
+use merlin_ace::SessionAce;
+use merlin_bench::{row, run_cell, session_for, spec_config, structure_sweep, ExperimentScale};
 use merlin_core::{
     classify_truncated, fit_rate, group_stats_from_counts, homogeneity, initial_fault_list,
     merlin_exhaustive_row, reduce_fault_list, relyzer_exhaustive_row, relyzer_reduce,
-    run_comprehensive, run_post_ace_baseline, run_relyzer, structure_bits, AvfMoments, WallClock,
+    structure_bits, AvfMoments, SessionMethodology, WallClock,
 };
-use merlin_cpu::{CheckpointPolicy, CpuConfig, Structure};
-use merlin_inject::{
-    run_golden, run_golden_checkpointed, Classification, FaultEffect, FaultInjector, SamplingPlan,
-    TruncatedEffect,
-};
+use merlin_cpu::{Cpu, CpuConfig, NullProbe, Structure};
+use merlin_inject::{Classification, FaultEffect, SamplingPlan, TruncatedEffect};
 use merlin_workloads::{mibench_workloads, spec_workloads, workload_by_name};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -144,18 +141,19 @@ fn table3(scale: &ExperimentScale) {
         .with_store_queue(16)
         .with_l1d_kb(32);
     let w = workload_by_name("qsort").expect("qsort exists");
-    let ace = AceAnalysis::run(&w.program, &cfg, 500_000_000).expect("ace");
-    let golden = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
+    let session = session_for(&w, &cfg, scale);
+    let ace = session.ace_profile().expect("ace");
+    let golden_cycles = session.golden().expect("golden").result.cycles;
     // Reduction factor measured from the exhaustive list of this run:
     // exhaustive = bits * cycles; injections = representative count scaled up
     // proportionally from the statistical list.
     let mut exhaustive = 0f64;
     let mut injections = 0f64;
     for &s in Structure::all() {
-        let initial = initial_fault_list(&cfg, s, golden.result.cycles, 60_000, scale.seed);
+        let initial = initial_fault_list(&cfg, s, golden_cycles, 60_000, scale.seed);
         let red = reduce_fault_list(&initial, ace.structure(s));
         let bits = structure_bits(&cfg, s) as f64;
-        let pop = bits * golden.result.cycles as f64;
+        let pop = bits * golden_cycles as f64;
         exhaustive += pop;
         injections += red.injections() as f64 / initial.len() as f64 * pop;
     }
@@ -192,14 +190,12 @@ fn table4(scale: &ExperimentScale) {
     let mut columns: Vec<Vec<f64>> = Vec::new();
     for name in ["gcc", "bzip2"] {
         let w = workload_by_name(name).expect("workload exists");
-        let ace = AceAnalysis::run(&w.program, &cfg, 500_000_000).expect("ace");
-        let golden =
-            run_golden_checkpointed(&w.program, &cfg, 500_000_000, &CheckpointPolicy::default())
-                .expect("golden");
+        let session = session_for(&w, &cfg, scale);
+        let ace = session.ace_profile().expect("ace");
         // Truncation horizon: half of the execution, standing in for the end
         // of the Simpoint interval.
-        let horizon = golden.result.cycles / 2;
-        let mut injector = FaultInjector::new(&w.program, &cfg, &golden);
+        let horizon = session.golden().expect("golden").result.cycles / 2;
+        let mut injector = session.injector().expect("injector");
         let faults = initial_fault_list(
             &cfg,
             Structure::RegisterFile,
@@ -273,13 +269,10 @@ fn fig6_fig7(scale: &ExperimentScale) {
                 let cell = run_cell(&w, &cfg, structure, scale.baseline_faults, scale);
                 // Full injection of the post-ACE list for the homogeneity
                 // evaluation.
-                let post = run_post_ace_baseline(
-                    &w.program,
-                    &cfg,
-                    &cell.golden,
-                    &cell.campaign.reduction,
-                    scale.threads,
-                );
+                let post = cell
+                    .session
+                    .post_ace_baseline(&cell.campaign.reduction)
+                    .expect("post-ACE baseline");
                 let effects: HashMap<_, _> =
                     post.outcomes.iter().map(|o| (o.fault, o.effect)).collect();
                 let h = homogeneity(&cell.campaign.reduction, &effects);
@@ -329,10 +322,11 @@ fn speedup_mibench(structure: Structure, figure: &str, scale: &ExperimentScale) 
         let mut ace_speedups = Vec::new();
         let mut total_speedups = Vec::new();
         for w in scale.filter(mibench_workloads()) {
-            let ace = AceAnalysis::run(&w.program, &cfg, 500_000_000).expect("ace");
-            let golden = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
-            let initial =
-                initial_fault_list(&cfg, structure, golden.result.cycles, 60_000, scale.seed);
+            let session = session_for(&w, &cfg, scale);
+            let ace = session.ace_profile().expect("ace");
+            let initial = session
+                .fault_list(structure, 60_000, scale.seed)
+                .expect("golden");
             let red = reduce_fault_list(&initial, ace.structure(structure));
             println!(
                 "{}",
@@ -370,15 +364,18 @@ fn speedup_mibench(structure: Structure, figure: &str, scale: &ExperimentScale) 
 /// Figure 11: projected wall-clock estimation time, baseline vs MeRLiN.
 fn fig11(scale: &ExperimentScale) {
     println!("## Figure 11 — projected sequential estimation time (months)\n");
-    // Measure this machine's simulator throughput on one MiBench workload.
+    // Measure this machine's raw simulator throughput on one MiBench
+    // workload (a deliberate re-simulation loop, so it bypasses the session
+    // cache and drives the core directly).
     let w = workload_by_name("sha").expect("sha exists");
     let cfg = CpuConfig::default();
-    let golden = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
     let start = Instant::now();
     let mut simulated = 0u64;
     for _ in 0..5 {
-        let g = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
-        simulated += g.result.cycles;
+        let mut cpu = Cpu::new(w.program.clone(), cfg.clone()).expect("config");
+        let result = cpu.run(500_000_000, &mut NullProbe);
+        assert!(result.exit.is_halted(), "golden run failed");
+        simulated += result.cycles;
     }
     let cps = simulated as f64 / start.elapsed().as_secs_f64();
     println!("measured simulator throughput: {cps:.0} cycles/second\n");
@@ -388,20 +385,22 @@ fn fig11(scale: &ExperimentScale) {
         let mut merlin_months = 0.0;
         for (_, cfg) in structure_sweep(structure) {
             for w in scale.filter(mibench_workloads()) {
-                let ace = AceAnalysis::run(&w.program, &cfg, 500_000_000).expect("ace");
-                let golden = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
-                let initial =
-                    initial_fault_list(&cfg, structure, golden.result.cycles, 60_000, scale.seed);
+                let session = session_for(&w, &cfg, scale);
+                let ace = session.ace_profile().expect("ace");
+                let golden_cycles = session.golden().expect("golden").result.cycles;
+                let initial = session
+                    .fault_list(structure, 60_000, scale.seed)
+                    .expect("golden");
                 let red = reduce_fault_list(&initial, ace.structure(structure));
                 baseline_months += WallClock {
                     runs: initial.len() as u64,
-                    cycles_per_run: golden.result.cycles,
+                    cycles_per_run: golden_cycles,
                     cycles_per_second: cps,
                 }
                 .months();
                 merlin_months += WallClock {
                     runs: red.injections() as u64,
-                    cycles_per_run: golden.result.cycles,
+                    cycles_per_run: golden_cycles,
                     cycles_per_second: cps,
                 }
                 .months();
@@ -409,7 +408,6 @@ fn fig11(scale: &ExperimentScale) {
         }
         println!("{structure:<16} {baseline_months:>22.2}  {merlin_months:>10.3}");
     }
-    let _ = golden;
     println!();
 }
 
@@ -432,11 +430,12 @@ fn fig12(scale: &ExperimentScale) {
     );
     let mut averages: HashMap<Structure, Vec<f64>> = HashMap::new();
     for w in scale.filter(spec_workloads()) {
-        let ace = AceAnalysis::run(&w.program, &cfg, 500_000_000).expect("ace");
-        let golden = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
+        let session = session_for(&w, &cfg, scale);
+        let ace = session.ace_profile().expect("ace");
         for &structure in Structure::all() {
-            let initial =
-                initial_fault_list(&cfg, structure, golden.result.cycles, 60_000, scale.seed);
+            let initial = session
+                .fault_list(structure, 60_000, scale.seed)
+                .expect("golden");
             let red = reduce_fault_list(&initial, ace.structure(structure));
             println!(
                 "{}",
@@ -490,15 +489,11 @@ fn fig13(scale: &ExperimentScale) {
                 let mut ace_sp = Vec::new();
                 let mut tot_sp = Vec::new();
                 for w in scale.filter(mibench_workloads()) {
-                    let ace = AceAnalysis::run(&w.program, &cfg, 500_000_000).expect("ace");
-                    let golden = run_golden(&w.program, &cfg, 500_000_000).expect("golden");
-                    let initial = initial_fault_list(
-                        &cfg,
-                        structure,
-                        golden.result.cycles,
-                        *count,
-                        scale.seed,
-                    );
+                    let session = session_for(&w, &cfg, scale);
+                    let ace = session.ace_profile().expect("ace");
+                    let initial = session
+                        .fault_list(structure, *count, scale.seed)
+                        .expect("golden");
                     let red = reduce_fault_list(&initial, ace.structure(structure));
                     ace_sp.push(red.ace_speedup());
                     tot_sp.push(red.total_speedup());
@@ -536,20 +531,14 @@ fn accuracy_figures(scale: &ExperimentScale) {
             let mut ace_avfs = Vec::new();
             for w in scale.filter(mibench_workloads()) {
                 let cell = run_cell(&w, &cfg, structure, scale.baseline_faults, scale);
-                let comprehensive = run_comprehensive(
-                    &w.program,
-                    &cfg,
-                    &cell.golden,
-                    &cell.campaign.initial_faults,
-                    scale.threads,
-                );
-                let post_ace = run_post_ace_baseline(
-                    &w.program,
-                    &cfg,
-                    &cell.golden,
-                    &cell.campaign.reduction,
-                    scale.threads,
-                );
+                let comprehensive = cell
+                    .session
+                    .comprehensive(&cell.campaign.initial_faults)
+                    .expect("comprehensive baseline");
+                let post_ace = cell
+                    .session
+                    .post_ace_baseline(&cell.campaign.reduction)
+                    .expect("post-ACE baseline");
                 comprehensive_sum += comprehensive.classification;
                 post_ace_sum += post_ace.classification;
                 merlin_post_ace_sum += cell.campaign.report.post_ace_classification;
@@ -601,13 +590,10 @@ fn fig17(scale: &ExperimentScale) {
         let mut relyzer_speedups = Vec::new();
         for w in scale.filter(mibench_workloads()) {
             let cell = run_cell(&w, &cfg, structure, scale.baseline_faults, scale);
-            let post_ace = run_post_ace_baseline(
-                &w.program,
-                &cfg,
-                &cell.golden,
-                &cell.campaign.reduction,
-                scale.threads,
-            );
+            let post_ace = cell
+                .session
+                .post_ace_baseline(&cell.campaign.reduction)
+                .expect("post-ACE baseline");
             post_ace_sum += post_ace.classification;
             merlin_sum += cell.campaign.report.post_ace_classification;
             merlin_speedups.push(cell.campaign.report.speedup_total);
@@ -615,7 +601,7 @@ fn fig17(scale: &ExperimentScale) {
             let relyzer_red =
                 relyzer_reduce(&cell.campaign.initial_faults, cell.ace.structure(structure));
             let (mut relyzer_cls, injections) =
-                run_relyzer(&w.program, &cfg, &cell.golden, &relyzer_red, scale.threads);
+                cell.session.relyzer(&relyzer_red).expect("relyzer");
             // Restrict to the post-ACE portion for a like-for-like comparison.
             relyzer_cls.masked -= relyzer_red.ace_masked.len() as u64;
             relyzer_sum += relyzer_cls;
@@ -652,13 +638,10 @@ fn theory(scale: &ExperimentScale) {
         scale.baseline_faults,
         scale,
     );
-    let post_ace = run_post_ace_baseline(
-        &w.program,
-        &cfg,
-        &cell.golden,
-        &cell.campaign.reduction,
-        scale.threads,
-    );
+    let post_ace = cell
+        .session
+        .post_ace_baseline(&cell.campaign.reduction)
+        .expect("post-ACE baseline");
     let effects: HashMap<_, _> = post_ace
         .outcomes
         .iter()

@@ -7,17 +7,22 @@
 //! and injection campaigns).
 //!
 //! Shared machinery for both lives here: experiment-scale knobs read from
-//! the environment, the per-structure configuration sweeps of Table 1, and
-//! small text-table helpers.
+//! the environment, the per-structure configuration sweeps of Table 1, the
+//! process-wide [`session_cache`] every experiment draws its sessions from
+//! (so `experiments all` pays one golden run and one ACE profile per
+//! `(workload, configuration)` pair across *all* figures — and, with
+//! `MERLIN_CHECKPOINT_DIR` set, across repeated invocations too), and small
+//! text-table helpers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use merlin_ace::AceAnalysis;
-use merlin_core::{initial_fault_list, run_merlin_with_faults, MerlinCampaign, MerlinConfig};
+use merlin_ace::{AceAnalysis, SessionAce};
+use merlin_core::{MerlinCampaign, MerlinConfig, SessionMethodology};
 use merlin_cpu::{CpuConfig, Structure};
-use merlin_inject::{run_golden_checkpointed, GoldenRun};
+use merlin_inject::{Session, SessionCache};
 use merlin_workloads::Workload;
+use std::sync::{Arc, OnceLock};
 
 /// Experiment-scale knobs, read from the environment so the full paper-scale
 /// settings and fast laptop-scale settings use the same binary.
@@ -121,14 +126,50 @@ pub fn spec_config() -> CpuConfig {
     CpuConfig::spec_experiment()
 }
 
+/// The process-wide session cache: every experiment draws its sessions from
+/// here, so golden runs and ACE profiles are shared across figures within
+/// one `experiments` invocation.
+///
+/// When `MERLIN_CHECKPOINT_DIR` is set, golden runs (checkpoint store
+/// included) are additionally persisted there and re-loaded by later
+/// invocations — the cross-campaign checkpoint reuse the ROADMAP called
+/// for.
+pub fn session_cache() -> &'static SessionCache {
+    static CACHE: OnceLock<SessionCache> = OnceLock::new();
+    CACHE.get_or_init(|| match std::env::var("MERLIN_CHECKPOINT_DIR") {
+        Ok(dir) if !dir.is_empty() => SessionCache::with_disk_dir(dir),
+        _ => SessionCache::new(),
+    })
+}
+
+/// The cached session for one (workload, configuration) pair under the
+/// scale's execution knobs.  Requests with an identical context share one
+/// session — and therefore one golden run and one ACE profile.
+///
+/// # Panics
+///
+/// Panics on invalid configurations — that is a harness bug, not an
+/// experimental outcome.
+pub fn session_for(workload: &Workload, cfg: &CpuConfig, scale: &ExperimentScale) -> Arc<Session> {
+    let merlin_cfg = scale.merlin_config();
+    session_cache()
+        .session(workload.name, &workload.program, cfg, |b| {
+            b.checkpoints(merlin_cfg.checkpoints)
+                .max_cycles(merlin_cfg.max_cycles)
+                .threads(merlin_cfg.threads)
+        })
+        .unwrap_or_else(|e| panic!("session setup failed for {}: {e}", workload.name))
+}
+
 /// Everything needed to evaluate one (workload, configuration, structure)
-/// cell: golden run, ACE analysis and a MeRLiN campaign over `fault_count`
-/// statistically sampled faults.
+/// cell: the shared session (golden run included), its cached ACE analysis
+/// and a MeRLiN campaign over `fault_count` statistically sampled faults.
 pub struct Cell {
-    /// The golden run.
-    pub golden: GoldenRun,
-    /// The ACE-like analysis.
-    pub ace: AceAnalysis,
+    /// The session (shared through [`session_cache`]; `session.golden()` is
+    /// the golden run every phase of this cell restores from).
+    pub session: Arc<Session>,
+    /// The ACE-like analysis (cached on the session).
+    pub ace: Arc<AceAnalysis>,
     /// The MeRLiN campaign.
     pub campaign: MerlinCampaign,
 }
@@ -146,35 +187,15 @@ pub fn run_cell(
     fault_count: usize,
     scale: &ExperimentScale,
 ) -> Cell {
-    let merlin_cfg = scale.merlin_config();
-    let ace = AceAnalysis::run(&workload.program, cfg, merlin_cfg.max_cycles)
+    let session = session_for(workload, cfg, scale);
+    let ace = session
+        .ace_profile()
         .unwrap_or_else(|e| panic!("ACE analysis failed for {}: {e}", workload.name));
-    let golden = run_golden_checkpointed(
-        &workload.program,
-        cfg,
-        merlin_cfg.max_cycles,
-        &merlin_cfg.checkpoints,
-    )
-    .unwrap_or_else(|e| panic!("golden run failed for {}: {e}", workload.name));
-    let initial = initial_fault_list(
-        cfg,
-        structure,
-        golden.result.cycles,
-        fault_count,
-        scale.seed,
-    );
-    let campaign = run_merlin_with_faults(
-        &workload.program,
-        cfg,
-        structure,
-        &ace,
-        &initial,
-        &golden,
-        &merlin_cfg,
-    )
-    .unwrap_or_else(|e| panic!("MeRLiN campaign failed for {}: {e}", workload.name));
+    let campaign = session
+        .merlin(structure, fault_count, scale.seed)
+        .unwrap_or_else(|e| panic!("MeRLiN campaign failed for {}: {e}", workload.name));
     Cell {
-        golden,
+        session,
         ace,
         campaign,
     }

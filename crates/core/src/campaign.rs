@@ -4,11 +4,11 @@
 //! baseline campaign used for accuracy comparisons.
 
 use crate::grouping::{reduce_fault_list, FaultListReduction};
-use merlin_ace::AceAnalysis;
+use merlin_ace::{AceAnalysis, AceError};
 use merlin_cpu::{CheckpointPolicy, CpuConfig, FaultSpec, Structure};
 use merlin_inject::{
-    generate_fault_list, run_campaign, run_golden_checkpointed, CampaignError, CampaignResult,
-    Classification, FaultEffect, FaultInjector, GoldenRun,
+    generate_fault_list, CampaignError, CampaignResult, Classification, FaultEffect, FaultInjector,
+    GoldenRun, Session, SessionBuilder,
 };
 use merlin_isa::Program;
 use serde::{Deserialize, Serialize};
@@ -39,6 +39,18 @@ impl Default for MerlinConfig {
             seed: 0x4D45_524C, // "MERL"
             checkpoints: CheckpointPolicy::default(),
         }
+    }
+}
+
+impl MerlinConfig {
+    /// A session builder carrying this configuration's execution knobs
+    /// (checkpoint policy, cycle budget, thread count) — the bridge between
+    /// the legacy free functions and the session API.
+    pub fn session_builder(&self, program: &Program, cfg: &CpuConfig) -> SessionBuilder {
+        Session::builder(program, cfg)
+            .checkpoints(self.checkpoints)
+            .max_cycles(self.max_cycles)
+            .threads(self.threads)
     }
 }
 
@@ -137,6 +149,12 @@ impl From<CampaignError> for MerlinError {
     }
 }
 
+impl From<AceError> for MerlinError {
+    fn from(e: AceError) -> Self {
+        MerlinError::Preprocessing(e.to_string())
+    }
+}
+
 /// Generates the initial statistical fault list for `structure` given the
 /// golden execution length (phase 1, task 2 of the paper).
 pub fn initial_fault_list(
@@ -146,60 +164,31 @@ pub fn initial_fault_list(
     count: usize,
     seed: u64,
 ) -> Vec<FaultSpec> {
-    let entries = match structure {
-        Structure::RegisterFile => cfg.phys_int_regs,
-        Structure::StoreQueue => cfg.sq_entries,
-        Structure::L1DCache => cfg.l1d.total_words(),
-    };
-    generate_fault_list(structure, entries, golden_cycles, count, seed)
-}
-
-/// Runs the complete MeRLiN methodology for one structure of one benchmark.
-///
-/// `ace` must come from [`AceAnalysis::run`] with the same program and
-/// configuration; `fault_count` is the size of the initial statistical fault
-/// list (60,000 in the paper's baseline campaigns).
-///
-/// # Errors
-///
-/// Returns [`MerlinError`] if the golden run cannot be established.
-pub fn run_merlin(
-    program: &Program,
-    cfg: &CpuConfig,
-    structure: Structure,
-    ace: &AceAnalysis,
-    fault_count: usize,
-    merlin_cfg: &MerlinConfig,
-) -> Result<MerlinCampaign, MerlinError> {
-    let golden =
-        run_golden_checkpointed(program, cfg, merlin_cfg.max_cycles, &merlin_cfg.checkpoints)?;
-    let initial = initial_fault_list(
-        cfg,
+    generate_fault_list(
         structure,
-        golden.result.cycles,
-        fault_count,
-        merlin_cfg.seed,
-    );
-    run_merlin_with_faults(program, cfg, structure, ace, &initial, &golden, merlin_cfg)
+        cfg.structure_entries(structure),
+        golden_cycles,
+        count,
+        seed,
+    )
 }
 
-/// Runs MeRLiN over an explicitly provided initial fault list (used when the
-/// same list must also feed the comprehensive baseline campaign).
-pub fn run_merlin_with_faults(
-    program: &Program,
-    cfg: &CpuConfig,
+/// The methodology proper, over a session: reduce, inject representatives,
+/// extrapolate.  Shared by [`SessionMethodology`](crate::SessionMethodology)
+/// and the deprecated free-function shims.
+pub(crate) fn merlin_over_session(
+    session: &Session,
     structure: Structure,
     ace: &AceAnalysis,
     initial: &[FaultSpec],
-    golden: &GoldenRun,
-    merlin_cfg: &MerlinConfig,
 ) -> Result<MerlinCampaign, MerlinError> {
+    let golden = session.golden()?;
     let intervals = ace.structure(structure);
     let reduction = reduce_fault_list(initial, intervals);
 
     // Phase 3: inject only the representatives.
     let representatives = reduction.reduced_fault_list();
-    let rep_result = run_campaign(program, cfg, golden, &representatives, merlin_cfg.threads);
+    let rep_result = session.campaign(&representatives)?;
     let rep_effects: HashMap<FaultSpec, FaultEffect> = rep_result
         .outcomes
         .iter()
@@ -262,33 +251,10 @@ pub fn run_merlin_with_faults(
     })
 }
 
-/// Runs the comprehensive baseline campaign (every fault of the initial list
-/// injected individually) — the reference MeRLiN's accuracy is judged
-/// against (Figure 15).  When `golden` carries checkpoints (see
-/// [`run_golden_checkpointed`]) each injection restores the nearest
-/// checkpoint and simulates only its suffix.
-pub fn run_comprehensive(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    initial: &[FaultSpec],
-    threads: usize,
-) -> CampaignResult {
-    run_campaign(program, cfg, golden, initial, threads)
-}
-
-/// Runs the "post-ACE" baseline: every fault that survives the ACE-like
-/// pruning is injected individually (the blue bars of Figure 14).  Returns
-/// the classification over that remaining list.  Uses the checkpointed
-/// engine whenever `golden` carries checkpoints.
-pub fn run_post_ace_baseline(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    reduction: &FaultListReduction,
-    threads: usize,
-) -> CampaignResult {
-    let remaining: Vec<FaultSpec> = reduction
+/// Flattens a reduction back into the post-ACE fault list (every fault that
+/// survived the pruning step).
+pub(crate) fn post_ace_fault_list(reduction: &FaultListReduction) -> Vec<FaultSpec> {
+    reduction
         .groups
         .iter()
         .flat_map(|g| {
@@ -296,8 +262,98 @@ pub fn run_post_ace_baseline(
                 .iter()
                 .flat_map(|s| s.faults.iter().map(|f| f.fault))
         })
-        .collect();
-    run_campaign(program, cfg, golden, &remaining, threads)
+        .collect()
+}
+
+/// Runs the complete MeRLiN methodology for one structure of one benchmark.
+///
+/// `ace` must come from [`AceAnalysis::run`] with the same program and
+/// configuration; `fault_count` is the size of the initial statistical fault
+/// list (60,000 in the paper's baseline campaigns).
+///
+/// # Errors
+///
+/// Returns [`MerlinError`] if the golden run cannot be established.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `SessionMethodology::merlin` instead"
+)]
+pub fn run_merlin(
+    program: &Program,
+    cfg: &CpuConfig,
+    structure: Structure,
+    ace: &AceAnalysis,
+    fault_count: usize,
+    merlin_cfg: &MerlinConfig,
+) -> Result<MerlinCampaign, MerlinError> {
+    let session = merlin_cfg.session_builder(program, cfg).build()?;
+    let initial = session.fault_list(structure, fault_count, merlin_cfg.seed)?;
+    merlin_over_session(&session, structure, ace, &initial)
+}
+
+/// Runs MeRLiN over an explicitly provided initial fault list (used when the
+/// same list must also feed the comprehensive baseline campaign).
+///
+/// # Errors
+///
+/// Returns [`MerlinError`] if a campaign over `golden` cannot be set up.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `SessionMethodology::merlin_with_faults` instead"
+)]
+pub fn run_merlin_with_faults(
+    program: &Program,
+    cfg: &CpuConfig,
+    structure: Structure,
+    ace: &AceAnalysis,
+    initial: &[FaultSpec],
+    golden: &GoldenRun,
+    merlin_cfg: &MerlinConfig,
+) -> Result<MerlinCampaign, MerlinError> {
+    let session = merlin_cfg
+        .session_builder(program, cfg)
+        .golden(golden.clone())
+        .build()?;
+    merlin_over_session(&session, structure, ace, initial)
+}
+
+/// Runs the comprehensive baseline campaign (every fault of the initial list
+/// injected individually) — the reference MeRLiN's accuracy is judged
+/// against (Figure 15).  When `golden` carries checkpoints each injection
+/// restores the nearest checkpoint and simulates only its suffix.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `SessionMethodology::comprehensive` instead"
+)]
+#[allow(deprecated)]
+pub fn run_comprehensive(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    initial: &[FaultSpec],
+    threads: usize,
+) -> CampaignResult {
+    merlin_inject::run_campaign(program, cfg, golden, initial, threads)
+}
+
+/// Runs the "post-ACE" baseline: every fault that survives the ACE-like
+/// pruning is injected individually (the blue bars of Figure 14).  Returns
+/// the classification over that remaining list.  Uses the checkpointed
+/// engine whenever `golden` carries checkpoints.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `SessionMethodology::post_ace_baseline` instead"
+)]
+#[allow(deprecated)]
+pub fn run_post_ace_baseline(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    reduction: &FaultListReduction,
+    threads: usize,
+) -> CampaignResult {
+    let remaining = post_ace_fault_list(reduction);
+    merlin_inject::run_campaign(program, cfg, golden, &remaining, threads)
 }
 
 /// Truncated-run classification (§4.4.3.4, Table 4): the faulty run is
@@ -346,35 +402,28 @@ pub fn classify_truncated(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SessionMethodology;
+    use merlin_ace::SessionAce;
+    use merlin_inject::TruncatedEffect;
     use merlin_workloads::workload_by_name;
 
     fn small_cfg() -> CpuConfig {
         CpuConfig::default().with_phys_regs(64).with_store_queue(16)
     }
 
-    fn merlin_cfg() -> MerlinConfig {
-        MerlinConfig {
-            threads: 4,
-            max_cycles: 50_000_000,
-            seed: 7,
-            ..Default::default()
-        }
+    fn small_session(name: &str) -> Session {
+        let w = workload_by_name(name).unwrap();
+        Session::builder(&w.program, &small_cfg())
+            .max_cycles(50_000_000)
+            .threads(4)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn merlin_campaign_accounts_for_every_fault() {
-        let w = workload_by_name("stringsearch").unwrap();
-        let cfg = small_cfg();
-        let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
-        let campaign = run_merlin(
-            &w.program,
-            &cfg,
-            Structure::RegisterFile,
-            &ace,
-            400,
-            &merlin_cfg(),
-        )
-        .unwrap();
+        let session = small_session("stringsearch");
+        let campaign = session.merlin(Structure::RegisterFile, 400, 7).unwrap();
         let r = &campaign.report;
         assert_eq!(r.initial_faults, 400);
         assert_eq!(r.ace_pruned + r.post_ace_faults, 400);
@@ -394,25 +443,14 @@ mod tests {
 
     #[test]
     fn merlin_matches_comprehensive_campaign_closely() {
-        let w = workload_by_name("sha").unwrap();
-        let cfg = small_cfg();
-        let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
-        let golden =
-            run_golden_checkpointed(&w.program, &cfg, 50_000_000, &CheckpointPolicy::default())
-                .unwrap();
-        let initial =
-            initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 500, 13);
-        let merlin = run_merlin_with_faults(
-            &w.program,
-            &cfg,
-            Structure::RegisterFile,
-            &ace,
-            &initial,
-            &golden,
-            &merlin_cfg(),
-        )
-        .unwrap();
-        let comprehensive = run_comprehensive(&w.program, &cfg, &golden, &initial, 4);
+        let session = small_session("sha");
+        let initial = session
+            .fault_list(Structure::RegisterFile, 500, 13)
+            .unwrap();
+        let merlin = session
+            .merlin_with_faults(Structure::RegisterFile, &initial)
+            .unwrap();
+        let comprehensive = session.comprehensive(&initial).unwrap();
         let inaccuracy = merlin
             .report
             .classification
@@ -425,23 +463,99 @@ mod tests {
         );
         // And it must be much cheaper.
         assert!(merlin.report.injections * 3 < initial.len());
+        // Both phases shared one golden simulation.
+        assert_eq!(session.golden_builds(), 1);
     }
 
     #[test]
     fn store_queue_campaign_runs() {
-        let w = workload_by_name("qsort").unwrap();
-        let cfg = small_cfg();
-        let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
-        let campaign = run_merlin(
-            &w.program,
-            &cfg,
-            Structure::StoreQueue,
-            &ace,
-            300,
-            &merlin_cfg(),
-        )
-        .unwrap();
+        let session = small_session("qsort");
+        let campaign = session.merlin(Structure::StoreQueue, 300, 7).unwrap();
         assert_eq!(campaign.report.classification.total(), 300);
         assert!(campaign.report.speedup_total > 1.0);
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_the_session_path() {
+        // The shims must stay byte-identical to the session methods while
+        // they exist.
+        let w = workload_by_name("stringsearch").unwrap();
+        let cfg = small_cfg();
+        let merlin_cfg = MerlinConfig {
+            threads: 4,
+            max_cycles: 50_000_000,
+            seed: 7,
+            ..Default::default()
+        };
+        let session = merlin_cfg
+            .session_builder(&w.program, &cfg)
+            .build()
+            .unwrap();
+        let via_session = session.merlin(Structure::RegisterFile, 200, 7).unwrap();
+        let ace = session.ace_profile().unwrap();
+        #[allow(deprecated)]
+        let via_shim = run_merlin(
+            &w.program,
+            &cfg,
+            Structure::RegisterFile,
+            &ace,
+            200,
+            &merlin_cfg,
+        )
+        .unwrap();
+        assert_eq!(via_session.outcomes, via_shim.outcomes);
+        assert_eq!(
+            via_session.report.classification,
+            via_shim.report.classification
+        );
+    }
+
+    #[test]
+    fn classify_truncated_covers_every_branch() {
+        let session = small_session("stringsearch");
+        let ace = session.ace_profile().unwrap();
+        let golden_cycles = session.golden().unwrap().result.cycles;
+        let horizon = golden_cycles / 2;
+        let mut injector = session.injector().unwrap();
+        let faults = session
+            .fault_list(Structure::RegisterFile, 300, 23)
+            .unwrap();
+        let intervals = ace.structure(Structure::RegisterFile);
+        let mut seen: HashMap<TruncatedEffect, u64> = HashMap::new();
+        for &fault in &faults {
+            let effect =
+                classify_truncated(&mut injector, &ace, Structure::RegisterFile, fault, horizon);
+            *seen.entry(effect).or_default() += 1;
+            // Branch contracts, checked per fault:
+            if fault.cycle > horizon {
+                assert_eq!(effect, TruncatedEffect::Masked, "{fault}: past the horizon");
+            }
+            let covering = intervals.lookup(fault.entry, fault.cycle);
+            if covering.is_none() && fault.cycle <= horizon {
+                // ACE-pruned faults inside the horizon are really masked.
+                assert_eq!(
+                    effect,
+                    TruncatedEffect::Masked,
+                    "{fault}: outside intervals"
+                );
+            }
+            if effect == TruncatedEffect::Unknown {
+                // Unknown requires an interval that outlives the horizon or
+                // a fault whose eventual fate (SDC/Timeout) manifests later.
+                assert!(fault.cycle <= horizon, "{fault}");
+            }
+        }
+        // The dominant classes must actually occur on a real workload.
+        assert!(seen[&TruncatedEffect::Masked] > 0);
+        assert!(
+            seen.get(&TruncatedEffect::Unknown).copied().unwrap_or(0) > 0,
+            "no fault was live across the horizon: {seen:?}"
+        );
+        // A fault injected after the horizon is masked by definition.
+        let late = FaultSpec::new(Structure::RegisterFile, 0, 1, horizon + 1);
+        assert_eq!(
+            classify_truncated(&mut injector, &ace, Structure::RegisterFile, late, horizon),
+            TruncatedEffect::Masked
+        );
     }
 }

@@ -27,24 +27,24 @@
 //!
 //! # Examples
 //!
+//! The whole methodology runs as methods on a
+//! [`Session`](merlin_inject::Session) (see [`SessionMethodology`]), which
+//! builds the checkpointed golden run lazily exactly once and caches the
+//! ACE-like profile alongside it:
+//!
 //! ```no_run
-//! use merlin_ace::AceAnalysis;
-//! use merlin_core::{run_merlin, MerlinConfig};
+//! use merlin_core::SessionMethodology;
 //! use merlin_cpu::{CpuConfig, Structure};
+//! use merlin_inject::Session;
 //! use merlin_workloads::workload_by_name;
 //!
 //! let w = workload_by_name("qsort").unwrap();
 //! let cfg = CpuConfig::default().with_phys_regs(128);
-//! let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-//! let campaign = run_merlin(
-//!     &w.program,
-//!     &cfg,
-//!     Structure::RegisterFile,
-//!     &ace,
-//!     2_000,
-//!     &MerlinConfig::default(),
-//! )
-//! .unwrap();
+//! let session = Session::builder(&w.program, &cfg)
+//!     .max_cycles(100_000_000)
+//!     .build()
+//!     .unwrap();
+//! let campaign = session.merlin(Structure::RegisterFile, 2_000, 2017).unwrap();
 //! println!(
 //!     "speedup {:.1}x, AVF {:.2}%",
 //!     campaign.report.speedup_total,
@@ -60,13 +60,15 @@ mod grouping;
 mod homogeneity;
 mod metrics;
 mod relyzer;
+mod session;
 mod stats;
 
 pub use campaign::{
-    classify_truncated, initial_fault_list, run_comprehensive, run_merlin, run_merlin_with_faults,
-    run_post_ace_baseline, ExtrapolatedOutcome, MerlinCampaign, MerlinConfig, MerlinError,
-    MerlinReport,
+    classify_truncated, initial_fault_list, ExtrapolatedOutcome, MerlinCampaign, MerlinConfig,
+    MerlinError, MerlinReport,
 };
+#[allow(deprecated)]
+pub use campaign::{run_comprehensive, run_merlin, run_merlin_with_faults, run_post_ace_baseline};
 pub use grouping::{
     reduce_fault_list, FaultGroup, FaultListReduction, GroupKey, GroupedFault, SubGroup,
 };
@@ -75,5 +77,8 @@ pub use metrics::{
     fit_rate, merlin_exhaustive_row, relyzer_exhaustive_row, structure_bits, ExhaustiveComparison,
     WallClock, RAW_FIT_PER_BIT,
 };
-pub use relyzer::{relyzer_reduce, run_relyzer, ControlGroup, RelyzerReduction};
+#[allow(deprecated)]
+pub use relyzer::run_relyzer;
+pub use relyzer::{relyzer_reduce, ControlGroup, RelyzerReduction};
+pub use session::SessionMethodology;
 pub use stats::{group_stats_from_counts, AvfMoments, GroupStat};

@@ -10,7 +10,7 @@
 use crate::grouping::GroupedFault;
 use merlin_ace::VulnerableIntervals;
 use merlin_cpu::{CpuConfig, FaultSpec};
-use merlin_inject::{run_campaign, Classification, FaultEffect, GoldenRun};
+use merlin_inject::{CampaignResult, Classification, FaultEffect, GoldenRun};
 use merlin_isa::{Program, Rip};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -114,20 +114,17 @@ pub fn relyzer_reduce(initial: &[FaultSpec], intervals: &VulnerableIntervals) ->
     RelyzerReduction { ace_masked, groups }
 }
 
-/// Runs the control-equivalence campaign: injects one pilot per group and
-/// extrapolates its effect to the whole group (plus Masked for the pruned
-/// faults), returning the extrapolated classification and the number of
-/// injections performed.
-pub fn run_relyzer(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
+/// The pilot list of a reduction (one injection per control group).
+pub(crate) fn relyzer_pilots(reduction: &RelyzerReduction) -> Vec<FaultSpec> {
+    reduction.groups.iter().map(|g| g.pilot).collect()
+}
+
+/// Extrapolates the injected pilot outcomes to the whole reduction.
+pub(crate) fn relyzer_extrapolate(
     reduction: &RelyzerReduction,
-    threads: usize,
-) -> (Classification, usize) {
-    let pilots: Vec<FaultSpec> = reduction.groups.iter().map(|g| g.pilot).collect();
-    let result = run_campaign(program, cfg, golden, &pilots, threads);
-    let effects: HashMap<FaultSpec, FaultEffect> = result
+    pilot_result: &CampaignResult,
+) -> Classification {
+    let effects: HashMap<FaultSpec, FaultEffect> = pilot_result
         .outcomes
         .iter()
         .map(|o| (o.fault, o.effect))
@@ -138,7 +135,28 @@ pub fn run_relyzer(
         let effect = effects[&g.pilot];
         classification.record(effect, g.faults.len() as u64);
     }
-    (classification, pilots.len())
+    classification
+}
+
+/// Runs the control-equivalence campaign: injects one pilot per group and
+/// extrapolates its effect to the whole group (plus Masked for the pruned
+/// faults), returning the extrapolated classification and the number of
+/// injections performed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `SessionMethodology::relyzer` instead"
+)]
+#[allow(deprecated)]
+pub fn run_relyzer(
+    program: &Program,
+    cfg: &CpuConfig,
+    golden: &GoldenRun,
+    reduction: &RelyzerReduction,
+    threads: usize,
+) -> (Classification, usize) {
+    let pilots = relyzer_pilots(reduction);
+    let result = merlin_inject::run_campaign(program, cfg, golden, &pilots, threads);
+    (relyzer_extrapolate(reduction, &result), pilots.len())
 }
 
 #[cfg(test)]

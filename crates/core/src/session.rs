@@ -1,0 +1,221 @@
+//! Session extension: the full MeRLiN methodology as methods on
+//! [`Session`].
+//!
+//! Every method shares the session's lazily-built golden run and its cached
+//! ACE-like analysis ([`SessionAce`]), so running representative injection,
+//! the comprehensive baseline, the post-ACE baseline and the Relyzer
+//! comparison back to back costs exactly one golden simulation and one
+//! profiling run — the once-per-context invariant the free-function API
+//! left to caller discipline.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use merlin_core::SessionMethodology;
+//! use merlin_cpu::{CpuConfig, Structure};
+//! use merlin_inject::Session;
+//! use merlin_workloads::workload_by_name;
+//!
+//! let w = workload_by_name("qsort").unwrap();
+//! let cfg = CpuConfig::default().with_phys_regs(128);
+//! let session = Session::builder(&w.program, &cfg)
+//!     .max_cycles(100_000_000)
+//!     .build()
+//!     .unwrap();
+//! let campaign = session
+//!     .merlin(Structure::RegisterFile, 2_000, 2017)
+//!     .unwrap();
+//! println!(
+//!     "speedup {:.1}x, AVF {:.2}%",
+//!     campaign.report.speedup_total,
+//!     100.0 * campaign.report.avf()
+//! );
+//! ```
+
+use crate::campaign::{merlin_over_session, post_ace_fault_list, MerlinCampaign, MerlinError};
+use crate::grouping::FaultListReduction;
+use crate::relyzer::{relyzer_extrapolate, relyzer_pilots, RelyzerReduction};
+use merlin_ace::SessionAce;
+use merlin_cpu::{FaultSpec, Structure};
+use merlin_inject::{CampaignResult, Classification, Session};
+
+/// Adds the MeRLiN methodology phases to [`Session`].
+///
+/// All methods share one golden run and one cached ACE-like profile per
+/// session; see the `session` module documentation.
+pub trait SessionMethodology {
+    /// Runs the complete MeRLiN methodology for `structure`: draws a
+    /// `fault_count`-fault statistical initial list with `seed`, prunes and
+    /// groups it against the session's ACE-like profile, injects only the
+    /// representatives and extrapolates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MerlinError`] if the golden or profiling run cannot be
+    /// established.
+    fn merlin(
+        &self,
+        structure: Structure,
+        fault_count: usize,
+        seed: u64,
+    ) -> Result<MerlinCampaign, MerlinError>;
+
+    /// Runs MeRLiN over an explicitly provided initial fault list (used when
+    /// the same list must also feed the baselines).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionMethodology::merlin`].
+    fn merlin_with_faults(
+        &self,
+        structure: Structure,
+        initial: &[FaultSpec],
+    ) -> Result<MerlinCampaign, MerlinError>;
+
+    /// Runs the comprehensive baseline: every fault of `initial` injected
+    /// individually (Figure 15's reference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates golden-run and fault-validation errors.
+    fn comprehensive(&self, initial: &[FaultSpec]) -> Result<CampaignResult, MerlinError>;
+
+    /// Runs the post-ACE baseline: every fault that survived the pruning
+    /// step injected individually (the blue bars of Figure 14).
+    ///
+    /// # Errors
+    ///
+    /// Propagates golden-run and fault-validation errors.
+    fn post_ace_baseline(
+        &self,
+        reduction: &FaultListReduction,
+    ) -> Result<CampaignResult, MerlinError>;
+
+    /// Runs the Relyzer control-equivalence campaign: injects one pilot per
+    /// group and extrapolates, returning the classification and the number
+    /// of injections performed (the §4.4.4 / Figure 17 comparison).
+    ///
+    /// # Errors
+    ///
+    /// Propagates golden-run and fault-validation errors.
+    fn relyzer(&self, reduction: &RelyzerReduction)
+        -> Result<(Classification, usize), MerlinError>;
+}
+
+impl SessionMethodology for Session {
+    fn merlin(
+        &self,
+        structure: Structure,
+        fault_count: usize,
+        seed: u64,
+    ) -> Result<MerlinCampaign, MerlinError> {
+        let initial = self.fault_list(structure, fault_count, seed)?;
+        self.merlin_with_faults(structure, &initial)
+    }
+
+    fn merlin_with_faults(
+        &self,
+        structure: Structure,
+        initial: &[FaultSpec],
+    ) -> Result<MerlinCampaign, MerlinError> {
+        let ace = self.ace_profile()?;
+        merlin_over_session(self, structure, &ace, initial)
+    }
+
+    fn comprehensive(&self, initial: &[FaultSpec]) -> Result<CampaignResult, MerlinError> {
+        Ok(self.campaign(initial)?)
+    }
+
+    fn post_ace_baseline(
+        &self,
+        reduction: &FaultListReduction,
+    ) -> Result<CampaignResult, MerlinError> {
+        Ok(self.campaign(&post_ace_fault_list(reduction))?)
+    }
+
+    fn relyzer(
+        &self,
+        reduction: &RelyzerReduction,
+    ) -> Result<(Classification, usize), MerlinError> {
+        let pilots = relyzer_pilots(reduction);
+        let result = self.campaign(&pilots)?;
+        Ok((relyzer_extrapolate(reduction, &result), pilots.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::reduce_fault_list;
+    use crate::relyzer::relyzer_reduce;
+    use merlin_cpu::CpuConfig;
+    use merlin_workloads::workload_by_name;
+
+    fn small_session(name: &str) -> Session {
+        let w = workload_by_name(name).unwrap();
+        let cfg = CpuConfig::default().with_phys_regs(64).with_store_queue(16);
+        Session::builder(&w.program, &cfg)
+            .max_cycles(50_000_000)
+            .threads(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_phases_share_one_golden_run() {
+        let session = small_session("stringsearch");
+        let initial = session
+            .fault_list(Structure::RegisterFile, 300, 11)
+            .unwrap();
+        let merlin = session
+            .merlin_with_faults(Structure::RegisterFile, &initial)
+            .unwrap();
+        let comprehensive = session.comprehensive(&initial).unwrap();
+        let post_ace = session.post_ace_baseline(&merlin.reduction).unwrap();
+        let ace = session.ace_profile().unwrap();
+        let relyzer_red = relyzer_reduce(&initial, ace.structure(Structure::RegisterFile));
+        let (relyzer_cls, injections) = session.relyzer(&relyzer_red).unwrap();
+
+        // Representative + comprehensive + post-ACE + Relyzer: one golden
+        // simulation, total.
+        assert_eq!(session.golden_builds(), 1);
+
+        // Cross-phase consistency.
+        assert_eq!(merlin.report.classification.total() as usize, initial.len());
+        assert_eq!(comprehensive.classification.total() as usize, initial.len());
+        assert_eq!(
+            post_ace.classification.total() as usize,
+            merlin.report.post_ace_faults
+        );
+        assert_eq!(relyzer_cls.total() as usize, initial.len());
+        assert!(injections <= initial.len());
+        let inaccuracy = merlin
+            .report
+            .classification
+            .max_inaccuracy(&comprehensive.classification);
+        assert!(inaccuracy < 8.0, "inaccuracy {inaccuracy:.2}");
+    }
+
+    #[test]
+    fn merlin_draws_its_own_list_deterministically() {
+        let session = small_session("sha");
+        let a = session.merlin(Structure::StoreQueue, 200, 9).unwrap();
+        let b = session.merlin(Structure::StoreQueue, 200, 9).unwrap();
+        assert_eq!(a.initial_faults, b.initial_faults);
+        assert_eq!(a.report.classification, b.report.classification);
+        assert_eq!(session.golden_builds(), 1);
+    }
+
+    #[test]
+    fn reduction_is_reusable_across_baselines() {
+        let session = small_session("qsort");
+        let initial = session.fault_list(Structure::RegisterFile, 200, 3).unwrap();
+        let ace = session.ace_profile().unwrap();
+        let reduction = reduce_fault_list(&initial, ace.structure(Structure::RegisterFile));
+        let post_ace = session.post_ace_baseline(&reduction).unwrap();
+        assert_eq!(
+            post_ace.classification.total() as usize,
+            reduction.post_ace_faults()
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! The API-redesign regression test: one session runs representative
+//! injection, the comprehensive baseline and the post-ACE baseline while
+//! building its golden run exactly once — and every outcome is
+//! byte-identical to the pre-redesign free-function path over the same
+//! fault list.  Lives next to the deprecated shims (this crate and
+//! `merlin-inject` define them), so the legacy calls stay inside the
+//! defining layer.
+
+#![allow(deprecated)]
+
+use merlin_ace::AceAnalysis;
+use merlin_core::{
+    relyzer_reduce, run_comprehensive, run_merlin_with_faults, run_post_ace_baseline, run_relyzer,
+    MerlinConfig, SessionMethodology,
+};
+use merlin_cpu::{CheckpointPolicy, CpuConfig, Structure};
+use merlin_inject::{run_golden_checkpointed, Session};
+use merlin_workloads::workload_by_name;
+
+#[test]
+fn session_outcomes_are_byte_identical_to_the_legacy_path() {
+    let w = workload_by_name("stringsearch").unwrap();
+    let cfg = CpuConfig::default().with_phys_regs(64).with_store_queue(16);
+    let policy = CheckpointPolicy::default();
+    let structure = Structure::RegisterFile;
+
+    // --- Session path: representative + comprehensive + post-ACE over one
+    // lazily built golden run.
+    let session = Session::builder(&w.program, &cfg)
+        .checkpoints(policy)
+        .max_cycles(100_000_000)
+        .threads(4)
+        .build()
+        .unwrap();
+    let faults = session.fault_list(structure, 300, 11).unwrap();
+    let merlin = session.merlin_with_faults(structure, &faults).unwrap();
+    let comprehensive = session.comprehensive(&faults).unwrap();
+    let post_ace = session.post_ace_baseline(&merlin.reduction).unwrap();
+    assert_eq!(
+        session.golden_builds(),
+        1,
+        "three phases must share one golden simulation"
+    );
+
+    // --- Legacy path: the deprecated free functions, re-threading
+    // (program, cfg, golden, threads) by hand.
+    let golden = run_golden_checkpointed(&w.program, &cfg, 100_000_000, &policy).unwrap();
+    assert_eq!(golden.result, session.golden().unwrap().result);
+    assert_eq!(
+        golden.timeout_cycles,
+        session.golden().unwrap().timeout_cycles
+    );
+
+    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
+    let merlin_cfg = MerlinConfig {
+        threads: 4,
+        max_cycles: 100_000_000,
+        seed: 11,
+        checkpoints: policy,
+    };
+    let legacy_merlin = run_merlin_with_faults(
+        &w.program,
+        &cfg,
+        structure,
+        &ace,
+        &faults,
+        &golden,
+        &merlin_cfg,
+    )
+    .unwrap();
+    assert_eq!(merlin.outcomes, legacy_merlin.outcomes);
+    assert_eq!(
+        merlin.report.classification,
+        legacy_merlin.report.classification
+    );
+    assert_eq!(
+        merlin.report.post_ace_classification,
+        legacy_merlin.report.post_ace_classification
+    );
+
+    let legacy_comprehensive = run_comprehensive(&w.program, &cfg, &golden, &faults, 4);
+    assert_eq!(comprehensive.outcomes, legacy_comprehensive.outcomes);
+    assert_eq!(
+        comprehensive.classification,
+        legacy_comprehensive.classification
+    );
+
+    let legacy_post_ace =
+        run_post_ace_baseline(&w.program, &cfg, &golden, &legacy_merlin.reduction, 4);
+    assert_eq!(post_ace.outcomes, legacy_post_ace.outcomes);
+
+    // Relyzer too, for completeness of the phase set.
+    let reduction = relyzer_reduce(&faults, ace.structure(structure));
+    let (session_cls, session_inj) = session.relyzer(&reduction).unwrap();
+    let (legacy_cls, legacy_inj) = run_relyzer(&w.program, &cfg, &golden, &reduction, 4);
+    assert_eq!(session_cls, legacy_cls);
+    assert_eq!(session_inj, legacy_inj);
+}

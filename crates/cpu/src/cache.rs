@@ -8,6 +8,7 @@
 
 use crate::config::CacheConfig;
 use crate::memory::{MemError, Memory};
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::MemSize;
 use serde::{Deserialize, Serialize};
 
@@ -289,12 +290,46 @@ struct LineSnapshot {
     data: Box<[u8]>,
 }
 
+impl BinCode for LineSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.set.encode(out);
+        self.way.encode(out);
+        self.tag.encode(out);
+        self.dirty.encode(out);
+        self.last_use.encode(out);
+        self.data.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(LineSnapshot {
+            set: BinCode::decode(r)?,
+            way: BinCode::decode(r)?,
+            tag: BinCode::decode(r)?,
+            dirty: BinCode::decode(r)?,
+            last_use: BinCode::decode(r)?,
+            data: BinCode::decode(r)?,
+        })
+    }
+}
+
 /// The live contents of one cache, valid lines only (see
 /// [`Cache::snapshot`]).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheSnapshot {
     use_counter: u64,
     lines: Vec<LineSnapshot>,
+}
+
+impl BinCode for CacheSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.use_counter.encode(out);
+        self.lines.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CacheSnapshot {
+            use_counter: BinCode::decode(r)?,
+            lines: BinCode::decode(r)?,
+        })
+    }
 }
 
 impl CacheSnapshot {
@@ -325,6 +360,21 @@ impl MemSystemSnapshot {
     /// Approximate heap footprint of the snapshot in bytes.
     pub fn footprint_bytes(&self) -> usize {
         self.l1d.footprint_bytes() + self.l2.footprint_bytes() + self.mem.len() as usize
+    }
+}
+
+impl BinCode for MemSystemSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.l1d.encode(out);
+        self.l2.encode(out);
+        self.mem.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(MemSystemSnapshot {
+            l1d: BinCode::decode(r)?,
+            l2: BinCode::decode(r)?,
+            mem: BinCode::decode(r)?,
+        })
     }
 }
 

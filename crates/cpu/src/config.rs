@@ -1,5 +1,6 @@
 //! Core and cache configuration, mirroring Table 1 of the paper.
 
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one set-associative cache level.
@@ -86,6 +87,23 @@ impl CacheConfig {
     /// Total data-array bits.
     pub fn total_bits(&self) -> u64 {
         self.size_bytes * 8
+    }
+}
+
+impl BinCode for CacheConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.size_bytes.encode(out);
+        self.line_bytes.encode(out);
+        self.ways.encode(out);
+        self.hit_latency.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CacheConfig {
+            size_bytes: BinCode::decode(r)?,
+            line_bytes: BinCode::decode(r)?,
+            ways: BinCode::decode(r)?,
+            hit_latency: BinCode::decode(r)?,
+        })
     }
 }
 
@@ -178,6 +196,55 @@ impl Default for CpuConfig {
             btb_entries: 4096,
             extra_memory_bytes: 64 * 1024,
         }
+    }
+}
+
+impl BinCode for CpuConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.phys_int_regs.encode(out);
+        self.rob_entries.encode(out);
+        self.iq_entries.encode(out);
+        self.lq_entries.encode(out);
+        self.sq_entries.encode(out);
+        self.fetch_width.encode(out);
+        self.rename_width.encode(out);
+        self.issue_width.encode(out);
+        self.commit_width.encode(out);
+        self.int_alus.encode(out);
+        self.complex_alus.encode(out);
+        self.mem_ports.encode(out);
+        self.branch_units.encode(out);
+        self.l1i.encode(out);
+        self.l1d.encode(out);
+        self.l2.encode(out);
+        self.mem_latency.encode(out);
+        self.predictor_entries.encode(out);
+        self.btb_entries.encode(out);
+        self.extra_memory_bytes.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CpuConfig {
+            phys_int_regs: BinCode::decode(r)?,
+            rob_entries: BinCode::decode(r)?,
+            iq_entries: BinCode::decode(r)?,
+            lq_entries: BinCode::decode(r)?,
+            sq_entries: BinCode::decode(r)?,
+            fetch_width: BinCode::decode(r)?,
+            rename_width: BinCode::decode(r)?,
+            issue_width: BinCode::decode(r)?,
+            commit_width: BinCode::decode(r)?,
+            int_alus: BinCode::decode(r)?,
+            complex_alus: BinCode::decode(r)?,
+            mem_ports: BinCode::decode(r)?,
+            branch_units: BinCode::decode(r)?,
+            l1i: BinCode::decode(r)?,
+            l1d: BinCode::decode(r)?,
+            l2: BinCode::decode(r)?,
+            mem_latency: BinCode::decode(r)?,
+            predictor_entries: BinCode::decode(r)?,
+            btb_entries: BinCode::decode(r)?,
+            extra_memory_bytes: BinCode::decode(r)?,
+        })
     }
 }
 
@@ -284,6 +351,19 @@ impl CpuConfig {
             }
         }
         Ok(())
+    }
+
+    /// Number of fault-injectable entries `structure` has under this
+    /// configuration (the single source of the structure → entry-count
+    /// mapping; the core, the session layer and fault-list generation all
+    /// delegate here).
+    pub fn structure_entries(&self, structure: crate::probe::Structure) -> usize {
+        use crate::probe::Structure;
+        match structure {
+            Structure::RegisterFile => self.phys_int_regs,
+            Structure::StoreQueue => self.sq_entries,
+            Structure::L1DCache => self.l1d.total_words(),
+        }
     }
 
     /// Number of fault-injectable bits in the physical integer register file.

@@ -17,6 +17,7 @@ use crate::memory::{MemError, Memory};
 use crate::predictor::{BranchPredictor, Btb};
 use crate::probe::{Probe, ReadInfo, Structure, WRITEBACK_RIP};
 use crate::regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{decode, Inst, Program, Rip, Uop, UopKind, NUM_ARCH_REGS};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -343,11 +344,7 @@ impl Cpu {
     /// Number of entries a fault may target in `structure` under this
     /// configuration.
     pub fn structure_entries(&self, structure: Structure) -> usize {
-        match structure {
-            Structure::RegisterFile => self.cfg.phys_int_regs,
-            Structure::StoreQueue => self.cfg.sq_entries,
-            Structure::L1DCache => self.cfg.l1d.total_words(),
-        }
+        self.cfg.structure_entries(structure)
     }
 
     /// Schedules a transient fault to be applied at the start of its cycle.
@@ -1272,5 +1269,260 @@ impl CpuState {
             + self.output.len() * 8
             + self.rob.len() * std::mem::size_of::<RobEntry>()
             + self.fetch_buffer.len() * std::mem::size_of::<FetchedUop>()
+    }
+}
+
+// --- Binary encoding of the snapshot types -------------------------------
+//
+// The session cache persists checkpoint stores to disk, and `serde` is an
+// offline marker stub, so every type reachable from `CpuState` carries a
+// hand-written `BinCode` implementation.  Round-trip exactness is enforced
+// by `CpuState` equality tests (the snapshot types all derive `PartialEq`).
+
+impl BinCode for Exception {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Exception::MemOutOfBounds { addr } => {
+                out.push(0);
+                addr.encode(out);
+            }
+            Exception::StoreToCode { addr } => {
+                out.push(1);
+                addr.encode(out);
+            }
+            Exception::DivByZero => out.push(2),
+            Exception::Misaligned => out.push(3),
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => Exception::MemOutOfBounds {
+                addr: BinCode::decode(r)?,
+            },
+            1 => Exception::StoreToCode {
+                addr: BinCode::decode(r)?,
+            },
+            2 => Exception::DivByZero,
+            3 => Exception::Misaligned,
+            _ => return Err(DecodeError::Invalid("Exception")),
+        })
+    }
+}
+
+impl BinCode for CrashKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CrashKind::MemoryOutOfBounds { addr } => {
+                out.push(0);
+                addr.encode(out);
+            }
+            CrashKind::InvalidFetchPc { pc } => {
+                out.push(1);
+                pc.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => CrashKind::MemoryOutOfBounds {
+                addr: BinCode::decode(r)?,
+            },
+            1 => CrashKind::InvalidFetchPc {
+                pc: BinCode::decode(r)?,
+            },
+            _ => return Err(DecodeError::Invalid("CrashKind")),
+        })
+    }
+}
+
+impl BinCode for AssertKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AssertKind::StoreToCode { addr } => {
+                out.push(0);
+                addr.encode(out);
+            }
+            AssertKind::InternalInvariant(msg) => {
+                out.push(1);
+                msg.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => AssertKind::StoreToCode {
+                addr: BinCode::decode(r)?,
+            },
+            1 => AssertKind::InternalInvariant(BinCode::decode(r)?),
+            _ => return Err(DecodeError::Invalid("AssertKind")),
+        })
+    }
+}
+
+impl BinCode for ExitReason {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ExitReason::Halted => out.push(0),
+            ExitReason::Timeout => out.push(1),
+            ExitReason::Crash(k) => {
+                out.push(2);
+                k.encode(out);
+            }
+            ExitReason::Assert(k) => {
+                out.push(3);
+                k.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => ExitReason::Halted,
+            1 => ExitReason::Timeout,
+            2 => ExitReason::Crash(BinCode::decode(r)?),
+            3 => ExitReason::Assert(BinCode::decode(r)?),
+            _ => return Err(DecodeError::Invalid("ExitReason")),
+        })
+    }
+}
+
+impl BinCode for RunResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.exit.encode(out);
+        self.output.encode(out);
+        self.cycles.encode(out);
+        self.committed_instructions.encode(out);
+        self.committed_uops.encode(out);
+        self.arithmetic_exceptions.encode(out);
+        self.misaligned_exceptions.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(RunResult {
+            exit: BinCode::decode(r)?,
+            output: BinCode::decode(r)?,
+            cycles: BinCode::decode(r)?,
+            committed_instructions: BinCode::decode(r)?,
+            committed_uops: BinCode::decode(r)?,
+            arithmetic_exceptions: BinCode::decode(r)?,
+            misaligned_exceptions: BinCode::decode(r)?,
+        })
+    }
+}
+
+impl BinCode for FetchedUop {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.uop.encode(out);
+        self.pred_next.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(FetchedUop {
+            uop: BinCode::decode(r)?,
+            pred_next: BinCode::decode(r)?,
+        })
+    }
+}
+
+impl BinCode for RobEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.uop.encode(out);
+        self.src_phys.encode(out);
+        self.dst_phys.encode(out);
+        self.prev_phys.encode(out);
+        self.in_iq.encode(out);
+        self.complete_at.encode(out);
+        self.completed.encode(out);
+        self.pred_next.encode(out);
+        self.actual_next.encode(out);
+        self.result.encode(out);
+        self.exception.encode(out);
+        self.lq_slot.encode(out);
+        self.sq_slot.encode(out);
+        self.reg_reads.encode(out);
+        self.sq_reads.encode(out);
+        self.l1d_reads.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(RobEntry {
+            seq: BinCode::decode(r)?,
+            uop: BinCode::decode(r)?,
+            src_phys: BinCode::decode(r)?,
+            dst_phys: BinCode::decode(r)?,
+            prev_phys: BinCode::decode(r)?,
+            in_iq: BinCode::decode(r)?,
+            complete_at: BinCode::decode(r)?,
+            completed: BinCode::decode(r)?,
+            pred_next: BinCode::decode(r)?,
+            actual_next: BinCode::decode(r)?,
+            result: BinCode::decode(r)?,
+            exception: BinCode::decode(r)?,
+            lq_slot: BinCode::decode(r)?,
+            sq_slot: BinCode::decode(r)?,
+            reg_reads: BinCode::decode(r)?,
+            sq_reads: BinCode::decode(r)?,
+            l1d_reads: BinCode::decode(r)?,
+        })
+    }
+}
+
+impl BinCode for CpuState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cycle.encode(out);
+        self.next_seq.encode(out);
+        self.fetch_pc.encode(out);
+        self.fetch_halted.encode(out);
+        self.fetch_invalid.encode(out);
+        self.fetch_buffer.encode(out);
+        self.rat.encode(out);
+        self.free_list.encode(out);
+        self.prf.encode(out);
+        self.rob.encode(out);
+        self.iq_count.encode(out);
+        self.lq.encode(out);
+        self.sq.encode(out);
+        self.pending_store_slot.encode(out);
+        self.mem.encode(out);
+        self.bp.encode(out);
+        self.btb.encode(out);
+        self.output.encode(out);
+        self.committed_instructions.encode(out);
+        self.committed_uops.encode(out);
+        self.arithmetic_exceptions.encode(out);
+        self.misaligned_exceptions.encode(out);
+        self.dyn_counts.encode(out);
+        self.path_history.encode(out);
+        self.path_sig.encode(out);
+        self.faults.encode(out);
+        self.finished.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CpuState {
+            cycle: BinCode::decode(r)?,
+            next_seq: BinCode::decode(r)?,
+            fetch_pc: BinCode::decode(r)?,
+            fetch_halted: BinCode::decode(r)?,
+            fetch_invalid: BinCode::decode(r)?,
+            fetch_buffer: BinCode::decode(r)?,
+            rat: BinCode::decode(r)?,
+            free_list: BinCode::decode(r)?,
+            prf: BinCode::decode(r)?,
+            rob: BinCode::decode(r)?,
+            iq_count: BinCode::decode(r)?,
+            lq: BinCode::decode(r)?,
+            sq: BinCode::decode(r)?,
+            pending_store_slot: BinCode::decode(r)?,
+            mem: BinCode::decode(r)?,
+            bp: BinCode::decode(r)?,
+            btb: BinCode::decode(r)?,
+            output: BinCode::decode(r)?,
+            committed_instructions: BinCode::decode(r)?,
+            committed_uops: BinCode::decode(r)?,
+            arithmetic_exceptions: BinCode::decode(r)?,
+            misaligned_exceptions: BinCode::decode(r)?,
+            dyn_counts: BinCode::decode(r)?,
+            path_history: BinCode::decode(r)?,
+            path_sig: BinCode::decode(r)?,
+            faults: BinCode::decode(r)?,
+            finished: BinCode::decode(r)?,
+        })
     }
 }

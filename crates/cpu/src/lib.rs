@@ -64,7 +64,7 @@ mod snapshot;
 pub use cache::{Cache, CacheEffects, CacheSnapshot, MemSystem, MemSystemSnapshot};
 pub use config::{CacheConfig, ConfigError, CpuConfig};
 pub use core::{AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, RunResult};
-pub use fault::FaultSpec;
+pub use fault::{FaultSpec, FaultSpecError};
 pub use interp::{interpret, InterpExit, InterpResult};
 pub use lsq::{LoadQueue, SqSlot, StoreQueue};
 pub use memory::{MemError, Memory};

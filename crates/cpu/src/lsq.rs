@@ -6,6 +6,7 @@
 //! when the store drains to the cache at commit.  Slots are allocated
 //! circularly so a fault specification's entry index denotes a physical slot.
 
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{MemSize, Rip, Upc};
 
 /// One store-queue slot.
@@ -42,6 +43,31 @@ impl SqSlot {
             rip: 0,
             upc_std: 0,
         }
+    }
+}
+
+impl BinCode for SqSlot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.valid.encode(out);
+        self.seq.encode(out);
+        self.addr.encode(out);
+        self.size.encode(out);
+        self.data.encode(out);
+        self.data_ready.encode(out);
+        self.rip.encode(out);
+        self.upc_std.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(SqSlot {
+            valid: BinCode::decode(r)?,
+            seq: BinCode::decode(r)?,
+            addr: BinCode::decode(r)?,
+            size: BinCode::decode(r)?,
+            data: BinCode::decode(r)?,
+            data_ready: BinCode::decode(r)?,
+            rip: BinCode::decode(r)?,
+            upc_std: BinCode::decode(r)?,
+        })
     }
 }
 
@@ -194,6 +220,35 @@ impl StoreQueue {
     }
 }
 
+impl BinCode for StoreQueue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.slots.encode(out);
+        self.head.encode(out);
+        self.tail.encode(out);
+        self.count.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let slots = Vec::<SqSlot>::decode(r)?;
+        let head = usize::decode(r)?;
+        let tail = usize::decode(r)?;
+        let count = usize::decode(r)?;
+        if slots.is_empty()
+            || head >= slots.len()
+            || tail >= slots.len()
+            || count > slots.len()
+            || count != slots.iter().filter(|s| s.valid).count()
+        {
+            return Err(DecodeError::Invalid("store queue shape"));
+        }
+        Ok(StoreQueue {
+            slots,
+            head,
+            tail,
+            count,
+        })
+    }
+}
+
 /// Load queue: only tracks occupancy (Gem5 models no data field in the load
 /// queue, and neither does the paper).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -249,6 +304,21 @@ impl LoadQueue {
         if self.seqs[slot].take().is_some() {
             self.count -= 1;
         }
+    }
+}
+
+impl BinCode for LoadQueue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seqs.encode(out);
+        self.count.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let seqs = Vec::<Option<u64>>::decode(r)?;
+        let count = usize::decode(r)?;
+        if count != seqs.iter().filter(|s| s.is_some()).count() {
+            return Err(DecodeError::Invalid("load queue count"));
+        }
+        Ok(LoadQueue { seqs, count })
     }
 }
 

@@ -49,6 +49,21 @@ pub struct Memory {
     bytes: Vec<u8>,
 }
 
+impl merlin_isa::binio::BinCode for Memory {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bytes.len().encode(out);
+        out.extend_from_slice(&self.bytes);
+    }
+    fn decode(
+        r: &mut merlin_isa::binio::ByteReader<'_>,
+    ) -> Result<Self, merlin_isa::binio::DecodeError> {
+        let n = usize::decode(r)?;
+        Ok(Memory {
+            bytes: r.take(n)?.to_vec(),
+        })
+    }
+}
+
 impl Memory {
     /// Creates a zero-initialised memory of `len` bytes starting at
     /// [`DATA_BASE`].

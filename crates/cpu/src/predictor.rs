@@ -5,6 +5,7 @@
 //! excludes reads performed by squashed instructions, so a reproduction
 //! without wrong-path execution would have nothing to exclude.
 
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::Rip;
 
 /// A 2-bit saturating counter direction predictor (bimodal) combined with a
@@ -64,6 +65,28 @@ impl BranchPredictor {
     }
 }
 
+impl BinCode for BranchPredictor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bimodal.encode(out);
+        self.gshare.encode(out);
+        self.history.encode(out);
+        self.history_bits.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let bimodal = Vec::<u8>::decode(r)?;
+        let gshare = Vec::<u8>::decode(r)?;
+        if bimodal.is_empty() || !bimodal.len().is_power_of_two() || gshare.len() != bimodal.len() {
+            return Err(DecodeError::Invalid("predictor table shape"));
+        }
+        Ok(BranchPredictor {
+            bimodal,
+            gshare,
+            history: BinCode::decode(r)?,
+            history_bits: BinCode::decode(r)?,
+        })
+    }
+}
+
 fn bump(counter: u8, taken: bool) -> u8 {
     if taken {
         (counter + 1).min(3)
@@ -111,6 +134,19 @@ impl Btb {
     pub fn update(&mut self, rip: Rip, target: Rip) {
         let idx = self.index(rip);
         self.entries[idx] = Some((rip, target));
+    }
+}
+
+impl BinCode for Btb {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let entries = Vec::<Option<(Rip, Rip)>>::decode(r)?;
+        if entries.is_empty() || !entries.len().is_power_of_two() {
+            return Err(DecodeError::Invalid("BTB shape"));
+        }
+        Ok(Btb { entries })
     }
 }
 

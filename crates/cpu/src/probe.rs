@@ -18,6 +18,7 @@
 //!   returned to the free list, store-queue slot deallocated, cache line
 //!   evicted).
 
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{Rip, Upc};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -71,6 +72,24 @@ impl Structure {
 impl fmt::Display for Structure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.short_name())
+    }
+}
+
+impl BinCode for Structure {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Structure::RegisterFile => 0,
+            Structure::StoreQueue => 1,
+            Structure::L1DCache => 2,
+        });
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => Structure::RegisterFile,
+            1 => Structure::StoreQueue,
+            2 => Structure::L1DCache,
+            _ => return Err(DecodeError::Invalid("Structure")),
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Physical register file, free list and register alias table (RAT).
 
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{ArchReg, NUM_ARCH_REGS};
 use std::collections::VecDeque;
 
@@ -71,6 +72,21 @@ impl PhysRegFile {
     }
 }
 
+impl BinCode for PhysRegFile {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.values.encode(out);
+        self.ready.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let values = Vec::<u64>::decode(r)?;
+        let ready = Vec::<bool>::decode(r)?;
+        if values.len() != ready.len() {
+            return Err(DecodeError::Invalid("register file array lengths"));
+        }
+        Ok(PhysRegFile { values, ready })
+    }
+}
+
 /// FIFO free list of physical registers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FreeList {
@@ -105,6 +121,17 @@ impl FreeList {
     }
 }
 
+impl BinCode for FreeList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.free.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(FreeList {
+            free: VecDeque::decode(r)?,
+        })
+    }
+}
+
 /// Register alias table: the speculative architectural → physical mapping.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RenameTable {
@@ -135,6 +162,17 @@ impl RenameTable {
     /// Restores a previous mapping (squash recovery).
     pub fn restore(&mut self, r: ArchReg, previous: PhysReg) {
         self.map[r.index()] = previous;
+    }
+}
+
+impl BinCode for RenameTable {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.map.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(RenameTable {
+            map: BinCode::decode(r)?,
+        })
     }
 }
 

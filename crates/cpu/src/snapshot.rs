@@ -11,6 +11,7 @@
 
 use crate::core::{Cpu, CpuState, RunResult};
 use crate::probe::Probe;
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use serde::{Deserialize, Serialize};
 
 /// How (and whether) a golden run is checkpointed.
@@ -123,6 +124,49 @@ impl CheckpointStore {
     }
 }
 
+impl BinCode for CheckpointPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.enabled.encode(out);
+        self.target_checkpoints.encode(out);
+        self.min_interval.encode(out);
+        self.early_exit.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CheckpointPolicy {
+            enabled: BinCode::decode(r)?,
+            target_checkpoints: BinCode::decode(r)?,
+            min_interval: BinCode::decode(r)?,
+            early_exit: BinCode::decode(r)?,
+        })
+    }
+}
+
+impl BinCode for CheckpointStore {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.interval.encode(out);
+        self.checkpoints.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let interval = u64::decode(r)?;
+        if interval == 0 {
+            return Err(DecodeError::Invalid("checkpoint interval"));
+        }
+        let checkpoints = Vec::<CpuState>::decode(r)?;
+        let mut cycles = checkpoints.iter().map(|s| s.cycle());
+        if checkpoints.is_empty() || cycles.next() != Some(0) {
+            return Err(DecodeError::Invalid("store must start at cycle 0"));
+        }
+        let ascending = checkpoints.windows(2).all(|w| w[0].cycle() < w[1].cycle());
+        if !ascending {
+            return Err(DecodeError::Invalid("store cycles not ascending"));
+        }
+        Ok(CheckpointStore {
+            interval,
+            checkpoints,
+        })
+    }
+}
+
 impl Cpu {
     /// Runs like [`Cpu::run`] while snapshotting the state every `interval`
     /// cycles (including cycle 0), returning the run result together with the
@@ -138,6 +182,50 @@ impl Cpu {
         while !self.is_finished() && self.cycle() < max_cycles {
             if self.cycle().is_multiple_of(interval) {
                 checkpoints.push(self.snapshot());
+            }
+            self.step(probe);
+        }
+        let result = self.run(max_cycles, probe);
+        (
+            result,
+            CheckpointStore {
+                interval,
+                checkpoints,
+            },
+        )
+    }
+
+    /// Runs like [`Cpu::run`] while building a checkpoint store in a single
+    /// pass, without knowing the run length in advance.
+    ///
+    /// Snapshots are taken every `min_interval` cycles; whenever the store
+    /// exceeds `2 × target` checkpoints the interval doubles and every
+    /// snapshot not on the new grid is dropped, so the store converges to
+    /// `target..2 × target` checkpoints regardless of how long the run turns
+    /// out to be.  The live store never holds more than `2 × target + 1`
+    /// snapshots, and the cycle-0 snapshot (a multiple of every interval)
+    /// always survives thinning.
+    ///
+    /// This replaces the two-pass construction (an uninstrumented pre-pass
+    /// sizing the interval, then an instrumented re-run): the entire golden
+    /// run is simulated exactly once.
+    pub fn run_with_adaptive_checkpoints(
+        &mut self,
+        max_cycles: u64,
+        probe: &mut dyn Probe,
+        min_interval: u64,
+        target: u32,
+    ) -> (RunResult, CheckpointStore) {
+        let mut interval = min_interval.max(1);
+        let target = target.max(1) as usize;
+        let mut checkpoints: Vec<CpuState> = Vec::new();
+        while !self.is_finished() && self.cycle() < max_cycles {
+            if self.cycle().is_multiple_of(interval) {
+                checkpoints.push(self.snapshot());
+                while checkpoints.len() > 2 * target {
+                    interval *= 2;
+                    checkpoints.retain(|s| s.cycle().is_multiple_of(interval));
+                }
             }
             self.step(probe);
         }
@@ -233,6 +321,62 @@ mod tests {
         assert!(other.matches_state(&state));
         let third = other.run(100_000, &mut NullProbe);
         assert_eq!(third, expected);
+    }
+
+    #[test]
+    fn adaptive_store_converges_to_target_band() {
+        let program = looped_program();
+        let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let (result, store) = cpu.run_with_adaptive_checkpoints(100_000, &mut NullProbe, 2, 8);
+        assert!(result.exit.is_halted());
+        // Identical run result to the non-instrumented execution.
+        let mut plain = Cpu::new(program, CpuConfig::default()).unwrap();
+        assert_eq!(plain.run(100_000, &mut NullProbe), result);
+        // Store shape: starts at cycle 0, strictly ascending, on the final
+        // interval's grid, within the (target, 2*target] band whenever the
+        // run is long enough to have thinned at least once.
+        let cycles: Vec<u64> = store.cycles().collect();
+        assert_eq!(cycles[0], 0);
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        assert!(cycles.iter().all(|c| c.is_multiple_of(store.interval())));
+        assert!(
+            store.len() <= 2 * 8 + 1,
+            "store kept {} snapshots",
+            store.len()
+        );
+        assert!(store.len() >= 2);
+        assert!(store.interval() >= 2);
+    }
+
+    #[test]
+    fn adaptive_store_supports_exact_restore() {
+        let program = looped_program();
+        let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let (expected, store) = cpu.run_with_adaptive_checkpoints(100_000, &mut NullProbe, 4, 4);
+        // Restoring any kept checkpoint and re-running reproduces the run.
+        let mid = store.latest_at_or_before(expected.cycles / 2).unwrap();
+        let mut other = Cpu::new(program, CpuConfig::default()).unwrap();
+        other.restore_from(mid);
+        assert!(other.matches_state(mid));
+        assert_eq!(other.run(100_000, &mut NullProbe), expected);
+    }
+
+    #[test]
+    fn store_and_policy_binary_roundtrip() {
+        use merlin_isa::binio::{decode_from_slice, encode_to_vec};
+        let program = looped_program();
+        let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+        let (_, store) = cpu.run_with_checkpoints(100_000, &mut NullProbe, 10);
+        let bytes = encode_to_vec(&store);
+        let back: CheckpointStore = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, store);
+        let policy = CheckpointPolicy::with_target(9);
+        let back: CheckpointPolicy = decode_from_slice(&encode_to_vec(&policy)).unwrap();
+        assert_eq!(back, policy);
+        // Corrupting the interval to zero is rejected.
+        let mut bytes = encode_to_vec(&store);
+        bytes[..8].fill(0);
+        assert!(decode_from_slice::<CheckpointStore>(&bytes).is_err());
     }
 
     #[test]

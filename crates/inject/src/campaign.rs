@@ -8,19 +8,22 @@
 //! approach) repays the same prefix thousands of times.  The engine here
 //! removes that cost:
 //!
-//! 1. [`run_golden_checkpointed`] executes the golden run once while
-//!    snapshotting the complete microarchitectural state
-//!    ([`CpuState`](merlin_cpu::CpuState)) every
-//!    N cycles into a [`CheckpointStore`] (N is picked by the
-//!    [`CheckpointPolicy`] so a run gets ~8–32 checkpoints).  The store rides
-//!    inside the returned [`GoldenRun`], so every campaign over that golden
-//!    run shares it.
-//! 2. [`run_campaign`] sorts the fault list by injection cycle and hands
-//!    faults to worker threads through an atomic work index (dynamic
-//!    scheduling — a slow faulty run no longer serialises a whole static
-//!    chunk).  Each worker builds **one** core object and, per fault,
-//!    restores the latest checkpoint at or before the injection cycle,
-//!    injects, and simulates only the suffix against the golden timeout.
+//! 1. [`Session::golden`](crate::Session::golden) executes the golden run
+//!    exactly once while snapshotting the complete microarchitectural state
+//!    ([`CpuState`](merlin_cpu::CpuState)) into a [`CheckpointStore`], in a
+//!    single adaptive pass: snapshots are taken at the policy's minimum
+//!    interval and the store is thinned (interval doubled) whenever it
+//!    exceeds twice the [`CheckpointPolicy`] target, so a run of any length
+//!    ends up with ~target..2×target checkpoints without a sizing pre-pass.
+//!    The store rides inside the returned [`GoldenRun`], so every campaign
+//!    over that golden run shares it.
+//! 2. [`Session::campaign`](crate::Session::campaign) sorts the fault list
+//!    by injection cycle and hands faults to worker threads through an
+//!    atomic work index (dynamic scheduling — a slow faulty run no longer
+//!    serialises a whole static chunk).  Each worker builds **one** core
+//!    object and, per fault, restores the latest checkpoint at or before the
+//!    injection cycle, injects, and simulates only the suffix against the
+//!    golden timeout.
 //! 3. While a faulty run is past its injection cycle, the worker compares the
 //!    core's state against the golden checkpoint at each checkpoint boundary
 //!    it crosses.  If the states are bit-identical the remainder of the run
@@ -48,9 +51,10 @@ use std::sync::Arc;
 
 /// The fault-free reference execution a campaign compares against.
 ///
-/// When produced by [`run_golden_checkpointed`] it also carries the
+/// When produced under an enabled [`CheckpointPolicy`] (the default for
+/// [`Session::golden`](crate::Session::golden)) it also carries the
 /// checkpoint store, which every campaign and baseline over this golden run
-/// then shares (`Arc`); [`run_golden`] leaves it empty and campaigns fall
+/// then shares (`Arc`); a disabled policy leaves it empty and campaigns fall
 /// back to from-scratch simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GoldenRun {
@@ -84,6 +88,9 @@ pub enum CampaignError {
     GoldenRunFailed(String),
     /// The processor configuration is invalid.
     BadConfig(String),
+    /// A fault specification handed to the session violates the fault model
+    /// (bit index outside the 64-bit entry).
+    InvalidFault(String),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -91,6 +98,7 @@ impl std::fmt::Display for CampaignError {
         match self {
             CampaignError::GoldenRunFailed(e) => write!(f, "golden run failed: {e}"),
             CampaignError::BadConfig(e) => write!(f, "invalid configuration: {e}"),
+            CampaignError::InvalidFault(e) => write!(f, "invalid fault specification: {e}"),
         }
     }
 }
@@ -107,22 +115,13 @@ fn golden_run_from_result(result: RunResult) -> Result<RunResult, CampaignError>
     Ok(result)
 }
 
-/// Executes the fault-free reference run of `program` under `cfg`, without
-/// checkpoints (campaigns over this golden run simulate every fault from
-/// cycle 0).  Prefer [`run_golden_checkpointed`] for anything beyond a
-/// handful of faults.
-///
-/// # Errors
-///
-/// Returns [`CampaignError::GoldenRunFailed`] if the program does not halt
-/// within `max_cycles`, and [`CampaignError::BadConfig`] for invalid
-/// configurations.
-pub fn run_golden(
-    program: &Program,
+/// Plain golden run, shared by [`run_golden`] and the session layer.
+pub(crate) fn build_golden_plain(
+    program: &Arc<Program>,
     cfg: &CpuConfig,
     max_cycles: u64,
 ) -> Result<GoldenRun, CampaignError> {
-    let mut cpu = Cpu::new(program.clone(), cfg.clone())
+    let mut cpu = Cpu::new(Arc::clone(program), cfg.clone())
         .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
     let result = golden_run_from_result(cpu.run(max_cycles, &mut NullProbe))?;
     let timeout_cycles = result.cycles.saturating_mul(3).max(1000);
@@ -133,40 +132,29 @@ pub fn run_golden(
     })
 }
 
-/// Executes the golden run while building the checkpoint store that the
-/// checkpointed injection engine restores from.
-///
-/// The program is simulated twice: an uninstrumented pre-pass establishes
-/// the run length (and catches golden-run failures) so the policy can pick
-/// the snapshot interval, then the instrumented pass records the store.
-/// That fixed 2× golden cost is amortised over every fault subsequently
-/// injected against this golden run; use plain [`run_golden`] for phases
-/// that never inject (one-pass adaptive store construction is a ROADMAP
-/// open item).
-///
-/// # Errors
-///
-/// Same contract as [`run_golden`].
-pub fn run_golden_checkpointed(
-    program: &Program,
+/// One-pass checkpointed golden run, shared by [`run_golden_checkpointed`]
+/// and [`Session::golden`](crate::Session::golden): the golden run is
+/// simulated exactly once, snapshotting every `policy.min_interval` cycles
+/// and thinning the store (doubling the interval) whenever it exceeds twice
+/// the policy's target count.
+pub(crate) fn build_golden_checkpointed(
+    program: &Arc<Program>,
     cfg: &CpuConfig,
     max_cycles: u64,
     policy: &CheckpointPolicy,
 ) -> Result<GoldenRun, CampaignError> {
     if !policy.enabled {
-        return run_golden(program, cfg, max_cycles);
+        return build_golden_plain(program, cfg, max_cycles);
     }
-    // A cheap pre-pass establishes the golden length so the policy can pick
-    // the snapshot interval; it doubles as the failure check.
-    let mut cpu = Cpu::new(program.clone(), cfg.clone())
+    let mut cpu = Cpu::new(Arc::clone(program), cfg.clone())
         .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
-    let probe_result = golden_run_from_result(cpu.run(max_cycles, &mut NullProbe))?;
-    let interval = policy.interval_for(probe_result.cycles);
-
-    let mut cpu = Cpu::new(program.clone(), cfg.clone())
-        .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
-    let (result, store) = cpu.run_with_checkpoints(max_cycles, &mut NullProbe, interval);
-    debug_assert_eq!(result, probe_result);
+    let (result, store) = cpu.run_with_adaptive_checkpoints(
+        max_cycles,
+        &mut NullProbe,
+        policy.min_interval,
+        policy.target_checkpoints,
+    );
+    let result = golden_run_from_result(result)?;
     let timeout_cycles = result.cycles.saturating_mul(3).max(1000);
     Ok(GoldenRun {
         result,
@@ -178,8 +166,53 @@ pub fn run_golden_checkpointed(
     })
 }
 
+/// Executes the fault-free reference run of `program` under `cfg`, without
+/// checkpoints (campaigns over this golden run simulate every fault from
+/// cycle 0).
+///
+/// # Errors
+///
+/// Returns [`CampaignError::GoldenRunFailed`] if the program does not halt
+/// within `max_cycles`, and [`CampaignError::BadConfig`] for invalid
+/// configurations.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` (with `CheckpointPolicy::disabled()` if checkpoints are unwanted) \
+            and call `Session::golden` instead"
+)]
+pub fn run_golden(
+    program: &Program,
+    cfg: &CpuConfig,
+    max_cycles: u64,
+) -> Result<GoldenRun, CampaignError> {
+    build_golden_plain(&Arc::new(program.clone()), cfg, max_cycles)
+}
+
+/// Executes the golden run while building, in a single pass, the checkpoint
+/// store that the checkpointed injection engine restores from.
+///
+/// # Errors
+///
+/// Same contract as [`run_golden`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `Session::golden` instead"
+)]
+pub fn run_golden_checkpointed(
+    program: &Program,
+    cfg: &CpuConfig,
+    max_cycles: u64,
+    policy: &CheckpointPolicy,
+) -> Result<GoldenRun, CampaignError> {
+    build_golden_checkpointed(&Arc::new(program.clone()), cfg, max_cycles, policy)
+}
+
 /// Runs a single fault-injection experiment from cycle 0 and classifies its
 /// effect (the from-scratch path; campaigns use the checkpointed engine).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and use the injector from `Session::injector` instead"
+)]
 pub fn run_single_fault(
     program: &Program,
     cfg: &CpuConfig,
@@ -295,6 +328,21 @@ impl FaultInjector {
         }
     }
 
+    /// Clone-free constructor used by [`Session::injector`](crate::Session):
+    /// the session already holds the program and configuration behind `Arc`s.
+    pub(crate) fn from_parts(
+        program: Arc<Program>,
+        cfg: Arc<CpuConfig>,
+        golden: GoldenRun,
+    ) -> Self {
+        FaultInjector {
+            program,
+            cfg,
+            golden,
+            cpu: None,
+        }
+    }
+
     /// The golden run faults are classified against.
     pub fn golden(&self) -> &GoldenRun {
         &self.golden
@@ -370,15 +418,41 @@ impl CampaignResult {
     }
 }
 
+/// Clone-free campaign entry used by the session layer: the engine with
+/// checkpoints taken from the golden run (or forcibly ignored when
+/// `use_checkpoints` is false).
+pub(crate) fn campaign_shared(
+    program: &Arc<Program>,
+    cfg: &Arc<CpuConfig>,
+    golden: &GoldenRun,
+    use_checkpoints: bool,
+    faults: &[FaultSpec],
+    threads: usize,
+) -> CampaignResult {
+    let shared = SharedCampaign {
+        program: Arc::clone(program),
+        cfg: Arc::clone(cfg),
+    };
+    let ckpts = if use_checkpoints {
+        golden.checkpoints.as_ref()
+    } else {
+        None
+    };
+    run_campaign_dynamic(&shared, golden, ckpts, faults, threads)
+}
+
 /// Executes an injection campaign over `faults`, running `threads` worker
 /// threads (1 = sequential).
 ///
 /// Every fault is an independent single-bit-flip experiment against the same
 /// program and configuration, exactly like the paper's GeFIN campaigns.  If
-/// `golden` carries checkpoints (see [`run_golden_checkpointed`]) each fault
-/// restores the nearest checkpoint and simulates only its suffix; otherwise
-/// every fault simulates from cycle 0.  Both paths produce byte-identical
-/// results.
+/// `golden` carries checkpoints each fault restores the nearest checkpoint
+/// and simulates only its suffix; otherwise every fault simulates from
+/// cycle 0.  Both paths produce byte-identical results.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `Session::campaign` instead"
+)]
 pub fn run_campaign(
     program: &Program,
     cfg: &CpuConfig,
@@ -386,14 +460,11 @@ pub fn run_campaign(
     faults: &[FaultSpec],
     threads: usize,
 ) -> CampaignResult {
-    let shared = SharedCampaign {
-        program: Arc::new(program.clone()),
-        cfg: Arc::new(cfg.clone()),
-    };
-    run_campaign_dynamic(
-        &shared,
+    campaign_shared(
+        &Arc::new(program.clone()),
+        &Arc::new(cfg.clone()),
         golden,
-        golden.checkpoints.as_ref(),
+        true,
         faults,
         threads,
     )
@@ -403,6 +474,10 @@ pub fn run_campaign(
 /// simulated from cycle 0.  Exists so the checkpointed engine can be
 /// benchmarked and differentially tested against the naive path even when
 /// the golden run carries a checkpoint store.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Session` and call `Session::campaign_from_scratch` instead"
+)]
 pub fn run_campaign_from_scratch(
     program: &Program,
     cfg: &CpuConfig,
@@ -410,11 +485,14 @@ pub fn run_campaign_from_scratch(
     faults: &[FaultSpec],
     threads: usize,
 ) -> CampaignResult {
-    let shared = SharedCampaign {
-        program: Arc::new(program.clone()),
-        cfg: Arc::new(cfg.clone()),
-    };
-    run_campaign_dynamic(&shared, golden, None, faults, threads)
+    campaign_shared(
+        &Arc::new(program.clone()),
+        &Arc::new(cfg.clone()),
+        golden,
+        false,
+        faults,
+        threads,
+    )
 }
 
 /// Program/config shared by every worker of one campaign (one clone per
@@ -526,6 +604,68 @@ mod tests {
     use merlin_cpu::Structure;
     use merlin_isa::{reg, AluOp, Cond, MemRef, ProgramBuilder};
 
+    // The free functions under test here are the internal builders the
+    // deprecated shims and the session layer both call.
+    fn golden_plain(
+        program: &Program,
+        cfg: &CpuConfig,
+        max: u64,
+    ) -> Result<GoldenRun, CampaignError> {
+        build_golden_plain(&Arc::new(program.clone()), cfg, max)
+    }
+
+    fn golden_ck(
+        program: &Program,
+        cfg: &CpuConfig,
+        max: u64,
+        policy: &CheckpointPolicy,
+    ) -> Result<GoldenRun, CampaignError> {
+        build_golden_checkpointed(&Arc::new(program.clone()), cfg, max, policy)
+    }
+
+    fn campaign(
+        program: &Program,
+        cfg: &CpuConfig,
+        golden: &GoldenRun,
+        faults: &[FaultSpec],
+        threads: usize,
+    ) -> CampaignResult {
+        campaign_shared(
+            &Arc::new(program.clone()),
+            &Arc::new(cfg.clone()),
+            golden,
+            true,
+            faults,
+            threads,
+        )
+    }
+
+    fn campaign_scratch(
+        program: &Program,
+        cfg: &CpuConfig,
+        golden: &GoldenRun,
+        faults: &[FaultSpec],
+        threads: usize,
+    ) -> CampaignResult {
+        campaign_shared(
+            &Arc::new(program.clone()),
+            &Arc::new(cfg.clone()),
+            golden,
+            false,
+            faults,
+            threads,
+        )
+    }
+
+    fn single_fault(
+        program: &Program,
+        cfg: &CpuConfig,
+        golden: &GoldenRun,
+        fault: FaultSpec,
+    ) -> FaultEffect {
+        run_single_fault_shared(&Arc::new(program.clone()), cfg, golden, fault)
+    }
+
     fn tiny_program() -> Program {
         let mut b = ProgramBuilder::new();
         let data = b.alloc_words(&[11, 22, 33, 44, 55, 66, 77, 88]);
@@ -553,7 +693,7 @@ mod tests {
 
     #[test]
     fn golden_run_succeeds_and_sets_timeout() {
-        let g = run_golden(&tiny_program(), &CpuConfig::default(), 1_000_000).unwrap();
+        let g = golden_plain(&tiny_program(), &CpuConfig::default(), 1_000_000).unwrap();
         assert!(g.result.exit.is_halted());
         assert!(g.timeout_cycles >= 3 * g.result.cycles);
         assert!(g.checkpoints.is_none());
@@ -563,15 +703,14 @@ mod tests {
     fn checkpointed_golden_run_matches_plain_golden_run() {
         let program = tiny_program();
         let cfg = CpuConfig::default();
-        let plain = run_golden(&program, &cfg, 1_000_000).unwrap();
-        let ck = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let plain = golden_plain(&program, &cfg, 1_000_000).unwrap();
+        let ck = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
         assert_eq!(plain.result, ck.result);
         assert_eq!(plain.timeout_cycles, ck.timeout_cycles);
         let ckpts = ck.checkpoints.as_ref().unwrap();
         assert!(ckpts.store.len() >= 2);
         // Disabled policy produces no store.
-        let off = run_golden_checkpointed(&program, &cfg, 1_000_000, &CheckpointPolicy::disabled())
-            .unwrap();
+        let off = golden_ck(&program, &cfg, 1_000_000, &CheckpointPolicy::disabled()).unwrap();
         assert!(off.checkpoints.is_none());
     }
 
@@ -582,9 +721,9 @@ mod tests {
         b.jump(top);
         b.halt();
         let program = b.build().unwrap();
-        let err = run_golden(&program, &CpuConfig::default(), 10_000);
+        let err = golden_plain(&program, &CpuConfig::default(), 10_000);
         assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
-        let err = run_golden_checkpointed(&program, &CpuConfig::default(), 10_000, &small_policy());
+        let err = golden_ck(&program, &CpuConfig::default(), 10_000, &small_policy());
         assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
     }
 
@@ -592,7 +731,7 @@ mod tests {
     fn sequential_and_parallel_campaigns_agree() {
         let program = tiny_program();
         let cfg = CpuConfig::default();
-        let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
         let faults = generate_fault_list(
             Structure::RegisterFile,
             cfg.phys_int_regs,
@@ -600,8 +739,8 @@ mod tests {
             60,
             7,
         );
-        let seq = run_campaign(&program, &cfg, &golden, &faults, 1);
-        let par = run_campaign(&program, &cfg, &golden, &faults, 4);
+        let seq = campaign(&program, &cfg, &golden, &faults, 1);
+        let par = campaign(&program, &cfg, &golden, &faults, 4);
         assert_eq!(seq.outcomes, par.outcomes);
         assert_eq!(seq.classification, par.classification);
         assert_eq!(seq.classification.total(), 60);
@@ -619,16 +758,12 @@ mod tests {
                 ..small_policy()
             },
         ] {
-            let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &policy).unwrap();
+            let golden = golden_ck(&program, &cfg, 1_000_000, &policy).unwrap();
             for structure in [Structure::RegisterFile, Structure::StoreQueue] {
-                let entries = match structure {
-                    Structure::RegisterFile => cfg.phys_int_regs,
-                    Structure::StoreQueue => cfg.sq_entries,
-                    Structure::L1DCache => cfg.l1d.total_words(),
-                };
+                let entries = cfg.structure_entries(structure);
                 let faults = generate_fault_list(structure, entries, golden.result.cycles, 150, 13);
-                let checkpointed = run_campaign(&program, &cfg, &golden, &faults, 4);
-                let scratch = run_campaign_from_scratch(&program, &cfg, &golden, &faults, 4);
+                let checkpointed = campaign(&program, &cfg, &golden, &faults, 4);
+                let scratch = campaign_scratch(&program, &cfg, &golden, &faults, 4);
                 assert_eq!(checkpointed.outcomes, scratch.outcomes, "{structure}");
                 assert_eq!(checkpointed.classification, scratch.classification);
                 assert_eq!(scratch.early_exits, 0);
@@ -648,7 +783,7 @@ mod tests {
     fn campaign_finds_both_masked_and_non_masked_faults() {
         let program = tiny_program();
         let cfg = CpuConfig::default();
-        let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
         let faults = generate_fault_list(
             Structure::RegisterFile,
             cfg.phys_int_regs,
@@ -656,7 +791,7 @@ mod tests {
             200,
             99,
         );
-        let result = run_campaign(&program, &cfg, &golden, &faults, 2);
+        let result = campaign(&program, &cfg, &golden, &faults, 2);
         assert!(result.classification.masked > 0);
         // With 256 mostly-idle registers the masked fraction must dominate.
         assert!(result.classification.avf() < 0.5);
@@ -666,8 +801,8 @@ mod tests {
     fn out_of_range_fault_sites_are_masked() {
         let program = tiny_program();
         let cfg = CpuConfig::default().with_phys_regs(64);
-        let golden = run_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
-        let effect = run_single_fault(
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let effect = single_fault(
             &program,
             &cfg,
             &golden,
@@ -675,7 +810,7 @@ mod tests {
         );
         assert_eq!(effect, FaultEffect::Masked);
         // Same through the checkpointed engine.
-        let out = run_campaign(
+        let out = campaign(
             &program,
             &cfg,
             &golden,

@@ -3,18 +3,21 @@
 //! Statistical microarchitecture-level fault injection — the GeFIN analog of
 //! the MeRLiN reproduction.  It provides:
 //!
+//! * the session-oriented campaign API ([`Session`], [`SessionBuilder`],
+//!   [`SessionCache`]): one object owns the (program, configuration,
+//!   checkpoint policy) context, builds the checkpointed golden run lazily
+//!   exactly once, and runs every campaign phase as a method — with keyed
+//!   in-memory and on-disk caching so configuration sweeps and repeated
+//!   processes share golden runs,
 //! * the statistical sampling machinery of Leveugle et al. used by the paper
 //!   to size its campaigns ([`SamplingPlan`], [`sample_size`],
 //!   [`generate_fault_list`]),
-//! * golden (fault-free) reference runs with the 3× timeout rule
-//!   ([`run_golden`], [`run_golden_checkpointed`]),
-//! * single-fault experiments and multi-threaded campaigns
-//!   ([`run_single_fault`], [`run_campaign`]) built on a
-//!   checkpoint-and-restore engine: the golden run is snapshotted at a
-//!   configurable cycle interval and every faulty run restores the nearest
-//!   checkpoint and simulates only its post-injection suffix (see the
-//!   [`campaign`](crate::run_campaign) module documentation for the engine's
-//!   design and its byte-identical-results guarantee),
+//! * the checkpoint-and-restore injection engine behind
+//!   [`Session::campaign`]: the golden run is snapshotted in one adaptive
+//!   pass and every faulty run restores the nearest checkpoint and simulates
+//!   only its post-injection suffix (see the [`campaign`](crate::Session)
+//!   module documentation for the engine's design and its
+//!   byte-identical-results guarantee),
 //! * the fault-effect classification of Table 2 ([`FaultEffect`],
 //!   [`classify`], [`Classification`]) and the truncated-run classification
 //!   of §4.4.3.4 ([`TruncatedEffect`]).
@@ -25,22 +28,20 @@
 //!
 //! ```
 //! use merlin_cpu::{CpuConfig, Structure};
-//! use merlin_inject::{generate_fault_list, run_campaign, run_golden};
+//! use merlin_inject::Session;
 //! use merlin_workloads::workload_by_name;
 //!
 //! let w = workload_by_name("sha").unwrap();
-//! let cfg = CpuConfig::default();
-//! let golden = run_golden(&w.program, &cfg, 10_000_000).unwrap();
-//! # // (use run_golden_checkpointed for real campaigns)
-//! let faults = generate_fault_list(
-//!     Structure::RegisterFile,
-//!     cfg.phys_int_regs,
-//!     golden.result.cycles,
-//!     8,
-//!     42,
-//! );
-//! let result = run_campaign(&w.program, &cfg, &golden, &faults, 2);
+//! let session = Session::builder(&w.program, &CpuConfig::default())
+//!     .max_cycles(10_000_000)
+//!     .threads(2)
+//!     .build()
+//!     .unwrap();
+//! let faults = session.fault_list(Structure::RegisterFile, 8, 42).unwrap();
+//! let result = session.campaign(&faults).unwrap();
 //! assert_eq!(result.classification.total(), 8);
+//! // The golden run was built exactly once, on first use.
+//! assert_eq!(session.golden_builds(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -49,16 +50,21 @@
 mod campaign;
 mod classify;
 mod sampling;
+mod session;
 
+#[allow(deprecated)]
 pub use campaign::{
     run_campaign, run_campaign_from_scratch, run_golden, run_golden_checkpointed, run_single_fault,
+};
+pub use campaign::{
     CampaignError, CampaignResult, FaultInjector, FaultOutcome, GoldenCheckpoints, GoldenRun,
 };
 pub use classify::{classify, Classification, FaultEffect, TruncatedEffect};
 pub use sampling::{
     fault_population, generate_fault_list, probit, sample_size, z_score, SamplingPlan,
 };
+pub use session::{Session, SessionBuilder, SessionCache, SessionKey};
 
 // Re-exported so downstream crates can name fault sites and checkpoint
 // policies without depending on merlin-cpu directly.
-pub use merlin_cpu::{CheckpointPolicy, CheckpointStore, FaultSpec, Structure};
+pub use merlin_cpu::{CheckpointPolicy, CheckpointStore, FaultSpec, FaultSpecError, Structure};

@@ -187,6 +187,90 @@ mod tests {
     }
 
     #[test]
+    fn probit_tail_behaviour() {
+        // Deep tails stay finite, symmetric and monotone — the regime the
+        // rational approximation switches branches in (p < 0.02425).
+        for p in [1e-12, 1e-9, 1e-6, 1e-3, 0.02, 0.024249, 0.024251] {
+            let lo = probit(p);
+            let hi = probit(1.0 - p);
+            assert!(lo.is_finite() && hi.is_finite(), "p={p}");
+            assert!(lo < 0.0 && hi > 0.0, "p={p}");
+            // Symmetry of the standard normal: probit(p) == -probit(1-p).
+            // Tolerance is bounded by the rounding of `1.0 - p` itself (an
+            // absolute error of ~1e-16 in p maps to ~1e-5 in z at p=1e-12),
+            // not by the approximation.
+            assert!((lo + hi).abs() < 1e-4, "p={p}: {lo} vs {hi}");
+        }
+        // Monotonicity across the branch boundaries.
+        let grid: Vec<f64> = [1e-9, 1e-6, 0.01, 0.024, 0.025, 0.3, 0.5, 0.7, 0.976, 0.999]
+            .into_iter()
+            .collect();
+        for w in grid.windows(2) {
+            assert!(probit(w[0]) < probit(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        // Known deep-tail quantile: Φ⁻¹(1e-9) ≈ -5.9978.
+        assert!((probit(1e-9) + 5.9978).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn probit_rejects_zero() {
+        let _ = probit(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn probit_rejects_one() {
+        let _ = probit(1.0);
+    }
+
+    #[test]
+    fn z_scores_cover_the_common_confidence_levels() {
+        for (confidence, expected) in [
+            (0.80, 1.2816),
+            (0.90, 1.6449),
+            (0.95, 1.9600),
+            (0.98, 2.3263),
+            (0.99, 2.5758),
+            (0.995, 2.8070),
+            (0.998, 3.0902),
+            (0.999, 3.2905),
+        ] {
+            let z = z_score(confidence);
+            assert!(
+                (z - expected).abs() < 1e-3,
+                "z({confidence}) = {z}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_size_edge_populations() {
+        // Tiny populations: never over-sampled, and a population of 1 needs
+        // exactly 1 sample.
+        assert_eq!(sample_size(0, 0.998, 0.0063), 0);
+        assert_eq!(sample_size(1, 0.998, 0.0063), 1);
+        for n in [2u64, 3, 10, 50] {
+            let s = sample_size(n, 0.998, 0.0063);
+            assert!(s >= 1 && s <= n, "population {n} -> sample {s}");
+        }
+        // Huge populations: the size converges to the infinite-population
+        // limit t²p(1-p)/e² and stops growing.
+        let plan = SamplingPlan::paper_baseline();
+        let big = plan.sample_size(u64::MAX);
+        let medium = plan.sample_size(1 << 50);
+        let t = z_score(plan.confidence);
+        let limit = (t * t * 0.25 / (plan.error_margin * plan.error_margin)).ceil() as u64;
+        assert_eq!(big, medium, "saturated regime must be flat");
+        assert!(big.abs_diff(limit) <= 1, "got {big}, limit {limit}");
+        // The paper's population (see fault_population) sits below but near
+        // the limit.
+        assert!(plan.sample_size(fault_population(256 * 64, 100_000_000)) <= limit);
+        // Saturating population arithmetic for absurd inputs.
+        assert_eq!(fault_population(u64::MAX, 2), u64::MAX);
+    }
+
+    #[test]
     fn sample_size_is_monotone() {
         let population = fault_population(64 * 64, 10_000_000);
         let loose = sample_size(population, 0.95, 0.05);

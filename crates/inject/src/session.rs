@@ -1,0 +1,935 @@
+//! Session-oriented campaign API: one object owns the (program,
+//! configuration, checkpoint policy) context of a fault-injection study and
+//! every campaign phase runs as a method on it.
+//!
+//! The paper's methodology executes several phases over the *same* golden
+//! run — representative injection, the comprehensive baseline, the post-ACE
+//! baseline, the Relyzer comparison — and before this module existed every
+//! caller re-threaded `(program, cfg, golden, policy, threads)` through free
+//! functions by hand, with "build the golden run once" being caller
+//! discipline rather than an invariant.  A [`Session`] makes it structural:
+//!
+//! * the program and configuration live behind `Arc`s shared by every
+//!   campaign worker the session ever spawns,
+//! * the checkpointed [`GoldenRun`] is built lazily, exactly once, in a
+//!   single adaptive pass (no sizing pre-pass), and
+//! * a [`SessionCache`] keyed by `(workload id, context fingerprint)` lets
+//!   configuration sweeps and repeated phases share sessions — in memory
+//!   within a process, and optionally on disk across processes via a
+//!   bincode-style serialisation of the golden run and its checkpoint store.
+//!
+//! Higher layers extend the session by trait: `merlin-ace` adds
+//! `ace_profile()` and `merlin-core` adds `merlin()`, `comprehensive()`,
+//! `post_ace_baseline()` and `relyzer()`, all sharing this golden run.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_cpu::{CpuConfig, Structure};
+//! use merlin_inject::Session;
+//! use merlin_workloads::workload_by_name;
+//!
+//! let w = workload_by_name("sha").unwrap();
+//! let session = Session::builder(&w.program, &CpuConfig::default())
+//!     .max_cycles(10_000_000)
+//!     .threads(2)
+//!     .build()
+//!     .unwrap();
+//! let faults = session.fault_list(Structure::RegisterFile, 8, 42).unwrap();
+//! let result = session.campaign(&faults).unwrap();
+//! assert_eq!(result.classification.total(), 8);
+//! assert_eq!(session.golden_builds(), 1);
+//! ```
+
+use crate::campaign::{
+    build_golden_checkpointed, campaign_shared, CampaignError, CampaignResult, FaultInjector,
+    GoldenCheckpoints, GoldenRun,
+};
+use crate::sampling::generate_fault_list;
+use merlin_cpu::{CheckpointPolicy, CpuConfig, FaultSpec, Structure};
+use merlin_isa::binio::{BinCode, ByteReader};
+use merlin_isa::Program;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::{fs, io};
+
+/// Builder for a [`Session`].
+///
+/// Obtained from [`Session::builder`]; every knob has a sensible default
+/// (default checkpoint policy, 200 M-cycle budget, available parallelism).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    program: Arc<Program>,
+    cfg: Arc<CpuConfig>,
+    policy: CheckpointPolicy,
+    max_cycles: u64,
+    threads: usize,
+    persist_path: Option<PathBuf>,
+    seeded_golden: Option<GoldenRun>,
+    /// Memoised [`SessionBuilder::fingerprint`]; cleared by every setter
+    /// that participates in the fingerprint.
+    fingerprint: std::cell::Cell<Option<u64>>,
+}
+
+impl SessionBuilder {
+    fn new(program: &Program, cfg: &CpuConfig) -> Self {
+        SessionBuilder {
+            program: Arc::new(program.clone()),
+            cfg: Arc::new(cfg.clone()),
+            policy: CheckpointPolicy::default(),
+            max_cycles: 200_000_000,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            persist_path: None,
+            seeded_golden: None,
+            fingerprint: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Sets the checkpoint policy for the session's golden run.
+    pub fn checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.policy = policy;
+        self.fingerprint.set(None);
+        self
+    }
+
+    /// Sets the cycle budget for the golden run.
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self.fingerprint.set(None);
+        self
+    }
+
+    /// Sets the worker-thread count for the session's campaigns.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Persists the golden run (checkpoint store included) to `path` on
+    /// first build, and loads it from there instead of simulating when a
+    /// file with a matching fingerprint already exists.  Normally set by
+    /// [`SessionCache::with_disk_dir`] rather than by hand.
+    pub fn persist_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist_path = Some(path.into());
+        self
+    }
+
+    /// Seeds the session with an already-built golden run instead of
+    /// building one lazily (the bridge the deprecated free-function shims
+    /// use; such a session reports zero [`Session::golden_builds`]).
+    pub fn golden(mut self, golden: GoldenRun) -> Self {
+        self.seeded_golden = Some(golden);
+        self
+    }
+
+    /// The fingerprint of the simulation context this builder describes:
+    /// a stable 64-bit hash over the program image, the configuration, the
+    /// checkpoint policy and the cycle budget — everything that determines
+    /// the golden run, and nothing that does not (the thread count is
+    /// deliberately excluded; campaign results are thread-count invariant).
+    /// Memoised, so repeated calls (cache lookup, then [`Self::build`]) hash
+    /// the program once.
+    pub fn fingerprint(&self) -> u64 {
+        if let Some(hash) = self.fingerprint.get() {
+            return hash;
+        }
+        let mut bytes = Vec::new();
+        self.cfg.encode(&mut bytes);
+        self.policy.encode(&mut bytes);
+        self.max_cycles.encode(&mut bytes);
+        self.program.data_size.encode(&mut bytes);
+        self.program.entry.encode(&mut bytes);
+        // Data segments, injectively: segment count up front and every
+        // segment length-prefixed, so `[{a, 0x01 0x02}]` can never hash like
+        // `[{a, 0x01}, {b, 0x02}]`.
+        self.program.data.len().encode(&mut bytes);
+        for seg in &self.program.data {
+            seg.addr.encode(&mut bytes);
+            seg.bytes.encode(&mut bytes);
+        }
+        let mut hash = fnv1a(FNV_OFFSET, &bytes);
+        // The instruction stream, via its canonical listing (one line per
+        // instruction, so the encoding is unambiguous; the ISA types predate
+        // the binary codec and need no byte-exact encoding of their own for
+        // identity purposes).
+        hash = fnv1a(hash, self.program.listing().as_bytes());
+        self.fingerprint.set(Some(hash));
+        hash
+    }
+
+    /// Builds the session, validating the configuration up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::BadConfig`] for inconsistent configurations.
+    pub fn build(self) -> Result<Session, CampaignError> {
+        self.cfg
+            .validate()
+            .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
+        let fingerprint = self.fingerprint();
+        let golden = OnceLock::new();
+        if let Some(seed) = self.seeded_golden {
+            let _ = golden.set(Ok(seed));
+        }
+        Ok(Session {
+            program: self.program,
+            cfg: self.cfg,
+            policy: self.policy,
+            max_cycles: self.max_cycles,
+            threads: self.threads,
+            persist_path: self.persist_path,
+            fingerprint,
+            golden,
+            golden_builds: AtomicU64::new(0),
+            ext: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// One fault-injection study over one (program, configuration) pair.
+///
+/// See the `session` module documentation for the design; the short version:
+/// the golden run is built lazily exactly once per session, every campaign
+/// phase is a method, and sessions are shared through a [`SessionCache`].
+#[derive(Debug)]
+pub struct Session {
+    program: Arc<Program>,
+    cfg: Arc<CpuConfig>,
+    policy: CheckpointPolicy,
+    max_cycles: u64,
+    threads: usize,
+    persist_path: Option<PathBuf>,
+    fingerprint: u64,
+    golden: OnceLock<Result<GoldenRun, CampaignError>>,
+    golden_builds: AtomicU64,
+    /// Type-keyed storage for per-session artifacts owned by higher layers
+    /// (e.g. the cached ACE analysis of `merlin-ace`).
+    ext: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Session {
+    /// Starts building a session for `program` under `cfg` (both cloned once
+    /// into `Arc`s here, never again per phase or per fault).
+    pub fn builder(program: &Program, cfg: &CpuConfig) -> SessionBuilder {
+        SessionBuilder::new(program, cfg)
+    }
+
+    /// The shared program image.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// The checkpoint policy golden runs are built under.
+    pub fn policy(&self) -> &CheckpointPolicy {
+        &self.policy
+    }
+
+    /// The cycle budget for the golden run.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Worker threads used by this session's campaigns.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The context fingerprint (see [`SessionBuilder::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The golden run, built (or loaded from the persist path) on first use
+    /// and shared by every subsequent phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::GoldenRunFailed`] if the program does not
+    /// halt within the cycle budget, [`CampaignError::BadConfig`] for
+    /// invalid configurations.  The error is sticky: a failed build is not
+    /// retried.
+    pub fn golden(&self) -> Result<&GoldenRun, CampaignError> {
+        self.golden
+            .get_or_init(|| self.build_golden())
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// How many times this session actually *simulated* a golden run (0 or
+    /// 1; disk-cache hits and seeded goldens do not count).  The regression
+    /// suite uses this to prove the once-per-session invariant.
+    pub fn golden_builds(&self) -> u64 {
+        self.golden_builds.load(Ordering::Relaxed)
+    }
+
+    fn build_golden(&self) -> Result<GoldenRun, CampaignError> {
+        if let Some(path) = &self.persist_path {
+            if let Some(golden) = load_golden(path, self.fingerprint) {
+                return Ok(golden);
+            }
+        }
+        self.golden_builds.fetch_add(1, Ordering::Relaxed);
+        let golden =
+            build_golden_checkpointed(&self.program, &self.cfg, self.max_cycles, &self.policy)?;
+        if let Some(path) = &self.persist_path {
+            // Persistence is best-effort: a read-only disk must not fail the
+            // campaign.
+            let _ = save_golden(path, self.fingerprint, &golden);
+        }
+        Ok(golden)
+    }
+
+    /// Checks a fault list against the fault model — the session boundary
+    /// where hand-rolled `FaultSpec` literals with out-of-range bit indices
+    /// are rejected as an error instead of panicking a campaign worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidFault`] naming the first offending
+    /// fault.
+    pub fn validate_faults(&self, faults: &[FaultSpec]) -> Result<(), CampaignError> {
+        for (i, fault) in faults.iter().enumerate() {
+            fault
+                .validate()
+                .map_err(|e| CampaignError::InvalidFault(format!("fault #{i} ({fault}): {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Number of fault-injectable entries `structure` has under this
+    /// session's configuration.
+    pub fn structure_entries(&self, structure: Structure) -> usize {
+        self.cfg.structure_entries(structure)
+    }
+
+    /// Draws a statistically sampled fault list for `structure` over this
+    /// session's golden execution length (phase 1, task 2 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates golden-run errors.
+    pub fn fault_list(
+        &self,
+        structure: Structure,
+        count: usize,
+        seed: u64,
+    ) -> Result<Vec<FaultSpec>, CampaignError> {
+        let cycles = self.golden()?.result.cycles;
+        Ok(generate_fault_list(
+            structure,
+            self.structure_entries(structure),
+            cycles,
+            count,
+            seed,
+        ))
+    }
+
+    /// Runs an injection campaign over `faults` with this session's thread
+    /// count, restoring golden checkpoints per fault when the policy enables
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidFault`] for fault specifications that
+    /// violate the fault model, and propagates golden-run errors.
+    pub fn campaign(&self, faults: &[FaultSpec]) -> Result<CampaignResult, CampaignError> {
+        self.validate_faults(faults)?;
+        let golden = self.golden()?;
+        Ok(campaign_shared(
+            &self.program,
+            &self.cfg,
+            golden,
+            true,
+            faults,
+            self.threads,
+        ))
+    }
+
+    /// Runs a campaign with checkpoint restoration forcibly disabled (every
+    /// fault simulates from cycle 0) — the differential-testing and
+    /// benchmarking baseline of the checkpointed engine.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::campaign`].
+    pub fn campaign_from_scratch(
+        &self,
+        faults: &[FaultSpec],
+    ) -> Result<CampaignResult, CampaignError> {
+        self.validate_faults(faults)?;
+        let golden = self.golden()?;
+        Ok(campaign_shared(
+            &self.program,
+            &self.cfg,
+            golden,
+            false,
+            faults,
+            self.threads,
+        ))
+    }
+
+    /// A reusable one-fault-at-a-time injector over this session's golden
+    /// run (used by truncated-run studies); shares the session's `Arc`s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates golden-run errors.
+    pub fn injector(&self) -> Result<FaultInjector, CampaignError> {
+        let golden = self.golden()?.clone();
+        Ok(FaultInjector::from_parts(
+            Arc::clone(&self.program),
+            Arc::clone(&self.cfg),
+            golden,
+        ))
+    }
+
+    /// Peak heap footprint of the session's checkpoint store in bytes (0
+    /// when the golden run has not been built or checkpointing is off).
+    pub fn checkpoint_footprint_bytes(&self) -> usize {
+        match self.golden.get() {
+            Some(Ok(GoldenRun {
+                checkpoints: Some(ck),
+                ..
+            })) => ck.store.footprint_bytes(),
+            _ => 0,
+        }
+    }
+
+    /// The golden checkpoints, when built and enabled (mainly for tests and
+    /// diagnostics).
+    pub fn golden_checkpoints(&self) -> Option<Arc<GoldenCheckpoints>> {
+        match self.golden.get() {
+            Some(Ok(g)) => g.checkpoints.clone(),
+            _ => None,
+        }
+    }
+
+    /// Gets or initialises a per-session extension value of type `T`.
+    ///
+    /// Extension traits in higher crates use this to cache expensive
+    /// per-session artifacts (the ACE-like analysis, for instance) without
+    /// `merlin-inject` depending on their types: values are keyed by
+    /// `TypeId` and shared as `Arc<T>`.
+    ///
+    /// The initialiser runs under the extension-map lock, so it must not
+    /// recursively call `ext_get_or_try_init` (calling [`Session::golden`]
+    /// and the campaign methods is fine).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initialiser's error; nothing is cached on failure.
+    pub fn ext_get_or_try_init<T, E, F>(&self, init: F) -> Result<Arc<T>, E>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce(&Session) -> Result<T, E>,
+    {
+        let mut map = lock_unpoisoned(&self.ext);
+        if let Some(existing) = map.get(&TypeId::of::<T>()) {
+            return Ok(Arc::clone(existing)
+                .downcast::<T>()
+                .expect("extension map entries are keyed by their TypeId"));
+        }
+        let value = Arc::new(init(self)?);
+        map.insert(TypeId::of::<T>(), value.clone());
+        Ok(value)
+    }
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking initialiser poisons the lock but leaves the map in a
+    // consistent state (entries are inserted only after successful init).
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Key of one cached session: a caller-chosen workload identifier plus the
+/// context fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Workload identifier (benchmark name for the bundled workloads).
+    pub id: String,
+    /// Context fingerprint (see [`SessionBuilder::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+/// A keyed cache of [`Session`]s, so configuration sweeps and repeated
+/// campaign phases over the same `(workload, configuration)` pair share one
+/// golden run.
+///
+/// With a disk directory attached, golden runs (checkpoint store included)
+/// are serialised to `<dir>/<id>-<fingerprint>.golden` and re-loaded by
+/// later processes — the instrumented golden run is then paid once per
+/// context *ever*, not once per process.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_cpu::CpuConfig;
+/// use merlin_inject::SessionCache;
+/// use merlin_workloads::workload_by_name;
+///
+/// let cache = SessionCache::new();
+/// let w = workload_by_name("sha").unwrap();
+/// let cfg = CpuConfig::default();
+/// let a = cache
+///     .session(w.name, &w.program, &cfg, |b| b.max_cycles(10_000_000))
+///     .unwrap();
+/// let b = cache
+///     .session(w.name, &w.program, &cfg, |b| b.max_cycles(10_000_000))
+///     .unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "same context, same session");
+/// ```
+#[derive(Debug, Default)]
+pub struct SessionCache {
+    sessions: Mutex<HashMap<SessionKey, Arc<Session>>>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl SessionCache {
+    /// An in-memory cache (sessions shared within this process only).
+    pub fn new() -> Self {
+        SessionCache::default()
+    }
+
+    /// A cache that additionally persists golden runs under `dir` for
+    /// cross-process reuse.  The directory is created on first save.
+    pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
+        SessionCache {
+            sessions: Mutex::new(HashMap::new()),
+            disk_dir: Some(dir.into()),
+        }
+    }
+
+    /// Returns the session for `(id, context)`, creating it on first
+    /// request.  `tune` adjusts the builder (policy, cycle budget, threads);
+    /// two requests whose tuned builders fingerprint identically share one
+    /// session, golden run and checkpoint store.
+    ///
+    /// Execution-only knobs of later requests (the thread count) are
+    /// ignored in favour of the cached session's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::BadConfig`] for invalid configurations.
+    pub fn session(
+        &self,
+        id: &str,
+        program: &Program,
+        cfg: &CpuConfig,
+        tune: impl FnOnce(SessionBuilder) -> SessionBuilder,
+    ) -> Result<Arc<Session>, CampaignError> {
+        let mut builder = tune(Session::builder(program, cfg));
+        let key = SessionKey {
+            id: id.to_string(),
+            fingerprint: builder.fingerprint(),
+        };
+        let mut sessions = lock_unpoisoned(&self.sessions);
+        if let Some(session) = sessions.get(&key) {
+            return Ok(Arc::clone(session));
+        }
+        if let Some(dir) = &self.disk_dir {
+            builder = builder.persist_to(dir.join(golden_file_name(id, key.fingerprint)));
+        }
+        let session = Arc::new(builder.build()?);
+        sessions.insert(key, Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.sessions).len()
+    }
+
+    /// `true` when no session has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// --- Disk persistence ----------------------------------------------------
+
+const GOLDEN_MAGIC: &[u8; 8] = b"MRLNGLD\0";
+const GOLDEN_VERSION: u32 = 1;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn golden_file_name(id: &str, fingerprint: u64) -> String {
+    let sanitized: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("{sanitized}-{fingerprint:016x}.golden")
+}
+
+fn save_golden(path: &Path, fingerprint: u64, golden: &GoldenRun) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(GOLDEN_MAGIC);
+    GOLDEN_VERSION.encode(&mut buf);
+    fingerprint.encode(&mut buf);
+    golden.result.encode(&mut buf);
+    golden.timeout_cycles.encode(&mut buf);
+    match &golden.checkpoints {
+        None => buf.push(0),
+        Some(ck) => {
+            buf.push(1);
+            ck.policy.encode(&mut buf);
+            ck.store.encode(&mut buf);
+        }
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    // Write-then-rename so a concurrent reader never observes a torn file.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, &buf)?;
+    fs::rename(&tmp, path)
+}
+
+fn load_golden(path: &Path, fingerprint: u64) -> Option<GoldenRun> {
+    // Any mismatch or decode failure means "cache miss, rebuild" — a corrupt
+    // or stale file must never break a campaign.
+    let buf = fs::read(path).ok()?;
+    let mut r = ByteReader::new(&buf);
+    if r.take(GOLDEN_MAGIC.len()).ok()? != GOLDEN_MAGIC {
+        return None;
+    }
+    if u32::decode(&mut r).ok()? != GOLDEN_VERSION {
+        return None;
+    }
+    if u64::decode(&mut r).ok()? != fingerprint {
+        return None;
+    }
+    let result = BinCode::decode(&mut r).ok()?;
+    let timeout_cycles = u64::decode(&mut r).ok()?;
+    let checkpoints = match u8::decode(&mut r).ok()? {
+        0 => None,
+        1 => {
+            let policy = BinCode::decode(&mut r).ok()?;
+            let store = BinCode::decode(&mut r).ok()?;
+            Some(Arc::new(GoldenCheckpoints { store, policy }))
+        }
+        _ => return None,
+    };
+    if !r.is_at_end() {
+        return None;
+    }
+    Some(GoldenRun {
+        result,
+        timeout_cycles,
+        checkpoints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::FaultEffect;
+    use merlin_isa::{reg, AluOp, Cond, MemRef, ProgramBuilder};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let data = b.alloc_words(&[5, 4, 3, 2, 1, 9, 8, 7]);
+        b.movi(reg(10), data as i64);
+        b.movi(reg(1), 0);
+        b.movi(reg(2), 0);
+        let top = b.bind_label();
+        b.load_op(AluOp::Add, reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.store(reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+        b.branch_ri(Cond::Lt, reg(1), 8, top);
+        b.out(reg(2));
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn small_policy() -> CheckpointPolicy {
+        CheckpointPolicy {
+            enabled: true,
+            target_checkpoints: 8,
+            min_interval: 8,
+            early_exit: true,
+        }
+    }
+
+    fn test_session() -> Session {
+        Session::builder(&tiny_program(), &CpuConfig::default())
+            .checkpoints(small_policy())
+            .max_cycles(1_000_000)
+            .threads(2)
+            .build()
+            .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("merlin-session-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn golden_is_lazy_and_built_once() {
+        let session = test_session();
+        assert_eq!(session.golden_builds(), 0, "golden must be lazy");
+        let cycles = session.golden().unwrap().result.cycles;
+        assert!(cycles > 0);
+        // Repeated phases reuse the same build.
+        let faults = session.fault_list(Structure::RegisterFile, 40, 7).unwrap();
+        let a = session.campaign(&faults).unwrap();
+        let b = session.campaign_from_scratch(&faults).unwrap();
+        let mut injector = session.injector().unwrap();
+        let one = injector.run(faults[0]);
+        assert_eq!(session.golden_builds(), 1);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(one, a.outcomes[0].effect);
+        assert!(session.checkpoint_footprint_bytes() > 0);
+        assert!(session.golden_checkpoints().is_some());
+    }
+
+    #[test]
+    fn invalid_faults_are_rejected_at_the_boundary() {
+        let session = test_session();
+        let bad = FaultSpec {
+            structure: Structure::RegisterFile,
+            entry: 0,
+            bit: 77,
+            cycle: 10,
+        };
+        let good = FaultSpec::new(Structure::RegisterFile, 0, 3, 10);
+        let err = session.campaign(&[good, bad]).unwrap_err();
+        match err {
+            CampaignError::InvalidFault(msg) => {
+                assert!(msg.contains("#1"), "names the offending fault: {msg}");
+                assert!(msg.contains("77"));
+            }
+            other => panic!("expected InvalidFault, got {other:?}"),
+        }
+        assert!(session.campaign_from_scratch(&[bad]).is_err());
+        // Out-of-range *entries* are not errors — they are Masked, exactly
+        // like the engine treats fault sites absent from a configuration.
+        let absent = FaultSpec::new(Structure::RegisterFile, 100_000, 1, 10);
+        let result = session.campaign(&[absent]).unwrap();
+        assert_eq!(result.outcomes[0].effect, FaultEffect::Masked);
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        let bad_cfg = CpuConfig::default().with_phys_regs(4);
+        let err = Session::builder(&tiny_program(), &bad_cfg).build();
+        assert!(matches!(err, Err(CampaignError::BadConfig(_))));
+    }
+
+    #[test]
+    fn golden_failure_is_sticky_and_reported() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_label();
+        b.jump(top);
+        b.halt();
+        let session = Session::builder(&b.build().unwrap(), &CpuConfig::default())
+            .max_cycles(10_000)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            session.golden(),
+            Err(CampaignError::GoldenRunFailed(_))
+        ));
+        assert!(session.campaign(&[]).is_err());
+        // The failed build is not retried.
+        assert!(session.golden().is_err());
+        assert_eq!(session.golden_builds(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_context_not_threads() {
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let base = Session::builder(&p, &cfg).threads(1).fingerprint();
+        assert_eq!(base, Session::builder(&p, &cfg).threads(8).fingerprint());
+        assert_ne!(
+            base,
+            Session::builder(&p, &cfg.clone().with_phys_regs(64)).fingerprint()
+        );
+        assert_ne!(base, Session::builder(&p, &cfg).max_cycles(1).fingerprint());
+        assert_ne!(
+            base,
+            Session::builder(&p, &cfg)
+                .checkpoints(CheckpointPolicy::disabled())
+                .fingerprint()
+        );
+        let mut other = ProgramBuilder::new();
+        other.out(reg(0));
+        other.halt();
+        assert_ne!(
+            base,
+            Session::builder(&other.build().unwrap(), &cfg).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_segment_layouts() {
+        // A one-segment program whose byte stream happens to contain what a
+        // naive (unprefixed) concatenation would produce for a two-segment
+        // program must not collide with that two-segment program.
+        use merlin_isa::DataSegment;
+        let base = tiny_program();
+        let addr2: u64 = 0x2_0000;
+        let mut merged = addr2.to_le_bytes().to_vec();
+        merged.push(7);
+        let mut one_segment = base.clone();
+        one_segment.data = vec![DataSegment {
+            addr: 0x1_0000,
+            bytes: {
+                let mut b = vec![9];
+                b.extend_from_slice(&merged);
+                b
+            },
+        }];
+        let mut two_segments = base.clone();
+        two_segments.data = vec![
+            DataSegment {
+                addr: 0x1_0000,
+                bytes: vec![9],
+            },
+            DataSegment {
+                addr: addr2,
+                bytes: vec![7],
+            },
+        ];
+        let cfg = CpuConfig::default();
+        assert_ne!(
+            Session::builder(&one_segment, &cfg).fingerprint(),
+            Session::builder(&two_segments, &cfg).fingerprint(),
+            "segment layout must be part of the cache key"
+        );
+    }
+
+    #[test]
+    fn cache_shares_sessions_per_key() {
+        let cache = SessionCache::new();
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let a = cache
+            .session("w", &p, &cfg, |b| b.max_cycles(1_000_000))
+            .unwrap();
+        let b = cache
+            .session("w", &p, &cfg, |b| b.max_cycles(1_000_000))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        // A different configuration gets its own session.
+        let c = cache
+            .session("w", &p, &cfg.clone().with_store_queue(16), |b| {
+                b.max_cycles(1_000_000)
+            })
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        // A different workload id never collides, even with equal contexts.
+        let d = cache
+            .session("x", &p, &cfg, |b| b.max_cycles(1_000_000))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn disk_cache_round_trips_the_golden_run() {
+        let dir = temp_dir("roundtrip");
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let tune = |b: SessionBuilder| b.checkpoints(small_policy()).max_cycles(1_000_000);
+
+        let first = SessionCache::with_disk_dir(&dir);
+        let s1 = first.session("tiny", &p, &cfg, tune).unwrap();
+        let faults = s1.fault_list(Structure::RegisterFile, 50, 13).unwrap();
+        let r1 = s1.campaign(&faults).unwrap();
+        assert_eq!(s1.golden_builds(), 1);
+
+        // A second cache (standing in for a second process) loads the golden
+        // run — checkpoint store included — without simulating.
+        let second = SessionCache::with_disk_dir(&dir);
+        let s2 = second.session("tiny", &p, &cfg, tune).unwrap();
+        let golden2 = s2.golden().unwrap().clone();
+        assert_eq!(s2.golden_builds(), 0, "disk hit must not re-simulate");
+        assert_eq!(golden2.result, s1.golden().unwrap().result);
+        assert_eq!(golden2.timeout_cycles, s1.golden().unwrap().timeout_cycles);
+        let (ck1, ck2) = (
+            s1.golden_checkpoints().unwrap(),
+            golden2.checkpoints.unwrap(),
+        );
+        assert_eq!(ck1.store, ck2.store);
+        assert_eq!(ck1.policy, ck2.policy);
+        // And campaigns over the restored store classify identically.
+        let r2 = s2.campaign(&faults).unwrap();
+        assert_eq!(r1.outcomes, r2.outcomes);
+
+        // A corrupt cache file falls back to rebuilding.
+        let file = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        fs::write(&file, b"garbage").unwrap();
+        let third = SessionCache::with_disk_dir(&dir);
+        let s3 = third.session("tiny", &p, &cfg, tune).unwrap();
+        assert_eq!(s3.golden().unwrap().result, golden2.result);
+        assert_eq!(s3.golden_builds(), 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_golden_is_used_verbatim() {
+        let session = test_session();
+        let golden = session.golden().unwrap().clone();
+        let seeded = Session::builder(&tiny_program(), &CpuConfig::default())
+            .checkpoints(small_policy())
+            .max_cycles(1_000_000)
+            .golden(golden.clone())
+            .build()
+            .unwrap();
+        assert_eq!(seeded.golden().unwrap(), &golden);
+        assert_eq!(seeded.golden_builds(), 0);
+    }
+
+    #[test]
+    fn ext_slots_cache_by_type() {
+        let session = test_session();
+        let mut calls = 0;
+        let a: Arc<u64> = session
+            .ext_get_or_try_init::<u64, (), _>(|_| {
+                calls += 1;
+                Ok(41)
+            })
+            .unwrap();
+        let b: Arc<u64> = session
+            .ext_get_or_try_init::<u64, (), _>(|_| {
+                calls += 1;
+                Ok(99)
+            })
+            .unwrap();
+        assert_eq!((*a, *b, calls), (41, 41, 1));
+        // Errors are not cached.
+        let err: Result<Arc<String>, &str> = session.ext_get_or_try_init(|_| Err("nope"));
+        assert!(err.is_err());
+        let ok: Arc<String> = session
+            .ext_get_or_try_init::<String, (), _>(|_| Ok("yes".into()))
+            .unwrap();
+        assert_eq!(&*ok, "yes");
+    }
+}

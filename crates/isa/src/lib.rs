@@ -49,6 +49,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod binio;
+
 mod alu;
 mod asm;
 mod decode;

@@ -5,22 +5,17 @@
 //!
 //! Run with `cargo run --release --example cache_protection_study`.
 
-use merlin_repro::ace::AceAnalysis;
 use merlin_repro::cpu::{CpuConfig, Structure};
 use merlin_repro::inject::FaultEffect;
-use merlin_repro::merlin::{fit_rate, run_merlin, structure_bits, MerlinConfig};
+use merlin_repro::merlin::{fit_rate, structure_bits};
 use merlin_repro::workloads::mibench_workloads;
+use merlin_repro::{SessionCache, SessionMethodology};
 
 /// FIT budget allotted to the L1D data array in this fictional product.
 const FIT_BUDGET: f64 = 50.0;
 
 fn main() {
-    let merlin_cfg = MerlinConfig {
-        threads: 4,
-        max_cycles: 100_000_000,
-        seed: 99,
-        ..Default::default()
-    };
+    let cache = SessionCache::new();
     let benchmarks: Vec<_> = mibench_workloads()
         .into_iter()
         .filter(|w| ["susan_s", "fft", "cjpeg"].contains(&w.name))
@@ -39,16 +34,14 @@ fn main() {
         let mut total = 0.0;
         let mut speedup = 0.0;
         for w in &benchmarks {
-            let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).expect("ACE analysis");
-            let campaign = run_merlin(
-                &w.program,
-                &cfg,
-                Structure::L1DCache,
-                &ace,
-                500,
-                &merlin_cfg,
-            )
-            .expect("campaign");
+            let session = cache
+                .session(w.name, &w.program, &cfg, |b| {
+                    b.max_cycles(100_000_000).threads(4)
+                })
+                .expect("session");
+            let campaign = session
+                .merlin(Structure::L1DCache, 500, 99)
+                .expect("campaign");
             let cls = &campaign.report.classification;
             sdc += fit_rate(cls.percentage(FaultEffect::Sdc) / 100.0, bits);
             due += fit_rate(cls.percentage(FaultEffect::Due) / 100.0, bits);

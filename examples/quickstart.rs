@@ -4,29 +4,29 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use merlin_repro::ace::AceAnalysis;
-use merlin_repro::cpu::CheckpointPolicy;
 use merlin_repro::cpu::{CpuConfig, Structure};
-use merlin_repro::inject::{run_golden_checkpointed, SamplingPlan};
-use merlin_repro::merlin::{
-    initial_fault_list, run_comprehensive, run_merlin_with_faults, MerlinConfig,
-};
-use merlin_repro::workloads::workload_by_name;
+use merlin_repro::inject::{SamplingPlan, Session};
+use merlin_repro::{SessionAce, SessionMethodology};
 
 fn main() {
-    let workload = workload_by_name("qsort").expect("qsort is a registered workload");
+    let workload =
+        merlin_repro::workloads::workload_by_name("qsort").expect("qsort is a registered workload");
     let cfg = CpuConfig::default().with_phys_regs(128);
     let structure = Structure::RegisterFile;
 
-    // Phase 1a: one instrumented run records every vulnerable interval.
-    let ace = AceAnalysis::run(&workload.program, &cfg, 100_000_000).expect("ACE analysis");
-    let golden = run_golden_checkpointed(
-        &workload.program,
-        &cfg,
-        100_000_000,
-        &CheckpointPolicy::default(),
-    )
-    .expect("golden run");
+    // One session owns the whole study: program, configuration, checkpoint
+    // policy.  The golden run is built lazily (exactly once) and every phase
+    // below shares it.
+    let session = Session::builder(&workload.program, &cfg)
+        .max_cycles(100_000_000)
+        .threads(4)
+        .build()
+        .expect("session");
+
+    // Phase 1a: one instrumented run records every vulnerable interval
+    // (cached on the session).
+    let ace = session.ace_profile().expect("ACE analysis");
+    let golden = session.golden().expect("golden run");
     println!(
         "golden run: {} cycles, {} instructions, ACE-like AVF {:.2}%",
         golden.result.cycles,
@@ -42,28 +42,19 @@ fn main() {
         "paper-scale sample size for this run would be {} faults",
         plan.sample_size(cfg.register_file_bits() * golden.result.cycles)
     );
-    let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 1_000, 2017);
+    let faults = session
+        .fault_list(structure, 1_000, 2017)
+        .expect("fault list");
 
     // Baseline: inject every fault.
-    let comprehensive = run_comprehensive(&workload.program, &cfg, &golden, &faults, 4);
+    let comprehensive = session.comprehensive(&faults).expect("baseline campaign");
 
-    // MeRLiN: prune + group + inject representatives only.
-    let merlin_cfg = MerlinConfig {
-        threads: 4,
-        max_cycles: 100_000_000,
-        seed: 2017,
-        ..Default::default()
-    };
-    let campaign = run_merlin_with_faults(
-        &workload.program,
-        &cfg,
-        structure,
-        &ace,
-        &faults,
-        &golden,
-        &merlin_cfg,
-    )
-    .expect("MeRLiN campaign");
+    // MeRLiN: prune + group + inject representatives only — over the *same*
+    // golden run and checkpoint store as the baseline.
+    let campaign = session
+        .merlin_with_faults(structure, &faults)
+        .expect("MeRLiN campaign");
+    assert_eq!(session.golden_builds(), 1, "one golden run for everything");
 
     println!(
         "\ncomprehensive ({} injections): {}",

@@ -6,18 +6,15 @@
 //!
 //! Run with `cargo run --release --example register_file_study`.
 
-use merlin_repro::ace::AceAnalysis;
 use merlin_repro::cpu::{CpuConfig, Structure};
-use merlin_repro::merlin::{fit_rate, run_merlin, structure_bits, MerlinConfig};
+use merlin_repro::merlin::{fit_rate, structure_bits};
 use merlin_repro::workloads::mibench_workloads;
+use merlin_repro::{SessionCache, SessionMethodology};
 
 fn main() {
-    let merlin_cfg = MerlinConfig {
-        threads: 4,
-        max_cycles: 100_000_000,
-        seed: 7,
-        ..Default::default()
-    };
+    // One cache for the whole sweep: each (benchmark, size) pair builds its
+    // golden run exactly once, shared by every phase.
+    let cache = SessionCache::new();
     let benchmarks: Vec<_> = mibench_workloads()
         .into_iter()
         .filter(|w| ["sha", "qsort", "stringsearch"].contains(&w.name))
@@ -37,16 +34,14 @@ fn main() {
         let mut ace_sum = 0.0;
         let mut speedup_sum = 0.0;
         for w in &benchmarks {
-            let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).expect("ACE analysis");
-            let campaign = run_merlin(
-                &w.program,
-                &cfg,
-                Structure::RegisterFile,
-                &ace,
-                600,
-                &merlin_cfg,
-            )
-            .expect("campaign");
+            let session = cache
+                .session(w.name, &w.program, &cfg, |b| {
+                    b.max_cycles(100_000_000).threads(4)
+                })
+                .expect("session");
+            let campaign = session
+                .merlin(Structure::RegisterFile, 600, 7)
+                .expect("campaign");
             avf_sum += campaign.report.avf();
             ace_sum += campaign.report.ace_avf;
             speedup_sum += campaign.report.speedup_total;

@@ -5,18 +5,12 @@
 //!
 //! Run with `cargo run --release --example storequeue_study`.
 
-use merlin_repro::ace::AceAnalysis;
 use merlin_repro::cpu::{CpuConfig, Structure};
-use merlin_repro::merlin::{run_merlin, MerlinConfig};
 use merlin_repro::workloads::workload_by_name;
+use merlin_repro::{SessionCache, SessionMethodology};
 
 fn main() {
-    let merlin_cfg = MerlinConfig {
-        threads: 4,
-        max_cycles: 100_000_000,
-        seed: 5,
-        ..Default::default()
-    };
+    let cache = SessionCache::new();
     let workload = workload_by_name("caes").expect("caes is registered");
     println!("store-queue sizing study on `{}`\n", workload.name);
     println!(
@@ -25,16 +19,14 @@ fn main() {
     );
     for entries in [64usize, 32, 16] {
         let cfg = CpuConfig::default().with_store_queue(entries);
-        let ace = AceAnalysis::run(&workload.program, &cfg, 100_000_000).expect("ACE analysis");
-        let campaign = run_merlin(
-            &workload.program,
-            &cfg,
-            Structure::StoreQueue,
-            &ace,
-            800,
-            &merlin_cfg,
-        )
-        .expect("campaign");
+        let session = cache
+            .session(workload.name, &workload.program, &cfg, |b| {
+                b.max_cycles(100_000_000).threads(4)
+            })
+            .expect("session");
+        let campaign = session
+            .merlin(Structure::StoreQueue, 800, 5)
+            .expect("campaign");
         let r = &campaign.report;
         println!(
             "{:<10} {:>8} {:>10} {:>12} {:>12.1} {:>9.1}x {:>9.1}x",

@@ -1,52 +1,35 @@
 //! Cross-crate integration tests: the full MeRLiN pipeline (ISA → CPU →
 //! workloads → ACE-like analysis → fault injection → grouping →
-//! extrapolation) exercised through the umbrella crate's public API.
+//! extrapolation) exercised through the umbrella crate's public API — the
+//! session-oriented campaign API throughout.
 
-use merlin_repro::ace::AceAnalysis;
-use merlin_repro::cpu::{CpuConfig, Structure};
-use merlin_repro::inject::{
-    run_campaign, run_campaign_from_scratch, run_golden_checkpointed, CheckpointPolicy, FaultEffect,
-};
-use merlin_repro::merlin::{
-    homogeneity, initial_fault_list, reduce_fault_list, relyzer_reduce, run_comprehensive,
-    run_merlin_with_faults, run_post_ace_baseline, MerlinConfig,
-};
+use merlin_repro::cpu::{CheckpointPolicy, CpuConfig, Structure};
+use merlin_repro::inject::FaultEffect;
+use merlin_repro::merlin::{homogeneity, reduce_fault_list, relyzer_reduce};
 use merlin_repro::workloads::workload_by_name;
+use merlin_repro::{Session, SessionAce, SessionMethodology};
 use std::collections::HashMap;
 
-fn merlin_cfg() -> MerlinConfig {
-    MerlinConfig {
-        threads: 4,
-        max_cycles: 100_000_000,
-        seed: 31,
-        ..Default::default()
-    }
+fn session_for(name: &str, cfg: &CpuConfig) -> Session {
+    let w = workload_by_name(name).unwrap();
+    Session::builder(&w.program, cfg)
+        .max_cycles(100_000_000)
+        .threads(4)
+        .build()
+        .unwrap()
 }
 
 #[test]
 fn merlin_is_accurate_and_cheap_across_structures() {
-    let w = workload_by_name("stringsearch").unwrap();
     let cfg = CpuConfig::default()
         .with_phys_regs(64)
         .with_store_queue(16)
         .with_l1d_kb(16);
-    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let golden =
-        run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
-            .unwrap();
+    let session = session_for("stringsearch", &cfg);
     for &structure in Structure::all() {
-        let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 300, 11);
-        let merlin = run_merlin_with_faults(
-            &w.program,
-            &cfg,
-            structure,
-            &ace,
-            &faults,
-            &golden,
-            &merlin_cfg(),
-        )
-        .unwrap();
-        let baseline = run_comprehensive(&w.program, &cfg, &golden, &faults, 4);
+        let faults = session.fault_list(structure, 300, 11).unwrap();
+        let merlin = session.merlin_with_faults(structure, &faults).unwrap();
+        let baseline = session.comprehensive(&faults).unwrap();
         let inaccuracy = merlin
             .report
             .classification
@@ -65,19 +48,18 @@ fn merlin_is_accurate_and_cheap_across_structures() {
         // AVF agreement within a few points.
         assert!((merlin.report.avf() - baseline.classification.avf()).abs() < 0.08);
     }
+    // Six campaign phases (MeRLiN + comprehensive, three structures), one
+    // golden simulation and one ACE profile.
+    assert_eq!(session.golden_builds(), 1);
 }
 
 #[test]
 fn groups_are_homogeneous_on_a_real_workload() {
-    let w = workload_by_name("sha").unwrap();
-    let cfg = CpuConfig::default().with_phys_regs(128);
-    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let golden =
-        run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
-            .unwrap();
-    let faults = initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 400, 3);
+    let session = session_for("sha", &CpuConfig::default().with_phys_regs(128));
+    let ace = session.ace_profile().unwrap();
+    let faults = session.fault_list(Structure::RegisterFile, 400, 3).unwrap();
     let reduction = reduce_fault_list(&faults, ace.structure(Structure::RegisterFile));
-    let post_ace = run_post_ace_baseline(&w.program, &cfg, &golden, &reduction, 4);
+    let post_ace = session.post_ace_baseline(&reduction).unwrap();
     let effects: HashMap<_, _> = post_ace
         .outcomes
         .iter()
@@ -95,13 +77,11 @@ fn groups_are_homogeneous_on_a_real_workload() {
 
 #[test]
 fn relyzer_heuristic_produces_fewer_but_coarser_groups() {
-    let w = workload_by_name("qsort").unwrap();
-    let cfg = CpuConfig::default().with_phys_regs(128);
-    let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-    let golden =
-        run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
-            .unwrap();
-    let faults = initial_fault_list(&cfg, Structure::RegisterFile, golden.result.cycles, 500, 17);
+    let session = session_for("qsort", &CpuConfig::default().with_phys_regs(128));
+    let ace = session.ace_profile().unwrap();
+    let faults = session
+        .fault_list(Structure::RegisterFile, 500, 17)
+        .unwrap();
     let merlin = reduce_fault_list(&faults, ace.structure(Structure::RegisterFile));
     let relyzer = relyzer_reduce(&faults, ace.structure(Structure::RegisterFile));
     // Both prune the identical ACE-masked set.
@@ -109,7 +89,10 @@ fn relyzer_heuristic_produces_fewer_but_coarser_groups() {
     // Both reduce the list substantially.
     assert!(merlin.injections() * 5 < faults.len());
     assert!(relyzer.injections() * 5 < faults.len());
-    let _ = golden;
+    // And the Relyzer campaign accounts for every fault.
+    let (classification, injections) = session.relyzer(&relyzer).unwrap();
+    assert_eq!(classification.total() as usize, faults.len());
+    assert_eq!(injections, relyzer.injections());
 }
 
 #[test]
@@ -123,20 +106,17 @@ fn checkpointed_campaigns_match_from_scratch_byte_for_byte() {
         ("sha", Structure::StoreQueue),
         ("qsort", Structure::L1DCache),
     ] {
-        let w = workload_by_name(name).unwrap();
         let cfg = CpuConfig::default().with_phys_regs(64).with_store_queue(16);
-        let golden =
-            run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
-                .unwrap();
-        let store = &golden.checkpoints.as_ref().unwrap().store;
+        let session = session_for(name, &cfg);
+        session.golden().unwrap();
+        let store_len = session.golden_checkpoints().unwrap().store.len();
         assert!(
-            store.len() >= 8,
-            "{name}: expected ≥ 8 checkpoints, got {}",
-            store.len()
+            store_len >= 8,
+            "{name}: expected ≥ 8 checkpoints, got {store_len}"
         );
-        let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 200, 41);
-        let checkpointed = run_campaign(&w.program, &cfg, &golden, &faults, 4);
-        let scratch = run_campaign_from_scratch(&w.program, &cfg, &golden, &faults, 4);
+        let faults = session.fault_list(structure, 200, 41).unwrap();
+        let checkpointed = session.campaign(&faults).unwrap();
+        let scratch = session.campaign_from_scratch(&faults).unwrap();
         assert_eq!(
             checkpointed.outcomes, scratch.outcomes,
             "{name}/{structure}: engine diverged from the from-scratch path"
@@ -155,26 +135,43 @@ fn masked_dominates_for_large_structures_and_every_class_is_reachable() {
         ("caes", Structure::StoreQueue),
         ("susan_s", Structure::L1DCache),
     ] {
-        let w = workload_by_name(name).unwrap();
-        let cfg = CpuConfig::default();
-        let ace = AceAnalysis::run(&w.program, &cfg, 100_000_000).unwrap();
-        let golden =
-            run_golden_checkpointed(&w.program, &cfg, 100_000_000, &CheckpointPolicy::default())
-                .unwrap();
-        let faults = initial_fault_list(&cfg, structure, golden.result.cycles, 250, 23);
-        let merlin = run_merlin_with_faults(
-            &w.program,
-            &cfg,
-            structure,
-            &ace,
-            &faults,
-            &golden,
-            &merlin_cfg(),
-        )
-        .unwrap();
+        let session = session_for(name, &CpuConfig::default());
+        let faults = session.fault_list(structure, 250, 23).unwrap();
+        let merlin = session.merlin_with_faults(structure, &faults).unwrap();
         totals += merlin.report.classification;
     }
     assert!(totals.percentage(FaultEffect::Masked) > 60.0);
     assert!(totals.sdc > 0, "no SDCs at all is implausible");
     assert_eq!(totals.total(), 750);
+}
+
+/// The API-redesign invariant: one session runs representative injection,
+/// the comprehensive baseline and the post-ACE baseline while simulating its
+/// golden run exactly once.  (Byte-identity against the pre-redesign
+/// free-function path is proven in `crates/core/tests/session_regression.rs`,
+/// next to the deprecated shims themselves.)
+#[test]
+fn session_builds_golden_once_across_all_phases() {
+    let w = workload_by_name("stringsearch").unwrap();
+    let cfg = CpuConfig::default().with_phys_regs(64).with_store_queue(16);
+    let structure = Structure::RegisterFile;
+
+    let session = Session::builder(&w.program, &cfg)
+        .checkpoints(CheckpointPolicy::default())
+        .max_cycles(100_000_000)
+        .threads(4)
+        .build()
+        .unwrap();
+    let faults = session.fault_list(structure, 300, 11).unwrap();
+    let merlin = session.merlin_with_faults(structure, &faults).unwrap();
+    let comprehensive = session.comprehensive(&faults).unwrap();
+    let post_ace = session.post_ace_baseline(&merlin.reduction).unwrap();
+
+    // The golden run was simulated exactly once across all three phases.
+    assert_eq!(session.golden_builds(), 1);
+    assert_eq!(comprehensive.classification.total() as usize, faults.len());
+    assert_eq!(
+        post_ace.classification.total() as usize,
+        merlin.report.post_ace_faults
+    );
 }

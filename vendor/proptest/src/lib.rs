@@ -2,9 +2,9 @@
 //!
 //! The workspace builds in environments with no crates.io access, so this
 //! crate re-implements the proptest API subset the workspace's property tests
-//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`, range
+//! use: the `Strategy` trait with `prop_map`/`prop_flat_map`/`boxed`, range
 //! and tuple strategies, `any::<T>()`, `Just`, `prop::sample::select`,
-//! `prop::collection::vec`, `prop::option::of`, the [`proptest!`] test macro
+//! `prop::collection::vec`, `prop::option::of`, the `proptest!` test macro
 //! with `#![proptest_config(...)]`, and the `prop_assert*` macros.
 //!
 //! Differences from the real proptest, by design:
