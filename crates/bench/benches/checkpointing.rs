@@ -83,16 +83,26 @@ fn checkpointing(c: &mut Criterion) {
             b.iter(|| p.session.campaign(&p.faults).unwrap())
         });
         let (scratch_s, ck_s, speedup) = record_speedup(&p);
-        let checkpoints = p.session.golden_checkpoints().unwrap().store.len();
+        let store = &p.session.golden_checkpoints().unwrap().store;
+        let checkpoints = store.len();
+        // Store size with delta memory snapshots vs what the dense
+        // representation would occupy — the second axis (besides speedup)
+        // the engine is tracked on.
+        let footprint = store.footprint_bytes();
+        let dense_footprint = store.dense_footprint_bytes();
+        let shrink = dense_footprint as f64 / footprint.max(1) as f64;
         println!(
             "checkpointing/{name}: {FAULTS} faults, {checkpoints} checkpoints, \
-             from-scratch {scratch_s:.3}s vs checkpointed {ck_s:.3}s -> {speedup:.2}x"
+             from-scratch {scratch_s:.3}s vs checkpointed {ck_s:.3}s -> {speedup:.2}x, \
+             store {footprint} B delta vs {dense_footprint} B dense -> {shrink:.2}x smaller"
         );
         json_rows.push(format!(
             "  {{\"workload\": \"{name}\", \"faults\": {FAULTS}, \
              \"golden_cycles\": {}, \"checkpoints\": {checkpoints}, \
              \"from_scratch_s\": {scratch_s:.6}, \"checkpointed_s\": {ck_s:.6}, \
-             \"speedup\": {speedup:.3}}}",
+             \"speedup\": {speedup:.3}, \"footprint_bytes\": {footprint}, \
+             \"dense_footprint_bytes\": {dense_footprint}, \
+             \"footprint_shrink\": {shrink:.3}}}",
             p.session.golden().unwrap().result.cycles
         ));
     }

@@ -7,7 +7,7 @@
 //! baseline configuration) but is not a fault target.
 
 use crate::config::CacheConfig;
-use crate::memory::{MemError, Memory};
+use crate::memory::{MemError, Memory, MemoryDelta};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::MemSize;
 use serde::{Deserialize, Serialize};
@@ -348,18 +348,31 @@ impl CacheSnapshot {
 }
 
 /// The full memory-hierarchy state captured by [`MemSystem::snapshot`]:
-/// sparse cache images plus a dense copy of the backing memory.
+/// sparse cache images plus a chunk-level [`MemoryDelta`] of the backing
+/// memory against the pristine program image (see
+/// [`Memory::delta_snapshot`]).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemSystemSnapshot {
     l1d: CacheSnapshot,
     l2: CacheSnapshot,
-    mem: Memory,
+    mem: MemoryDelta,
 }
 
 impl MemSystemSnapshot {
     /// Approximate heap footprint of the snapshot in bytes.
     pub fn footprint_bytes(&self) -> usize {
-        self.l1d.footprint_bytes() + self.l2.footprint_bytes() + self.mem.len() as usize
+        self.l1d.footprint_bytes() + self.l2.footprint_bytes() + self.mem.footprint_bytes()
+    }
+
+    /// Bytes the memory delta occupies (the memory part of
+    /// [`Self::footprint_bytes`]).
+    pub fn memory_delta_bytes(&self) -> usize {
+        self.mem.footprint_bytes()
+    }
+
+    /// Bytes a dense memory image of the same snapshot would occupy.
+    pub fn memory_dense_bytes(&self) -> usize {
+        self.mem.dense_len()
     }
 }
 
@@ -611,29 +624,31 @@ impl MemSystem {
         Ok(v)
     }
 
-    /// Captures the full state of the memory hierarchy (both caches plus the
-    /// backing memory).
+    /// Captures the full state of the memory hierarchy: sparse cache images
+    /// plus a chunk-level delta of the backing memory against the pristine
+    /// program image.
     pub fn snapshot(&self) -> MemSystemSnapshot {
         MemSystemSnapshot {
             l1d: self.l1d.snapshot(),
             l2: self.l2.snapshot(),
-            mem: self.mem.clone(),
+            mem: self.mem.delta_snapshot(),
         }
     }
 
     /// Restores a previously captured snapshot in place, reusing existing
-    /// buffers where possible.
+    /// buffers where possible; the memory delta is resolved against this
+    /// system's own pristine image.
     pub fn restore_snapshot(&mut self, snap: &MemSystemSnapshot) {
         self.l1d.restore_snapshot(&snap.l1d);
         self.l2.restore_snapshot(&snap.l2);
-        self.mem.clone_from(&snap.mem);
+        self.mem.restore_delta(&snap.mem);
     }
 
     /// Whether the hierarchy's state is bit-identical to the snapshot.
     pub fn matches_snapshot(&self, snap: &MemSystemSnapshot) -> bool {
         self.l1d.matches_snapshot(&snap.l1d)
             && self.l2.matches_snapshot(&snap.l2)
-            && self.mem == snap.mem
+            && self.mem.matches_delta(&snap.mem)
     }
 
     fn peek_byte(&mut self, addr: u64) -> u8 {

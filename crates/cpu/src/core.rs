@@ -276,6 +276,11 @@ impl Cpu {
                 .load_segment(seg.addr, &seg.bytes)
                 .expect("program data segment must fit in memory");
         }
+        // Seal the loaded image as the pristine baseline: snapshots encode
+        // memory as a delta against it, and any core built from the same
+        // (program, config) pair — campaign workers included — shares a
+        // byte-identical image to resolve those deltas against.
+        memory.seal_pristine();
         let mem = MemSystem::new(cfg.l1d, cfg.l2, memory, cfg.mem_latency);
         let entry = program.entry;
         Ok(Cpu {
@@ -1216,9 +1221,13 @@ impl Cpu {
 ///
 /// The snapshot does not include the program or the configuration — those
 /// are immutable over a run and shared (via `Arc`) between the cores of a
-/// campaign.  Cache contents are stored sparsely (valid lines only) so a
-/// snapshot's footprint tracks the data the workload actually touched, not
-/// the configured cache capacity.
+/// campaign.  Cache contents are stored sparsely (valid lines only) and the
+/// backing memory as a chunk-level delta against the pristine program image
+/// (see [`crate::MemoryDelta`]), so a snapshot's footprint tracks the data
+/// the workload actually touched, not the configured cache or memory
+/// capacity.  Restoring resolves the delta against the pristine image the
+/// restoring core holds, which is byte-identical for every core built from
+/// the same (program, configuration) pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CpuState {
     cycle: u64,
@@ -1262,13 +1271,25 @@ impl CpuState {
     }
 
     /// Approximate heap footprint of the snapshot in bytes (dominated by the
-    /// memory image and the touched cache lines).
+    /// memory delta and the touched cache lines).
     pub fn footprint_bytes(&self) -> usize {
         self.mem.footprint_bytes()
             + self.prf.len() * 9
             + self.output.len() * 8
             + self.rob.len() * std::mem::size_of::<RobEntry>()
             + self.fetch_buffer.len() * std::mem::size_of::<FetchedUop>()
+    }
+
+    /// Bytes the chunk-level memory delta occupies within
+    /// [`Self::footprint_bytes`].
+    pub fn memory_delta_bytes(&self) -> usize {
+        self.mem.memory_delta_bytes()
+    }
+
+    /// Bytes a dense memory image of this snapshot would occupy instead (the
+    /// pre-delta representation; kept for footprint accounting).
+    pub fn memory_dense_bytes(&self) -> usize {
+        self.mem.memory_dense_bytes()
     }
 }
 

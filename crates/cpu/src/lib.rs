@@ -67,7 +67,7 @@ pub use core::{AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, Ru
 pub use fault::{FaultSpec, FaultSpecError};
 pub use interp::{interpret, InterpExit, InterpResult};
 pub use lsq::{LoadQueue, SqSlot, StoreQueue};
-pub use memory::{MemError, Memory};
+pub use memory::{MemError, Memory, MemoryDelta, CHUNK_BYTES};
 pub use predictor::{BranchPredictor, Btb};
 pub use probe::{NullProbe, Probe, ReadInfo, RecordingProbe, Structure, WRITEBACK_RIP};
 pub use regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};

@@ -1,8 +1,33 @@
-//! Flat backing memory behind the cache hierarchy.
+//! Flat backing memory behind the cache hierarchy, with chunk-level dirty
+//! tracking for delta snapshots.
+//!
+//! Checkpoint stores snapshot the backing memory once per checkpoint, and a
+//! workload typically writes only a small fraction of its data region.  The
+//! memory therefore tracks which fixed-size chunks ([`CHUNK_BYTES`] each)
+//! have been written since the *pristine* program image was sealed
+//! ([`Memory::seal_pristine`], called once by `Cpu::new` after the data
+//! segments are loaded), and snapshots capture only those chunks as a
+//! [`MemoryDelta`].  Restoring resolves the delta against the pristine image
+//! the core already holds: untouched chunks revert to the program image,
+//! dirty chunks are copied from the delta — byte-exact, with no dense copy
+//! anywhere.
 
+use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{MemSize, DATA_BASE};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
+
+/// Granularity of dirty tracking and of [`MemoryDelta`] chunks.
+///
+/// Small enough that one written word does not drag in a whole page, large
+/// enough that the per-chunk bookkeeping (4-byte index + bitset bit) stays
+/// negligible against the chunk payload.
+pub const CHUNK_BYTES: usize = 256;
+
+/// The implicit pristine image of an unsealed memory (see
+/// [`Memory::seal_pristine`]), one chunk at a time.
+static ZERO_CHUNK: [u8; CHUNK_BYTES] = [0; CHUNK_BYTES];
 
 /// Memory access faults detected by the memory system.
 ///
@@ -44,33 +69,91 @@ impl fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// Byte-addressable backing memory covering `[DATA_BASE, DATA_BASE + len)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Besides the live bytes, the memory carries the *pristine* program image
+/// (shared via `Arc` by every clone) and a per-chunk dirty bitset recording
+/// which [`CHUNK_BYTES`]-sized chunks have been written since the image was
+/// sealed — the machinery behind [`Memory::delta_snapshot`].  Equality
+/// compares the live bytes only; the dirty bookkeeping is an encoding of
+/// *how* the bytes diverge from the image, not part of the architectural
+/// state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Memory {
     bytes: Vec<u8>,
+    /// The sealed program image (zeros until [`Memory::seal_pristine`]).
+    pristine: Arc<Vec<u8>>,
+    /// One bit per chunk: set when the chunk may differ from `pristine`.
+    dirty: Vec<u64>,
 }
 
-impl merlin_isa::binio::BinCode for Memory {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.bytes.len().encode(out);
-        out.extend_from_slice(&self.bytes);
-    }
-    fn decode(
-        r: &mut merlin_isa::binio::ByteReader<'_>,
-    ) -> Result<Self, merlin_isa::binio::DecodeError> {
-        let n = usize::decode(r)?;
-        Ok(Memory {
-            bytes: r.take(n)?.to_vec(),
-        })
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
     }
 }
+
+impl Eq for Memory {}
 
 impl Memory {
     /// Creates a zero-initialised memory of `len` bytes starting at
-    /// [`DATA_BASE`].
+    /// [`DATA_BASE`].  Until [`Memory::seal_pristine`] is called the
+    /// pristine image is implicitly all zeros (no allocation is paid for
+    /// consumers, like the reference interpreter, that never snapshot).
     pub fn new(len: u64) -> Self {
+        let words = (len as usize).div_ceil(CHUNK_BYTES).div_ceil(64);
         Memory {
             bytes: vec![0; len as usize],
+            pristine: Arc::new(Vec::new()),
+            dirty: vec![0; words],
         }
+    }
+
+    /// Number of chunks the memory is divided into for dirty tracking.
+    fn chunk_count(&self) -> usize {
+        self.bytes.len().div_ceil(CHUNK_BYTES)
+    }
+
+    /// Byte range of chunk `idx` (the last chunk may be short).
+    fn chunk_range(&self, idx: usize) -> std::ops::Range<usize> {
+        let start = idx * CHUNK_BYTES;
+        start..(start + CHUNK_BYTES).min(self.bytes.len())
+    }
+
+    fn is_dirty(&self, chunk: usize) -> bool {
+        self.dirty[chunk / 64] & (1u64 << (chunk % 64)) != 0
+    }
+
+    /// The pristine bytes of `range` (implicitly zeros before
+    /// [`Memory::seal_pristine`]).
+    fn pristine_slice(&self, range: std::ops::Range<usize>) -> &[u8] {
+        if self.pristine.is_empty() && !self.bytes.is_empty() {
+            &ZERO_CHUNK[..range.len()]
+        } else {
+            &self.pristine[range]
+        }
+    }
+
+    /// Marks every chunk overlapping `[off, off+len)` (byte offsets into the
+    /// data region) as dirty.
+    fn mark_dirty(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / CHUNK_BYTES;
+        let last = (off + len - 1) / CHUNK_BYTES;
+        for c in first..=last {
+            self.dirty[c / 64] |= 1u64 << (c % 64);
+        }
+    }
+
+    /// Seals the current contents as the pristine image: subsequent
+    /// [`Memory::delta_snapshot`]s encode only chunks written after this
+    /// point.  `Cpu::new` calls this once, after loading the program's data
+    /// segments; cores running the same program share byte-identical images,
+    /// so a delta taken on one core restores exactly on another.
+    pub fn seal_pristine(&mut self) {
+        self.pristine = Arc::new(self.bytes.clone());
+        self.dirty.fill(0);
     }
 
     /// Total size in bytes.
@@ -126,6 +209,7 @@ impl Memory {
         for i in 0..n {
             self.bytes[off + i] = ((value >> (8 * i)) & 0xFF) as u8;
         }
+        self.mark_dirty(off, n);
         Ok(())
     }
 
@@ -138,6 +222,7 @@ impl Memory {
         self.check_range(addr, data.len() as u64, false)?;
         let off = (addr - DATA_BASE) as usize;
         self.bytes[off..off + data.len()].copy_from_slice(data);
+        self.mark_dirty(off, data.len());
         Ok(())
     }
 
@@ -160,12 +245,202 @@ impl Memory {
     /// Writes an entire cache line back; bytes outside the mapped region are
     /// silently dropped (mirrors `read_line`).
     pub fn write_line(&mut self, addr: u64, data: &[u8]) {
+        let mut first: Option<usize> = None;
+        let mut last = 0usize;
         for (i, &b) in data.iter().enumerate() {
             let a = addr + i as u64;
             if a >= DATA_BASE && a < DATA_BASE + self.len() {
-                self.bytes[(a - DATA_BASE) as usize] = b;
+                let off = (a - DATA_BASE) as usize;
+                self.bytes[off] = b;
+                first.get_or_insert(off);
+                last = off;
             }
         }
+        if let Some(first) = first {
+            self.mark_dirty(first, last - first + 1);
+        }
+    }
+
+    // ----- delta snapshots -------------------------------------------------
+
+    /// Captures the memory as a delta against the pristine image: every
+    /// chunk whose dirty bit is set, with its live bytes.  Footprint is
+    /// proportional to the data the workload has written, not to the memory
+    /// size.
+    pub fn delta_snapshot(&self) -> MemoryDelta {
+        let mut chunks = Vec::new();
+        for c in 0..self.chunk_count() {
+            if self.is_dirty(c) {
+                chunks.push(DeltaChunk {
+                    index: c as u32,
+                    data: self.bytes[self.chunk_range(c)].into(),
+                });
+            }
+        }
+        MemoryDelta {
+            len: self.len(),
+            chunks,
+        }
+    }
+
+    /// Restores the memory to the state `delta` captured: chunks absent from
+    /// the delta revert to the pristine image, chunks present are copied from
+    /// it, and the dirty bitset becomes exactly the delta's chunk set — so a
+    /// restored memory is indistinguishable (bytes and future snapshots) from
+    /// the one the delta was taken on.
+    ///
+    /// The delta must come from a memory with the same length and pristine
+    /// image (same program, same configuration); the length is checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` was captured from a memory of a different size.
+    pub fn restore_delta(&mut self, delta: &MemoryDelta) {
+        assert_eq!(
+            delta.len,
+            self.len(),
+            "delta snapshot from a different memory size"
+        );
+        // Revert everything currently dirty, then lay the delta on top.
+        for c in 0..self.chunk_count() {
+            if self.is_dirty(c) {
+                let range = self.chunk_range(c);
+                let pristine = if self.pristine.is_empty() {
+                    // Unsealed: the pristine image is implicitly zeros.
+                    &ZERO_CHUNK[..range.len()]
+                } else {
+                    &self.pristine[range.clone()]
+                };
+                self.bytes[range].copy_from_slice(pristine);
+            }
+        }
+        self.dirty.fill(0);
+        for chunk in &delta.chunks {
+            let c = chunk.index as usize;
+            let range = self.chunk_range(c);
+            self.bytes[range].copy_from_slice(&chunk.data);
+            self.dirty[c / 64] |= 1u64 << (c % 64);
+        }
+    }
+
+    /// Whether the live bytes are identical to the state `delta` captured.
+    ///
+    /// Chunks that are clean on both sides equal the shared pristine image by
+    /// construction, so only the union of the two dirty sets is compared —
+    /// the check costs O(touched data), not O(memory size).
+    pub fn matches_delta(&self, delta: &MemoryDelta) -> bool {
+        if delta.len != self.len() {
+            return false;
+        }
+        let mut in_delta = delta.chunks.iter().peekable();
+        for c in 0..self.chunk_count() {
+            let chunk = match in_delta.peek() {
+                Some(d) if d.index as usize == c => in_delta.next(),
+                _ => None,
+            };
+            match chunk {
+                Some(d) => {
+                    if self.bytes[self.chunk_range(c)] != *d.data {
+                        return false;
+                    }
+                }
+                None => {
+                    if self.is_dirty(c) {
+                        let range = self.chunk_range(c);
+                        if self.bytes[range.clone()] != *self.pristine_slice(range) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// One dirty chunk captured by [`Memory::delta_snapshot`]: its index and its
+/// live bytes (`CHUNK_BYTES` long except for a short final chunk).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct DeltaChunk {
+    index: u32,
+    data: Box<[u8]>,
+}
+
+/// A chunk-level delta of the backing memory against the pristine program
+/// image, produced by [`Memory::delta_snapshot`] and resolved against a
+/// core's own pristine image by [`Memory::restore_delta`].
+///
+/// Chunk indices are strictly ascending and every chunk carries exactly the
+/// bytes of its range; both invariants are validated on decode so a corrupt
+/// `.golden` file surfaces as a [`DecodeError`], not a bogus restore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryDelta {
+    len: u64,
+    chunks: Vec<DeltaChunk>,
+}
+
+impl MemoryDelta {
+    /// Total size of the memory the delta was captured from, in bytes (the
+    /// size a dense snapshot of the same memory would occupy).
+    pub fn dense_len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Number of dirty chunks captured.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Approximate heap footprint of the delta in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| c.data.len() + std::mem::size_of::<DeltaChunk>())
+            .sum()
+    }
+}
+
+impl BinCode for MemoryDelta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len.encode(out);
+        self.chunks.len().encode(out);
+        for c in &self.chunks {
+            c.index.encode(out);
+            out.extend_from_slice(&c.data);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)?;
+        let n = usize::decode(r)?;
+        let chunk_total = (len as usize).div_ceil(CHUNK_BYTES);
+        if n > chunk_total {
+            return Err(DecodeError::Invalid("more delta chunks than memory has"));
+        }
+        // Every chunk consumes at least its 4-byte index, so `remaining`
+        // bounds the plausible count and a corrupt prefix (huge `len` and
+        // `n`) cannot trigger a huge up-front allocation.
+        if n > r.remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let mut chunks = Vec::with_capacity(n);
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let index = u32::decode(r)?;
+            if (index as usize) >= chunk_total {
+                return Err(DecodeError::Invalid("delta chunk index out of range"));
+            }
+            if prev.is_some_and(|p| index <= p) {
+                return Err(DecodeError::Invalid("delta chunk indices not ascending"));
+            }
+            prev = Some(index);
+            let start = index as usize * CHUNK_BYTES;
+            let size = (len as usize - start).min(CHUNK_BYTES);
+            chunks.push(DeltaChunk {
+                index,
+                data: r.take(size)?.into(),
+            });
+        }
+        Ok(MemoryDelta { len, chunks })
     }
 }
 
@@ -239,6 +514,92 @@ mod tests {
         assert!(line.iter().all(|&b| b == 0));
         m.write_line(DATA_BASE + 16, &[0xAA; 64]);
         assert_eq!(m.read(DATA_BASE + 31, MemSize::B1).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn delta_tracks_only_written_chunks() {
+        let mut m = Memory::new(16 * CHUNK_BYTES as u64);
+        m.load_segment(DATA_BASE, &[1, 2, 3, 4]).unwrap();
+        m.seal_pristine();
+        // Nothing written since seal: the delta is empty.
+        let d = m.delta_snapshot();
+        assert_eq!(d.chunk_count(), 0);
+        assert_eq!(d.dense_len(), 16 * CHUNK_BYTES);
+        assert_eq!(d.footprint_bytes(), 0);
+        // One store dirties exactly one chunk; a line write two more.
+        m.write(DATA_BASE + 3 * CHUNK_BYTES as u64, 0xAB, MemSize::B8)
+            .unwrap();
+        m.write_line(DATA_BASE + 8 * CHUNK_BYTES as u64 - 32, &[0xCD; 64]);
+        let d = m.delta_snapshot();
+        assert_eq!(d.chunk_count(), 3);
+        assert!(d.footprint_bytes() < 16 * CHUNK_BYTES);
+    }
+
+    #[test]
+    fn delta_restore_is_exact() {
+        let mut m = Memory::new(4 * CHUNK_BYTES as u64 + 100); // short last chunk
+        m.load_segment(DATA_BASE + 10, &[9; 40]).unwrap();
+        m.seal_pristine();
+        m.write(DATA_BASE, 0x1111, MemSize::B8).unwrap();
+        m.write(DATA_BASE + 4 * CHUNK_BYTES as u64 + 90, 0x22, MemSize::B1)
+            .unwrap();
+        let snap_bytes = m.clone();
+        let d = m.delta_snapshot();
+        assert!(m.matches_delta(&d));
+        // Diverge (including a chunk the delta does not carry), then restore.
+        m.write(DATA_BASE + 2 * CHUNK_BYTES as u64, 0x3333, MemSize::B4)
+            .unwrap();
+        m.write(DATA_BASE, 0x4444, MemSize::B8).unwrap();
+        assert!(!m.matches_delta(&d));
+        m.restore_delta(&d);
+        assert_eq!(m, snap_bytes);
+        assert!(m.matches_delta(&d));
+        // The restored memory's own delta equals the original.
+        assert_eq!(m.delta_snapshot(), d);
+        // A fresh memory with the same pristine image restores identically.
+        let mut other = Memory::new(4 * CHUNK_BYTES as u64 + 100);
+        other.load_segment(DATA_BASE + 10, &[9; 40]).unwrap();
+        other.seal_pristine();
+        other.restore_delta(&d);
+        assert_eq!(other, snap_bytes);
+    }
+
+    #[test]
+    fn delta_binary_roundtrip_and_validation() {
+        use merlin_isa::binio::{decode_from_slice, encode_to_vec};
+        let mut m = Memory::new(3 * CHUNK_BYTES as u64 + 17);
+        m.seal_pristine();
+        m.write(DATA_BASE + 5, 0xDEAD, MemSize::B8).unwrap();
+        m.write(DATA_BASE + 3 * CHUNK_BYTES as u64 + 9, 0xBE, MemSize::B1)
+            .unwrap();
+        let d = m.delta_snapshot();
+        let bytes = encode_to_vec(&d);
+        let back: MemoryDelta = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, d);
+        // Truncated input is an error, not a bogus delta.
+        assert!(decode_from_slice::<MemoryDelta>(&bytes[..bytes.len() - 1]).is_err());
+        // A corrupt prefix claiming a huge memory and chunk count errors out
+        // before any allocation proportional to the claimed count.
+        let mut bad = Vec::new();
+        u64::MAX.encode(&mut bad);
+        (1u64 << 50).encode(&mut bad);
+        assert!(decode_from_slice::<MemoryDelta>(&bad).is_err());
+        // Chunk index out of range is rejected.
+        let mut bad = Vec::new();
+        (CHUNK_BYTES as u64).encode(&mut bad); // one-chunk memory
+        1usize.encode(&mut bad);
+        7u32.encode(&mut bad); // index 7 of 1
+        bad.extend_from_slice(&[0; CHUNK_BYTES]);
+        assert!(decode_from_slice::<MemoryDelta>(&bad).is_err());
+        // Non-ascending indices are rejected.
+        let mut bad = Vec::new();
+        (4 * CHUNK_BYTES as u64).encode(&mut bad);
+        2usize.encode(&mut bad);
+        for _ in 0..2 {
+            1u32.encode(&mut bad);
+            bad.extend_from_slice(&[0; CHUNK_BYTES]);
+        }
+        assert!(decode_from_slice::<MemoryDelta>(&bad).is_err());
     }
 
     #[test]

@@ -8,6 +8,26 @@
 //! at or before its injection cycle and simulate only the suffix, turning
 //! per-fault cost from O(program length) into O(checkpoint interval +
 //! post-injection length).
+//!
+//! # Snapshot representation and store footprint
+//!
+//! Each [`CpuState`] stores cache contents sparsely (valid lines only) and
+//! the backing memory as a chunk-level delta against the pristine program
+//! image ([`crate::MemoryDelta`], [`crate::CHUNK_BYTES`]-sized chunks): only
+//! chunks the workload has written since program load are carried, and
+//! restore resolves the delta against the pristine image the restoring core
+//! already holds.  A store's in-memory footprint — and the size of the
+//! `.golden` files the session cache persists under `MERLIN_CHECKPOINT_DIR`
+//! — therefore scales with the data each checkpoint has actually touched
+//! (typically a few KB per snapshot) instead of with the configured memory
+//! size (formerly a dense ~64 KB+ image per snapshot, ~1 MB per persisted
+//! store).  [`CheckpointStore::footprint_bytes`] reports the delta-based
+//! footprint; [`CheckpointStore::dense_footprint_bytes`] reports what the
+//! dense representation would have occupied, so the saving is measurable.
+//!
+//! Both instrumented runs snapshot unconditionally at entry, so a store is
+//! never empty and always holds a snapshot at or before any later cycle of
+//! the run that built it (the cycle-0 reset state when the core is fresh).
 
 use crate::core::{Cpu, CpuState, RunResult};
 use crate::probe::Probe;
@@ -72,9 +92,10 @@ impl CheckpointPolicy {
     }
 }
 
-/// Checkpoints of one golden run, cycle-ascending, always starting with the
-/// cycle-0 (reset) state so every injection cycle has a checkpoint at or
-/// before it.
+/// Checkpoints of one golden run, cycle-ascending and never empty: the
+/// instrumented runs snapshot unconditionally at entry, so a store built on
+/// a fresh core always starts with the cycle-0 (reset) state and every
+/// injection cycle has a checkpoint at or before it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointStore {
     interval: u64,
@@ -118,9 +139,34 @@ impl CheckpointStore {
         self.checkpoints.iter().map(|s| s.cycle())
     }
 
-    /// Approximate heap footprint of the whole store in bytes.
+    /// The checkpoints themselves, cycle-ascending (used by consumers that
+    /// validate a decoded store against their simulation context).
+    pub fn snapshots(&self) -> impl Iterator<Item = &CpuState> {
+        self.checkpoints.iter()
+    }
+
+    /// `true` when the store begins with the cycle-0 (reset) snapshot — the
+    /// precondition for serving *any* injection cycle of a campaign.  Holds
+    /// for every store built on a fresh core; a store built on a mid-run
+    /// core (or a hand-crafted decoded one) starts later.
+    pub fn starts_at_reset(&self) -> bool {
+        self.checkpoints.first().is_some_and(|s| s.cycle() == 0)
+    }
+
+    /// Approximate heap footprint of the whole store in bytes (memory held
+    /// as chunk-level deltas).
     pub fn footprint_bytes(&self) -> usize {
         self.checkpoints.iter().map(|s| s.footprint_bytes()).sum()
+    }
+
+    /// What [`Self::footprint_bytes`] would be with each snapshot's memory
+    /// stored densely instead of as a delta — the pre-delta representation,
+    /// kept so benchmarks can report the size win.
+    pub fn dense_footprint_bytes(&self) -> usize {
+        self.checkpoints
+            .iter()
+            .map(|s| s.footprint_bytes() - s.memory_delta_bytes() + s.memory_dense_bytes())
+            .sum()
     }
 }
 
@@ -151,11 +197,13 @@ impl BinCode for CheckpointStore {
         if interval == 0 {
             return Err(DecodeError::Invalid("checkpoint interval"));
         }
+        // Accept exactly what `encode` can produce: any cycle-ascending
+        // checkpoint list, including an empty one and one starting past
+        // cycle 0 (a store built on a mid-run core).  Consumers that need
+        // the cycle-0 snapshot check `starts_at_reset` instead of relying
+        // on decode-time rejection — a decode stricter than encode turned
+        // validly saved stores into silent, permanent cache misses.
         let checkpoints = Vec::<CpuState>::decode(r)?;
-        let mut cycles = checkpoints.iter().map(|s| s.cycle());
-        if checkpoints.is_empty() || cycles.next() != Some(0) {
-            return Err(DecodeError::Invalid("store must start at cycle 0"));
-        }
         let ascending = checkpoints.windows(2).all(|w| w[0].cycle() < w[1].cycle());
         if !ascending {
             return Err(DecodeError::Invalid("store cycles not ascending"));
@@ -171,6 +219,10 @@ impl Cpu {
     /// Runs like [`Cpu::run`] while snapshotting the state every `interval`
     /// cycles (including cycle 0), returning the run result together with the
     /// populated [`CheckpointStore`].
+    /// Regardless of `max_cycles` and of the core's current cycle, the state
+    /// at entry is always snapshotted, so the returned store is never empty
+    /// and can serve any injection cycle from the entry cycle on (cycle 0 on
+    /// a fresh core) — the invariant the campaign engine restores against.
     pub fn run_with_checkpoints(
         &mut self,
         max_cycles: u64,
@@ -178,9 +230,10 @@ impl Cpu {
         interval: u64,
     ) -> (RunResult, CheckpointStore) {
         let interval = interval.max(1);
-        let mut checkpoints = Vec::new();
+        let entry_cycle = self.cycle();
+        let mut checkpoints = vec![self.snapshot()];
         while !self.is_finished() && self.cycle() < max_cycles {
-            if self.cycle().is_multiple_of(interval) {
+            if self.cycle() > entry_cycle && self.cycle().is_multiple_of(interval) {
                 checkpoints.push(self.snapshot());
             }
             self.step(probe);
@@ -209,6 +262,10 @@ impl Cpu {
     /// This replaces the two-pass construction (an uninstrumented pre-pass
     /// sizing the interval, then an instrumented re-run): the entire golden
     /// run is simulated exactly once.
+    ///
+    /// Like [`Cpu::run_with_checkpoints`], the state at entry is snapshotted
+    /// unconditionally and survives every thinning round, so the store is
+    /// never empty.
     pub fn run_with_adaptive_checkpoints(
         &mut self,
         max_cycles: u64,
@@ -218,13 +275,16 @@ impl Cpu {
     ) -> (RunResult, CheckpointStore) {
         let mut interval = min_interval.max(1);
         let target = target.max(1) as usize;
-        let mut checkpoints: Vec<CpuState> = Vec::new();
+        let entry_cycle = self.cycle();
+        let mut checkpoints = vec![self.snapshot()];
         while !self.is_finished() && self.cycle() < max_cycles {
-            if self.cycle().is_multiple_of(interval) {
+            if self.cycle() > entry_cycle && self.cycle().is_multiple_of(interval) {
                 checkpoints.push(self.snapshot());
                 while checkpoints.len() > 2 * target {
                     interval *= 2;
-                    checkpoints.retain(|s| s.cycle().is_multiple_of(interval));
+                    checkpoints.retain(|s| {
+                        s.cycle() == entry_cycle || s.cycle().is_multiple_of(interval)
+                    });
                 }
             }
             self.step(probe);
@@ -377,6 +437,90 @@ mod tests {
         let mut bytes = encode_to_vec(&store);
         bytes[..8].fill(0);
         assert!(decode_from_slice::<CheckpointStore>(&bytes).is_err());
+    }
+
+    #[test]
+    fn stores_are_never_empty_even_in_degenerate_calls() {
+        // Regression: these calls used to build a store with no cycle-0
+        // snapshot (empty, or starting mid-run off the interval grid),
+        // which later panicked the campaign worker's restore lookup.
+        let program = looped_program();
+
+        // Zero cycle budget on a fresh core.
+        let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let (_, store) = cpu.run_with_checkpoints(0, &mut NullProbe, 10);
+        assert_eq!(store.len(), 1);
+        assert!(store.starts_at_reset());
+        assert_eq!(store.latest_at_or_before(u64::MAX).unwrap().cycle(), 0);
+        let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let (_, store) = cpu.run_with_adaptive_checkpoints(0, &mut NullProbe, 4, 4);
+        assert!(store.starts_at_reset());
+
+        // A core that already ran 17 cycles (17 is off any power-of-two
+        // interval grid): the entry state is still snapshotted and survives
+        // adaptive thinning.
+        for run_adaptive in [false, true] {
+            let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+            for _ in 0..17 {
+                cpu.step(&mut NullProbe);
+            }
+            let (result, store) = if run_adaptive {
+                cpu.run_with_adaptive_checkpoints(100_000, &mut NullProbe, 2, 4)
+            } else {
+                cpu.run_with_checkpoints(100_000, &mut NullProbe, 10)
+            };
+            assert!(result.exit.is_halted());
+            assert!(!store.is_empty());
+            assert!(!store.starts_at_reset());
+            assert_eq!(store.cycles().next(), Some(17));
+            assert_eq!(store.latest_at_or_before(17).unwrap().cycle(), 17);
+            assert!(store.latest_at_or_before(16).is_none());
+            let cycles: Vec<u64> = store.cycles().collect();
+            assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_and_mid_run_stores_roundtrip() {
+        use merlin_isa::binio::{decode_from_slice, encode_to_vec};
+        // Regression: encode used to accept what decode rejected, so a
+        // saved store could become a silent, permanent cache miss.  Both
+        // now agree on every encodable store.
+        let empty = CheckpointStore {
+            interval: 8,
+            checkpoints: Vec::new(),
+        };
+        let back: CheckpointStore = decode_from_slice(&encode_to_vec(&empty)).unwrap();
+        assert_eq!(back, empty);
+        assert!(back.is_empty());
+        assert!(!back.starts_at_reset());
+
+        // A store starting past cycle 0 round-trips too.
+        let program = looped_program();
+        let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+        for _ in 0..17 {
+            cpu.step(&mut NullProbe);
+        }
+        let (_, store) = cpu.run_with_checkpoints(100_000, &mut NullProbe, 10);
+        let back: CheckpointStore = decode_from_slice(&encode_to_vec(&store)).unwrap();
+        assert_eq!(back, store);
+        assert!(!back.starts_at_reset());
+    }
+
+    #[test]
+    fn delta_snapshots_shrink_store_footprint() {
+        let program = looped_program();
+        let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+        let (result, store) = cpu.run_with_checkpoints(100_000, &mut NullProbe, 10);
+        assert!(result.exit.is_halted());
+        let delta = store.footprint_bytes();
+        let dense = store.dense_footprint_bytes();
+        // The looped program touches one 64-byte buffer out of a 64 KB+
+        // memory; the delta representation must be far below dense.
+        assert!(
+            delta * 2 <= dense,
+            "delta {delta} not at least 2x below dense {dense}"
+        );
     }
 
     #[test]

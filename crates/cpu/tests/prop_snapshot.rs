@@ -122,6 +122,46 @@ proptest! {
         prop_assert_eq!(&fresh_replay, &expected);
     }
 
+    /// The delta-encoded snapshot (memory as dirty chunks against the
+    /// pristine image, including a trip through the binary codec that
+    /// persists `.golden` files) restores to exactly the state a dense
+    /// snapshot would have: the restored core is bit-identical to the
+    /// snapshotted one and its continuation replays the run exactly.
+    #[test]
+    fn delta_encoded_restore_is_state_identical(
+        steps in prop::collection::vec(arb_step(), 1..30),
+        ckpt_frac in 0u64..20,
+    ) {
+        use merlin_isa::binio::{decode_from_slice, encode_to_vec};
+        let program = build_program(&steps);
+        let mut reference = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let expected = reference.run(2_000_000, &mut NullProbe);
+        prop_assert!(expected.exit.is_halted());
+
+        let ckpt_cycle = expected.cycles * ckpt_frac / 20;
+        let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        while cpu.cycle() < ckpt_cycle && !cpu.is_finished() {
+            cpu.step(&mut NullProbe);
+        }
+        let state = cpu.snapshot();
+
+        // The delta snapshot costs no more than a dense memory image, and
+        // strictly less once the run is long enough to leave memory mostly
+        // untouched.
+        prop_assert!(state.memory_delta_bytes() <= state.memory_dense_bytes());
+
+        // Through the binary codec (the on-disk representation) and onto a
+        // fresh core: bit-identical state, identical continuation.
+        let decoded: merlin_cpu::CpuState =
+            decode_from_slice(&encode_to_vec(&state)).unwrap();
+        prop_assert_eq!(&decoded, &state);
+        let mut fresh = Cpu::new(program, CpuConfig::default()).unwrap();
+        fresh.restore_from(&decoded);
+        prop_assert!(fresh.matches_state(&state));
+        let replay = fresh.run(2_000_000, &mut NullProbe);
+        prop_assert_eq!(&replay, &expected);
+    }
+
     /// A fault injected into a restored suffix behaves exactly as the same
     /// fault injected into a from-scratch run — the core property behind the
     /// checkpointed campaign engine's byte-identical guarantee.

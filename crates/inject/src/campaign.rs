@@ -71,6 +71,16 @@ pub struct GoldenRun {
     pub checkpoints: Option<Arc<GoldenCheckpoints>>,
 }
 
+impl GoldenRun {
+    /// The paper's deadlock/livelock budget for faulty runs: 3× the golden
+    /// run's cycle count, floored at 1000 cycles for very short programs.
+    /// The single definition both golden-run builders use, so the rule
+    /// cannot drift between the plain and checkpointed paths.
+    pub fn timeout_for(golden_cycles: u64) -> u64 {
+        golden_cycles.saturating_mul(3).max(1000)
+    }
+}
+
 /// A checkpoint store together with the policy that built it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GoldenCheckpoints {
@@ -78,6 +88,18 @@ pub struct GoldenCheckpoints {
     pub store: CheckpointStore,
     /// The policy the store was built under (controls early exit).
     pub policy: CheckpointPolicy,
+}
+
+impl GoldenCheckpoints {
+    /// Whether the store can serve every injection cycle of a campaign — it
+    /// must hold a snapshot at or before any cycle, i.e. start with the
+    /// cycle-0 reset state.  Stores built through the session layer always
+    /// qualify; a degenerate store (decoded from a foreign `.golden` file,
+    /// or built on a mid-run core) makes campaigns fall back to from-scratch
+    /// simulation instead of panicking a worker.
+    pub fn usable_for_campaigns(&self) -> bool {
+        self.store.starts_at_reset()
+    }
 }
 
 /// Errors produced while setting up or executing a campaign.
@@ -124,7 +146,7 @@ pub(crate) fn build_golden_plain(
     let mut cpu = Cpu::new(Arc::clone(program), cfg.clone())
         .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
     let result = golden_run_from_result(cpu.run(max_cycles, &mut NullProbe))?;
-    let timeout_cycles = result.cycles.saturating_mul(3).max(1000);
+    let timeout_cycles = GoldenRun::timeout_for(result.cycles);
     Ok(GoldenRun {
         result,
         timeout_cycles,
@@ -155,7 +177,7 @@ pub(crate) fn build_golden_checkpointed(
         policy.target_checkpoints,
     );
     let result = golden_run_from_result(result)?;
-    let timeout_cycles = result.cycles.saturating_mul(3).max(1000);
+    let timeout_cycles = GoldenRun::timeout_for(result.cycles);
     Ok(GoldenRun {
         result,
         timeout_cycles,
@@ -268,7 +290,7 @@ fn run_fault_from_checkpoint(
     let state = ckpts
         .store
         .latest_at_or_before(fault.cycle)
-        .expect("a store built by run_with_checkpoints always holds the cycle-0 snapshot");
+        .expect("campaigns only use stores that start at the cycle-0 snapshot");
     cpu.restore_from(state);
     if cpu.inject_fault(fault).is_err() {
         return (FaultEffect::Masked, false);
@@ -352,7 +374,12 @@ impl FaultInjector {
     /// [`run_single_fault`] but without per-fault clones and with
     /// checkpoint-restore suffix simulation when available.
     pub fn run(&mut self, fault: FaultSpec) -> FaultEffect {
-        let Some(ckpts) = self.golden.checkpoints.clone() else {
+        let usable = self
+            .golden
+            .checkpoints
+            .clone()
+            .filter(|c| c.usable_for_campaigns());
+        let Some(ckpts) = usable else {
             return run_single_fault_shared(&self.program, &self.cfg, &self.golden, fault);
         };
         if self.cpu.is_none() {
@@ -434,7 +461,13 @@ pub(crate) fn campaign_shared(
         cfg: Arc::clone(cfg),
     };
     let ckpts = if use_checkpoints {
-        golden.checkpoints.as_ref()
+        // A store without the cycle-0 snapshot cannot serve arbitrary
+        // injection cycles; fall back to from-scratch simulation rather
+        // than panicking a worker on the first early fault.
+        golden
+            .checkpoints
+            .as_ref()
+            .filter(|c| c.usable_for_campaigns())
     } else {
         None
     };
@@ -795,6 +828,57 @@ mod tests {
         assert!(result.classification.masked > 0);
         // With 256 mostly-idle registers the masked fraction must dominate.
         assert!(result.classification.avf() < 0.5);
+    }
+
+    #[test]
+    fn timeout_rule_is_single_sourced() {
+        assert_eq!(GoldenRun::timeout_for(0), 1000);
+        assert_eq!(GoldenRun::timeout_for(100), 1000);
+        assert_eq!(GoldenRun::timeout_for(10_000), 30_000);
+        assert_eq!(GoldenRun::timeout_for(u64::MAX), u64::MAX);
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let plain = golden_plain(&program, &cfg, 1_000_000).unwrap();
+        let ck = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        assert_eq!(plain.timeout_cycles, GoldenRun::timeout_for(plain.result.cycles));
+        assert_eq!(ck.timeout_cycles, plain.timeout_cycles);
+    }
+
+    #[test]
+    fn degenerate_store_falls_back_instead_of_panicking() {
+        use merlin_cpu::NullProbe;
+        // Regression: a checkpoint store without the cycle-0 snapshot (built
+        // on a mid-run core, or decoded from a foreign `.golden` file) used
+        // to panic the campaign worker on the first fault before its first
+        // checkpoint.  It now degrades to from-scratch simulation.
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let mut cpu = Cpu::new(Arc::new(program.clone()), cfg.clone()).unwrap();
+        for _ in 0..17 {
+            cpu.step(&mut NullProbe);
+        }
+        let (_, late_store) = cpu.run_with_checkpoints(1_000_000, &mut NullProbe, 8);
+        assert!(!late_store.starts_at_reset());
+        let crippled = GoldenRun {
+            checkpoints: Some(Arc::new(GoldenCheckpoints {
+                store: late_store,
+                policy: small_policy(),
+            })),
+            ..golden.clone()
+        };
+        assert!(!crippled.checkpoints.as_ref().unwrap().usable_for_campaigns());
+        let faults = [
+            FaultSpec::new(Structure::RegisterFile, 3, 5, 2), // before cycle 17
+            FaultSpec::new(Structure::RegisterFile, 3, 5, 40),
+        ];
+        let via_crippled = campaign(&program, &cfg, &crippled, &faults, 1);
+        let via_scratch = campaign_scratch(&program, &cfg, &golden, &faults, 1);
+        assert_eq!(via_crippled.outcomes, via_scratch.outcomes);
+        assert_eq!(via_crippled.early_exits, 0, "fallback path cannot early-exit");
+        // The single-fault injector degrades the same way.
+        let mut injector = FaultInjector::new(&program, &cfg, &crippled);
+        assert_eq!(injector.run(faults[0]), via_scratch.outcomes[0].effect);
     }
 
     #[test]

@@ -274,7 +274,8 @@ impl Session {
 
     fn build_golden(&self) -> Result<GoldenRun, CampaignError> {
         if let Some(path) = &self.persist_path {
-            if let Some(golden) = load_golden(path, self.fingerprint) {
+            let mem_len = (self.program.data_size + self.cfg.extra_memory_bytes) as usize;
+            if let Some(golden) = load_golden(path, self.fingerprint, mem_len) {
                 return Ok(golden);
             }
         }
@@ -561,7 +562,10 @@ impl SessionCache {
 // --- Disk persistence ----------------------------------------------------
 
 const GOLDEN_MAGIC: &[u8; 8] = b"MRLNGLD\0";
-const GOLDEN_VERSION: u32 = 1;
+/// Version 2: checkpoint snapshots encode memory as a chunk-level delta
+/// against the pristine program image instead of a dense copy.  Version-1
+/// files (dense memory images) are treated as cache misses and rebuilt.
+const GOLDEN_VERSION: u32 = 2;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -604,7 +608,7 @@ fn save_golden(path: &Path, fingerprint: u64, golden: &GoldenRun) -> io::Result<
     fs::rename(&tmp, path)
 }
 
-fn load_golden(path: &Path, fingerprint: u64) -> Option<GoldenRun> {
+fn load_golden(path: &Path, fingerprint: u64, mem_len: usize) -> Option<GoldenRun> {
     // Any mismatch or decode failure means "cache miss, rebuild" — a corrupt
     // or stale file must never break a campaign.
     let buf = fs::read(path).ok()?;
@@ -624,7 +628,13 @@ fn load_golden(path: &Path, fingerprint: u64) -> Option<GoldenRun> {
         0 => None,
         1 => {
             let policy = BinCode::decode(&mut r).ok()?;
-            let store = BinCode::decode(&mut r).ok()?;
+            let store: merlin_cpu::CheckpointStore = BinCode::decode(&mut r).ok()?;
+            // The memory size of every snapshot must match this context's
+            // memory, or restoring would panic a campaign worker — the one
+            // payload invariant the fingerprint header cannot vouch for.
+            if !store.snapshots().all(|s| s.memory_dense_bytes() == mem_len) {
+                return None;
+            }
             Some(Arc::new(GoldenCheckpoints { store, policy }))
         }
         _ => return None,
@@ -889,6 +899,44 @@ mod tests {
         let s3 = third.session("tiny", &p, &cfg, tune).unwrap();
         assert_eq!(s3.golden().unwrap().result, golden2.result);
         assert_eq!(s3.golden_builds(), 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisted_delta_golden_is_compact_and_round_trips() {
+        // The tiny program writes one 64-byte buffer out of a 64 KB+ memory,
+        // so delta-encoded snapshots must beat the dense representation by
+        // far more than the acceptance bar of 2x — on disk and in memory.
+        let dir = temp_dir("deltasize");
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let tune = |b: SessionBuilder| b.checkpoints(small_policy()).max_cycles(1_000_000);
+
+        let cache = SessionCache::with_disk_dir(&dir);
+        let s1 = cache.session("tiny", &p, &cfg, tune).unwrap();
+        s1.golden().unwrap();
+        let store = &s1.golden_checkpoints().unwrap().store;
+        let dense = store.dense_footprint_bytes();
+        let delta = store.footprint_bytes();
+        assert_eq!(delta, s1.checkpoint_footprint_bytes());
+        assert!(
+            delta * 2 <= dense,
+            "in-memory store: delta {delta} vs dense {dense}"
+        );
+
+        let file = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let file_len = fs::metadata(&file).unwrap().len() as usize;
+        assert!(
+            file_len * 2 <= dense,
+            "on-disk .golden: {file_len} bytes vs dense {dense}"
+        );
+
+        // The compact file restores byte-identically in a fresh cache.
+        let second = SessionCache::with_disk_dir(&dir);
+        let s2 = second.session("tiny", &p, &cfg, tune).unwrap();
+        assert_eq!(s2.golden().unwrap(), s1.golden().unwrap());
+        assert_eq!(s2.golden_builds(), 0);
 
         let _ = fs::remove_dir_all(&dir);
     }
