@@ -4,33 +4,60 @@
 //! per-fault cost from O(program length) into O(post-injection suffix).
 //!
 //! Besides the criterion report, the benchmark writes
-//! `BENCH_CHECKPOINTING.json` at the workspace root so the speedup is
-//! tracked across revisions.
+//! `BENCH_CHECKPOINTING.json` at the workspace root so three axes are
+//! tracked across revisions:
+//!
+//! * **throughput** — from-scratch vs checkpointed campaign wall time, plus
+//!   the scheduler's own accounting (`restores`, `range_steals`,
+//!   `suffix_cycles`);
+//! * **store footprint** — delta-encoded vs dense snapshot bytes;
+//! * **tail latency** — per-fault wall time and simulated cycles (mean and
+//!   p95) under suffix-work spacing against equal-cycle spacing for the
+//!   same checkpoint policy (`p95_fault_s` / `p95_fault_s_equal_cycles`).
+//!   The suffix-work store retains the equal-cycles grid plus head
+//!   midpoints, so per-fault simulated cycles are never higher; the wall
+//!   numbers realise that as lower mean and tail latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use merlin_cpu::{CpuConfig, Structure};
-use merlin_inject::Session;
+use merlin_cpu::{CpuConfig, SpacingStrategy, Structure};
+use merlin_inject::{CheckpointPolicy, Session};
 use merlin_workloads::workload_by_name;
 use std::time::Instant;
 
 const FAULTS: usize = 200;
+/// Fault-list size for the per-fault latency distribution: larger than the
+/// campaign list so the p95 order statistic is stable.
+const LATENCY_FAULTS: usize = 500;
 const THREADS: usize = 4;
+/// Wall-time samples per fault for the latency percentile (the minimum is
+/// kept, suppressing scheduler noise).
+const LATENCY_REPS: usize = 5;
 
 struct Prepared {
     name: &'static str,
+    /// Suffix-work spacing — the default engine under test.
     session: Session,
+    /// Equal-cycle spacing at the same checkpoint budget, for the tail
+    /// latency comparison.
+    session_equal: Session,
     faults: Vec<merlin_cpu::FaultSpec>,
 }
 
 fn prepare(name: &'static str) -> Prepared {
     let workload = workload_by_name(name).expect("workload exists");
     let cfg = CpuConfig::default().with_phys_regs(64);
-    let session = Session::builder(&workload.program, &cfg)
-        .max_cycles(100_000_000)
-        .threads(THREADS)
-        .build()
-        .unwrap();
-    session.golden().unwrap();
+    let build = |spacing: SpacingStrategy| {
+        let session = Session::builder(&workload.program, &cfg)
+            .checkpoints(CheckpointPolicy::default().with_spacing(spacing))
+            .max_cycles(100_000_000)
+            .threads(THREADS)
+            .build()
+            .unwrap();
+        session.golden().unwrap();
+        session
+    };
+    let session = build(SpacingStrategy::SuffixWork);
+    let session_equal = build(SpacingStrategy::EqualCycles);
     let store_len = session
         .golden_checkpoints()
         .expect("checkpoints on")
@@ -46,6 +73,7 @@ fn prepare(name: &'static str) -> Prepared {
     Prepared {
         name,
         session,
+        session_equal,
         faults,
     }
 }
@@ -67,6 +95,48 @@ fn record_speedup(p: &Prepared) -> (f64, f64, f64) {
     (scratch_s, ck_s, scratch_s / ck_s)
 }
 
+/// Index of the 95th-percentile element of an ascending-sorted slice of
+/// `len` elements (`len` must be non-zero).
+fn p95_index(len: usize) -> usize {
+    ((len as f64 * 0.95).ceil() as usize)
+        .saturating_sub(1)
+        .min(len - 1)
+}
+
+/// Per-fault latency distribution of one session: p95 wall seconds (min of
+/// [`LATENCY_REPS`] samples per fault) plus p95 and mean simulated cycles
+/// (deterministic, noise-free).
+struct FaultLatency {
+    p95_s: f64,
+    p95_cycles: u64,
+    mean_cycles: u64,
+}
+
+fn fault_latency(session: &Session, faults: &[merlin_cpu::FaultSpec]) -> FaultLatency {
+    let mut injector = session.injector().unwrap();
+    let mut seconds = Vec::with_capacity(faults.len());
+    let mut cycles = Vec::with_capacity(faults.len());
+    for &fault in faults {
+        let mut best = f64::INFINITY;
+        let mut simulated = 0u64;
+        for _ in 0..LATENCY_REPS {
+            let t = Instant::now();
+            let (_, c) = injector.run_with_cycles(fault);
+            best = best.min(t.elapsed().as_secs_f64());
+            simulated = c;
+        }
+        seconds.push(best);
+        cycles.push(simulated);
+    }
+    seconds.sort_by(f64::total_cmp);
+    cycles.sort_unstable();
+    FaultLatency {
+        p95_s: seconds[p95_index(seconds.len())],
+        p95_cycles: cycles[p95_index(cycles.len())],
+        mean_cycles: cycles.iter().sum::<u64>() / cycles.len() as u64,
+    }
+}
+
 fn checkpointing(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpointing");
     group.sample_size(10);
@@ -83,6 +153,8 @@ fn checkpointing(c: &mut Criterion) {
             b.iter(|| p.session.campaign(&p.faults).unwrap())
         });
         let (scratch_s, ck_s, speedup) = record_speedup(&p);
+        let result = p.session.campaign(&p.faults).unwrap();
+        let sched = result.schedule;
         let store = &p.session.golden_checkpoints().unwrap().store;
         let checkpoints = store.len();
         // Store size with delta memory snapshots vs what the dense
@@ -91,10 +163,30 @@ fn checkpointing(c: &mut Criterion) {
         let footprint = store.footprint_bytes();
         let dense_footprint = store.dense_footprint_bytes();
         let shrink = dense_footprint as f64 / footprint.max(1) as f64;
+        // Tail latency: suffix-work vs equal-cycle spacing, same policy,
+        // over a larger fault list so the p95 order statistic is stable.
+        let latency_faults = p
+            .session
+            .fault_list(Structure::RegisterFile, LATENCY_FAULTS, 2017)
+            .unwrap();
+        let sw = fault_latency(&p.session, &latency_faults);
+        let eq = fault_latency(&p.session_equal, &latency_faults);
         println!(
             "checkpointing/{name}: {FAULTS} faults, {checkpoints} checkpoints, \
              from-scratch {scratch_s:.3}s vs checkpointed {ck_s:.3}s -> {speedup:.2}x, \
-             store {footprint} B delta vs {dense_footprint} B dense -> {shrink:.2}x smaller"
+             store {footprint} B delta vs {dense_footprint} B dense -> {shrink:.2}x smaller, \
+             {} restores, {} range steals, {} suffix cycles, \
+             p95/fault {:.2} ms suffix-work vs {:.2} ms equal-cycles \
+             (p95 {} vs {} cycles, mean {} vs {} cycles)",
+            sched.restores,
+            sched.range_steals,
+            sched.suffix_cycles,
+            1e3 * sw.p95_s,
+            1e3 * eq.p95_s,
+            sw.p95_cycles,
+            eq.p95_cycles,
+            sw.mean_cycles,
+            eq.mean_cycles,
         );
         json_rows.push(format!(
             "  {{\"workload\": \"{name}\", \"faults\": {FAULTS}, \
@@ -102,8 +194,26 @@ fn checkpointing(c: &mut Criterion) {
              \"from_scratch_s\": {scratch_s:.6}, \"checkpointed_s\": {ck_s:.6}, \
              \"speedup\": {speedup:.3}, \"footprint_bytes\": {footprint}, \
              \"dense_footprint_bytes\": {dense_footprint}, \
-             \"footprint_shrink\": {shrink:.3}}}",
-            p.session.golden().unwrap().result.cycles
+             \"footprint_shrink\": {shrink:.3}, \
+             \"ranges\": {}, \"restores\": {}, \"range_steals\": {}, \
+             \"suffix_cycles\": {}, \"latency_faults\": {LATENCY_FAULTS}, \
+             \"p95_fault_s\": {:.6}, \
+             \"p95_fault_s_equal_cycles\": {:.6}, \
+             \"p95_fault_cycles\": {}, \
+             \"p95_fault_cycles_equal_cycles\": {}, \
+             \"mean_fault_cycles\": {}, \
+             \"mean_fault_cycles_equal_cycles\": {}}}",
+            p.session.golden().unwrap().result.cycles,
+            sched.ranges,
+            sched.restores,
+            sched.range_steals,
+            sched.suffix_cycles,
+            sw.p95_s,
+            eq.p95_s,
+            sw.p95_cycles,
+            eq.p95_cycles,
+            sw.mean_cycles,
+            eq.mean_cycles,
         ));
     }
     group.finish();

@@ -522,6 +522,7 @@ fn fig13(scale: &ExperimentScale) {
 /// the comprehensive baseline, and the final FIT rates.
 fn accuracy_figures(scale: &ExperimentScale) {
     println!("## Figures 14, 15 & 16 — classification accuracy and FIT (averages over MiBench)\n");
+    let mut sched_sum = merlin_inject::ScheduleStats::default();
     for &structure in Structure::all() {
         for (label, cfg) in structure_sweep(structure) {
             let mut comprehensive_sum = Classification::default();
@@ -535,6 +536,10 @@ fn accuracy_figures(scale: &ExperimentScale) {
                     .session
                     .comprehensive(&cell.campaign.initial_faults)
                     .expect("comprehensive baseline");
+                sched_sum.ranges += comprehensive.schedule.ranges;
+                sched_sum.restores += comprehensive.schedule.restores;
+                sched_sum.range_steals += comprehensive.schedule.range_steals;
+                sched_sum.suffix_cycles += comprehensive.schedule.suffix_cycles;
                 let post_ace = cell
                     .session
                     .post_ace_baseline(&cell.campaign.reduction)
@@ -564,6 +569,11 @@ fn accuracy_figures(scale: &ExperimentScale) {
             );
         }
     }
+    println!(
+        "scheduler totals across comprehensive baselines: {} ranges, {} restores, \
+         {} range steals, {} suffix cycles simulated\n",
+        sched_sum.ranges, sched_sum.restores, sched_sum.range_steals, sched_sum.suffix_cycles
+    );
 }
 
 /// Figure 17: inaccuracy of MeRLiN vs the Relyzer control-equivalence

@@ -7,8 +7,8 @@ use crate::grouping::{reduce_fault_list, FaultListReduction};
 use merlin_ace::{AceAnalysis, AceError};
 use merlin_cpu::{CheckpointPolicy, CpuConfig, FaultSpec, Structure};
 use merlin_inject::{
-    generate_fault_list, CampaignError, CampaignResult, Classification, FaultEffect, FaultInjector,
-    GoldenRun, Session, SessionBuilder,
+    generate_fault_list, CampaignError, Classification, FaultEffect, FaultInjector, GoldenRun,
+    Session, SessionBuilder,
 };
 use merlin_isa::Program;
 use serde::{Deserialize, Serialize};
@@ -44,8 +44,7 @@ impl Default for MerlinConfig {
 
 impl MerlinConfig {
     /// A session builder carrying this configuration's execution knobs
-    /// (checkpoint policy, cycle budget, thread count) — the bridge between
-    /// the legacy free functions and the session API.
+    /// (checkpoint policy, cycle budget, thread count).
     pub fn session_builder(&self, program: &Program, cfg: &CpuConfig) -> SessionBuilder {
         Session::builder(program, cfg)
             .checkpoints(self.checkpoints)
@@ -174,8 +173,8 @@ pub fn initial_fault_list(
 }
 
 /// The methodology proper, over a session: reduce, inject representatives,
-/// extrapolate.  Shared by [`SessionMethodology`](crate::SessionMethodology)
-/// and the deprecated free-function shims.
+/// extrapolate.  The engine behind
+/// [`SessionMethodology`](crate::SessionMethodology).
 pub(crate) fn merlin_over_session(
     session: &Session,
     structure: Structure,
@@ -263,97 +262,6 @@ pub(crate) fn post_ace_fault_list(reduction: &FaultListReduction) -> Vec<FaultSp
                 .flat_map(|s| s.faults.iter().map(|f| f.fault))
         })
         .collect()
-}
-
-/// Runs the complete MeRLiN methodology for one structure of one benchmark.
-///
-/// `ace` must come from [`AceAnalysis::run`] with the same program and
-/// configuration; `fault_count` is the size of the initial statistical fault
-/// list (60,000 in the paper's baseline campaigns).
-///
-/// # Errors
-///
-/// Returns [`MerlinError`] if the golden run cannot be established.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `SessionMethodology::merlin` instead"
-)]
-pub fn run_merlin(
-    program: &Program,
-    cfg: &CpuConfig,
-    structure: Structure,
-    ace: &AceAnalysis,
-    fault_count: usize,
-    merlin_cfg: &MerlinConfig,
-) -> Result<MerlinCampaign, MerlinError> {
-    let session = merlin_cfg.session_builder(program, cfg).build()?;
-    let initial = session.fault_list(structure, fault_count, merlin_cfg.seed)?;
-    merlin_over_session(&session, structure, ace, &initial)
-}
-
-/// Runs MeRLiN over an explicitly provided initial fault list (used when the
-/// same list must also feed the comprehensive baseline campaign).
-///
-/// # Errors
-///
-/// Returns [`MerlinError`] if a campaign over `golden` cannot be set up.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `SessionMethodology::merlin_with_faults` instead"
-)]
-pub fn run_merlin_with_faults(
-    program: &Program,
-    cfg: &CpuConfig,
-    structure: Structure,
-    ace: &AceAnalysis,
-    initial: &[FaultSpec],
-    golden: &GoldenRun,
-    merlin_cfg: &MerlinConfig,
-) -> Result<MerlinCampaign, MerlinError> {
-    let session = merlin_cfg
-        .session_builder(program, cfg)
-        .golden(golden.clone())
-        .build()?;
-    merlin_over_session(&session, structure, ace, initial)
-}
-
-/// Runs the comprehensive baseline campaign (every fault of the initial list
-/// injected individually) — the reference MeRLiN's accuracy is judged
-/// against (Figure 15).  When `golden` carries checkpoints each injection
-/// restores the nearest checkpoint and simulates only its suffix.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `SessionMethodology::comprehensive` instead"
-)]
-#[allow(deprecated)]
-pub fn run_comprehensive(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    initial: &[FaultSpec],
-    threads: usize,
-) -> CampaignResult {
-    merlin_inject::run_campaign(program, cfg, golden, initial, threads)
-}
-
-/// Runs the "post-ACE" baseline: every fault that survives the ACE-like
-/// pruning is injected individually (the blue bars of Figure 14).  Returns
-/// the classification over that remaining list.  Uses the checkpointed
-/// engine whenever `golden` carries checkpoints.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `SessionMethodology::post_ace_baseline` instead"
-)]
-#[allow(deprecated)]
-pub fn run_post_ace_baseline(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    reduction: &FaultListReduction,
-    threads: usize,
-) -> CampaignResult {
-    let remaining = post_ace_fault_list(reduction);
-    merlin_inject::run_campaign(program, cfg, golden, &remaining, threads)
 }
 
 /// Truncated-run classification (§4.4.3.4, Table 4): the faulty run is
@@ -476,38 +384,23 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_agree_with_the_session_path() {
-        // The shims must stay byte-identical to the session methods while
-        // they exist.
+    fn merlin_config_session_builder_carries_the_execution_knobs() {
+        // The builder bridge must thread every knob of the configuration
+        // through to the session it produces.
         let w = workload_by_name("stringsearch").unwrap();
-        let cfg = small_cfg();
         let merlin_cfg = MerlinConfig {
-            threads: 4,
+            threads: 3,
             max_cycles: 50_000_000,
             seed: 7,
             ..Default::default()
         };
         let session = merlin_cfg
-            .session_builder(&w.program, &cfg)
+            .session_builder(&w.program, &small_cfg())
             .build()
             .unwrap();
-        let via_session = session.merlin(Structure::RegisterFile, 200, 7).unwrap();
-        let ace = session.ace_profile().unwrap();
-        #[allow(deprecated)]
-        let via_shim = run_merlin(
-            &w.program,
-            &cfg,
-            Structure::RegisterFile,
-            &ace,
-            200,
-            &merlin_cfg,
-        )
-        .unwrap();
-        assert_eq!(via_session.outcomes, via_shim.outcomes);
-        assert_eq!(
-            via_session.report.classification,
-            via_shim.report.classification
-        );
+        assert_eq!(session.threads(), 3);
+        assert_eq!(session.max_cycles(), 50_000_000);
+        assert_eq!(session.policy(), &merlin_cfg.checkpoints);
     }
 
     #[test]

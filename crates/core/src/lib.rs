@@ -14,16 +14,19 @@
 //!    every vulnerable interval (guaranteed Masked) and groups the rest by
 //!    the (RIP, uPC) of the reading micro-op and by byte position, selecting
 //!    representatives from distinct dynamic instances.
-//! 3. **Injection campaign** — [`run_merlin`] injects only the
-//!    representatives (via `merlin-inject`) and extrapolates each observed
-//!    effect to its whole group, yielding the final classification, AVF and
-//!    FIT together with the speedup accounting.
+//! 3. **Injection campaign** — [`SessionMethodology::merlin`] injects only
+//!    the representatives (via `merlin-inject`'s restore-aware campaign
+//!    scheduler) and extrapolates each observed effect to its whole group,
+//!    yielding the final classification, AVF and FIT together with the
+//!    speedup accounting.
 //!
 //! Evaluation utilities reproduce the paper's analyses: group
-//! [`homogeneity`], the comprehensive and post-ACE baselines, the
-//! Relyzer control-equivalence heuristic ([`relyzer_reduce`],
-//! [`run_relyzer`]), FIT/wall-clock/exhaustive-list metrics and the
-//! theoretical mean/variance analysis of §4.4.5 ([`AvfMoments`]).
+//! [`homogeneity`], the comprehensive and post-ACE baselines
+//! ([`SessionMethodology::comprehensive`],
+//! [`SessionMethodology::post_ace_baseline`]), the Relyzer
+//! control-equivalence heuristic ([`relyzer_reduce`],
+//! [`SessionMethodology::relyzer`]), FIT/wall-clock/exhaustive-list metrics
+//! and the theoretical mean/variance analysis of §4.4.5 ([`AvfMoments`]).
 //!
 //! # Examples
 //!
@@ -67,8 +70,6 @@ pub use campaign::{
     classify_truncated, initial_fault_list, ExtrapolatedOutcome, MerlinCampaign, MerlinConfig,
     MerlinError, MerlinReport,
 };
-#[allow(deprecated)]
-pub use campaign::{run_comprehensive, run_merlin, run_merlin_with_faults, run_post_ace_baseline};
 pub use grouping::{
     reduce_fault_list, FaultGroup, FaultListReduction, GroupKey, GroupedFault, SubGroup,
 };
@@ -77,8 +78,6 @@ pub use metrics::{
     fit_rate, merlin_exhaustive_row, relyzer_exhaustive_row, structure_bits, ExhaustiveComparison,
     WallClock, RAW_FIT_PER_BIT,
 };
-#[allow(deprecated)]
-pub use relyzer::run_relyzer;
 pub use relyzer::{relyzer_reduce, ControlGroup, RelyzerReduction};
 pub use session::SessionMethodology;
 pub use stats::{group_stats_from_counts, AvfMoments, GroupStat};

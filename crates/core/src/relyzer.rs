@@ -9,9 +9,9 @@
 
 use crate::grouping::GroupedFault;
 use merlin_ace::VulnerableIntervals;
-use merlin_cpu::{CpuConfig, FaultSpec};
-use merlin_inject::{CampaignResult, Classification, FaultEffect, GoldenRun};
-use merlin_isa::{Program, Rip};
+use merlin_cpu::FaultSpec;
+use merlin_inject::{CampaignResult, Classification, FaultEffect};
+use merlin_isa::Rip;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -136,27 +136,6 @@ pub(crate) fn relyzer_extrapolate(
         classification.record(effect, g.faults.len() as u64);
     }
     classification
-}
-
-/// Runs the control-equivalence campaign: injects one pilot per group and
-/// extrapolates its effect to the whole group (plus Masked for the pruned
-/// faults), returning the extrapolated classification and the number of
-/// injections performed.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `SessionMethodology::relyzer` instead"
-)]
-#[allow(deprecated)]
-pub fn run_relyzer(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    reduction: &RelyzerReduction,
-    threads: usize,
-) -> (Classification, usize) {
-    let pilots = relyzer_pilots(reduction);
-    let result = merlin_inject::run_campaign(program, cfg, golden, &pilots, threads);
-    (relyzer_extrapolate(reduction, &result), pilots.len())
 }
 
 #[cfg(test)]

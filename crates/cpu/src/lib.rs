@@ -71,4 +71,4 @@ pub use memory::{MemError, Memory, MemoryDelta, CHUNK_BYTES};
 pub use predictor::{BranchPredictor, Btb};
 pub use probe::{NullProbe, Probe, ReadInfo, RecordingProbe, Structure, WRITEBACK_RIP};
 pub use regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
-pub use snapshot::{CheckpointPolicy, CheckpointStore};
+pub use snapshot::{CheckpointPolicy, CheckpointStore, SpacingStrategy};

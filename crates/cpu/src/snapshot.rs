@@ -34,11 +34,39 @@ use crate::probe::Probe;
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use serde::{Deserialize, Serialize};
 
+/// How the retained checkpoints of a golden run are spaced over its cycles.
+///
+/// Campaign fault lists are sampled uniformly over cycles, so the expected
+/// number of faults restoring from a checkpoint is proportional to the cycle
+/// width of its range — but the *work* a fault costs is dominated by its
+/// suffix (everything from the restore point to the run's end).  The two
+/// strategies trade those off differently; both preserve byte-identical
+/// campaign classifications, since checkpoint placement only decides where
+/// restores happen, never what a faulty run computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpacingStrategy {
+    /// Checkpoints every `interval` cycles — equal fault count per range.
+    EqualCycles,
+    /// Balances estimated *suffix work* per checkpoint range — the expected
+    /// faults per range (uniform sampling density × range width) times the
+    /// estimated cycles remaining at the range's checkpoint.  A uniform
+    /// grid gives every range the same fault count but lets per-range
+    /// suffix work vary with the full remaining-cycles factor, so the
+    /// earliest ranges (whose faults simulate most of the run) carry ~3×
+    /// the work of mid-run ranges.  This strategy keeps the uniform body
+    /// and spends the checkpoint budget's headroom halving the ranges of
+    /// the suffix-heavy head of the run — cutting the replay and
+    /// early-exit wait of exactly the tail-latency faults at unchanged
+    /// body cost.
+    SuffixWork,
+}
+
 /// How (and whether) a golden run is checkpointed.
 ///
 /// The default targets 16 checkpoints per run (plus the cycle-0 snapshot),
 /// clamped by a minimum interval so very short runs do not snapshot every few
-/// cycles for no gain.
+/// cycles for no gain, spaced by equal estimated suffix work
+/// ([`SpacingStrategy::SuffixWork`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointPolicy {
     /// Whether campaigns build and use checkpoints at all.
@@ -52,6 +80,8 @@ pub struct CheckpointPolicy {
     /// re-converges with the golden checkpoint stream (sound: identical state
     /// implies an identical remainder of the run).
     pub early_exit: bool,
+    /// How retained checkpoints are spaced over the run.
+    pub spacing: SpacingStrategy,
 }
 
 impl Default for CheckpointPolicy {
@@ -61,6 +91,7 @@ impl Default for CheckpointPolicy {
             target_checkpoints: 16,
             min_interval: 256,
             early_exit: true,
+            spacing: SpacingStrategy::SuffixWork,
         }
     }
 }
@@ -83,6 +114,11 @@ impl CheckpointPolicy {
         }
     }
 
+    /// The same policy with a different spacing strategy.
+    pub fn with_spacing(self, spacing: SpacingStrategy) -> Self {
+        CheckpointPolicy { spacing, ..self }
+    }
+
     /// The snapshot interval this policy picks for a golden run of
     /// `golden_cycles` cycles.
     pub fn interval_for(&self, golden_cycles: u64) -> u64 {
@@ -103,7 +139,12 @@ pub struct CheckpointStore {
 }
 
 impl CheckpointStore {
-    /// The snapshot interval the store was built with.
+    /// The body-grid interval the store converged to.  Checkpoints sit on
+    /// multiples of this interval under [`SpacingStrategy::EqualCycles`];
+    /// a [`SpacingStrategy::SuffixWork`] store additionally holds head
+    /// midpoints at odd multiples of half this interval, so consumers must
+    /// walk [`CheckpointStore::cycles`] rather than reconstruct the grid
+    /// from the interval alone.
     pub fn interval(&self) -> u64 {
         self.interval
     }
@@ -170,12 +211,30 @@ impl CheckpointStore {
     }
 }
 
+impl BinCode for SpacingStrategy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            SpacingStrategy::EqualCycles => 0,
+            SpacingStrategy::SuffixWork => 1,
+        };
+        tag.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(SpacingStrategy::EqualCycles),
+            1 => Ok(SpacingStrategy::SuffixWork),
+            _ => Err(DecodeError::Invalid("spacing strategy")),
+        }
+    }
+}
+
 impl BinCode for CheckpointPolicy {
     fn encode(&self, out: &mut Vec<u8>) {
         self.enabled.encode(out);
         self.target_checkpoints.encode(out);
         self.min_interval.encode(out);
         self.early_exit.encode(out);
+        self.spacing.encode(out);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
         Ok(CheckpointPolicy {
@@ -183,6 +242,7 @@ impl BinCode for CheckpointPolicy {
             target_checkpoints: BinCode::decode(r)?,
             min_interval: BinCode::decode(r)?,
             early_exit: BinCode::decode(r)?,
+            spacing: BinCode::decode(r)?,
         })
     }
 }
@@ -251,45 +311,75 @@ impl Cpu {
     /// Runs like [`Cpu::run`] while building a checkpoint store in a single
     /// pass, without knowing the run length in advance.
     ///
-    /// Snapshots are taken every `min_interval` cycles; whenever the store
-    /// exceeds `2 × target` checkpoints the interval doubles and every
-    /// snapshot not on the new grid is dropped, so the store converges to
-    /// `target..2 × target` checkpoints regardless of how long the run turns
-    /// out to be.  The live store never holds more than `2 × target + 1`
-    /// snapshots, and the cycle-0 snapshot (a multiple of every interval)
-    /// always survives thinning.
+    /// With [`SpacingStrategy::EqualCycles`], snapshots are taken every
+    /// `min_interval` cycles; whenever the store exceeds `2 × target`
+    /// checkpoints the interval doubles and every snapshot not on the new
+    /// grid is dropped, so the store converges to `target..2 × target`
+    /// equally spaced checkpoints regardless of how long the run turns out
+    /// to be.
     ///
-    /// This replaces the two-pass construction (an uninstrumented pre-pass
+    /// With [`SpacingStrategy::SuffixWork`], the uniform body grid is built
+    /// by the *identical* doubling process — the retained body checkpoints
+    /// are the same cycles the equal-cycles strategy would retain — and the
+    /// budget headroom left in the `2 × target` band is spent on **head
+    /// midpoints**: snapshots halfway into each of the earliest body
+    /// ranges, where the estimated per-fault suffix work is largest (see
+    /// [`SpacingStrategy`]).  The suffix-work store is therefore a strict
+    /// superset of the equal-cycles store for the same run, so every
+    /// fault's restore point is at least as late and every per-fault
+    /// latency at most as long — the tail (p95) can only improve.  Head
+    /// midpoints exist only once the grid has doubled at least once (they
+    /// are the previous, finer grid's snapshots), so they always respect
+    /// `min_interval`.
+    ///
+    /// Under both strategies the live store never holds more than
+    /// `2 × target + 1` snapshots plus the bounded head extras, and this
+    /// replaces the two-pass construction (an uninstrumented pre-pass
     /// sizing the interval, then an instrumented re-run): the entire golden
     /// run is simulated exactly once.
     ///
     /// Like [`Cpu::run_with_checkpoints`], the state at entry is snapshotted
-    /// unconditionally and survives every thinning round, so the store is
-    /// never empty.
+    /// unconditionally and survives every thinning round — on either
+    /// strategy — so the store is never empty and a store built on a fresh
+    /// core always starts at the cycle-0 reset state.
     pub fn run_with_adaptive_checkpoints(
         &mut self,
         max_cycles: u64,
         probe: &mut dyn Probe,
         min_interval: u64,
         target: u32,
+        spacing: SpacingStrategy,
     ) -> (RunResult, CheckpointStore) {
-        let mut interval = min_interval.max(1);
+        let min_interval = min_interval.max(1);
+        let mut interval = min_interval;
         let target = target.max(1) as usize;
         let entry_cycle = self.cycle();
         let mut checkpoints = vec![self.snapshot()];
+        let head_extras = spacing == SpacingStrategy::SuffixWork;
         while !self.is_finished() && self.cycle() < max_cycles {
-            if self.cycle() > entry_cycle && self.cycle().is_multiple_of(interval) {
+            let cycle = self.cycle();
+            if cycle > entry_cycle && cycle.is_multiple_of(interval) {
                 checkpoints.push(self.snapshot());
-                while checkpoints.len() > 2 * target {
+                // The thinning trigger counts only body-grid snapshots
+                // (entry included), so the doubling sequence — and with it
+                // the retained body grid — is identical under both
+                // strategies.  Head midpoints need no capture of their own:
+                // when the interval doubles, the old body snapshots at odd
+                // multiples of the new half-interval become the midpoints,
+                // and `retain_grid` keeps the earliest of them.
+                while body_len(&checkpoints, entry_cycle, interval) > 2 * target {
                     interval *= 2;
-                    checkpoints.retain(|s| {
-                        s.cycle() == entry_cycle || s.cycle().is_multiple_of(interval)
-                    });
+                    retain_grid(&mut checkpoints, entry_cycle, interval, target, head_extras);
                 }
             }
             self.step(probe);
         }
         let result = self.run(max_cycles, probe);
+        if head_extras {
+            // Re-apply the retention filter: the budget headroom for head
+            // midpoints depends on the now-final body count.
+            retain_grid(&mut checkpoints, entry_cycle, interval, target, true);
+        }
         (
             result,
             CheckpointStore {
@@ -298,6 +388,49 @@ impl Cpu {
             },
         )
     }
+}
+
+/// Number of snapshots on the body grid (entry snapshot included) — the
+/// count the doubling trigger compares against `2 × target`, identical for
+/// both spacing strategies.
+fn body_len(checkpoints: &[CpuState], entry_cycle: u64, interval: u64) -> usize {
+    checkpoints
+        .iter()
+        .filter(|s| s.cycle() == entry_cycle || s.cycle().is_multiple_of(interval))
+        .count()
+}
+
+/// Retains the entry snapshot, the body grid (multiples of `interval`) and
+/// — for the suffix-work strategy — head midpoints: odd multiples of
+/// `interval/2` within the earliest body ranges, as many as fit in the
+/// `2 × target` budget after the body.
+///
+/// Head midpoints sit where the estimated per-fault suffix work (uniform
+/// fault density × remaining cycles) is largest: the faults of the earliest
+/// ranges simulate most of the run, so halving exactly those ranges cuts
+/// the replay and early-exit wait of the latency tail while the body —
+/// and therefore mean campaign cost — matches the equal-cycles grid.
+fn retain_grid(
+    checkpoints: &mut Vec<CpuState>,
+    entry_cycle: u64,
+    interval: u64,
+    target: usize,
+    head_extras: bool,
+) {
+    let head_end = if head_extras {
+        let body = body_len(checkpoints, entry_cycle, interval);
+        let allowed = (target / 2).min((2 * target + 1).saturating_sub(body)) as u64;
+        entry_cycle + allowed * interval
+    } else {
+        entry_cycle
+    };
+    let half = interval / 2;
+    checkpoints.retain(|s| {
+        let c = s.cycle();
+        c == entry_cycle
+            || c.is_multiple_of(interval)
+            || (half > 0 && c.is_multiple_of(half) && c <= head_end)
+    });
 }
 
 #[cfg(test)]
@@ -387,7 +520,13 @@ mod tests {
     fn adaptive_store_converges_to_target_band() {
         let program = looped_program();
         let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
-        let (result, store) = cpu.run_with_adaptive_checkpoints(100_000, &mut NullProbe, 2, 8);
+        let (result, store) = cpu.run_with_adaptive_checkpoints(
+            100_000,
+            &mut NullProbe,
+            2,
+            8,
+            SpacingStrategy::EqualCycles,
+        );
         assert!(result.exit.is_halted());
         // Identical run result to the non-instrumented execution.
         let mut plain = Cpu::new(program, CpuConfig::default()).unwrap();
@@ -409,10 +548,101 @@ mod tests {
     }
 
     #[test]
+    fn suffix_work_store_is_dense_early_and_retains_cycle_zero() {
+        let program = looped_program();
+        let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let target = 8;
+        let (result, store) = cpu.run_with_adaptive_checkpoints(
+            100_000,
+            &mut NullProbe,
+            2,
+            target,
+            SpacingStrategy::SuffixWork,
+        );
+        assert!(result.exit.is_halted());
+        // Identical run result to the non-instrumented execution.
+        let mut plain = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        assert_eq!(plain.run(100_000, &mut NullProbe), result);
+        let cycles: Vec<u64> = store.cycles().collect();
+        // Regression (`usable_for_campaigns`): the cycle-0 snapshot must
+        // survive every suffix-work thinning round.
+        assert_eq!(cycles[0], 0);
+        assert!(store.starts_at_reset());
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            store.len() <= 2 * target as usize + 1,
+            "store kept {} snapshots",
+            store.len()
+        );
+        assert!(store.len() >= 2);
+        // Denser early than late: the first retained range must be no wider
+        // than the last (strictly narrower once the run thinned at least
+        // once, but degenerate short runs only guarantee ≤).
+        if store.len() >= 4 {
+            let first = cycles[1] - cycles[0];
+            let last = cycles[cycles.len() - 1] - cycles[cycles.len() - 2];
+            assert!(
+                first <= last,
+                "suffix-work spacing must not be denser late: first {first}, last {last} ({cycles:?})"
+            );
+        }
+        // Every retained snapshot supports exact restore.
+        let mid = store.latest_at_or_before(result.cycles / 3).unwrap();
+        let mut other = Cpu::new(program, CpuConfig::default()).unwrap();
+        other.restore_from(mid);
+        assert!(other.matches_state(mid));
+        assert_eq!(other.run(100_000, &mut NullProbe), result);
+    }
+
+    #[test]
+    fn suffix_work_entry_snapshot_survives_on_mid_run_cores() {
+        // The entry snapshot of a store built on a mid-run core sits off
+        // every ideal boundary; thinning must still retain it.
+        let program = looped_program();
+        let mut cpu = Cpu::new(program, CpuConfig::default()).unwrap();
+        for _ in 0..17 {
+            cpu.step(&mut NullProbe);
+        }
+        let (result, store) = cpu.run_with_adaptive_checkpoints(
+            100_000,
+            &mut NullProbe,
+            2,
+            4,
+            SpacingStrategy::SuffixWork,
+        );
+        assert!(result.exit.is_halted());
+        assert_eq!(store.cycles().next(), Some(17));
+        assert!(!store.starts_at_reset());
+        let cycles: Vec<u64> = store.cycles().collect();
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn spacing_strategy_roundtrips_in_policies() {
+        use merlin_isa::binio::{decode_from_slice, encode_to_vec};
+        for spacing in [SpacingStrategy::EqualCycles, SpacingStrategy::SuffixWork] {
+            let policy = CheckpointPolicy::with_target(5).with_spacing(spacing);
+            let back: CheckpointPolicy = decode_from_slice(&encode_to_vec(&policy)).unwrap();
+            assert_eq!(back, policy);
+            assert_eq!(back.spacing, spacing);
+        }
+        // A corrupt spacing tag is rejected.
+        let mut bytes = encode_to_vec(&CheckpointPolicy::default());
+        *bytes.last_mut().unwrap() = 9;
+        assert!(decode_from_slice::<CheckpointPolicy>(&bytes).is_err());
+    }
+
+    #[test]
     fn adaptive_store_supports_exact_restore() {
         let program = looped_program();
         let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
-        let (expected, store) = cpu.run_with_adaptive_checkpoints(100_000, &mut NullProbe, 4, 4);
+        let (expected, store) = cpu.run_with_adaptive_checkpoints(
+            100_000,
+            &mut NullProbe,
+            4,
+            4,
+            SpacingStrategy::EqualCycles,
+        );
         // Restoring any kept checkpoint and re-running reproduces the run.
         let mid = store.latest_at_or_before(expected.cycles / 2).unwrap();
         let mut other = Cpu::new(program, CpuConfig::default()).unwrap();
@@ -453,7 +683,13 @@ mod tests {
         assert!(store.starts_at_reset());
         assert_eq!(store.latest_at_or_before(u64::MAX).unwrap().cycle(), 0);
         let mut cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
-        let (_, store) = cpu.run_with_adaptive_checkpoints(0, &mut NullProbe, 4, 4);
+        let (_, store) = cpu.run_with_adaptive_checkpoints(
+            0,
+            &mut NullProbe,
+            4,
+            4,
+            SpacingStrategy::EqualCycles,
+        );
         assert!(store.starts_at_reset());
 
         // A core that already ran 17 cycles (17 is off any power-of-two
@@ -465,7 +701,13 @@ mod tests {
                 cpu.step(&mut NullProbe);
             }
             let (result, store) = if run_adaptive {
-                cpu.run_with_adaptive_checkpoints(100_000, &mut NullProbe, 2, 4)
+                cpu.run_with_adaptive_checkpoints(
+                    100_000,
+                    &mut NullProbe,
+                    2,
+                    4,
+                    SpacingStrategy::EqualCycles,
+                )
             } else {
                 cpu.run_with_checkpoints(100_000, &mut NullProbe, 10)
             };

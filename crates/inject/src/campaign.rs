@@ -1,52 +1,58 @@
-//! Injection campaign execution: golden runs, single-fault runs and
-//! multi-threaded campaigns over a fault list.
+//! Campaign building blocks: golden runs, checkpoint bundles, single-fault
+//! execution and campaign results.
 //!
 //! # The checkpoint-and-restore injection engine
 //!
 //! Every faulty run is bit-identical to the golden run until its fault's
 //! injection cycle, so simulating each fault from cycle 0 (the classic GeFIN
-//! approach) repays the same prefix thousands of times.  The engine here
-//! removes that cost:
+//! approach) repays the same prefix thousands of times.  The engine removes
+//! that cost:
 //!
 //! 1. [`Session::golden`](crate::Session::golden) executes the golden run
 //!    exactly once while snapshotting the complete microarchitectural state
 //!    ([`CpuState`](merlin_cpu::CpuState)) into a [`CheckpointStore`], in a
 //!    single adaptive pass: snapshots are taken at the policy's minimum
-//!    interval and the store is thinned (interval doubled) whenever it
-//!    exceeds twice the [`CheckpointPolicy`] target, so a run of any length
-//!    ends up with ~target..2×target checkpoints without a sizing pre-pass.
-//!    The store rides inside the returned [`GoldenRun`], so every campaign
-//!    over that golden run shares it.
-//! 2. [`Session::campaign`](crate::Session::campaign) sorts the fault list
-//!    by injection cycle and hands faults to worker threads through an
-//!    atomic work index (dynamic scheduling — a slow faulty run no longer
-//!    serialises a whole static chunk).  Each worker builds **one** core
-//!    object and, per fault, restores the latest checkpoint at or before the
-//!    injection cycle, injects, and simulates only the suffix against the
-//!    golden timeout.
+//!    interval and the store is thinned whenever it exceeds twice the
+//!    [`CheckpointPolicy`] target — by interval doubling
+//!    ([`SpacingStrategy::EqualCycles`](merlin_cpu::SpacingStrategy)) or by
+//!    retaining the snapshots nearest the equal-*suffix-work* boundaries
+//!    ([`SpacingStrategy::SuffixWork`](merlin_cpu::SpacingStrategy), the
+//!    default) — so a run of any length ends up with ~target..2×target
+//!    checkpoints without a sizing pre-pass.  The store rides inside the
+//!    returned [`GoldenRun`], so every campaign over that golden run shares
+//!    it.
+//! 2. [`Session::campaign`](crate::Session::campaign) hands the fault list
+//!    to the [`CampaignScheduler`](crate::CampaignScheduler) (see the
+//!    [`schedule`](crate::schedule) module), which buckets it into
+//!    per-checkpoint ranges and binds workers to whole ranges so each
+//!    worker's restore snapshot stays hot.  Per fault, a worker restores the
+//!    latest checkpoint at or before the injection cycle, injects, and
+//!    simulates only the suffix against the golden timeout
+//!    ([`run_fault_from_checkpoint`]).
 //! 3. While a faulty run is past its injection cycle, the worker compares the
-//!    core's state against the golden checkpoint at each checkpoint boundary
-//!    it crosses.  If the states are bit-identical the remainder of the run
-//!    is guaranteed identical to the golden run, so the fault is classified
-//!    Masked immediately (early exit) instead of simulating to the end.
+//!    core's state against the golden checkpoint stream at each retained
+//!    checkpoint cycle it crosses.  If the states are bit-identical the
+//!    remainder of the run is guaranteed identical to the golden run, so the
+//!    fault is classified Masked immediately (early exit) instead of
+//!    simulating to the end.
 //!
 //! The program and configuration are shared across workers via `Arc` — no
 //! per-fault `Program`/`CpuConfig` clones, no per-fault core construction.
 //!
 //! Correctness bar: a checkpointed campaign produces byte-identical
-//! [`CampaignResult::outcomes`] to the from-scratch path.  Restoration is
-//! exact (the core is deterministic and [`CpuState`](merlin_cpu::CpuState)
-//! captures all mutable state) and the early exit only fires when the faulty
-//! state has provably re-converged, so both paths classify every fault
-//! identically.
+//! [`CampaignResult::outcomes`] to the from-scratch path at any thread
+//! count.  Restoration is exact (the core is deterministic and
+//! [`CpuState`](merlin_cpu::CpuState) captures all mutable state) and the
+//! early exit only fires when the faulty state has provably re-converged, so
+//! both paths classify every fault identically.
 
 use crate::classify::{classify, Classification, FaultEffect};
+use crate::schedule::ScheduleStats;
 use merlin_cpu::{
     CheckpointPolicy, CheckpointStore, Cpu, CpuConfig, FaultSpec, NullProbe, RunResult,
 };
 use merlin_isa::Program;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The fault-free reference execution a campaign compares against.
@@ -84,7 +90,7 @@ impl GoldenRun {
 /// A checkpoint store together with the policy that built it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GoldenCheckpoints {
-    /// The per-cycle-interval snapshots of the golden run.
+    /// The per-range snapshots of the golden run.
     pub store: CheckpointStore,
     /// The policy the store was built under (controls early exit).
     pub policy: CheckpointPolicy,
@@ -137,7 +143,7 @@ fn golden_run_from_result(result: RunResult) -> Result<RunResult, CampaignError>
     Ok(result)
 }
 
-/// Plain golden run, shared by [`run_golden`] and the session layer.
+/// Plain golden run, used by the session layer when checkpointing is off.
 pub(crate) fn build_golden_plain(
     program: &Arc<Program>,
     cfg: &CpuConfig,
@@ -154,11 +160,13 @@ pub(crate) fn build_golden_plain(
     })
 }
 
-/// One-pass checkpointed golden run, shared by [`run_golden_checkpointed`]
-/// and [`Session::golden`](crate::Session::golden): the golden run is
-/// simulated exactly once, snapshotting every `policy.min_interval` cycles
-/// and thinning the store (doubling the interval) whenever it exceeds twice
-/// the policy's target count.
+/// One-pass checkpointed golden run, used by
+/// [`Session::golden`](crate::Session::golden): the golden run is simulated
+/// exactly once, snapshotting every `policy.min_interval` cycles and
+/// thinning the store per the policy's [`SpacingStrategy`] whenever it
+/// exceeds twice the policy's target count.
+///
+/// [`SpacingStrategy`]: merlin_cpu::SpacingStrategy
 pub(crate) fn build_golden_checkpointed(
     program: &Arc<Program>,
     cfg: &CpuConfig,
@@ -175,6 +183,7 @@ pub(crate) fn build_golden_checkpointed(
         &mut NullProbe,
         policy.min_interval,
         policy.target_checkpoints,
+        policy.spacing,
     );
     let result = golden_run_from_result(result)?;
     let timeout_cycles = GoldenRun::timeout_for(result.cycles);
@@ -188,78 +197,50 @@ pub(crate) fn build_golden_checkpointed(
     })
 }
 
-/// Executes the fault-free reference run of `program` under `cfg`, without
-/// checkpoints (campaigns over this golden run simulate every fault from
-/// cycle 0).
-///
-/// # Errors
-///
-/// Returns [`CampaignError::GoldenRunFailed`] if the program does not halt
-/// within `max_cycles`, and [`CampaignError::BadConfig`] for invalid
-/// configurations.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` (with `CheckpointPolicy::disabled()` if checkpoints are unwanted) \
-            and call `Session::golden` instead"
-)]
-pub fn run_golden(
-    program: &Program,
-    cfg: &CpuConfig,
-    max_cycles: u64,
-) -> Result<GoldenRun, CampaignError> {
-    build_golden_plain(&Arc::new(program.clone()), cfg, max_cycles)
-}
-
-/// Executes the golden run while building, in a single pass, the checkpoint
-/// store that the checkpointed injection engine restores from.
-///
-/// # Errors
-///
-/// Same contract as [`run_golden`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `Session::golden` instead"
-)]
-pub fn run_golden_checkpointed(
-    program: &Program,
-    cfg: &CpuConfig,
-    max_cycles: u64,
-    policy: &CheckpointPolicy,
-) -> Result<GoldenRun, CampaignError> {
-    build_golden_checkpointed(&Arc::new(program.clone()), cfg, max_cycles, policy)
-}
-
-/// Runs a single fault-injection experiment from cycle 0 and classifies its
-/// effect (the from-scratch path; campaigns use the checkpointed engine).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and use the injector from `Session::injector` instead"
-)]
-pub fn run_single_fault(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    fault: FaultSpec,
-) -> FaultEffect {
-    run_single_fault_shared(&Arc::new(program.clone()), cfg, golden, fault)
+/// What one faulty run did, beyond its classification — the bookkeeping the
+/// scheduler aggregates into [`ScheduleStats`].
+pub(crate) struct FaultRun {
+    /// The classified effect.
+    pub effect: FaultEffect,
+    /// Whether the early-exit convergence test resolved the fault before the
+    /// program's end.
+    pub early_exit: bool,
+    /// Whether a checkpoint was restored for this fault (false for faults
+    /// resolved without touching the core).
+    pub restored: bool,
+    /// Cycles actually simulated, from the restore point (or cycle 0 on the
+    /// from-scratch path) to wherever the faulty run ended.
+    pub suffix_cycles: u64,
 }
 
 /// From-scratch single-fault run over a shared program image (no per-fault
 /// program clone).
-fn run_single_fault_shared(
+pub(crate) fn run_single_fault_shared(
     program: &Arc<Program>,
     cfg: &CpuConfig,
     golden: &GoldenRun,
     fault: FaultSpec,
-) -> FaultEffect {
+) -> FaultRun {
     let mut cpu = match Cpu::new(Arc::clone(program), cfg.clone()) {
         Ok(c) => c,
-        Err(_) => return FaultEffect::Assert,
+        Err(_) => {
+            return FaultRun {
+                effect: FaultEffect::Assert,
+                early_exit: false,
+                restored: false,
+                suffix_cycles: 0,
+            }
+        }
     };
     if cpu.inject_fault(fault).is_err() {
         // A fault site that does not exist in this configuration cannot
         // affect it.
-        return FaultEffect::Masked;
+        return FaultRun {
+            effect: FaultEffect::Masked,
+            early_exit: false,
+            restored: false,
+            suffix_cycles: 0,
+        };
     }
     // An internal invariant violation inside the simulator is the paper's
     // Assert class: catch it rather than tearing the campaign down.
@@ -267,64 +248,102 @@ fn run_single_fault_shared(
         cpu.run(golden.timeout_cycles, &mut NullProbe)
     }));
     match outcome {
-        Ok(result) => classify(&golden.result, &result),
-        Err(_) => FaultEffect::Assert,
+        Ok(result) => FaultRun {
+            effect: classify(&golden.result, &result),
+            early_exit: false,
+            restored: false,
+            suffix_cycles: result.cycles,
+        },
+        Err(_) => FaultRun {
+            effect: FaultEffect::Assert,
+            early_exit: false,
+            restored: false,
+            suffix_cycles: 0,
+        },
     }
 }
 
 /// Runs one fault on a reusable core by restoring the nearest checkpoint and
 /// simulating only the suffix.  Returns the same classification the
-/// from-scratch path would, plus whether the early-exit convergence test
-/// resolved it before the program's end.
-fn run_fault_from_checkpoint(
+/// from-scratch path would.
+///
+/// `boundaries` is the ascending list of the store's checkpoint cycles
+/// (computed once per campaign or injector call); the early-exit convergence
+/// test walks it with a cursor, so it works for equal-cycle and suffix-work
+/// stores alike — retained checkpoints need not sit on any uniform grid.
+pub(crate) fn run_fault_from_checkpoint(
     cpu: &mut Cpu,
     golden: &GoldenRun,
     ckpts: &GoldenCheckpoints,
+    boundaries: &[u64],
     fault: FaultSpec,
-) -> (FaultEffect, bool) {
+) -> FaultRun {
     if fault.entry >= cpu.structure_entries(fault.structure) {
         // Same semantics as the from-scratch path: a fault site that does
         // not exist in this configuration cannot affect it.
-        return (FaultEffect::Masked, false);
+        return FaultRun {
+            effect: FaultEffect::Masked,
+            early_exit: false,
+            restored: false,
+            suffix_cycles: 0,
+        };
     }
     let state = ckpts
         .store
         .latest_at_or_before(fault.cycle)
         .expect("campaigns only use stores that start at the cycle-0 snapshot");
+    let restore_cycle = state.cycle();
     cpu.restore_from(state);
     if cpu.inject_fault(fault).is_err() {
-        return (FaultEffect::Masked, false);
+        return FaultRun {
+            effect: FaultEffect::Masked,
+            early_exit: false,
+            restored: true,
+            suffix_cycles: 0,
+        };
     }
-    let interval = ckpts.store.interval();
     let early_exit = ckpts.policy.early_exit;
     let timeout = golden.timeout_cycles;
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut probe = NullProbe;
+        // Early exit: past the injection cycle, compare against the golden
+        // checkpoint stream at each retained checkpoint boundary the run
+        // crosses.  Bit-identical state implies an identical remainder,
+        // hence Masked.  The cursor starts at the first boundary strictly
+        // after the injection cycle; every boundary is within the golden
+        // run by construction.
+        let mut next = boundaries.partition_point(|&c| c <= fault.cycle);
         while !cpu.is_finished() && cpu.cycle() < timeout {
-            // Early exit: past the injection cycle, compare against the
-            // golden checkpoint stream at each boundary.  Bit-identical state
-            // implies an identical remainder, hence Masked.
-            if early_exit
-                && cpu.cycle() > fault.cycle
-                && cpu.cycle().is_multiple_of(interval)
-                && cpu.cycle() <= golden.result.cycles
-            {
-                if let Some(g) = ckpts.store.at_cycle(cpu.cycle()) {
-                    if cpu.matches_state(g) {
-                        return (FaultEffect::Masked, true);
+            if early_exit && next < boundaries.len() {
+                if boundaries[next] < cpu.cycle() {
+                    next += 1;
+                } else if boundaries[next] == cpu.cycle() {
+                    if let Some(g) = ckpts.store.at_cycle(cpu.cycle()) {
+                        if cpu.matches_state(g) {
+                            return (FaultEffect::Masked, true, cpu.cycle() - restore_cycle);
+                        }
                     }
+                    next += 1;
                 }
             }
             cpu.step(&mut probe);
         }
         let result = cpu.run(timeout, &mut probe);
-        (classify(&golden.result, &result), false)
+        let suffix = result.cycles.saturating_sub(restore_cycle);
+        (classify(&golden.result, &result), false, suffix)
     }));
-    outcome.unwrap_or((FaultEffect::Assert, false))
+    let (effect, early_exit, suffix_cycles) = outcome.unwrap_or((FaultEffect::Assert, false, 0));
+    FaultRun {
+        effect,
+        early_exit,
+        restored: true,
+        suffix_cycles,
+    }
 }
 
 /// A reusable single-fault runner for callers that classify faults one at a
-/// time (e.g. truncated-run studies) rather than through [`run_campaign`].
+/// time (e.g. truncated-run studies) rather than through
+/// [`Session::campaign`](crate::Session::campaign).
 ///
 /// Shares the program and configuration across faults via `Arc`.  When the
 /// golden run carries a checkpoint store it also reuses one core object,
@@ -336,18 +355,20 @@ pub struct FaultInjector {
     cfg: Arc<CpuConfig>,
     golden: GoldenRun,
     cpu: Option<Cpu>,
+    /// Ascending checkpoint cycles of the golden store, when usable —
+    /// computed once so per-fault runs allocate nothing.
+    boundaries: Vec<u64>,
 }
 
 impl FaultInjector {
     /// Creates an injector over one (program, configuration, golden run)
     /// triple.  The program is cloned once here, never per fault.
     pub fn new(program: &Program, cfg: &CpuConfig, golden: &GoldenRun) -> Self {
-        FaultInjector {
-            program: Arc::new(program.clone()),
-            cfg: Arc::new(cfg.clone()),
-            golden: golden.clone(),
-            cpu: None,
-        }
+        Self::from_parts(
+            Arc::new(program.clone()),
+            Arc::new(cfg.clone()),
+            golden.clone(),
+        )
     }
 
     /// Clone-free constructor used by [`Session::injector`](crate::Session):
@@ -357,11 +378,18 @@ impl FaultInjector {
         cfg: Arc<CpuConfig>,
         golden: GoldenRun,
     ) -> Self {
+        let boundaries = golden
+            .checkpoints
+            .as_ref()
+            .filter(|c| c.usable_for_campaigns())
+            .map(|c| c.store.cycles().collect())
+            .unwrap_or_default();
         FaultInjector {
             program,
             cfg,
             golden,
             cpu: None,
+            boundaries,
         }
     }
 
@@ -370,26 +398,35 @@ impl FaultInjector {
         &self.golden
     }
 
-    /// Runs one fault and classifies its effect, exactly like
-    /// [`run_single_fault`] but without per-fault clones and with
-    /// checkpoint-restore suffix simulation when available.
+    /// Runs one fault and classifies its effect, without per-fault clones
+    /// and with checkpoint-restore suffix simulation when available.
     pub fn run(&mut self, fault: FaultSpec) -> FaultEffect {
+        self.run_with_cycles(fault).0
+    }
+
+    /// Like [`FaultInjector::run`], additionally returning the number of
+    /// cycles the faulty run actually simulated (restore point to wherever
+    /// it ended) — the deterministic per-fault latency measure the bench
+    /// harness tracks tail latency with.
+    pub fn run_with_cycles(&mut self, fault: FaultSpec) -> (FaultEffect, u64) {
         let usable = self
             .golden
             .checkpoints
             .clone()
             .filter(|c| c.usable_for_campaigns());
         let Some(ckpts) = usable else {
-            return run_single_fault_shared(&self.program, &self.cfg, &self.golden, fault);
+            let run = run_single_fault_shared(&self.program, &self.cfg, &self.golden, fault);
+            return (run.effect, run.suffix_cycles);
         };
         if self.cpu.is_none() {
             match Cpu::new(Arc::clone(&self.program), (*self.cfg).clone()) {
                 Ok(c) => self.cpu = Some(c),
-                Err(_) => return FaultEffect::Assert,
+                Err(_) => return (FaultEffect::Assert, 0),
             }
         }
         let core = self.cpu.as_mut().expect("injector core initialised above");
-        run_fault_from_checkpoint(core, &self.golden, &ckpts, fault).0
+        let run = run_fault_from_checkpoint(core, &self.golden, &ckpts, &self.boundaries, fault);
+        (run.effect, run.suffix_cycles)
     }
 }
 
@@ -416,6 +453,11 @@ pub struct CampaignResult {
     /// re-convergence with the golden checkpoint stream, without simulating
     /// to the program's end (always 0 on the from-scratch path).
     pub early_exits: u64,
+    /// How the scheduler executed the campaign: ranges, restores, steals and
+    /// total suffix cycles simulated.  Classification outcomes never depend
+    /// on these — they vary with thread count and checkpoint spacing while
+    /// [`CampaignResult::outcomes`] stays byte-identical.
+    pub schedule: ScheduleStats,
 }
 
 impl CampaignResult {
@@ -430,477 +472,7 @@ impl CampaignResult {
             classification,
             runs_executed,
             early_exits: 0,
+            schedule: ScheduleStats::default(),
         }
-    }
-
-    /// Same, with the engine's early-exit count attached.
-    fn from_outcomes_with_stats(
-        outcomes: Vec<FaultOutcome>,
-        runs_executed: u64,
-        early_exits: u64,
-    ) -> Self {
-        let mut result = CampaignResult::from_outcomes(outcomes, runs_executed);
-        result.early_exits = early_exits;
-        result
-    }
-}
-
-/// Clone-free campaign entry used by the session layer: the engine with
-/// checkpoints taken from the golden run (or forcibly ignored when
-/// `use_checkpoints` is false).
-pub(crate) fn campaign_shared(
-    program: &Arc<Program>,
-    cfg: &Arc<CpuConfig>,
-    golden: &GoldenRun,
-    use_checkpoints: bool,
-    faults: &[FaultSpec],
-    threads: usize,
-) -> CampaignResult {
-    let shared = SharedCampaign {
-        program: Arc::clone(program),
-        cfg: Arc::clone(cfg),
-    };
-    let ckpts = if use_checkpoints {
-        // A store without the cycle-0 snapshot cannot serve arbitrary
-        // injection cycles; fall back to from-scratch simulation rather
-        // than panicking a worker on the first early fault.
-        golden
-            .checkpoints
-            .as_ref()
-            .filter(|c| c.usable_for_campaigns())
-    } else {
-        None
-    };
-    run_campaign_dynamic(&shared, golden, ckpts, faults, threads)
-}
-
-/// Executes an injection campaign over `faults`, running `threads` worker
-/// threads (1 = sequential).
-///
-/// Every fault is an independent single-bit-flip experiment against the same
-/// program and configuration, exactly like the paper's GeFIN campaigns.  If
-/// `golden` carries checkpoints each fault restores the nearest checkpoint
-/// and simulates only its suffix; otherwise every fault simulates from
-/// cycle 0.  Both paths produce byte-identical results.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `Session::campaign` instead"
-)]
-pub fn run_campaign(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    faults: &[FaultSpec],
-    threads: usize,
-) -> CampaignResult {
-    campaign_shared(
-        &Arc::new(program.clone()),
-        &Arc::new(cfg.clone()),
-        golden,
-        true,
-        faults,
-        threads,
-    )
-}
-
-/// Executes a campaign with checkpointing forcibly disabled — every fault is
-/// simulated from cycle 0.  Exists so the checkpointed engine can be
-/// benchmarked and differentially tested against the naive path even when
-/// the golden run carries a checkpoint store.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `Session` and call `Session::campaign_from_scratch` instead"
-)]
-pub fn run_campaign_from_scratch(
-    program: &Program,
-    cfg: &CpuConfig,
-    golden: &GoldenRun,
-    faults: &[FaultSpec],
-    threads: usize,
-) -> CampaignResult {
-    campaign_shared(
-        &Arc::new(program.clone()),
-        &Arc::new(cfg.clone()),
-        golden,
-        false,
-        faults,
-        threads,
-    )
-}
-
-/// Program/config shared by every worker of one campaign (one clone per
-/// campaign instead of one per fault).
-struct SharedCampaign {
-    program: Arc<Program>,
-    cfg: Arc<CpuConfig>,
-}
-
-/// The engine proper: dynamic scheduling over a cycle-sorted fault order.
-fn run_campaign_dynamic(
-    shared: &SharedCampaign,
-    golden: &GoldenRun,
-    ckpts: Option<&Arc<GoldenCheckpoints>>,
-    faults: &[FaultSpec],
-    threads: usize,
-) -> CampaignResult {
-    let threads = threads.max(1).min(faults.len().max(1));
-    // Sorting by injection cycle gives workers runs of faults that restore
-    // from the same checkpoint (warm caches for the restore source) and
-    // keeps the suffix lengths of concurrently executing faults similar.
-    // The sort is stable on the original index so results are reproducible.
-    let mut order: Vec<usize> = (0..faults.len()).collect();
-    order.sort_by_key(|&i| (faults[i].cycle, i));
-
-    let next = AtomicUsize::new(0);
-    let run_worker = |collected: &mut Vec<(usize, FaultOutcome)>, early_exits: &mut u64| {
-        let mut cpu: Option<Cpu> = None;
-        loop {
-            let k = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&idx) = order.get(k) else { break };
-            let fault = faults[idx];
-            let (effect, early) = match ckpts {
-                Some(ckpts) => {
-                    // One core per worker, restored per fault.
-                    if cpu.is_none() {
-                        match Cpu::new(Arc::clone(&shared.program), (*shared.cfg).clone()) {
-                            Ok(c) => cpu = Some(c),
-                            Err(_) => {
-                                collected.push((
-                                    idx,
-                                    FaultOutcome {
-                                        fault,
-                                        effect: FaultEffect::Assert,
-                                    },
-                                ));
-                                continue;
-                            }
-                        }
-                    }
-                    let core = cpu.as_mut().expect("worker core initialised above");
-                    run_fault_from_checkpoint(core, golden, ckpts, fault)
-                }
-                None => (
-                    run_single_fault_shared(&shared.program, &shared.cfg, golden, fault),
-                    false,
-                ),
-            };
-            if early {
-                *early_exits += 1;
-            }
-            collected.push((idx, FaultOutcome { fault, effect }));
-        }
-    };
-
-    let mut per_thread: Vec<(Vec<(usize, FaultOutcome)>, u64)> = Vec::new();
-    if threads == 1 {
-        let mut collected = Vec::with_capacity(faults.len());
-        let mut early_exits = 0u64;
-        run_worker(&mut collected, &mut early_exits);
-        per_thread.push((collected, early_exits));
-    } else {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads {
-                handles.push(scope.spawn(|| {
-                    let mut collected = Vec::new();
-                    let mut early_exits = 0u64;
-                    run_worker(&mut collected, &mut early_exits);
-                    (collected, early_exits)
-                }));
-            }
-            for h in handles {
-                per_thread.push(h.join().expect("campaign worker panicked"));
-            }
-        });
-    }
-
-    let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; faults.len()];
-    let mut early_exits = 0u64;
-    for (collected, early) in per_thread {
-        early_exits += early;
-        for (idx, outcome) in collected {
-            outcomes[idx] = Some(outcome);
-        }
-    }
-    let outcomes: Vec<FaultOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every fault produced an outcome"))
-        .collect();
-    let runs = outcomes.len() as u64;
-    CampaignResult::from_outcomes_with_stats(outcomes, runs, early_exits)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::sampling::generate_fault_list;
-    use merlin_cpu::Structure;
-    use merlin_isa::{reg, AluOp, Cond, MemRef, ProgramBuilder};
-
-    // The free functions under test here are the internal builders the
-    // deprecated shims and the session layer both call.
-    fn golden_plain(
-        program: &Program,
-        cfg: &CpuConfig,
-        max: u64,
-    ) -> Result<GoldenRun, CampaignError> {
-        build_golden_plain(&Arc::new(program.clone()), cfg, max)
-    }
-
-    fn golden_ck(
-        program: &Program,
-        cfg: &CpuConfig,
-        max: u64,
-        policy: &CheckpointPolicy,
-    ) -> Result<GoldenRun, CampaignError> {
-        build_golden_checkpointed(&Arc::new(program.clone()), cfg, max, policy)
-    }
-
-    fn campaign(
-        program: &Program,
-        cfg: &CpuConfig,
-        golden: &GoldenRun,
-        faults: &[FaultSpec],
-        threads: usize,
-    ) -> CampaignResult {
-        campaign_shared(
-            &Arc::new(program.clone()),
-            &Arc::new(cfg.clone()),
-            golden,
-            true,
-            faults,
-            threads,
-        )
-    }
-
-    fn campaign_scratch(
-        program: &Program,
-        cfg: &CpuConfig,
-        golden: &GoldenRun,
-        faults: &[FaultSpec],
-        threads: usize,
-    ) -> CampaignResult {
-        campaign_shared(
-            &Arc::new(program.clone()),
-            &Arc::new(cfg.clone()),
-            golden,
-            false,
-            faults,
-            threads,
-        )
-    }
-
-    fn single_fault(
-        program: &Program,
-        cfg: &CpuConfig,
-        golden: &GoldenRun,
-        fault: FaultSpec,
-    ) -> FaultEffect {
-        run_single_fault_shared(&Arc::new(program.clone()), cfg, golden, fault)
-    }
-
-    fn tiny_program() -> Program {
-        let mut b = ProgramBuilder::new();
-        let data = b.alloc_words(&[11, 22, 33, 44, 55, 66, 77, 88]);
-        b.movi(reg(10), data as i64);
-        b.movi(reg(1), 0);
-        b.movi(reg(2), 0);
-        let top = b.bind_label();
-        b.load_op(AluOp::Add, reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
-        b.store(reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
-        b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
-        b.branch_ri(Cond::Lt, reg(1), 8, top);
-        b.out(reg(2));
-        b.halt();
-        b.build().unwrap()
-    }
-
-    fn small_policy() -> CheckpointPolicy {
-        CheckpointPolicy {
-            enabled: true,
-            target_checkpoints: 8,
-            min_interval: 8,
-            early_exit: true,
-        }
-    }
-
-    #[test]
-    fn golden_run_succeeds_and_sets_timeout() {
-        let g = golden_plain(&tiny_program(), &CpuConfig::default(), 1_000_000).unwrap();
-        assert!(g.result.exit.is_halted());
-        assert!(g.timeout_cycles >= 3 * g.result.cycles);
-        assert!(g.checkpoints.is_none());
-    }
-
-    #[test]
-    fn checkpointed_golden_run_matches_plain_golden_run() {
-        let program = tiny_program();
-        let cfg = CpuConfig::default();
-        let plain = golden_plain(&program, &cfg, 1_000_000).unwrap();
-        let ck = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
-        assert_eq!(plain.result, ck.result);
-        assert_eq!(plain.timeout_cycles, ck.timeout_cycles);
-        let ckpts = ck.checkpoints.as_ref().unwrap();
-        assert!(ckpts.store.len() >= 2);
-        // Disabled policy produces no store.
-        let off = golden_ck(&program, &cfg, 1_000_000, &CheckpointPolicy::disabled()).unwrap();
-        assert!(off.checkpoints.is_none());
-    }
-
-    #[test]
-    fn golden_run_failure_is_reported() {
-        let mut b = ProgramBuilder::new();
-        let top = b.bind_label();
-        b.jump(top);
-        b.halt();
-        let program = b.build().unwrap();
-        let err = golden_plain(&program, &CpuConfig::default(), 10_000);
-        assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
-        let err = golden_ck(&program, &CpuConfig::default(), 10_000, &small_policy());
-        assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
-    }
-
-    #[test]
-    fn sequential_and_parallel_campaigns_agree() {
-        let program = tiny_program();
-        let cfg = CpuConfig::default();
-        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
-        let faults = generate_fault_list(
-            Structure::RegisterFile,
-            cfg.phys_int_regs,
-            golden.result.cycles,
-            60,
-            7,
-        );
-        let seq = campaign(&program, &cfg, &golden, &faults, 1);
-        let par = campaign(&program, &cfg, &golden, &faults, 4);
-        assert_eq!(seq.outcomes, par.outcomes);
-        assert_eq!(seq.classification, par.classification);
-        assert_eq!(seq.classification.total(), 60);
-    }
-
-    #[test]
-    fn checkpointed_campaign_is_byte_identical_to_from_scratch() {
-        let program = tiny_program();
-        let cfg = CpuConfig::default();
-        let mut early_exits_with_policy_on = 0u64;
-        for policy in [
-            small_policy(),
-            CheckpointPolicy {
-                early_exit: false,
-                ..small_policy()
-            },
-        ] {
-            let golden = golden_ck(&program, &cfg, 1_000_000, &policy).unwrap();
-            for structure in [Structure::RegisterFile, Structure::StoreQueue] {
-                let entries = cfg.structure_entries(structure);
-                let faults = generate_fault_list(structure, entries, golden.result.cycles, 150, 13);
-                let checkpointed = campaign(&program, &cfg, &golden, &faults, 4);
-                let scratch = campaign_scratch(&program, &cfg, &golden, &faults, 4);
-                assert_eq!(checkpointed.outcomes, scratch.outcomes, "{structure}");
-                assert_eq!(checkpointed.classification, scratch.classification);
-                assert_eq!(scratch.early_exits, 0);
-                if !policy.early_exit {
-                    assert_eq!(checkpointed.early_exits, 0);
-                }
-                early_exits_with_policy_on +=
-                    u64::from(policy.early_exit) * checkpointed.early_exits;
-            }
-        }
-        // The convergence early exit must actually fire somewhere (dead
-        // engine paths would hide bugs behind the identical-results check).
-        assert!(early_exits_with_policy_on > 0);
-    }
-
-    #[test]
-    fn campaign_finds_both_masked_and_non_masked_faults() {
-        let program = tiny_program();
-        let cfg = CpuConfig::default();
-        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
-        let faults = generate_fault_list(
-            Structure::RegisterFile,
-            cfg.phys_int_regs,
-            golden.result.cycles,
-            200,
-            99,
-        );
-        let result = campaign(&program, &cfg, &golden, &faults, 2);
-        assert!(result.classification.masked > 0);
-        // With 256 mostly-idle registers the masked fraction must dominate.
-        assert!(result.classification.avf() < 0.5);
-    }
-
-    #[test]
-    fn timeout_rule_is_single_sourced() {
-        assert_eq!(GoldenRun::timeout_for(0), 1000);
-        assert_eq!(GoldenRun::timeout_for(100), 1000);
-        assert_eq!(GoldenRun::timeout_for(10_000), 30_000);
-        assert_eq!(GoldenRun::timeout_for(u64::MAX), u64::MAX);
-        let program = tiny_program();
-        let cfg = CpuConfig::default();
-        let plain = golden_plain(&program, &cfg, 1_000_000).unwrap();
-        let ck = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
-        assert_eq!(plain.timeout_cycles, GoldenRun::timeout_for(plain.result.cycles));
-        assert_eq!(ck.timeout_cycles, plain.timeout_cycles);
-    }
-
-    #[test]
-    fn degenerate_store_falls_back_instead_of_panicking() {
-        use merlin_cpu::NullProbe;
-        // Regression: a checkpoint store without the cycle-0 snapshot (built
-        // on a mid-run core, or decoded from a foreign `.golden` file) used
-        // to panic the campaign worker on the first fault before its first
-        // checkpoint.  It now degrades to from-scratch simulation.
-        let program = tiny_program();
-        let cfg = CpuConfig::default();
-        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
-        let mut cpu = Cpu::new(Arc::new(program.clone()), cfg.clone()).unwrap();
-        for _ in 0..17 {
-            cpu.step(&mut NullProbe);
-        }
-        let (_, late_store) = cpu.run_with_checkpoints(1_000_000, &mut NullProbe, 8);
-        assert!(!late_store.starts_at_reset());
-        let crippled = GoldenRun {
-            checkpoints: Some(Arc::new(GoldenCheckpoints {
-                store: late_store,
-                policy: small_policy(),
-            })),
-            ..golden.clone()
-        };
-        assert!(!crippled.checkpoints.as_ref().unwrap().usable_for_campaigns());
-        let faults = [
-            FaultSpec::new(Structure::RegisterFile, 3, 5, 2), // before cycle 17
-            FaultSpec::new(Structure::RegisterFile, 3, 5, 40),
-        ];
-        let via_crippled = campaign(&program, &cfg, &crippled, &faults, 1);
-        let via_scratch = campaign_scratch(&program, &cfg, &golden, &faults, 1);
-        assert_eq!(via_crippled.outcomes, via_scratch.outcomes);
-        assert_eq!(via_crippled.early_exits, 0, "fallback path cannot early-exit");
-        // The single-fault injector degrades the same way.
-        let mut injector = FaultInjector::new(&program, &cfg, &crippled);
-        assert_eq!(injector.run(faults[0]), via_scratch.outcomes[0].effect);
-    }
-
-    #[test]
-    fn out_of_range_fault_sites_are_masked() {
-        let program = tiny_program();
-        let cfg = CpuConfig::default().with_phys_regs(64);
-        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
-        let effect = single_fault(
-            &program,
-            &cfg,
-            &golden,
-            FaultSpec::new(Structure::RegisterFile, 200, 1, 10),
-        );
-        assert_eq!(effect, FaultEffect::Masked);
-        // Same through the checkpointed engine.
-        let out = campaign(
-            &program,
-            &cfg,
-            &golden,
-            &[FaultSpec::new(Structure::RegisterFile, 200, 1, 10)],
-            1,
-        );
-        assert_eq!(out.outcomes[0].effect, FaultEffect::Masked);
     }
 }

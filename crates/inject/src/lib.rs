@@ -14,10 +14,14 @@
 //!   [`generate_fault_list`]),
 //! * the checkpoint-and-restore injection engine behind
 //!   [`Session::campaign`]: the golden run is snapshotted in one adaptive
-//!   pass and every faulty run restores the nearest checkpoint and simulates
-//!   only its post-injection suffix (see the [`campaign`](crate::Session)
-//!   module documentation for the engine's design and its
-//!   byte-identical-results guarantee),
+//!   pass (spaced by equal cycles or equal estimated suffix work, see
+//!   [`SpacingStrategy`]) and every faulty run restores the nearest
+//!   checkpoint and simulates only its post-injection suffix,
+//! * the restore-aware [`CampaignScheduler`] (see the [`schedule`] module):
+//!   faults are bucketed into per-checkpoint ranges, workers bind to whole
+//!   ranges (keeping each worker's restore snapshot hot) and steal whole
+//!   ranges when they drain — with per-campaign [`ScheduleStats`] on every
+//!   [`CampaignResult`] and byte-identical outcomes at any thread count,
 //! * the fault-effect classification of Table 2 ([`FaultEffect`],
 //!   [`classify`], [`Classification`]) and the truncated-run classification
 //!   of §4.4.3.4 ([`TruncatedEffect`]).
@@ -50,12 +54,9 @@
 mod campaign;
 mod classify;
 mod sampling;
+pub mod schedule;
 mod session;
 
-#[allow(deprecated)]
-pub use campaign::{
-    run_campaign, run_campaign_from_scratch, run_golden, run_golden_checkpointed, run_single_fault,
-};
 pub use campaign::{
     CampaignError, CampaignResult, FaultInjector, FaultOutcome, GoldenCheckpoints, GoldenRun,
 };
@@ -63,8 +64,11 @@ pub use classify::{classify, Classification, FaultEffect, TruncatedEffect};
 pub use sampling::{
     fault_population, generate_fault_list, probit, sample_size, z_score, SamplingPlan,
 };
+pub use schedule::{CampaignScheduler, ScheduleStats};
 pub use session::{Session, SessionBuilder, SessionCache, SessionKey};
 
 // Re-exported so downstream crates can name fault sites and checkpoint
 // policies without depending on merlin-cpu directly.
-pub use merlin_cpu::{CheckpointPolicy, CheckpointStore, FaultSpec, FaultSpecError, Structure};
+pub use merlin_cpu::{
+    CheckpointPolicy, CheckpointStore, FaultSpec, FaultSpecError, SpacingStrategy, Structure,
+};

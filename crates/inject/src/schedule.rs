@@ -1,0 +1,708 @@
+//! Restore-aware campaign scheduling: checkpoint-range buckets, worker
+//! binding and whole-range work stealing.
+//!
+//! # Why ranges, not single faults
+//!
+//! The first dynamic engine handed faults to workers one at a time through a
+//! global atomic index over the cycle-sorted order.  That balances load, but
+//! consecutive grabs by one worker rarely restore from the *same* golden
+//! snapshot — between two of its faults, other workers have claimed the
+//! faults in between — so the restore source keeps leaving the worker's
+//! cache.  The [`CampaignScheduler`] keeps dynamic scheduling but changes
+//! the unit of work:
+//!
+//! 1. The cycle-sorted fault list is bucketed into **checkpoint ranges**:
+//!    all faults whose restore source is the same golden snapshot (the
+//!    latest checkpoint at or before their injection cycle) share a bucket.
+//! 2. Each worker **binds** to a range — it claims a whole bucket and runs
+//!    every fault in it against the one hot restore snapshot.
+//! 3. When a worker drains its bucket it **steals a whole range**, never a
+//!    single fault, so restore locality survives stealing.  Steals are
+//!    counted in [`ScheduleStats::range_steals`].
+//!
+//! Combined with suffix-work checkpoint spacing
+//! ([`SpacingStrategy::SuffixWork`](merlin_cpu::SpacingStrategy)) the
+//! buckets carry roughly equal expected *work*, not equal fault counts, so
+//! range-bound workers finish together instead of one worker dragging the
+//! campaign's tail.
+//!
+//! Without a usable checkpoint store (from-scratch campaigns) the same
+//! machinery runs over contiguous chunks of the cycle-sorted order — there
+//! is no restore source to keep hot, but whole-chunk claiming keeps the
+//! scheduling overhead independent of the fault count.
+//!
+//! # Determinism
+//!
+//! Scheduling decides only *who* simulates a fault and *when*; every fault's
+//! classification is a pure function of (program, configuration, fault).
+//! Outcomes are collected per original fault-list index and merged, so
+//! [`CampaignResult::outcomes`] is byte-identical across thread counts and
+//! against the from-scratch path.  Only [`ScheduleStats`] varies.
+
+use crate::campaign::{
+    run_fault_from_checkpoint, run_single_fault_shared, CampaignResult, FaultOutcome,
+    GoldenCheckpoints, GoldenRun,
+};
+use crate::classify::Classification;
+use merlin_cpu::{Cpu, CpuConfig, FaultSpec};
+use merlin_isa::Program;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How many ranges per worker the from-scratch path chunks the fault list
+/// into: enough that a slow chunk can be compensated by stealing, few enough
+/// that claiming stays negligible.
+const SCRATCH_RANGES_PER_WORKER: usize = 4;
+
+/// Aggregate scheduling statistics of one campaign (attached to
+/// [`CampaignResult::schedule`]).
+///
+/// These describe *how* the campaign executed, never *what* it computed:
+/// outcomes are byte-identical across thread counts while these counters
+/// vary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Non-empty ranges the fault list was bucketed into (checkpoint ranges
+    /// on the restore path, contiguous chunks on the from-scratch path).
+    pub ranges: u64,
+    /// Checkpoint restores performed (one per fault that reached the core on
+    /// the restore path; 0 from scratch).
+    pub restores: u64,
+    /// Whole ranges claimed by workers beyond their initial binding.
+    pub range_steals: u64,
+    /// Total cycles simulated across all faulty runs, from each fault's
+    /// restore point (cycle 0 from scratch) to wherever its run ended — the
+    /// work the checkpoint engine actually paid, directly comparable across
+    /// spacing strategies and against `faults × golden_cycles` from scratch.
+    pub suffix_cycles: u64,
+}
+
+/// Per-worker tallies, merged into [`ScheduleStats`] after the join.
+#[derive(Default)]
+struct WorkerStats {
+    restores: u64,
+    range_steals: u64,
+    suffix_cycles: u64,
+    early_exits: u64,
+}
+
+/// Executes one injection campaign: buckets the cycle-sorted fault list by
+/// checkpoint range, binds workers to ranges and steals whole ranges on
+/// drain (see the [module docs](self)).
+///
+/// Built once per campaign by [`Session::campaign`](crate::Session::campaign)
+/// /[`Session::campaign_from_scratch`](crate::Session::campaign_from_scratch);
+/// constructible directly for callers that want to inspect the bucketing or
+/// drive a campaign without a session.
+pub struct CampaignScheduler<'a> {
+    program: Arc<Program>,
+    cfg: Arc<CpuConfig>,
+    golden: &'a GoldenRun,
+    ckpts: Option<Arc<GoldenCheckpoints>>,
+    /// Ascending checkpoint cycles of the usable store (empty from scratch).
+    boundaries: Vec<u64>,
+    faults: &'a [FaultSpec],
+    /// Fault-list indices per range, cycle-sorted within each range; no
+    /// range is empty.
+    buckets: Vec<Vec<usize>>,
+    threads: usize,
+}
+
+impl<'a> CampaignScheduler<'a> {
+    /// Plans a campaign over `faults`.  With `use_checkpoints` (and a golden
+    /// run whose store is usable) faults are bucketed by restore source;
+    /// otherwise the cycle-sorted order is chunked contiguously and every
+    /// fault simulates from cycle 0.
+    pub fn new(
+        program: &Arc<Program>,
+        cfg: &Arc<CpuConfig>,
+        golden: &'a GoldenRun,
+        use_checkpoints: bool,
+        faults: &'a [FaultSpec],
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1).min(faults.len().max(1));
+        // Cycle-sorted, stable on the original index, so bucketing — and
+        // therefore the whole schedule — is reproducible.
+        let mut order: Vec<usize> = (0..faults.len()).collect();
+        order.sort_by_key(|&i| (faults[i].cycle, i));
+        let ckpts = if use_checkpoints {
+            // A store without the cycle-0 snapshot cannot serve arbitrary
+            // injection cycles; fall back to from-scratch simulation rather
+            // than panicking a worker on the first early fault.
+            golden
+                .checkpoints
+                .clone()
+                .filter(|c| c.usable_for_campaigns())
+        } else {
+            None
+        };
+        let boundaries: Vec<u64> = ckpts
+            .as_ref()
+            .map(|c| c.store.cycles().collect())
+            .unwrap_or_default();
+        let buckets = match &ckpts {
+            Some(_) => {
+                // One bucket per checkpoint range [c_k, c_{k+1}): every
+                // fault in it restores from the snapshot at c_k.
+                let mut buckets = Vec::new();
+                let mut start = 0;
+                for &upper in &boundaries[1..] {
+                    let end = start + order[start..].partition_point(|&i| faults[i].cycle < upper);
+                    if end > start {
+                        buckets.push(order[start..end].to_vec());
+                    }
+                    start = end;
+                }
+                if start < order.len() {
+                    buckets.push(order[start..].to_vec());
+                }
+                buckets
+            }
+            None if order.is_empty() => Vec::new(),
+            None => {
+                let chunks = (threads * SCRATCH_RANGES_PER_WORKER).min(order.len());
+                let size = order.len().div_ceil(chunks);
+                order.chunks(size).map(<[usize]>::to_vec).collect()
+            }
+        };
+        CampaignScheduler {
+            program: Arc::clone(program),
+            cfg: Arc::clone(cfg),
+            golden,
+            ckpts,
+            boundaries,
+            faults,
+            // Never spawn more workers than ranges: the extras would only
+            // contend on the claim counter and exit.
+            threads: threads.min(buckets.len().max(1)),
+            buckets,
+        }
+    }
+
+    /// Number of non-empty ranges the fault list was bucketed into.
+    pub fn ranges(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether faults will restore golden checkpoints (false when the golden
+    /// run has no usable store, or checkpointing was explicitly bypassed).
+    pub fn uses_checkpoints(&self) -> bool {
+        self.ckpts.is_some()
+    }
+
+    /// Runs the campaign to completion and aggregates the result.
+    ///
+    /// Outcomes are byte-identical across thread counts; only
+    /// [`CampaignResult::schedule`] (and `early_exits`, which counts the
+    /// same events wherever they land) reflects the execution.
+    pub fn run(&self) -> CampaignResult {
+        let threads = self.threads.max(1).min(self.buckets.len().max(1));
+        let next = AtomicUsize::new(0);
+        let run_worker = |collected: &mut Vec<(usize, FaultOutcome)>, stats: &mut WorkerStats| {
+            let mut cpu: Option<Cpu> = None;
+            let mut claimed = 0usize;
+            loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                let Some(bucket) = self.buckets.get(b) else {
+                    break;
+                };
+                claimed += 1;
+                if claimed > 1 {
+                    stats.range_steals += 1;
+                }
+                for &idx in bucket {
+                    let fault = self.faults[idx];
+                    let run = match &self.ckpts {
+                        Some(ckpts) => {
+                            // One core per worker, restored per fault.
+                            if cpu.is_none() {
+                                cpu = Cpu::new(Arc::clone(&self.program), (*self.cfg).clone()).ok();
+                            }
+                            match cpu.as_mut() {
+                                Some(core) => run_fault_from_checkpoint(
+                                    core,
+                                    self.golden,
+                                    ckpts,
+                                    &self.boundaries,
+                                    fault,
+                                ),
+                                None => {
+                                    collected.push((
+                                        idx,
+                                        FaultOutcome {
+                                            fault,
+                                            effect: crate::classify::FaultEffect::Assert,
+                                        },
+                                    ));
+                                    continue;
+                                }
+                            }
+                        }
+                        None => {
+                            run_single_fault_shared(&self.program, &self.cfg, self.golden, fault)
+                        }
+                    };
+                    stats.restores += u64::from(run.restored);
+                    stats.early_exits += u64::from(run.early_exit);
+                    stats.suffix_cycles += run.suffix_cycles;
+                    collected.push((
+                        idx,
+                        FaultOutcome {
+                            fault,
+                            effect: run.effect,
+                        },
+                    ));
+                }
+            }
+        };
+
+        let mut per_thread: Vec<(Vec<(usize, FaultOutcome)>, WorkerStats)> = Vec::new();
+        if threads == 1 {
+            let mut collected = Vec::with_capacity(self.faults.len());
+            let mut stats = WorkerStats::default();
+            run_worker(&mut collected, &mut stats);
+            per_thread.push((collected, stats));
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..threads {
+                    handles.push(scope.spawn(|| {
+                        let mut collected = Vec::new();
+                        let mut stats = WorkerStats::default();
+                        run_worker(&mut collected, &mut stats);
+                        (collected, stats)
+                    }));
+                }
+                for h in handles {
+                    per_thread.push(h.join().expect("campaign worker panicked"));
+                }
+            });
+        }
+
+        let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; self.faults.len()];
+        let mut schedule = ScheduleStats {
+            ranges: self.buckets.len() as u64,
+            ..ScheduleStats::default()
+        };
+        let mut early_exits = 0u64;
+        for (collected, stats) in per_thread {
+            schedule.restores += stats.restores;
+            schedule.range_steals += stats.range_steals;
+            schedule.suffix_cycles += stats.suffix_cycles;
+            early_exits += stats.early_exits;
+            for (idx, outcome) in collected {
+                outcomes[idx] = Some(outcome);
+            }
+        }
+        let outcomes: Vec<FaultOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every fault produced an outcome"))
+            .collect();
+        let mut classification = Classification::default();
+        for o in &outcomes {
+            classification.record(o.effect, 1);
+        }
+        let runs_executed = outcomes.len() as u64;
+        CampaignResult {
+            outcomes,
+            classification,
+            runs_executed,
+            early_exits,
+            schedule,
+        }
+    }
+}
+
+/// Clone-free campaign entry used by the session layer: schedule and run in
+/// one call.
+pub(crate) fn campaign_shared(
+    program: &Arc<Program>,
+    cfg: &Arc<CpuConfig>,
+    golden: &GoldenRun,
+    use_checkpoints: bool,
+    faults: &[FaultSpec],
+    threads: usize,
+) -> CampaignResult {
+    CampaignScheduler::new(program, cfg, golden, use_checkpoints, faults, threads).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{
+        build_golden_checkpointed, build_golden_plain, CampaignError, FaultInjector,
+    };
+    use crate::classify::FaultEffect;
+    use crate::sampling::generate_fault_list;
+    use merlin_cpu::{CheckpointPolicy, NullProbe, SpacingStrategy, Structure};
+    use merlin_isa::{reg, AluOp, Cond, MemRef, ProgramBuilder};
+
+    fn golden_plain(
+        program: &Program,
+        cfg: &CpuConfig,
+        max: u64,
+    ) -> Result<GoldenRun, CampaignError> {
+        build_golden_plain(&Arc::new(program.clone()), cfg, max)
+    }
+
+    fn golden_ck(
+        program: &Program,
+        cfg: &CpuConfig,
+        max: u64,
+        policy: &CheckpointPolicy,
+    ) -> Result<GoldenRun, CampaignError> {
+        build_golden_checkpointed(&Arc::new(program.clone()), cfg, max, policy)
+    }
+
+    fn campaign(
+        program: &Program,
+        cfg: &CpuConfig,
+        golden: &GoldenRun,
+        faults: &[FaultSpec],
+        threads: usize,
+    ) -> CampaignResult {
+        campaign_shared(
+            &Arc::new(program.clone()),
+            &Arc::new(cfg.clone()),
+            golden,
+            true,
+            faults,
+            threads,
+        )
+    }
+
+    fn campaign_scratch(
+        program: &Program,
+        cfg: &CpuConfig,
+        golden: &GoldenRun,
+        faults: &[FaultSpec],
+        threads: usize,
+    ) -> CampaignResult {
+        campaign_shared(
+            &Arc::new(program.clone()),
+            &Arc::new(cfg.clone()),
+            golden,
+            false,
+            faults,
+            threads,
+        )
+    }
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let data = b.alloc_words(&[11, 22, 33, 44, 55, 66, 77, 88]);
+        b.movi(reg(10), data as i64);
+        b.movi(reg(1), 0);
+        b.movi(reg(2), 0);
+        let top = b.bind_label();
+        b.load_op(AluOp::Add, reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.store(reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+        b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+        b.branch_ri(Cond::Lt, reg(1), 8, top);
+        b.out(reg(2));
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn small_policy() -> CheckpointPolicy {
+        CheckpointPolicy {
+            enabled: true,
+            target_checkpoints: 8,
+            min_interval: 8,
+            early_exit: true,
+            ..CheckpointPolicy::default()
+        }
+    }
+
+    #[test]
+    fn golden_run_succeeds_and_sets_timeout() {
+        let g = golden_plain(&tiny_program(), &CpuConfig::default(), 1_000_000).unwrap();
+        assert!(g.result.exit.is_halted());
+        assert!(g.timeout_cycles >= 3 * g.result.cycles);
+        assert!(g.checkpoints.is_none());
+    }
+
+    #[test]
+    fn checkpointed_golden_run_matches_plain_golden_run() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let plain = golden_plain(&program, &cfg, 1_000_000).unwrap();
+        for spacing in [SpacingStrategy::EqualCycles, SpacingStrategy::SuffixWork] {
+            let ck = golden_ck(
+                &program,
+                &cfg,
+                1_000_000,
+                &small_policy().with_spacing(spacing),
+            )
+            .unwrap();
+            assert_eq!(plain.result, ck.result);
+            assert_eq!(plain.timeout_cycles, ck.timeout_cycles);
+            let ckpts = ck.checkpoints.as_ref().unwrap();
+            assert!(ckpts.store.len() >= 2);
+        }
+        // Disabled policy produces no store.
+        let off = golden_ck(&program, &cfg, 1_000_000, &CheckpointPolicy::disabled()).unwrap();
+        assert!(off.checkpoints.is_none());
+    }
+
+    #[test]
+    fn golden_run_failure_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_label();
+        b.jump(top);
+        b.halt();
+        let program = b.build().unwrap();
+        let err = golden_plain(&program, &CpuConfig::default(), 10_000);
+        assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
+        let err = golden_ck(&program, &CpuConfig::default(), 10_000, &small_policy());
+        assert!(matches!(err, Err(CampaignError::GoldenRunFailed(_))));
+    }
+
+    #[test]
+    fn outcomes_are_identical_across_thread_counts() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        for spacing in [SpacingStrategy::EqualCycles, SpacingStrategy::SuffixWork] {
+            let golden = golden_ck(
+                &program,
+                &cfg,
+                1_000_000,
+                &small_policy().with_spacing(spacing),
+            )
+            .unwrap();
+            let faults = generate_fault_list(
+                Structure::RegisterFile,
+                cfg.phys_int_regs,
+                golden.result.cycles,
+                60,
+                7,
+            );
+            let seq = campaign(&program, &cfg, &golden, &faults, 1);
+            for threads in [2, 4, 8] {
+                let par = campaign(&program, &cfg, &golden, &faults, threads);
+                assert_eq!(seq.outcomes, par.outcomes, "{spacing:?} x{threads}");
+                assert_eq!(seq.classification, par.classification);
+            }
+            assert_eq!(seq.classification.total(), 60);
+        }
+    }
+
+    #[test]
+    fn checkpointed_campaign_is_byte_identical_to_from_scratch() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let mut early_exits_with_policy_on = 0u64;
+        for policy in [
+            small_policy(),
+            CheckpointPolicy {
+                early_exit: false,
+                ..small_policy()
+            },
+            small_policy().with_spacing(SpacingStrategy::EqualCycles),
+        ] {
+            let golden = golden_ck(&program, &cfg, 1_000_000, &policy).unwrap();
+            for structure in [Structure::RegisterFile, Structure::StoreQueue] {
+                let entries = cfg.structure_entries(structure);
+                let faults = generate_fault_list(structure, entries, golden.result.cycles, 150, 13);
+                let checkpointed = campaign(&program, &cfg, &golden, &faults, 4);
+                let scratch = campaign_scratch(&program, &cfg, &golden, &faults, 4);
+                assert_eq!(checkpointed.outcomes, scratch.outcomes, "{structure}");
+                assert_eq!(checkpointed.classification, scratch.classification);
+                assert_eq!(scratch.early_exits, 0);
+                assert_eq!(scratch.schedule.restores, 0);
+                // Every in-range fault restored a checkpoint.
+                assert!(checkpointed.schedule.restores > 0);
+                assert!(checkpointed.schedule.suffix_cycles > 0);
+                assert!(
+                    checkpointed.schedule.suffix_cycles < scratch.schedule.suffix_cycles,
+                    "restore must cut simulated cycles ({} vs {})",
+                    checkpointed.schedule.suffix_cycles,
+                    scratch.schedule.suffix_cycles
+                );
+                if !policy.early_exit {
+                    assert_eq!(checkpointed.early_exits, 0);
+                }
+                early_exits_with_policy_on +=
+                    u64::from(policy.early_exit) * checkpointed.early_exits;
+            }
+        }
+        // The convergence early exit must actually fire somewhere (dead
+        // engine paths would hide bugs behind the identical-results check).
+        assert!(early_exits_with_policy_on > 0);
+    }
+
+    #[test]
+    fn scheduler_buckets_by_restore_source_and_steals_ranges() {
+        let program = Arc::new(tiny_program());
+        let cfg = Arc::new(CpuConfig::default());
+        let golden = build_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let store_cycles: Vec<u64> = golden
+            .checkpoints
+            .as_ref()
+            .unwrap()
+            .store
+            .cycles()
+            .collect();
+        let faults = generate_fault_list(
+            Structure::RegisterFile,
+            cfg.phys_int_regs,
+            golden.result.cycles,
+            120,
+            3,
+        );
+        let sched = CampaignScheduler::new(&program, &cfg, &golden, true, &faults, 4);
+        assert!(sched.uses_checkpoints());
+        // No more ranges than checkpoints, and every bucket's faults share
+        // one restore source.
+        assert!(sched.ranges() >= 1 && sched.ranges() <= store_cycles.len());
+        for bucket in &sched.buckets {
+            assert!(!bucket.is_empty());
+            let restore_of = |f: FaultSpec| {
+                store_cycles
+                    .iter()
+                    .rev()
+                    .find(|&&c| c <= f.cycle)
+                    .copied()
+                    .unwrap()
+            };
+            let first = restore_of(faults[bucket[0]]);
+            assert!(bucket.iter().all(|&i| restore_of(faults[i]) == first));
+        }
+        let result = sched.run();
+        assert_eq!(result.schedule.ranges, sched.ranges() as u64);
+        // A single worker claims every range: all but its binding are steals.
+        let solo = CampaignScheduler::new(&program, &cfg, &golden, true, &faults, 1).run();
+        assert_eq!(solo.schedule.range_steals, solo.schedule.ranges - 1);
+        assert_eq!(solo.outcomes, result.outcomes);
+    }
+
+    #[test]
+    fn empty_fault_list_schedules_nothing() {
+        let program = Arc::new(tiny_program());
+        let cfg = Arc::new(CpuConfig::default());
+        let golden = build_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        for use_ck in [true, false] {
+            let sched = CampaignScheduler::new(&program, &cfg, &golden, use_ck, &[], 4);
+            assert_eq!(sched.ranges(), 0);
+            let result = sched.run();
+            assert!(result.outcomes.is_empty());
+            assert_eq!(result.schedule, ScheduleStats::default());
+        }
+    }
+
+    #[test]
+    fn campaign_finds_both_masked_and_non_masked_faults() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let faults = generate_fault_list(
+            Structure::RegisterFile,
+            cfg.phys_int_regs,
+            golden.result.cycles,
+            200,
+            99,
+        );
+        let result = campaign(&program, &cfg, &golden, &faults, 2);
+        assert!(result.classification.masked > 0);
+        // With 256 mostly-idle registers the masked fraction must dominate.
+        assert!(result.classification.avf() < 0.5);
+    }
+
+    #[test]
+    fn timeout_rule_is_single_sourced() {
+        assert_eq!(GoldenRun::timeout_for(0), 1000);
+        assert_eq!(GoldenRun::timeout_for(100), 1000);
+        assert_eq!(GoldenRun::timeout_for(10_000), 30_000);
+        assert_eq!(GoldenRun::timeout_for(u64::MAX), u64::MAX);
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let plain = golden_plain(&program, &cfg, 1_000_000).unwrap();
+        let ck = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        assert_eq!(
+            plain.timeout_cycles,
+            GoldenRun::timeout_for(plain.result.cycles)
+        );
+        assert_eq!(ck.timeout_cycles, plain.timeout_cycles);
+    }
+
+    #[test]
+    fn degenerate_store_falls_back_instead_of_panicking() {
+        // Regression: a checkpoint store without the cycle-0 snapshot (built
+        // on a mid-run core, or decoded from a foreign `.golden` file) used
+        // to panic the campaign worker on the first fault before its first
+        // checkpoint.  It now degrades to from-scratch simulation.
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let mut cpu = Cpu::new(Arc::new(program.clone()), cfg.clone()).unwrap();
+        for _ in 0..17 {
+            cpu.step(&mut NullProbe);
+        }
+        let (_, late_store) = cpu.run_with_checkpoints(1_000_000, &mut NullProbe, 8);
+        assert!(!late_store.starts_at_reset());
+        let crippled = GoldenRun {
+            checkpoints: Some(Arc::new(GoldenCheckpoints {
+                store: late_store,
+                policy: small_policy(),
+            })),
+            ..golden.clone()
+        };
+        assert!(!crippled
+            .checkpoints
+            .as_ref()
+            .unwrap()
+            .usable_for_campaigns());
+        let faults = [
+            FaultSpec::new(Structure::RegisterFile, 3, 5, 2), // before cycle 17
+            FaultSpec::new(Structure::RegisterFile, 3, 5, 40),
+        ];
+        let via_crippled = campaign(&program, &cfg, &crippled, &faults, 1);
+        let via_scratch = campaign_scratch(&program, &cfg, &golden, &faults, 1);
+        assert_eq!(via_crippled.outcomes, via_scratch.outcomes);
+        assert_eq!(
+            via_crippled.early_exits, 0,
+            "fallback path cannot early-exit"
+        );
+        assert_eq!(via_crippled.schedule.restores, 0);
+        // The single-fault injector degrades the same way.
+        let mut injector = FaultInjector::new(&program, &cfg, &crippled);
+        assert_eq!(injector.run(faults[0]), via_scratch.outcomes[0].effect);
+    }
+
+    #[test]
+    fn out_of_range_fault_sites_are_masked() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default().with_phys_regs(64);
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let mut injector = FaultInjector::new(&program, &cfg, &golden);
+        let absent = FaultSpec::new(Structure::RegisterFile, 200, 1, 10);
+        let (effect, cycles) = injector.run_with_cycles(absent);
+        assert_eq!(effect, FaultEffect::Masked);
+        assert_eq!(cycles, 0, "absent fault sites simulate nothing");
+        // Same through the scheduler.
+        let out = campaign(&program, &cfg, &golden, &[absent], 1);
+        assert_eq!(out.outcomes[0].effect, FaultEffect::Masked);
+        assert_eq!(out.schedule.restores, 0);
+    }
+
+    #[test]
+    fn injector_reports_per_fault_cycles() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let mut injector = FaultInjector::new(&program, &cfg, &golden);
+        // A late fault must simulate fewer cycles than an early one with the
+        // same (masked-at-end) fate — that is the whole point of restoring.
+        let early = FaultSpec::new(Structure::RegisterFile, 3, 5, 2);
+        let late = FaultSpec::new(Structure::RegisterFile, 3, 5, golden.result.cycles - 2);
+        let (_, early_cycles) = injector.run_with_cycles(early);
+        let (_, late_cycles) = injector.run_with_cycles(late);
+        assert!(early_cycles > 0 && late_cycles > 0);
+        assert!(
+            late_cycles < early_cycles,
+            "late fault simulated {late_cycles} >= early fault's {early_cycles}"
+        );
+    }
+}

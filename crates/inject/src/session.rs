@@ -42,10 +42,11 @@
 //! ```
 
 use crate::campaign::{
-    build_golden_checkpointed, campaign_shared, CampaignError, CampaignResult, FaultInjector,
-    GoldenCheckpoints, GoldenRun,
+    build_golden_checkpointed, CampaignError, CampaignResult, FaultInjector, GoldenCheckpoints,
+    GoldenRun,
 };
 use crate::sampling::generate_fault_list;
+use crate::schedule::campaign_shared;
 use merlin_cpu::{CheckpointPolicy, CpuConfig, FaultSpec, Structure};
 use merlin_isa::binio::{BinCode, ByteReader};
 use merlin_isa::Program;
@@ -465,6 +466,24 @@ pub struct SessionKey {
     pub fingerprint: u64,
 }
 
+/// One cached session plus its recency stamp.
+#[derive(Debug)]
+struct CacheEntry {
+    session: Arc<Session>,
+    /// Monotone access counter value at the entry's last use (LRU order).
+    last_used: u64,
+}
+
+/// Interior state of a [`SessionCache`].
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<SessionKey, CacheEntry>,
+    /// Monotone access counter driving the LRU order.
+    tick: u64,
+    /// Sessions evicted to enforce the byte budget, ever.
+    evictions: u64,
+}
+
 /// A keyed cache of [`Session`]s, so configuration sweeps and repeated
 /// campaign phases over the same `(workload, configuration)` pair share one
 /// golden run.
@@ -473,6 +492,15 @@ pub struct SessionKey {
 /// are serialised to `<dir>/<id>-<fingerprint>.golden` and re-loaded by
 /// later processes — the instrumented golden run is then paid once per
 /// context *ever*, not once per process.
+///
+/// With a byte budget attached ([`SessionCache::with_byte_budget`]), the
+/// cache evicts least-recently-used sessions whenever the summed
+/// [`Session::checkpoint_footprint_bytes`] of its residents exceeds the
+/// budget — paper-scale sweeps (9 configurations × 10 benchmarks) then hold
+/// a bounded working set instead of ~90 checkpoint stores.  Eviction only
+/// drops the cache's reference: sessions still held by callers stay fully
+/// usable, and a re-requested evicted context rebuilds — from its persisted
+/// `.golden` file without re-simulating when a disk directory is attached.
 ///
 /// # Examples
 ///
@@ -494,12 +522,14 @@ pub struct SessionKey {
 /// ```
 #[derive(Debug, Default)]
 pub struct SessionCache {
-    sessions: Mutex<HashMap<SessionKey, Arc<Session>>>,
+    state: Mutex<CacheState>,
     disk_dir: Option<PathBuf>,
+    byte_budget: Option<usize>,
 }
 
 impl SessionCache {
-    /// An in-memory cache (sessions shared within this process only).
+    /// An in-memory cache (sessions shared within this process only),
+    /// unbounded.
     pub fn new() -> Self {
         SessionCache::default()
     }
@@ -508,9 +538,26 @@ impl SessionCache {
     /// cross-process reuse.  The directory is created on first save.
     pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
         SessionCache {
-            sessions: Mutex::new(HashMap::new()),
             disk_dir: Some(dir.into()),
+            ..SessionCache::default()
         }
+    }
+
+    /// Bounds the summed checkpoint footprint of resident sessions to
+    /// `bytes`, evicting least-recently-used sessions past it (see the type
+    /// docs).  The budget is enforced at every [`SessionCache::session`]
+    /// request — golden runs are built lazily, so a session's footprint
+    /// materialises after it is cached and is accounted for from the next
+    /// request on.  Composes with [`SessionCache::with_disk_dir`]:
+    ///
+    /// ```
+    /// use merlin_inject::SessionCache;
+    /// let cache = SessionCache::with_disk_dir("/tmp/golden")
+    ///     .with_byte_budget(256 << 20);
+    /// ```
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = Some(bytes);
+        self
     }
 
     /// Returns the session for `(id, context)`, creating it on first
@@ -536,26 +583,91 @@ impl SessionCache {
             id: id.to_string(),
             fingerprint: builder.fingerprint(),
         };
-        let mut sessions = lock_unpoisoned(&self.sessions);
-        if let Some(session) = sessions.get(&key) {
-            return Ok(Arc::clone(session));
+        let mut state = lock_unpoisoned(&self.state);
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(entry) = state.entries.get_mut(&key) {
+            entry.last_used = tick;
+            let session = Arc::clone(&entry.session);
+            self.enforce_budget(&mut state, &key);
+            return Ok(session);
         }
         if let Some(dir) = &self.disk_dir {
             builder = builder.persist_to(dir.join(golden_file_name(id, key.fingerprint)));
         }
         let session = Arc::new(builder.build()?);
-        sessions.insert(key, Arc::clone(&session));
+        state.entries.insert(
+            key.clone(),
+            CacheEntry {
+                session: Arc::clone(&session),
+                last_used: tick,
+            },
+        );
+        self.enforce_budget(&mut state, &key);
         Ok(session)
+    }
+
+    /// Evicts least-recently-used sessions until the resident checkpoint
+    /// footprint fits the budget.  The just-requested session (`current`) is
+    /// never evicted — handing a caller a session the cache immediately
+    /// forgot would make the next request rebuild it while the caller still
+    /// holds it.  Sessions whose golden run is not built yet occupy no
+    /// checkpoint memory and are skipped.
+    fn enforce_budget(&self, state: &mut CacheState, current: &SessionKey) {
+        let Some(budget) = self.byte_budget else {
+            return;
+        };
+        loop {
+            let total: usize = state
+                .entries
+                .values()
+                .map(|e| e.session.checkpoint_footprint_bytes())
+                .sum();
+            if total <= budget {
+                return;
+            }
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(k, e)| *k != current && e.session.checkpoint_footprint_bytes() > 0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    state.entries.remove(&k);
+                    state.evictions += 1;
+                }
+                // Nothing evictable (the overshoot is the current session
+                // alone): an oversized context must still be usable.
+                None => return,
+            }
+        }
     }
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        lock_unpoisoned(&self.sessions).len()
+        lock_unpoisoned(&self.state).entries.len()
     }
 
     /// `true` when no session has been created yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Sessions evicted to enforce the byte budget since the cache was
+    /// created (0 without a budget).
+    pub fn evictions(&self) -> u64 {
+        lock_unpoisoned(&self.state).evictions
+    }
+
+    /// Summed checkpoint footprint of the resident sessions in bytes (only
+    /// sessions whose golden run has been built contribute).
+    pub fn resident_bytes(&self) -> usize {
+        lock_unpoisoned(&self.state)
+            .entries
+            .values()
+            .map(|e| e.session.checkpoint_footprint_bytes())
+            .sum()
     }
 }
 
@@ -677,6 +789,7 @@ mod tests {
             target_checkpoints: 8,
             min_interval: 8,
             early_exit: true,
+            ..CheckpointPolicy::default()
         }
     }
 
@@ -859,6 +972,104 @@ mod tests {
             .unwrap();
         assert!(!Arc::ptr_eq(&a, &d));
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_sessions() {
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let tune = |b: SessionBuilder| b.checkpoints(small_policy()).max_cycles(1_000_000);
+
+        // Unbounded: both sessions stay resident.
+        let unbounded = SessionCache::new();
+        let a = unbounded.session("a", &p, &cfg, tune).unwrap();
+        a.golden().unwrap();
+        let footprint = a.checkpoint_footprint_bytes();
+        assert!(footprint > 0);
+        let b = unbounded.session("b", &p, &cfg, tune).unwrap();
+        b.golden().unwrap();
+        assert_eq!(unbounded.len(), 2);
+        assert_eq!(unbounded.evictions(), 0);
+        assert_eq!(unbounded.resident_bytes(), 2 * footprint);
+
+        // A budget that fits one store but not two: requesting a second
+        // session evicts the least recently used one.
+        let cache = SessionCache::new().with_byte_budget(footprint + footprint / 2);
+        let a = cache.session("a", &p, &cfg, tune).unwrap();
+        a.golden().unwrap();
+        let b = cache.session("b", &p, &cfg, tune).unwrap();
+        b.golden().unwrap();
+        assert_eq!(
+            cache.len(),
+            2,
+            "footprints are accounted from the next request"
+        );
+        // Touch "b", then request "a" again: the budget check runs, "b" is
+        // the more recently used resident, so... "a" is the requested key
+        // (never evicted) and "b" must go.
+        let a2 = cache.session("a", &p, &cfg, tune).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.resident_bytes() <= footprint + footprint / 2);
+        // The evicted session's Arc stays fully usable.
+        let faults = b.fault_list(Structure::RegisterFile, 10, 3).unwrap();
+        assert_eq!(b.campaign(&faults).unwrap().classification.total(), 10);
+        // The survivor is still the cached "a".
+        assert!(Arc::ptr_eq(&a, &a2));
+        // Re-requesting the evicted context rebuilds it (fresh session).
+        let b2 = cache.session("b", &p, &cfg, tune).unwrap();
+        assert!(!Arc::ptr_eq(&b, &b2));
+        assert_eq!(
+            b2.golden_builds(),
+            0,
+            "golden not built yet on the fresh session"
+        );
+
+        // An oversized single session is never evicted by its own request.
+        let tight = SessionCache::new().with_byte_budget(1);
+        let only = tight.session("solo", &p, &cfg, tune).unwrap();
+        only.golden().unwrap();
+        let again = tight.session("solo", &p, &cfg, tune).unwrap();
+        assert!(Arc::ptr_eq(&only, &again));
+        assert_eq!(tight.len(), 1);
+    }
+
+    #[test]
+    fn evicted_sessions_fall_back_to_their_golden_files() {
+        let dir = temp_dir("lru-disk");
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let tune = |b: SessionBuilder| b.checkpoints(small_policy()).max_cycles(1_000_000);
+
+        let probe = SessionCache::with_disk_dir(&dir);
+        let s = probe.session("w", &p, &cfg, tune).unwrap();
+        s.golden().unwrap();
+        let footprint = s.checkpoint_footprint_bytes();
+        assert_eq!(s.golden_builds(), 1);
+        drop((probe, s));
+
+        // A budgeted cache over the same directory: the session loads from
+        // disk, gets evicted by a sibling, and loads from disk again on
+        // re-request — zero further golden simulations.
+        let cache = SessionCache::with_disk_dir(&dir).with_byte_budget(footprint);
+        let w = cache.session("w", &p, &cfg, tune).unwrap();
+        w.golden().unwrap();
+        assert_eq!(w.golden_builds(), 0, "first load comes from disk");
+        let sibling = cache.session("x", &p, &cfg, tune).unwrap();
+        sibling.golden().unwrap();
+        let _ = cache.session("x", &p, &cfg, tune).unwrap();
+        assert!(cache.evictions() >= 1, "the LRU resident must be evicted");
+        let w2 = cache.session("w", &p, &cfg, tune).unwrap();
+        assert!(!Arc::ptr_eq(&w, &w2));
+        let golden = w2.golden().unwrap();
+        assert_eq!(
+            w2.golden_builds(),
+            0,
+            "eviction falls back to the .golden file"
+        );
+        assert_eq!(golden.result, w.golden().unwrap().result);
+
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

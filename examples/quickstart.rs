@@ -46,8 +46,19 @@ fn main() {
         .fault_list(structure, 1_000, 2017)
         .expect("fault list");
 
-    // Baseline: inject every fault.
+    // Baseline: inject every fault.  The restore-aware scheduler buckets the
+    // fault list by checkpoint range and reports how it executed.
     let comprehensive = session.comprehensive(&faults).expect("baseline campaign");
+    let sched = &comprehensive.schedule;
+    println!(
+        "scheduler: {} ranges, {} restores, {} range steals, {} suffix cycles simulated \
+         (vs ~{} from scratch)",
+        sched.ranges,
+        sched.restores,
+        sched.range_steals,
+        sched.suffix_cycles,
+        golden.result.cycles * faults.len() as u64,
+    );
 
     // MeRLiN: prune + group + inject representatives only — over the *same*
     // golden run and checkpoint store as the baseline.

@@ -48,4 +48,6 @@ pub use merlin_workloads as workloads;
 
 pub use merlin_ace::SessionAce;
 pub use merlin_core::SessionMethodology;
-pub use merlin_inject::{Session, SessionBuilder, SessionCache, SessionKey};
+pub use merlin_inject::{
+    CampaignScheduler, ScheduleStats, Session, SessionBuilder, SessionCache, SessionKey,
+};

@@ -122,6 +122,16 @@ fn checkpointed_campaigns_match_from_scratch_byte_for_byte() {
             "{name}/{structure}: engine diverged from the from-scratch path"
         );
         assert_eq!(checkpointed.classification, scratch.classification);
+        // The restore-aware scheduler actually scheduled: faults bucketed
+        // into checkpoint ranges, every in-range fault restored, and the
+        // simulated suffix work far below the from-scratch total.
+        assert!(checkpointed.schedule.ranges > 1);
+        assert!(checkpointed.schedule.restores > 0);
+        assert_eq!(scratch.schedule.restores, 0);
+        assert!(
+            checkpointed.schedule.suffix_cycles < scratch.schedule.suffix_cycles,
+            "{name}/{structure}: restoring did not cut simulated cycles"
+        );
     }
 }
 
