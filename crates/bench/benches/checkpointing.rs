@@ -16,12 +16,19 @@
 //!   same checkpoint policy (`p95_fault_s` / `p95_fault_s_equal_cycles`).
 //!   The suffix-work store retains the equal-cycles grid plus head
 //!   midpoints, so per-fault simulated cycles are never higher; the wall
-//!   numbers realise that as lower mean and tail latency.
+//!   numbers realise that as lower mean and tail latency;
+//! * **hot-loop cost** — full vs incremental restores and the bytes they
+//!   rewrote (`full_restores` / `incremental_restores` / `restored_bytes`),
+//!   plus a decode microbenchmark comparing per-fetch cracking against
+//!   copying from the shared pre-decoded arena (`decode_ns_per_uop` /
+//!   `predecoded_ns_per_uop`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use merlin_cpu::{CpuConfig, SpacingStrategy, Structure};
 use merlin_inject::{CheckpointPolicy, Session};
+use merlin_isa::{decode, DecodedProgram, Program, Rip};
 use merlin_workloads::workload_by_name;
+use std::hint::black_box;
 use std::time::Instant;
 
 const FAULTS: usize = 200;
@@ -137,6 +144,36 @@ fn fault_latency(session: &Session, faults: &[merlin_cpu::FaultSpec]) -> FaultLa
     }
 }
 
+/// Nanoseconds per micro-op to produce a program's full micro-op stream:
+/// cracking per instruction (`decode`, the old per-fetch hot loop, one heap
+/// allocation per instruction) vs copying out of the shared pre-decoded
+/// arena.  Deterministic work, min-of-reps timing.
+fn decode_microbench(program: &Program) -> (f64, f64) {
+    let decoded = DecodedProgram::new(program);
+    let n_uops = decoded.num_uops().max(1);
+    const REPS: usize = 50;
+    let mut decode_ns = f64::INFINITY;
+    let mut predecoded_ns = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for (rip, inst) in program.instructions.iter().enumerate() {
+            black_box(decode(rip as Rip, inst));
+        }
+        decode_ns = decode_ns.min(t.elapsed().as_nanos() as f64 / n_uops as f64);
+
+        let mut sink = 0u64;
+        let t = Instant::now();
+        for rip in 0..program.len() {
+            for &u in decoded.uops(rip as Rip) {
+                sink ^= u64::from(u.rip) ^ u.imm as u64;
+            }
+        }
+        predecoded_ns = predecoded_ns.min(t.elapsed().as_nanos() as f64 / n_uops as f64);
+        black_box(sink);
+    }
+    (decode_ns, predecoded_ns)
+}
+
 fn checkpointing(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpointing");
     group.sample_size(10);
@@ -171,15 +208,22 @@ fn checkpointing(c: &mut Criterion) {
             .unwrap();
         let sw = fault_latency(&p.session, &latency_faults);
         let eq = fault_latency(&p.session_equal, &latency_faults);
+        let (decode_ns, predecoded_ns) = decode_microbench(p.session.program());
         println!(
             "checkpointing/{name}: {FAULTS} faults, {checkpoints} checkpoints, \
              from-scratch {scratch_s:.3}s vs checkpointed {ck_s:.3}s -> {speedup:.2}x, \
              store {footprint} B delta vs {dense_footprint} B dense -> {shrink:.2}x smaller, \
-             {} restores, {} range steals, {} suffix cycles, \
+             {} restores ({} full / {} incremental, {} B rewritten), \
+             {} range steals, {} range splits, {} suffix cycles, \
              p95/fault {:.2} ms suffix-work vs {:.2} ms equal-cycles \
-             (p95 {} vs {} cycles, mean {} vs {} cycles)",
+             (p95 {} vs {} cycles, mean {} vs {} cycles), \
+             decode {decode_ns:.1} ns/uop vs predecoded {predecoded_ns:.1} ns/uop",
             sched.restores,
+            sched.full_restores,
+            sched.incremental_restores,
+            sched.restored_bytes,
             sched.range_steals,
+            sched.range_splits,
             sched.suffix_cycles,
             1e3 * sw.p95_s,
             1e3 * eq.p95_s,
@@ -196,17 +240,25 @@ fn checkpointing(c: &mut Criterion) {
              \"dense_footprint_bytes\": {dense_footprint}, \
              \"footprint_shrink\": {shrink:.3}, \
              \"ranges\": {}, \"restores\": {}, \"range_steals\": {}, \
+             \"range_splits\": {}, \"full_restores\": {}, \
+             \"incremental_restores\": {}, \"restored_bytes\": {}, \
              \"suffix_cycles\": {}, \"latency_faults\": {LATENCY_FAULTS}, \
              \"p95_fault_s\": {:.6}, \
              \"p95_fault_s_equal_cycles\": {:.6}, \
              \"p95_fault_cycles\": {}, \
              \"p95_fault_cycles_equal_cycles\": {}, \
              \"mean_fault_cycles\": {}, \
-             \"mean_fault_cycles_equal_cycles\": {}}}",
+             \"mean_fault_cycles_equal_cycles\": {}, \
+             \"decode_ns_per_uop\": {decode_ns:.2}, \
+             \"predecoded_ns_per_uop\": {predecoded_ns:.2}}}",
             p.session.golden().unwrap().result.cycles,
             sched.ranges,
             sched.restores,
             sched.range_steals,
+            sched.range_splits,
+            sched.full_restores,
+            sched.incremental_restores,
+            sched.restored_bytes,
             sched.suffix_cycles,
             sw.p95_s,
             eq.p95_s,

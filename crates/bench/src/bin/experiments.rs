@@ -538,7 +538,11 @@ fn accuracy_figures(scale: &ExperimentScale) {
                     .expect("comprehensive baseline");
                 sched_sum.ranges += comprehensive.schedule.ranges;
                 sched_sum.restores += comprehensive.schedule.restores;
+                sched_sum.full_restores += comprehensive.schedule.full_restores;
+                sched_sum.incremental_restores += comprehensive.schedule.incremental_restores;
+                sched_sum.restored_bytes += comprehensive.schedule.restored_bytes;
                 sched_sum.range_steals += comprehensive.schedule.range_steals;
+                sched_sum.range_splits += comprehensive.schedule.range_splits;
                 sched_sum.suffix_cycles += comprehensive.schedule.suffix_cycles;
                 let post_ace = cell
                     .session
@@ -570,9 +574,17 @@ fn accuracy_figures(scale: &ExperimentScale) {
         }
     }
     println!(
-        "scheduler totals across comprehensive baselines: {} ranges, {} restores, \
-         {} range steals, {} suffix cycles simulated\n",
-        sched_sum.ranges, sched_sum.restores, sched_sum.range_steals, sched_sum.suffix_cycles
+        "scheduler totals across comprehensive baselines: {} ranges, {} restores \
+         ({} full / {} incremental, {} B rewritten), {} range steals, {} range splits, \
+         {} suffix cycles simulated\n",
+        sched_sum.ranges,
+        sched_sum.restores,
+        sched_sum.full_restores,
+        sched_sum.incremental_restores,
+        sched_sum.restored_bytes,
+        sched_sum.range_steals,
+        sched_sum.range_splits,
+        sched_sum.suffix_cycles
     );
 }
 

@@ -24,11 +24,29 @@ struct CacheLine {
 
 /// A set-associative, write-back, write-allocate cache with true data
 /// storage and LRU replacement.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Besides the lines themselves, the cache keeps a *touched* bitset: one bit
+/// per line, set whenever any snapshotted per-line state (valid, dirty, tag,
+/// LRU stamp or data) may have changed, and cleared by every restore.  The
+/// bitset is what makes same-snapshot restores incremental — only lines
+/// touched since the previous restore need rewriting (see
+/// [`Cache::restore_snapshot_incremental`]).  It is bookkeeping about *how*
+/// the cache diverged from the last restore point, not architectural state:
+/// equality compares lines and the LRU counter only.
+#[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<CacheLine>>,
     use_counter: u64,
+    /// One bit per line (`set * ways + way`), set on any line mutation since
+    /// the last restore.
+    touched: Vec<u64>,
+}
+
+impl PartialEq for Cache {
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg && self.use_counter == other.use_counter && self.sets == other.sets
+    }
 }
 
 impl Cache {
@@ -41,11 +59,20 @@ impl Cache {
             data: vec![0; cfg.line_bytes as usize],
             last_use: 0,
         };
+        let lines = cfg.sets() * cfg.ways;
         Cache {
             sets: vec![vec![line; cfg.ways]; cfg.sets()],
             cfg,
             use_counter: 0,
+            touched: vec![0; lines.div_ceil(64)],
         }
+    }
+
+    /// Marks the line at `(set, way)` as touched since the last restore.
+    #[inline]
+    fn mark_touched(&mut self, set: usize, way: usize) {
+        let idx = set * self.cfg.ways + way;
+        self.touched[idx / 64] |= 1u64 << (idx % 64);
     }
 
     /// The cache geometry.
@@ -82,6 +109,7 @@ impl Cache {
     fn touch(&mut self, set: usize, way: usize) {
         self.use_counter += 1;
         self.sets[set][way].last_use = self.use_counter;
+        self.mark_touched(set, way);
     }
 
     /// Picks the LRU victim way within `set` (invalid ways first).
@@ -134,6 +162,7 @@ impl Cache {
         if let Some((set, way)) = self.lookup(addr) {
             self.use_counter += 1;
             let last_use = self.use_counter;
+            self.mark_touched(set, way);
             let line = &mut self.sets[set][way];
             line.data = data;
             line.dirty = line.dirty || dirty;
@@ -155,6 +184,7 @@ impl Cache {
         let tag = self.tag(addr);
         self.use_counter += 1;
         let last_use = self.use_counter;
+        self.mark_touched(set, way);
         let line = &mut self.sets[set][way];
         line.valid = true;
         line.dirty = dirty;
@@ -184,6 +214,7 @@ impl Cache {
     /// either way); faults in invalid lines are naturally masked because the
     /// next refill overwrites them.
     pub fn flip_bit(&mut self, set: usize, way: usize, byte: usize, bit: u8) {
+        self.mark_touched(set, way);
         self.sets[set][way].data[byte] ^= 1 << bit;
     }
 
@@ -230,12 +261,14 @@ impl Cache {
     }
 
     /// Restores the cache to a previously captured snapshot, reusing the
-    /// existing line buffers (no allocation on the restore path).
+    /// existing line buffers (no allocation on the restore path).  Returns
+    /// the number of line-data bytes copied from the snapshot.
     ///
     /// # Panics
     ///
     /// Panics if the snapshot was taken from a cache with different geometry.
-    pub fn restore_snapshot(&mut self, snap: &CacheSnapshot) {
+    pub fn restore_snapshot(&mut self, snap: &CacheSnapshot) -> usize {
+        let mut restored = 0;
         for ways in &mut self.sets {
             for l in ways.iter_mut() {
                 l.valid = false;
@@ -248,8 +281,58 @@ impl Cache {
             line.tag = s.tag;
             line.last_use = s.last_use;
             line.data.copy_from_slice(&s.data);
+            restored += s.data.len();
         }
         self.use_counter = snap.use_counter;
+        self.touched.fill(0);
+        restored
+    }
+
+    /// Restores only the lines touched since the last restore, for a cache
+    /// that is known to have matched `snap` exactly at that restore (the
+    /// same-snapshot fast path of `Cpu::restore_from`).  Untouched lines
+    /// still equal the snapshot by construction, so rewriting the touched
+    /// set alone reproduces [`Cache::restore_snapshot`] bit for bit at
+    /// O(lines touched by the suffix run) cost.  Returns the number of
+    /// line-data bytes copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a cache with different geometry.
+    pub fn restore_snapshot_incremental(&mut self, snap: &CacheSnapshot) -> usize {
+        let mut restored = 0;
+        let ways = self.cfg.ways;
+        // `snap.lines` is (set, way)-ascending (snapshot iterates set-major),
+        // and the touched bitset is walked in ascending line index, so one
+        // merge pointer finds each touched line's snapshot entry, if any.
+        let mut si = 0;
+        for word_idx in 0..self.touched.len() {
+            let mut word = self.touched[word_idx];
+            self.touched[word_idx] = 0;
+            while word != 0 {
+                let idx = word_idx * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                while si < snap.lines.len()
+                    && (snap.lines[si].set as usize * ways + snap.lines[si].way as usize) < idx
+                {
+                    si += 1;
+                }
+                let line = &mut self.sets[idx / ways][idx % ways];
+                match snap.lines.get(si) {
+                    Some(s) if s.set as usize * ways + s.way as usize == idx => {
+                        line.valid = true;
+                        line.dirty = s.dirty;
+                        line.tag = s.tag;
+                        line.last_use = s.last_use;
+                        line.data.copy_from_slice(&s.data);
+                        restored += s.data.len();
+                    }
+                    _ => line.valid = false,
+                }
+            }
+        }
+        self.use_counter = snap.use_counter;
+        restored
     }
 
     /// Whether the cache's live contents are bit-identical to the snapshot.
@@ -325,10 +408,20 @@ impl BinCode for CacheSnapshot {
         self.lines.encode(out);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
-        Ok(CacheSnapshot {
-            use_counter: BinCode::decode(r)?,
-            lines: BinCode::decode(r)?,
-        })
+        let use_counter = u64::decode(r)?;
+        let lines = Vec::<LineSnapshot>::decode(r)?;
+        // `Cache::snapshot` emits lines strictly (set, way)-ascending and
+        // the incremental restore's merge walk silently depends on it, so a
+        // corrupt `.golden` payload must fail decode rather than produce a
+        // snapshot whose second restore quietly diverges (the same posture
+        // as `MemoryDelta`'s ascending-index validation).
+        let ascending = lines
+            .windows(2)
+            .all(|w| (w[0].set, w[0].way) < (w[1].set, w[1].way));
+        if !ascending {
+            return Err(DecodeError::Invalid("cache snapshot lines not ascending"));
+        }
+        Ok(CacheSnapshot { use_counter, lines })
     }
 }
 
@@ -637,11 +730,24 @@ impl MemSystem {
 
     /// Restores a previously captured snapshot in place, reusing existing
     /// buffers where possible; the memory delta is resolved against this
-    /// system's own pristine image.
-    pub fn restore_snapshot(&mut self, snap: &MemSystemSnapshot) {
-        self.l1d.restore_snapshot(&snap.l1d);
-        self.l2.restore_snapshot(&snap.l2);
-        self.mem.restore_delta(&snap.mem);
+    /// system's own pristine image.  Returns the number of bytes rewritten
+    /// (cache line data plus memory chunks).
+    pub fn restore_snapshot(&mut self, snap: &MemSystemSnapshot) -> usize {
+        self.l1d.restore_snapshot(&snap.l1d)
+            + self.l2.restore_snapshot(&snap.l2)
+            + self.mem.restore_delta(&snap.mem)
+    }
+
+    /// Same-snapshot fast path: restores only cache lines touched and
+    /// memory chunks written since the last restore, valid when the
+    /// hierarchy matched `snap` exactly at that restore (see
+    /// [`Cache::restore_snapshot_incremental`] and
+    /// [`Memory::restore_delta_incremental`]).  Returns the number of bytes
+    /// rewritten.
+    pub fn restore_snapshot_incremental(&mut self, snap: &MemSystemSnapshot) -> usize {
+        self.l1d.restore_snapshot_incremental(&snap.l1d)
+            + self.l2.restore_snapshot_incremental(&snap.l2)
+            + self.mem.restore_delta_incremental(&snap.mem)
     }
 
     /// Whether the hierarchy's state is bit-identical to the snapshot.
@@ -810,6 +916,42 @@ mod tests {
             let (s, w, word) = ms.l1d.entry_location(entry);
             assert_eq!(ms.l1d.word_entry(s, w, word), entry);
         }
+    }
+
+    #[test]
+    fn incremental_cache_restore_matches_full_restore() {
+        let mut ms = small_system();
+        ms.store(DATA_BASE, 0x1111, MemSize::B8).unwrap();
+        ms.store(DATA_BASE + 512, 0x2222, MemSize::B8).unwrap();
+        let snap = ms.snapshot();
+        ms.restore_snapshot(&snap);
+        // Suffix work: touch an existing line, install a new one, flip a bit.
+        ms.store(DATA_BASE, 0x3333, MemSize::B8).unwrap();
+        ms.load(DATA_BASE + 1024, MemSize::B8).unwrap();
+        ms.l1d.flip_bit(0, 0, 0, 3);
+        let bytes = ms.restore_snapshot_incremental(&snap);
+        assert!(ms.matches_snapshot(&snap));
+        assert!(bytes > 0);
+        // Continuing from the incrementally restored state reads the
+        // snapshot's values.
+        assert_eq!(ms.load(DATA_BASE, MemSize::B8).unwrap().0, 0x1111);
+        assert_eq!(ms.load(DATA_BASE + 512, MemSize::B8).unwrap().0, 0x2222);
+    }
+
+    #[test]
+    fn unordered_cache_snapshot_lines_rejected_on_decode() {
+        use merlin_isa::binio::{decode_from_slice, encode_to_vec};
+        let mut ms = small_system();
+        ms.store(DATA_BASE, 0x11, MemSize::B8).unwrap();
+        ms.store(DATA_BASE + 64, 0x22, MemSize::B8).unwrap();
+        let mut snap = ms.l1d.snapshot();
+        assert!(snap.lines.len() >= 2);
+        let back: CacheSnapshot = decode_from_slice(&encode_to_vec(&snap)).unwrap();
+        assert_eq!(back, snap);
+        // Out-of-(set,way)-order lines must fail decode, not silently build
+        // a snapshot the incremental merge walk would mis-restore.
+        snap.lines.swap(0, 1);
+        assert!(decode_from_slice::<CacheSnapshot>(&encode_to_vec(&snap)).is_err());
     }
 
     #[test]

@@ -263,6 +263,10 @@ pub enum ConfigError {
     ZeroParameter(&'static str),
     /// Cache geometry is inconsistent (size not divisible by line × ways).
     BadCacheGeometry(&'static str),
+    /// A pre-decoded micro-op table was built from a different program than
+    /// the one the core is being constructed for (detected by instruction
+    /// count or instruction-stream hash).
+    DecodedProgramMismatch,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -273,6 +277,10 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroParameter(p) => write!(f, "configuration parameter {p} must be > 0"),
             ConfigError::BadCacheGeometry(c) => write!(f, "inconsistent cache geometry for {c}"),
+            ConfigError::DecodedProgramMismatch => write!(
+                f,
+                "pre-decoded micro-op table was built from a different program"
+            ),
         }
     }
 }

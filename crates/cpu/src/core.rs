@@ -18,10 +18,11 @@ use crate::predictor::{BranchPredictor, Btb};
 use crate::probe::{Probe, ReadInfo, Structure, WRITEBACK_RIP};
 use crate::regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
-use merlin_isa::{decode, Inst, Program, Rip, Uop, UopKind, NUM_ARCH_REGS};
+use merlin_isa::{DecodedProgram, Inst, Program, Rip, Uop, UopKind, NUM_ARCH_REGS};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Reasons a run ends with a crash of the simulated program or system.
@@ -220,6 +221,9 @@ struct RobEntry {
 pub struct Cpu {
     cfg: CpuConfig,
     program: Arc<Program>,
+    /// Shared pre-decoded micro-op arena: every static instruction cracked
+    /// exactly once, fetched from by copy (see [`merlin_isa::DecodedProgram`]).
+    decoded: Arc<DecodedProgram>,
     cycle: u64,
     next_seq: u64,
     // Front end.
@@ -253,7 +257,15 @@ pub struct Cpu {
     path_sig: u64,
     // Faults pending application, sorted by cycle.
     faults: Vec<FaultSpec>,
+    /// Cycle of the earliest pending fault (`u64::MAX` when none): the
+    /// fault-free fast path of [`Cpu::step`] is one integer compare.
+    next_fault_cycle: u64,
     finished: Option<ExitReason>,
+    /// Identity of the snapshot this core was last restored from, while the
+    /// core is known to have matched it exactly at that restore — the guard
+    /// of the incremental same-snapshot restore path (see
+    /// [`Cpu::restore_from`]).
+    last_restored: Option<u64>,
 }
 
 impl Cpu {
@@ -268,6 +280,31 @@ impl Cpu {
     /// Returns a [`ConfigError`] if the configuration is inconsistent.
     pub fn new(program: impl Into<Arc<Program>>, cfg: CpuConfig) -> Result<Self, ConfigError> {
         let program: Arc<Program> = program.into();
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        Self::with_predecoded(program, decoded, cfg)
+    }
+
+    /// Creates a core sharing an already-built pre-decoded micro-op table.
+    ///
+    /// Campaigns decode the program exactly once ([`DecodedProgram::new`])
+    /// and hand the same `Arc` to the golden run and every worker core;
+    /// [`Cpu::new`] builds a private table for one-off cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent or
+    /// `decoded` was not built from `program`'s instruction stream (checked
+    /// by count and content hash, so a table from a different program of
+    /// equal length is rejected too).
+    pub fn with_predecoded(
+        program: impl Into<Arc<Program>>,
+        decoded: Arc<DecodedProgram>,
+        cfg: CpuConfig,
+    ) -> Result<Self, ConfigError> {
+        let program: Arc<Program> = program.into();
+        if !decoded.matches_program(&program) {
+            return Err(ConfigError::DecodedProgramMismatch);
+        }
         cfg.validate()?;
         let mem_len = program.data_size + cfg.extra_memory_bytes;
         let mut memory = Memory::new(mem_len);
@@ -308,12 +345,20 @@ impl Cpu {
             path_history: VecDeque::new(),
             path_sig: 0,
             faults: Vec::new(),
+            next_fault_cycle: u64::MAX,
             finished: None,
+            last_restored: None,
             cycle: 0,
             next_seq: 0,
             program,
+            decoded,
             cfg,
         })
+    }
+
+    /// The shared pre-decoded micro-op table this core fetches from.
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.decoded
     }
 
     /// The active configuration.
@@ -367,7 +412,13 @@ impl Cpu {
                 limit,
             });
         }
-        self.faults.push(fault);
+        // Keep the pending list cycle-sorted (stable for equal cycles, so
+        // same-cycle faults still apply in injection order): the per-cycle
+        // check collapses to one compare against `next_fault_cycle` and
+        // application walks a sorted prefix without allocating.
+        let at = self.faults.partition_point(|f| f.cycle <= fault.cycle);
+        self.faults.insert(at, fault);
+        self.next_fault_cycle = self.faults[0].cycle;
         Ok(())
     }
 
@@ -409,18 +460,21 @@ impl Cpu {
     // ----- fault application ---------------------------------------------
 
     fn apply_faults(&mut self) {
-        let cycle = self.cycle;
-        let due: Vec<FaultSpec> = self
-            .faults
-            .iter()
-            .copied()
-            .filter(|f| f.cycle == cycle)
-            .collect();
-        if due.is_empty() {
+        // Fault-free cycles (nearly all of them) cost one compare: the
+        // pending list is cycle-sorted and `next_fault_cycle` caches the
+        // earliest cycle at which anything could fire.
+        if self.cycle < self.next_fault_cycle {
             return;
         }
-        self.faults.retain(|f| f.cycle != cycle);
-        for f in due {
+        let cycle = self.cycle;
+        // Entries scheduled in the past never fire (unchanged semantics of
+        // the old per-cycle equality scan); they stay pending but are
+        // stepped over, and `next_fault_cycle` advances past them so the
+        // fast path never scans again.
+        let start = self.faults.partition_point(|f| f.cycle < cycle);
+        let end = start + self.faults[start..].partition_point(|f| f.cycle == cycle);
+        for i in start..end {
+            let f = self.faults[i];
             match f.structure {
                 Structure::RegisterFile => self.prf.flip_bit(f.entry, f.bit),
                 Structure::StoreQueue => self.sq.flip_bit(f.entry, f.bit),
@@ -431,6 +485,8 @@ impl Cpu {
                 }
             }
         }
+        self.faults.drain(start..end);
+        self.next_fault_cycle = self.faults.get(start).map_or(u64::MAX, |f| f.cycle);
     }
 
     // ----- fetch -----------------------------------------------------------
@@ -460,7 +516,9 @@ impl Cpu {
                 Inst::JumpReg { .. } => self.btb.predict(pc).unwrap_or(pc + 1),
                 _ => pc + 1,
             };
-            for uop in decode(pc, &inst) {
+            // Copy the instruction's micro-ops out of the shared pre-decoded
+            // arena: no cracking, no allocation, on any fetch ever.
+            for &uop in self.decoded.uops(pc) {
                 self.fetch_buffer.push_back(FetchedUop {
                     uop,
                     pred_next: next_pc,
@@ -1108,6 +1166,7 @@ impl Cpu {
     /// injection engine in `merlin-inject`.
     pub fn snapshot(&self) -> CpuState {
         CpuState {
+            snap_id: SnapId::fresh(),
             cycle: self.cycle,
             next_seq: self.next_seq,
             fetch_pc: self.fetch_pc,
@@ -1146,9 +1205,25 @@ impl Cpu {
     /// buffers are reused where possible, making repeated restores on one
     /// core object allocation-light.
     ///
+    /// **Incremental same-snapshot restores.**  Campaign workers are bound
+    /// to checkpoint ranges, so they restore the *same* snapshot hundreds of
+    /// times back-to-back.  Each snapshot carries a process-unique identity
+    /// tag; when a core is restored from the snapshot it was last restored
+    /// from, the memory hierarchy is rewritten incrementally — only cache
+    /// lines touched and memory chunks dirtied since that restore (both
+    /// tracked live at mutation time) — instead of re-copying every valid
+    /// line and dirty chunk.  The result is bit-identical to a full restore;
+    /// the returned [`RestoreStats`] says which path ran and how many bytes
+    /// it rewrote.
+    ///
     /// The state must come from a core running the same program under the
     /// same configuration; this is not checked.
-    pub fn restore_from(&mut self, s: &CpuState) {
+    pub fn restore_from(&mut self, s: &CpuState) -> RestoreStats {
+        let incremental = self.last_restored == Some(s.snap_id.get());
+        // Cleared across the restore so a panic mid-restore (impossible for
+        // matching contexts, but cheap to guard) can never leave a stale
+        // claim of having matched `s`.
+        self.last_restored = None;
         self.cycle = s.cycle;
         self.next_seq = s.next_seq;
         self.fetch_pc = s.fetch_pc;
@@ -1163,7 +1238,11 @@ impl Cpu {
         self.lq.clone_from(&s.lq);
         self.sq.clone_from(&s.sq);
         self.pending_store_slot = s.pending_store_slot;
-        self.mem.restore_snapshot(&s.mem);
+        let restored_bytes = if incremental {
+            self.mem.restore_snapshot_incremental(&s.mem)
+        } else {
+            self.mem.restore_snapshot(&s.mem)
+        };
         self.bp.clone_from(&s.bp);
         self.btb.clone_from(&s.btb);
         self.output.clone_from(&s.output);
@@ -1175,7 +1254,13 @@ impl Cpu {
         self.path_history.clone_from(&s.path_history);
         self.path_sig = s.path_sig;
         self.faults.clone_from(&s.faults);
+        self.next_fault_cycle = self.faults.first().map_or(u64::MAX, |f| f.cycle);
         self.finished.clone_from(&s.finished);
+        self.last_restored = Some(s.snap_id.get());
+        RestoreStats {
+            incremental,
+            restored_bytes,
+        }
     }
 
     /// Whether the core's current state is bit-identical to `s`.
@@ -1216,6 +1301,45 @@ impl Cpu {
     }
 }
 
+/// What one [`Cpu::restore_from`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// `true` when the same-snapshot incremental path ran (only state
+    /// touched since the previous restore of this snapshot was rewritten).
+    pub incremental: bool,
+    /// Bytes rewritten in the memory hierarchy (cache line data plus memory
+    /// chunks) — the dominant, data-dependent portion of a restore.
+    pub restored_bytes: usize,
+}
+
+/// Process-unique identity of a snapshot, assigned at capture (and afresh on
+/// decode, since a deserialised snapshot has no live provenance).
+///
+/// Identity is *provenance*, not content: it exists so a core can recognise
+/// "this is the same snapshot I was restored from last time" and take the
+/// incremental restore path.  It is deliberately transparent to equality —
+/// two snapshots of identical microarchitectural state compare equal whatever
+/// their tags — and is never serialised.
+#[derive(Debug, Clone)]
+struct SnapId(u64);
+
+impl SnapId {
+    fn fresh() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        SnapId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl PartialEq for SnapId {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// A complete snapshot of the core's microarchitectural state, produced by
 /// [`Cpu::snapshot`] and consumed by [`Cpu::restore_from`].
 ///
@@ -1230,6 +1354,9 @@ impl Cpu {
 /// the same (program, configuration) pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CpuState {
+    /// Identity tag for incremental same-snapshot restores; transparent to
+    /// equality and never serialised.
+    snap_id: SnapId,
     cycle: u64,
     next_seq: u64,
     fetch_pc: Rip,
@@ -1517,6 +1644,7 @@ impl BinCode for CpuState {
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
         Ok(CpuState {
+            snap_id: SnapId::fresh(),
             cycle: BinCode::decode(r)?,
             next_seq: BinCode::decode(r)?,
             fetch_pc: BinCode::decode(r)?,

@@ -63,11 +63,15 @@ mod snapshot;
 
 pub use cache::{Cache, CacheEffects, CacheSnapshot, MemSystem, MemSystemSnapshot};
 pub use config::{CacheConfig, ConfigError, CpuConfig};
-pub use core::{AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, RunResult};
+pub use core::{
+    AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, RestoreStats, RunResult,
+};
+// The pre-decoded micro-op arena `Cpu::with_predecoded` shares across cores.
 pub use fault::{FaultSpec, FaultSpecError};
 pub use interp::{interpret, InterpExit, InterpResult};
 pub use lsq::{LoadQueue, SqSlot, StoreQueue};
 pub use memory::{MemError, Memory, MemoryDelta, CHUNK_BYTES};
+pub use merlin_isa::DecodedProgram;
 pub use predictor::{BranchPredictor, Btb};
 pub use probe::{NullProbe, Probe, ReadInfo, RecordingProbe, Structure, WRITEBACK_RIP};
 pub use regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};

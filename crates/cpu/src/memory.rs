@@ -84,6 +84,10 @@ pub struct Memory {
     pristine: Arc<Vec<u8>>,
     /// One bit per chunk: set when the chunk may differ from `pristine`.
     dirty: Vec<u64>,
+    /// One bit per chunk: set when the chunk was written since the last
+    /// restore — the incremental same-snapshot restore rewrites only these
+    /// (see [`Memory::restore_delta_incremental`]).
+    touched: Vec<u64>,
 }
 
 impl PartialEq for Memory {
@@ -105,6 +109,7 @@ impl Memory {
             bytes: vec![0; len as usize],
             pristine: Arc::new(Vec::new()),
             dirty: vec![0; words],
+            touched: vec![0; words],
         }
     }
 
@@ -121,6 +126,10 @@ impl Memory {
 
     fn is_dirty(&self, chunk: usize) -> bool {
         self.dirty[chunk / 64] & (1u64 << (chunk % 64)) != 0
+    }
+
+    fn set_dirty(&mut self, chunk: usize) {
+        self.dirty[chunk / 64] |= 1u64 << (chunk % 64);
     }
 
     /// The pristine bytes of `range` (implicitly zeros before
@@ -143,6 +152,7 @@ impl Memory {
         let last = (off + len - 1) / CHUNK_BYTES;
         for c in first..=last {
             self.dirty[c / 64] |= 1u64 << (c % 64);
+            self.touched[c / 64] |= 1u64 << (c % 64);
         }
     }
 
@@ -154,6 +164,7 @@ impl Memory {
     pub fn seal_pristine(&mut self) {
         self.pristine = Arc::new(self.bytes.clone());
         self.dirty.fill(0);
+        self.touched.fill(0);
     }
 
     /// Total size in bytes.
@@ -289,18 +300,26 @@ impl Memory {
     /// restored memory is indistinguishable (bytes and future snapshots) from
     /// the one the delta was taken on.
     ///
+    /// Only chunks in (currently dirty ∪ delta) are rewritten — O(touched
+    /// data), never O(memory size) — and every delta chunk is copied
+    /// unconditionally; for back-to-back restores of the *same* delta,
+    /// [`Memory::restore_delta_incremental`] additionally skips delta
+    /// chunks the run never rewrote.  Returns the number of bytes actually
+    /// rewritten.
+    ///
     /// The delta must come from a memory with the same length and pristine
     /// image (same program, same configuration); the length is checked.
     ///
     /// # Panics
     ///
     /// Panics if `delta` was captured from a memory of a different size.
-    pub fn restore_delta(&mut self, delta: &MemoryDelta) {
+    pub fn restore_delta(&mut self, delta: &MemoryDelta) -> usize {
         assert_eq!(
             delta.len,
             self.len(),
             "delta snapshot from a different memory size"
         );
+        let mut restored = 0;
         // Revert everything currently dirty, then lay the delta on top.
         for c in 0..self.chunk_count() {
             if self.is_dirty(c) {
@@ -311,6 +330,7 @@ impl Memory {
                 } else {
                     &self.pristine[range.clone()]
                 };
+                restored += range.len();
                 self.bytes[range].copy_from_slice(pristine);
             }
         }
@@ -318,9 +338,67 @@ impl Memory {
         for chunk in &delta.chunks {
             let c = chunk.index as usize;
             let range = self.chunk_range(c);
+            restored += range.len();
             self.bytes[range].copy_from_slice(&chunk.data);
             self.dirty[c / 64] |= 1u64 << (c % 64);
         }
+        self.touched.fill(0);
+        restored
+    }
+
+    /// Same-delta fast path: restores only the chunks written since the
+    /// last restore, valid when the memory is known to have matched `delta`
+    /// exactly at that restore (the caller's snapshot-identity guard).
+    /// Chunks the run never wrote still match the delta by construction —
+    /// including delta chunks, which [`Memory::restore_delta`] would re-copy
+    /// unconditionally — so the rewrite is O(bytes the run wrote), not
+    /// O(delta size).  Returns the number of bytes rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` was captured from a memory of a different size.
+    pub fn restore_delta_incremental(&mut self, delta: &MemoryDelta) -> usize {
+        assert_eq!(
+            delta.len,
+            self.len(),
+            "delta snapshot from a different memory size"
+        );
+        let mut restored = 0;
+        // Touched chunks are walked in ascending index against the delta's
+        // ascending chunk list: present in the delta → copy its bytes back
+        // (dirty stays set), absent → revert to pristine (dirty cleared).
+        // Untouched chunks keep both their bytes and their dirty bit from
+        // the previous restore of this same delta.
+        let mut di = 0;
+        for word_idx in 0..self.touched.len() {
+            let mut word = self.touched[word_idx];
+            self.touched[word_idx] = 0;
+            while word != 0 {
+                let c = word_idx * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                while di < delta.chunks.len() && (delta.chunks[di].index as usize) < c {
+                    di += 1;
+                }
+                let range = self.chunk_range(c);
+                restored += range.len();
+                match delta.chunks.get(di) {
+                    Some(chunk) if chunk.index as usize == c => {
+                        self.bytes[range].copy_from_slice(&chunk.data);
+                        self.set_dirty(c);
+                    }
+                    _ => {
+                        let pristine = if self.pristine.is_empty() {
+                            &ZERO_CHUNK[..range.len()]
+                        } else {
+                            &self.pristine[range.clone()]
+                        };
+                        self.bytes[range].copy_from_slice(pristine);
+                        self.dirty[c / 64] &= !(1u64 << (c % 64));
+                    }
+                }
+            }
+        }
+        restored
     }
 
     /// Whether the live bytes are identical to the state `delta` captured.
@@ -562,6 +640,39 @@ mod tests {
         other.seal_pristine();
         other.restore_delta(&d);
         assert_eq!(other, snap_bytes);
+    }
+
+    #[test]
+    fn incremental_delta_restore_matches_full_restore() {
+        let mut m = Memory::new(8 * CHUNK_BYTES as u64);
+        m.load_segment(DATA_BASE, &[7; 16]).unwrap();
+        m.seal_pristine();
+        m.write(DATA_BASE + CHUNK_BYTES as u64, 0xAAAA, MemSize::B8)
+            .unwrap();
+        m.write(DATA_BASE + 5 * CHUNK_BYTES as u64, 0xBBBB, MemSize::B8)
+            .unwrap();
+        let d = m.delta_snapshot();
+        let full = m.restore_delta(&d);
+        let reference = m.clone();
+        // A suffix run rewrites one delta chunk and dirties one fresh chunk;
+        // the other delta chunk is untouched.
+        m.write(DATA_BASE + CHUNK_BYTES as u64, 0xCCCC, MemSize::B8)
+            .unwrap();
+        m.write(DATA_BASE + 3 * CHUNK_BYTES as u64, 0xDDDD, MemSize::B8)
+            .unwrap();
+        let incremental = m.restore_delta_incremental(&d);
+        assert_eq!(m, reference);
+        assert!(m.matches_delta(&d));
+        // Future snapshots are indistinguishable from the full-restore path.
+        assert_eq!(m.delta_snapshot(), d);
+        // Only the two written chunks were rewritten, not the whole delta.
+        assert_eq!(incremental, 2 * CHUNK_BYTES);
+        assert!(incremental < full, "{incremental} vs full {full}");
+        // Nothing written since the last restore: the next incremental
+        // restore rewrites nothing at all.
+        assert_eq!(m.restore_delta_incremental(&d), 0);
+        assert!(m.matches_delta(&d));
+        assert_eq!(m.delta_snapshot(), d);
     }
 
     #[test]

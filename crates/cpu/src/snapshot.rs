@@ -28,6 +28,15 @@
 //! Both instrumented runs snapshot unconditionally at entry, so a store is
 //! never empty and always holds a snapshot at or before any later cycle of
 //! the run that built it (the cycle-0 reset state when the core is fresh).
+//!
+//! Restoring a retained snapshot is cheap to repeat: each [`CpuState`]
+//! carries a process-unique identity tag, and a core restored from the
+//! snapshot it was last restored from takes an incremental path that
+//! rewrites only the state mutated since — see [`Cpu::restore_from`] and
+//! the touched-line/dirty-chunk tracking in the cache and memory layers.
+//! Range-bound campaign workers, which restore one snapshot hundreds of
+//! times back-to-back, pay O(suffix-touched state) per restore instead of
+//! O(snapshot size).
 
 use crate::core::{Cpu, CpuState, RunResult};
 use crate::probe::Probe;
@@ -63,10 +72,14 @@ pub enum SpacingStrategy {
 
 /// How (and whether) a golden run is checkpointed.
 ///
-/// The default targets 16 checkpoints per run (plus the cycle-0 snapshot),
+/// The default targets 32 checkpoints per run (plus the cycle-0 snapshot),
 /// clamped by a minimum interval so very short runs do not snapshot every few
 /// cycles for no gain, spaced by equal estimated suffix work
-/// ([`SpacingStrategy::SuffixWork`]).
+/// ([`SpacingStrategy::SuffixWork`]).  The density is paid for by the delta
+/// snapshot representation (store size scales with touched data, not memory
+/// size) and by incremental same-snapshot restores (restore cost scales with
+/// the suffix run's footprint, not the snapshot's) — halving the expected
+/// per-fault suffix at near-zero marginal restore cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointPolicy {
     /// Whether campaigns build and use checkpoints at all.
@@ -88,7 +101,7 @@ impl Default for CheckpointPolicy {
     fn default() -> Self {
         CheckpointPolicy {
             enabled: true,
-            target_checkpoints: 16,
+            target_checkpoints: 32,
             min_interval: 256,
             early_exit: true,
             spacing: SpacingStrategy::SuffixWork,
@@ -458,7 +471,7 @@ mod tests {
     #[test]
     fn policy_interval_bands() {
         let p = CheckpointPolicy::default();
-        assert_eq!(p.interval_for(16_000), 1_000);
+        assert_eq!(p.interval_for(32_000), 1_000);
         // Short runs are clamped by the minimum interval.
         assert_eq!(p.interval_for(100), p.min_interval);
         assert_eq!(

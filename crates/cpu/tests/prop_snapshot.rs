@@ -162,6 +162,69 @@ proptest! {
         prop_assert_eq!(&replay, &expected);
     }
 
+    /// The incremental same-snapshot restore path (taken when a core is
+    /// restored from the snapshot it was last restored from, as campaign
+    /// workers bound to a checkpoint range do per fault) is state-identical
+    /// to a full restore, with an identical continuation — including when
+    /// the intervening suffix run injected a fault and dirtied registers,
+    /// caches and memory.
+    #[test]
+    fn incremental_restore_matches_full_restore(
+        steps in prop::collection::vec(arb_step(), 1..25),
+        ckpt_frac in 0u64..10,
+        run_frac in 0u64..10,
+        entry in 0usize..64,
+        bit in 0u8..64,
+    ) {
+        let program = build_program(&steps);
+        let mut reference = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let golden = reference.run(2_000_000, &mut NullProbe);
+        prop_assert!(golden.exit.is_halted());
+        let budget = golden.cycles * 3 + 1000;
+
+        let ckpt_cycle = golden.cycles * ckpt_frac / 10;
+        let mut golden_cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        while golden_cpu.cycle() < ckpt_cycle && !golden_cpu.is_finished() {
+            golden_cpu.step(&mut NullProbe);
+        }
+        let state = golden_cpu.snapshot();
+
+        // Baseline: a fresh core full-restores the snapshot and runs to
+        // completion.
+        let mut full = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let stats = full.restore_from(&state);
+        prop_assert!(!stats.incremental, "first restore must be full");
+        let full_result = full.run(budget, &mut NullProbe);
+        prop_assert_eq!(&full_result, &golden);
+
+        // Worker pattern: restore, dirty the state with a faulty partial
+        // suffix, then restore the *same* snapshot again — the second
+        // restore must take the incremental path and still reproduce the
+        // state bit for bit.
+        let mut worker = Cpu::new(program, CpuConfig::default()).unwrap();
+        let first = worker.restore_from(&state);
+        prop_assert!(!first.incremental);
+        let fault_cycle = (ckpt_cycle + 1).max(1);
+        worker
+            .inject_fault(FaultSpec::new(Structure::RegisterFile, entry, bit, fault_cycle))
+            .unwrap();
+        let stop = ckpt_cycle + (golden.cycles - ckpt_cycle) * run_frac / 10 + 2;
+        while worker.cycle() < stop && !worker.is_finished() {
+            worker.step(&mut NullProbe);
+        }
+        let second = worker.restore_from(&state);
+        prop_assert!(second.incremental, "same-snapshot restore must be incremental");
+        prop_assert!(worker.matches_state(&state));
+        prop_assert_eq!(&worker.snapshot(), &state);
+        let replay = worker.run(budget, &mut NullProbe);
+        prop_assert_eq!(&replay, &full_result);
+
+        // A restore from a *different* snapshot in between demotes the next
+        // restore of the original back to the full path.
+        let mut other_cpu = Cpu::new(build_program(&steps), CpuConfig::default()).unwrap();
+        prop_assert!(!other_cpu.restore_from(&state).incremental);
+    }
+
     /// A fault injected into a restored suffix behaves exactly as the same
     /// fault injected into a from-scratch run — the core property behind the
     /// checkpointed campaign engine's byte-identical guarantee.

@@ -51,7 +51,7 @@ use crate::schedule::ScheduleStats;
 use merlin_cpu::{
     CheckpointPolicy, CheckpointStore, Cpu, CpuConfig, FaultSpec, NullProbe, RunResult,
 };
-use merlin_isa::Program;
+use merlin_isa::{DecodedProgram, Program};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -146,10 +146,11 @@ fn golden_run_from_result(result: RunResult) -> Result<RunResult, CampaignError>
 /// Plain golden run, used by the session layer when checkpointing is off.
 pub(crate) fn build_golden_plain(
     program: &Arc<Program>,
+    decoded: &Arc<DecodedProgram>,
     cfg: &CpuConfig,
     max_cycles: u64,
 ) -> Result<GoldenRun, CampaignError> {
-    let mut cpu = Cpu::new(Arc::clone(program), cfg.clone())
+    let mut cpu = Cpu::with_predecoded(Arc::clone(program), Arc::clone(decoded), cfg.clone())
         .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
     let result = golden_run_from_result(cpu.run(max_cycles, &mut NullProbe))?;
     let timeout_cycles = GoldenRun::timeout_for(result.cycles);
@@ -169,14 +170,15 @@ pub(crate) fn build_golden_plain(
 /// [`SpacingStrategy`]: merlin_cpu::SpacingStrategy
 pub(crate) fn build_golden_checkpointed(
     program: &Arc<Program>,
+    decoded: &Arc<DecodedProgram>,
     cfg: &CpuConfig,
     max_cycles: u64,
     policy: &CheckpointPolicy,
 ) -> Result<GoldenRun, CampaignError> {
     if !policy.enabled {
-        return build_golden_plain(program, cfg, max_cycles);
+        return build_golden_plain(program, decoded, cfg, max_cycles);
     }
-    let mut cpu = Cpu::new(Arc::clone(program), cfg.clone())
+    let mut cpu = Cpu::with_predecoded(Arc::clone(program), Arc::clone(decoded), cfg.clone())
         .map_err(|e| CampaignError::BadConfig(e.to_string()))?;
     let (result, store) = cpu.run_with_adaptive_checkpoints(
         max_cycles,
@@ -208,6 +210,11 @@ pub(crate) struct FaultRun {
     /// Whether a checkpoint was restored for this fault (false for faults
     /// resolved without touching the core).
     pub restored: bool,
+    /// Whether that restore took the incremental same-snapshot path.
+    pub incremental: bool,
+    /// Bytes the restore rewrote in the memory hierarchy (0 when nothing
+    /// was restored).
+    pub restored_bytes: u64,
     /// Cycles actually simulated, from the restore point (or cycle 0 on the
     /// from-scratch path) to wherever the faulty run ended.
     pub suffix_cycles: u64,
@@ -217,17 +224,21 @@ pub(crate) struct FaultRun {
 /// program clone).
 pub(crate) fn run_single_fault_shared(
     program: &Arc<Program>,
+    decoded: &Arc<DecodedProgram>,
     cfg: &CpuConfig,
     golden: &GoldenRun,
     fault: FaultSpec,
 ) -> FaultRun {
-    let mut cpu = match Cpu::new(Arc::clone(program), cfg.clone()) {
+    let mut cpu = match Cpu::with_predecoded(Arc::clone(program), Arc::clone(decoded), cfg.clone())
+    {
         Ok(c) => c,
         Err(_) => {
             return FaultRun {
                 effect: FaultEffect::Assert,
                 early_exit: false,
                 restored: false,
+                incremental: false,
+                restored_bytes: 0,
                 suffix_cycles: 0,
             }
         }
@@ -239,6 +250,8 @@ pub(crate) fn run_single_fault_shared(
             effect: FaultEffect::Masked,
             early_exit: false,
             restored: false,
+            incremental: false,
+            restored_bytes: 0,
             suffix_cycles: 0,
         };
     }
@@ -252,12 +265,16 @@ pub(crate) fn run_single_fault_shared(
             effect: classify(&golden.result, &result),
             early_exit: false,
             restored: false,
+            incremental: false,
+            restored_bytes: 0,
             suffix_cycles: result.cycles,
         },
         Err(_) => FaultRun {
             effect: FaultEffect::Assert,
             early_exit: false,
             restored: false,
+            incremental: false,
+            restored_bytes: 0,
             suffix_cycles: 0,
         },
     }
@@ -285,6 +302,8 @@ pub(crate) fn run_fault_from_checkpoint(
             effect: FaultEffect::Masked,
             early_exit: false,
             restored: false,
+            incremental: false,
+            restored_bytes: 0,
             suffix_cycles: 0,
         };
     }
@@ -293,12 +312,14 @@ pub(crate) fn run_fault_from_checkpoint(
         .latest_at_or_before(fault.cycle)
         .expect("campaigns only use stores that start at the cycle-0 snapshot");
     let restore_cycle = state.cycle();
-    cpu.restore_from(state);
+    let restore = cpu.restore_from(state);
     if cpu.inject_fault(fault).is_err() {
         return FaultRun {
             effect: FaultEffect::Masked,
             early_exit: false,
             restored: true,
+            incremental: restore.incremental,
+            restored_bytes: restore.restored_bytes as u64,
             suffix_cycles: 0,
         };
     }
@@ -337,6 +358,8 @@ pub(crate) fn run_fault_from_checkpoint(
         effect,
         early_exit,
         restored: true,
+        incremental: restore.incremental,
+        restored_bytes: restore.restored_bytes as u64,
         suffix_cycles,
     }
 }
@@ -352,6 +375,7 @@ pub(crate) fn run_fault_from_checkpoint(
 /// simulates from cycle 0.
 pub struct FaultInjector {
     program: Arc<Program>,
+    decoded: Arc<DecodedProgram>,
     cfg: Arc<CpuConfig>,
     golden: GoldenRun,
     cpu: Option<Cpu>,
@@ -366,15 +390,18 @@ impl FaultInjector {
     pub fn new(program: &Program, cfg: &CpuConfig, golden: &GoldenRun) -> Self {
         Self::from_parts(
             Arc::new(program.clone()),
+            Arc::new(DecodedProgram::new(program)),
             Arc::new(cfg.clone()),
             golden.clone(),
         )
     }
 
     /// Clone-free constructor used by [`Session::injector`](crate::Session):
-    /// the session already holds the program and configuration behind `Arc`s.
+    /// the session already holds the program, its pre-decoded table and the
+    /// configuration behind `Arc`s.
     pub(crate) fn from_parts(
         program: Arc<Program>,
+        decoded: Arc<DecodedProgram>,
         cfg: Arc<CpuConfig>,
         golden: GoldenRun,
     ) -> Self {
@@ -386,6 +413,7 @@ impl FaultInjector {
             .unwrap_or_default();
         FaultInjector {
             program,
+            decoded,
             cfg,
             golden,
             cpu: None,
@@ -415,11 +443,21 @@ impl FaultInjector {
             .clone()
             .filter(|c| c.usable_for_campaigns());
         let Some(ckpts) = usable else {
-            let run = run_single_fault_shared(&self.program, &self.cfg, &self.golden, fault);
+            let run = run_single_fault_shared(
+                &self.program,
+                &self.decoded,
+                &self.cfg,
+                &self.golden,
+                fault,
+            );
             return (run.effect, run.suffix_cycles);
         };
         if self.cpu.is_none() {
-            match Cpu::new(Arc::clone(&self.program), (*self.cfg).clone()) {
+            match Cpu::with_predecoded(
+                Arc::clone(&self.program),
+                Arc::clone(&self.decoded),
+                (*self.cfg).clone(),
+            ) {
                 Ok(c) => self.cpu = Some(c),
                 Err(_) => return (FaultEffect::Assert, 0),
             }

@@ -16,12 +16,18 @@
 //!   [`Session::campaign`]: the golden run is snapshotted in one adaptive
 //!   pass (spaced by equal cycles or equal estimated suffix work, see
 //!   [`SpacingStrategy`]) and every faulty run restores the nearest
-//!   checkpoint and simulates only its post-injection suffix,
+//!   checkpoint and simulates only its post-injection suffix — with an
+//!   allocation-free hot loop: every session shares one pre-decoded
+//!   micro-op arena (`merlin_isa::DecodedProgram`) across all of its
+//!   cores, and back-to-back restores of the same snapshot rewrite only
+//!   the state the suffix run touched,
 //! * the restore-aware [`CampaignScheduler`] (see the [`schedule`] module):
 //!   faults are bucketed into per-checkpoint ranges, workers bind to whole
-//!   ranges (keeping each worker's restore snapshot hot) and steal whole
-//!   ranges when they drain — with per-campaign [`ScheduleStats`] on every
-//!   [`CampaignResult`] and byte-identical outcomes at any thread count,
+//!   ranges (keeping each worker's restore snapshot hot), steal whole
+//!   ranges when they drain, and oversized ranges are split into
+//!   sub-ranges sharing the restore source — with per-campaign
+//!   [`ScheduleStats`] on every [`CampaignResult`] and byte-identical
+//!   outcomes at any thread count,
 //! * the fault-effect classification of Table 2 ([`FaultEffect`],
 //!   [`classify`], [`Classification`]) and the truncated-run classification
 //!   of §4.4.3.4 ([`TruncatedEffect`]).

@@ -45,7 +45,7 @@ use crate::campaign::{
 };
 use crate::classify::Classification;
 use merlin_cpu::{Cpu, CpuConfig, FaultSpec};
-use merlin_isa::Program;
+use merlin_isa::{DecodedProgram, Program};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -54,6 +54,11 @@ use std::sync::Arc;
 /// into: enough that a slow chunk can be compensated by stealing, few enough
 /// that claiming stays negligible.
 const SCRATCH_RANGES_PER_WORKER: usize = 4;
+
+/// A checkpoint range holding more than this multiple of the mean per-range
+/// fault count is split into near-mean-sized sub-ranges (same restore
+/// source), so one hot range no longer serialises on a single worker.
+const SPLIT_FACTOR: usize = 2;
 
 /// Aggregate scheduling statistics of one campaign (attached to
 /// [`CampaignResult::schedule`]).
@@ -71,6 +76,20 @@ pub struct ScheduleStats {
     pub restores: u64,
     /// Whole ranges claimed by workers beyond their initial binding.
     pub range_steals: u64,
+    /// Extra ranges created by splitting oversized checkpoint ranges (a
+    /// range whose fault count exceeds twice the mean is cut into
+    /// near-mean-sized sub-ranges sharing the restore source).
+    pub range_splits: u64,
+    /// Restores that rewrote the full checkpoint state (the first restore a
+    /// worker performs from a given snapshot).
+    pub full_restores: u64,
+    /// Restores served by the incremental same-snapshot path (only state
+    /// touched since the worker's previous restore of the same snapshot was
+    /// rewritten) — with range-bound workers, the overwhelming majority.
+    pub incremental_restores: u64,
+    /// Memory-hierarchy bytes rewritten across all restores (cache lines +
+    /// memory chunks).
+    pub restored_bytes: u64,
     /// Total cycles simulated across all faulty runs, from each fault's
     /// restore point (cycle 0 from scratch) to wherever its run ended — the
     /// work the checkpoint engine actually paid, directly comparable across
@@ -82,6 +101,9 @@ pub struct ScheduleStats {
 #[derive(Default)]
 struct WorkerStats {
     restores: u64,
+    full_restores: u64,
+    incremental_restores: u64,
+    restored_bytes: u64,
     range_steals: u64,
     suffix_cycles: u64,
     early_exits: u64,
@@ -97,6 +119,7 @@ struct WorkerStats {
 /// drive a campaign without a session.
 pub struct CampaignScheduler<'a> {
     program: Arc<Program>,
+    decoded: Arc<DecodedProgram>,
     cfg: Arc<CpuConfig>,
     golden: &'a GoldenRun,
     ckpts: Option<Arc<GoldenCheckpoints>>,
@@ -106,6 +129,8 @@ pub struct CampaignScheduler<'a> {
     /// Fault-list indices per range, cycle-sorted within each range; no
     /// range is empty.
     buckets: Vec<Vec<usize>>,
+    /// Extra ranges produced by splitting oversized buckets.
+    splits: u64,
     threads: usize,
 }
 
@@ -116,6 +141,31 @@ impl<'a> CampaignScheduler<'a> {
     /// fault simulates from cycle 0.
     pub fn new(
         program: &Arc<Program>,
+        cfg: &Arc<CpuConfig>,
+        golden: &'a GoldenRun,
+        use_checkpoints: bool,
+        faults: &'a [FaultSpec],
+        threads: usize,
+    ) -> Self {
+        let decoded = Arc::new(DecodedProgram::new(program));
+        Self::with_predecoded(
+            program,
+            &decoded,
+            cfg,
+            golden,
+            use_checkpoints,
+            faults,
+            threads,
+        )
+    }
+
+    /// Like [`CampaignScheduler::new`] with an already-built pre-decoded
+    /// micro-op table, so sessions share one table across the golden run and
+    /// every campaign worker instead of re-decoding per scheduler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_predecoded(
+        program: &Arc<Program>,
+        decoded: &Arc<DecodedProgram>,
         cfg: &Arc<CpuConfig>,
         golden: &'a GoldenRun,
         use_checkpoints: bool,
@@ -142,6 +192,7 @@ impl<'a> CampaignScheduler<'a> {
             .as_ref()
             .map(|c| c.store.cycles().collect())
             .unwrap_or_default();
+        let mut splits = 0u64;
         let buckets = match &ckpts {
             Some(_) => {
                 // One bucket per checkpoint range [c_k, c_{k+1}): every
@@ -158,6 +209,31 @@ impl<'a> CampaignScheduler<'a> {
                 if start < order.len() {
                     buckets.push(order[start..].to_vec());
                 }
+                // Work-estimate-driven splitting: faults are sampled
+                // uniformly over cycles, so a range's fault count is its
+                // work estimate.  A range holding more than SPLIT_FACTOR×
+                // the mean would serialise one worker while the rest drain;
+                // cut it into near-mean-sized sub-ranges.  Sub-ranges keep
+                // the shared restore source (same snapshot, still hot) and
+                // the cycle-sorted order, so outcomes are untouched.
+                if buckets.len() > 1 {
+                    let mean = (order.len() / buckets.len()).max(1);
+                    let threshold = SPLIT_FACTOR * mean;
+                    if buckets.iter().any(|b| b.len() > threshold) {
+                        let mut split_buckets = Vec::with_capacity(buckets.len());
+                        for bucket in buckets {
+                            if bucket.len() > threshold {
+                                let pieces = bucket.len().div_ceil(mean);
+                                let size = bucket.len().div_ceil(pieces);
+                                splits += (bucket.len().div_ceil(size) - 1) as u64;
+                                split_buckets.extend(bucket.chunks(size).map(<[usize]>::to_vec));
+                            } else {
+                                split_buckets.push(bucket);
+                            }
+                        }
+                        buckets = split_buckets;
+                    }
+                }
                 buckets
             }
             None if order.is_empty() => Vec::new(),
@@ -169,6 +245,7 @@ impl<'a> CampaignScheduler<'a> {
         };
         CampaignScheduler {
             program: Arc::clone(program),
+            decoded: Arc::clone(decoded),
             cfg: Arc::clone(cfg),
             golden,
             ckpts,
@@ -178,12 +255,19 @@ impl<'a> CampaignScheduler<'a> {
             // contend on the claim counter and exit.
             threads: threads.min(buckets.len().max(1)),
             buckets,
+            splits,
         }
     }
 
-    /// Number of non-empty ranges the fault list was bucketed into.
+    /// Number of non-empty ranges the fault list was bucketed into
+    /// (oversized-range splits included).
     pub fn ranges(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Extra ranges created by splitting oversized checkpoint ranges.
+    pub fn range_splits(&self) -> u64 {
+        self.splits
     }
 
     /// Whether faults will restore golden checkpoints (false when the golden
@@ -218,7 +302,12 @@ impl<'a> CampaignScheduler<'a> {
                         Some(ckpts) => {
                             // One core per worker, restored per fault.
                             if cpu.is_none() {
-                                cpu = Cpu::new(Arc::clone(&self.program), (*self.cfg).clone()).ok();
+                                cpu = Cpu::with_predecoded(
+                                    Arc::clone(&self.program),
+                                    Arc::clone(&self.decoded),
+                                    (*self.cfg).clone(),
+                                )
+                                .ok();
                             }
                             match cpu.as_mut() {
                                 Some(core) => run_fault_from_checkpoint(
@@ -240,11 +329,18 @@ impl<'a> CampaignScheduler<'a> {
                                 }
                             }
                         }
-                        None => {
-                            run_single_fault_shared(&self.program, &self.cfg, self.golden, fault)
-                        }
+                        None => run_single_fault_shared(
+                            &self.program,
+                            &self.decoded,
+                            &self.cfg,
+                            self.golden,
+                            fault,
+                        ),
                     };
                     stats.restores += u64::from(run.restored);
+                    stats.full_restores += u64::from(run.restored && !run.incremental);
+                    stats.incremental_restores += u64::from(run.restored && run.incremental);
+                    stats.restored_bytes += run.restored_bytes;
                     stats.early_exits += u64::from(run.early_exit);
                     stats.suffix_cycles += run.suffix_cycles;
                     collected.push((
@@ -284,11 +380,15 @@ impl<'a> CampaignScheduler<'a> {
         let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; self.faults.len()];
         let mut schedule = ScheduleStats {
             ranges: self.buckets.len() as u64,
+            range_splits: self.splits,
             ..ScheduleStats::default()
         };
         let mut early_exits = 0u64;
         for (collected, stats) in per_thread {
             schedule.restores += stats.restores;
+            schedule.full_restores += stats.full_restores;
+            schedule.incremental_restores += stats.incremental_restores;
+            schedule.restored_bytes += stats.restored_bytes;
             schedule.range_steals += stats.range_steals;
             schedule.suffix_cycles += stats.suffix_cycles;
             early_exits += stats.early_exits;
@@ -319,13 +419,23 @@ impl<'a> CampaignScheduler<'a> {
 /// one call.
 pub(crate) fn campaign_shared(
     program: &Arc<Program>,
+    decoded: &Arc<DecodedProgram>,
     cfg: &Arc<CpuConfig>,
     golden: &GoldenRun,
     use_checkpoints: bool,
     faults: &[FaultSpec],
     threads: usize,
 ) -> CampaignResult {
-    CampaignScheduler::new(program, cfg, golden, use_checkpoints, faults, threads).run()
+    CampaignScheduler::with_predecoded(
+        program,
+        decoded,
+        cfg,
+        golden,
+        use_checkpoints,
+        faults,
+        threads,
+    )
+    .run()
 }
 
 #[cfg(test)]
@@ -344,7 +454,9 @@ mod tests {
         cfg: &CpuConfig,
         max: u64,
     ) -> Result<GoldenRun, CampaignError> {
-        build_golden_plain(&Arc::new(program.clone()), cfg, max)
+        let program = Arc::new(program.clone());
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        build_golden_plain(&program, &decoded, cfg, max)
     }
 
     fn golden_ck(
@@ -353,7 +465,9 @@ mod tests {
         max: u64,
         policy: &CheckpointPolicy,
     ) -> Result<GoldenRun, CampaignError> {
-        build_golden_checkpointed(&Arc::new(program.clone()), cfg, max, policy)
+        let program = Arc::new(program.clone());
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        build_golden_checkpointed(&program, &decoded, cfg, max, policy)
     }
 
     fn campaign(
@@ -365,6 +479,7 @@ mod tests {
     ) -> CampaignResult {
         campaign_shared(
             &Arc::new(program.clone()),
+            &Arc::new(DecodedProgram::new(program)),
             &Arc::new(cfg.clone()),
             golden,
             true,
@@ -382,6 +497,7 @@ mod tests {
     ) -> CampaignResult {
         campaign_shared(
             &Arc::new(program.clone()),
+            &Arc::new(DecodedProgram::new(program)),
             &Arc::new(cfg.clone()),
             golden,
             false,
@@ -537,7 +653,10 @@ mod tests {
     fn scheduler_buckets_by_restore_source_and_steals_ranges() {
         let program = Arc::new(tiny_program());
         let cfg = Arc::new(CpuConfig::default());
-        let golden = build_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        let golden =
+            build_golden_checkpointed(&program, &decoded, &cfg, 1_000_000, &small_policy())
+                .unwrap();
         let store_cycles: Vec<u64> = golden
             .checkpoints
             .as_ref()
@@ -554,9 +673,10 @@ mod tests {
         );
         let sched = CampaignScheduler::new(&program, &cfg, &golden, true, &faults, 4);
         assert!(sched.uses_checkpoints());
-        // No more ranges than checkpoints, and every bucket's faults share
-        // one restore source.
-        assert!(sched.ranges() >= 1 && sched.ranges() <= store_cycles.len());
+        // No more ranges than checkpoints plus splits, and every bucket's
+        // faults share one restore source (splitting preserves the source).
+        assert!(sched.ranges() >= 1);
+        assert!(sched.ranges() <= store_cycles.len() + sched.range_splits() as usize);
         for bucket in &sched.buckets {
             assert!(!bucket.is_empty());
             let restore_of = |f: FaultSpec| {
@@ -579,10 +699,103 @@ mod tests {
     }
 
     #[test]
+    fn oversized_ranges_are_split_with_shared_restore_source() {
+        let program = Arc::new(tiny_program());
+        let cfg = Arc::new(CpuConfig::default());
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        let golden =
+            build_golden_checkpointed(&program, &decoded, &cfg, 1_000_000, &small_policy())
+                .unwrap();
+        let store_cycles: Vec<u64> = golden
+            .checkpoints
+            .as_ref()
+            .unwrap()
+            .store
+            .cycles()
+            .collect();
+        assert!(store_cycles.len() >= 3, "test needs several ranges");
+        // A lopsided list: nearly every fault lands in the first checkpoint
+        // range, a token few elsewhere — the hot range must be split instead
+        // of serialising one worker.
+        let hot_upper = store_cycles[1];
+        let mut faults: Vec<FaultSpec> = (0..90)
+            .map(|i| FaultSpec::new(Structure::RegisterFile, (i % 8) as usize, 5, i % hot_upper))
+            .collect();
+        for (i, &c) in store_cycles[1..].iter().enumerate() {
+            faults.push(FaultSpec::new(Structure::RegisterFile, i % 8, 3, c + 1));
+        }
+        let sched = CampaignScheduler::new(&program, &cfg, &golden, true, &faults, 4);
+        assert!(
+            sched.range_splits() > 0,
+            "a range holding ~90% of the faults must split"
+        );
+        let restore_of = |f: FaultSpec| {
+            store_cycles
+                .iter()
+                .rev()
+                .find(|&&c| c <= f.cycle)
+                .copied()
+                .unwrap()
+        };
+        // Splitting preserves the per-bucket shared restore source.
+        for bucket in &sched.buckets {
+            assert!(!bucket.is_empty());
+            let first = restore_of(faults[bucket[0]]);
+            assert!(bucket.iter().all(|&i| restore_of(faults[i]) == first));
+        }
+        let split = sched.run();
+        assert_eq!(split.schedule.range_splits, sched.range_splits());
+        assert_eq!(split.schedule.ranges, sched.ranges() as u64);
+        // Outcomes are untouched by splitting: identical to from-scratch.
+        let scratch = campaign_scratch(&program, &cfg, &golden, &faults, 4);
+        assert_eq!(split.outcomes, scratch.outcomes);
+        assert_eq!(scratch.schedule.range_splits, 0);
+    }
+
+    #[test]
+    fn range_bound_workers_restore_incrementally() {
+        let program = tiny_program();
+        let cfg = CpuConfig::default();
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let faults = generate_fault_list(
+            Structure::RegisterFile,
+            cfg.phys_int_regs,
+            golden.result.cycles,
+            80,
+            21,
+        );
+        let result = campaign(&program, &cfg, &golden, &faults, 2);
+        let sched = result.schedule;
+        assert_eq!(
+            sched.full_restores + sched.incremental_restores,
+            sched.restores,
+            "every restore is exactly one of full/incremental"
+        );
+        // Workers run whole ranges against one snapshot: with far fewer
+        // ranges than faults, back-to-back same-snapshot restores dominate.
+        assert!(
+            sched.incremental_restores > sched.full_restores,
+            "expected mostly incremental restores, got {} incremental vs {} full",
+            sched.incremental_restores,
+            sched.full_restores
+        );
+        assert!(sched.restored_bytes > 0);
+        // The from-scratch path never restores anything.
+        let scratch = campaign_scratch(&program, &cfg, &golden, &faults, 2);
+        assert_eq!(scratch.schedule.full_restores, 0);
+        assert_eq!(scratch.schedule.incremental_restores, 0);
+        assert_eq!(scratch.schedule.restored_bytes, 0);
+        assert_eq!(result.outcomes, scratch.outcomes);
+    }
+
+    #[test]
     fn empty_fault_list_schedules_nothing() {
         let program = Arc::new(tiny_program());
         let cfg = Arc::new(CpuConfig::default());
-        let golden = build_golden_checkpointed(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        let golden =
+            build_golden_checkpointed(&program, &decoded, &cfg, 1_000_000, &small_policy())
+                .unwrap();
         for use_ck in [true, false] {
             let sched = CampaignScheduler::new(&program, &cfg, &golden, use_ck, &[], 4);
             assert_eq!(sched.ranges(), 0);

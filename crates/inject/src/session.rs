@@ -49,7 +49,7 @@ use crate::sampling::generate_fault_list;
 use crate::schedule::campaign_shared;
 use merlin_cpu::{CheckpointPolicy, CpuConfig, FaultSpec, Structure};
 use merlin_isa::binio::{BinCode, ByteReader};
-use merlin_isa::Program;
+use merlin_isa::{DecodedProgram, Program};
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -177,8 +177,13 @@ impl SessionBuilder {
         if let Some(seed) = self.seeded_golden {
             let _ = golden.set(Ok(seed));
         }
+        // Decode the whole program exactly once per session: the golden run,
+        // every campaign worker and every injector fetch micro-ops from this
+        // shared table instead of cracking per fetched instruction.
+        let decoded = Arc::new(DecodedProgram::new(&self.program));
         Ok(Session {
             program: self.program,
+            decoded,
             cfg: self.cfg,
             policy: self.policy,
             max_cycles: self.max_cycles,
@@ -200,6 +205,8 @@ impl SessionBuilder {
 #[derive(Debug)]
 pub struct Session {
     program: Arc<Program>,
+    /// Pre-decoded micro-op arena shared by every core this session spawns.
+    decoded: Arc<DecodedProgram>,
     cfg: Arc<CpuConfig>,
     policy: CheckpointPolicy,
     max_cycles: u64,
@@ -223,6 +230,12 @@ impl Session {
     /// The shared program image.
     pub fn program(&self) -> &Arc<Program> {
         &self.program
+    }
+
+    /// The shared pre-decoded micro-op table (built once per session; every
+    /// golden-run, campaign-worker and injector core fetches from it).
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.decoded
     }
 
     /// The shared configuration.
@@ -281,8 +294,13 @@ impl Session {
             }
         }
         self.golden_builds.fetch_add(1, Ordering::Relaxed);
-        let golden =
-            build_golden_checkpointed(&self.program, &self.cfg, self.max_cycles, &self.policy)?;
+        let golden = build_golden_checkpointed(
+            &self.program,
+            &self.decoded,
+            &self.cfg,
+            self.max_cycles,
+            &self.policy,
+        )?;
         if let Some(path) = &self.persist_path {
             // Persistence is best-effort: a read-only disk must not fail the
             // campaign.
@@ -349,6 +367,7 @@ impl Session {
         let golden = self.golden()?;
         Ok(campaign_shared(
             &self.program,
+            &self.decoded,
             &self.cfg,
             golden,
             true,
@@ -372,6 +391,7 @@ impl Session {
         let golden = self.golden()?;
         Ok(campaign_shared(
             &self.program,
+            &self.decoded,
             &self.cfg,
             golden,
             false,
@@ -390,6 +410,7 @@ impl Session {
         let golden = self.golden()?.clone();
         Ok(FaultInjector::from_parts(
             Arc::clone(&self.program),
+            Arc::clone(&self.decoded),
             Arc::clone(&self.cfg),
             golden,
         ))

@@ -35,12 +35,26 @@ pub const MAX_UOPS_PER_INST: usize = 3;
 /// assert!(uops[1].last_in_inst);
 /// ```
 pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
-    let mut uops = match *inst {
+    let mut uops = Vec::with_capacity(MAX_UOPS_PER_INST);
+    decode_into(rip, inst, &mut uops);
+    uops
+}
+
+/// Cracks a macro-instruction, appending its micro-ops to `out` instead of
+/// allocating a fresh vector — the allocation-free form behind both
+/// [`decode`] and the one-shot arena build of
+/// [`DecodedProgram`](crate::DecodedProgram).
+///
+/// Appends between 1 and [`MAX_UOPS_PER_INST`] micro-ops; the final appended
+/// micro-op has `last_in_inst == true`.
+pub fn decode_into(rip: Rip, inst: &Inst, out: &mut Vec<Uop>) {
+    let start = out.len();
+    match *inst {
         Inst::AluRR { op, rd, rs1, rs2 } => {
             let mut u = Uop::blank(rip, 0, UopKind::Alu(op));
             u.dst = Some(rd);
             u.srcs = [Some(rs1), Some(rs2), None];
-            vec![u]
+            out.push(u);
         }
         Inst::AluRI { op, rd, rs1, imm } => {
             let mut u = Uop::blank(rip, 0, UopKind::Alu(op));
@@ -48,7 +62,7 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             u.srcs = [Some(rs1), None, None];
             u.imm = imm;
             u.cmp_with_imm = true;
-            vec![u]
+            out.push(u);
         }
         Inst::MovImm { rd, imm } => {
             // mov rd, imm  ==  or rd, zero-sources, imm : modelled as an ALU
@@ -57,7 +71,7 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             u.dst = Some(rd);
             u.imm = imm;
             u.cmp_with_imm = true;
-            vec![u]
+            out.push(u);
         }
         Inst::Mov { rd, rs } => {
             let mut u = Uop::blank(rip, 0, UopKind::Alu(crate::AluOp::Or));
@@ -65,7 +79,7 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             u.srcs = [Some(rs), None, None];
             u.imm = 0;
             u.cmp_with_imm = true;
-            vec![u]
+            out.push(u);
         }
         Inst::Load {
             rd,
@@ -79,7 +93,7 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             u.mem = Some(mem);
             u.mem_size = Some(size);
             u.mem_signed = signed;
-            vec![u]
+            out.push(u);
         }
         Inst::Store { rs, mem, size } => {
             // STA computes the address; STD supplies the data.
@@ -90,7 +104,8 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             let mut std_uop = Uop::blank(rip, 1, UopKind::StoreData);
             std_uop.srcs = [Some(rs), None, None];
             std_uop.mem_size = Some(size);
-            vec![sta, std_uop]
+            out.push(sta);
+            out.push(std_uop);
         }
         Inst::LoadOp { op, rd, mem, size } => {
             // Load the memory operand into a cracker temporary, then combine.
@@ -103,7 +118,8 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             let mut alu = Uop::blank(rip, 1, UopKind::Alu(op));
             alu.dst = Some(rd);
             alu.srcs = [Some(rd), Some(tmp), None];
-            vec![ld, alu]
+            out.push(ld);
+            out.push(alu);
         }
         Inst::BranchRR {
             cond,
@@ -114,7 +130,7 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             let mut u = Uop::blank(rip, 0, UopKind::Branch(cond));
             u.srcs = [Some(rs1), Some(rs2), None];
             u.imm = target as i64;
-            vec![u]
+            out.push(u);
         }
         Inst::BranchRI {
             cond,
@@ -141,40 +157,41 @@ pub fn decode(rip: Rip, inst: &Inst) -> Vec<Uop> {
             br.imm = target as i64;
             br.cmp_with_imm = true;
             br.cmp_imm = imm;
-            vec![cmp, br]
+            out.push(cmp);
+            out.push(br);
         }
         Inst::Jump { target } => {
             let mut u = Uop::blank(rip, 0, UopKind::Jump);
             u.imm = target as i64;
-            vec![u]
+            out.push(u);
         }
         Inst::JumpReg { rs } => {
             let mut u = Uop::blank(rip, 0, UopKind::JumpReg);
             u.srcs = [Some(rs), None, None];
-            vec![u]
+            out.push(u);
         }
         Inst::Call { target, link } => {
             let mut u = Uop::blank(rip, 0, UopKind::Call);
             u.dst = Some(link);
             u.imm = target as i64;
-            vec![u]
+            out.push(u);
         }
         Inst::Out { rs } => {
             let mut u = Uop::blank(rip, 0, UopKind::Out);
             u.srcs = [Some(rs), None, None];
-            vec![u]
+            out.push(u);
         }
-        Inst::Halt => vec![Uop::blank(rip, 0, UopKind::Halt)],
-        Inst::Nop => vec![Uop::blank(rip, 0, UopKind::Nop)],
-    };
-    debug_assert!(!uops.is_empty() && uops.len() <= MAX_UOPS_PER_INST);
-    let n = uops.len();
-    uops[n - 1].last_in_inst = true;
-    for (i, u) in uops.iter().enumerate() {
+        Inst::Halt => out.push(Uop::blank(rip, 0, UopKind::Halt)),
+        Inst::Nop => out.push(Uop::blank(rip, 0, UopKind::Nop)),
+    }
+    let n = out.len() - start;
+    debug_assert!((1..=MAX_UOPS_PER_INST).contains(&n));
+    let last = out.len() - 1;
+    out[last].last_in_inst = true;
+    for (i, u) in out[start..].iter().enumerate() {
         debug_assert_eq!(u.upc as usize, i, "uPC must equal position");
         debug_assert_eq!(u.rip, rip);
     }
-    uops
 }
 
 /// The comparison immediate of a `BranchRI` macro-instruction, if any.

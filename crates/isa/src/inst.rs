@@ -23,7 +23,7 @@ pub type Rip = u32;
 /// fusion (memory source operand), compare-and-branch, calls through a link
 /// register, an `Out` instruction that appends a 64-bit value to the
 /// program's architected output stream, and `Halt`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Inst {
     /// `rd = op(rs1, rs2)`
     AluRR {

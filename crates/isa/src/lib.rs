@@ -13,7 +13,9 @@
 //! * memory access widths and x86-style addressing expressions
 //!   ([`MemSize`], [`MemRef`]),
 //! * the macro-instruction set ([`Inst`]) and micro-op form ([`Uop`],
-//!   [`UopKind`]) together with the cracker ([`decode`]),
+//!   [`UopKind`]) together with the cracker ([`decode`], [`decode_into`])
+//!   and the once-per-program pre-decoded micro-op arena
+//!   ([`DecodedProgram`]) the cycle-level core fetches from,
 //! * executable [`Program`] images and the [`ProgramBuilder`]
 //!   macro-assembler used by every workload kernel.
 //!
@@ -56,15 +58,17 @@ mod asm;
 mod decode;
 mod inst;
 mod mem;
+mod predecode;
 mod program;
 mod reg;
 mod uop;
 
 pub use alu::{AluOp, AluResult, Cond};
 pub use asm::{BuildError, Label, ProgramBuilder};
-pub use decode::{branch_compare_immediate, decode, MAX_UOPS_PER_INST};
+pub use decode::{branch_compare_immediate, decode, decode_into, MAX_UOPS_PER_INST};
 pub use inst::{Inst, Rip};
 pub use mem::{MemRef, MemSize};
+pub use predecode::DecodedProgram;
 pub use program::{DataSegment, Program, DATA_BASE};
 pub use reg::{reg, ArchReg, NUM_ARCH_REGS, NUM_GPRS, NUM_TEMPS};
 pub use uop::{Uop, UopKind, Upc};

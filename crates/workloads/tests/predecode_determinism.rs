@@ -1,0 +1,87 @@
+//! Determinism of the pre-decoded fetch path: the once-per-program micro-op
+//! arena must hold exactly what the per-instruction cracker produces for
+//! every bundled workload, and a core fetching from a shared table must
+//! produce a byte-identical [`RunResult`] to an independently constructed
+//! core — the invariant that lets every campaign worker share one
+//! `Arc<DecodedProgram>` without any observable effect on outcomes.
+
+use merlin_cpu::{Cpu, CpuConfig, NullProbe, RunResult};
+use merlin_isa::{decode, DecodedProgram, Rip};
+use merlin_workloads::all_workloads;
+use std::sync::Arc;
+
+#[test]
+fn arena_matches_per_fetch_decode_on_all_workloads() {
+    for w in all_workloads() {
+        let decoded = DecodedProgram::new(&w.program);
+        assert_eq!(decoded.num_instructions(), w.program.len(), "{}", w.name);
+        let mut total = 0;
+        for (rip, inst) in w.program.instructions.iter().enumerate() {
+            let per_fetch = decode(rip as Rip, inst);
+            assert_eq!(
+                decoded.uops(rip as Rip),
+                per_fetch,
+                "{}: rip {rip} decodes differently through the arena",
+                w.name
+            );
+            total += per_fetch.len();
+        }
+        assert_eq!(decoded.num_uops(), total, "{}", w.name);
+    }
+}
+
+#[test]
+fn shared_table_runs_are_byte_identical() {
+    for w in all_workloads().iter().take(3) {
+        let program = Arc::new(w.program.clone());
+        // One table shared by several cores, against a core building its
+        // own — every RunResult field must agree bit for bit.
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        let run = |mut cpu: Cpu| -> RunResult { cpu.run(100_000_000, &mut NullProbe) };
+        let own = run(Cpu::new(Arc::clone(&program), CpuConfig::default()).unwrap());
+        let shared_a = run(Cpu::with_predecoded(
+            Arc::clone(&program),
+            Arc::clone(&decoded),
+            CpuConfig::default(),
+        )
+        .unwrap());
+        let shared_b = run(Cpu::with_predecoded(
+            Arc::clone(&program),
+            Arc::clone(&decoded),
+            CpuConfig::default(),
+        )
+        .unwrap());
+        assert!(own.exit.is_halted(), "{}", w.name);
+        assert_eq!(own, shared_a, "{}", w.name);
+        assert_eq!(shared_a, shared_b, "{}", w.name);
+    }
+}
+
+#[test]
+fn mismatched_table_is_rejected() {
+    let workloads = all_workloads();
+    let (a, b) = (&workloads[0], &workloads[1]);
+    let foreign = Arc::new(DecodedProgram::new(&b.program));
+    assert!(!foreign.matches_program(&a.program));
+    let err = Cpu::with_predecoded(Arc::new(a.program.clone()), foreign, CpuConfig::default());
+    assert!(err.is_err(), "a foreign table must not be accepted");
+
+    // A table from a *different* program of the *same* length is rejected
+    // too — instruction count alone cannot tell the two apart, the content
+    // hash must.
+    let program = a.program.clone();
+    let mut same_len = program.clone();
+    let swapped = same_len.instructions.len() / 2;
+    same_len.instructions[swapped] = merlin_isa::Inst::Nop;
+    if same_len.instructions == program.instructions {
+        same_len.instructions[swapped] = merlin_isa::Inst::Halt;
+    }
+    assert_eq!(program.len(), same_len.len());
+    let foreign = Arc::new(DecodedProgram::new(&same_len));
+    assert!(!foreign.matches_program(&program));
+    let err = Cpu::with_predecoded(Arc::new(program), foreign, CpuConfig::default());
+    assert!(
+        err.is_err(),
+        "an equal-length foreign table must not be accepted"
+    );
+}
