@@ -544,6 +544,10 @@ fn accuracy_figures(scale: &ExperimentScale) {
                 sched_sum.range_steals += comprehensive.schedule.range_steals;
                 sched_sum.range_splits += comprehensive.schedule.range_splits;
                 sched_sum.suffix_cycles += comprehensive.schedule.suffix_cycles;
+                sched_sum.asserts += comprehensive.schedule.asserts;
+                sched_sum.poisoned_restores += comprehensive.schedule.poisoned_restores;
+                sched_sum.range_retries += comprehensive.schedule.range_retries;
+                sched_sum.skipped_sites += comprehensive.schedule.skipped_sites;
                 let post_ace = cell
                     .session
                     .post_ace_baseline(&cell.campaign.reduction)
@@ -585,6 +589,15 @@ fn accuracy_figures(scale: &ExperimentScale) {
         sched_sum.range_steals,
         sched_sum.range_splits,
         sched_sum.suffix_cycles
+    );
+    println!(
+        "failure containment: {} engine asserts, {} poisoned restores, {} range retries, \
+         {} skipped sites, {} corrupt golden artifacts quarantined\n",
+        sched_sum.asserts,
+        sched_sum.poisoned_restores,
+        sched_sum.range_retries,
+        sched_sum.skipped_sites,
+        merlin_bench::session_cache().artifact_rejects()
     );
 }
 

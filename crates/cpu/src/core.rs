@@ -266,6 +266,10 @@ pub struct Cpu {
     /// of the incremental same-snapshot restore path (see
     /// [`Cpu::restore_from`]).
     last_restored: Option<u64>,
+    /// Set by [`Cpu::quarantine`] after the core's state became untrusted
+    /// (typically a panic unwound through [`Cpu::step`]); cleared by the next
+    /// [`Cpu::restore_from`], which is forced onto the full-rewrite path.
+    quarantined: bool,
 }
 
 impl Cpu {
@@ -348,6 +352,7 @@ impl Cpu {
             next_fault_cycle: u64::MAX,
             finished: None,
             last_restored: None,
+            quarantined: false,
             cycle: 0,
             next_seq: 0,
             program,
@@ -1219,7 +1224,12 @@ impl Cpu {
     /// The state must come from a core running the same program under the
     /// same configuration; this is not checked.
     pub fn restore_from(&mut self, s: &CpuState) -> RestoreStats {
-        let incremental = self.last_restored == Some(s.snap_id.get());
+        // A quarantined core's state is untrusted (a panic unwound through
+        // it), so the touched-line bookkeeping backing the incremental path
+        // cannot be believed either: force the full-rewrite path once.
+        let from_quarantine = self.quarantined;
+        self.quarantined = false;
+        let incremental = !from_quarantine && self.last_restored == Some(s.snap_id.get());
         // Cleared across the restore so a panic mid-restore (impossible for
         // matching contexts, but cheap to guard) can never leave a stale
         // claim of having matched `s`.
@@ -1260,7 +1270,26 @@ impl Cpu {
         RestoreStats {
             incremental,
             restored_bytes,
+            from_quarantine,
         }
+    }
+
+    /// Demote this core after its state became untrusted — typically because
+    /// a panic unwound through [`Cpu::step`] mid-instruction, leaving the
+    /// pipeline, caches, or touched-line bookkeeping in an unknown state.
+    ///
+    /// Quarantine is cleared by the next [`Cpu::restore_from`], which is
+    /// forced onto the full-rewrite path (never the same-snapshot
+    /// incremental path) so no stale state survives into the next run.
+    pub fn quarantine(&mut self) {
+        self.last_restored = None;
+        self.quarantined = true;
+    }
+
+    /// `true` while the core is quarantined (see [`Cpu::quarantine`]): its
+    /// state is untrusted and the next restore will be a forced full restore.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
     }
 
     /// Whether the core's current state is bit-identical to `s`.
@@ -1310,6 +1339,9 @@ pub struct RestoreStats {
     /// Bytes rewritten in the memory hierarchy (cache line data plus memory
     /// chunks) — the dominant, data-dependent portion of a restore.
     pub restored_bytes: usize,
+    /// `true` when this restore lifted the core out of quarantine (see
+    /// [`Cpu::quarantine`]) — such a restore is always a full restore.
+    pub from_quarantine: bool,
 }
 
 /// Process-unique identity of a snapshot, assigned at capture (and afresh on

@@ -225,6 +225,76 @@ proptest! {
         prop_assert!(!other_cpu.restore_from(&state).incremental);
     }
 
+    /// A quarantined core (as campaign workers demote theirs after a caught
+    /// per-fault panic) must not trust its incremental-restore bookkeeping:
+    /// the next restore of even the *same* snapshot takes the full path, is
+    /// flagged `from_quarantine`, and reproduces the state of a fresh-core
+    /// full restore bit for bit.
+    #[test]
+    fn quarantine_forces_a_full_restore_identical_to_a_fresh_core(
+        steps in prop::collection::vec(arb_step(), 1..25),
+        ckpt_frac in 0u64..10,
+        run_frac in 0u64..10,
+        entry in 0usize..64,
+        bit in 0u8..64,
+    ) {
+        let program = build_program(&steps);
+        let mut reference = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let golden = reference.run(2_000_000, &mut NullProbe);
+        prop_assert!(golden.exit.is_halted());
+        let budget = golden.cycles * 3 + 1000;
+
+        let ckpt_cycle = golden.cycles * ckpt_frac / 10;
+        let mut golden_cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        while golden_cpu.cycle() < ckpt_cycle && !golden_cpu.is_finished() {
+            golden_cpu.step(&mut NullProbe);
+        }
+        let state = golden_cpu.snapshot();
+
+        let mut worker = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let first = worker.restore_from(&state);
+        prop_assert!(!first.incremental);
+        prop_assert!(!first.from_quarantine);
+        prop_assert!(!worker.is_quarantined());
+
+        // Dirty the core with a faulty partial suffix, then quarantine it —
+        // the worker pattern after a caught panic.
+        let fault_cycle = (ckpt_cycle + 1).max(1);
+        worker
+            .inject_fault(FaultSpec::new(Structure::RegisterFile, entry, bit, fault_cycle))
+            .unwrap();
+        let stop = ckpt_cycle + (golden.cycles - ckpt_cycle) * run_frac / 10 + 2;
+        while worker.cycle() < stop && !worker.is_finished() {
+            worker.step(&mut NullProbe);
+        }
+        worker.quarantine();
+        prop_assert!(worker.is_quarantined());
+
+        // Without quarantine this same-snapshot restore would be
+        // incremental; quarantine forces the full path exactly once.
+        let restore = worker.restore_from(&state);
+        prop_assert!(!restore.incremental, "quarantine must force a full restore");
+        prop_assert!(restore.from_quarantine);
+        prop_assert!(!worker.is_quarantined(), "quarantine clears on restore");
+        prop_assert!(worker.matches_state(&state));
+        prop_assert_eq!(&worker.snapshot(), &state);
+
+        // Bit-for-bit parity with a fresh core restoring the same snapshot.
+        let mut fresh = Cpu::new(program, CpuConfig::default()).unwrap();
+        fresh.restore_from(&state);
+        prop_assert_eq!(&fresh.snapshot(), &worker.snapshot());
+        let replay = worker.run(budget, &mut NullProbe);
+        let fresh_replay = fresh.run(budget, &mut NullProbe);
+        prop_assert_eq!(&replay, &fresh_replay);
+        prop_assert_eq!(&replay, &golden);
+
+        // Trust is re-earned: the next same-snapshot restore is incremental
+        // again.
+        let again = worker.restore_from(&state);
+        prop_assert!(again.incremental);
+        prop_assert!(!again.from_quarantine);
+    }
+
     /// A fault injected into a restored suffix behaves exactly as the same
     /// fault injected into a from-scratch run — the core property behind the
     /// checkpointed campaign engine's byte-identical guarantee.

@@ -218,6 +218,34 @@ pub(crate) struct FaultRun {
     /// Cycles actually simulated, from the restore point (or cycle 0 on the
     /// from-scratch path) to wherever the faulty run ended.
     pub suffix_cycles: u64,
+    /// Whether the fault's site does not exist in this configuration (the
+    /// fault was classified Masked without simulating anything).
+    pub skipped_site: bool,
+    /// Whether this fault's restore lifted the core out of quarantine — i.e.
+    /// it was the forced full restore following a per-fault panic.
+    pub from_quarantine: bool,
+}
+
+impl FaultRun {
+    /// A fault resolved without simulating: the site does not exist in this
+    /// configuration, so the effect is Masked by definition.
+    fn skipped(restored: bool, restore: Option<merlin_cpu::RestoreStats>) -> FaultRun {
+        let restore = restore.unwrap_or(merlin_cpu::RestoreStats {
+            incremental: false,
+            restored_bytes: 0,
+            from_quarantine: false,
+        });
+        FaultRun {
+            effect: FaultEffect::Masked,
+            early_exit: false,
+            restored,
+            incremental: restore.incremental,
+            restored_bytes: restore.restored_bytes as u64,
+            suffix_cycles: 0,
+            skipped_site: true,
+            from_quarantine: restore.from_quarantine,
+        }
+    }
 }
 
 /// From-scratch single-fault run over a shared program image (no per-fault
@@ -240,24 +268,21 @@ pub(crate) fn run_single_fault_shared(
                 incremental: false,
                 restored_bytes: 0,
                 suffix_cycles: 0,
+                skipped_site: false,
+                from_quarantine: false,
             }
         }
     };
     if cpu.inject_fault(fault).is_err() {
         // A fault site that does not exist in this configuration cannot
         // affect it.
-        return FaultRun {
-            effect: FaultEffect::Masked,
-            early_exit: false,
-            restored: false,
-            incremental: false,
-            restored_bytes: 0,
-            suffix_cycles: 0,
-        };
+        return FaultRun::skipped(false, None);
     }
     // An internal invariant violation inside the simulator is the paper's
-    // Assert class: catch it rather than tearing the campaign down.
+    // Assert class: catch it rather than tearing the campaign down.  The
+    // panic path records zero suffix cycles, matching the checkpointed path.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::chaos::maybe_panic_fault(fault.cycle);
         cpu.run(golden.timeout_cycles, &mut NullProbe)
     }));
     match outcome {
@@ -268,6 +293,8 @@ pub(crate) fn run_single_fault_shared(
             incremental: false,
             restored_bytes: 0,
             suffix_cycles: result.cycles,
+            skipped_site: false,
+            from_quarantine: false,
         },
         Err(_) => FaultRun {
             effect: FaultEffect::Assert,
@@ -276,6 +303,8 @@ pub(crate) fn run_single_fault_shared(
             incremental: false,
             restored_bytes: 0,
             suffix_cycles: 0,
+            skipped_site: false,
+            from_quarantine: false,
         },
     }
 }
@@ -298,14 +327,7 @@ pub(crate) fn run_fault_from_checkpoint(
     if fault.entry >= cpu.structure_entries(fault.structure) {
         // Same semantics as the from-scratch path: a fault site that does
         // not exist in this configuration cannot affect it.
-        return FaultRun {
-            effect: FaultEffect::Masked,
-            early_exit: false,
-            restored: false,
-            incremental: false,
-            restored_bytes: 0,
-            suffix_cycles: 0,
-        };
+        return FaultRun::skipped(false, None);
     }
     let state = ckpts
         .store
@@ -314,18 +336,12 @@ pub(crate) fn run_fault_from_checkpoint(
     let restore_cycle = state.cycle();
     let restore = cpu.restore_from(state);
     if cpu.inject_fault(fault).is_err() {
-        return FaultRun {
-            effect: FaultEffect::Masked,
-            early_exit: false,
-            restored: true,
-            incremental: restore.incremental,
-            restored_bytes: restore.restored_bytes as u64,
-            suffix_cycles: 0,
-        };
+        return FaultRun::skipped(true, Some(restore));
     }
     let early_exit = ckpts.policy.early_exit;
     let timeout = golden.timeout_cycles;
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::chaos::maybe_panic_fault(fault.cycle);
         let mut probe = NullProbe;
         // Early exit: past the injection cycle, compare against the golden
         // checkpoint stream at each retained checkpoint boundary the run
@@ -353,7 +369,18 @@ pub(crate) fn run_fault_from_checkpoint(
         let suffix = result.cycles.saturating_sub(restore_cycle);
         (classify(&golden.result, &result), false, suffix)
     }));
-    let (effect, early_exit, suffix_cycles) = outcome.unwrap_or((FaultEffect::Assert, false, 0));
+    let (effect, early_exit, suffix_cycles) = match outcome {
+        Ok(o) => o,
+        Err(_) => {
+            // The panic unwound mid-step: the core's pipeline and
+            // touched-line bookkeeping are now untrusted, so demote it —
+            // its next restore is forced onto the full path instead of
+            // silently trusting incremental state.  Suffix cycles are
+            // recorded as 0, matching the from-scratch panic path.
+            cpu.quarantine();
+            (FaultEffect::Assert, false, 0)
+        }
+    };
     FaultRun {
         effect,
         early_exit,
@@ -361,6 +388,8 @@ pub(crate) fn run_fault_from_checkpoint(
         incremental: restore.incremental,
         restored_bytes: restore.restored_bytes as u64,
         suffix_cycles,
+        skipped_site: false,
+        from_quarantine: restore.from_quarantine,
     }
 }
 

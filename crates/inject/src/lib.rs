@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 mod campaign;
+pub mod chaos;
 mod classify;
 mod sampling;
 pub mod schedule;

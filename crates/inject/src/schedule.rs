@@ -43,12 +43,12 @@ use crate::campaign::{
     run_fault_from_checkpoint, run_single_fault_shared, CampaignResult, FaultOutcome,
     GoldenCheckpoints, GoldenRun,
 };
-use crate::classify::Classification;
+use crate::classify::{Classification, FaultEffect};
 use merlin_cpu::{Cpu, CpuConfig, FaultSpec};
 use merlin_isa::{DecodedProgram, Program};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How many ranges per worker the from-scratch path chunks the fault list
 /// into: enough that a slow chunk can be compensated by stealing, few enough
@@ -95,9 +95,25 @@ pub struct ScheduleStats {
     /// work the checkpoint engine actually paid, directly comparable across
     /// spacing strategies and against `faults × golden_cycles` from scratch.
     pub suffix_cycles: u64,
+    /// Faults classified [`Assert`](crate::FaultEffect::Assert) by the
+    /// engine's failure containment: a panic during the fault's own
+    /// simulation, a range whose retry also failed, a core that could not be
+    /// constructed, or a worker that died without reporting.
+    pub asserts: u64,
+    /// Restores that lifted a core out of quarantine — the forced full
+    /// restore following a per-fault panic on that core.
+    pub poisoned_restores: u64,
+    /// Ranges whose first attempt panicked at range level and were returned
+    /// to the pool for one retry on a fresh core.
+    pub range_retries: u64,
+    /// Faults whose site does not exist in this configuration: classified
+    /// Masked without simulating anything (previously invisible in stats).
+    pub skipped_sites: u64,
 }
 
-/// Per-worker tallies, merged into [`ScheduleStats`] after the join.
+/// Per-worker tallies, merged into [`ScheduleStats`] after the join.  Also
+/// used as the per-range-attempt delta, so a panicked attempt's partial
+/// tallies are discarded wholesale with its partial outcomes.
 #[derive(Default)]
 struct WorkerStats {
     restores: u64,
@@ -107,6 +123,26 @@ struct WorkerStats {
     range_steals: u64,
     suffix_cycles: u64,
     early_exits: u64,
+    asserts: u64,
+    poisoned_restores: u64,
+    range_retries: u64,
+    skipped_sites: u64,
+}
+
+impl WorkerStats {
+    fn merge(&mut self, other: WorkerStats) {
+        self.restores += other.restores;
+        self.full_restores += other.full_restores;
+        self.incremental_restores += other.incremental_restores;
+        self.restored_bytes += other.restored_bytes;
+        self.range_steals += other.range_steals;
+        self.suffix_cycles += other.suffix_cycles;
+        self.early_exits += other.early_exits;
+        self.asserts += other.asserts;
+        self.poisoned_restores += other.poisoned_restores;
+        self.range_retries += other.range_retries;
+        self.skipped_sites += other.skipped_sites;
+    }
 }
 
 /// Executes one injection campaign: buckets the cycle-sorted fault list by
@@ -281,75 +317,164 @@ impl<'a> CampaignScheduler<'a> {
     /// Outcomes are byte-identical across thread counts; only
     /// [`CampaignResult::schedule`] (and `early_exits`, which counts the
     /// same events wherever they land) reflects the execution.
+    ///
+    /// # Failure containment
+    ///
+    /// A panic during one fault's simulation is caught inside the engine,
+    /// classified [`Assert`](crate::FaultEffect::Assert), and quarantines
+    /// the worker's core (next restore is a forced full restore).  A panic
+    /// that tears through a worker's whole range attempt — outside the
+    /// per-fault catch — discards that attempt's partial outcomes, returns
+    /// the range to a retry pool and re-runs it once on a fresh core; a
+    /// second range-level failure classifies every fault in the range
+    /// deterministically as `Assert`.  Both classifications are pure
+    /// functions of (program, configuration, fault), so outcomes stay
+    /// byte-identical across thread counts even under panics.
     pub fn run(&self) -> CampaignResult {
         let threads = self.threads.max(1).min(self.buckets.len().max(1));
         let next = AtomicUsize::new(0);
+        // Ranges whose first attempt panicked, awaiting their one retry.  A
+        // poisoned lock only means a probe panicked while pushing is not in
+        // progress (panics never unwind while the lock is held), so the
+        // contents are always valid.
+        let retries: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let pop_retry = || match retries.lock() {
+            Ok(mut g) => g.pop(),
+            Err(poisoned) => poisoned.into_inner().pop(),
+        };
+        let push_retry = |b: usize| match retries.lock() {
+            Ok(mut g) => g.push(b),
+            Err(poisoned) => poisoned.into_inner().push(b),
+        };
         let run_worker = |collected: &mut Vec<(usize, FaultOutcome)>, stats: &mut WorkerStats| {
             let mut cpu: Option<Cpu> = None;
             let mut claimed = 0usize;
             loop {
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                let Some(bucket) = self.buckets.get(b) else {
-                    break;
-                };
-                claimed += 1;
-                if claimed > 1 {
-                    stats.range_steals += 1;
-                }
-                for &idx in bucket {
-                    let fault = self.faults[idx];
-                    let run = match &self.ckpts {
-                        Some(ckpts) => {
-                            // One core per worker, restored per fault.
-                            if cpu.is_none() {
-                                cpu = Cpu::with_predecoded(
-                                    Arc::clone(&self.program),
-                                    Arc::clone(&self.decoded),
-                                    (*self.cfg).clone(),
-                                )
-                                .ok();
-                            }
-                            match cpu.as_mut() {
-                                Some(core) => run_fault_from_checkpoint(
-                                    core,
-                                    self.golden,
-                                    ckpts,
-                                    &self.boundaries,
-                                    fault,
-                                ),
-                                None => {
-                                    collected.push((
-                                        idx,
-                                        FaultOutcome {
-                                            fault,
-                                            effect: crate::classify::FaultEffect::Assert,
-                                        },
-                                    ));
-                                    continue;
-                                }
+                // Failed ranges take priority over fresh ones, and the
+                // worker that pushed a retry always loops back to re-check
+                // the pool — so a retry can never be stranded by the other
+                // workers having already exited.
+                let (b, is_retry) = match pop_retry() {
+                    Some(b) => (b, true),
+                    None => {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b < self.buckets.len() {
+                            (b, false)
+                        } else {
+                            match pop_retry() {
+                                Some(b) => (b, true),
+                                None => break,
                             }
                         }
-                        None => run_single_fault_shared(
-                            &self.program,
-                            &self.decoded,
-                            &self.cfg,
-                            self.golden,
-                            fault,
-                        ),
-                    };
-                    stats.restores += u64::from(run.restored);
-                    stats.full_restores += u64::from(run.restored && !run.incremental);
-                    stats.incremental_restores += u64::from(run.restored && run.incremental);
-                    stats.restored_bytes += run.restored_bytes;
-                    stats.early_exits += u64::from(run.early_exit);
-                    stats.suffix_cycles += run.suffix_cycles;
-                    collected.push((
-                        idx,
-                        FaultOutcome {
-                            fault,
-                            effect: run.effect,
-                        },
-                    ));
+                    }
+                };
+                let bucket = &self.buckets[b];
+                if !is_retry {
+                    claimed += 1;
+                    if claimed > 1 {
+                        stats.range_steals += 1;
+                    }
+                } else {
+                    // The issue under retry may have been the core itself:
+                    // retries always start from a fresh core.
+                    cpu = None;
+                }
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::chaos::maybe_panic_range(bucket.iter().map(|&i| self.faults[i].cycle));
+                    // Partial work is collected locally so a mid-range panic
+                    // discards it atomically and the retry re-runs the whole
+                    // range.
+                    let mut local: Vec<(usize, FaultOutcome)> = Vec::with_capacity(bucket.len());
+                    let mut delta = WorkerStats::default();
+                    for &idx in bucket {
+                        let fault = self.faults[idx];
+                        let run = match &self.ckpts {
+                            Some(ckpts) => {
+                                // One core per worker, restored per fault.
+                                if cpu.is_none() {
+                                    cpu = Cpu::with_predecoded(
+                                        Arc::clone(&self.program),
+                                        Arc::clone(&self.decoded),
+                                        (*self.cfg).clone(),
+                                    )
+                                    .ok();
+                                }
+                                match cpu.as_mut() {
+                                    Some(core) => run_fault_from_checkpoint(
+                                        core,
+                                        self.golden,
+                                        ckpts,
+                                        &self.boundaries,
+                                        fault,
+                                    ),
+                                    None => {
+                                        delta.asserts += 1;
+                                        local.push((
+                                            idx,
+                                            FaultOutcome {
+                                                fault,
+                                                effect: FaultEffect::Assert,
+                                            },
+                                        ));
+                                        continue;
+                                    }
+                                }
+                            }
+                            None => run_single_fault_shared(
+                                &self.program,
+                                &self.decoded,
+                                &self.cfg,
+                                self.golden,
+                                fault,
+                            ),
+                        };
+                        delta.restores += u64::from(run.restored);
+                        delta.full_restores += u64::from(run.restored && !run.incremental);
+                        delta.incremental_restores += u64::from(run.restored && run.incremental);
+                        delta.restored_bytes += run.restored_bytes;
+                        delta.early_exits += u64::from(run.early_exit);
+                        delta.suffix_cycles += run.suffix_cycles;
+                        delta.asserts += u64::from(run.effect == FaultEffect::Assert);
+                        delta.poisoned_restores += u64::from(run.from_quarantine);
+                        delta.skipped_sites += u64::from(run.skipped_site);
+                        local.push((
+                            idx,
+                            FaultOutcome {
+                                fault,
+                                effect: run.effect,
+                            },
+                        ));
+                    }
+                    (local, delta)
+                }));
+                match attempt {
+                    Ok((local, delta)) => {
+                        collected.extend(local);
+                        stats.merge(delta);
+                    }
+                    Err(_) => {
+                        // The panic unwound outside the per-fault catch, so
+                        // the worker's core is in an unknown state: drop it.
+                        cpu = None;
+                        if is_retry {
+                            // Second failure: the range is deterministically
+                            // poisoned — classify every fault in it Assert
+                            // rather than retrying forever.
+                            stats.asserts += bucket.len() as u64;
+                            collected.extend(bucket.iter().map(|&idx| {
+                                (
+                                    idx,
+                                    FaultOutcome {
+                                        fault: self.faults[idx],
+                                        effect: FaultEffect::Assert,
+                                    },
+                                )
+                            }));
+                        } else {
+                            stats.range_retries += 1;
+                            push_retry(b);
+                        }
+                    }
                 }
             }
         };
@@ -372,7 +497,13 @@ impl<'a> CampaignScheduler<'a> {
                     }));
                 }
                 for h in handles {
-                    per_thread.push(h.join().expect("campaign worker panicked"));
+                    // A worker that somehow died outside its range-level
+                    // containment loses its outcomes; the merge below
+                    // classifies whatever is missing as Assert instead of
+                    // tearing the campaign down.
+                    if let Ok(result) = h.join() {
+                        per_thread.push(result);
+                    }
                 }
             });
         }
@@ -391,6 +522,10 @@ impl<'a> CampaignScheduler<'a> {
             schedule.restored_bytes += stats.restored_bytes;
             schedule.range_steals += stats.range_steals;
             schedule.suffix_cycles += stats.suffix_cycles;
+            schedule.asserts += stats.asserts;
+            schedule.poisoned_restores += stats.poisoned_restores;
+            schedule.range_retries += stats.range_retries;
+            schedule.skipped_sites += stats.skipped_sites;
             early_exits += stats.early_exits;
             for (idx, outcome) in collected {
                 outcomes[idx] = Some(outcome);
@@ -398,7 +533,16 @@ impl<'a> CampaignScheduler<'a> {
         }
         let outcomes: Vec<FaultOutcome> = outcomes
             .into_iter()
-            .map(|o| o.expect("every fault produced an outcome"))
+            .enumerate()
+            .map(|(i, o)| {
+                o.unwrap_or_else(|| {
+                    schedule.asserts += 1;
+                    FaultOutcome {
+                        fault: self.faults[i],
+                        effect: FaultEffect::Assert,
+                    }
+                })
+            })
             .collect();
         let mut classification = Classification::default();
         for o in &outcomes {
@@ -894,10 +1038,20 @@ mod tests {
         let (effect, cycles) = injector.run_with_cycles(absent);
         assert_eq!(effect, FaultEffect::Masked);
         assert_eq!(cycles, 0, "absent fault sites simulate nothing");
-        // Same through the scheduler.
+        // Same through the scheduler, which now accounts for the skip
+        // instead of silently reporting Masked with zero context.
         let out = campaign(&program, &cfg, &golden, &[absent], 1);
         assert_eq!(out.outcomes[0].effect, FaultEffect::Masked);
         assert_eq!(out.schedule.restores, 0);
+        assert_eq!(out.schedule.skipped_sites, 1);
+        // A present site is not counted as skipped.
+        let present = FaultSpec::new(Structure::RegisterFile, 3, 1, 10);
+        let out = campaign(&program, &cfg, &golden, &[absent, present], 1);
+        assert_eq!(out.schedule.skipped_sites, 1);
+        // The from-scratch path counts skips identically.
+        let scratch = campaign_scratch(&program, &cfg, &golden, &[absent, present], 1);
+        assert_eq!(scratch.schedule.skipped_sites, 1);
+        assert_eq!(out.outcomes, scratch.outcomes);
     }
 
     #[test]

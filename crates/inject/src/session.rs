@@ -70,6 +70,10 @@ pub struct SessionBuilder {
     threads: usize,
     persist_path: Option<PathBuf>,
     seeded_golden: Option<GoldenRun>,
+    /// Counter receiving corrupt-artifact rejections (see
+    /// [`Session::artifact_rejects`]); a cache installs its shared counter
+    /// here so rejections aggregate across its sessions.
+    artifact_rejects: Arc<AtomicU64>,
     /// Memoised [`SessionBuilder::fingerprint`]; cleared by every setter
     /// that participates in the fingerprint.
     fingerprint: std::cell::Cell<Option<u64>>,
@@ -87,6 +91,7 @@ impl SessionBuilder {
                 .unwrap_or(4),
             persist_path: None,
             seeded_golden: None,
+            artifact_rejects: Arc::new(AtomicU64::new(0)),
             fingerprint: std::cell::Cell::new(None),
         }
     }
@@ -117,6 +122,14 @@ impl SessionBuilder {
     /// [`SessionCache::with_disk_dir`] rather than by hand.
     pub fn persist_to(mut self, path: impl Into<PathBuf>) -> Self {
         self.persist_path = Some(path.into());
+        self
+    }
+
+    /// Shares `counter` as the session's corrupt-artifact rejection counter
+    /// (execution-only: not part of the fingerprint).  Used by
+    /// [`SessionCache`] so rejections aggregate across its sessions.
+    pub(crate) fn reject_counter(mut self, counter: Arc<AtomicU64>) -> Self {
+        self.artifact_rejects = counter;
         self
     }
 
@@ -192,6 +205,7 @@ impl SessionBuilder {
             fingerprint,
             golden,
             golden_builds: AtomicU64::new(0),
+            artifact_rejects: self.artifact_rejects,
             ext: Mutex::new(HashMap::new()),
         })
     }
@@ -215,6 +229,9 @@ pub struct Session {
     fingerprint: u64,
     golden: OnceLock<Result<GoldenRun, CampaignError>>,
     golden_builds: AtomicU64,
+    /// Corrupt `.golden` files quarantined at load (shared with the owning
+    /// [`SessionCache`] when the session came from one).
+    artifact_rejects: Arc<AtomicU64>,
     /// Type-keyed storage for per-session artifacts owned by higher layers
     /// (e.g. the cached ACE analysis of `merlin-ace`).
     ext: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
@@ -286,10 +303,21 @@ impl Session {
         self.golden_builds.load(Ordering::Relaxed)
     }
 
+    /// Corrupt `.golden` artifacts this session rejected at load: files whose
+    /// header matched this context but whose content failed the checksum (or
+    /// decode), quarantined to `<name>.golden.corrupt` and rebuilt.  When the
+    /// session came from a [`SessionCache`], the counter is shared cache-wide
+    /// ([`SessionCache::artifact_rejects`]).
+    pub fn artifact_rejects(&self) -> u64 {
+        self.artifact_rejects.load(Ordering::Relaxed)
+    }
+
     fn build_golden(&self) -> Result<GoldenRun, CampaignError> {
         if let Some(path) = &self.persist_path {
             let mem_len = (self.program.data_size + self.cfg.extra_memory_bytes) as usize;
-            if let Some(golden) = load_golden(path, self.fingerprint, mem_len) {
+            if let Some(golden) =
+                load_golden(path, self.fingerprint, mem_len, &self.artifact_rejects)
+            {
                 return Ok(golden);
             }
         }
@@ -546,6 +574,10 @@ pub struct SessionCache {
     state: Mutex<CacheState>,
     disk_dir: Option<PathBuf>,
     byte_budget: Option<usize>,
+    /// Corrupt `.golden` files quarantined at load, summed over every
+    /// session this cache created (shared into each via
+    /// [`SessionBuilder::reject_counter`]).
+    artifact_rejects: Arc<AtomicU64>,
 }
 
 impl SessionCache {
@@ -616,6 +648,7 @@ impl SessionCache {
         if let Some(dir) = &self.disk_dir {
             builder = builder.persist_to(dir.join(golden_file_name(id, key.fingerprint)));
         }
+        builder = builder.reject_counter(Arc::clone(&self.artifact_rejects));
         let session = Arc::new(builder.build()?);
         state.entries.insert(
             key.clone(),
@@ -681,6 +714,13 @@ impl SessionCache {
         lock_unpoisoned(&self.state).evictions
     }
 
+    /// Corrupt `.golden` files rejected (checksum or decode failure behind a
+    /// matching header), quarantined to `<name>.golden.corrupt` and
+    /// transparently rebuilt, across every session this cache created.
+    pub fn artifact_rejects(&self) -> u64 {
+        self.artifact_rejects.load(Ordering::Relaxed)
+    }
+
     /// Summed checkpoint footprint of the resident sessions in bytes (only
     /// sessions whose golden run has been built contribute).
     pub fn resident_bytes(&self) -> usize {
@@ -695,11 +735,19 @@ impl SessionCache {
 // --- Disk persistence ----------------------------------------------------
 
 const GOLDEN_MAGIC: &[u8; 8] = b"MRLNGLD\0";
-/// Version 2: checkpoint snapshots encode memory as a chunk-level delta
-/// against the pristine program image instead of a dense copy.  Version-1
-/// files (dense memory images) are treated as cache misses and rebuilt.
-const GOLDEN_VERSION: u32 = 2;
+/// Version 3: the file ends with a little-endian FNV-1a checksum over
+/// everything before it, so content corruption is *detected and quarantined*
+/// (renamed to `<name>.golden.corrupt`, counted in
+/// [`SessionCache::artifact_rejects`]) instead of gambling on the decoder
+/// happening to fail.  Version 2 encoded checkpoint memory as chunk-level
+/// deltas, version 1 as dense images; older-version files are ordinary cache
+/// misses and are rebuilt, not quarantined.
+const GOLDEN_VERSION: u32 = 3;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Bytes of the fixed `.golden` header: magic, version, fingerprint.
+const GOLDEN_HEADER_LEN: usize = GOLDEN_MAGIC.len() + 4 + 8;
+/// Bytes of the v3 checksum trailer.
+const GOLDEN_TRAILER_LEN: usize = 8;
 
 fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
@@ -732,18 +780,44 @@ fn save_golden(path: &Path, fingerprint: u64, golden: &GoldenRun) -> io::Result<
             ck.store.encode(&mut buf);
         }
     }
+    // v3 content checksum over header and payload, as the trailer.
+    fnv1a(FNV_OFFSET, &buf).encode(&mut buf);
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
     // Write-then-rename so a concurrent reader never observes a torn file.
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     fs::write(&tmp, &buf)?;
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path).inspect_err(|_| {
+        // A failed rename must not leak the temp file (a read-only target
+        // directory would otherwise accumulate one orphan per process).
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
-fn load_golden(path: &Path, fingerprint: u64, mem_len: usize) -> Option<GoldenRun> {
-    // Any mismatch or decode failure means "cache miss, rebuild" — a corrupt
-    // or stale file must never break a campaign.
+/// Quarantines a corrupt artifact: renames it to `<path>.corrupt` so the
+/// bytes survive for diagnosis (and cannot be re-read as a live artifact),
+/// counts the rejection, and reports a cache miss so the caller rebuilds.
+fn reject_corrupt(path: &Path, rejects: &AtomicU64) -> Option<GoldenRun> {
+    let mut corrupt = path.as_os_str().to_owned();
+    corrupt.push(".corrupt");
+    let _ = fs::rename(path, PathBuf::from(corrupt));
+    rejects.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+fn load_golden(
+    path: &Path,
+    fingerprint: u64,
+    mem_len: usize,
+    rejects: &AtomicU64,
+) -> Option<GoldenRun> {
+    // A file that never claimed to be this context's v3 artifact (foreign
+    // magic, older version, different fingerprint) is a silent cache miss.
+    // A file whose header *does* match but whose content fails the checksum
+    // or decode is corruption: quarantined via `reject_corrupt` so a flipped
+    // bit can never be gambled through the decoder into wrong
+    // classifications — and never silently overwritten either.
     let buf = fs::read(path).ok()?;
     let mut r = ByteReader::new(&buf);
     if r.take(GOLDEN_MAGIC.len()).ok()? != GOLDEN_MAGIC {
@@ -755,6 +829,31 @@ fn load_golden(path: &Path, fingerprint: u64, mem_len: usize) -> Option<GoldenRu
     if u64::decode(&mut r).ok()? != fingerprint {
         return None;
     }
+    // Header matched: from here on, failures are corruption.
+    let Some(payload_end) = buf
+        .len()
+        .checked_sub(GOLDEN_TRAILER_LEN)
+        .filter(|&end| end >= GOLDEN_HEADER_LEN)
+    else {
+        return reject_corrupt(path, rejects);
+    };
+    let mut t = ByteReader::new(&buf[payload_end..]);
+    let stored = u64::decode(&mut t).ok()?;
+    if fnv1a(FNV_OFFSET, &buf[..payload_end]) != stored {
+        return reject_corrupt(path, rejects);
+    }
+    // Checksum verified: a decode failure now means the writer itself was
+    // broken — still corruption, still quarantined.
+    match decode_golden_payload(&buf[GOLDEN_HEADER_LEN..payload_end], mem_len) {
+        Some(golden) => Some(golden),
+        None => reject_corrupt(path, rejects),
+    }
+}
+
+/// Decodes the payload between a `.golden` file's verified header and its
+/// checksum trailer.  `None` on any decode failure or invariant violation.
+fn decode_golden_payload(payload: &[u8], mem_len: usize) -> Option<GoldenRun> {
+    let mut r = ByteReader::new(payload);
     let result = BinCode::decode(&mut r).ok()?;
     let timeout_cycles = u64::decode(&mut r).ok()?;
     let checkpoints = match u8::decode(&mut r).ok()? {
@@ -1169,6 +1268,99 @@ mod tests {
         let s2 = second.session("tiny", &p, &cfg, tune).unwrap();
         assert_eq!(s2.golden().unwrap(), s1.golden().unwrap());
         assert_eq!(s2.golden_builds(), 0);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_golden_is_quarantined_counted_and_rebuilt() {
+        let dir = temp_dir("checksum-reject");
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let tune = |b: SessionBuilder| b.checkpoints(small_policy()).max_cycles(1_000_000);
+
+        let first = SessionCache::with_disk_dir(&dir);
+        let s1 = first.session("tiny", &p, &cfg, tune).unwrap();
+        let golden1 = s1.golden().unwrap().clone();
+        assert_eq!(first.artifact_rejects(), 0);
+
+        // Flip one payload bit: the header still matches, so the file claims
+        // to be this exact artifact — the checksum must catch it.
+        let file = dir.join(golden_file_name("tiny", s1.fingerprint()));
+        let mut bytes = fs::read(&file).unwrap();
+        let mid = GOLDEN_HEADER_LEN + (bytes.len() - GOLDEN_HEADER_LEN - GOLDEN_TRAILER_LEN) / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&file, &bytes).unwrap();
+
+        let second = SessionCache::with_disk_dir(&dir);
+        let s2 = second.session("tiny", &p, &cfg, tune).unwrap();
+        assert_eq!(s2.golden().unwrap(), &golden1, "rebuild matches original");
+        assert_eq!(s2.golden_builds(), 1, "the corrupt file must not be used");
+        assert_eq!(second.artifact_rejects(), 1);
+        assert_eq!(s2.artifact_rejects(), 1, "session shares the counter");
+        // The rejected bytes were quarantined, not destroyed; the rebuild
+        // then re-persisted a fresh artifact next to them.
+        let corrupt = {
+            let mut os = file.as_os_str().to_owned();
+            os.push(".corrupt");
+            PathBuf::from(os)
+        };
+        assert_eq!(fs::read(&corrupt).unwrap(), bytes);
+        let third = SessionCache::with_disk_dir(&dir);
+        let s3 = third.session("tiny", &p, &cfg, tune).unwrap();
+        assert_eq!(s3.golden().unwrap(), &golden1);
+        assert_eq!(s3.golden_builds(), 0, "the re-persisted artifact is live");
+        assert_eq!(third.artifact_rejects(), 0);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn older_version_files_are_silent_misses_not_corruption() {
+        let dir = temp_dir("version-miss");
+        let p = tiny_program();
+        let cfg = CpuConfig::default();
+        let tune = |b: SessionBuilder| b.checkpoints(small_policy()).max_cycles(1_000_000);
+
+        let first = SessionCache::with_disk_dir(&dir);
+        let s1 = first.session("tiny", &p, &cfg, tune).unwrap();
+        s1.golden().unwrap();
+        // Rewrite the version field to the previous format's.
+        let file = dir.join(golden_file_name("tiny", s1.fingerprint()));
+        let mut bytes = fs::read(&file).unwrap();
+        bytes[GOLDEN_MAGIC.len()..GOLDEN_MAGIC.len() + 4].copy_from_slice(&2u32.to_le_bytes());
+        fs::write(&file, &bytes).unwrap();
+
+        let second = SessionCache::with_disk_dir(&dir);
+        let s2 = second.session("tiny", &p, &cfg, tune).unwrap();
+        s2.golden().unwrap();
+        assert_eq!(s2.golden_builds(), 1, "old version is a miss");
+        assert_eq!(second.artifact_rejects(), 0, "a miss is not corruption");
+        let mut corrupt_os = file.as_os_str().to_owned();
+        corrupt_os.push(".corrupt");
+        assert!(!PathBuf::from(corrupt_os).exists());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rename_does_not_leak_the_temp_file() {
+        let dir = temp_dir("tmp-leak");
+        fs::create_dir_all(&dir).unwrap();
+        // A directory squatting on the target path makes the final rename
+        // fail after the temp file was written.
+        let target = dir.join("blocked.golden");
+        fs::create_dir_all(&target).unwrap();
+        let session = test_session();
+        let golden = session.golden().unwrap();
+        let err = save_golden(&target, session.fingerprint(), golden);
+        assert!(err.is_err(), "rename onto a directory must fail");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "blocked.golden")
+            .collect();
+        assert!(leftovers.is_empty(), "temp file leaked: {leftovers:?}");
 
         let _ = fs::remove_dir_all(&dir);
     }

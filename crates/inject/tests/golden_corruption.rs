@@ -1,0 +1,134 @@
+//! Property: corrupting a persisted `.golden` artifact — flipping any single
+//! byte or truncating it at any length — never panics the loader, never
+//! decodes into a *different* golden run, and always lands in one of two
+//! benign buckets:
+//!
+//! * a **checksum/decode reject**: the file is quarantined to
+//!   `<name>.golden.corrupt`, counted in `artifact_rejects`, and the golden
+//!   run is transparently rebuilt;
+//! * a **silent cache miss** (magic/version/fingerprint/EOF miss): the file
+//!   is left in place, nothing is counted, and the run is rebuilt.
+//!
+//! Either way the session must hand back a golden run identical to the
+//! pristine one and `golden_builds() == 1` must hold — proof the corrupt
+//! bytes were never trusted.
+
+use merlin_cpu::{CheckpointPolicy, CpuConfig};
+use merlin_inject::chaos;
+use merlin_inject::{GoldenRun, SessionCache};
+use merlin_isa::Program;
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn program() -> Program {
+    merlin_workloads::workload_by_name("stringsearch")
+        .unwrap()
+        .program
+        .clone()
+}
+
+fn build_session(dir: &Path) -> (SessionCache, std::sync::Arc<merlin_inject::Session>) {
+    let cache = SessionCache::with_disk_dir(dir);
+    let session = cache
+        .session("corrupt-prop", &program(), &CpuConfig::default(), |b| {
+            b.max_cycles(10_000_000).checkpoints(CheckpointPolicy {
+                enabled: true,
+                target_checkpoints: 6,
+                min_interval: 8,
+                ..CheckpointPolicy::default()
+            })
+        })
+        .unwrap();
+    (cache, session)
+}
+
+struct Pristine {
+    dir: PathBuf,
+    path: PathBuf,
+    bytes: Vec<u8>,
+    golden: GoldenRun,
+}
+
+/// Builds the pristine artifact exactly once for the whole property run.
+fn pristine() -> &'static Pristine {
+    static PRISTINE: OnceLock<Pristine> = OnceLock::new();
+    PRISTINE.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("merlin-golden-corruption-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let (cache, session) = build_session(&dir);
+        let golden = session.golden().unwrap().clone();
+        assert_eq!(session.golden_builds(), 1);
+        assert_eq!(cache.artifact_rejects(), 0);
+        let path = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "golden"))
+            .expect("the cache persisted exactly one .golden file");
+        let bytes = fs::read(&path).unwrap();
+        assert!(bytes.len() > 28, "header + payload + checksum trailer");
+        Pristine {
+            dir,
+            path,
+            bytes,
+            golden,
+        }
+    })
+}
+
+fn corrupt_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".corrupt");
+    PathBuf::from(os)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_flip_or_truncation_is_rejected_or_missed_never_trusted(
+        mode in 0usize..2,
+        sel in 0usize..1_000_000,
+    ) {
+        let p = pristine();
+        let quarantine = corrupt_path(&p.path);
+        let _ = fs::remove_file(&quarantine);
+        fs::write(&p.path, &p.bytes).unwrap();
+
+        let corrupted = if mode == 0 {
+            let offset = sel % p.bytes.len();
+            chaos::flip_byte(&p.path, offset).unwrap();
+            let mut b = p.bytes.clone();
+            b[offset] ^= 0x01;
+            b
+        } else {
+            // Strictly shrinking: truncating to the full length is a no-op.
+            let len = sel % p.bytes.len();
+            chaos::truncate_file(&p.path, len).unwrap();
+            p.bytes[..len].to_vec()
+        };
+        prop_assert_ne!(&corrupted, &p.bytes);
+
+        // A fresh cache must survive the corrupted artifact: same golden
+        // run, built exactly once, corrupt bytes never decoded.
+        let (cache, session) = build_session(&p.dir);
+        let reloaded = session.golden().unwrap();
+        prop_assert_eq!(reloaded, &p.golden);
+        prop_assert_eq!(session.golden_builds(), 1);
+
+        let rejects = cache.artifact_rejects();
+        prop_assert!(rejects <= 1);
+        if rejects == 1 {
+            // Checksum/decode reject: quarantined byte-for-byte.
+            prop_assert_eq!(fs::read(&quarantine).unwrap(), corrupted);
+        } else {
+            // Header/EOF miss: never quarantined (the rebuild re-persists
+            // over the unrecognised file).
+            prop_assert!(!quarantine.exists());
+        }
+        let _ = fs::remove_file(&quarantine);
+    }
+}

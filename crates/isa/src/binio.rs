@@ -109,6 +109,23 @@ pub trait BinCode: Sized {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError>;
 }
 
+/// Upper bound on the element capacity any container decode reserves up
+/// front.
+///
+/// A length prefix is validated against the bytes actually remaining (each
+/// element consumes at least one byte), but `Vec::with_capacity(n)` would
+/// still reserve `n * size_of::<T>()` bytes before a single element has been
+/// proven decodable — for wide element types that is a large multiple of the
+/// file size.  Capping the pre-allocation keeps the worst-case memory cost of
+/// a corrupt length prefix proportional to the corrupt input itself; honest
+/// longer containers simply grow as they decode.
+const MAX_PREALLOC_ELEMS: usize = 1 << 16;
+
+/// Capacity to reserve up front for a container that claims `n` elements.
+fn bounded_capacity(n: usize) -> usize {
+    n.min(MAX_PREALLOC_ELEMS)
+}
+
 /// Encodes a value into a fresh byte vector.
 pub fn encode_to_vec<T: BinCode>(value: &T) -> Vec<u8> {
     let mut out = Vec::new();
@@ -197,12 +214,13 @@ impl<T: BinCode> BinCode for Vec<T> {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
         let n = usize::decode(r)?;
         // Every element consumes at least one byte, so `remaining` bounds the
-        // plausible length and a corrupt prefix cannot trigger a huge
-        // up-front allocation.
+        // plausible length; the reserved capacity is additionally capped so a
+        // corrupt prefix cannot trigger a huge up-front allocation even for
+        // wide element types.
         if n > r.remaining() {
             return Err(DecodeError::UnexpectedEof);
         }
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(bounded_capacity(n));
         for _ in 0..n {
             out.push(T::decode(r)?);
         }
@@ -287,7 +305,7 @@ impl<K: BinCode + Ord + Hash + Eq, V: BinCode> BinCode for HashMap<K, V> {
         if n > r.remaining() {
             return Err(DecodeError::UnexpectedEof);
         }
-        let mut out = HashMap::with_capacity(n);
+        let mut out = HashMap::with_capacity(bounded_capacity(n));
         for _ in 0..n {
             let k = K::decode(r)?;
             let v = V::decode(r)?;
@@ -537,5 +555,45 @@ mod tests {
         3u8.encode(&mut buf); // scale 3 is not 1/2/4/8
         0i64.encode(&mut buf);
         assert!(decode_from_slice::<MemRef>(&buf).is_err());
+    }
+
+    #[test]
+    fn huge_length_prefix_cannot_force_a_huge_preallocation() {
+        // A length prefix claiming more elements than bytes remain is
+        // rejected before any allocation at all.
+        let mut buf = Vec::new();
+        (usize::MAX / 2).encode(&mut buf);
+        assert_eq!(
+            decode_from_slice::<Vec<u64>>(&buf),
+            Err(DecodeError::UnexpectedEof)
+        );
+        assert_eq!(
+            decode_from_slice::<HashMap<u64, u64>>(&buf),
+            Err(DecodeError::UnexpectedEof)
+        );
+
+        // A prefix that *is* covered by remaining bytes still only reserves a
+        // bounded capacity up front; decode then fails element-by-element
+        // without ever holding `n * size_of::<T>()` bytes.  (One-byte
+        // "elements" of a wide type make the claimed count plausible.)
+        let claimed = MAX_PREALLOC_ELEMS * 4;
+        let mut buf = Vec::new();
+        claimed.encode(&mut buf);
+        buf.resize(buf.len() + claimed, 0u8);
+        // [u64; 4] elements need 32 bytes each, so this must fail with EOF —
+        // the point is that it fails cheaply rather than pre-reserving
+        // `claimed * 32` bytes.
+        assert_eq!(
+            decode_from_slice::<Vec<[u64; 4]>>(&buf),
+            Err(DecodeError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn bounded_capacity_preserves_small_and_caps_large() {
+        assert_eq!(bounded_capacity(0), 0);
+        assert_eq!(bounded_capacity(17), 17);
+        assert_eq!(bounded_capacity(MAX_PREALLOC_ELEMS), MAX_PREALLOC_ELEMS);
+        assert_eq!(bounded_capacity(usize::MAX), MAX_PREALLOC_ELEMS);
     }
 }
