@@ -34,5 +34,5 @@ mod profiler;
 mod session;
 
 pub use intervals::{Interval, VulnerableIntervals};
-pub use profiler::{AceAnalysis, AceError, AceProfiler};
+pub use profiler::{AceAnalysis, AceError, AceProfiler, StaticViolation, StaticViolationKind};
 pub use session::SessionAce;

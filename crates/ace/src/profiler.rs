@@ -4,6 +4,7 @@
 //! phase, §3.1.1).
 
 use crate::intervals::{Interval, VulnerableIntervals};
+use merlin_analyze::ProgramAnalysis;
 use merlin_cpu::{Cpu, CpuConfig, Probe, ReadInfo, RunResult, Structure};
 use merlin_isa::Program;
 use std::collections::HashMap;
@@ -187,6 +188,53 @@ impl std::fmt::Display for AceError {
 
 impl std::error::Error for AceError {}
 
+/// Why a dynamic vulnerable interval contradicts the static analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticViolationKind {
+    /// The interval lies on an identity physical entry of an architectural
+    /// register the program text never mentions.  Such an entry keeps its
+    /// reset value forever and can never be the target of a committed read,
+    /// so no vulnerable interval may exist on it.
+    StaticallyDeadEntry,
+    /// The interval's closing read claims a RIP that is statically
+    /// unreachable from the program entry (or outside the text) — a dynamic
+    /// execution can only commit instructions the CFG can reach.
+    UnreachableReader,
+}
+
+/// One inconsistency between a dynamic vulnerable interval and the static
+/// dataflow analysis, reported by [`AceAnalysis::validate_static`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticViolation {
+    /// The structure whose interval repository contains the contradiction.
+    pub structure: Structure,
+    /// The entry the interval lies on.
+    pub entry: usize,
+    /// The contradicting interval.
+    pub interval: Interval,
+    /// What the interval contradicts.
+    pub kind: StaticViolationKind,
+}
+
+impl std::fmt::Display for StaticViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            StaticViolationKind::StaticallyDeadEntry => "lies on a statically dead entry",
+            StaticViolationKind::UnreachableReader => "is closed by a statically unreachable read",
+        };
+        write!(
+            f,
+            "{} entry {} interval [{}, {}] read at rip {}.{} {what}",
+            self.structure,
+            self.entry,
+            self.interval.start,
+            self.interval.end,
+            self.interval.rip,
+            self.interval.upc,
+        )
+    }
+}
+
 impl AceAnalysis {
     /// Runs `program` once under `cfg` with the profiler attached and builds
     /// the vulnerable-interval repositories for all three structures.
@@ -217,6 +265,54 @@ impl AceAnalysis {
     /// The vulnerable intervals of one structure.
     pub fn structure(&self, structure: Structure) -> &VulnerableIntervals {
         &self.intervals[&structure]
+    }
+
+    /// Cross-validates the dynamic vulnerable intervals against the static
+    /// dataflow `analysis` of the same program.
+    ///
+    /// Two properties must hold for the profile to be consistent with the
+    /// program text:
+    ///
+    /// * no register-file interval lies on a statically dead identity entry
+    ///   (the static prune and the ACE-like prune must never disagree on
+    ///   whether an entry can carry live data);
+    /// * every interval, on every structure, is closed by a committed read
+    ///   whose RIP the static CFG can reach from the entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns every contradicting interval; an empty result would be
+    /// `Ok(())` instead.
+    pub fn validate_static(&self, analysis: &ProgramAnalysis) -> Result<(), Vec<StaticViolation>> {
+        let mut violations = Vec::new();
+        for &structure in Structure::all() {
+            for (entry, interval) in self.structure(structure).iter() {
+                if structure == Structure::RegisterFile && analysis.rf_entry_statically_dead(entry)
+                {
+                    violations.push(StaticViolation {
+                        structure,
+                        entry,
+                        interval: *interval,
+                        kind: StaticViolationKind::StaticallyDeadEntry,
+                    });
+                }
+                let rip = interval.rip;
+                let in_text = (rip as usize) < analysis.cfg().num_instructions();
+                if !in_text || !analysis.cfg().is_reachable(rip) {
+                    violations.push(StaticViolation {
+                        structure,
+                        entry,
+                        interval: *interval,
+                        kind: StaticViolationKind::UnreachableReader,
+                    });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
     }
 }
 
@@ -287,6 +383,46 @@ mod tests {
         let ivs = repos[&s].entry_intervals(2);
         assert_eq!(ivs.len(), 1);
         assert_eq!(ivs[0].start, 0);
+    }
+
+    #[test]
+    fn validate_static_flags_contradictory_intervals() {
+        use merlin_isa::{reg, DecodedProgram, ProgramBuilder};
+        let mut b = ProgramBuilder::new();
+        b.movi(reg(1), 5);
+        b.out(reg(1));
+        b.halt();
+        let program = b.build().unwrap();
+        let decoded = DecodedProgram::new(&program);
+        let analysis = ProgramAnalysis::of(&program, &decoded);
+        let mut ace = AceAnalysis::run(&program, &CpuConfig::default(), 100_000).unwrap();
+        ace.validate_static(&analysis).unwrap();
+
+        // Tamper with the repository: an interval on the identity entry of
+        // a register the text never mentions, and an interval closed by a
+        // read outside the text.
+        let iv = |rip| Interval {
+            start: 1,
+            end: 2,
+            rip,
+            upc: 0,
+            dyn_instance: 0,
+            path_sig: 0,
+        };
+        let rf = ace.intervals.get_mut(&Structure::RegisterFile).unwrap();
+        rf.push(9, iv(0));
+        rf.push(1, iv(40));
+        let violations = ace.validate_static(&analysis).unwrap_err();
+        assert_eq!(violations.len(), 2);
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == StaticViolationKind::StaticallyDeadEntry && v.entry == 9));
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == StaticViolationKind::UnreachableReader && v.entry == 1));
+        for v in &violations {
+            assert!(!v.to_string().is_empty());
+        }
     }
 
     fn read_info(entry: usize, cycle: u64, rip: u32) -> ReadInfo {

@@ -3,8 +3,10 @@
 //! step really are masked when injected.
 
 use merlin_ace::{AceAnalysis, SessionAce};
+use merlin_analyze::ProgramAnalysis;
 use merlin_cpu::{CpuConfig, Structure};
 use merlin_inject::{FaultEffect, Session};
+use merlin_isa::DecodedProgram;
 use merlin_workloads::workload_by_name;
 
 #[test]
@@ -56,6 +58,30 @@ fn intervals_per_entry_do_not_overlap() {
                     "{s} entry {entry}: overlapping intervals {:?} {:?}",
                     pair[0],
                     pair[1]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_intervals_are_consistent_with_static_liveness() {
+    // The ACE-like profile and the static dataflow analysis are two
+    // independent views of the same program; they must never contradict:
+    // no vulnerable interval on a statically dead register-file entry, no
+    // interval closed by a statically unreachable read.
+    for name in ["qsort", "sha", "fft"] {
+        let w = workload_by_name(name).unwrap();
+        let decoded = DecodedProgram::new(&w.program);
+        let analysis = ProgramAnalysis::of(&w.program, &decoded);
+        for regs in [64usize, 256] {
+            let cfg = CpuConfig::default().with_phys_regs(regs);
+            let ace = AceAnalysis::run(&w.program, &cfg, 50_000_000).unwrap();
+            if let Err(violations) = ace.validate_static(&analysis) {
+                panic!(
+                    "{name} x{regs} regs: {} static violations, first: {}",
+                    violations.len(),
+                    violations[0]
                 );
             }
         }

@@ -1,0 +1,329 @@
+//! Control-flow graph over a program's macro-instruction stream.
+//!
+//! The graph is built once per program from the static instruction text —
+//! the same text the predecoded micro-op arena derives from — so every
+//! consumer of a session shares one CFG exactly like they share one
+//! [`merlin_isa::DecodedProgram`].
+//!
+//! Successor rules (instruction granularity, one node per RIP):
+//!
+//! * `Halt` has no successors,
+//! * `Jump` flows only to its target,
+//! * conditional branches flow to the target and the fall-through,
+//! * `Call` flows to the target *and* the fall-through: the return RIP is
+//!   reachable precisely because the callee's `JumpReg` return can land
+//!   there,
+//! * `JumpReg` is an indirect jump whose target is a register value, so it
+//!   conservatively flows to **every** instruction — static analysis must
+//!   never assume an indirect target it cannot prove,
+//! * every other instruction falls through to `rip + 1` when in bounds.
+//!
+//! Direct targets outside the program text produce no edge; they are
+//! recorded and surfaced as lint findings by
+//! [`ProgramAnalysis`](crate::ProgramAnalysis).
+
+use merlin_isa::{Inst, Program, Rip};
+
+/// A maximal straight-line run of instructions: control enters only at
+/// `start` and leaves only at `end - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction of the block.
+    pub start: Rip,
+    /// One past the last instruction of the block.
+    pub end: Rip,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// `true` for a degenerate empty block (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Per-instruction control-flow graph with reachability and a basic-block
+/// partition of the program text.
+#[derive(Debug, Clone)]
+pub struct ControlFlowGraph {
+    /// `successors[rip]` lists every RIP control can flow to from `rip`.
+    successors: Vec<Vec<Rip>>,
+    /// `reachable[rip]` is `true` when `rip` is reachable from the entry.
+    reachable: Vec<bool>,
+    /// The basic-block partition of the text, in address order.
+    blocks: Vec<BasicBlock>,
+    /// `block_index[rip]` indexes into `blocks`.
+    block_index: Vec<usize>,
+    /// Direct `(rip, target)` pairs whose target lies outside the text.
+    out_of_range: Vec<(Rip, Rip)>,
+    /// The program's entry RIP.
+    entry: Rip,
+}
+
+impl ControlFlowGraph {
+    /// Builds the graph for `program`.
+    pub fn of(program: &Program) -> Self {
+        let n = program.instructions.len();
+        let len = n as Rip;
+        let mut successors: Vec<Vec<Rip>> = Vec::with_capacity(n);
+        let mut out_of_range = Vec::new();
+
+        for (rip, inst) in program.instructions.iter().enumerate() {
+            let rip = rip as Rip;
+            let mut succ = Vec::new();
+            let mut direct = |target: Rip, succ: &mut Vec<Rip>| {
+                if target < len {
+                    succ.push(target);
+                } else {
+                    out_of_range.push((rip, target));
+                }
+            };
+            match inst {
+                Inst::Halt => {}
+                Inst::Jump { target } => direct(*target, &mut succ),
+                Inst::BranchRR { target, .. }
+                | Inst::BranchRI { target, .. }
+                | Inst::Call { target, .. } => {
+                    direct(*target, &mut succ);
+                    if rip + 1 < len {
+                        succ.push(rip + 1);
+                    }
+                }
+                Inst::JumpReg { .. } => succ.extend(0..len),
+                _ => {
+                    if rip + 1 < len {
+                        succ.push(rip + 1);
+                    }
+                }
+            }
+            succ.sort_unstable();
+            succ.dedup();
+            successors.push(succ);
+        }
+
+        let entry = program.entry;
+        let reachable = reach(&successors, entry, n);
+        let (blocks, block_index) = partition(program, n);
+
+        ControlFlowGraph {
+            successors,
+            reachable,
+            blocks,
+            block_index,
+            out_of_range,
+            entry,
+        }
+    }
+
+    /// The RIPs control can flow to from `rip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rip` is outside the program text.
+    pub fn successors(&self, rip: Rip) -> &[Rip] {
+        &self.successors[rip as usize]
+    }
+
+    /// Whether `rip` is reachable from the program entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rip` is outside the program text.
+    pub fn is_reachable(&self, rip: Rip) -> bool {
+        self.reachable[rip as usize]
+    }
+
+    /// The basic-block partition of the text, in address order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The basic block containing `rip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rip` is outside the program text.
+    pub fn block_of(&self, rip: Rip) -> BasicBlock {
+        self.blocks[self.block_index[rip as usize]]
+    }
+
+    /// Direct `(rip, target)` pairs whose target lies outside the text.
+    pub fn out_of_range_targets(&self) -> &[(Rip, Rip)] {
+        &self.out_of_range
+    }
+
+    /// Number of instructions the graph covers.
+    pub fn num_instructions(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// The program's entry RIP.
+    pub fn entry(&self) -> Rip {
+        self.entry
+    }
+}
+
+/// Breadth-first reachability from `entry` over `successors`.
+fn reach(successors: &[Vec<Rip>], entry: Rip, n: usize) -> Vec<bool> {
+    let mut reachable = vec![false; n];
+    let mut work = Vec::new();
+    if (entry as usize) < n {
+        reachable[entry as usize] = true;
+        work.push(entry);
+    }
+    while let Some(rip) = work.pop() {
+        for &succ in &successors[rip as usize] {
+            if !reachable[succ as usize] {
+                reachable[succ as usize] = true;
+                work.push(succ);
+            }
+        }
+    }
+    reachable
+}
+
+/// Splits the text into basic blocks: a leader is the first instruction,
+/// the entry, any in-bounds direct target, and any instruction following a
+/// control instruction.
+fn partition(program: &Program, n: usize) -> (Vec<BasicBlock>, Vec<usize>) {
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let len = n as Rip;
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    if (program.entry as usize) < n {
+        leader[program.entry as usize] = true;
+    }
+    for (rip, inst) in program.instructions.iter().enumerate() {
+        if let Some(target) = inst.direct_target() {
+            if target < len {
+                leader[target as usize] = true;
+            }
+        }
+        if inst.is_control() && rip + 1 < n {
+            leader[rip + 1] = true;
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut block_index = vec![0usize; n];
+    let mut start = 0usize;
+    for rip in 0..n {
+        if rip > start && leader[rip] {
+            blocks.push(BasicBlock {
+                start: start as Rip,
+                end: rip as Rip,
+            });
+            start = rip;
+        }
+        block_index[rip] = blocks.len();
+    }
+    blocks.push(BasicBlock {
+        start: start as Rip,
+        end: len,
+    });
+    (blocks, block_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_isa::{reg, AluOp, Cond, ProgramBuilder};
+
+    fn loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(reg(1), 0); // 0
+        let top = b.bind_label(); // 1
+        b.alu_ri(AluOp::Add, reg(1), reg(1), 1); // 1
+        b.branch_ri(Cond::Lt, reg(1), 4, top); // 2
+        b.out(reg(1)); // 3
+        b.halt(); // 4
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn loop_successors_and_reachability() {
+        let p = loop_program();
+        let cfg = ControlFlowGraph::of(&p);
+        assert_eq!(cfg.num_instructions(), 5);
+        assert_eq!(cfg.successors(0), &[1]);
+        assert_eq!(cfg.successors(2), &[1, 3]);
+        assert_eq!(cfg.successors(4), &[] as &[Rip]);
+        for rip in 0..5 {
+            assert!(cfg.is_reachable(rip), "rip {rip}");
+        }
+    }
+
+    #[test]
+    fn blocks_partition_the_text() {
+        let p = loop_program();
+        let cfg = ControlFlowGraph::of(&p);
+        let blocks = cfg.blocks();
+        // [movi], [alu; branch], [out; halt]
+        assert_eq!(
+            blocks,
+            &[
+                BasicBlock { start: 0, end: 1 },
+                BasicBlock { start: 1, end: 3 },
+                BasicBlock { start: 3, end: 5 },
+            ]
+        );
+        for rip in 0..5 {
+            let b = cfg.block_of(rip);
+            assert!(b.start <= rip && rip < b.end);
+            assert!(!b.is_empty());
+            assert!(b.len() == (b.end - b.start) as usize);
+        }
+    }
+
+    #[test]
+    fn unreachable_after_jump_is_detected() {
+        let mut b = ProgramBuilder::new();
+        let done = b.label();
+        b.jump(done); // 0
+        b.movi(reg(1), 7); // 1: unreachable
+        b.bind(done);
+        b.halt(); // 2
+        let p = b.build().unwrap();
+        let cfg = ControlFlowGraph::of(&p);
+        assert!(cfg.is_reachable(0));
+        assert!(!cfg.is_reachable(1));
+        assert!(cfg.is_reachable(2));
+    }
+
+    #[test]
+    fn jumpreg_reaches_everything() {
+        let mut b = ProgramBuilder::new();
+        b.movi(reg(15), 2); // 0
+        b.jump_reg(reg(15)); // 1
+        b.halt(); // 2
+        b.movi(reg(1), 1); // 3: no direct path, but indirect target set is
+        b.halt(); // 4:    unknown, so statically reachable
+        let p = b.build().unwrap();
+        let cfg = ControlFlowGraph::of(&p);
+        for rip in 0..5 {
+            assert!(cfg.is_reachable(rip), "rip {rip}");
+        }
+        assert_eq!(cfg.successors(1).len(), 5);
+    }
+
+    #[test]
+    fn out_of_range_target_records_no_edge() {
+        // `ProgramBuilder::build` rejects out-of-range targets, so assemble
+        // the broken program directly.
+        let p = Program {
+            instructions: vec![Inst::Jump { target: 99 }, Inst::Halt],
+            data: vec![],
+            data_size: 0,
+            entry: 0,
+        };
+        let cfg = ControlFlowGraph::of(&p);
+        assert_eq!(cfg.successors(0), &[] as &[Rip]);
+        assert_eq!(cfg.out_of_range_targets(), &[(0, 99)]);
+        assert!(!cfg.is_reachable(1));
+    }
+}

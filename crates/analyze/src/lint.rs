@@ -1,0 +1,185 @@
+//! Structured program lint findings.
+//!
+//! The linter is the admission-control layer in front of a fault-injection
+//! session: [`SessionBuilder::build`] runs it on every program and rejects
+//! anything that would otherwise panic a worker core mid-campaign (an
+//! out-of-range branch target) or silently depend on reset state (a read of
+//! a register no instruction ever writes) — and anything that signals a
+//! broken kernel (instructions no path can reach).
+//!
+//! Findings are data, not text: each one names the RIP it anchors to and
+//! carries the evidence, so a campaign service can report them to the
+//! program's author verbatim.
+//!
+//! [`SessionBuilder::build`]: https://docs.rs/merlin-inject
+
+use merlin_isa::{ArchReg, Rip, Upc};
+use std::fmt;
+
+/// The class of a lint finding, with its evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A branch, jump or call targets an instruction outside the program
+    /// text; fetching it would fault the core mid-campaign.
+    TargetOutOfRange {
+        /// The out-of-range target RIP.
+        target: Rip,
+        /// Number of instructions in the program.
+        len: u32,
+    },
+    /// A micro-op reads a register that no instruction in the whole program
+    /// writes: the value can only ever be the reset value, which is almost
+    /// certainly a kernel bug.
+    ReadOfNeverWrittenReg {
+        /// Micro-op index within the instruction performing the read.
+        upc: Upc,
+        /// The register that is read but never written.
+        reg: ArchReg,
+    },
+    /// No control-flow path from the entry reaches this instruction.
+    UnreachableInstruction,
+}
+
+/// One lint finding, anchored to the instruction it concerns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LintFinding {
+    /// Instruction pointer the finding anchors to.
+    pub rip: Rip,
+    /// What was found, with evidence.
+    pub kind: LintKind,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LintKind::TargetOutOfRange { target, len } => write!(
+                f,
+                "rip {}: control target {} is outside the program text (0..{})",
+                self.rip, target, len
+            ),
+            LintKind::ReadOfNeverWrittenReg { upc, reg } => write!(
+                f,
+                "rip {}.{}: reads {} but no instruction ever writes it",
+                self.rip, upc, reg
+            ),
+            LintKind::UnreachableInstruction => {
+                write!(f, "rip {}: unreachable from the program entry", self.rip)
+            }
+        }
+    }
+}
+
+/// The complete lint verdict for one program.
+///
+/// An empty report ([`LintReport::is_clean`]) is the admission criterion:
+/// sessions reject programs whose report carries any finding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// Assembles a report from `findings`, sorting them by RIP for
+    /// deterministic output.
+    pub fn new(mut findings: Vec<LintFinding>) -> Self {
+        findings.sort_by_key(|f| (f.rip, discriminant_rank(&f.kind)));
+        LintReport { findings }
+    }
+
+    /// `true` when the program passed every lint.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// `true` when there are no findings (alias of [`LintReport::is_clean`]
+    /// for collection-style call sites).
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The findings, sorted by RIP.
+    pub fn findings(&self) -> &[LintFinding] {
+        &self.findings
+    }
+}
+
+/// Stable ordering rank for finding kinds sharing a RIP.
+fn discriminant_rank(kind: &LintKind) -> u8 {
+    match kind {
+        LintKind::TargetOutOfRange { .. } => 0,
+        LintKind::ReadOfNeverWrittenReg { .. } => 1,
+        LintKind::UnreachableInstruction => 2,
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return write!(f, "clean (no findings)");
+        }
+        write!(f, "{} finding(s):", self.findings.len())?;
+        for finding in &self.findings {
+            write!(f, " [{finding}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_isa::reg;
+
+    #[test]
+    fn report_sorts_by_rip_and_kind() {
+        let report = LintReport::new(vec![
+            LintFinding {
+                rip: 7,
+                kind: LintKind::UnreachableInstruction,
+            },
+            LintFinding {
+                rip: 2,
+                kind: LintKind::ReadOfNeverWrittenReg {
+                    upc: 0,
+                    reg: reg(3),
+                },
+            },
+            LintFinding {
+                rip: 2,
+                kind: LintKind::TargetOutOfRange { target: 9, len: 8 },
+            },
+        ]);
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_clean());
+        assert_eq!(report.findings()[0].rip, 2);
+        assert!(matches!(
+            report.findings()[0].kind,
+            LintKind::TargetOutOfRange { .. }
+        ));
+        assert_eq!(report.findings()[2].rip, 7);
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let clean = LintReport::default();
+        assert!(clean.is_clean());
+        assert!(clean.to_string().contains("clean"));
+
+        let report = LintReport::new(vec![LintFinding {
+            rip: 4,
+            kind: LintKind::ReadOfNeverWrittenReg {
+                upc: 1,
+                reg: reg(9),
+            },
+        }]);
+        let s = report.to_string();
+        assert!(s.contains("rip 4.1"));
+        assert!(s.contains("r9"));
+        assert!(s.contains("ever writes"));
+    }
+}

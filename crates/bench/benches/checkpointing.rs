@@ -215,6 +215,7 @@ fn checkpointing(c: &mut Criterion) {
              store {footprint} B delta vs {dense_footprint} B dense -> {shrink:.2}x smaller, \
              {} restores ({} full / {} incremental, {} B rewritten), \
              {} range steals, {} range splits, {} suffix cycles, \
+             {} statically pruned, \
              p95/fault {:.2} ms suffix-work vs {:.2} ms equal-cycles \
              (p95 {} vs {} cycles, mean {} vs {} cycles), \
              decode {decode_ns:.1} ns/uop vs predecoded {predecoded_ns:.1} ns/uop",
@@ -225,6 +226,7 @@ fn checkpointing(c: &mut Criterion) {
             sched.range_steals,
             sched.range_splits,
             sched.suffix_cycles,
+            sched.static_prunes,
             1e3 * sw.p95_s,
             1e3 * eq.p95_s,
             sw.p95_cycles,
@@ -242,7 +244,8 @@ fn checkpointing(c: &mut Criterion) {
              \"ranges\": {}, \"restores\": {}, \"range_steals\": {}, \
              \"range_splits\": {}, \"full_restores\": {}, \
              \"incremental_restores\": {}, \"restored_bytes\": {}, \
-             \"suffix_cycles\": {}, \"latency_faults\": {LATENCY_FAULTS}, \
+             \"suffix_cycles\": {}, \"static_prunes\": {}, \
+             \"latency_faults\": {LATENCY_FAULTS}, \
              \"p95_fault_s\": {:.6}, \
              \"p95_fault_s_equal_cycles\": {:.6}, \
              \"p95_fault_cycles\": {}, \
@@ -260,6 +263,7 @@ fn checkpointing(c: &mut Criterion) {
             sched.incremental_restores,
             sched.restored_bytes,
             sched.suffix_cycles,
+            sched.static_prunes,
             sw.p95_s,
             eq.p95_s,
             sw.p95_cycles,

@@ -2,7 +2,7 @@
 //!
 //! Usage: `experiments <id>` where `<id>` is one of
 //! `table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//! fig14 fig15 fig16 fig17 theory avf_rf all`.
+//! fig14 fig15 fig16 fig17 theory avf_rf lint all`.
 //!
 //! Scale knobs (environment): `MERLIN_BASELINE_FAULTS` (default 2000),
 //! `MERLIN_THREADS`, `MERLIN_SEED`, `MERLIN_BENCHMARKS` (comma separated).
@@ -11,6 +11,7 @@
 //! injection.
 
 use merlin_ace::SessionAce;
+use merlin_analyze::ProgramAnalysis;
 use merlin_bench::{row, run_cell, session_for, spec_config, structure_sweep, ExperimentScale};
 use merlin_core::{
     classify_truncated, fit_rate, group_stats_from_counts, homogeneity, initial_fault_list,
@@ -48,6 +49,7 @@ fn main() {
         "fig17" => fig17(&scale),
         "theory" => theory(&scale),
         "avf_rf" => avf_rf(&scale),
+        "lint" => lint_workloads(),
         "all" => {
             table1();
             table2();
@@ -64,13 +66,44 @@ fn main() {
             table4(&scale);
             theory(&scale);
             avf_rf(&scale);
+            lint_workloads();
         }
         _ => {
             println!(
                 "available experiments: table1 table2 table3 table4 fig6 fig7 fig8 fig9 fig10 \
-                 fig11 fig12 fig13 fig14 fig15 fig16 fig17 theory avf_rf all"
+                 fig11 fig12 fig13 fig14 fig15 fig16 fig17 theory avf_rf lint all"
             );
         }
+    }
+}
+
+/// Static analysis over every built-in workload: the session-boundary lint
+/// (which must report zero findings) plus the liveness census the static
+/// fault prune is built on.  Exits non-zero on any finding, so CI can run
+/// it as a gate.
+fn lint_workloads() {
+    println!("## Static analysis — lint and liveness census over every built-in workload\n");
+    let mut findings = 0usize;
+    for w in merlin_workloads::all_workloads() {
+        let decoded = merlin_isa::DecodedProgram::new(&w.program);
+        let analysis = ProgramAnalysis::of(&w.program, &decoded);
+        findings += analysis.lint().len();
+        println!(
+            "{:<14} {:>3} instructions | {:>2} statically dead regs | {:>2} dead writes | \
+             {:>2} reads before init | lint: {}",
+            w.name,
+            w.program.instructions.len(),
+            analysis.statically_dead_regs().count(),
+            analysis.dead_writes().len(),
+            analysis.reads_before_init().len(),
+            analysis.lint(),
+        );
+    }
+    if findings == 0 {
+        println!("\nevery built-in workload lints clean");
+    } else {
+        println!("\n{findings} lint finding(s)");
+        std::process::exit(1);
     }
 }
 
@@ -548,6 +581,7 @@ fn accuracy_figures(scale: &ExperimentScale) {
                 sched_sum.poisoned_restores += comprehensive.schedule.poisoned_restores;
                 sched_sum.range_retries += comprehensive.schedule.range_retries;
                 sched_sum.skipped_sites += comprehensive.schedule.skipped_sites;
+                sched_sum.static_prunes += comprehensive.schedule.static_prunes;
                 let post_ace = cell
                     .session
                     .post_ace_baseline(&cell.campaign.reduction)
@@ -598,6 +632,10 @@ fn accuracy_figures(scale: &ExperimentScale) {
         sched_sum.range_retries,
         sched_sum.skipped_sites,
         merlin_bench::session_cache().artifact_rejects()
+    );
+    println!(
+        "static analysis: {} register-file faults classified Masked with zero simulation\n",
+        sched_sum.static_prunes
     );
 }
 

@@ -73,6 +73,11 @@ pub struct MerlinReport {
     pub structure: Structure,
     /// Size of the initial statistical fault list.
     pub initial_faults: usize,
+    /// Faults pruned by the static liveness analysis before any dynamic
+    /// profile was consulted (register-file faults into identity entries of
+    /// architectural registers the program text never mentions).
+    #[serde(default)]
+    pub static_pruned: usize,
     /// Faults pruned by the ACE-like step.
     pub ace_pruned: usize,
     /// Faults remaining after the ACE-like step.
@@ -183,7 +188,16 @@ pub(crate) fn merlin_over_session(
 ) -> Result<MerlinCampaign, MerlinError> {
     let golden = session.golden()?;
     let intervals = ace.structure(structure);
-    let reduction = reduce_fault_list(initial, intervals);
+
+    // Phase 2a: the static prune.  A register-file fault into the identity
+    // entry of an architectural register the program text never mentions is
+    // provably Masked, so it never reaches the dynamic ACE-like step.
+    let analysis = session.analysis();
+    let (static_dead, dynamic): (Vec<FaultSpec>, Vec<FaultSpec>) =
+        initial.iter().copied().partition(|f| {
+            f.structure == Structure::RegisterFile && analysis.rf_entry_statically_dead(f.entry)
+        });
+    let reduction = reduce_fault_list(&dynamic, intervals);
 
     // Phase 3: inject only the representatives.
     let representatives = reduction.reduced_fault_list();
@@ -199,6 +213,14 @@ pub(crate) fn merlin_over_session(
     let mut outcomes = Vec::with_capacity(initial.len());
     let mut classification = Classification::default();
     let mut post_ace_classification = Classification::default();
+    for &fault in &static_dead {
+        classification.record(FaultEffect::Masked, 1);
+        outcomes.push(ExtrapolatedOutcome {
+            fault,
+            effect: FaultEffect::Masked,
+            injected: false,
+        });
+    }
     for &fault in &reduction.ace_masked {
         classification.record(FaultEffect::Masked, 1);
         outcomes.push(ExtrapolatedOutcome {
@@ -224,9 +246,20 @@ pub(crate) fn merlin_over_session(
         }
     }
 
+    // Speedups over the *full* initial list: the static prune removes
+    // faults before the ACE-like step, so both numerators start from
+    // `initial.len()`, not from the dynamic remainder.
+    let ratio = |num: usize, den: usize| {
+        if den == 0 {
+            num as f64
+        } else {
+            num as f64 / den as f64
+        }
+    };
     let report = MerlinReport {
         structure,
-        initial_faults: reduction.initial_faults(),
+        initial_faults: initial.len(),
+        static_pruned: static_dead.len(),
         ace_pruned: reduction.ace_masked.len(),
         post_ace_faults: reduction.post_ace_faults(),
         groups: reduction.groups.len(),
@@ -237,8 +270,8 @@ pub(crate) fn merlin_over_session(
         representative_effects,
         ace_avf: intervals.ace_avf(),
         golden_cycles: golden.result.cycles,
-        speedup_ace: reduction.ace_speedup(),
-        speedup_total: reduction.total_speedup(),
+        speedup_ace: ratio(initial.len(), reduction.post_ace_faults()),
+        speedup_total: ratio(initial.len(), reduction.injections()),
     };
     Ok(MerlinCampaign {
         structure,
@@ -334,7 +367,11 @@ mod tests {
         let campaign = session.merlin(Structure::RegisterFile, 400, 7).unwrap();
         let r = &campaign.report;
         assert_eq!(r.initial_faults, 400);
-        assert_eq!(r.ace_pruned + r.post_ace_faults, 400);
+        assert_eq!(r.static_pruned + r.ace_pruned + r.post_ace_faults, 400);
+        assert!(
+            r.static_pruned > 0,
+            "the static prune found no dead register-file site in 400 samples"
+        );
         assert_eq!(r.classification.total(), 400);
         assert_eq!(campaign.outcomes.len(), 400);
         assert!(r.injections <= r.post_ace_faults);

@@ -119,6 +119,12 @@ pub enum CampaignError {
     /// A fault specification handed to the session violates the fault model
     /// (bit index outside the 64-bit entry).
     InvalidFault(String),
+    /// The program failed session admission control: the static linter
+    /// found out-of-range control targets, reads of never-written
+    /// registers, or unreachable instructions.  The full report is
+    /// attached so a campaign service can hand it back to the program's
+    /// author verbatim.
+    Lint(merlin_analyze::LintReport),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -127,6 +133,9 @@ impl std::fmt::Display for CampaignError {
             CampaignError::GoldenRunFailed(e) => write!(f, "golden run failed: {e}"),
             CampaignError::BadConfig(e) => write!(f, "invalid configuration: {e}"),
             CampaignError::InvalidFault(e) => write!(f, "invalid fault specification: {e}"),
+            CampaignError::Lint(report) => {
+                write!(f, "program rejected by static lint: {report}")
+            }
         }
     }
 }

@@ -44,7 +44,8 @@ use crate::campaign::{
     GoldenCheckpoints, GoldenRun,
 };
 use crate::classify::{Classification, FaultEffect};
-use merlin_cpu::{Cpu, CpuConfig, FaultSpec};
+use merlin_analyze::ProgramAnalysis;
+use merlin_cpu::{Cpu, CpuConfig, FaultSpec, Structure};
 use merlin_isa::{DecodedProgram, Program};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -109,6 +110,12 @@ pub struct ScheduleStats {
     /// Faults whose site does not exist in this configuration: classified
     /// Masked without simulating anything (previously invisible in stats).
     pub skipped_sites: u64,
+    /// Faults proven Masked by static dataflow analysis before any
+    /// simulation: register-file faults into a physical entry whose
+    /// architectural register appears in no micro-op of the program text
+    /// (see `merlin_analyze::ProgramAnalysis::rf_entry_statically_dead`).
+    /// Zero work is paid for them — no restore, no suffix cycles.
+    pub static_prunes: u64,
 }
 
 /// Per-worker tallies, merged into [`ScheduleStats`] after the join.  Also
@@ -127,6 +134,7 @@ struct WorkerStats {
     poisoned_restores: u64,
     range_retries: u64,
     skipped_sites: u64,
+    static_prunes: u64,
 }
 
 impl WorkerStats {
@@ -142,6 +150,7 @@ impl WorkerStats {
         self.poisoned_restores += other.poisoned_restores;
         self.range_retries += other.range_retries;
         self.skipped_sites += other.skipped_sites;
+        self.static_prunes += other.static_prunes;
     }
 }
 
@@ -168,6 +177,10 @@ pub struct CampaignScheduler<'a> {
     /// Extra ranges produced by splitting oversized buckets.
     splits: u64,
     threads: usize,
+    /// Static dataflow analysis of the program, when the caller computed
+    /// one: register-file faults into statically-dead entries are then
+    /// classified Masked without touching a core.
+    analysis: Option<&'a ProgramAnalysis>,
 }
 
 impl<'a> CampaignScheduler<'a> {
@@ -292,7 +305,22 @@ impl<'a> CampaignScheduler<'a> {
             threads: threads.min(buckets.len().max(1)),
             buckets,
             splits,
+            analysis: None,
         }
+    }
+
+    /// Attaches a static program analysis: register-file faults whose
+    /// physical entry is [`statically dead`] are classified Masked with
+    /// zero simulation and accounted as [`ScheduleStats::static_prunes`].
+    ///
+    /// The prune is *sound* — a fully simulated run of such a fault always
+    /// classifies Masked — so outcomes stay byte-identical with and
+    /// without it; property tests pin this.
+    ///
+    /// [`statically dead`]: ProgramAnalysis::rf_entry_statically_dead
+    pub fn with_static_analysis(mut self, analysis: &'a ProgramAnalysis) -> Self {
+        self.analysis = Some(analysis);
+        self
     }
 
     /// Number of non-empty ranges the fault list was bucketed into
@@ -388,6 +416,24 @@ impl<'a> CampaignScheduler<'a> {
                     let mut delta = WorkerStats::default();
                     for &idx in bucket {
                         let fault = self.faults[idx];
+                        // Static prune: a fault into a provably-dead
+                        // register-file entry is Masked by construction —
+                        // skip the restore and the suffix entirely.
+                        if let Some(analysis) = self.analysis {
+                            if fault.structure == Structure::RegisterFile
+                                && analysis.rf_entry_statically_dead(fault.entry)
+                            {
+                                delta.static_prunes += 1;
+                                local.push((
+                                    idx,
+                                    FaultOutcome {
+                                        fault,
+                                        effect: FaultEffect::Masked,
+                                    },
+                                ));
+                                continue;
+                            }
+                        }
                         let run = match &self.ckpts {
                             Some(ckpts) => {
                                 // One core per worker, restored per fault.
@@ -526,6 +572,7 @@ impl<'a> CampaignScheduler<'a> {
             schedule.poisoned_restores += stats.poisoned_restores;
             schedule.range_retries += stats.range_retries;
             schedule.skipped_sites += stats.skipped_sites;
+            schedule.static_prunes += stats.static_prunes;
             early_exits += stats.early_exits;
             for (idx, outcome) in collected {
                 outcomes[idx] = Some(outcome);
@@ -560,7 +607,10 @@ impl<'a> CampaignScheduler<'a> {
 }
 
 /// Clone-free campaign entry used by the session layer: schedule and run in
-/// one call.
+/// one call.  `analysis` enables the static register-file prune; the
+/// from-scratch path passes `None` so it stays the pure differential
+/// baseline the soundness tests compare against.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn campaign_shared(
     program: &Arc<Program>,
     decoded: &Arc<DecodedProgram>,
@@ -569,8 +619,9 @@ pub(crate) fn campaign_shared(
     use_checkpoints: bool,
     faults: &[FaultSpec],
     threads: usize,
+    analysis: Option<&ProgramAnalysis>,
 ) -> CampaignResult {
-    CampaignScheduler::with_predecoded(
+    let mut sched = CampaignScheduler::with_predecoded(
         program,
         decoded,
         cfg,
@@ -578,8 +629,11 @@ pub(crate) fn campaign_shared(
         use_checkpoints,
         faults,
         threads,
-    )
-    .run()
+    );
+    if let Some(analysis) = analysis {
+        sched = sched.with_static_analysis(analysis);
+    }
+    sched.run()
 }
 
 #[cfg(test)]
@@ -629,6 +683,7 @@ mod tests {
             true,
             faults,
             threads,
+            None,
         )
     }
 
@@ -647,6 +702,7 @@ mod tests {
             false,
             faults,
             threads,
+            None,
         )
     }
 
@@ -1052,6 +1108,37 @@ mod tests {
         let scratch = campaign_scratch(&program, &cfg, &golden, &[absent, present], 1);
         assert_eq!(scratch.schedule.skipped_sites, 1);
         assert_eq!(out.outcomes, scratch.outcomes);
+    }
+
+    #[test]
+    fn statically_dead_sites_are_pruned_without_simulation() {
+        let program = tiny_program(); // touches r1, r2, r10 (+ temps)
+        let cfg = CpuConfig::default().with_phys_regs(64);
+        let golden = golden_ck(&program, &cfg, 1_000_000, &small_policy()).unwrap();
+        let decoded = DecodedProgram::new(&program);
+        let analysis = ProgramAnalysis::of(&program, &decoded);
+        assert!(analysis.rf_entry_statically_dead(7));
+        assert!(!analysis.rf_entry_statically_dead(2));
+
+        let dead = FaultSpec::new(Structure::RegisterFile, 7, 3, 50);
+        let live = FaultSpec::new(Structure::RegisterFile, 2, 3, 50);
+        let faults = [dead, live];
+        let arc_program = Arc::new(program.clone());
+        let arc_cfg = Arc::new(cfg.clone());
+        let pruned = CampaignScheduler::new(&arc_program, &arc_cfg, &golden, true, &faults, 1)
+            .with_static_analysis(&analysis)
+            .run();
+        assert_eq!(pruned.schedule.static_prunes, 1);
+        assert_eq!(pruned.outcomes[0].effect, FaultEffect::Masked);
+        // Only the live fault paid for a restore.
+        assert_eq!(pruned.schedule.restores, 1);
+
+        // Soundness, differentially: the unpruned run — which fully
+        // simulates the dead-entry fault — produces byte-identical outcomes.
+        let plain = campaign(&program, &cfg, &golden, &faults, 1);
+        assert_eq!(plain.schedule.static_prunes, 0);
+        assert_eq!(plain.schedule.restores, 2);
+        assert_eq!(plain.outcomes, pruned.outcomes);
     }
 
     #[test]

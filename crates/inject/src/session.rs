@@ -47,6 +47,7 @@ use crate::campaign::{
 };
 use crate::sampling::generate_fault_list;
 use crate::schedule::campaign_shared;
+use merlin_analyze::ProgramAnalysis;
 use merlin_cpu::{CheckpointPolicy, CpuConfig, FaultSpec, Structure};
 use merlin_isa::binio::{BinCode, ByteReader};
 use merlin_isa::{DecodedProgram, Program};
@@ -176,11 +177,16 @@ impl SessionBuilder {
         hash
     }
 
-    /// Builds the session, validating the configuration up front.
+    /// Builds the session, validating the configuration and linting the
+    /// program up front.
     ///
     /// # Errors
     ///
-    /// Returns [`CampaignError::BadConfig`] for inconsistent configurations.
+    /// Returns [`CampaignError::BadConfig`] for inconsistent configurations
+    /// and [`CampaignError::Lint`] for programs that fail admission control
+    /// (out-of-range control targets, reads of never-written registers,
+    /// unreachable instructions) — caught here, at the session boundary,
+    /// instead of panicking a worker core mid-campaign.
     pub fn build(self) -> Result<Session, CampaignError> {
         self.cfg
             .validate()
@@ -194,9 +200,17 @@ impl SessionBuilder {
         // every campaign worker and every injector fetch micro-ops from this
         // shared table instead of cracking per fetched instruction.
         let decoded = Arc::new(DecodedProgram::new(&self.program));
+        // Static analysis rides the session the same way: computed once,
+        // shared by every campaign (the register-file prune) and by higher
+        // layers (ACE cross-validation).  Its lint is admission control.
+        let analysis = Arc::new(ProgramAnalysis::of(&self.program, &decoded));
+        if !analysis.lint().is_clean() {
+            return Err(CampaignError::Lint(analysis.lint().clone()));
+        }
         Ok(Session {
             program: self.program,
             decoded,
+            analysis,
             cfg: self.cfg,
             policy: self.policy,
             max_cycles: self.max_cycles,
@@ -221,6 +235,9 @@ pub struct Session {
     program: Arc<Program>,
     /// Pre-decoded micro-op arena shared by every core this session spawns.
     decoded: Arc<DecodedProgram>,
+    /// Static CFG/dataflow analysis, computed once at build; powers the
+    /// static register-file prune and downstream cross-validation.
+    analysis: Arc<ProgramAnalysis>,
     cfg: Arc<CpuConfig>,
     policy: CheckpointPolicy,
     max_cycles: u64,
@@ -253,6 +270,13 @@ impl Session {
     /// golden-run, campaign-worker and injector core fetches from it).
     pub fn decoded(&self) -> &Arc<DecodedProgram> {
         &self.decoded
+    }
+
+    /// The session's static program analysis (CFG, liveness, register
+    /// census), computed once at build time.  Programs reaching this point
+    /// always lint clean — [`SessionBuilder::build`] rejects the rest.
+    pub fn analysis(&self) -> &Arc<ProgramAnalysis> {
+        &self.analysis
     }
 
     /// The shared configuration.
@@ -384,7 +408,9 @@ impl Session {
 
     /// Runs an injection campaign over `faults` with this session's thread
     /// count, restoring golden checkpoints per fault when the policy enables
-    /// them.
+    /// them.  Register-file faults into statically-dead entries are
+    /// classified Masked without simulation and accounted as
+    /// [`ScheduleStats::static_prunes`](crate::ScheduleStats::static_prunes).
     ///
     /// # Errors
     ///
@@ -401,12 +427,16 @@ impl Session {
             true,
             faults,
             self.threads,
+            Some(&self.analysis),
         ))
     }
 
     /// Runs a campaign with checkpoint restoration forcibly disabled (every
-    /// fault simulates from cycle 0) — the differential-testing and
-    /// benchmarking baseline of the checkpointed engine.
+    /// fault simulates from cycle 0) and without the static prune — the
+    /// differential-testing and benchmarking baseline of the checkpointed
+    /// engine.  Because this path fully simulates every fault, the standing
+    /// byte-identity assertions against [`Session::campaign`] double as a
+    /// continuous soundness check of the static prune.
     ///
     /// # Errors
     ///
@@ -425,6 +455,7 @@ impl Session {
             false,
             faults,
             self.threads,
+            None,
         ))
     }
 
@@ -983,9 +1014,13 @@ mod tests {
 
     #[test]
     fn golden_failure_is_sticky_and_reported() {
+        // Statically clean (reachable halt, initialised registers) but
+        // dynamically infinite: passes admission, exhausts the budget.
         let mut b = ProgramBuilder::new();
+        b.movi(reg(1), 0);
         let top = b.bind_label();
-        b.jump(top);
+        b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+        b.branch_ri(Cond::Ge, reg(1), 0, top);
         b.halt();
         let session = Session::builder(&b.build().unwrap(), &CpuConfig::default())
             .max_cycles(10_000)
@@ -999,6 +1034,47 @@ mod tests {
         // The failed build is not retried.
         assert!(session.golden().is_err());
         assert_eq!(session.golden_builds(), 1);
+    }
+
+    #[test]
+    fn lint_rejects_bad_programs_at_the_session_boundary() {
+        // An infinite jump loop leaves its halt unreachable.
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_label();
+        b.jump(top);
+        b.halt();
+        match Session::builder(&b.build().unwrap(), &CpuConfig::default()).build() {
+            Err(CampaignError::Lint(report)) => {
+                assert!(!report.is_clean());
+                assert!(report.to_string().contains("unreachable"));
+            }
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+        // A read of a register no instruction ever writes.
+        let mut b = ProgramBuilder::new();
+        b.out(reg(5));
+        b.halt();
+        assert!(matches!(
+            Session::builder(&b.build().unwrap(), &CpuConfig::default()).build(),
+            Err(CampaignError::Lint(_))
+        ));
+    }
+
+    #[test]
+    fn session_campaign_statically_prunes_dead_register_sites() {
+        let session = test_session(); // tiny_program touches r1, r2, r10
+        assert!(session.analysis().rf_entry_statically_dead(7));
+        assert!(!session.analysis().rf_entry_statically_dead(2));
+        let dead = FaultSpec::new(Structure::RegisterFile, 7, 1, 10);
+        let live = FaultSpec::new(Structure::RegisterFile, 2, 1, 10);
+        let pruned = session.campaign(&[dead, live]).unwrap();
+        assert_eq!(pruned.schedule.static_prunes, 1);
+        assert_eq!(pruned.outcomes[0].effect, FaultEffect::Masked);
+        // The from-scratch baseline runs unpruned and fully simulates the
+        // dead-entry fault; byte-identity is the soundness check.
+        let scratch = session.campaign_from_scratch(&[dead, live]).unwrap();
+        assert_eq!(scratch.schedule.static_prunes, 0);
+        assert_eq!(pruned.outcomes, scratch.outcomes);
     }
 
     #[test]

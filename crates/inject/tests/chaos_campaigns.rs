@@ -61,18 +61,27 @@ fn fault_list(s: &Session) -> Vec<FaultSpec> {
     s.fault_list(Structure::RegisterFile, 80, 42).unwrap()
 }
 
-/// A fault cycle that appears exactly once in the list and is not the
-/// latest, so (a) arming it targets exactly one fault and (b) at least one
-/// later fault exercises the post-panic restore on the same worker.
-fn unique_mid_cycle(faults: &[FaultSpec]) -> u64 {
+/// A fault cycle that appears exactly once in the list, is not the latest,
+/// and targets a statically-live register-file entry.  Statically-pruned
+/// faults are classified without ever reaching the per-fault probe, so a
+/// chaos target must be a fault the engine really simulates; uniqueness
+/// means arming it targets exactly one fault, and "not the latest" means at
+/// least one later fault exercises the post-panic restore on the same
+/// worker.
+fn unique_mid_cycle(s: &Session, faults: &[FaultSpec]) -> u64 {
+    let analysis = s.analysis();
     let mut cycles: Vec<u64> = faults.iter().map(|f| f.cycle).collect();
     cycles.sort_unstable();
     let max = *cycles.last().unwrap();
-    cycles
+    let mut live: Vec<u64> = faults
         .iter()
-        .copied()
+        .filter(|f| !analysis.rf_entry_statically_dead(f.entry))
+        .map(|f| f.cycle)
+        .collect();
+    live.sort_unstable();
+    live.into_iter()
         .find(|&c| c < max && cycles.iter().filter(|&&x| x == c).count() == 1)
-        .expect("80 sampled faults contain a unique non-final cycle")
+        .expect("80 sampled faults contain a unique non-final cycle into a live entry")
 }
 
 #[test]
@@ -83,7 +92,7 @@ fn per_fault_panics_become_assert_and_quarantine_the_core() {
     let clean_result = clean.campaign(&faults).unwrap();
     assert_eq!(clean_result.schedule.asserts, 0);
     assert_eq!(clean_result.schedule.poisoned_restores, 0);
-    let target = unique_mid_cycle(&faults);
+    let target = unique_mid_cycle(&clean, &faults);
 
     let _guard = chaos::arm(ChaosPlan {
         fault_panic_cycles: vec![target],
@@ -126,7 +135,7 @@ fn transient_range_panic_is_retried_to_a_clean_result() {
     let clean = session(1);
     let faults = fault_list(&clean);
     let clean_result = clean.campaign(&faults).unwrap();
-    let target = unique_mid_cycle(&faults);
+    let target = unique_mid_cycle(&clean, &faults);
 
     for threads in [1usize, 2, 4, 8] {
         let guard = chaos::arm(ChaosPlan {
@@ -151,7 +160,7 @@ fn persistent_range_panic_classifies_the_range_assert_deterministically() {
     let clean = session(1);
     let faults = fault_list(&clean);
     let clean_result = clean.campaign(&faults).unwrap();
-    let target = unique_mid_cycle(&faults);
+    let target = unique_mid_cycle(&clean, &faults);
 
     let mut reference: Option<Vec<_>> = None;
     for threads in [1usize, 2, 4] {
@@ -198,7 +207,7 @@ fn injector_core_recovers_from_a_panic_bit_for_bit() {
     let _serial = serial();
     let s = session(1);
     let faults = fault_list(&s);
-    let target = unique_mid_cycle(&faults);
+    let target = unique_mid_cycle(&s, &faults);
     let panicking = *faults.iter().find(|f| f.cycle == target).unwrap();
     let later = *faults
         .iter()

@@ -24,6 +24,17 @@ pub enum BuildError {
     /// The program has no `Halt` instruction, so it can never terminate
     /// cleanly.
     MissingHalt,
+    /// A branch, jump or call targets an instruction outside the program
+    /// text.  Caught at build time so a fault-injection worker never hits
+    /// the equivalent fetch-time panic mid-campaign.
+    TargetOutOfRange {
+        /// RIP of the offending control instruction.
+        rip: Rip,
+        /// Its out-of-range target.
+        target: Rip,
+        /// Number of instructions in the program.
+        len: u32,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -32,6 +43,10 @@ impl fmt::Display for BuildError {
             BuildError::UnboundLabel(l) => write!(f, "label {:?} referenced but never bound", l),
             BuildError::RebindLabel(l) => write!(f, "label {:?} bound more than once", l),
             BuildError::MissingHalt => write!(f, "program contains no halt instruction"),
+            BuildError::TargetOutOfRange { rip, target, len } => write!(
+                f,
+                "instruction {rip} targets {target}, outside the program text (0..{len})"
+            ),
         }
     }
 }
@@ -326,6 +341,20 @@ impl ProgramBuilder {
         if !self.instructions.iter().any(|i| matches!(i, Inst::Halt)) {
             return Err(BuildError::MissingHalt);
         }
+        // With labels patched, every direct target — label-resolved or
+        // pushed raw — must land inside the text.
+        let len = self.instructions.len() as Rip;
+        for (rip, inst) in self.instructions.iter().enumerate() {
+            if let Some(target) = inst.direct_target() {
+                if target >= len {
+                    return Err(BuildError::TargetOutOfRange {
+                        rip: rip as Rip,
+                        target,
+                        len,
+                    });
+                }
+            }
+        }
         let data_size = (self.next_data - DATA_BASE).max(8) + 4096;
         Ok(Program {
             instructions: self.instructions,
@@ -372,6 +401,38 @@ mod tests {
         b.jump(l);
         b.halt();
         assert!(matches!(b.build(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn raw_out_of_range_target_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Jump { target: 40 });
+        b.halt();
+        assert_eq!(
+            b.build(),
+            Err(BuildError::TargetOutOfRange {
+                rip: 0,
+                target: 40,
+                len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn label_bound_past_the_text_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.jump(end);
+        b.halt();
+        b.bind(end); // bound one past the last instruction
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::TargetOutOfRange {
+                target: 2,
+                len: 2,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! time (the same `time: [low mid high]` shape criterion prints, so existing
 //! log scrapers keep working).
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], criterion-style.

@@ -15,6 +15,9 @@
 //!   (seeded from a hash of the test path and `i`), so failures reproduce
 //!   exactly across runs and machines.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

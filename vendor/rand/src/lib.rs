@@ -11,6 +11,9 @@
 //! workspace only requires determinism for a fixed seed, not any particular
 //! stream.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core infallible generator interface (subset of `rand_core::RngCore`).

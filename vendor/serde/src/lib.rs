@@ -6,6 +6,9 @@
 //! so marker traits are sufficient.  Swapping this stub for the real serde is
 //! a one-line change in the workspace `Cargo.toml`.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker stand-in for `serde::Serialize`.

@@ -7,6 +7,9 @@
 //! impls that satisfy `T: Serialize` / `T: Deserialize<'de>` bounds without
 //! generating any runtime code.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Extracts `(name, generics_params, where_unusable)` from a struct/enum item.
