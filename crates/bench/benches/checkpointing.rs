@@ -174,6 +174,13 @@ fn decode_microbench(program: &Program) -> (f64, f64) {
     (decode_ns, predecoded_ns)
 }
 
+/// Fraction of restores served by the incremental same-snapshot path — with
+/// range-bound workers, expected near 1.0 (one full restore per worker per
+/// range).
+fn incremental_fraction(sched: &merlin_inject::ScheduleStats) -> f64 {
+    sched.incremental_restores as f64 / (sched.restores.max(1)) as f64
+}
+
 fn checkpointing(c: &mut Criterion) {
     let mut group = c.benchmark_group("checkpointing");
     group.sample_size(10);
@@ -213,7 +220,8 @@ fn checkpointing(c: &mut Criterion) {
             "checkpointing/{name}: {FAULTS} faults, {checkpoints} checkpoints, \
              from-scratch {scratch_s:.3}s vs checkpointed {ck_s:.3}s -> {speedup:.2}x, \
              store {footprint} B delta vs {dense_footprint} B dense -> {shrink:.2}x smaller, \
-             {} restores ({} full / {} incremental, {} B rewritten), \
+             {} restores ({} full / {} incremental = {:.4} incremental fraction, \
+             {} B rewritten), \
              {} range steals, {} range splits, {} suffix cycles, \
              {} statically pruned, \
              p95/fault {:.2} ms suffix-work vs {:.2} ms equal-cycles \
@@ -222,6 +230,7 @@ fn checkpointing(c: &mut Criterion) {
             sched.restores,
             sched.full_restores,
             sched.incremental_restores,
+            incremental_fraction(&sched),
             sched.restored_bytes,
             sched.range_steals,
             sched.range_splits,
@@ -243,7 +252,11 @@ fn checkpointing(c: &mut Criterion) {
              \"footprint_shrink\": {shrink:.3}, \
              \"ranges\": {}, \"restores\": {}, \"range_steals\": {}, \
              \"range_splits\": {}, \"full_restores\": {}, \
-             \"incremental_restores\": {}, \"restored_bytes\": {}, \
+             \"incremental_restores\": {}, \"incremental_fraction\": {:.4}, \
+             \"restored_bytes\": {}, \
+             \"restored_bytes_by_structure\": {{\
+             \"memory\": {}, \"caches\": {}, \"regfile\": {}, \"rename\": {}, \
+             \"fetch\": {}, \"rob\": {}, \"lsq\": {}, \"predictor\": {}}}, \
              \"suffix_cycles\": {}, \"static_prunes\": {}, \
              \"latency_faults\": {LATENCY_FAULTS}, \
              \"p95_fault_s\": {:.6}, \
@@ -261,7 +274,16 @@ fn checkpointing(c: &mut Criterion) {
             sched.range_splits,
             sched.full_restores,
             sched.incremental_restores,
+            incremental_fraction(&sched),
             sched.restored_bytes,
+            sched.restored_breakdown.memory,
+            sched.restored_breakdown.caches,
+            sched.restored_breakdown.regfile,
+            sched.restored_breakdown.rename,
+            sched.restored_breakdown.fetch,
+            sched.restored_breakdown.rob,
+            sched.restored_breakdown.lsq,
+            sched.restored_breakdown.predictor,
             sched.suffix_cycles,
             sched.static_prunes,
             sw.p95_s,

@@ -574,6 +574,7 @@ fn accuracy_figures(scale: &ExperimentScale) {
                 sched_sum.full_restores += comprehensive.schedule.full_restores;
                 sched_sum.incremental_restores += comprehensive.schedule.incremental_restores;
                 sched_sum.restored_bytes += comprehensive.schedule.restored_bytes;
+                sched_sum.restored_breakdown += comprehensive.schedule.restored_breakdown;
                 sched_sum.range_steals += comprehensive.schedule.range_steals;
                 sched_sum.range_splits += comprehensive.schedule.range_splits;
                 sched_sum.suffix_cycles += comprehensive.schedule.suffix_cycles;
@@ -614,7 +615,7 @@ fn accuracy_figures(scale: &ExperimentScale) {
     println!(
         "scheduler totals across comprehensive baselines: {} ranges, {} restores \
          ({} full / {} incremental, {} B rewritten), {} range steals, {} range splits, \
-         {} suffix cycles simulated\n",
+         {} suffix cycles simulated",
         sched_sum.ranges,
         sched_sum.restores,
         sched_sum.full_restores,
@@ -623,6 +624,12 @@ fn accuracy_figures(scale: &ExperimentScale) {
         sched_sum.range_steals,
         sched_sum.range_splits,
         sched_sum.suffix_cycles
+    );
+    let b = sched_sum.restored_breakdown;
+    println!(
+        "restore bytes by structure: {} memory, {} caches, {} regfile, {} rename, \
+         {} fetch, {} rob, {} lsq, {} predictor\n",
+        b.memory, b.caches, b.regfile, b.rename, b.fetch, b.rob, b.lsq, b.predictor
     );
     println!(
         "failure containment: {} engine asserts, {} poisoned restores, {} range retries, \

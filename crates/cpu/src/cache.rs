@@ -8,6 +8,7 @@
 
 use crate::config::CacheConfig;
 use crate::memory::{MemError, Memory, MemoryDelta};
+use crate::touched::TouchedSet;
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::MemSize;
 use serde::{Deserialize, Serialize};
@@ -40,7 +41,7 @@ pub struct Cache {
     use_counter: u64,
     /// One bit per line (`set * ways + way`), set on any line mutation since
     /// the last restore.
-    touched: Vec<u64>,
+    touched: TouchedSet,
 }
 
 impl PartialEq for Cache {
@@ -64,15 +65,14 @@ impl Cache {
             sets: vec![vec![line; cfg.ways]; cfg.sets()],
             cfg,
             use_counter: 0,
-            touched: vec![0; lines.div_ceil(64)],
+            touched: TouchedSet::new(lines),
         }
     }
 
     /// Marks the line at `(set, way)` as touched since the last restore.
     #[inline]
     fn mark_touched(&mut self, set: usize, way: usize) {
-        let idx = set * self.cfg.ways + way;
-        self.touched[idx / 64] |= 1u64 << (idx % 64);
+        self.touched.mark(set * self.cfg.ways + way);
     }
 
     /// The cache geometry.
@@ -284,7 +284,7 @@ impl Cache {
             restored += s.data.len();
         }
         self.use_counter = snap.use_counter;
-        self.touched.fill(0);
+        self.touched.clear_all();
         restored
     }
 
@@ -303,32 +303,27 @@ impl Cache {
         let mut restored = 0;
         let ways = self.cfg.ways;
         // `snap.lines` is (set, way)-ascending (snapshot iterates set-major),
-        // and the touched bitset is walked in ascending line index, so one
-        // merge pointer finds each touched line's snapshot entry, if any.
+        // and the touched set drains in ascending line index, so one merge
+        // pointer finds each touched line's snapshot entry, if any.
         let mut si = 0;
-        for word_idx in 0..self.touched.len() {
-            let mut word = self.touched[word_idx];
-            self.touched[word_idx] = 0;
-            while word != 0 {
-                let idx = word_idx * 64 + word.trailing_zeros() as usize;
-                word &= word - 1;
-                while si < snap.lines.len()
-                    && (snap.lines[si].set as usize * ways + snap.lines[si].way as usize) < idx
-                {
-                    si += 1;
+        let sets = &mut self.sets;
+        for idx in self.touched.drain() {
+            while si < snap.lines.len()
+                && (snap.lines[si].set as usize * ways + snap.lines[si].way as usize) < idx
+            {
+                si += 1;
+            }
+            let line = &mut sets[idx / ways][idx % ways];
+            match snap.lines.get(si) {
+                Some(s) if s.set as usize * ways + s.way as usize == idx => {
+                    line.valid = true;
+                    line.dirty = s.dirty;
+                    line.tag = s.tag;
+                    line.last_use = s.last_use;
+                    line.data.copy_from_slice(&s.data);
+                    restored += s.data.len();
                 }
-                let line = &mut self.sets[idx / ways][idx % ways];
-                match snap.lines.get(si) {
-                    Some(s) if s.set as usize * ways + s.way as usize == idx => {
-                        line.valid = true;
-                        line.dirty = s.dirty;
-                        line.tag = s.tag;
-                        line.last_use = s.last_use;
-                        line.data.copy_from_slice(&s.data);
-                        restored += s.data.len();
-                    }
-                    _ => line.valid = false,
-                }
+                _ => line.valid = false,
             }
         }
         self.use_counter = snap.use_counter;
@@ -730,24 +725,27 @@ impl MemSystem {
 
     /// Restores a previously captured snapshot in place, reusing existing
     /// buffers where possible; the memory delta is resolved against this
-    /// system's own pristine image.  Returns the number of bytes rewritten
-    /// (cache line data plus memory chunks).
-    pub fn restore_snapshot(&mut self, snap: &MemSystemSnapshot) -> usize {
-        self.l1d.restore_snapshot(&snap.l1d)
-            + self.l2.restore_snapshot(&snap.l2)
-            + self.mem.restore_delta(&snap.mem)
+    /// system's own pristine image.  Returns the bytes rewritten as
+    /// `(cache line data, memory chunks)`.
+    pub fn restore_snapshot(&mut self, snap: &MemSystemSnapshot) -> (usize, usize) {
+        (
+            self.l1d.restore_snapshot(&snap.l1d) + self.l2.restore_snapshot(&snap.l2),
+            self.mem.restore_delta(&snap.mem),
+        )
     }
 
     /// Same-snapshot fast path: restores only cache lines touched and
     /// memory chunks written since the last restore, valid when the
     /// hierarchy matched `snap` exactly at that restore (see
     /// [`Cache::restore_snapshot_incremental`] and
-    /// [`Memory::restore_delta_incremental`]).  Returns the number of bytes
-    /// rewritten.
-    pub fn restore_snapshot_incremental(&mut self, snap: &MemSystemSnapshot) -> usize {
-        self.l1d.restore_snapshot_incremental(&snap.l1d)
-            + self.l2.restore_snapshot_incremental(&snap.l2)
-            + self.mem.restore_delta_incremental(&snap.mem)
+    /// [`Memory::restore_delta_incremental`]).  Returns the bytes rewritten
+    /// as `(cache line data, memory chunks)`.
+    pub fn restore_snapshot_incremental(&mut self, snap: &MemSystemSnapshot) -> (usize, usize) {
+        (
+            self.l1d.restore_snapshot_incremental(&snap.l1d)
+                + self.l2.restore_snapshot_incremental(&snap.l2),
+            self.mem.restore_delta_incremental(&snap.mem),
+        )
     }
 
     /// Whether the hierarchy's state is bit-identical to the snapshot.
@@ -929,9 +927,9 @@ mod tests {
         ms.store(DATA_BASE, 0x3333, MemSize::B8).unwrap();
         ms.load(DATA_BASE + 1024, MemSize::B8).unwrap();
         ms.l1d.flip_bit(0, 0, 0, 3);
-        let bytes = ms.restore_snapshot_incremental(&snap);
+        let (cache_bytes, _) = ms.restore_snapshot_incremental(&snap);
         assert!(ms.matches_snapshot(&snap));
-        assert!(bytes > 0);
+        assert!(cache_bytes > 0);
         // Continuing from the incrementally restored state reads the
         // snapshot's values.
         assert_eq!(ms.load(DATA_BASE, MemSize::B8).unwrap().0, 0x1111);

@@ -17,6 +17,7 @@ use crate::memory::{MemError, Memory};
 use crate::predictor::{BranchPredictor, Btb};
 use crate::probe::{Probe, ReadInfo, Structure, WRITEBACK_RIP};
 use crate::regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
+use crate::touched::{restore_deque, Restorable, TouchedFlag, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{DecodedProgram, Inst, Program, Rip, Uop, UopKind, NUM_ARCH_REGS};
 use serde::{Deserialize, Serialize};
@@ -231,12 +232,18 @@ pub struct Cpu {
     fetch_halted: bool,
     fetch_invalid: bool,
     fetch_buffer: VecDeque<FetchedUop>,
+    /// Whole-structure mutation tag for the fetch buffer (queue-shaped, so
+    /// no per-entry index survives the suffix; see [`TouchedFlag`]).
+    fetch_buffer_touched: TouchedFlag,
     // Rename.
     rat: RenameTable,
     free_list: FreeList,
     prf: PhysRegFile,
     // Window.
     rob: VecDeque<RobEntry>,
+    /// Whole-structure mutation tag for the ROB (queue-shaped, like the
+    /// fetch buffer).
+    rob_touched: TouchedFlag,
     iq_count: usize,
     lq: LoadQueue,
     sq: StoreQueue,
@@ -329,10 +336,12 @@ impl Cpu {
             fetch_halted: false,
             fetch_invalid: false,
             fetch_buffer: VecDeque::new(),
+            fetch_buffer_touched: TouchedFlag::default(),
             rat: RenameTable::identity(),
             free_list: FreeList::new(NUM_ARCH_REGS, cfg.phys_int_regs),
             prf: PhysRegFile::new(cfg.phys_int_regs),
             rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob_touched: TouchedFlag::default(),
             iq_count: 0,
             lq: LoadQueue::new(cfg.lq_entries),
             sq: StoreQueue::new(cfg.sq_entries),
@@ -523,6 +532,7 @@ impl Cpu {
             };
             // Copy the instruction's micro-ops out of the shared pre-decoded
             // arena: no cracking, no allocation, on any fetch ever.
+            self.fetch_buffer_touched.mark();
             for &uop in self.decoded.uops(pc) {
                 self.fetch_buffer.push_back(FetchedUop {
                     uop,
@@ -555,6 +565,7 @@ impl Cpu {
             {
                 break;
             }
+            self.fetch_buffer_touched.mark();
             let fetched = self.fetch_buffer.pop_front().expect("checked front");
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -589,6 +600,7 @@ impl Cpu {
                 }
                 _ => {}
             }
+            self.rob_touched.mark();
             self.rob.push_back(RobEntry {
                 seq,
                 uop: fetched.uop,
@@ -672,6 +684,9 @@ impl Cpu {
     /// `false` if it cannot issue yet (load waiting on disambiguation or
     /// forwarding), `true` otherwise.
     fn execute_uop(&mut self, idx: usize, probe: &mut dyn Probe) -> bool {
+        // Every arm below (and the issuer's `in_iq` clear on success) writes
+        // the ROB entry in place; tag conservatively up front.
+        self.rob_touched.mark();
         let cycle = self.cycle;
         let uop = self.rob[idx].uop;
         let seq = self.rob[idx].seq;
@@ -902,6 +917,7 @@ impl Cpu {
                 self.prf.write(p, value);
                 probe.write(Structure::RegisterFile, p as usize, cycle);
             }
+            self.rob_touched.mark();
             self.rob[idx].completed = true;
             // Branch resolution: squash on a mispredicted next PC.
             if self.rob[idx].uop.kind.is_control() {
@@ -922,6 +938,8 @@ impl Cpu {
 
     fn squash_after(&mut self, branch_seq: u64, new_pc: Rip, probe: &mut dyn Probe) {
         let cycle = self.cycle;
+        self.rob_touched.mark();
+        self.fetch_buffer_touched.mark();
         while let Some(back) = self.rob.back() {
             if back.seq <= branch_seq {
                 break;
@@ -965,6 +983,7 @@ impl Cpu {
             if !ready {
                 break;
             }
+            self.rob_touched.mark();
             let e = self.rob.pop_front().expect("checked front");
             committed += 1;
             self.committed_uops += 1;
@@ -1214,19 +1233,22 @@ impl Cpu {
     /// to checkpoint ranges, so they restore the *same* snapshot hundreds of
     /// times back-to-back.  Each snapshot carries a process-unique identity
     /// tag; when a core is restored from the snapshot it was last restored
-    /// from, the memory hierarchy is rewritten incrementally — only cache
-    /// lines touched and memory chunks dirtied since that restore (both
-    /// tracked live at mutation time) — instead of re-copying every valid
-    /// line and dirty chunk.  The result is bit-identical to a full restore;
-    /// the returned [`RestoreStats`] says which path ran and how many bytes
-    /// it rewrote.
+    /// from, every structure is rewritten incrementally — cache lines and
+    /// memory chunks, but also register-file entries, rename mappings,
+    /// load/store-queue slots, predictor counters and BTB entries the suffix
+    /// touched (all tracked live at mutation time; see [`TouchedSet`]), and
+    /// the queue-shaped ROB/fetch buffer/free list, which are skipped
+    /// entirely when their [`TouchedFlag`] is clear.  The result is
+    /// bit-identical to a full restore; the returned [`RestoreStats`] says
+    /// which path ran and how many bytes it rewrote, per structure.
     ///
     /// The state must come from a core running the same program under the
     /// same configuration; this is not checked.
     pub fn restore_from(&mut self, s: &CpuState) -> RestoreStats {
         // A quarantined core's state is untrusted (a panic unwound through
-        // it), so the touched-line bookkeeping backing the incremental path
-        // cannot be believed either: force the full-rewrite path once.
+        // it), so the touched-entry bookkeeping backing the incremental path
+        // cannot be believed either: force the full-rewrite path once (which
+        // clears every tag).
         let from_quarantine = self.quarantined;
         self.quarantined = false;
         let incremental = !from_quarantine && self.last_restored == Some(s.snap_id.get());
@@ -1239,22 +1261,32 @@ impl Cpu {
         self.fetch_pc = s.fetch_pc;
         self.fetch_halted = s.fetch_halted;
         self.fetch_invalid = s.fetch_invalid;
-        self.fetch_buffer.clone_from(&s.fetch_buffer);
-        self.rat.clone_from(&s.rat);
-        self.free_list.clone_from(&s.free_list);
-        self.prf.clone_from(&s.prf);
-        self.rob.clone_from(&s.rob);
+        let mut bytes = RestoredBytes {
+            fetch: restore_deque(
+                &mut self.fetch_buffer,
+                &s.fetch_buffer,
+                &mut self.fetch_buffer_touched,
+                incremental,
+            ),
+            ..RestoredBytes::default()
+        };
+        bytes.rename = self.rat.restore_from(&s.rat, incremental)
+            + self.free_list.restore_from(&s.free_list, incremental);
+        bytes.regfile = self.prf.restore_from(&s.prf, incremental);
+        bytes.rob = restore_deque(&mut self.rob, &s.rob, &mut self.rob_touched, incremental);
         self.iq_count = s.iq_count;
-        self.lq.clone_from(&s.lq);
-        self.sq.clone_from(&s.sq);
+        bytes.lsq =
+            self.lq.restore_from(&s.lq, incremental) + self.sq.restore_from(&s.sq, incremental);
         self.pending_store_slot = s.pending_store_slot;
-        let restored_bytes = if incremental {
+        let (cache_bytes, mem_bytes) = if incremental {
             self.mem.restore_snapshot_incremental(&s.mem)
         } else {
             self.mem.restore_snapshot(&s.mem)
         };
-        self.bp.clone_from(&s.bp);
-        self.btb.clone_from(&s.btb);
+        bytes.caches = cache_bytes as u64;
+        bytes.memory = mem_bytes as u64;
+        bytes.predictor =
+            self.bp.restore_from(&s.bp, incremental) + self.btb.restore_from(&s.btb, incremental);
         self.output.clone_from(&s.output);
         self.committed_instructions = s.committed_instructions;
         self.committed_uops = s.committed_uops;
@@ -1269,8 +1301,8 @@ impl Cpu {
         self.last_restored = Some(s.snap_id.get());
         RestoreStats {
             incremental,
-            restored_bytes,
             from_quarantine,
+            bytes,
         }
     }
 
@@ -1299,7 +1331,65 @@ impl Cpu {
     /// is guaranteed identical to the golden run, so the fault is Masked.
     /// Cheap scalar fields are compared first so divergent states bail out
     /// without touching the memory image.
+    ///
+    /// When the core was last restored from `s` itself (and not quarantined
+    /// since), untagged entries still hold `s`'s bits by the epoch-tagging
+    /// invariant, so only the entries the suffix touched are compared — the
+    /// probe costs O(touched state), not O(machine state).
     pub fn matches_state(&self, s: &CpuState) -> bool {
+        if !self.untagged_state_matches(s) {
+            return false;
+        }
+        let structures = if !self.quarantined && self.last_restored == Some(s.snap_id.get()) {
+            self.tagged_structures_match(s)
+        } else {
+            self.rat == s.rat
+                && self.fetch_buffer == s.fetch_buffer
+                && self.rob == s.rob
+                && self.free_list == s.free_list
+                && self.lq == s.lq
+                && self.sq == s.sq
+                && self.prf == s.prf
+                && self.bp == s.bp
+                && self.btb == s.btb
+        };
+        structures && self.mem.matches_snapshot(&s.mem)
+    }
+
+    /// Early-exit convergence probe against golden checkpoint `g`, given the
+    /// precomputed [`StateDiff`] from the snapshot this core was restored
+    /// from to `g`.
+    ///
+    /// Exactly equivalent to [`Cpu::matches_state`]`(g)` but cheaper: an
+    /// epoch-tagged structure equals `g`'s copy iff the diff is a subset of
+    /// its touched set (one word-parallel sweep) *and* every touched entry
+    /// equals `g` — untouched entries still equal the restore source, whose
+    /// disagreements with `g` are exactly the diff.  Falls back to the full
+    /// comparison when the diff's precondition does not hold (the core was
+    /// not last restored from the diff's source snapshot, or is
+    /// quarantined).
+    pub fn matches_state_with_diff(&self, g: &CpuState, diff: &StateDiff) -> bool {
+        if self.quarantined || self.last_restored != Some(diff.from_snap) {
+            return self.matches_state(g);
+        }
+        self.untagged_state_matches(g)
+            && self.rat.converged_with(&g.rat, &diff.rat)
+            && self.prf.converged_with(&g.prf, &diff.prf)
+            && self.lq.converged_with(&g.lq, &diff.lq)
+            && self.sq.converged_with(&g.sq, &diff.sq)
+            && self.bp.converged_with(&g.bp, &diff.bp)
+            && self.btb.converged_with(&g.btb, &diff.btb)
+            && ((!diff.fetch_buffer && !self.fetch_buffer_touched.is_set())
+                || self.fetch_buffer == g.fetch_buffer)
+            && ((!diff.rob && !self.rob_touched.is_set()) || self.rob == g.rob)
+            && ((!diff.free_list && !self.free_list.is_touched()) || self.free_list == g.free_list)
+            && self.mem.matches_snapshot(&g.mem)
+    }
+
+    /// Compares the scalar fields and the untagged collections (output
+    /// stream, path history, dynamic counts, pending faults) — everything
+    /// both probe paths must check in full.
+    fn untagged_state_matches(&self, s: &CpuState) -> bool {
         self.cycle == s.cycle
             && self.next_seq == s.next_seq
             && self.committed_instructions == s.committed_instructions
@@ -1316,17 +1406,21 @@ impl Cpu {
             && self.faults == s.faults
             && self.output == s.output
             && self.path_history == s.path_history
-            && self.rat == s.rat
-            && self.fetch_buffer == s.fetch_buffer
-            && self.rob == s.rob
-            && self.free_list == s.free_list
-            && self.lq == s.lq
-            && self.sq == s.sq
-            && self.prf == s.prf
-            && self.bp == s.bp
-            && self.btb == s.btb
             && self.dyn_counts == s.dyn_counts
-            && self.mem.matches_snapshot(&s.mem)
+    }
+
+    /// Same-snapshot structure comparison: only tagged entries can differ
+    /// from `s`, so only they are checked.
+    fn tagged_structures_match(&self, s: &CpuState) -> bool {
+        self.rat.touched_matches(&s.rat)
+            && self.prf.touched_matches(&s.prf)
+            && self.lq.touched_matches(&s.lq)
+            && self.sq.touched_matches(&s.sq)
+            && self.bp.touched_matches(&s.bp)
+            && self.btb.touched_matches(&s.btb)
+            && (!self.fetch_buffer_touched.is_set() || self.fetch_buffer == s.fetch_buffer)
+            && (!self.rob_touched.is_set() || self.rob == s.rob)
+            && (!self.free_list.is_touched() || self.free_list == s.free_list)
     }
 }
 
@@ -1336,12 +1430,96 @@ pub struct RestoreStats {
     /// `true` when the same-snapshot incremental path ran (only state
     /// touched since the previous restore of this snapshot was rewritten).
     pub incremental: bool,
-    /// Bytes rewritten in the memory hierarchy (cache line data plus memory
-    /// chunks) — the dominant, data-dependent portion of a restore.
-    pub restored_bytes: usize,
     /// `true` when this restore lifted the core out of quarantine (see
     /// [`Cpu::quarantine`]) — such a restore is always a full restore.
     pub from_quarantine: bool,
+    /// Bytes rewritten, broken down per structure — an honest all-structure
+    /// count on both paths (the full path counts every entry it copies, the
+    /// incremental path only what it actually rewrote).
+    pub bytes: RestoredBytes,
+}
+
+impl RestoreStats {
+    /// Total bytes rewritten across every structure.
+    pub fn restored_bytes(&self) -> u64 {
+        self.bytes.total()
+    }
+}
+
+/// Per-structure breakdown of the bytes one restore rewrote (see
+/// [`RestoreStats::bytes`]).  Structures are grouped the way the experiments
+/// binary reports them; byte counts are the in-memory entry sizes, so they
+/// measure copy work, not serialised footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoredBytes {
+    /// Backing-memory chunks.
+    pub memory: u64,
+    /// L1D + L2 cache line data.
+    pub caches: u64,
+    /// Physical register file entries (value + ready bit).
+    pub regfile: u64,
+    /// Rename state: RAT mappings plus the free list.
+    pub rename: u64,
+    /// Fetch buffer entries.
+    pub fetch: u64,
+    /// Re-order buffer entries.
+    pub rob: u64,
+    /// Load-queue and store-queue slots.
+    pub lsq: u64,
+    /// Direction-predictor counters plus BTB entries.
+    pub predictor: u64,
+}
+
+impl RestoredBytes {
+    /// Sum over every structure.
+    pub fn total(&self) -> u64 {
+        self.memory
+            + self.caches
+            + self.regfile
+            + self.rename
+            + self.fetch
+            + self.rob
+            + self.lsq
+            + self.predictor
+    }
+}
+
+impl std::ops::AddAssign for RestoredBytes {
+    fn add_assign(&mut self, rhs: Self) {
+        self.memory += rhs.memory;
+        self.caches += rhs.caches;
+        self.regfile += rhs.regfile;
+        self.rename += rhs.rename;
+        self.fetch += rhs.fetch;
+        self.rob += rhs.rob;
+        self.lsq += rhs.lsq;
+        self.predictor += rhs.predictor;
+    }
+}
+
+/// Precomputed structure-level difference between two snapshots: the restore
+/// source `k` (whose identity it remembers) and a later golden checkpoint
+/// `g`, produced by [`CpuState::diff_to`] and consumed by
+/// [`Cpu::matches_state_with_diff`].
+///
+/// Computed once per `(k, g)` checkpoint pair and amortised over every
+/// early-exit probe of every fault injected in that range: the probe reduces
+/// to a word-parallel subset test of the diff against the core's touched
+/// sets plus an equality check of the touched entries alone.
+#[derive(Debug, Clone)]
+pub struct StateDiff {
+    /// Identity of `k`, the snapshot the probing core must have been
+    /// restored from for the diff decomposition to be sound.
+    from_snap: u64,
+    prf: TouchedSet,
+    rat: TouchedSet,
+    lq: TouchedSet,
+    sq: TouchedSet,
+    bp: TouchedSet,
+    btb: TouchedSet,
+    fetch_buffer: bool,
+    rob: bool,
+    free_list: bool,
 }
 
 /// Process-unique identity of a snapshot, assigned at capture (and afresh on
@@ -1449,6 +1627,28 @@ impl CpuState {
     /// pre-delta representation; kept for footprint accounting).
     pub fn memory_dense_bytes(&self) -> usize {
         self.mem.memory_dense_bytes()
+    }
+
+    /// The structure-level difference from `self` (the snapshot a core
+    /// restores from) to a later golden checkpoint `g`, for
+    /// [`Cpu::matches_state_with_diff`].
+    ///
+    /// Both snapshots must come from the same program and configuration
+    /// (same structure geometries); this is not checked beyond debug
+    /// assertions.
+    pub fn diff_to(&self, g: &CpuState) -> StateDiff {
+        StateDiff {
+            from_snap: self.snap_id.get(),
+            prf: self.prf.diff(&g.prf),
+            rat: self.rat.diff(&g.rat),
+            lq: self.lq.diff(&g.lq),
+            sq: self.sq.diff(&g.sq),
+            bp: self.bp.diff(&g.bp),
+            btb: self.btb.diff(&g.btb),
+            fetch_buffer: self.fetch_buffer != g.fetch_buffer,
+            rob: self.rob != g.rob,
+            free_list: self.free_list != g.free_list,
+        }
     }
 }
 

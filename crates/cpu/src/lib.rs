@@ -60,11 +60,13 @@ mod predictor;
 mod probe;
 mod regfile;
 mod snapshot;
+mod touched;
 
 pub use cache::{Cache, CacheEffects, CacheSnapshot, MemSystem, MemSystemSnapshot};
 pub use config::{CacheConfig, ConfigError, CpuConfig};
 pub use core::{
-    AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, RestoreStats, RunResult,
+    AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, RestoreStats, RestoredBytes,
+    RunResult, StateDiff,
 };
 // The pre-decoded micro-op arena `Cpu::with_predecoded` shares across cores.
 pub use fault::{FaultSpec, FaultSpecError};
@@ -76,3 +78,4 @@ pub use predictor::{BranchPredictor, Btb};
 pub use probe::{NullProbe, Probe, ReadInfo, RecordingProbe, Structure, WRITEBACK_RIP};
 pub use regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
 pub use snapshot::{CheckpointPolicy, CheckpointStore, SpacingStrategy};
+pub use touched::{Restorable, TouchedFlag, TouchedSet};

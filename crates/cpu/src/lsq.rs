@@ -6,6 +6,7 @@
 //! when the store drains to the cache at commit.  Slots are allocated
 //! circularly so a fault specification's entry index denotes a physical slot.
 
+use crate::touched::{Restorable, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{MemSize, Rip, Upc};
 
@@ -71,13 +72,16 @@ impl BinCode for SqSlot {
     }
 }
 
-/// Circular store queue.
+/// Circular store queue.  Slots are epoch-tagged ([`TouchedSet`]): every
+/// mutation tags its slot, so same-snapshot restores rewrite only slots the
+/// suffix changed (head/tail/count are scalars and always re-assigned).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreQueue {
     slots: Vec<SqSlot>,
     head: usize,
     tail: usize,
     count: usize,
+    touched: TouchedSet,
 }
 
 impl StoreQueue {
@@ -88,6 +92,7 @@ impl StoreQueue {
             head: 0,
             tail: 0,
             count: 0,
+            touched: TouchedSet::new(n),
         }
     }
 
@@ -120,6 +125,7 @@ impl StoreQueue {
     pub fn allocate(&mut self, seq: u64, rip: Rip) -> usize {
         assert!(!self.is_full(), "store queue overflow");
         let slot = self.tail;
+        self.touched.mark(slot);
         self.slots[slot] = SqSlot {
             valid: true,
             seq,
@@ -143,6 +149,7 @@ impl StoreQueue {
     pub fn release_head(&mut self, slot: usize) {
         assert_eq!(slot, self.head, "stores must drain in order");
         assert!(self.slots[slot].valid);
+        self.touched.mark(slot);
         self.slots[slot].valid = false;
         self.head = (self.head + 1) % self.capacity();
         self.count -= 1;
@@ -157,6 +164,7 @@ impl StoreQueue {
         let youngest = (self.tail + self.capacity() - 1) % self.capacity();
         assert_eq!(slot, youngest, "squash must free stores youngest-first");
         assert!(self.slots[slot].valid);
+        self.touched.mark(slot);
         self.slots[slot].valid = false;
         self.tail = youngest;
         self.count -= 1;
@@ -167,8 +175,10 @@ impl StoreQueue {
         &self.slots[idx]
     }
 
-    /// Mutable access to a slot.
+    /// Mutable access to a slot.  Conservatively tags the slot as mutated —
+    /// callers take this only to write.
     pub fn slot_mut(&mut self, idx: usize) -> &mut SqSlot {
+        self.touched.mark(idx);
         &mut self.slots[idx]
     }
 
@@ -216,7 +226,55 @@ impl StoreQueue {
     /// Flips one bit of a slot's data field — the store-queue fault-injection
     /// hook.  Applies regardless of slot validity.
     pub fn flip_bit(&mut self, slot: usize, bit: u8) {
+        self.touched.mark(slot);
         self.slots[slot].data ^= 1u64 << bit;
+    }
+
+    /// Slots where `self` and `other` differ (head/tail/count are compared
+    /// directly by the convergence probe).
+    pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
+        let mut d = TouchedSet::new(self.slots.len());
+        for i in 0..self.slots.len() {
+            if self.slots[i] != other.slots[i] {
+                d.mark(i);
+            }
+        }
+        d
+    }
+
+    /// Whether the scalars and every tagged slot equal `g`'s copies.
+    pub(crate) fn touched_matches(&self, g: &Self) -> bool {
+        self.head == g.head
+            && self.tail == g.tail
+            && self.count == g.count
+            && self.touched.iter().all(|i| self.slots[i] == g.slots[i])
+    }
+
+    /// Convergence probe against `g` given the restore-source diff.
+    pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
+        self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+}
+
+impl Restorable for StoreQueue {
+    fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64 {
+        debug_assert_eq!(self.slots.len(), snap.slots.len());
+        self.head = snap.head;
+        self.tail = snap.tail;
+        self.count = snap.count;
+        let slot_bytes = std::mem::size_of::<SqSlot>() as u64;
+        if incremental {
+            let mut n = 0u64;
+            for i in self.touched.drain() {
+                self.slots[i] = snap.slots[i].clone();
+                n += slot_bytes;
+            }
+            n
+        } else {
+            self.slots.clone_from_slice(&snap.slots);
+            self.touched.clear_all();
+            self.slots.len() as u64 * slot_bytes
+        }
     }
 }
 
@@ -240,21 +298,25 @@ impl BinCode for StoreQueue {
         {
             return Err(DecodeError::Invalid("store queue shape"));
         }
+        let touched = TouchedSet::new(slots.len());
         Ok(StoreQueue {
             slots,
             head,
             tail,
             count,
+            touched,
         })
     }
 }
 
 /// Load queue: only tracks occupancy (Gem5 models no data field in the load
-/// queue, and neither does the paper).
+/// queue, and neither does the paper).  Slots are epoch-tagged like the
+/// store queue's.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadQueue {
     seqs: Vec<Option<u64>>,
     count: usize,
+    touched: TouchedSet,
 }
 
 impl LoadQueue {
@@ -263,6 +325,7 @@ impl LoadQueue {
         LoadQueue {
             seqs: vec![None; n],
             count: 0,
+            touched: TouchedSet::new(n),
         }
     }
 
@@ -293,6 +356,7 @@ impl LoadQueue {
             .iter()
             .position(|s| s.is_none())
             .expect("free load-queue slot");
+        self.touched.mark(slot);
         self.seqs[slot] = Some(seq);
         self.count += 1;
         slot
@@ -302,7 +366,49 @@ impl LoadQueue {
     /// squash).
     pub fn release(&mut self, slot: usize) {
         if self.seqs[slot].take().is_some() {
+            self.touched.mark(slot);
             self.count -= 1;
+        }
+    }
+
+    /// Slots where `self` and `other` differ.
+    pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
+        let mut d = TouchedSet::new(self.seqs.len());
+        for i in 0..self.seqs.len() {
+            if self.seqs[i] != other.seqs[i] {
+                d.mark(i);
+            }
+        }
+        d
+    }
+
+    /// Whether the occupancy count and every tagged slot equal `g`'s copies.
+    pub(crate) fn touched_matches(&self, g: &Self) -> bool {
+        self.count == g.count && self.touched.iter().all(|i| self.seqs[i] == g.seqs[i])
+    }
+
+    /// Convergence probe against `g` given the restore-source diff.
+    pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
+        self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+}
+
+impl Restorable for LoadQueue {
+    fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64 {
+        debug_assert_eq!(self.seqs.len(), snap.seqs.len());
+        self.count = snap.count;
+        let slot_bytes = std::mem::size_of::<Option<u64>>() as u64;
+        if incremental {
+            let mut n = 0u64;
+            for i in self.touched.drain() {
+                self.seqs[i] = snap.seqs[i];
+                n += slot_bytes;
+            }
+            n
+        } else {
+            self.seqs.copy_from_slice(&snap.seqs);
+            self.touched.clear_all();
+            self.seqs.len() as u64 * slot_bytes
         }
     }
 }
@@ -318,7 +424,12 @@ impl BinCode for LoadQueue {
         if count != seqs.iter().filter(|s| s.is_some()).count() {
             return Err(DecodeError::Invalid("load queue count"));
         }
-        Ok(LoadQueue { seqs, count })
+        let touched = TouchedSet::new(seqs.len());
+        Ok(LoadQueue {
+            seqs,
+            count,
+            touched,
+        })
     }
 }
 

@@ -12,6 +12,7 @@
 //! dirty chunks are copied from the delta — byte-exact, with no dense copy
 //! anywhere.
 
+use crate::touched::TouchedSet;
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{MemSize, DATA_BASE};
 use serde::{Deserialize, Serialize};
@@ -83,11 +84,11 @@ pub struct Memory {
     /// The sealed program image (zeros until [`Memory::seal_pristine`]).
     pristine: Arc<Vec<u8>>,
     /// One bit per chunk: set when the chunk may differ from `pristine`.
-    dirty: Vec<u64>,
+    dirty: TouchedSet,
     /// One bit per chunk: set when the chunk was written since the last
     /// restore — the incremental same-snapshot restore rewrites only these
     /// (see [`Memory::restore_delta_incremental`]).
-    touched: Vec<u64>,
+    touched: TouchedSet,
 }
 
 impl PartialEq for Memory {
@@ -104,12 +105,12 @@ impl Memory {
     /// pristine image is implicitly all zeros (no allocation is paid for
     /// consumers, like the reference interpreter, that never snapshot).
     pub fn new(len: u64) -> Self {
-        let words = (len as usize).div_ceil(CHUNK_BYTES).div_ceil(64);
+        let chunks = (len as usize).div_ceil(CHUNK_BYTES);
         Memory {
             bytes: vec![0; len as usize],
             pristine: Arc::new(Vec::new()),
-            dirty: vec![0; words],
-            touched: vec![0; words],
+            dirty: TouchedSet::new(chunks),
+            touched: TouchedSet::new(chunks),
         }
     }
 
@@ -125,11 +126,7 @@ impl Memory {
     }
 
     fn is_dirty(&self, chunk: usize) -> bool {
-        self.dirty[chunk / 64] & (1u64 << (chunk % 64)) != 0
-    }
-
-    fn set_dirty(&mut self, chunk: usize) {
-        self.dirty[chunk / 64] |= 1u64 << (chunk % 64);
+        self.dirty.is_marked(chunk)
     }
 
     /// The pristine bytes of `range` (implicitly zeros before
@@ -151,8 +148,8 @@ impl Memory {
         let first = off / CHUNK_BYTES;
         let last = (off + len - 1) / CHUNK_BYTES;
         for c in first..=last {
-            self.dirty[c / 64] |= 1u64 << (c % 64);
-            self.touched[c / 64] |= 1u64 << (c % 64);
+            self.dirty.mark(c);
+            self.touched.mark(c);
         }
     }
 
@@ -163,8 +160,8 @@ impl Memory {
     /// so a delta taken on one core restores exactly on another.
     pub fn seal_pristine(&mut self) {
         self.pristine = Arc::new(self.bytes.clone());
-        self.dirty.fill(0);
-        self.touched.fill(0);
+        self.dirty.clear_all();
+        self.touched.clear_all();
     }
 
     /// Total size in bytes.
@@ -334,15 +331,15 @@ impl Memory {
                 self.bytes[range].copy_from_slice(pristine);
             }
         }
-        self.dirty.fill(0);
+        self.dirty.clear_all();
         for chunk in &delta.chunks {
             let c = chunk.index as usize;
             let range = self.chunk_range(c);
             restored += range.len();
             self.bytes[range].copy_from_slice(&chunk.data);
-            self.dirty[c / 64] |= 1u64 << (c % 64);
+            self.dirty.mark(c);
         }
-        self.touched.fill(0);
+        self.touched.clear_all();
         restored
     }
 
@@ -370,31 +367,30 @@ impl Memory {
         // Untouched chunks keep both their bytes and their dirty bit from
         // the previous restore of this same delta.
         let mut di = 0;
-        for word_idx in 0..self.touched.len() {
-            let mut word = self.touched[word_idx];
-            self.touched[word_idx] = 0;
-            while word != 0 {
-                let c = word_idx * 64 + word.trailing_zeros() as usize;
-                word &= word - 1;
-                while di < delta.chunks.len() && (delta.chunks[di].index as usize) < c {
-                    di += 1;
+        let total = self.bytes.len();
+        let bytes = &mut self.bytes;
+        let dirty = &mut self.dirty;
+        let pristine = &self.pristine;
+        for c in self.touched.drain() {
+            while di < delta.chunks.len() && (delta.chunks[di].index as usize) < c {
+                di += 1;
+            }
+            let start = c * CHUNK_BYTES;
+            let range = start..(start + CHUNK_BYTES).min(total);
+            restored += range.len();
+            match delta.chunks.get(di) {
+                Some(chunk) if chunk.index as usize == c => {
+                    bytes[range].copy_from_slice(&chunk.data);
+                    dirty.mark(c);
                 }
-                let range = self.chunk_range(c);
-                restored += range.len();
-                match delta.chunks.get(di) {
-                    Some(chunk) if chunk.index as usize == c => {
-                        self.bytes[range].copy_from_slice(&chunk.data);
-                        self.set_dirty(c);
-                    }
-                    _ => {
-                        let pristine = if self.pristine.is_empty() {
-                            &ZERO_CHUNK[..range.len()]
-                        } else {
-                            &self.pristine[range.clone()]
-                        };
-                        self.bytes[range].copy_from_slice(pristine);
-                        self.dirty[c / 64] &= !(1u64 << (c % 64));
-                    }
+                _ => {
+                    let image = if pristine.is_empty() {
+                        &ZERO_CHUNK[..range.len()]
+                    } else {
+                        &pristine[range.clone()]
+                    };
+                    bytes[range].copy_from_slice(image);
+                    dirty.clear(c);
                 }
             }
         }

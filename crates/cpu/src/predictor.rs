@@ -5,18 +5,25 @@
 //! excludes reads performed by squashed instructions, so a reproduction
 //! without wrong-path execution would have nothing to exclude.
 
+use crate::touched::{Restorable, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::Rip;
 
 /// A 2-bit saturating counter direction predictor (bimodal) combined with a
 /// global-history gshare table; the stronger of the two provides the
 /// prediction, loosely mirroring the tournament predictor of Table 1.
+///
+/// Counters are epoch-tagged ([`TouchedSet`]): one concatenated set covers
+/// the bimodal table (indices `0..n`) and the gshare table (`n..2n`), so a
+/// same-snapshot restore rewrites only counters the suffix bumped (the
+/// history register is a scalar and always re-assigned).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchPredictor {
     bimodal: Vec<u8>,
     gshare: Vec<u8>,
     history: u64,
     history_bits: u32,
+    touched: TouchedSet,
 }
 
 impl BranchPredictor {
@@ -29,6 +36,7 @@ impl BranchPredictor {
             gshare: vec![2; n],
             history: 0,
             history_bits: 12,
+            touched: TouchedSet::new(2 * n),
         }
     }
 
@@ -59,9 +67,73 @@ impl BranchPredictor {
     pub fn update(&mut self, rip: Rip, taken: bool) {
         let bi = self.bimodal_index(rip);
         let gi = self.gshare_index(rip);
+        self.touched.mark(bi);
+        self.touched.mark(self.bimodal.len() + gi);
         self.bimodal[bi] = bump(self.bimodal[bi], taken);
         self.gshare[gi] = bump(self.gshare[gi], taken);
         self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
+    }
+
+    fn counter(&self, idx: usize) -> u8 {
+        if idx < self.bimodal.len() {
+            self.bimodal[idx]
+        } else {
+            self.gshare[idx - self.bimodal.len()]
+        }
+    }
+
+    /// Counters (concatenated bimodal + gshare index space) where `self` and
+    /// `other` differ.
+    pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
+        let n = self.bimodal.len();
+        let mut d = TouchedSet::new(2 * n);
+        for i in 0..n {
+            if self.bimodal[i] != other.bimodal[i] {
+                d.mark(i);
+            }
+            if self.gshare[i] != other.gshare[i] {
+                d.mark(n + i);
+            }
+        }
+        d
+    }
+
+    /// Whether the history register and every tagged counter equal `g`'s.
+    pub(crate) fn touched_matches(&self, g: &Self) -> bool {
+        self.history == g.history
+            && self.history_bits == g.history_bits
+            && self.touched.iter().all(|i| self.counter(i) == g.counter(i))
+    }
+
+    /// Convergence probe against `g` given the restore-source diff.
+    pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
+        self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+}
+
+impl Restorable for BranchPredictor {
+    fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64 {
+        debug_assert_eq!(self.bimodal.len(), snap.bimodal.len());
+        self.history = snap.history;
+        self.history_bits = snap.history_bits;
+        if incremental {
+            let n = self.bimodal.len();
+            let mut bytes = 0u64;
+            for i in self.touched.drain() {
+                if i < n {
+                    self.bimodal[i] = snap.bimodal[i];
+                } else {
+                    self.gshare[i - n] = snap.gshare[i - n];
+                }
+                bytes += 1;
+            }
+            bytes
+        } else {
+            self.bimodal.copy_from_slice(&snap.bimodal);
+            self.gshare.copy_from_slice(&snap.gshare);
+            self.touched.clear_all();
+            (self.bimodal.len() + self.gshare.len()) as u64
+        }
     }
 }
 
@@ -78,11 +150,13 @@ impl BinCode for BranchPredictor {
         if bimodal.is_empty() || !bimodal.len().is_power_of_two() || gshare.len() != bimodal.len() {
             return Err(DecodeError::Invalid("predictor table shape"));
         }
+        let touched = TouchedSet::new(bimodal.len() + gshare.len());
         Ok(BranchPredictor {
             bimodal,
             gshare,
             history: BinCode::decode(r)?,
             history_bits: BinCode::decode(r)?,
+            touched,
         })
     }
 }
@@ -104,17 +178,21 @@ fn confidence(counter: u8) -> u8 {
     }
 }
 
-/// Direct-mapped branch target buffer for indirect jumps.
+/// Direct-mapped branch target buffer for indirect jumps, epoch-tagged per
+/// entry like the direction predictor's tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Btb {
     entries: Vec<Option<(Rip, Rip)>>,
+    touched: TouchedSet,
 }
 
 impl Btb {
     /// Creates a BTB with `entries` slots (rounded up to a power of two).
     pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(16);
         Btb {
-            entries: vec![None; entries.next_power_of_two().max(16)],
+            entries: vec![None; n],
+            touched: TouchedSet::new(n),
         }
     }
 
@@ -133,7 +211,48 @@ impl Btb {
     /// Records the resolved target of the indirect branch at `rip`.
     pub fn update(&mut self, rip: Rip, target: Rip) {
         let idx = self.index(rip);
+        self.touched.mark(idx);
         self.entries[idx] = Some((rip, target));
+    }
+
+    /// Entries where `self` and `other` differ.
+    pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
+        let mut d = TouchedSet::new(self.entries.len());
+        for i in 0..self.entries.len() {
+            if self.entries[i] != other.entries[i] {
+                d.mark(i);
+            }
+        }
+        d
+    }
+
+    /// Whether every tagged entry equals `g`'s copy.
+    pub(crate) fn touched_matches(&self, g: &Self) -> bool {
+        self.touched.iter().all(|i| self.entries[i] == g.entries[i])
+    }
+
+    /// Convergence probe against `g` given the restore-source diff.
+    pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
+        self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+}
+
+impl Restorable for Btb {
+    fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64 {
+        debug_assert_eq!(self.entries.len(), snap.entries.len());
+        let entry_bytes = std::mem::size_of::<Option<(Rip, Rip)>>() as u64;
+        if incremental {
+            let mut n = 0u64;
+            for i in self.touched.drain() {
+                self.entries[i] = snap.entries[i];
+                n += entry_bytes;
+            }
+            n
+        } else {
+            self.entries.copy_from_slice(&snap.entries);
+            self.touched.clear_all();
+            self.entries.len() as u64 * entry_bytes
+        }
     }
 }
 
@@ -146,7 +265,8 @@ impl BinCode for Btb {
         if entries.is_empty() || !entries.len().is_power_of_two() {
             return Err(DecodeError::Invalid("BTB shape"));
         }
-        Ok(Btb { entries })
+        let touched = TouchedSet::new(entries.len());
+        Ok(Btb { entries, touched })
     }
 }
 

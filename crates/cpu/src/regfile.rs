@@ -1,5 +1,10 @@
 //! Physical register file, free list and register alias table (RAT).
+//!
+//! All three are epoch-tagged (see [`crate::TouchedSet`]): every mutation
+//! tags the touched entry, so same-snapshot restores rewrite only what the
+//! suffix changed and the convergence probe compares only tagged entries.
 
+use crate::touched::{restore_deque, Restorable, TouchedFlag, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{ArchReg, NUM_ARCH_REGS};
 use std::collections::VecDeque;
@@ -7,12 +12,17 @@ use std::collections::VecDeque;
 /// Index of a physical register.
 pub type PhysReg = u16;
 
+/// Bytes one physical register occupies in the restore accounting (64-bit
+/// value plus its ready bit).
+const PRF_ENTRY_BYTES: u64 = 9;
+
 /// The physical integer register file: actual 64-bit storage plus per-entry
 /// ready bits.  The value array is a fault-injection target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysRegFile {
     values: Vec<u64>,
     ready: Vec<bool>,
+    touched: TouchedSet,
 }
 
 impl PhysRegFile {
@@ -21,6 +31,7 @@ impl PhysRegFile {
         PhysRegFile {
             values: vec![0; n],
             ready: vec![true; n],
+            touched: TouchedSet::new(n),
         }
     }
 
@@ -44,18 +55,21 @@ impl PhysRegFile {
     pub fn write(&mut self, p: PhysReg, value: u64) {
         self.values[p as usize] = value;
         self.ready[p as usize] = true;
+        self.touched.mark(p as usize);
     }
 
     /// Marks a freshly allocated register as not-ready (its producer has not
     /// executed yet).
     pub fn mark_pending(&mut self, p: PhysReg) {
         self.ready[p as usize] = false;
+        self.touched.mark(p as usize);
     }
 
     /// Marks a register ready without changing its value (used when squash
     /// recovery returns a register to the free pool).
     pub fn mark_ready(&mut self, p: PhysReg) {
         self.ready[p as usize] = true;
+        self.touched.mark(p as usize);
     }
 
     /// Whether the register's value has been produced.
@@ -69,11 +83,59 @@ impl PhysRegFile {
     /// register before any read.
     pub fn flip_bit(&mut self, p: usize, bit: u8) {
         self.values[p] ^= 1u64 << bit;
+        self.touched.mark(p);
+    }
+
+    /// Entries where `self` and `other` hold different values or ready bits.
+    pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
+        let mut d = TouchedSet::new(self.values.len());
+        for i in 0..self.values.len() {
+            if self.values[i] != other.values[i] || self.ready[i] != other.ready[i] {
+                d.mark(i);
+            }
+        }
+        d
+    }
+
+    /// Whether every tagged entry equals `g`'s copy (untagged entries are
+    /// trusted to equal the restore source — the epoch-tagging invariant).
+    pub(crate) fn touched_matches(&self, g: &Self) -> bool {
+        self.touched
+            .iter()
+            .all(|i| self.values[i] == g.values[i] && self.ready[i] == g.ready[i])
+    }
+
+    /// Convergence probe: `self == g` given that untagged entries equal the
+    /// restore source, whose disagreements with `g` are exactly `diff`.
+    pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
+        self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+}
+
+impl Restorable for PhysRegFile {
+    fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64 {
+        debug_assert_eq!(self.values.len(), snap.values.len());
+        if incremental {
+            let mut n = 0u64;
+            for i in self.touched.drain() {
+                self.values[i] = snap.values[i];
+                self.ready[i] = snap.ready[i];
+                n += PRF_ENTRY_BYTES;
+            }
+            n
+        } else {
+            self.values.copy_from_slice(&snap.values);
+            self.ready.copy_from_slice(&snap.ready);
+            self.touched.clear_all();
+            self.values.len() as u64 * PRF_ENTRY_BYTES
+        }
     }
 }
 
 impl BinCode for PhysRegFile {
     fn encode(&self, out: &mut Vec<u8>) {
+        // Tags are bookkeeping, never serialised — the on-disk format is
+        // identical to the pre-epoch layout.
         self.values.encode(out);
         self.ready.encode(out);
     }
@@ -83,14 +145,21 @@ impl BinCode for PhysRegFile {
         if values.len() != ready.len() {
             return Err(DecodeError::Invalid("register file array lengths"));
         }
-        Ok(PhysRegFile { values, ready })
+        let touched = TouchedSet::new(values.len());
+        Ok(PhysRegFile {
+            values,
+            ready,
+            touched,
+        })
     }
 }
 
-/// FIFO free list of physical registers.
+/// FIFO free list of physical registers.  Queue-shaped, so it carries a
+/// whole-structure [`TouchedFlag`] instead of per-entry tags.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FreeList {
     free: VecDeque<PhysReg>,
+    touched: TouchedFlag,
 }
 
 impl FreeList {
@@ -98,11 +167,13 @@ impl FreeList {
     pub fn new(first: usize, n: usize) -> Self {
         FreeList {
             free: (first as PhysReg..n as PhysReg).collect(),
+            touched: TouchedFlag::default(),
         }
     }
 
     /// Takes a register from the free list.
     pub fn allocate(&mut self) -> Option<PhysReg> {
+        self.touched.mark();
         self.free.pop_front()
     }
 
@@ -112,12 +183,24 @@ impl FreeList {
             !self.free.contains(&p),
             "physical register {p} released twice"
         );
+        self.touched.mark();
         self.free.push_back(p);
     }
 
     /// Registers currently free.
     pub fn available(&self) -> usize {
         self.free.len()
+    }
+
+    /// Whether the free list was mutated since the last restore.
+    pub(crate) fn is_touched(&self) -> bool {
+        self.touched.is_set()
+    }
+}
+
+impl Restorable for FreeList {
+    fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64 {
+        restore_deque(&mut self.free, &snap.free, &mut self.touched, incremental)
     }
 }
 
@@ -128,6 +211,7 @@ impl BinCode for FreeList {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
         Ok(FreeList {
             free: VecDeque::decode(r)?,
+            touched: TouchedFlag::default(),
         })
     }
 }
@@ -136,6 +220,7 @@ impl BinCode for FreeList {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RenameTable {
     map: [PhysReg; NUM_ARCH_REGS],
+    touched: TouchedSet,
 }
 
 impl RenameTable {
@@ -146,7 +231,10 @@ impl RenameTable {
         for (i, m) in map.iter_mut().enumerate() {
             *m = i as PhysReg;
         }
-        RenameTable { map }
+        RenameTable {
+            map,
+            touched: TouchedSet::new(NUM_ARCH_REGS),
+        }
     }
 
     /// Current mapping of an architectural register.
@@ -156,12 +244,52 @@ impl RenameTable {
 
     /// Remaps `r` to `p`, returning the previous mapping.
     pub fn remap(&mut self, r: ArchReg, p: PhysReg) -> PhysReg {
+        self.touched.mark(r.index());
         std::mem::replace(&mut self.map[r.index()], p)
     }
 
     /// Restores a previous mapping (squash recovery).
     pub fn restore(&mut self, r: ArchReg, previous: PhysReg) {
+        self.touched.mark(r.index());
         self.map[r.index()] = previous;
+    }
+
+    /// Entries where `self` and `other` map differently.
+    pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
+        let mut d = TouchedSet::new(NUM_ARCH_REGS);
+        for i in 0..NUM_ARCH_REGS {
+            if self.map[i] != other.map[i] {
+                d.mark(i);
+            }
+        }
+        d
+    }
+
+    /// Whether every tagged entry equals `g`'s copy.
+    pub(crate) fn touched_matches(&self, g: &Self) -> bool {
+        self.touched.iter().all(|i| self.map[i] == g.map[i])
+    }
+
+    /// Convergence probe against `g` given the restore-source diff.
+    pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
+        self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+}
+
+impl Restorable for RenameTable {
+    fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64 {
+        if incremental {
+            let mut n = 0u64;
+            for i in self.touched.drain() {
+                self.map[i] = snap.map[i];
+                n += std::mem::size_of::<PhysReg>() as u64;
+            }
+            n
+        } else {
+            self.map = snap.map;
+            self.touched.clear_all();
+            (NUM_ARCH_REGS * std::mem::size_of::<PhysReg>()) as u64
+        }
     }
 }
 
@@ -172,6 +300,7 @@ impl BinCode for RenameTable {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
         Ok(RenameTable {
             map: BinCode::decode(r)?,
+            touched: TouchedSet::new(NUM_ARCH_REGS),
         })
     }
 }

@@ -33,10 +33,18 @@
 //! carries a process-unique identity tag, and a core restored from the
 //! snapshot it was last restored from takes an incremental path that
 //! rewrites only the state mutated since — see [`Cpu::restore_from`] and
-//! the touched-line/dirty-chunk tracking in the cache and memory layers.
-//! Range-bound campaign workers, which restore one snapshot hundreds of
-//! times back-to-back, pay O(suffix-touched state) per restore instead of
-//! O(snapshot size).
+//! the epoch tags ([`crate::TouchedSet`]/[`crate::TouchedFlag`], module
+//! [`crate::touched`]) every pipeline structure maintains at mutation time:
+//! cache lines, memory chunks, physical registers, rename entries,
+//! load/store-queue slots, predictor/BTB counters, and whole-structure
+//! flags on the fetch buffer, ROB and free list.  Range-bound campaign
+//! workers, which restore one snapshot hundreds of times back-to-back, pay
+//! O(suffix-touched state) per restore instead of O(snapshot size), and
+//! [`crate::RestoreStats`] reports the bytes actually rewritten per
+//! structure ([`crate::RestoredBytes`]).  The tags are runtime-only
+//! bookkeeping: they are never serialised (decoding a snapshot yields
+//! cleared tags, like the identity tag itself), so the on-disk `binio`
+//! format is unchanged by epoch tagging.
 
 use crate::core::{Cpu, CpuState, RunResult};
 use crate::probe::Probe;

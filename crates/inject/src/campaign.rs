@@ -49,11 +49,25 @@
 use crate::classify::{classify, Classification, FaultEffect};
 use crate::schedule::ScheduleStats;
 use merlin_cpu::{
-    CheckpointPolicy, CheckpointStore, Cpu, CpuConfig, FaultSpec, NullProbe, RunResult,
+    CheckpointPolicy, CheckpointStore, Cpu, CpuConfig, FaultSpec, NullProbe, RestoredBytes,
+    RunResult, StateDiff,
 };
 use merlin_isa::{DecodedProgram, Program};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Memoised [`CpuState::diff_to`](merlin_cpu::CpuState::diff_to) results,
+/// keyed by (restore-snapshot cycle, probed-checkpoint cycle).
+///
+/// The early-exit convergence test probes the same (restore source, golden
+/// checkpoint) pairs for every fault in a checkpoint range, and the diff of
+/// two golden snapshots never changes — so each worker computes it once and
+/// the touched-entry-only probe ([`Cpu::matches_state_with_diff`]) amortises
+/// over the hundreds of faults sharing the range.  Caches are per
+/// worker/injector (never shared), matching the per-core `last_restored`
+/// epoch the diff is valid against.
+pub(crate) type DiffCache = HashMap<(u64, u64), StateDiff>;
 
 /// The fault-free reference execution a campaign compares against.
 ///
@@ -221,9 +235,9 @@ pub(crate) struct FaultRun {
     pub restored: bool,
     /// Whether that restore took the incremental same-snapshot path.
     pub incremental: bool,
-    /// Bytes the restore rewrote in the memory hierarchy (0 when nothing
-    /// was restored).
-    pub restored_bytes: u64,
+    /// Bytes the restore rewrote, per pipeline structure (all zero when
+    /// nothing was restored).
+    pub bytes: RestoredBytes,
     /// Cycles actually simulated, from the restore point (or cycle 0 on the
     /// from-scratch path) to wherever the faulty run ended.
     pub suffix_cycles: u64,
@@ -241,15 +255,15 @@ impl FaultRun {
     fn skipped(restored: bool, restore: Option<merlin_cpu::RestoreStats>) -> FaultRun {
         let restore = restore.unwrap_or(merlin_cpu::RestoreStats {
             incremental: false,
-            restored_bytes: 0,
             from_quarantine: false,
+            bytes: RestoredBytes::default(),
         });
         FaultRun {
             effect: FaultEffect::Masked,
             early_exit: false,
             restored,
             incremental: restore.incremental,
-            restored_bytes: restore.restored_bytes as u64,
+            bytes: restore.bytes,
             suffix_cycles: 0,
             skipped_site: true,
             from_quarantine: restore.from_quarantine,
@@ -275,7 +289,7 @@ pub(crate) fn run_single_fault_shared(
                 early_exit: false,
                 restored: false,
                 incremental: false,
-                restored_bytes: 0,
+                bytes: RestoredBytes::default(),
                 suffix_cycles: 0,
                 skipped_site: false,
                 from_quarantine: false,
@@ -300,7 +314,7 @@ pub(crate) fn run_single_fault_shared(
             early_exit: false,
             restored: false,
             incremental: false,
-            restored_bytes: 0,
+            bytes: RestoredBytes::default(),
             suffix_cycles: result.cycles,
             skipped_site: false,
             from_quarantine: false,
@@ -310,7 +324,7 @@ pub(crate) fn run_single_fault_shared(
             early_exit: false,
             restored: false,
             incremental: false,
-            restored_bytes: 0,
+            bytes: RestoredBytes::default(),
             suffix_cycles: 0,
             skipped_site: false,
             from_quarantine: false,
@@ -326,11 +340,17 @@ pub(crate) fn run_single_fault_shared(
 /// (computed once per campaign or injector call); the early-exit convergence
 /// test walks it with a cursor, so it works for equal-cycle and suffix-work
 /// stores alike — retained checkpoints need not sit on any uniform grid.
+///
+/// `diffs` memoises restore-source-to-boundary golden diffs so the
+/// convergence probe compares only entries that could differ (everything the
+/// suffix touched plus everything the golden run changed between the two
+/// snapshots) instead of the whole state.
 pub(crate) fn run_fault_from_checkpoint(
     cpu: &mut Cpu,
     golden: &GoldenRun,
     ckpts: &GoldenCheckpoints,
     boundaries: &[u64],
+    diffs: &mut DiffCache,
     fault: FaultSpec,
 ) -> FaultRun {
     if fault.entry >= cpu.structure_entries(fault.structure) {
@@ -365,7 +385,10 @@ pub(crate) fn run_fault_from_checkpoint(
                     next += 1;
                 } else if boundaries[next] == cpu.cycle() {
                     if let Some(g) = ckpts.store.at_cycle(cpu.cycle()) {
-                        if cpu.matches_state(g) {
+                        let diff = diffs
+                            .entry((restore_cycle, cpu.cycle()))
+                            .or_insert_with(|| state.diff_to(g));
+                        if cpu.matches_state_with_diff(g, diff) {
                             return (FaultEffect::Masked, true, cpu.cycle() - restore_cycle);
                         }
                     }
@@ -395,7 +418,7 @@ pub(crate) fn run_fault_from_checkpoint(
         early_exit,
         restored: true,
         incremental: restore.incremental,
-        restored_bytes: restore.restored_bytes as u64,
+        bytes: restore.bytes,
         suffix_cycles,
         skipped_site: false,
         from_quarantine: restore.from_quarantine,
@@ -420,6 +443,9 @@ pub struct FaultInjector {
     /// Ascending checkpoint cycles of the golden store, when usable —
     /// computed once so per-fault runs allocate nothing.
     boundaries: Vec<u64>,
+    /// Memoised golden-to-golden diffs for the touched-entry convergence
+    /// probe, keyed by (restore cycle, boundary cycle).
+    diffs: DiffCache,
 }
 
 impl FaultInjector {
@@ -456,6 +482,7 @@ impl FaultInjector {
             golden,
             cpu: None,
             boundaries,
+            diffs: DiffCache::new(),
         }
     }
 
@@ -501,7 +528,14 @@ impl FaultInjector {
             }
         }
         let core = self.cpu.as_mut().expect("injector core initialised above");
-        let run = run_fault_from_checkpoint(core, &self.golden, &ckpts, &self.boundaries, fault);
+        let run = run_fault_from_checkpoint(
+            core,
+            &self.golden,
+            &ckpts,
+            &self.boundaries,
+            &mut self.diffs,
+            fault,
+        );
         (run.effect, run.suffix_cycles)
     }
 }

@@ -40,12 +40,12 @@
 //! against the from-scratch path.  Only [`ScheduleStats`] varies.
 
 use crate::campaign::{
-    run_fault_from_checkpoint, run_single_fault_shared, CampaignResult, FaultOutcome,
+    run_fault_from_checkpoint, run_single_fault_shared, CampaignResult, DiffCache, FaultOutcome,
     GoldenCheckpoints, GoldenRun,
 };
 use crate::classify::{Classification, FaultEffect};
 use merlin_analyze::ProgramAnalysis;
-use merlin_cpu::{Cpu, CpuConfig, FaultSpec, Structure};
+use merlin_cpu::{Cpu, CpuConfig, FaultSpec, RestoredBytes, Structure};
 use merlin_isa::{DecodedProgram, Program};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -88,9 +88,14 @@ pub struct ScheduleStats {
     /// touched since the worker's previous restore of the same snapshot was
     /// rewritten) — with range-bound workers, the overwhelming majority.
     pub incremental_restores: u64,
-    /// Memory-hierarchy bytes rewritten across all restores (cache lines +
-    /// memory chunks).
+    /// Bytes rewritten across all restores, over *every* restored structure:
+    /// memory chunks, cache lines, register file, rename state, fetch
+    /// buffer, ROB, load/store queues and predictor tables.
     pub restored_bytes: u64,
+    /// The same bytes broken down per pipeline structure — the honest
+    /// account of where restore work goes, and the direct measure of how
+    /// much the epoch-tagged incremental path avoids rewriting.
+    pub restored_breakdown: RestoredBytes,
     /// Total cycles simulated across all faulty runs, from each fault's
     /// restore point (cycle 0 from scratch) to wherever its run ended — the
     /// work the checkpoint engine actually paid, directly comparable across
@@ -127,6 +132,7 @@ struct WorkerStats {
     full_restores: u64,
     incremental_restores: u64,
     restored_bytes: u64,
+    restored_breakdown: RestoredBytes,
     range_steals: u64,
     suffix_cycles: u64,
     early_exits: u64,
@@ -143,6 +149,7 @@ impl WorkerStats {
         self.full_restores += other.full_restores;
         self.incremental_restores += other.incremental_restores;
         self.restored_bytes += other.restored_bytes;
+        self.restored_breakdown += other.restored_breakdown;
         self.range_steals += other.range_steals;
         self.suffix_cycles += other.suffix_cycles;
         self.early_exits += other.early_exits;
@@ -376,6 +383,9 @@ impl<'a> CampaignScheduler<'a> {
         };
         let run_worker = |collected: &mut Vec<(usize, FaultOutcome)>, stats: &mut WorkerStats| {
             let mut cpu: Option<Cpu> = None;
+            // Golden-to-golden diffs never depend on the core's state, so the
+            // cache survives retries and core replacement.
+            let mut diffs = DiffCache::new();
             let mut claimed = 0usize;
             loop {
                 // Failed ranges take priority over fresh ones, and the
@@ -451,6 +461,7 @@ impl<'a> CampaignScheduler<'a> {
                                         self.golden,
                                         ckpts,
                                         &self.boundaries,
+                                        &mut diffs,
                                         fault,
                                     ),
                                     None => {
@@ -477,7 +488,8 @@ impl<'a> CampaignScheduler<'a> {
                         delta.restores += u64::from(run.restored);
                         delta.full_restores += u64::from(run.restored && !run.incremental);
                         delta.incremental_restores += u64::from(run.restored && run.incremental);
-                        delta.restored_bytes += run.restored_bytes;
+                        delta.restored_bytes += run.bytes.total();
+                        delta.restored_breakdown += run.bytes;
                         delta.early_exits += u64::from(run.early_exit);
                         delta.suffix_cycles += run.suffix_cycles;
                         delta.asserts += u64::from(run.effect == FaultEffect::Assert);
@@ -566,6 +578,7 @@ impl<'a> CampaignScheduler<'a> {
             schedule.full_restores += stats.full_restores;
             schedule.incremental_restores += stats.incremental_restores;
             schedule.restored_bytes += stats.restored_bytes;
+            schedule.restored_breakdown += stats.restored_breakdown;
             schedule.range_steals += stats.range_steals;
             schedule.suffix_cycles += stats.suffix_cycles;
             schedule.asserts += stats.asserts;
