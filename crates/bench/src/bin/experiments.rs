@@ -583,6 +583,11 @@ fn accuracy_figures(scale: &ExperimentScale) {
                 sched_sum.range_retries += comprehensive.schedule.range_retries;
                 sched_sum.skipped_sites += comprehensive.schedule.skipped_sites;
                 sched_sum.static_prunes += comprehensive.schedule.static_prunes;
+                sched_sum.batched_ranges += comprehensive.schedule.batched_ranges;
+                sched_sum.forks_spawned += comprehensive.schedule.forks_spawned;
+                sched_sum.forks_retired += comprehensive.schedule.forks_retired;
+                sched_sum.forks_merged += comprehensive.schedule.forks_merged;
+                sched_sum.golden_replay_cycles += comprehensive.schedule.golden_replay_cycles;
                 let post_ace = cell
                     .session
                     .post_ace_baseline(&cell.campaign.reduction)
@@ -643,6 +648,15 @@ fn accuracy_figures(scale: &ExperimentScale) {
     println!(
         "static analysis: {} register-file faults classified Masked with zero simulation\n",
         sched_sum.static_prunes
+    );
+    println!(
+        "batched suffix simulation: {} ranges batched, {} forks spawned \
+         ({} probe-retired, {} merged), {} golden replay cycles shared\n",
+        sched_sum.batched_ranges,
+        sched_sum.forks_spawned,
+        sched_sum.forks_retired,
+        sched_sum.forks_merged,
+        sched_sum.golden_replay_cycles
     );
 }
 

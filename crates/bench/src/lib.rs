@@ -20,7 +20,7 @@
 use merlin_ace::{AceAnalysis, SessionAce};
 use merlin_core::{MerlinCampaign, MerlinConfig, SessionMethodology};
 use merlin_cpu::{CpuConfig, Structure};
-use merlin_inject::{Session, SessionCache};
+use merlin_inject::{BatchingPolicy, Session, SessionCache};
 use merlin_workloads::Workload;
 use std::sync::{Arc, OnceLock};
 
@@ -38,6 +38,10 @@ pub struct ExperimentScale {
     pub seed: u64,
     /// Restrict the benchmark list (`MERLIN_BENCHMARKS`, comma separated).
     pub benchmark_filter: Option<Vec<String>>,
+    /// Campaign engine (`MERLIN_BATCHING`: `batched` or `per-fault`,
+    /// default batched).  Outcomes are byte-identical either way; the knob
+    /// exists so regressions can be bisected against the per-fault oracle.
+    pub batching: BatchingPolicy,
 }
 
 impl ExperimentScale {
@@ -65,11 +69,16 @@ impl ExperimentScale {
                 .filter(|s| !s.is_empty())
                 .collect()
         });
+        let batching = match std::env::var("MERLIN_BATCHING").ok().as_deref() {
+            Some("per-fault") => BatchingPolicy::PerFault,
+            _ => BatchingPolicy::Batched,
+        };
         ExperimentScale {
             baseline_faults,
             threads,
             seed,
             benchmark_filter,
+            batching,
         }
     }
 
@@ -90,6 +99,7 @@ impl ExperimentScale {
             threads: self.threads,
             max_cycles: 500_000_000,
             seed: self.seed,
+            batching: self.batching,
             ..Default::default()
         }
     }
@@ -157,6 +167,7 @@ pub fn session_for(workload: &Workload, cfg: &CpuConfig, scale: &ExperimentScale
             b.checkpoints(merlin_cfg.checkpoints)
                 .max_cycles(merlin_cfg.max_cycles)
                 .threads(merlin_cfg.threads)
+                .batching(merlin_cfg.batching)
         })
         .unwrap_or_else(|e| panic!("session setup failed for {}: {e}", workload.name))
 }
@@ -235,6 +246,7 @@ mod tests {
             threads: 8,
             seed: 2017,
             benchmark_filter: Some(vec!["sha".into()]),
+            batching: BatchingPolicy::Batched,
         };
         let filtered = s.filter(merlin_workloads::mibench_workloads());
         assert_eq!(filtered.len(), 1);

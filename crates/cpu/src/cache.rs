@@ -330,6 +330,31 @@ impl Cache {
         restored
     }
 
+    /// Copies the lines `src` touched since its last restore into `self`,
+    /// tagging them.  Valid only when `self` equals `src`'s restore source
+    /// (the lockstep fork path): untouched lines of `src` still hold the
+    /// shared base's bits, as do `self`'s, so copying the touched lines alone
+    /// makes `self` bit-identical to `src` at O(lines touched) cost.
+    /// Returns the number of line-data bytes copied.
+    pub fn fork_from(&mut self, src: &Self) -> usize {
+        debug_assert_eq!(self.cfg, src.cfg);
+        let ways = self.cfg.ways;
+        let mut copied = 0;
+        for idx in src.touched.iter() {
+            let s = &src.sets[idx / ways][idx % ways];
+            let line = &mut self.sets[idx / ways][idx % ways];
+            line.valid = s.valid;
+            line.dirty = s.dirty;
+            line.tag = s.tag;
+            line.last_use = s.last_use;
+            line.data.copy_from_slice(&s.data);
+            copied += s.data.len();
+        }
+        self.touched.merge(&src.touched);
+        self.use_counter = src.use_counter;
+        copied
+    }
+
     /// Whether the cache's live contents are bit-identical to the snapshot.
     pub fn matches_snapshot(&self, snap: &CacheSnapshot) -> bool {
         if self.use_counter != snap.use_counter {
@@ -745,6 +770,18 @@ impl MemSystem {
             self.l1d.restore_snapshot_incremental(&snap.l1d)
                 + self.l2.restore_snapshot_incremental(&snap.l2),
             self.mem.restore_delta_incremental(&snap.mem),
+        )
+    }
+
+    /// Lockstep fork: copies the caches' touched lines and the memory's
+    /// touched chunks from `src` (see [`Cache::fork_from`] and
+    /// [`Memory::fork_from`]), valid only when `self` equals `src`'s restore
+    /// source.  Returns the bytes copied as `(cache line data, memory
+    /// chunks)`.
+    pub fn fork_from(&mut self, src: &Self) -> (usize, usize) {
+        (
+            self.l1d.fork_from(&src.l1d) + self.l2.fork_from(&src.l2),
+            self.mem.fork_from(&src.mem),
         )
     }
 

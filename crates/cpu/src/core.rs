@@ -14,10 +14,10 @@ use crate::config::{ConfigError, CpuConfig};
 use crate::fault::FaultSpec;
 use crate::lsq::{LoadQueue, StoreQueue};
 use crate::memory::{MemError, Memory};
-use crate::predictor::{BranchPredictor, Btb};
+use crate::predictor::{BranchPredictor, Btb, PredictorDiff};
 use crate::probe::{Probe, ReadInfo, Structure, WRITEBACK_RIP};
 use crate::regfile::{FreeList, PhysReg, PhysRegFile, RenameTable};
-use crate::touched::{restore_deque, Restorable, TouchedFlag, TouchedSet};
+use crate::touched::{fork_deque, restore_deque, Restorable, TouchedFlag, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{DecodedProgram, Inst, Program, Rip, Uop, UopKind, NUM_ARCH_REGS};
 use serde::{Deserialize, Serialize};
@@ -1306,6 +1306,112 @@ impl Cpu {
         }
     }
 
+    /// Forks this core from a live source core advancing from the same
+    /// restore base, making `self` bit-identical to `src` at O(state `src`
+    /// touched since its restore) cost — the lazy fork-spawn of the batched
+    /// suffix driver.
+    ///
+    /// **Precondition.**  `self` must currently equal `src`'s restore source:
+    /// both cores were last restored from the *same* snapshot (checked via
+    /// the snapshot-identity tags in debug builds), `self` has not stepped
+    /// since its restore, and neither core is quarantined.  Under the
+    /// epoch-tagging invariant every entry `src` mutated since that shared
+    /// restore is tagged, and every untagged entry of `src` — like every
+    /// entry of `self` — still holds the base snapshot's bits, so copying
+    /// exactly the tagged state reproduces `src` in full.
+    ///
+    /// The fork inherits `src`'s tags (its divergence-from-base is `src`'s,
+    /// and grows from there), so its own incremental restores and
+    /// [`Cpu::matches_state_with_diff`] probes against the shared
+    /// [`StateDiff`]s stay sound.  Returns the per-structure bytes copied,
+    /// for the same honest accounting as [`RestoreStats`].
+    pub fn fork_from(&mut self, src: &Cpu) -> RestoredBytes {
+        debug_assert!(!self.quarantined && !src.quarantined);
+        debug_assert!(self.last_restored.is_some() && self.last_restored == src.last_restored);
+        self.cycle = src.cycle;
+        self.next_seq = src.next_seq;
+        self.fetch_pc = src.fetch_pc;
+        self.fetch_halted = src.fetch_halted;
+        self.fetch_invalid = src.fetch_invalid;
+        let mut bytes = RestoredBytes {
+            fetch: fork_deque(
+                &mut self.fetch_buffer,
+                &src.fetch_buffer,
+                &src.fetch_buffer_touched,
+                &mut self.fetch_buffer_touched,
+            ),
+            ..RestoredBytes::default()
+        };
+        bytes.rename = self.rat.fork_from(&src.rat) + self.free_list.fork_from(&src.free_list);
+        bytes.regfile = self.prf.fork_from(&src.prf);
+        bytes.rob = fork_deque(
+            &mut self.rob,
+            &src.rob,
+            &src.rob_touched,
+            &mut self.rob_touched,
+        );
+        self.iq_count = src.iq_count;
+        bytes.lsq = self.lq.fork_from(&src.lq) + self.sq.fork_from(&src.sq);
+        self.pending_store_slot = src.pending_store_slot;
+        let (cache_bytes, mem_bytes) = self.mem.fork_from(&src.mem);
+        bytes.caches = cache_bytes as u64;
+        bytes.memory = mem_bytes as u64;
+        bytes.predictor = self.bp.fork_from(&src.bp) + self.btb.fork_from(&src.btb);
+        self.output.clone_from(&src.output);
+        self.committed_instructions = src.committed_instructions;
+        self.committed_uops = src.committed_uops;
+        self.arithmetic_exceptions = src.arithmetic_exceptions;
+        self.misaligned_exceptions = src.misaligned_exceptions;
+        self.dyn_counts.clone_from(&src.dyn_counts);
+        self.path_history.clone_from(&src.path_history);
+        self.path_sig = src.path_sig;
+        self.faults.clone_from(&src.faults);
+        self.next_fault_cycle = src.next_fault_cycle;
+        self.finished.clone_from(&src.finished);
+        bytes
+    }
+
+    /// An order-independent fingerprint of the core's cheap scalar state,
+    /// used as a prefilter when testing two same-cycle forks for the paper's
+    /// fault-equivalence merge: equal states always produce equal
+    /// fingerprints (every input is architectural state, never bookkeeping),
+    /// so a fingerprint mismatch proves the forks differ without touching
+    /// any array.  Colliding fingerprints are confirmed with an exact
+    /// [`Cpu::snapshot`] equality comparison.
+    pub fn merge_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        mix(self.cycle);
+        mix(self.next_seq);
+        mix(self.fetch_pc as u64);
+        mix(self.fetch_halted as u64);
+        mix(self.fetch_invalid as u64);
+        mix(self.fetch_buffer.len() as u64);
+        mix(self.rob.len() as u64);
+        mix(self.iq_count as u64);
+        mix(self.lq.len() as u64);
+        mix(self.sq.len() as u64);
+        mix(self.pending_store_slot.map_or(u64::MAX, |s| s as u64));
+        mix(self.committed_instructions);
+        mix(self.committed_uops);
+        mix(self.arithmetic_exceptions);
+        mix(self.misaligned_exceptions);
+        mix(self.path_sig);
+        mix(self.output.len() as u64);
+        mix(self.output.last().copied().unwrap_or(0));
+        mix(match &self.finished {
+            None => 0,
+            Some(ExitReason::Halted) => 1,
+            Some(ExitReason::Timeout) => 2,
+            Some(ExitReason::Crash(_)) => 3,
+            Some(ExitReason::Assert(_)) => 4,
+        });
+        h
+    }
+
     /// Demote this core after its state became untrusted — typically because
     /// a panic unwound through [`Cpu::step`] mid-instruction, leaving the
     /// pipeline, caches, or touched-line bookkeeping in an unknown state.
@@ -1515,7 +1621,7 @@ pub struct StateDiff {
     rat: TouchedSet,
     lq: TouchedSet,
     sq: TouchedSet,
-    bp: TouchedSet,
+    bp: PredictorDiff,
     btb: TouchedSet,
     fetch_buffer: bool,
     rob: bool,

@@ -254,6 +254,23 @@ impl StoreQueue {
     pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
         self.touched.contains_all(diff) && self.touched_matches(g)
     }
+
+    /// Copies `src`'s since-restore mutations into `self` (which must equal
+    /// `src`'s restore source), tagging them.  Returns bytes copied.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+        debug_assert_eq!(self.slots.len(), src.slots.len());
+        self.head = src.head;
+        self.tail = src.tail;
+        self.count = src.count;
+        let slot_bytes = std::mem::size_of::<SqSlot>() as u64;
+        let mut n = 0u64;
+        for i in src.touched.iter() {
+            self.slots[i] = src.slots[i].clone();
+            n += slot_bytes;
+        }
+        self.touched.merge(&src.touched);
+        n
+    }
 }
 
 impl Restorable for StoreQueue {
@@ -390,6 +407,21 @@ impl LoadQueue {
     /// Convergence probe against `g` given the restore-source diff.
     pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
         self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+
+    /// Copies `src`'s since-restore mutations into `self` (which must equal
+    /// `src`'s restore source), tagging them.  Returns bytes copied.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+        debug_assert_eq!(self.seqs.len(), src.seqs.len());
+        self.count = src.count;
+        let slot_bytes = std::mem::size_of::<Option<u64>>() as u64;
+        let mut n = 0u64;
+        for i in src.touched.iter() {
+            self.seqs[i] = src.seqs[i];
+            n += slot_bytes;
+        }
+        self.touched.merge(&src.touched);
+        n
     }
 }
 

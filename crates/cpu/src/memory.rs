@@ -397,6 +397,28 @@ impl Memory {
         restored
     }
 
+    /// Copies the chunks `src` wrote since its last restore into `self`,
+    /// mirroring `src`'s dirty bits and tagging the chunks as touched.
+    /// Valid only when `self` equals `src`'s restore source (the lockstep
+    /// fork path): chunks `src` never wrote still hold the shared base's
+    /// bytes on both sides.  Returns the number of bytes copied.
+    pub fn fork_from(&mut self, src: &Self) -> usize {
+        debug_assert_eq!(self.len(), src.len());
+        let mut copied = 0;
+        for c in src.touched.iter() {
+            let range = self.chunk_range(c);
+            copied += range.len();
+            self.bytes[range.clone()].copy_from_slice(&src.bytes[range]);
+            if src.dirty.is_marked(c) {
+                self.dirty.mark(c);
+            } else {
+                self.dirty.clear(c);
+            }
+        }
+        self.touched.merge(&src.touched);
+        copied
+    }
+
     /// Whether the live bytes are identical to the state `delta` captured.
     ///
     /// Chunks that are clean on both sides equal the shared pristine image by

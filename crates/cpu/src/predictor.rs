@@ -13,9 +13,10 @@ use merlin_isa::Rip;
 /// global-history gshare table; the stronger of the two provides the
 /// prediction, loosely mirroring the tournament predictor of Table 1.
 ///
-/// Counters are epoch-tagged ([`TouchedSet`]): one concatenated set covers
-/// the bimodal table (indices `0..n`) and the gshare table (`n..2n`), so a
-/// same-snapshot restore rewrites only counters the suffix bumped (the
+/// Counters are epoch-tagged ([`TouchedSet`]) **per table**: the bimodal and
+/// gshare tables each carry their own set, so a same-snapshot restore and
+/// the fork path rewrite only the counters the suffix actually bumped in
+/// that table, with no index translation across a concatenated space (the
 /// history register is a scalar and always re-assigned).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchPredictor {
@@ -23,7 +24,16 @@ pub struct BranchPredictor {
     gshare: Vec<u8>,
     history: u64,
     history_bits: u32,
-    touched: TouchedSet,
+    bimodal_touched: TouchedSet,
+    gshare_touched: TouchedSet,
+}
+
+/// Per-table counter diff between two predictor snapshots, consumed by the
+/// convergence probe (`StateDiff` keeps one per checkpoint pair).
+#[derive(Debug, Clone)]
+pub(crate) struct PredictorDiff {
+    bimodal: TouchedSet,
+    gshare: TouchedSet,
 }
 
 impl BranchPredictor {
@@ -36,7 +46,8 @@ impl BranchPredictor {
             gshare: vec![2; n],
             history: 0,
             history_bits: 12,
-            touched: TouchedSet::new(2 * n),
+            bimodal_touched: TouchedSet::new(n),
+            gshare_touched: TouchedSet::new(n),
         }
     }
 
@@ -67,32 +78,26 @@ impl BranchPredictor {
     pub fn update(&mut self, rip: Rip, taken: bool) {
         let bi = self.bimodal_index(rip);
         let gi = self.gshare_index(rip);
-        self.touched.mark(bi);
-        self.touched.mark(self.bimodal.len() + gi);
+        self.bimodal_touched.mark(bi);
+        self.gshare_touched.mark(gi);
         self.bimodal[bi] = bump(self.bimodal[bi], taken);
         self.gshare[gi] = bump(self.gshare[gi], taken);
         self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
     }
 
-    fn counter(&self, idx: usize) -> u8 {
-        if idx < self.bimodal.len() {
-            self.bimodal[idx]
-        } else {
-            self.gshare[idx - self.bimodal.len()]
-        }
-    }
-
-    /// Counters (concatenated bimodal + gshare index space) where `self` and
-    /// `other` differ.
-    pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
+    /// Per-table counter diff between `self` and `other`.
+    pub(crate) fn diff(&self, other: &Self) -> PredictorDiff {
         let n = self.bimodal.len();
-        let mut d = TouchedSet::new(2 * n);
+        let mut d = PredictorDiff {
+            bimodal: TouchedSet::new(n),
+            gshare: TouchedSet::new(n),
+        };
         for i in 0..n {
             if self.bimodal[i] != other.bimodal[i] {
-                d.mark(i);
+                d.bimodal.mark(i);
             }
             if self.gshare[i] != other.gshare[i] {
-                d.mark(n + i);
+                d.gshare.mark(i);
             }
         }
         d
@@ -102,12 +107,42 @@ impl BranchPredictor {
     pub(crate) fn touched_matches(&self, g: &Self) -> bool {
         self.history == g.history
             && self.history_bits == g.history_bits
-            && self.touched.iter().all(|i| self.counter(i) == g.counter(i))
+            && self
+                .bimodal_touched
+                .iter()
+                .all(|i| self.bimodal[i] == g.bimodal[i])
+            && self
+                .gshare_touched
+                .iter()
+                .all(|i| self.gshare[i] == g.gshare[i])
     }
 
     /// Convergence probe against `g` given the restore-source diff.
-    pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
-        self.touched.contains_all(diff) && self.touched_matches(g)
+    pub(crate) fn converged_with(&self, g: &Self, diff: &PredictorDiff) -> bool {
+        self.bimodal_touched.contains_all(&diff.bimodal)
+            && self.gshare_touched.contains_all(&diff.gshare)
+            && self.touched_matches(g)
+    }
+
+    /// Copies `src`'s since-restore mutations into `self` (which must equal
+    /// `src`'s restore source), tagging them, so `self` becomes bit-identical
+    /// to `src` at O(touched) cost.  Returns bytes copied.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+        debug_assert_eq!(self.bimodal.len(), src.bimodal.len());
+        self.history = src.history;
+        self.history_bits = src.history_bits;
+        let mut bytes = 0u64;
+        for i in src.bimodal_touched.iter() {
+            self.bimodal[i] = src.bimodal[i];
+            self.bimodal_touched.mark(i);
+            bytes += 1;
+        }
+        for i in src.gshare_touched.iter() {
+            self.gshare[i] = src.gshare[i];
+            self.gshare_touched.mark(i);
+            bytes += 1;
+        }
+        bytes
     }
 }
 
@@ -117,21 +152,21 @@ impl Restorable for BranchPredictor {
         self.history = snap.history;
         self.history_bits = snap.history_bits;
         if incremental {
-            let n = self.bimodal.len();
             let mut bytes = 0u64;
-            for i in self.touched.drain() {
-                if i < n {
-                    self.bimodal[i] = snap.bimodal[i];
-                } else {
-                    self.gshare[i - n] = snap.gshare[i - n];
-                }
+            for i in self.bimodal_touched.drain() {
+                self.bimodal[i] = snap.bimodal[i];
+                bytes += 1;
+            }
+            for i in self.gshare_touched.drain() {
+                self.gshare[i] = snap.gshare[i];
                 bytes += 1;
             }
             bytes
         } else {
             self.bimodal.copy_from_slice(&snap.bimodal);
             self.gshare.copy_from_slice(&snap.gshare);
-            self.touched.clear_all();
+            self.bimodal_touched.clear_all();
+            self.gshare_touched.clear_all();
             (self.bimodal.len() + self.gshare.len()) as u64
         }
     }
@@ -150,13 +185,14 @@ impl BinCode for BranchPredictor {
         if bimodal.is_empty() || !bimodal.len().is_power_of_two() || gshare.len() != bimodal.len() {
             return Err(DecodeError::Invalid("predictor table shape"));
         }
-        let touched = TouchedSet::new(bimodal.len() + gshare.len());
+        let n = bimodal.len();
         Ok(BranchPredictor {
             bimodal,
             gshare,
             history: BinCode::decode(r)?,
             history_bits: BinCode::decode(r)?,
-            touched,
+            bimodal_touched: TouchedSet::new(n),
+            gshare_touched: TouchedSet::new(n),
         })
     }
 }
@@ -234,6 +270,20 @@ impl Btb {
     /// Convergence probe against `g` given the restore-source diff.
     pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
         self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+
+    /// Copies `src`'s since-restore mutations into `self` (which must equal
+    /// `src`'s restore source), tagging them.  Returns bytes copied.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+        debug_assert_eq!(self.entries.len(), src.entries.len());
+        let entry_bytes = std::mem::size_of::<Option<(Rip, Rip)>>() as u64;
+        let mut bytes = 0u64;
+        for i in src.touched.iter() {
+            self.entries[i] = src.entries[i];
+            self.touched.mark(i);
+            bytes += entry_bytes;
+        }
+        bytes
     }
 }
 

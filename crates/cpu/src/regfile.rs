@@ -4,7 +4,7 @@
 //! tags the touched entry, so same-snapshot restores rewrite only what the
 //! suffix changed and the convergence probe compares only tagged entries.
 
-use crate::touched::{restore_deque, Restorable, TouchedFlag, TouchedSet};
+use crate::touched::{fork_deque, restore_deque, Restorable, TouchedFlag, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{ArchReg, NUM_ARCH_REGS};
 use std::collections::VecDeque;
@@ -110,6 +110,20 @@ impl PhysRegFile {
     pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
         self.touched.contains_all(diff) && self.touched_matches(g)
     }
+
+    /// Copies `src`'s since-restore mutations into `self` (which must equal
+    /// `src`'s restore source), tagging them.  Returns bytes copied.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+        debug_assert_eq!(self.values.len(), src.values.len());
+        let mut n = 0u64;
+        for i in src.touched.iter() {
+            self.values[i] = src.values[i];
+            self.ready[i] = src.ready[i];
+            n += PRF_ENTRY_BYTES;
+        }
+        self.touched.merge(&src.touched);
+        n
+    }
 }
 
 impl Restorable for PhysRegFile {
@@ -196,6 +210,12 @@ impl FreeList {
     pub(crate) fn is_touched(&self) -> bool {
         self.touched.is_set()
     }
+
+    /// Queue-shaped fork: copied wholesale iff `src` diverged from the
+    /// shared restore base.  Returns bytes copied.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+        fork_deque(&mut self.free, &src.free, &src.touched, &mut self.touched)
+    }
 }
 
 impl Restorable for FreeList {
@@ -273,6 +293,18 @@ impl RenameTable {
     /// Convergence probe against `g` given the restore-source diff.
     pub(crate) fn converged_with(&self, g: &Self, diff: &TouchedSet) -> bool {
         self.touched.contains_all(diff) && self.touched_matches(g)
+    }
+
+    /// Copies `src`'s since-restore mutations into `self` (which must equal
+    /// `src`'s restore source), tagging them.  Returns bytes copied.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+        let mut n = 0u64;
+        for i in src.touched.iter() {
+            self.map[i] = src.map[i];
+            n += std::mem::size_of::<PhysReg>() as u64;
+        }
+        self.touched.merge(&src.touched);
+        n
     }
 }
 

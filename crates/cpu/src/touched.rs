@@ -96,6 +96,16 @@ impl TouchedSet {
             .all(|(s, o)| o & !s == 0)
     }
 
+    /// Tags every entry tagged in `other` (`self ∪= other`) — the
+    /// word-parallel union the fork path uses to inherit the source core's
+    /// since-restore tags in one pass.
+    pub fn merge(&mut self, other: &TouchedSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (s, o) in self.words.iter_mut().zip(&other.words) {
+            *s |= o;
+        }
+    }
+
     /// Iterates the tagged entry indices in ascending order without
     /// clearing them (the convergence probe must not disturb the tags).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
@@ -209,6 +219,27 @@ pub fn restore_deque<T: Clone>(
     (snap.len() * std::mem::size_of::<T>()) as u64
 }
 
+/// Copies a queue from a lockstep fork source: when the source's tag says it
+/// diverged from the shared restore base, the live queue is rewritten
+/// element-wise (reusing its allocation) and its own tag set; an untouched
+/// source queue still equals the base — and so does `live` — so the copy is
+/// skipped.  Returns bytes copied.
+pub fn fork_deque<T: Clone>(
+    live: &mut VecDeque<T>,
+    src: &VecDeque<T>,
+    src_tag: &TouchedFlag,
+    live_tag: &mut TouchedFlag,
+) -> u64 {
+    if !src_tag.is_set() {
+        debug_assert_eq!(live.len(), src.len());
+        return 0;
+    }
+    live.clear();
+    live.extend(src.iter().cloned());
+    live_tag.mark();
+    (src.len() * std::mem::size_of::<T>()) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +278,39 @@ mod tests {
         assert!(a.contains_all(&b));
         a.clear_all();
         assert!(!a.any());
+    }
+
+    #[test]
+    fn merge_unions_tags_word_parallel() {
+        let mut a = TouchedSet::new(130);
+        let mut b = TouchedSet::new(130);
+        a.mark(1);
+        b.mark(64);
+        b.mark(129);
+        a.merge(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 64, 129]);
+        assert!(a.contains_all(&b));
+        // `other` is untouched by the union.
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn fork_deque_copies_only_diverged_queues() {
+        let base: VecDeque<u32> = (0..4).collect();
+        let mut src = base.clone();
+        let src_tag = TouchedFlag::default();
+        let mut live = base.clone();
+        let mut live_tag = TouchedFlag::default();
+        // Source still equals the shared base: nothing to copy.
+        assert_eq!(fork_deque(&mut live, &src, &src_tag, &mut live_tag), 0);
+        assert!(!live_tag.is_set());
+        // A diverged source is copied wholesale and the fork tagged.
+        src.push_back(9);
+        let mut src_tag = TouchedFlag::default();
+        src_tag.mark();
+        assert_eq!(fork_deque(&mut live, &src, &src_tag, &mut live_tag), 5 * 4);
+        assert_eq!(live, src);
+        assert!(live_tag.is_set());
     }
 
     #[test]

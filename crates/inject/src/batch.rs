@@ -1,0 +1,457 @@
+//! Fork-on-divergence batched suffix simulation: one golden replay per
+//! checkpoint range, faulty cores forked lazily from the live golden state,
+//! probe-driven retirement and fault-equivalence merging.
+//!
+//! # The inversion
+//!
+//! The per-fault engine ([`run_fault_from_checkpoint`]) restores a golden
+//! snapshot *per fault* and replays the fault-free prefix from the restore
+//! point to the injection cycle before any faulty behaviour exists.  For a
+//! range holding `k` faults that prefix replay is paid `k` times, and every
+//! replayed cycle is — by the determinism of the core — bit-identical to
+//! the golden run the checkpoint was taken from.
+//!
+//! The batched driver inverts the loop.  Per checkpoint range it:
+//!
+//! 1. restores **one golden core** from the range's shared snapshot and
+//!    drives it forward exactly once, stopping at each injection cycle
+//!    (`golden_replay_cycles`),
+//! 2. **forks** a faulty core at each fault's injection cycle: a pool core
+//!    is incrementally restored from the same snapshot, then
+//!    [`Cpu::fork_from`] copies only the golden core's
+//!    *touched-since-restore* entries — O(divergence), not O(state) —
+//!    and the fault is injected,
+//! 3. **merges** forks spawned at the same cycle whose complete states
+//!    collide (fault equivalence — in practice, same-site duplicate
+//!    faults): the later fork adopts the earlier one's eventual outcome
+//!    (`forks_merged`) without simulating.  Equal state at equal cycle
+//!    implies identical futures, so the shared classification is exact,
+//!    not approximate.  A cheap [`Cpu::merge_fingerprint`] prefilter
+//!    keeps the exact comparison off the common path,
+//! 4. runs each surviving fork **to retirement on the spot** — the same
+//!    boundary-probe loop as the per-fault engine, verbatim: at each
+//!    retained checkpoint boundary the fork crosses, its state is compared
+//!    against the golden checkpoint through the memoised golden-to-golden
+//!    diff ([`Cpu::matches_state_with_diff`]); a fork that re-converged
+//!    with the golden stream is retired Masked immediately
+//!    (`forks_retired`), anything else runs to halt or timeout and is
+//!    classified against the golden result.  Running forks back-to-back
+//!    (instead of interleaving them cycle-by-cycle) keeps exactly one
+//!    core's working set hot.
+//!
+//! # Determinism
+//!
+//! A fork spawned while the golden core sits at the fault's injection
+//! cycle is bit-identical to a per-fault core restored from the same
+//! snapshot and stepped fault-free to that cycle, and both apply the fault
+//! at the same step.  From there the fork's simulation loop *is* the
+//! per-fault engine's loop, so batched campaigns produce byte-identical
+//! [`CampaignResult::outcomes`](crate::CampaignResult::outcomes) to the
+//! per-fault path at any thread count — the per-fault engine stays wired
+//! in as the oracle and `tests/batched_determinism.rs` pins the
+//! equivalence.  What changes is only the work: the fault-free prefix
+//! replay is paid once per range instead of once per fault.
+//!
+//! # Failure containment
+//!
+//! Every golden-replay segment, fork spawn, merge comparison and fork run
+//! executes under its own `catch_unwind`.  A panic quarantines *only the
+//! panicking core* (its next restore is a forced full restore), returns
+//! every other core to the pool, and abandons the batched attempt; the
+//! scheduler then re-runs the whole range inline on the per-fault path,
+//! whose own per-fault containment classifies a deterministically
+//! panicking fault as [`Assert`](crate::FaultEffect::Assert) exactly as it
+//! always did.
+//!
+//! [`run_fault_from_checkpoint`]: crate::campaign::run_fault_from_checkpoint
+
+use crate::campaign::{DiffCache, FaultRun, GoldenCheckpoints, GoldenRun};
+use crate::classify::{classify, FaultEffect};
+use merlin_cpu::{Cpu, CpuConfig, FaultSpec, NullProbe, RestoreStats, RestoredBytes};
+use merlin_isa::{DecodedProgram, Program};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// How a campaign simulates the faults of one checkpoint range.
+///
+/// Selected per session via
+/// [`SessionBuilder::batching`](crate::SessionBuilder::batching) or per
+/// scheduler via
+/// [`CampaignScheduler::with_batching`](crate::CampaignScheduler::with_batching).
+/// Outcomes are byte-identical across both modes (and across thread
+/// counts); only [`ScheduleStats`](crate::ScheduleStats) differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchingPolicy {
+    /// One restore and one fault-free prefix replay per fault — the
+    /// original engine, kept as the differential oracle for the batched
+    /// path.
+    #[default]
+    PerFault,
+    /// One golden replay per checkpoint range; faulty cores are forked
+    /// from the live golden core at their injection cycles, merged on
+    /// state collision and retired on re-convergence.  Falls back to
+    /// [`BatchingPolicy::PerFault`] per range on any panic and on
+    /// from-scratch campaigns (which have no checkpoint store).
+    Batched,
+}
+
+/// Per-worker pool of reusable cores for the batched driver: the golden
+/// replay core plus one per fork spawned at the same injection cycle.
+/// Retired forks return their cores here, so a worker needs at most
+/// `max_same_cycle_faults + 1` core constructions over the whole campaign.
+pub(crate) struct ForkPool {
+    program: Arc<Program>,
+    decoded: Arc<DecodedProgram>,
+    cfg: Arc<CpuConfig>,
+    idle: Vec<Cpu>,
+}
+
+impl ForkPool {
+    pub(crate) fn new(
+        program: &Arc<Program>,
+        decoded: &Arc<DecodedProgram>,
+        cfg: &Arc<CpuConfig>,
+    ) -> Self {
+        ForkPool {
+            program: Arc::clone(program),
+            decoded: Arc::clone(decoded),
+            cfg: Arc::clone(cfg),
+            idle: Vec::new(),
+        }
+    }
+
+    /// Pops an idle core, constructing one if the pool is dry.  `None`
+    /// means the configuration cannot build a core at all; the caller
+    /// aborts to the per-fault path, which classifies that case.
+    pub(crate) fn take(&mut self) -> Option<Cpu> {
+        self.idle.pop().or_else(|| {
+            Cpu::with_predecoded(
+                Arc::clone(&self.program),
+                Arc::clone(&self.decoded),
+                (*self.cfg).clone(),
+            )
+            .ok()
+        })
+    }
+
+    pub(crate) fn put(&mut self, cpu: Cpu) {
+        self.idle.push(cpu);
+    }
+
+    /// Drops every pooled core (range retries start from fresh cores).
+    pub(crate) fn clear(&mut self) {
+        self.idle.clear();
+    }
+}
+
+/// Execution tallies of one successful batched range, merged into the
+/// worker's stats by the scheduler.  The golden core's single restore is
+/// reported here (it belongs to the range, not to any fault).
+#[derive(Default)]
+pub(crate) struct BatchStats {
+    pub forks_spawned: u64,
+    pub forks_retired: u64,
+    pub forks_merged: u64,
+    /// Cycles the shared golden core replayed for this range — the work
+    /// the fork-on-divergence inversion pays *once* instead of per fault
+    /// (kept out of `suffix_cycles`, which counts faulty-core cycles
+    /// only).
+    pub golden_replay_cycles: u64,
+    pub golden_restores: u64,
+    pub golden_full_restores: u64,
+    pub golden_incremental_restores: u64,
+    pub golden_poisoned_restores: u64,
+    pub golden_restored_bytes: RestoredBytes,
+}
+
+/// A fork whose outcome was adopted from its merge representative; only
+/// its per-fault bookkeeping remains to be attached once the
+/// representative's effect is known.
+struct MergedFork {
+    idx: usize,
+    restore: RestoreStats,
+    fork_bytes: RestoredBytes,
+}
+
+/// One faulty core forked from the golden replay, fault injected, not yet
+/// simulated.
+struct Fork {
+    idx: usize,
+    spawn_cycle: u64,
+    restore: RestoreStats,
+    fork_bytes: RestoredBytes,
+    core: Cpu,
+    /// Same-cycle forks merged into this one; they share its eventual
+    /// outcome.
+    followers: Vec<MergedFork>,
+}
+
+fn fault_run(
+    effect: FaultEffect,
+    early_exit: bool,
+    restore: RestoreStats,
+    fork_bytes: RestoredBytes,
+    suffix_cycles: u64,
+) -> FaultRun {
+    let mut bytes = restore.bytes;
+    bytes += fork_bytes;
+    FaultRun {
+        effect,
+        early_exit,
+        restored: true,
+        incremental: restore.incremental,
+        bytes,
+        suffix_cycles,
+        skipped_site: false,
+        from_quarantine: restore.from_quarantine,
+    }
+}
+
+/// Finalises a fork: returns its core to the pool and emits its outcome
+/// plus one outcome per merged follower, all sharing `effect` (followers
+/// simulated zero cycles — that is the merge win).
+fn retire_fork(
+    fork: Fork,
+    effect: FaultEffect,
+    early_exit: bool,
+    suffix_cycles: u64,
+    pool: &mut ForkPool,
+    out: &mut Vec<(usize, FaultRun)>,
+) {
+    let Fork {
+        idx,
+        restore,
+        fork_bytes,
+        core,
+        followers,
+        ..
+    } = fork;
+    pool.put(core);
+    out.push((
+        idx,
+        fault_run(effect, early_exit, restore, fork_bytes, suffix_cycles),
+    ));
+    for f in followers {
+        out.push((
+            f.idx,
+            fault_run(effect, early_exit, f.restore, f.fork_bytes, 0),
+        ));
+    }
+}
+
+/// Returns every surviving core to the pool, with the panicking core (if
+/// any) quarantined and pushed last — so the per-fault fallback picks it
+/// up first and its forced full restore is exercised (and visible as a
+/// poisoned restore) instead of the core rotting at the bottom of the
+/// pool.
+fn abort_to_pool(
+    pool: &mut ForkPool,
+    golden_core: Option<Cpu>,
+    pending: Vec<Fork>,
+    bad: Option<Cpu>,
+) {
+    for f in pending {
+        pool.put(f.core);
+    }
+    if let Some(g) = golden_core {
+        pool.put(g);
+    }
+    if let Some(mut b) = bad {
+        b.quarantine();
+        pool.put(b);
+    }
+}
+
+/// Runs one checkpoint range's simulated faults through the batched
+/// driver.  `sim` holds the fault-list indices that actually reach a core
+/// (statically-pruned and absent-site faults are resolved by the caller),
+/// cycle-sorted; every fault shares the range's restore snapshot by the
+/// scheduler's bucketing.  Returns `None` if any operation panicked or a
+/// core could not be built — the panicking core is quarantined, every
+/// other core is back in the pool, and the caller re-runs the whole range
+/// on the per-fault path.
+pub(crate) fn run_batched_range(
+    pool: &mut ForkPool,
+    golden: &GoldenRun,
+    ckpts: &GoldenCheckpoints,
+    boundaries: &[u64],
+    diffs: &mut DiffCache,
+    faults: &[FaultSpec],
+    sim: &[usize],
+) -> Option<(Vec<(usize, FaultRun)>, BatchStats)> {
+    let mut stats = BatchStats::default();
+    let mut out: Vec<(usize, FaultRun)> = Vec::with_capacity(sim.len());
+    if sim.is_empty() {
+        return Some((out, stats));
+    }
+    let state = ckpts.store.latest_at_or_before(faults[sim[0]].cycle)?;
+    let restore_cycle = state.cycle();
+    let timeout = golden.timeout_cycles;
+    let early_exit = ckpts.policy.early_exit;
+
+    let mut golden_core = pool.take()?;
+    let golden_restore = match catch_unwind(AssertUnwindSafe(|| golden_core.restore_from(state))) {
+        Ok(r) => r,
+        Err(_) => {
+            abort_to_pool(pool, None, Vec::new(), Some(golden_core));
+            return None;
+        }
+    };
+    stats.golden_restores = 1;
+    stats.golden_full_restores = u64::from(!golden_restore.incremental);
+    stats.golden_incremental_restores = u64::from(golden_restore.incremental);
+    stats.golden_poisoned_restores = u64::from(golden_restore.from_quarantine);
+    stats.golden_restored_bytes = golden_restore.bytes;
+
+    let mut next_sim = 0usize;
+    while next_sim < sim.len() {
+        // Replay the golden core up to the next injection cycle — never
+        // past it, so the fork sees exactly the state a per-fault core has
+        // after replaying to that cycle.  Once the golden run halts its
+        // cycle freezes and all remaining forks clone the frozen final
+        // state: their faults would never fire on the per-fault path
+        // either, and the cloned cores finalise immediately with the
+        // golden result.
+        let target = faults[sim[next_sim]].cycle;
+        if !golden_core.is_finished() && golden_core.cycle() < target {
+            let stepped = catch_unwind(AssertUnwindSafe(|| {
+                let mut n = 0u64;
+                while !golden_core.is_finished() && golden_core.cycle() < target {
+                    golden_core.step(&mut NullProbe);
+                    n += 1;
+                }
+                n
+            }));
+            match stepped {
+                Ok(n) => stats.golden_replay_cycles += n,
+                Err(_) => {
+                    abort_to_pool(pool, None, Vec::new(), Some(golden_core));
+                    return None;
+                }
+            }
+        }
+
+        // Spawn the cohort of faults due at this golden state, merging
+        // forks whose complete post-spawn states collide (in practice:
+        // duplicate same-site faults) before any of them simulates.
+        let cycle = golden_core.cycle();
+        let mut cohort: Vec<Fork> = Vec::new();
+        while next_sim < sim.len()
+            && (golden_core.is_finished() || faults[sim[next_sim]].cycle <= cycle)
+        {
+            let idx = sim[next_sim];
+            let fault = faults[idx];
+            next_sim += 1;
+            let Some(mut core) = pool.take() else {
+                abort_to_pool(pool, Some(golden_core), cohort, None);
+                return None;
+            };
+            let forked = catch_unwind(AssertUnwindSafe(|| {
+                crate::chaos::maybe_panic_fault(fault.cycle);
+                let restore = core.restore_from(state);
+                let fork_bytes = core.fork_from(&golden_core);
+                (restore, fork_bytes)
+            }));
+            let (restore, fork_bytes) = match forked {
+                Ok(r) => r,
+                Err(_) => {
+                    abort_to_pool(pool, Some(golden_core), cohort, Some(core));
+                    return None;
+                }
+            };
+            if core.inject_fault(fault).is_err() {
+                // Absent fault site: same resolution as the per-fault
+                // engine.
+                out.push((idx, FaultRun::skipped(true, Some(restore))));
+                pool.put(core);
+                continue;
+            }
+            stats.forks_spawned += 1;
+            let merged = catch_unwind(AssertUnwindSafe(|| {
+                let fp = core.merge_fingerprint();
+                cohort.iter().position(|rep| {
+                    rep.core.merge_fingerprint() == fp && rep.core.matches_state(&core.snapshot())
+                })
+            }));
+            match merged {
+                Ok(Some(k)) => {
+                    pool.put(core);
+                    stats.forks_merged += 1;
+                    cohort[k].followers.push(MergedFork {
+                        idx,
+                        restore,
+                        fork_bytes,
+                    });
+                }
+                Ok(None) => cohort.push(Fork {
+                    idx,
+                    spawn_cycle: cycle,
+                    restore,
+                    fork_bytes,
+                    core,
+                    followers: Vec::new(),
+                }),
+                Err(_) => {
+                    // The comparison touched several cores and left no
+                    // single culprit; return everything and let the
+                    // per-fault path contain the fault.
+                    pool.put(core);
+                    abort_to_pool(pool, Some(golden_core), cohort, None);
+                    return None;
+                }
+            }
+        }
+
+        // Run each representative to retirement, back-to-back (one hot
+        // core at a time).  This loop is the per-fault engine's
+        // simulation loop verbatim, minus the prefix replay it no longer
+        // needs: boundary convergence probes through the memoised
+        // golden-to-golden diff, then a final run to halt or timeout.
+        while !cohort.is_empty() {
+            let mut fork = cohort.remove(0);
+            let fault_cycle = faults[fork.idx].cycle;
+            let ran = catch_unwind(AssertUnwindSafe(|| {
+                let mut probe = NullProbe;
+                let mut next = boundaries.partition_point(|&c| c <= fault_cycle);
+                while !fork.core.is_finished() && fork.core.cycle() < timeout {
+                    if early_exit && next < boundaries.len() {
+                        if boundaries[next] < fork.core.cycle() {
+                            next += 1;
+                        } else if boundaries[next] == fork.core.cycle() {
+                            if let Some(g) = ckpts.store.at_cycle(fork.core.cycle()) {
+                                let diff = diffs
+                                    .entry((restore_cycle, fork.core.cycle()))
+                                    .or_insert_with(|| state.diff_to(g));
+                                if fork.core.matches_state_with_diff(g, diff) {
+                                    return (
+                                        FaultEffect::Masked,
+                                        true,
+                                        fork.core.cycle() - fork.spawn_cycle,
+                                    );
+                                }
+                            }
+                            next += 1;
+                        }
+                    }
+                    fork.core.step(&mut probe);
+                }
+                let result = fork.core.run(timeout, &mut probe);
+                let suffix = result.cycles.saturating_sub(fork.spawn_cycle);
+                (classify(&golden.result, &result), false, suffix)
+            }));
+            match ran {
+                Ok((effect, early, suffix)) => {
+                    stats.forks_retired += u64::from(early);
+                    retire_fork(fork, effect, early, suffix, pool, &mut out);
+                }
+                Err(_) => {
+                    abort_to_pool(pool, Some(golden_core), cohort, Some(fork.core));
+                    return None;
+                }
+            }
+        }
+    }
+    pool.put(golden_core);
+    Some((out, stats))
+}

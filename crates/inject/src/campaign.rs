@@ -252,7 +252,7 @@ pub(crate) struct FaultRun {
 impl FaultRun {
     /// A fault resolved without simulating: the site does not exist in this
     /// configuration, so the effect is Masked by definition.
-    fn skipped(restored: bool, restore: Option<merlin_cpu::RestoreStats>) -> FaultRun {
+    pub(crate) fn skipped(restored: bool, restore: Option<merlin_cpu::RestoreStats>) -> FaultRun {
         let restore = restore.unwrap_or(merlin_cpu::RestoreStats {
             incremental: false,
             from_quarantine: false,

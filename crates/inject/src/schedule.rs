@@ -39,6 +39,7 @@
 //! [`CampaignResult::outcomes`] is byte-identical across thread counts and
 //! against the from-scratch path.  Only [`ScheduleStats`] varies.
 
+use crate::batch::{run_batched_range, BatchingPolicy, ForkPool};
 use crate::campaign::{
     run_fault_from_checkpoint, run_single_fault_shared, CampaignResult, DiffCache, FaultOutcome,
     GoldenCheckpoints, GoldenRun,
@@ -121,6 +122,31 @@ pub struct ScheduleStats {
     /// (see `merlin_analyze::ProgramAnalysis::rf_entry_statically_dead`).
     /// Zero work is paid for them — no restore, no suffix cycles.
     pub static_prunes: u64,
+    /// Ranges executed by the fork-on-divergence batched driver (always 0
+    /// under [`BatchingPolicy::PerFault`](crate::BatchingPolicy) and on
+    /// the from-scratch path).
+    pub batched_ranges: u64,
+    /// Faulty cores forked from a live golden replay by the batched
+    /// driver (one per simulated fault in a batched range).
+    pub forks_spawned: u64,
+    /// Forks retired early by the boundary re-convergence probe — the
+    /// batched driver's share of [`CampaignResult::early_exits`]
+    /// (merged followers of a retired fork are counted under
+    /// [`ScheduleStats::forks_merged`] instead).
+    ///
+    /// [`CampaignResult::early_exits`]: crate::CampaignResult::early_exits
+    pub forks_retired: u64,
+    /// Forks whose complete post-injection state collided with an
+    /// earlier live fork's (fault equivalence): they adopted that fork's
+    /// eventual outcome and released their core without simulating their
+    /// own suffix.
+    pub forks_merged: u64,
+    /// Cycles the batched driver's shared golden cores replayed — the
+    /// per-range prefix work paid *once* instead of per fault.  Kept
+    /// separate from [`ScheduleStats::suffix_cycles`], which counts
+    /// faulty-core cycles only, so batched and per-fault suffix work
+    /// stay directly comparable.
+    pub golden_replay_cycles: u64,
 }
 
 /// Per-worker tallies, merged into [`ScheduleStats`] after the join.  Also
@@ -141,6 +167,11 @@ struct WorkerStats {
     range_retries: u64,
     skipped_sites: u64,
     static_prunes: u64,
+    batched_ranges: u64,
+    forks_spawned: u64,
+    forks_retired: u64,
+    forks_merged: u64,
+    golden_replay_cycles: u64,
 }
 
 impl WorkerStats {
@@ -158,6 +189,11 @@ impl WorkerStats {
         self.range_retries += other.range_retries;
         self.skipped_sites += other.skipped_sites;
         self.static_prunes += other.static_prunes;
+        self.batched_ranges += other.batched_ranges;
+        self.forks_spawned += other.forks_spawned;
+        self.forks_retired += other.forks_retired;
+        self.forks_merged += other.forks_merged;
+        self.golden_replay_cycles += other.golden_replay_cycles;
     }
 }
 
@@ -188,6 +224,10 @@ pub struct CampaignScheduler<'a> {
     /// one: register-file faults into statically-dead entries are then
     /// classified Masked without touching a core.
     analysis: Option<&'a ProgramAnalysis>,
+    /// How each range's faults are simulated: per-fault restore (the
+    /// oracle) or the fork-on-divergence batched driver (see
+    /// [`crate::batch`](crate::BatchingPolicy)).
+    batching: BatchingPolicy,
 }
 
 impl<'a> CampaignScheduler<'a> {
@@ -313,6 +353,7 @@ impl<'a> CampaignScheduler<'a> {
             buckets,
             splits,
             analysis: None,
+            batching: BatchingPolicy::default(),
         }
     }
 
@@ -327,6 +368,18 @@ impl<'a> CampaignScheduler<'a> {
     /// [`statically dead`]: ProgramAnalysis::rf_entry_statically_dead
     pub fn with_static_analysis(mut self, analysis: &'a ProgramAnalysis) -> Self {
         self.analysis = Some(analysis);
+        self
+    }
+
+    /// Selects how each range's faults are simulated.
+    /// [`BatchingPolicy::Batched`] drives one golden core per checkpoint
+    /// range and forks faulty cores at their injection cycles instead of
+    /// restoring and replaying the fault-free prefix per fault; outcomes
+    /// are byte-identical to [`BatchingPolicy::PerFault`] at any thread
+    /// count (only [`ScheduleStats`] differs).  Ignored on the
+    /// from-scratch path, which has no checkpoint store to batch over.
+    pub fn with_batching(mut self, batching: BatchingPolicy) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -345,6 +398,191 @@ impl<'a> CampaignScheduler<'a> {
     /// run has no usable store, or checkpointing was explicitly bypassed).
     pub fn uses_checkpoints(&self) -> bool {
         self.ckpts.is_some()
+    }
+
+    /// Executes one range on the per-fault path: restore, replay to the
+    /// injection cycle and simulate the suffix, once per fault.  This is
+    /// both the [`BatchingPolicy::PerFault`] engine and the fallback a
+    /// batched range aborts to.
+    fn run_bucket_per_fault(
+        &self,
+        bucket: &[usize],
+        cpu: &mut Option<Cpu>,
+        diffs: &mut DiffCache,
+        local: &mut Vec<(usize, FaultOutcome)>,
+        delta: &mut WorkerStats,
+    ) {
+        for &idx in bucket {
+            let fault = self.faults[idx];
+            // Static prune: a fault into a provably-dead register-file
+            // entry is Masked by construction — skip the restore and the
+            // suffix entirely.
+            if let Some(analysis) = self.analysis {
+                if fault.structure == Structure::RegisterFile
+                    && analysis.rf_entry_statically_dead(fault.entry)
+                {
+                    delta.static_prunes += 1;
+                    local.push((
+                        idx,
+                        FaultOutcome {
+                            fault,
+                            effect: FaultEffect::Masked,
+                        },
+                    ));
+                    continue;
+                }
+            }
+            let run = match &self.ckpts {
+                Some(ckpts) => {
+                    // One core per worker, restored per fault.
+                    if cpu.is_none() {
+                        *cpu = Cpu::with_predecoded(
+                            Arc::clone(&self.program),
+                            Arc::clone(&self.decoded),
+                            (*self.cfg).clone(),
+                        )
+                        .ok();
+                    }
+                    match cpu.as_mut() {
+                        Some(core) => run_fault_from_checkpoint(
+                            core,
+                            self.golden,
+                            ckpts,
+                            &self.boundaries,
+                            diffs,
+                            fault,
+                        ),
+                        None => {
+                            delta.asserts += 1;
+                            local.push((
+                                idx,
+                                FaultOutcome {
+                                    fault,
+                                    effect: FaultEffect::Assert,
+                                },
+                            ));
+                            continue;
+                        }
+                    }
+                }
+                None => run_single_fault_shared(
+                    &self.program,
+                    &self.decoded,
+                    &self.cfg,
+                    self.golden,
+                    fault,
+                ),
+            };
+            delta.restores += u64::from(run.restored);
+            delta.full_restores += u64::from(run.restored && !run.incremental);
+            delta.incremental_restores += u64::from(run.restored && run.incremental);
+            delta.restored_bytes += run.bytes.total();
+            delta.restored_breakdown += run.bytes;
+            delta.early_exits += u64::from(run.early_exit);
+            delta.suffix_cycles += run.suffix_cycles;
+            delta.asserts += u64::from(run.effect == FaultEffect::Assert);
+            delta.poisoned_restores += u64::from(run.from_quarantine);
+            delta.skipped_sites += u64::from(run.skipped_site);
+            local.push((
+                idx,
+                FaultOutcome {
+                    fault,
+                    effect: run.effect,
+                },
+            ));
+        }
+    }
+
+    /// Executes one range through the fork-on-divergence batched driver
+    /// (see [`crate::batch`](crate::BatchingPolicy)).  Statically-pruned
+    /// and absent-site faults are resolved here without a core, exactly
+    /// as on the per-fault path; the rest are handed to the driver as
+    /// the cycle-sorted simulation list.  Returns `None` when the driver
+    /// aborted (a panic or an unconstructible core), in which case
+    /// nothing is committed and the caller re-runs the whole range per
+    /// fault.
+    fn run_bucket_batched(
+        &self,
+        bucket: &[usize],
+        ckpts: &GoldenCheckpoints,
+        pool: &mut ForkPool,
+        diffs: &mut DiffCache,
+    ) -> Option<(Vec<(usize, FaultOutcome)>, WorkerStats)> {
+        let mut local: Vec<(usize, FaultOutcome)> = Vec::with_capacity(bucket.len());
+        let mut delta = WorkerStats::default();
+        let mut sim: Vec<usize> = Vec::with_capacity(bucket.len());
+        for &idx in bucket {
+            let fault = self.faults[idx];
+            if let Some(analysis) = self.analysis {
+                if fault.structure == Structure::RegisterFile
+                    && analysis.rf_entry_statically_dead(fault.entry)
+                {
+                    delta.static_prunes += 1;
+                    local.push((
+                        idx,
+                        FaultOutcome {
+                            fault,
+                            effect: FaultEffect::Masked,
+                        },
+                    ));
+                    continue;
+                }
+            }
+            if fault.entry >= self.cfg.structure_entries(fault.structure) {
+                // Same semantics as the per-fault engine's site check: an
+                // absent fault site cannot affect this configuration.
+                delta.skipped_sites += 1;
+                local.push((
+                    idx,
+                    FaultOutcome {
+                        fault,
+                        effect: FaultEffect::Masked,
+                    },
+                ));
+                continue;
+            }
+            sim.push(idx);
+        }
+        let (runs, bstats) = run_batched_range(
+            pool,
+            self.golden,
+            ckpts,
+            &self.boundaries,
+            diffs,
+            self.faults,
+            &sim,
+        )?;
+        delta.batched_ranges += 1;
+        delta.forks_spawned += bstats.forks_spawned;
+        delta.forks_retired += bstats.forks_retired;
+        delta.forks_merged += bstats.forks_merged;
+        delta.golden_replay_cycles += bstats.golden_replay_cycles;
+        delta.restores += bstats.golden_restores;
+        delta.full_restores += bstats.golden_full_restores;
+        delta.incremental_restores += bstats.golden_incremental_restores;
+        delta.poisoned_restores += bstats.golden_poisoned_restores;
+        delta.restored_bytes += bstats.golden_restored_bytes.total();
+        delta.restored_breakdown += bstats.golden_restored_bytes;
+        for (idx, run) in runs {
+            delta.restores += u64::from(run.restored);
+            delta.full_restores += u64::from(run.restored && !run.incremental);
+            delta.incremental_restores += u64::from(run.restored && run.incremental);
+            delta.restored_bytes += run.bytes.total();
+            delta.restored_breakdown += run.bytes;
+            delta.early_exits += u64::from(run.early_exit);
+            delta.suffix_cycles += run.suffix_cycles;
+            delta.asserts += u64::from(run.effect == FaultEffect::Assert);
+            delta.poisoned_restores += u64::from(run.from_quarantine);
+            delta.skipped_sites += u64::from(run.skipped_site);
+            local.push((
+                idx,
+                FaultOutcome {
+                    fault: self.faults[idx],
+                    effect: run.effect,
+                },
+            ));
+        }
+        Some((local, delta))
     }
 
     /// Runs the campaign to completion and aggregates the result.
@@ -383,6 +621,9 @@ impl<'a> CampaignScheduler<'a> {
         };
         let run_worker = |collected: &mut Vec<(usize, FaultOutcome)>, stats: &mut WorkerStats| {
             let mut cpu: Option<Cpu> = None;
+            // Core pool for the batched driver (golden replay core + one
+            // per live fork); empty and unused under PerFault.
+            let mut pool = ForkPool::new(&self.program, &self.decoded, &self.cfg);
             // Golden-to-golden diffs never depend on the core's state, so the
             // cache survives retries and core replacement.
             let mut diffs = DiffCache::new();
@@ -414,8 +655,9 @@ impl<'a> CampaignScheduler<'a> {
                     }
                 } else {
                     // The issue under retry may have been the core itself:
-                    // retries always start from a fresh core.
+                    // retries always start from fresh cores.
                     cpu = None;
+                    pool.clear();
                 }
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     crate::chaos::maybe_panic_range(bucket.iter().map(|&i| self.faults[i].cycle));
@@ -424,84 +666,40 @@ impl<'a> CampaignScheduler<'a> {
                     // range.
                     let mut local: Vec<(usize, FaultOutcome)> = Vec::with_capacity(bucket.len());
                     let mut delta = WorkerStats::default();
-                    for &idx in bucket {
-                        let fault = self.faults[idx];
-                        // Static prune: a fault into a provably-dead
-                        // register-file entry is Masked by construction —
-                        // skip the restore and the suffix entirely.
-                        if let Some(analysis) = self.analysis {
-                            if fault.structure == Structure::RegisterFile
-                                && analysis.rf_entry_statically_dead(fault.entry)
-                            {
-                                delta.static_prunes += 1;
-                                local.push((
-                                    idx,
-                                    FaultOutcome {
-                                        fault,
-                                        effect: FaultEffect::Masked,
-                                    },
-                                ));
-                                continue;
+                    let mut done = false;
+                    let batched = self.batching == BatchingPolicy::Batched && self.ckpts.is_some();
+                    if batched {
+                        let ckpts = self.ckpts.as_ref().expect("checked above");
+                        match self.run_bucket_batched(bucket, ckpts, &mut pool, &mut diffs) {
+                            Some((l, d)) => {
+                                local = l;
+                                delta = d;
+                                done = true;
                             }
+                            // An aborted batched attempt committed nothing;
+                            // the whole range re-runs below on the per-fault
+                            // path, counted like a range retry.
+                            None => delta.range_retries += 1,
                         }
-                        let run = match &self.ckpts {
-                            Some(ckpts) => {
-                                // One core per worker, restored per fault.
-                                if cpu.is_none() {
-                                    cpu = Cpu::with_predecoded(
-                                        Arc::clone(&self.program),
-                                        Arc::clone(&self.decoded),
-                                        (*self.cfg).clone(),
-                                    )
-                                    .ok();
-                                }
-                                match cpu.as_mut() {
-                                    Some(core) => run_fault_from_checkpoint(
-                                        core,
-                                        self.golden,
-                                        ckpts,
-                                        &self.boundaries,
-                                        &mut diffs,
-                                        fault,
-                                    ),
-                                    None => {
-                                        delta.asserts += 1;
-                                        local.push((
-                                            idx,
-                                            FaultOutcome {
-                                                fault,
-                                                effect: FaultEffect::Assert,
-                                            },
-                                        ));
-                                        continue;
-                                    }
-                                }
+                    }
+                    if !done {
+                        if batched {
+                            // The fallback reuses pool cores — the driver
+                            // parks a quarantined core on top of the pool so
+                            // its forced full restore happens here instead
+                            // of the core rotting unobserved.
+                            let mut slot = pool.take();
+                            self.run_bucket_per_fault(
+                                bucket, &mut slot, &mut diffs, &mut local, &mut delta,
+                            );
+                            if let Some(core) = slot {
+                                pool.put(core);
                             }
-                            None => run_single_fault_shared(
-                                &self.program,
-                                &self.decoded,
-                                &self.cfg,
-                                self.golden,
-                                fault,
-                            ),
-                        };
-                        delta.restores += u64::from(run.restored);
-                        delta.full_restores += u64::from(run.restored && !run.incremental);
-                        delta.incremental_restores += u64::from(run.restored && run.incremental);
-                        delta.restored_bytes += run.bytes.total();
-                        delta.restored_breakdown += run.bytes;
-                        delta.early_exits += u64::from(run.early_exit);
-                        delta.suffix_cycles += run.suffix_cycles;
-                        delta.asserts += u64::from(run.effect == FaultEffect::Assert);
-                        delta.poisoned_restores += u64::from(run.from_quarantine);
-                        delta.skipped_sites += u64::from(run.skipped_site);
-                        local.push((
-                            idx,
-                            FaultOutcome {
-                                fault,
-                                effect: run.effect,
-                            },
-                        ));
+                        } else {
+                            self.run_bucket_per_fault(
+                                bucket, &mut cpu, &mut diffs, &mut local, &mut delta,
+                            );
+                        }
                     }
                     (local, delta)
                 }));
@@ -512,8 +710,10 @@ impl<'a> CampaignScheduler<'a> {
                     }
                     Err(_) => {
                         // The panic unwound outside the per-fault catch, so
-                        // the worker's core is in an unknown state: drop it.
+                        // the worker's cores are in an unknown state: drop
+                        // them, pool included.
                         cpu = None;
+                        pool.clear();
                         if is_retry {
                             // Second failure: the range is deterministically
                             // poisoned — classify every fault in it Assert
@@ -586,6 +786,11 @@ impl<'a> CampaignScheduler<'a> {
             schedule.range_retries += stats.range_retries;
             schedule.skipped_sites += stats.skipped_sites;
             schedule.static_prunes += stats.static_prunes;
+            schedule.batched_ranges += stats.batched_ranges;
+            schedule.forks_spawned += stats.forks_spawned;
+            schedule.forks_retired += stats.forks_retired;
+            schedule.forks_merged += stats.forks_merged;
+            schedule.golden_replay_cycles += stats.golden_replay_cycles;
             early_exits += stats.early_exits;
             for (idx, outcome) in collected {
                 outcomes[idx] = Some(outcome);
@@ -622,7 +827,9 @@ impl<'a> CampaignScheduler<'a> {
 /// Clone-free campaign entry used by the session layer: schedule and run in
 /// one call.  `analysis` enables the static register-file prune; the
 /// from-scratch path passes `None` so it stays the pure differential
-/// baseline the soundness tests compare against.
+/// baseline the soundness tests compare against.  `batching` selects the
+/// per-range execution engine (per-fault restore vs fork-on-divergence
+/// batching); it never changes outcomes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn campaign_shared(
     program: &Arc<Program>,
@@ -633,6 +840,7 @@ pub(crate) fn campaign_shared(
     faults: &[FaultSpec],
     threads: usize,
     analysis: Option<&ProgramAnalysis>,
+    batching: BatchingPolicy,
 ) -> CampaignResult {
     let mut sched = CampaignScheduler::with_predecoded(
         program,
@@ -642,7 +850,8 @@ pub(crate) fn campaign_shared(
         use_checkpoints,
         faults,
         threads,
-    );
+    )
+    .with_batching(batching);
     if let Some(analysis) = analysis {
         sched = sched.with_static_analysis(analysis);
     }
@@ -697,6 +906,7 @@ mod tests {
             faults,
             threads,
             None,
+            BatchingPolicy::PerFault,
         )
     }
 
@@ -716,6 +926,7 @@ mod tests {
             faults,
             threads,
             None,
+            BatchingPolicy::PerFault,
         )
     }
 

@@ -41,6 +41,7 @@
 //! assert_eq!(session.golden_builds(), 1);
 //! ```
 
+use crate::batch::BatchingPolicy;
 use crate::campaign::{
     build_golden_checkpointed, CampaignError, CampaignResult, FaultInjector, GoldenCheckpoints,
     GoldenRun,
@@ -69,6 +70,7 @@ pub struct SessionBuilder {
     policy: CheckpointPolicy,
     max_cycles: u64,
     threads: usize,
+    batching: BatchingPolicy,
     persist_path: Option<PathBuf>,
     seeded_golden: Option<GoldenRun>,
     /// Counter receiving corrupt-artifact rejections (see
@@ -90,6 +92,7 @@ impl SessionBuilder {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            batching: BatchingPolicy::default(),
             persist_path: None,
             seeded_golden: None,
             artifact_rejects: Arc::new(AtomicU64::new(0)),
@@ -114,6 +117,15 @@ impl SessionBuilder {
     /// Sets the worker-thread count for the session's campaigns.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the per-range campaign engine: per-fault restore (the
+    /// default, and the oracle) or fork-on-divergence batching.  Outcomes
+    /// are byte-identical either way, so — like [`Self::threads`] — this is
+    /// execution-only and does not participate in the fingerprint.
+    pub fn batching(mut self, batching: BatchingPolicy) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -215,6 +227,7 @@ impl SessionBuilder {
             policy: self.policy,
             max_cycles: self.max_cycles,
             threads: self.threads,
+            batching: self.batching,
             persist_path: self.persist_path,
             fingerprint,
             golden,
@@ -242,6 +255,7 @@ pub struct Session {
     policy: CheckpointPolicy,
     max_cycles: u64,
     threads: usize,
+    batching: BatchingPolicy,
     persist_path: Option<PathBuf>,
     fingerprint: u64,
     golden: OnceLock<Result<GoldenRun, CampaignError>>,
@@ -297,6 +311,11 @@ impl Session {
     /// Worker threads used by this session's campaigns.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The per-range campaign engine this session's campaigns run under.
+    pub fn batching(&self) -> BatchingPolicy {
+        self.batching
     }
 
     /// The context fingerprint (see [`SessionBuilder::fingerprint`]).
@@ -428,6 +447,7 @@ impl Session {
             faults,
             self.threads,
             Some(&self.analysis),
+            self.batching,
         ))
     }
 
@@ -456,6 +476,7 @@ impl Session {
             faults,
             self.threads,
             None,
+            BatchingPolicy::PerFault,
         ))
     }
 

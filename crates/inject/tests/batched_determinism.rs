@@ -1,0 +1,182 @@
+//! Property: fork-on-divergence batching is *outcome-invisible*.
+//!
+//! The batched driver replays each checkpoint range's golden prefix once
+//! and forks faulty cores from the live golden state, so it must prove it
+//! changed only the work, never the answer:
+//!
+//! * a batched campaign is byte-identical to the per-fault oracle AND to a
+//!   full from-scratch simulation at 1/2/4/8 worker threads, for random
+//!   fault lists (proptest) and for a pinned list with telemetry checks;
+//! * every probe-retired fork (counted by `forks_retired`, classified
+//!   Masked without finishing its run) really is Masked under full
+//!   simulation — the byte-identity against the from-scratch campaign,
+//!   which fully simulates every fault with no convergence probes, pins
+//!   exactly that;
+//! * merged forks (fault equivalence) adopt outcomes that match what their
+//!   faults classify as when simulated individually — forced here with
+//!   duplicated fault specs, which collide at spawn and must merge.
+
+use merlin_cpu::{CheckpointPolicy, CpuConfig};
+use merlin_inject::{BatchingPolicy, FaultSpec, Session, Structure};
+use merlin_isa::{reg, AluOp, Cond, MemRef, Program, ProgramBuilder};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn tiny_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let data = b.alloc_words(&[2, 7, 1, 8, 2, 8, 1, 8]);
+    b.movi(reg(10), data as i64);
+    b.movi(reg(1), 0);
+    b.movi(reg(2), 0);
+    let top = b.bind_label();
+    b.load_op(AluOp::Add, reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+    b.store(reg(2), MemRef::base(reg(10)).indexed(reg(1), 8));
+    b.alu_ri(AluOp::Add, reg(1), reg(1), 1);
+    b.branch_ri(Cond::Lt, reg(1), 8, top);
+    b.out(reg(2));
+    b.halt();
+    b.build().unwrap()
+}
+
+fn session(threads: usize, batching: BatchingPolicy) -> Session {
+    Session::builder(&tiny_program(), &CpuConfig::default().with_phys_regs(64))
+        .checkpoints(CheckpointPolicy {
+            enabled: true,
+            target_checkpoints: 8,
+            min_interval: 8,
+            early_exit: true,
+            ..CheckpointPolicy::default()
+        })
+        .max_cycles(1_000_000)
+        .threads(threads)
+        .batching(batching)
+        .build()
+        .unwrap()
+}
+
+struct Shared {
+    /// Batched sessions at 1, 2, 4 and 8 worker threads.
+    batched: Vec<Session>,
+    /// The per-fault oracle (single-threaded; outcomes are thread-count
+    /// invariant anyway, and the suite pins that separately).
+    per_fault: Session,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        batched: [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|t| session(t, BatchingPolicy::Batched))
+            .collect(),
+        per_fault: session(1, BatchingPolicy::PerFault),
+    })
+}
+
+#[test]
+fn batched_campaign_matches_the_per_fault_oracle_with_live_telemetry() {
+    let s = shared();
+    let faults = s
+        .per_fault
+        .fault_list(Structure::RegisterFile, 80, 42)
+        .unwrap();
+    let oracle = s.per_fault.campaign(&faults).unwrap();
+    // The per-fault engine never batches, forks or replays.
+    assert_eq!(oracle.schedule.batched_ranges, 0);
+    assert_eq!(oracle.schedule.forks_spawned, 0);
+    assert_eq!(oracle.schedule.forks_retired, 0);
+    assert_eq!(oracle.schedule.forks_merged, 0);
+    assert_eq!(oracle.schedule.golden_replay_cycles, 0);
+    let scratch = s.per_fault.campaign_from_scratch(&faults).unwrap();
+    assert_eq!(oracle.outcomes, scratch.outcomes);
+
+    for session in &s.batched {
+        let t = session.threads();
+        let batched = session.campaign(&faults).unwrap();
+        assert_eq!(batched.outcomes, oracle.outcomes, "x{t} threads");
+        assert_eq!(batched.early_exits, oracle.early_exits, "x{t} threads");
+        // The batched engine actually ran: every range went through the
+        // driver and every simulated fault lived as a fork.
+        assert!(batched.schedule.batched_ranges > 0, "x{t} threads");
+        assert!(batched.schedule.forks_spawned > 0, "x{t} threads");
+        assert!(
+            batched.schedule.forks_spawned
+                >= batched.schedule.forks_retired + batched.schedule.forks_merged,
+            "x{t} threads"
+        );
+        // Every probe retirement produces at least its own early-exit
+        // outcome (followers of a probe-retired representative add more).
+        assert!(
+            batched.schedule.forks_retired <= batched.early_exits,
+            "x{t} threads"
+        );
+        // The whole point of the inversion: the golden prefix is replayed
+        // once per range, and the faulty cores simulate strictly fewer
+        // cycles than the per-fault engine paid in total.
+        assert!(batched.schedule.golden_replay_cycles > 0, "x{t} threads");
+        assert!(
+            batched.schedule.suffix_cycles + batched.schedule.golden_replay_cycles
+                < oracle.schedule.suffix_cycles,
+            "x{t} threads: batching must reduce simulated cycles \
+             (batched {} + golden replay {} vs per-fault {})",
+            batched.schedule.suffix_cycles,
+            batched.schedule.golden_replay_cycles,
+            oracle.schedule.suffix_cycles
+        );
+    }
+}
+
+#[test]
+fn duplicated_faults_collide_at_spawn_and_merge_exactly() {
+    let s = shared();
+    let base = s
+        .per_fault
+        .fault_list(Structure::RegisterFile, 40, 7)
+        .unwrap();
+    // Every fault twice: the twins spawn at the same cycle with the same
+    // injected corruption, so the merge pass must fold each pair.
+    let doubled: Vec<FaultSpec> = base.iter().flat_map(|&f| [f, f]).collect();
+    let oracle = s.per_fault.campaign(&doubled).unwrap();
+    for session in &s.batched {
+        let t = session.threads();
+        let result = session.campaign(&doubled).unwrap();
+        assert_eq!(result.outcomes, oracle.outcomes, "x{t} threads");
+        assert!(
+            result.schedule.forks_merged > 0,
+            "x{t} threads: duplicated faults must trigger fault-equivalence merges"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random fault lists: batched == per-fault == full simulation, at
+    /// every thread count.  The from-scratch leg fully simulates every
+    /// fault with no convergence probes, so this simultaneously proves
+    /// that each probe-retired fork (`forks_retired`) really classifies
+    /// Masked under full simulation.
+    #[test]
+    fn batched_equals_per_fault_and_full_simulation(
+        seed in 0u64..1_000_000,
+        count in 40usize..80,
+    ) {
+        let s = shared();
+        let faults = s
+            .per_fault
+            .fault_list(Structure::RegisterFile, count, seed)
+            .unwrap();
+        let oracle = s.per_fault.campaign(&faults).unwrap();
+        let scratch = s.per_fault.campaign_from_scratch(&faults).unwrap();
+        prop_assert_eq!(&oracle.outcomes, &scratch.outcomes);
+        for session in &s.batched {
+            let batched = session.campaign(&faults).unwrap();
+            prop_assert_eq!(
+                &batched.outcomes,
+                &scratch.outcomes,
+                "batching changed an outcome at x{} threads",
+                session.threads()
+            );
+        }
+    }
+}
