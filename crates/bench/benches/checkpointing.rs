@@ -324,7 +324,8 @@ fn checkpointing(c: &mut Criterion) {
              (batched {batched_s:.3}s -> {batched_speedup:.2}x), \
              batched suffix cycles {} vs per-fault {} -> {dense_reduction:.2}x fewer \
              ({} golden replay cycles, {} ranges batched, {} forks spawned, \
-             {} probe-retired, {} merged), \
+             {} probe-retired, {} merged of {} prefilter hits), \
+             CoW forks copied {} B vs {} B eager ({} B shared, {} breaks), \
              sparse store ({sparse_checkpoints} checkpoints): batched suffix \
              cycles {} vs per-fault {} -> {suffix_reduction:.2}x fewer \
              (per-fault {:.3}s vs batched {:.3}s), \
@@ -343,6 +344,11 @@ fn checkpointing(c: &mut Criterion) {
             bsched.forks_spawned,
             bsched.forks_retired,
             bsched.forks_merged,
+            bsched.merge_prefilter_hits,
+            bsched.fork_bytes_copied,
+            bsched.fork_bytes_eager,
+            bsched.fork_bytes_shared,
+            bsched.cow_breaks,
             sbsched.suffix_cycles,
             ssched.suffix_cycles,
             sparse.per_fault_s,
@@ -384,7 +390,9 @@ fn checkpointing(c: &mut Criterion) {
              \"suffix_cycle_reduction_dense_store\": {dense_reduction:.3}, \
              \"golden_replay_cycles\": {}, \"batched_ranges\": {}, \
              \"forks_spawned\": {}, \"forks_retired\": {}, \
-             \"forks_merged\": {}, \
+             \"forks_merged\": {}, \"merge_prefilter_hits\": {}, \
+             \"fork_bytes_copied\": {}, \"fork_bytes_eager\": {}, \
+             \"fork_bytes_shared\": {}, \"cow_breaks\": {}, \
              \"sparse_checkpoints\": {sparse_checkpoints}, \
              \"sparse_suffix_cycles\": {}, \
              \"sparse_batched_suffix_cycles\": {}, \
@@ -395,6 +403,11 @@ fn checkpointing(c: &mut Criterion) {
              \"sparse_forks_spawned\": {}, \
              \"sparse_forks_retired\": {}, \
              \"sparse_forks_merged\": {}, \
+             \"sparse_merge_prefilter_hits\": {}, \
+             \"sparse_fork_bytes_copied\": {}, \
+             \"sparse_fork_bytes_eager\": {}, \
+             \"sparse_fork_bytes_shared\": {}, \
+             \"sparse_cow_breaks\": {}, \
              \"latency_faults\": {LATENCY_FAULTS}, \
              \"p95_fault_s\": {:.6}, \
              \"p95_fault_s_equal_cycles\": {:.6}, \
@@ -429,6 +442,11 @@ fn checkpointing(c: &mut Criterion) {
             bsched.forks_spawned,
             bsched.forks_retired,
             bsched.forks_merged,
+            bsched.merge_prefilter_hits,
+            bsched.fork_bytes_copied,
+            bsched.fork_bytes_eager,
+            bsched.fork_bytes_shared,
+            bsched.cow_breaks,
             ssched.suffix_cycles,
             sbsched.suffix_cycles,
             sparse.per_fault_s,
@@ -437,6 +455,11 @@ fn checkpointing(c: &mut Criterion) {
             sbsched.forks_spawned,
             sbsched.forks_retired,
             sbsched.forks_merged,
+            sbsched.merge_prefilter_hits,
+            sbsched.fork_bytes_copied,
+            sbsched.fork_bytes_eager,
+            sbsched.fork_bytes_shared,
+            sbsched.cow_breaks,
             sw.p95_s,
             eq.p95_s,
             sw.p95_cycles,

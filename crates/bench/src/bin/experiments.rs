@@ -588,6 +588,11 @@ fn accuracy_figures(scale: &ExperimentScale) {
                 sched_sum.forks_retired += comprehensive.schedule.forks_retired;
                 sched_sum.forks_merged += comprehensive.schedule.forks_merged;
                 sched_sum.golden_replay_cycles += comprehensive.schedule.golden_replay_cycles;
+                sched_sum.fork_bytes_copied += comprehensive.schedule.fork_bytes_copied;
+                sched_sum.fork_bytes_eager += comprehensive.schedule.fork_bytes_eager;
+                sched_sum.fork_bytes_shared += comprehensive.schedule.fork_bytes_shared;
+                sched_sum.cow_breaks += comprehensive.schedule.cow_breaks;
+                sched_sum.merge_prefilter_hits += comprehensive.schedule.merge_prefilter_hits;
                 let post_ace = cell
                     .session
                     .post_ace_baseline(&cell.campaign.reduction)
@@ -651,12 +656,22 @@ fn accuracy_figures(scale: &ExperimentScale) {
     );
     println!(
         "batched suffix simulation: {} ranges batched, {} forks spawned \
-         ({} probe-retired, {} merged), {} golden replay cycles shared\n",
+         ({} probe-retired, {} merged of {} prefilter hits), \
+         {} golden replay cycles shared\n",
         sched_sum.batched_ranges,
         sched_sum.forks_spawned,
         sched_sum.forks_retired,
         sched_sum.forks_merged,
+        sched_sum.merge_prefilter_hits,
         sched_sum.golden_replay_cycles
+    );
+    println!(
+        "copy-on-write forks: {} B copied vs {} B eager-equivalent \
+         ({} B adopted by handle sharing), {} sharing breaks on first write\n",
+        sched_sum.fork_bytes_copied,
+        sched_sum.fork_bytes_eager,
+        sched_sum.fork_bytes_shared,
+        sched_sum.cow_breaks
     );
 }
 

@@ -7,6 +7,7 @@
 //! baseline configuration) but is not a fault target.
 
 use crate::config::CacheConfig;
+use crate::cow::{CowTable, ForkBytes};
 use crate::memory::{MemError, Memory, MemoryDelta};
 use crate::touched::TouchedSet;
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
@@ -37,7 +38,9 @@ struct CacheLine {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<CacheLine>>,
+    /// Lines in `set * ways + way` order, on copy-on-write pages of one set
+    /// each — a fork shares every set the faulty suffix never writes.
+    lines: CowTable<CacheLine>,
     use_counter: u64,
     /// One bit per line (`set * ways + way`), set on any line mutation since
     /// the last restore.
@@ -46,7 +49,7 @@ pub struct Cache {
 
 impl PartialEq for Cache {
     fn eq(&self, other: &Self) -> bool {
-        self.cfg == other.cfg && self.use_counter == other.use_counter && self.sets == other.sets
+        self.cfg == other.cfg && self.use_counter == other.use_counter && self.lines == other.lines
     }
 }
 
@@ -62,11 +65,17 @@ impl Cache {
         };
         let lines = cfg.sets() * cfg.ways;
         Cache {
-            sets: vec![vec![line; cfg.ways]; cfg.sets()],
+            lines: CowTable::new(lines, line, cfg.ways),
             cfg,
             use_counter: 0,
             touched: TouchedSet::new(lines),
         }
+    }
+
+    /// Flattened line index of `(set, way)`.
+    #[inline]
+    fn line_index(&self, set: usize, way: usize) -> usize {
+        set * self.cfg.ways + way
     }
 
     /// Marks the line at `(set, way)` as touched since the last restore.
@@ -98,7 +107,7 @@ impl Cache {
         let set = self.set_index(addr);
         let tag = self.tag(addr);
         for way in 0..self.cfg.ways {
-            let l = &self.sets[set][way];
+            let l = self.lines.get(self.line_index(set, way));
             if l.valid && l.tag == tag {
                 return Some((set, way));
             }
@@ -108,26 +117,27 @@ impl Cache {
 
     fn touch(&mut self, set: usize, way: usize) {
         self.use_counter += 1;
-        self.sets[set][way].last_use = self.use_counter;
+        let idx = self.line_index(set, way);
+        self.lines.get_mut(idx).last_use = self.use_counter;
         self.mark_touched(set, way);
     }
 
     /// Picks the LRU victim way within `set` (invalid ways first).
     pub fn victim_way(&self, set: usize) -> usize {
         for way in 0..self.cfg.ways {
-            if !self.sets[set][way].valid {
+            if !self.lines.get(self.line_index(set, way)).valid {
                 return way;
             }
         }
         (0..self.cfg.ways)
-            .min_by_key(|&w| self.sets[set][w].last_use)
+            .min_by_key(|&w| self.lines.get(self.line_index(set, w)).last_use)
             .expect("cache has at least one way")
     }
 
     /// Reads bytes `[offset, offset+len)` of the line at `(set, way)`.
     pub fn read_bytes(&mut self, set: usize, way: usize, offset: usize, len: usize) -> u64 {
         self.touch(set, way);
-        let line = &self.sets[set][way];
+        let line = self.lines.get(self.line_index(set, way));
         let mut v = 0u64;
         for i in 0..len {
             v |= (line.data[offset + i] as u64) << (8 * i);
@@ -139,7 +149,8 @@ impl Cache {
     /// `(set, way)` and marks it dirty.
     pub fn write_bytes(&mut self, set: usize, way: usize, offset: usize, len: usize, value: u64) {
         self.touch(set, way);
-        let line = &mut self.sets[set][way];
+        let idx = self.line_index(set, way);
+        let line = self.lines.get_mut(idx);
         for i in 0..len {
             line.data[offset + i] = ((value >> (8 * i)) & 0xFF) as u8;
         }
@@ -163,7 +174,8 @@ impl Cache {
             self.use_counter += 1;
             let last_use = self.use_counter;
             self.mark_touched(set, way);
-            let line = &mut self.sets[set][way];
+            let idx = self.line_index(set, way);
+            let line = self.lines.get_mut(idx);
             line.data = data;
             line.dirty = line.dirty || dirty;
             line.last_use = last_use;
@@ -172,7 +184,7 @@ impl Cache {
         let set = self.set_index(addr);
         let way = self.victim_way(set);
         let evicted = {
-            let l = &self.sets[set][way];
+            let l = self.lines.get(self.line_index(set, way));
             if l.valid {
                 let victim_addr =
                     (l.tag * self.cfg.sets() as u64 + set as u64) * self.cfg.line_bytes;
@@ -185,7 +197,8 @@ impl Cache {
         self.use_counter += 1;
         let last_use = self.use_counter;
         self.mark_touched(set, way);
-        let line = &mut self.sets[set][way];
+        let idx = self.line_index(set, way);
+        let line = self.lines.get_mut(idx);
         line.valid = true;
         line.dirty = dirty;
         line.tag = tag;
@@ -196,17 +209,17 @@ impl Cache {
 
     /// A copy of the line data at `(set, way)`.
     pub fn line_data(&self, set: usize, way: usize) -> &[u8] {
-        &self.sets[set][way].data
+        &self.lines.get(self.line_index(set, way)).data
     }
 
     /// Whether the line at `(set, way)` is valid.
     pub fn is_valid(&self, set: usize, way: usize) -> bool {
-        self.sets[set][way].valid
+        self.lines.get(self.line_index(set, way)).valid
     }
 
     /// Whether the line at `(set, way)` is dirty.
     pub fn is_dirty(&self, set: usize, way: usize) -> bool {
-        self.sets[set][way].dirty
+        self.lines.get(self.line_index(set, way)).dirty
     }
 
     /// Flips a single stored bit — the L1D fault-injection hook.  The flip
@@ -215,7 +228,8 @@ impl Cache {
     /// next refill overwrites them.
     pub fn flip_bit(&mut self, set: usize, way: usize, byte: usize, bit: u8) {
         self.mark_touched(set, way);
-        self.sets[set][way].data[byte] ^= 1 << bit;
+        let idx = self.line_index(set, way);
+        self.lines.get_mut(idx).data[byte] ^= 1 << bit;
     }
 
     /// Flattened 8-byte-word entry index of `(set, way, word_in_line)` used
@@ -240,18 +254,16 @@ impl Cache {
     /// hundred bytes).
     pub fn snapshot(&self) -> CacheSnapshot {
         let mut lines = Vec::new();
-        for (set, ways) in self.sets.iter().enumerate() {
-            for (way, l) in ways.iter().enumerate() {
-                if l.valid {
-                    lines.push(LineSnapshot {
-                        set: set as u32,
-                        way: way as u32,
-                        tag: l.tag,
-                        dirty: l.dirty,
-                        last_use: l.last_use,
-                        data: l.data.clone().into_boxed_slice(),
-                    });
-                }
+        for (idx, l) in self.lines.iter().enumerate() {
+            if l.valid {
+                lines.push(LineSnapshot {
+                    set: (idx / self.cfg.ways) as u32,
+                    way: (idx % self.cfg.ways) as u32,
+                    tag: l.tag,
+                    dirty: l.dirty,
+                    last_use: l.last_use,
+                    data: l.data.clone().into_boxed_slice(),
+                });
             }
         }
         CacheSnapshot {
@@ -269,13 +281,16 @@ impl Cache {
     /// Panics if the snapshot was taken from a cache with different geometry.
     pub fn restore_snapshot(&mut self, snap: &CacheSnapshot) -> usize {
         let mut restored = 0;
-        for ways in &mut self.sets {
-            for l in ways.iter_mut() {
-                l.valid = false;
+        for idx in 0..self.lines.len() {
+            // Invalidating a line that is already invalid is a no-op; the
+            // guard keeps idle pages shared instead of breaking them.
+            if self.lines.get(idx).valid {
+                self.lines.get_mut(idx).valid = false;
             }
         }
         for s in &snap.lines {
-            let line = &mut self.sets[s.set as usize][s.way as usize];
+            let idx = s.set as usize * self.cfg.ways + s.way as usize;
+            let line = self.lines.get_mut(idx);
             line.valid = true;
             line.dirty = s.dirty;
             line.tag = s.tag;
@@ -306,14 +321,13 @@ impl Cache {
         // and the touched set drains in ascending line index, so one merge
         // pointer finds each touched line's snapshot entry, if any.
         let mut si = 0;
-        let sets = &mut self.sets;
         for idx in self.touched.drain() {
             while si < snap.lines.len()
                 && (snap.lines[si].set as usize * ways + snap.lines[si].way as usize) < idx
             {
                 si += 1;
             }
-            let line = &mut sets[idx / ways][idx % ways];
+            let line = self.lines.get_mut(idx);
             match snap.lines.get(si) {
                 Some(s) if s.set as usize * ways + s.way as usize == idx => {
                     line.valid = true;
@@ -330,29 +344,34 @@ impl Cache {
         restored
     }
 
-    /// Copies the lines `src` touched since its last restore into `self`,
-    /// tagging them.  Valid only when `self` equals `src`'s restore source
-    /// (the lockstep fork path): untouched lines of `src` still hold the
-    /// shared base's bits, as do `self`'s, so copying the touched lines alone
-    /// makes `self` bit-identical to `src` at O(lines touched) cost.
-    /// Returns the number of line-data bytes copied.
-    pub fn fork_from(&mut self, src: &Self) -> usize {
+    /// Forks from `src` by sharing its page handles — one set per page, no
+    /// line data copied — and mirroring its tags, so `self` becomes
+    /// bit-identical to `src` at O(pages) cost.
+    pub fn fork_from(&mut self, src: &Self) -> ForkBytes {
         debug_assert_eq!(self.cfg, src.cfg);
-        let ways = self.cfg.ways;
-        let mut copied = 0;
-        for idx in src.touched.iter() {
-            let s = &src.sets[idx / ways][idx % ways];
-            let line = &mut self.sets[idx / ways][idx % ways];
-            line.valid = s.valid;
-            line.dirty = s.dirty;
-            line.tag = s.tag;
-            line.last_use = s.last_use;
-            line.data.copy_from_slice(&s.data);
-            copied += s.data.len();
-        }
-        self.touched.merge(&src.touched);
+        self.lines.share_from(&src.lines);
+        self.touched.copy_from(&src.touched);
         self.use_counter = src.use_counter;
-        copied
+        ForkBytes {
+            copied: 0,
+            eager: src.touched.count() as u64 * self.cfg.line_bytes,
+            shared: self.lines.len() as u64 * self.cfg.line_bytes,
+        }
+    }
+
+    /// Un-share counter of the line array, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.lines.take_cow_breaks()
+    }
+
+    /// Materialises private copies of all shared pages.
+    pub(crate) fn unshare_all(&mut self) {
+        self.lines.unshare_all();
+    }
+
+    /// Whether no page is shared with any other cache.
+    pub(crate) fn fully_private(&self) -> bool {
+        self.lines.fully_private()
     }
 
     /// Whether the cache's live contents are bit-identical to the snapshot.
@@ -361,21 +380,19 @@ impl Cache {
             return false;
         }
         let mut it = snap.lines.iter();
-        for (set, ways) in self.sets.iter().enumerate() {
-            for (way, l) in ways.iter().enumerate() {
-                if !l.valid {
-                    continue;
-                }
-                let Some(s) = it.next() else { return false };
-                if s.set as usize != set
-                    || s.way as usize != way
-                    || s.tag != l.tag
-                    || s.dirty != l.dirty
-                    || s.last_use != l.last_use
-                    || *s.data != *l.data
-                {
-                    return false;
-                }
+        for (idx, l) in self.lines.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            let Some(s) = it.next() else { return false };
+            if s.set as usize != idx / self.cfg.ways
+                || s.way as usize != idx % self.cfg.ways
+                || s.tag != l.tag
+                || s.dirty != l.dirty
+                || s.last_use != l.last_use
+                || *s.data != *l.data
+            {
+                return false;
             }
         }
         it.next().is_none()
@@ -773,16 +790,35 @@ impl MemSystem {
         )
     }
 
-    /// Lockstep fork: copies the caches' touched lines and the memory's
-    /// touched chunks from `src` (see [`Cache::fork_from`] and
-    /// [`Memory::fork_from`]), valid only when `self` equals `src`'s restore
-    /// source.  Returns the bytes copied as `(cache line data, memory
-    /// chunks)`.
-    pub fn fork_from(&mut self, src: &Self) -> (usize, usize) {
+    /// Structural fork: shares the caches' set pages and the memory's chunk
+    /// handles from `src` (see [`Cache::fork_from`] and
+    /// [`Memory::fork_from`]).  Returns per-level fork accounting as
+    /// `(cache line data, memory chunks)`.
+    pub fn fork_from(&mut self, src: &Self) -> (ForkBytes, ForkBytes) {
         (
             self.l1d.fork_from(&src.l1d) + self.l2.fork_from(&src.l2),
             self.mem.fork_from(&src.mem),
         )
+    }
+
+    /// Un-share counters of both caches and the backing memory, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.l1d.take_cow_breaks() + self.l2.take_cow_breaks() + self.mem.take_cow_breaks()
+    }
+
+    /// Materialises private copies of all shared cache pages and memory
+    /// chunks (the quarantine reuse guarantee).
+    pub(crate) fn unshare_all(&mut self) {
+        self.l1d.unshare_all();
+        self.l2.unshare_all();
+        self.mem.unshare_all();
+    }
+
+    /// Whether no cache page or live memory chunk is shared with any other
+    /// hierarchy (the pristine image is deliberately excluded — it is
+    /// immutable and shared by design).
+    pub(crate) fn fully_private(&self) -> bool {
+        self.l1d.fully_private() && self.l2.fully_private() && self.mem.fully_private()
     }
 
     /// Whether the hierarchy's state is bit-identical to the snapshot.

@@ -11,6 +11,7 @@
 
 use crate::cache::MemSystem;
 use crate::config::{ConfigError, CpuConfig};
+use crate::cow::{CowBox, CowSeq, ForkBytes};
 use crate::fault::FaultSpec;
 use crate::lsq::{LoadQueue, StoreQueue};
 use crate::memory::{MemError, Memory};
@@ -231,7 +232,7 @@ pub struct Cpu {
     fetch_pc: Rip,
     fetch_halted: bool,
     fetch_invalid: bool,
-    fetch_buffer: VecDeque<FetchedUop>,
+    fetch_buffer: CowSeq<FetchedUop>,
     /// Whole-structure mutation tag for the fetch buffer (queue-shaped, so
     /// no per-entry index survives the suffix; see [`TouchedFlag`]).
     fetch_buffer_touched: TouchedFlag,
@@ -240,7 +241,7 @@ pub struct Cpu {
     free_list: FreeList,
     prf: PhysRegFile,
     // Window.
-    rob: VecDeque<RobEntry>,
+    rob: CowSeq<RobEntry>,
     /// Whole-structure mutation tag for the ROB (queue-shaped, like the
     /// fetch buffer).
     rob_touched: TouchedFlag,
@@ -254,12 +255,12 @@ pub struct Cpu {
     bp: BranchPredictor,
     btb: Btb,
     // Architectural results.
-    output: Vec<u64>,
+    output: CowBox<Vec<u64>>,
     committed_instructions: u64,
     committed_uops: u64,
     arithmetic_exceptions: u64,
     misaligned_exceptions: u64,
-    dyn_counts: HashMap<Rip, u64>,
+    dyn_counts: CowBox<HashMap<Rip, u64>>,
     path_history: VecDeque<(Rip, bool)>,
     path_sig: u64,
     // Faults pending application, sorted by cycle.
@@ -335,12 +336,12 @@ impl Cpu {
             fetch_pc: entry,
             fetch_halted: false,
             fetch_invalid: false,
-            fetch_buffer: VecDeque::new(),
+            fetch_buffer: CowSeq::default(),
             fetch_buffer_touched: TouchedFlag::default(),
             rat: RenameTable::identity(),
             free_list: FreeList::new(NUM_ARCH_REGS, cfg.phys_int_regs),
             prf: PhysRegFile::new(cfg.phys_int_regs),
-            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob: CowSeq::from_deque(VecDeque::with_capacity(cfg.rob_entries)),
             rob_touched: TouchedFlag::default(),
             iq_count: 0,
             lq: LoadQueue::new(cfg.lq_entries),
@@ -349,12 +350,12 @@ impl Cpu {
             mem,
             bp: BranchPredictor::new(cfg.predictor_entries),
             btb: Btb::new(cfg.btb_entries),
-            output: Vec::new(),
+            output: CowBox::default(),
             committed_instructions: 0,
             committed_uops: 0,
             arithmetic_exceptions: 0,
             misaligned_exceptions: 0,
-            dyn_counts: HashMap::new(),
+            dyn_counts: CowBox::default(),
             path_history: VecDeque::new(),
             path_sig: 0,
             faults: Vec::new(),
@@ -444,7 +445,7 @@ impl Cpu {
         let exit = self.finished.clone().unwrap_or(ExitReason::Timeout);
         RunResult {
             exit,
-            output: self.output.clone(),
+            output: (*self.output).clone(),
             cycles: self.cycle,
             committed_instructions: self.committed_instructions,
             committed_uops: self.committed_uops,
@@ -534,7 +535,7 @@ impl Cpu {
             // arena: no cracking, no allocation, on any fetch ever.
             self.fetch_buffer_touched.mark();
             for &uop in self.decoded.uops(pc) {
-                self.fetch_buffer.push_back(FetchedUop {
+                self.fetch_buffer.make_mut().push_back(FetchedUop {
                     uop,
                     pred_next: next_pc,
                 });
@@ -566,7 +567,11 @@ impl Cpu {
                 break;
             }
             self.fetch_buffer_touched.mark();
-            let fetched = self.fetch_buffer.pop_front().expect("checked front");
+            let fetched = self
+                .fetch_buffer
+                .make_mut()
+                .pop_front()
+                .expect("checked front");
             let seq = self.next_seq;
             self.next_seq += 1;
 
@@ -601,7 +606,7 @@ impl Cpu {
                 _ => {}
             }
             self.rob_touched.mark();
-            self.rob.push_back(RobEntry {
+            self.rob.make_mut().push_back(RobEntry {
                 seq,
                 uop: fetched.uop,
                 src_phys,
@@ -666,7 +671,7 @@ impl Cpu {
                 continue;
             }
             if self.execute_uop(idx, probe) {
-                self.rob[idx].in_iq = false;
+                self.rob.make_mut()[idx].in_iq = false;
                 self.iq_count -= 1;
                 issued += 1;
                 match kind {
@@ -714,7 +719,7 @@ impl Cpu {
                 };
                 let r = op.eval(vals[0], b);
                 let exception = r.arithmetic_exception.then_some(Exception::DivByZero);
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 record_reg_reads(entry);
                 entry.result = Some(r.value);
                 entry.exception = exception;
@@ -751,7 +756,7 @@ impl Cpu {
                     } else {
                         raw
                     };
-                    let entry = &mut self.rob[idx];
+                    let entry = &mut self.rob.make_mut()[idx];
                     record_reg_reads(entry);
                     entry.sq_reads.push((slot, cycle));
                     entry.result = Some(value);
@@ -790,7 +795,7 @@ impl Cpu {
                             probe.invalidate(Structure::L1DCache, *w, cycle);
                         }
                         let latency = eff.latency;
-                        let entry = &mut self.rob[idx];
+                        let entry = &mut self.rob.make_mut()[idx];
                         record_reg_reads(entry);
                         for w in &eff.word_reads {
                             entry.l1d_reads.push((*w, cycle));
@@ -807,7 +812,7 @@ impl Cpu {
                             }
                             MemError::StoreToCode { addr } => Exception::StoreToCode { addr },
                         };
-                        let entry = &mut self.rob[idx];
+                        let entry = &mut self.rob.make_mut()[idx];
                         record_reg_reads(entry);
                         entry.result = Some(0);
                         entry.exception = Some(exception);
@@ -823,7 +828,7 @@ impl Cpu {
                 let addr = mem_ref.effective_address(vals[0], index_val);
                 let slot = self.rob[idx].sq_slot.expect("STA has a store-queue slot");
                 self.sq.slot_mut(slot).addr = Some(addr);
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 record_reg_reads(entry);
                 entry.exception =
                     (!addr.is_multiple_of(size.bytes())).then_some(Exception::Misaligned);
@@ -840,7 +845,7 @@ impl Cpu {
                 }
                 // Depositing the data is a physical write of the SQ entry.
                 probe.write(Structure::StoreQueue, slot, cycle);
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 record_reg_reads(entry);
                 entry.complete_at = Some(cycle + 1);
                 true
@@ -853,7 +858,7 @@ impl Cpu {
                 };
                 let taken = cond.eval(vals[0], b);
                 let next = if taken { uop.imm as Rip } else { uop.rip + 1 };
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 record_reg_reads(entry);
                 entry.actual_next = Some(next);
                 entry.result = None;
@@ -865,35 +870,35 @@ impl Cpu {
                 true
             }
             UopKind::Jump => {
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 entry.actual_next = Some(uop.imm as Rip);
                 entry.complete_at = Some(cycle + 1);
                 true
             }
             UopKind::JumpReg => {
                 let target = vals[0].min(u32::MAX as u64) as Rip;
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 record_reg_reads(entry);
                 entry.actual_next = Some(target);
                 entry.complete_at = Some(cycle + 1);
                 true
             }
             UopKind::Call => {
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 entry.result = Some(uop.rip as u64 + 1);
                 entry.actual_next = Some(uop.imm as Rip);
                 entry.complete_at = Some(cycle + 1);
                 true
             }
             UopKind::Out => {
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 record_reg_reads(entry);
                 entry.result = Some(vals[0]);
                 entry.complete_at = Some(cycle + 1);
                 true
             }
             UopKind::Halt | UopKind::Nop => {
-                let entry = &mut self.rob[idx];
+                let entry = &mut self.rob.make_mut()[idx];
                 entry.complete_at = Some(cycle + 1);
                 true
             }
@@ -918,7 +923,7 @@ impl Cpu {
                 probe.write(Structure::RegisterFile, p as usize, cycle);
             }
             self.rob_touched.mark();
-            self.rob[idx].completed = true;
+            self.rob.make_mut()[idx].completed = true;
             // Branch resolution: squash on a mispredicted next PC.
             if self.rob[idx].uop.kind.is_control() {
                 let actual = self.rob[idx]
@@ -944,7 +949,7 @@ impl Cpu {
             if back.seq <= branch_seq {
                 break;
             }
-            let e = self.rob.pop_back().expect("checked back");
+            let e = self.rob.make_mut().pop_back().expect("checked back");
             if let (Some(d), Some(prev)) = (e.uop.dst, e.prev_phys) {
                 self.rat.restore(d, prev);
             }
@@ -966,7 +971,7 @@ impl Cpu {
                 }
             }
         }
-        self.fetch_buffer.clear();
+        self.fetch_buffer.make_mut().clear();
         self.pending_store_slot = None;
         self.fetch_pc = new_pc;
         self.fetch_halted = false;
@@ -984,7 +989,7 @@ impl Cpu {
                 break;
             }
             self.rob_touched.mark();
-            let e = self.rob.pop_front().expect("checked front");
+            let e = self.rob.make_mut().pop_front().expect("checked front");
             committed += 1;
             self.committed_uops += 1;
 
@@ -1053,7 +1058,7 @@ impl Cpu {
             }
 
             match e.uop.kind {
-                UopKind::Out => self.output.push(e.result.unwrap_or(0)),
+                UopKind::Out => self.output.make_mut().push(e.result.unwrap_or(0)),
                 UopKind::Halt => {
                     self.finished = Some(ExitReason::Halted);
                 }
@@ -1081,7 +1086,7 @@ impl Cpu {
 
             if e.uop.last_in_inst {
                 self.committed_instructions += 1;
-                *self.dyn_counts.entry(e.uop.rip).or_insert(0) += 1;
+                *self.dyn_counts.make_mut().entry(e.uop.rip).or_insert(0) += 1;
             }
             if self.finished.is_some() {
                 return;
@@ -1287,12 +1292,12 @@ impl Cpu {
         bytes.memory = mem_bytes as u64;
         bytes.predictor =
             self.bp.restore_from(&s.bp, incremental) + self.btb.restore_from(&s.btb, incremental);
-        self.output.clone_from(&s.output);
+        self.output.share_from(&s.output);
         self.committed_instructions = s.committed_instructions;
         self.committed_uops = s.committed_uops;
         self.arithmetic_exceptions = s.arithmetic_exceptions;
         self.misaligned_exceptions = s.misaligned_exceptions;
-        self.dyn_counts.clone_from(&s.dyn_counts);
+        self.dyn_counts.share_from(&s.dyn_counts);
         self.path_history.clone_from(&s.path_history);
         self.path_sig = s.path_sig;
         self.faults.clone_from(&s.faults);
@@ -1306,69 +1311,143 @@ impl Cpu {
         }
     }
 
-    /// Forks this core from a live source core advancing from the same
-    /// restore base, making `self` bit-identical to `src` at O(state `src`
-    /// touched since its restore) cost — the lazy fork-spawn of the batched
+    /// Forks this core from a live source core, making `self` bit-identical
+    /// to `src` at O(metadata) cost — the lazy fork-spawn of the batched
     /// suffix driver.
     ///
-    /// **Precondition.**  `self` must currently equal `src`'s restore source:
-    /// both cores were last restored from the *same* snapshot (checked via
-    /// the snapshot-identity tags in debug builds), `self` has not stepped
-    /// since its restore, and neither core is quarantined.  Under the
-    /// epoch-tagging invariant every entry `src` mutated since that shared
-    /// restore is tagged, and every untagged entry of `src` — like every
-    /// entry of `self` — still holds the base snapshot's bits, so copying
-    /// exactly the tagged state reproduces `src` in full.
+    /// Every heavy structure shares `src`'s page handles structurally
+    /// instead of copying entries (see [`crate::cow`]); sharing breaks
+    /// lazily, per page, on whichever side writes first.  The fork therefore
+    /// copies almost nothing up front — only scalars and the small
+    /// eagerly-copied structures like the rename table — and is *total*:
+    /// valid from any state of `self`, not just `src`'s restore base.
+    /// Neither core may be quarantined (checked in debug builds).
     ///
-    /// The fork inherits `src`'s tags (its divergence-from-base is `src`'s,
-    /// and grows from there), so its own incremental restores and
-    /// [`Cpu::matches_state_with_diff`] probes against the shared
-    /// [`StateDiff`]s stay sound.  Returns the per-structure bytes copied,
-    /// for the same honest accounting as [`RestoreStats`].
-    pub fn fork_from(&mut self, src: &Cpu) -> RestoredBytes {
+    /// The fork inherits `src`'s divergence tags and restore identity
+    /// verbatim (it is an exact replica, so its divergence from `src`'s
+    /// restore base is exactly `src`'s), keeping its own incremental
+    /// restores and [`Cpu::matches_state_with_diff`] probes against the
+    /// shared [`StateDiff`]s sound.
+    ///
+    /// The returned [`ForkStats`] reports, per structure, the bytes
+    /// physically copied, the bytes the pre-CoW fork path would have copied
+    /// (`src`'s touched entries and diverged queues), and the bytes now
+    /// referenced structurally.
+    pub fn fork_from(&mut self, src: &Cpu) -> ForkStats {
         debug_assert!(!self.quarantined && !src.quarantined);
-        debug_assert!(self.last_restored.is_some() && self.last_restored == src.last_restored);
+        fn acc(stats: &mut ForkStats, fb: ForkBytes, sel: fn(&mut RestoredBytes) -> &mut u64) {
+            *sel(&mut stats.copied) += fb.copied;
+            *sel(&mut stats.eager) += fb.eager;
+            *sel(&mut stats.shared) += fb.shared;
+        }
         self.cycle = src.cycle;
         self.next_seq = src.next_seq;
         self.fetch_pc = src.fetch_pc;
         self.fetch_halted = src.fetch_halted;
         self.fetch_invalid = src.fetch_invalid;
-        let mut bytes = RestoredBytes {
-            fetch: fork_deque(
+        let mut stats = ForkStats::default();
+        acc(
+            &mut stats,
+            fork_deque(
                 &mut self.fetch_buffer,
                 &src.fetch_buffer,
                 &src.fetch_buffer_touched,
                 &mut self.fetch_buffer_touched,
             ),
-            ..RestoredBytes::default()
-        };
-        bytes.rename = self.rat.fork_from(&src.rat) + self.free_list.fork_from(&src.free_list);
-        bytes.regfile = self.prf.fork_from(&src.prf);
-        bytes.rob = fork_deque(
-            &mut self.rob,
-            &src.rob,
-            &src.rob_touched,
-            &mut self.rob_touched,
+            |b| &mut b.fetch,
+        );
+        acc(&mut stats, self.rat.fork_from(&src.rat), |b| &mut b.rename);
+        acc(&mut stats, self.free_list.fork_from(&src.free_list), |b| {
+            &mut b.rename
+        });
+        acc(&mut stats, self.prf.fork_from(&src.prf), |b| &mut b.regfile);
+        acc(
+            &mut stats,
+            fork_deque(
+                &mut self.rob,
+                &src.rob,
+                &src.rob_touched,
+                &mut self.rob_touched,
+            ),
+            |b| &mut b.rob,
         );
         self.iq_count = src.iq_count;
-        bytes.lsq = self.lq.fork_from(&src.lq) + self.sq.fork_from(&src.sq);
+        acc(&mut stats, self.lq.fork_from(&src.lq), |b| &mut b.lsq);
+        acc(&mut stats, self.sq.fork_from(&src.sq), |b| &mut b.lsq);
         self.pending_store_slot = src.pending_store_slot;
-        let (cache_bytes, mem_bytes) = self.mem.fork_from(&src.mem);
-        bytes.caches = cache_bytes as u64;
-        bytes.memory = mem_bytes as u64;
-        bytes.predictor = self.bp.fork_from(&src.bp) + self.btb.fork_from(&src.btb);
-        self.output.clone_from(&src.output);
+        let (cache_fb, mem_fb) = self.mem.fork_from(&src.mem);
+        acc(&mut stats, cache_fb, |b| &mut b.caches);
+        acc(&mut stats, mem_fb, |b| &mut b.memory);
+        acc(&mut stats, self.bp.fork_from(&src.bp), |b| &mut b.predictor);
+        acc(&mut stats, self.btb.fork_from(&src.btb), |b| {
+            &mut b.predictor
+        });
+        self.output.share_from(&src.output);
         self.committed_instructions = src.committed_instructions;
         self.committed_uops = src.committed_uops;
         self.arithmetic_exceptions = src.arithmetic_exceptions;
         self.misaligned_exceptions = src.misaligned_exceptions;
-        self.dyn_counts.clone_from(&src.dyn_counts);
+        self.dyn_counts.share_from(&src.dyn_counts);
         self.path_history.clone_from(&src.path_history);
         self.path_sig = src.path_sig;
         self.faults.clone_from(&src.faults);
         self.next_fault_cycle = src.next_fault_cycle;
         self.finished.clone_from(&src.finished);
-        bytes
+        self.last_restored = src.last_restored;
+        stats
+    }
+
+    /// Page un-share events accumulated across every CoW-backed structure
+    /// since the last call (see [`crate::cow`]): each count is one page that
+    /// was shared — with a fork sibling, a snapshot, or the pristine memory
+    /// image — and had to be materialised privately on first write.
+    pub fn take_cow_breaks(&mut self) -> u64 {
+        self.prf.take_cow_breaks()
+            + self.free_list.take_cow_breaks()
+            + self.lq.take_cow_breaks()
+            + self.sq.take_cow_breaks()
+            + self.bp.take_cow_breaks()
+            + self.btb.take_cow_breaks()
+            + self.mem.take_cow_breaks()
+            + self.fetch_buffer.take_cow_breaks()
+            + self.rob.take_cow_breaks()
+            + self.output.take_cow_breaks()
+            + self.dyn_counts.take_cow_breaks()
+    }
+
+    /// Materialises a private copy of every structurally shared page, except
+    /// memory chunks backed by this core's own pristine image (immutable and
+    /// shared by design).  Called by [`Cpu::quarantine`] so a poisoned core
+    /// holds no references into state shared with healthy cores or
+    /// snapshots.
+    pub fn unshare_all(&mut self) {
+        self.prf.unshare_all();
+        self.free_list.unshare_all();
+        self.lq.unshare_all();
+        self.sq.unshare_all();
+        self.bp.unshare_all();
+        self.btb.unshare_all();
+        self.mem.unshare_all();
+        self.fetch_buffer.unshare_all();
+        self.rob.unshare_all();
+        self.output.unshare_all();
+        self.dyn_counts.unshare_all();
+    }
+
+    /// Whether no structure shares pages with any other core or snapshot
+    /// (memory chunks backed by this core's own pristine image excepted).
+    pub fn fully_private(&self) -> bool {
+        self.prf.fully_private()
+            && self.free_list.fully_private()
+            && self.lq.fully_private()
+            && self.sq.fully_private()
+            && self.bp.fully_private()
+            && self.btb.fully_private()
+            && self.mem.fully_private()
+            && self.fetch_buffer.fully_private()
+            && self.rob.fully_private()
+            && self.output.fully_private()
+            && self.dyn_counts.fully_private()
     }
 
     /// An order-independent fingerprint of the core's cheap scalar state,
@@ -1419,9 +1498,15 @@ impl Cpu {
     /// Quarantine is cleared by the next [`Cpu::restore_from`], which is
     /// forced onto the full-rewrite path (never the same-snapshot
     /// incremental path) so no stale state survives into the next run.
+    ///
+    /// Quarantining also un-shares every structurally shared page (see
+    /// [`Cpu::unshare_all`]): the safe CoW substrate already guarantees a
+    /// poisoned core cannot corrupt a sibling through a shared handle, but
+    /// dropping the references makes the isolation unconditional.
     pub fn quarantine(&mut self) {
         self.last_restored = None;
         self.quarantined = true;
+        self.unshare_all();
     }
 
     /// `true` while the core is quarantined (see [`Cpu::quarantine`]): its
@@ -1603,6 +1688,30 @@ impl std::ops::AddAssign for RestoredBytes {
     }
 }
 
+/// Per-structure accounting of one [`Cpu::fork_from`] call.
+///
+/// `eager` is the counterfactual baseline — what the pre-CoW fork path
+/// would have copied (the source's touched entries and diverged queues) —
+/// so `copied` vs `eager` measures exactly what structural sharing saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForkStats {
+    /// Bytes physically copied (small eager structures like the rename
+    /// table, whose map is cheaper to copy than a page handle).
+    pub copied: RestoredBytes,
+    /// Bytes the pre-CoW per-entry fork would have copied.
+    pub eager: RestoredBytes,
+    /// Bytes made equal to the source by sharing page handles.
+    pub shared: RestoredBytes,
+}
+
+impl std::ops::AddAssign for ForkStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.copied += rhs.copied;
+        self.eager += rhs.eager;
+        self.shared += rhs.shared;
+    }
+}
+
 /// Precomputed structure-level difference between two snapshots: the restore
 /// source `k` (whose identity it remembers) and a later golden checkpoint
 /// `g`, produced by [`CpuState::diff_to`] and consumed by
@@ -1678,11 +1787,11 @@ pub struct CpuState {
     fetch_pc: Rip,
     fetch_halted: bool,
     fetch_invalid: bool,
-    fetch_buffer: VecDeque<FetchedUop>,
+    fetch_buffer: CowSeq<FetchedUop>,
     rat: RenameTable,
     free_list: FreeList,
     prf: PhysRegFile,
-    rob: VecDeque<RobEntry>,
+    rob: CowSeq<RobEntry>,
     iq_count: usize,
     lq: LoadQueue,
     sq: StoreQueue,
@@ -1690,12 +1799,12 @@ pub struct CpuState {
     mem: crate::cache::MemSystemSnapshot,
     bp: BranchPredictor,
     btb: Btb,
-    output: Vec<u64>,
+    output: CowBox<Vec<u64>>,
     committed_instructions: u64,
     committed_uops: u64,
     arithmetic_exceptions: u64,
     misaligned_exceptions: u64,
-    dyn_counts: HashMap<Rip, u64>,
+    dyn_counts: CowBox<HashMap<Rip, u64>>,
     path_history: VecDeque<(Rip, bool)>,
     path_sig: u64,
     faults: Vec<FaultSpec>,

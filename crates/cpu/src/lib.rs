@@ -52,6 +52,7 @@
 mod cache;
 mod config;
 mod core;
+mod cow;
 mod fault;
 mod interp;
 mod lsq;
@@ -65,9 +66,10 @@ mod touched;
 pub use cache::{Cache, CacheEffects, CacheSnapshot, MemSystem, MemSystemSnapshot};
 pub use config::{CacheConfig, ConfigError, CpuConfig};
 pub use core::{
-    AssertKind, Cpu, CpuState, CrashKind, ExitReason, InjectError, RestoreStats, RestoredBytes,
-    RunResult, StateDiff,
+    AssertKind, Cpu, CpuState, CrashKind, ExitReason, ForkStats, InjectError, RestoreStats,
+    RestoredBytes, RunResult, StateDiff,
 };
+pub use cow::{CowBox, CowBytes, CowSeq, CowTable, ForkBytes};
 // The pre-decoded micro-op arena `Cpu::with_predecoded` shares across cores.
 pub use fault::{FaultSpec, FaultSpecError};
 pub use interp::{interpret, InterpExit, InterpResult};

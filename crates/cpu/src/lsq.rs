@@ -6,9 +6,13 @@
 //! when the store drains to the cache at commit.  Slots are allocated
 //! circularly so a fault specification's entry index denotes a physical slot.
 
+use crate::cow::{CowTable, ForkBytes};
 use crate::touched::{Restorable, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{MemSize, Rip, Upc};
+
+/// Copy-on-write page size for the queue slot arrays, in slots.
+const LSQ_PAGE: usize = 16;
 
 /// One store-queue slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,9 +79,10 @@ impl BinCode for SqSlot {
 /// Circular store queue.  Slots are epoch-tagged ([`TouchedSet`]): every
 /// mutation tags its slot, so same-snapshot restores rewrite only slots the
 /// suffix changed (head/tail/count are scalars and always re-assigned).
+/// Slots live on copy-on-write pages, so a fork shares them structurally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreQueue {
-    slots: Vec<SqSlot>,
+    slots: CowTable<SqSlot>,
     head: usize,
     tail: usize,
     count: usize,
@@ -88,7 +93,7 @@ impl StoreQueue {
     /// Creates a store queue with `n` slots.
     pub fn new(n: usize) -> Self {
         StoreQueue {
-            slots: (0..n).map(|_| SqSlot::empty()).collect(),
+            slots: CowTable::from_fn(n, LSQ_PAGE, |_| SqSlot::empty()),
             head: 0,
             tail: 0,
             count: 0,
@@ -126,7 +131,7 @@ impl StoreQueue {
         assert!(!self.is_full(), "store queue overflow");
         let slot = self.tail;
         self.touched.mark(slot);
-        self.slots[slot] = SqSlot {
+        *self.slots.get_mut(slot) = SqSlot {
             valid: true,
             seq,
             addr: None,
@@ -148,9 +153,9 @@ impl StoreQueue {
     /// Panics if the freed slot is not the oldest valid slot.
     pub fn release_head(&mut self, slot: usize) {
         assert_eq!(slot, self.head, "stores must drain in order");
-        assert!(self.slots[slot].valid);
+        assert!(self.slots.get(slot).valid);
         self.touched.mark(slot);
-        self.slots[slot].valid = false;
+        self.slots.get_mut(slot).valid = false;
         self.head = (self.head + 1) % self.capacity();
         self.count -= 1;
     }
@@ -163,23 +168,23 @@ impl StoreQueue {
     pub fn release_tail(&mut self, slot: usize) {
         let youngest = (self.tail + self.capacity() - 1) % self.capacity();
         assert_eq!(slot, youngest, "squash must free stores youngest-first");
-        assert!(self.slots[slot].valid);
+        assert!(self.slots.get(slot).valid);
         self.touched.mark(slot);
-        self.slots[slot].valid = false;
+        self.slots.get_mut(slot).valid = false;
         self.tail = youngest;
         self.count -= 1;
     }
 
     /// Immutable access to a slot.
     pub fn slot(&self, idx: usize) -> &SqSlot {
-        &self.slots[idx]
+        self.slots.get(idx)
     }
 
     /// Mutable access to a slot.  Conservatively tags the slot as mutated —
     /// callers take this only to write.
     pub fn slot_mut(&mut self, idx: usize) -> &mut SqSlot {
         self.touched.mark(idx);
-        &mut self.slots[idx]
+        self.slots.get_mut(idx)
     }
 
     /// Iterates over the valid slots (any order).
@@ -227,18 +232,14 @@ impl StoreQueue {
     /// hook.  Applies regardless of slot validity.
     pub fn flip_bit(&mut self, slot: usize, bit: u8) {
         self.touched.mark(slot);
-        self.slots[slot].data ^= 1u64 << bit;
+        self.slots.get_mut(slot).data ^= 1u64 << bit;
     }
 
     /// Slots where `self` and `other` differ (head/tail/count are compared
-    /// directly by the convergence probe).
+    /// directly by the convergence probe).  Shared pages are skipped.
     pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
         let mut d = TouchedSet::new(self.slots.len());
-        for i in 0..self.slots.len() {
-            if self.slots[i] != other.slots[i] {
-                d.mark(i);
-            }
-        }
+        self.slots.for_each_diff(&other.slots, |i| d.mark(i));
         d
     }
 
@@ -247,7 +248,10 @@ impl StoreQueue {
         self.head == g.head
             && self.tail == g.tail
             && self.count == g.count
-            && self.touched.iter().all(|i| self.slots[i] == g.slots[i])
+            && self
+                .touched
+                .iter()
+                .all(|i| self.slots.get(i) == g.slots.get(i))
     }
 
     /// Convergence probe against `g` given the restore-source diff.
@@ -255,21 +259,35 @@ impl StoreQueue {
         self.touched.contains_all(diff) && self.touched_matches(g)
     }
 
-    /// Copies `src`'s since-restore mutations into `self` (which must equal
-    /// `src`'s restore source), tagging them.  Returns bytes copied.
-    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+    /// Forks from `src` by sharing its page handles and mirroring its tags.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> ForkBytes {
         debug_assert_eq!(self.slots.len(), src.slots.len());
         self.head = src.head;
         self.tail = src.tail;
         self.count = src.count;
+        self.slots.share_from(&src.slots);
+        self.touched.copy_from(&src.touched);
         let slot_bytes = std::mem::size_of::<SqSlot>() as u64;
-        let mut n = 0u64;
-        for i in src.touched.iter() {
-            self.slots[i] = src.slots[i].clone();
-            n += slot_bytes;
+        ForkBytes {
+            copied: 0,
+            eager: src.touched.count() as u64 * slot_bytes,
+            shared: src.slots.len() as u64 * slot_bytes,
         }
-        self.touched.merge(&src.touched);
-        n
+    }
+
+    /// Un-share counter of the slot array, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.slots.take_cow_breaks()
+    }
+
+    /// Materialises private copies of all shared pages.
+    pub(crate) fn unshare_all(&mut self) {
+        self.slots.unshare_all();
+    }
+
+    /// Whether no page is shared with any other queue.
+    pub(crate) fn fully_private(&self) -> bool {
+        self.slots.fully_private()
     }
 }
 
@@ -283,12 +301,12 @@ impl Restorable for StoreQueue {
         if incremental {
             let mut n = 0u64;
             for i in self.touched.drain() {
-                self.slots[i] = snap.slots[i].clone();
+                *self.slots.get_mut(i) = snap.slots.get(i).clone();
                 n += slot_bytes;
             }
             n
         } else {
-            self.slots.clone_from_slice(&snap.slots);
+            self.slots.share_from(&snap.slots);
             self.touched.clear_all();
             self.slots.len() as u64 * slot_bytes
         }
@@ -297,13 +315,13 @@ impl Restorable for StoreQueue {
 
 impl BinCode for StoreQueue {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.slots.encode(out);
+        self.slots.encode_seq(out);
         self.head.encode(out);
         self.tail.encode(out);
         self.count.encode(out);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
-        let slots = Vec::<SqSlot>::decode(r)?;
+        let slots = CowTable::<SqSlot>::decode_seq(r, LSQ_PAGE)?;
         let head = usize::decode(r)?;
         let tail = usize::decode(r)?;
         let count = usize::decode(r)?;
@@ -328,10 +346,10 @@ impl BinCode for StoreQueue {
 
 /// Load queue: only tracks occupancy (Gem5 models no data field in the load
 /// queue, and neither does the paper).  Slots are epoch-tagged like the
-/// store queue's.
+/// store queue's and live on copy-on-write pages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadQueue {
-    seqs: Vec<Option<u64>>,
+    seqs: CowTable<Option<u64>>,
     count: usize,
     touched: TouchedSet,
 }
@@ -340,7 +358,7 @@ impl LoadQueue {
     /// Creates a load queue with `n` slots.
     pub fn new(n: usize) -> Self {
         LoadQueue {
-            seqs: vec![None; n],
+            seqs: CowTable::new(n, None, LSQ_PAGE),
             count: 0,
             touched: TouchedSet::new(n),
         }
@@ -374,7 +392,7 @@ impl LoadQueue {
             .position(|s| s.is_none())
             .expect("free load-queue slot");
         self.touched.mark(slot);
-        self.seqs[slot] = Some(seq);
+        *self.seqs.get_mut(slot) = Some(seq);
         self.count += 1;
         slot
     }
@@ -382,26 +400,27 @@ impl LoadQueue {
     /// Releases the slot of the load with sequence number `seq` (commit or
     /// squash).
     pub fn release(&mut self, slot: usize) {
-        if self.seqs[slot].take().is_some() {
+        if self.seqs.get(slot).is_some() {
+            *self.seqs.get_mut(slot) = None;
             self.touched.mark(slot);
             self.count -= 1;
         }
     }
 
-    /// Slots where `self` and `other` differ.
+    /// Slots where `self` and `other` differ.  Shared pages are skipped.
     pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
         let mut d = TouchedSet::new(self.seqs.len());
-        for i in 0..self.seqs.len() {
-            if self.seqs[i] != other.seqs[i] {
-                d.mark(i);
-            }
-        }
+        self.seqs.for_each_diff(&other.seqs, |i| d.mark(i));
         d
     }
 
     /// Whether the occupancy count and every tagged slot equal `g`'s copies.
     pub(crate) fn touched_matches(&self, g: &Self) -> bool {
-        self.count == g.count && self.touched.iter().all(|i| self.seqs[i] == g.seqs[i])
+        self.count == g.count
+            && self
+                .touched
+                .iter()
+                .all(|i| self.seqs.get(i) == g.seqs.get(i))
     }
 
     /// Convergence probe against `g` given the restore-source diff.
@@ -409,19 +428,33 @@ impl LoadQueue {
         self.touched.contains_all(diff) && self.touched_matches(g)
     }
 
-    /// Copies `src`'s since-restore mutations into `self` (which must equal
-    /// `src`'s restore source), tagging them.  Returns bytes copied.
-    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+    /// Forks from `src` by sharing its page handles and mirroring its tags.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> ForkBytes {
         debug_assert_eq!(self.seqs.len(), src.seqs.len());
         self.count = src.count;
+        self.seqs.share_from(&src.seqs);
+        self.touched.copy_from(&src.touched);
         let slot_bytes = std::mem::size_of::<Option<u64>>() as u64;
-        let mut n = 0u64;
-        for i in src.touched.iter() {
-            self.seqs[i] = src.seqs[i];
-            n += slot_bytes;
+        ForkBytes {
+            copied: 0,
+            eager: src.touched.count() as u64 * slot_bytes,
+            shared: src.seqs.len() as u64 * slot_bytes,
         }
-        self.touched.merge(&src.touched);
-        n
+    }
+
+    /// Un-share counter of the slot array, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.seqs.take_cow_breaks()
+    }
+
+    /// Materialises private copies of all shared pages.
+    pub(crate) fn unshare_all(&mut self) {
+        self.seqs.unshare_all();
+    }
+
+    /// Whether no page is shared with any other queue.
+    pub(crate) fn fully_private(&self) -> bool {
+        self.seqs.fully_private()
     }
 }
 
@@ -433,12 +466,12 @@ impl Restorable for LoadQueue {
         if incremental {
             let mut n = 0u64;
             for i in self.touched.drain() {
-                self.seqs[i] = snap.seqs[i];
+                *self.seqs.get_mut(i) = *snap.seqs.get(i);
                 n += slot_bytes;
             }
             n
         } else {
-            self.seqs.copy_from_slice(&snap.seqs);
+            self.seqs.share_from(&snap.seqs);
             self.touched.clear_all();
             self.seqs.len() as u64 * slot_bytes
         }
@@ -447,11 +480,11 @@ impl Restorable for LoadQueue {
 
 impl BinCode for LoadQueue {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.seqs.encode(out);
+        self.seqs.encode_seq(out);
         self.count.encode(out);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
-        let seqs = Vec::<Option<u64>>::decode(r)?;
+        let seqs = CowTable::<Option<u64>>::decode_seq(r, LSQ_PAGE)?;
         let count = usize::decode(r)?;
         if count != seqs.iter().filter(|s| s.is_some()).count() {
             return Err(DecodeError::Invalid("load queue count"));

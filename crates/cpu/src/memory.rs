@@ -12,6 +12,7 @@
 //! dirty chunks are copied from the delta — byte-exact, with no dense copy
 //! anywhere.
 
+use crate::cow::{CowBytes, ForkBytes};
 use crate::touched::TouchedSet;
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{MemSize, DATA_BASE};
@@ -71,18 +72,21 @@ impl std::error::Error for MemError {}
 
 /// Byte-addressable backing memory covering `[DATA_BASE, DATA_BASE + len)`.
 ///
-/// Besides the live bytes, the memory carries the *pristine* program image
-/// (shared via `Arc` by every clone) and a per-chunk dirty bitset recording
-/// which [`CHUNK_BYTES`]-sized chunks have been written since the image was
-/// sealed — the machinery behind [`Memory::delta_snapshot`].  Equality
-/// compares the live bytes only; the dirty bookkeeping is an encoding of
-/// *how* the bytes diverge from the image, not part of the architectural
-/// state.
+/// The live bytes are a [`CowBytes`] store chunked at the delta-snapshot
+/// granularity, so a chunk can share its `Arc` handle with the pristine
+/// image (clean chunks), with a checkpoint's delta chunks (restores are
+/// handle swaps), and with a fork parent's live chunks ([`Memory::fork_from`]
+/// copies nothing).  The per-chunk dirty bitset records which chunks have
+/// been written since the image was sealed — the machinery behind
+/// [`Memory::delta_snapshot`].  Equality compares the live bytes only; the
+/// dirty bookkeeping is an encoding of *how* the bytes diverge from the
+/// image, not part of the architectural state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Memory {
-    bytes: Vec<u8>,
-    /// The sealed program image (zeros until [`Memory::seal_pristine`]).
-    pristine: Arc<Vec<u8>>,
+    bytes: CowBytes,
+    /// The sealed program image (empty until [`Memory::seal_pristine`]),
+    /// sharing chunk handles with every clean live chunk.
+    pristine: CowBytes,
     /// One bit per chunk: set when the chunk may differ from `pristine`.
     dirty: TouchedSet,
     /// One bit per chunk: set when the chunk was written since the last
@@ -107,8 +111,8 @@ impl Memory {
     pub fn new(len: u64) -> Self {
         let chunks = (len as usize).div_ceil(CHUNK_BYTES);
         Memory {
-            bytes: vec![0; len as usize],
-            pristine: Arc::new(Vec::new()),
+            bytes: CowBytes::new(len as usize, CHUNK_BYTES),
+            pristine: CowBytes::new(0, CHUNK_BYTES),
             dirty: TouchedSet::new(chunks),
             touched: TouchedSet::new(chunks),
         }
@@ -116,7 +120,7 @@ impl Memory {
 
     /// Number of chunks the memory is divided into for dirty tracking.
     fn chunk_count(&self) -> usize {
-        self.bytes.len().div_ceil(CHUNK_BYTES)
+        self.bytes.chunk_count()
     }
 
     /// Byte range of chunk `idx` (the last chunk may be short).
@@ -129,13 +133,13 @@ impl Memory {
         self.dirty.is_marked(chunk)
     }
 
-    /// The pristine bytes of `range` (implicitly zeros before
+    /// The pristine bytes of chunk `c` (implicitly zeros before
     /// [`Memory::seal_pristine`]).
-    fn pristine_slice(&self, range: std::ops::Range<usize>) -> &[u8] {
+    fn pristine_chunk(&self, c: usize) -> &[u8] {
         if self.pristine.is_empty() && !self.bytes.is_empty() {
-            &ZERO_CHUNK[..range.len()]
+            &ZERO_CHUNK[..self.chunk_range(c).len()]
         } else {
-            &self.pristine[range]
+            self.pristine.chunk(c)
         }
     }
 
@@ -159,7 +163,9 @@ impl Memory {
     /// segments; cores running the same program share byte-identical images,
     /// so a delta taken on one core restores exactly on another.
     pub fn seal_pristine(&mut self) {
-        self.pristine = Arc::new(self.bytes.clone());
+        // A CowBytes clone is a handle clone per chunk: sealing copies no
+        // bytes, and every live chunk starts out sharing with the image.
+        self.pristine = self.bytes.clone();
         self.dirty.clear_all();
         self.touched.clear_all();
     }
@@ -199,7 +205,7 @@ impl Memory {
         let n = size.bytes() as usize;
         let mut v: u64 = 0;
         for i in 0..n {
-            v |= (self.bytes[off + i] as u64) << (8 * i);
+            v |= (self.bytes.byte(off + i) as u64) << (8 * i);
         }
         Ok(v)
     }
@@ -215,7 +221,9 @@ impl Memory {
         let off = (addr - DATA_BASE) as usize;
         let n = size.bytes() as usize;
         for i in 0..n {
-            self.bytes[off + i] = ((value >> (8 * i)) & 0xFF) as u8;
+            let o = off + i;
+            let c = self.bytes.chunk_of(o);
+            self.bytes.chunk_mut(c)[o % CHUNK_BYTES] = ((value >> (8 * i)) & 0xFF) as u8;
         }
         self.mark_dirty(off, n);
         Ok(())
@@ -229,7 +237,15 @@ impl Memory {
     pub fn load_segment(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
         self.check_range(addr, data.len() as u64, false)?;
         let off = (addr - DATA_BASE) as usize;
-        self.bytes[off..off + data.len()].copy_from_slice(data);
+        let mut pos = 0;
+        while pos < data.len() {
+            let o = off + pos;
+            let c = self.bytes.chunk_of(o);
+            let co = o % CHUNK_BYTES;
+            let n = (CHUNK_BYTES - co).min(data.len() - pos);
+            self.bytes.chunk_mut(c)[co..co + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
         self.mark_dirty(off, data.len());
         Ok(())
     }
@@ -244,7 +260,7 @@ impl Memory {
         for (i, b) in out.iter_mut().enumerate() {
             let a = addr + i as u64;
             if a >= DATA_BASE && a < DATA_BASE + self.len() {
-                *b = self.bytes[(a - DATA_BASE) as usize];
+                *b = self.bytes.byte((a - DATA_BASE) as usize);
             }
         }
         out
@@ -259,7 +275,8 @@ impl Memory {
             let a = addr + i as u64;
             if a >= DATA_BASE && a < DATA_BASE + self.len() {
                 let off = (a - DATA_BASE) as usize;
-                self.bytes[off] = b;
+                let c = self.bytes.chunk_of(off);
+                self.bytes.chunk_mut(c)[off % CHUNK_BYTES] = b;
                 first.get_or_insert(off);
                 last = off;
             }
@@ -274,14 +291,15 @@ impl Memory {
     /// Captures the memory as a delta against the pristine image: every
     /// chunk whose dirty bit is set, with its live bytes.  Footprint is
     /// proportional to the data the workload has written, not to the memory
-    /// size.
+    /// size.  Each captured chunk shares the live chunk's handle — no bytes
+    /// move; the live chunk un-shares lazily if written afterwards.
     pub fn delta_snapshot(&self) -> MemoryDelta {
         let mut chunks = Vec::new();
         for c in 0..self.chunk_count() {
             if self.is_dirty(c) {
                 chunks.push(DeltaChunk {
                     index: c as u32,
-                    data: self.bytes[self.chunk_range(c)].into(),
+                    data: self.bytes.chunk_handle(c),
                 });
             }
         }
@@ -318,25 +336,25 @@ impl Memory {
         );
         let mut restored = 0;
         // Revert everything currently dirty, then lay the delta on top.
+        // Both steps are handle swaps (share the pristine chunk, share the
+        // delta's chunk); the returned count is the semantic bytes made
+        // equal to the snapshot, whether or not they physically moved.
         for c in 0..self.chunk_count() {
             if self.is_dirty(c) {
-                let range = self.chunk_range(c);
-                let pristine = if self.pristine.is_empty() {
+                restored += self.chunk_range(c).len();
+                if self.pristine.is_empty() {
                     // Unsealed: the pristine image is implicitly zeros.
-                    &ZERO_CHUNK[..range.len()]
+                    self.bytes.chunk_mut(c).fill(0);
                 } else {
-                    &self.pristine[range.clone()]
-                };
-                restored += range.len();
-                self.bytes[range].copy_from_slice(pristine);
+                    self.bytes.share_chunk_from(c, &self.pristine);
+                }
             }
         }
         self.dirty.clear_all();
         for chunk in &delta.chunks {
             let c = chunk.index as usize;
-            let range = self.chunk_range(c);
-            restored += range.len();
-            self.bytes[range].copy_from_slice(&chunk.data);
+            restored += self.chunk_range(c).len();
+            self.bytes.set_chunk_handle(c, &chunk.data);
             self.dirty.mark(c);
         }
         self.touched.clear_all();
@@ -376,20 +394,18 @@ impl Memory {
                 di += 1;
             }
             let start = c * CHUNK_BYTES;
-            let range = start..(start + CHUNK_BYTES).min(total);
-            restored += range.len();
+            restored += (start + CHUNK_BYTES).min(total) - start;
             match delta.chunks.get(di) {
                 Some(chunk) if chunk.index as usize == c => {
-                    bytes[range].copy_from_slice(&chunk.data);
+                    bytes.set_chunk_handle(c, &chunk.data);
                     dirty.mark(c);
                 }
                 _ => {
-                    let image = if pristine.is_empty() {
-                        &ZERO_CHUNK[..range.len()]
+                    if pristine.is_empty() {
+                        bytes.chunk_mut(c).fill(0);
                     } else {
-                        &pristine[range.clone()]
-                    };
-                    bytes[range].copy_from_slice(image);
+                        bytes.share_chunk_from(c, pristine);
+                    }
                     dirty.clear(c);
                 }
             }
@@ -397,26 +413,60 @@ impl Memory {
         restored
     }
 
-    /// Copies the chunks `src` wrote since its last restore into `self`,
-    /// mirroring `src`'s dirty bits and tagging the chunks as touched.
-    /// Valid only when `self` equals `src`'s restore source (the lockstep
-    /// fork path): chunks `src` never wrote still hold the shared base's
-    /// bytes on both sides.  Returns the number of bytes copied.
-    pub fn fork_from(&mut self, src: &Self) -> usize {
+    /// Makes `self` an exact structural replica of `src`: every live chunk
+    /// shares `src`'s handle, and the dirty/touched bitsets are copied
+    /// verbatim.  No bytes move — a written chunk un-shares lazily on either
+    /// side's first subsequent write.  `eager` in the returned [`ForkBytes`]
+    /// is what the pre-CoW fork path would have copied (the chunks `src`
+    /// wrote since its last restore).
+    pub fn fork_from(&mut self, src: &Self) -> ForkBytes {
         debug_assert_eq!(self.len(), src.len());
-        let mut copied = 0;
-        for c in src.touched.iter() {
-            let range = self.chunk_range(c);
-            copied += range.len();
-            self.bytes[range.clone()].copy_from_slice(&src.bytes[range]);
-            if src.dirty.is_marked(c) {
-                self.dirty.mark(c);
-            } else {
-                self.dirty.clear(c);
-            }
+        let eager: u64 = src
+            .touched
+            .iter()
+            .map(|c| src.chunk_range(c).len() as u64)
+            .sum();
+        self.bytes.share_from(&src.bytes);
+        if !self.pristine.is_empty() && !src.pristine.is_empty() {
+            // Byte-identical by construction (same program image); sharing
+            // the handles deduplicates the image across the pool.
+            self.pristine.share_from(&src.pristine);
         }
-        self.touched.merge(&src.touched);
-        copied
+        self.dirty.copy_from(&src.dirty);
+        self.touched.copy_from(&src.touched);
+        ForkBytes {
+            copied: 0,
+            eager,
+            shared: self.len(),
+        }
+    }
+
+    /// Chunk un-share events since the last call (see
+    /// [`CowBytes::take_cow_breaks`]).
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.bytes.take_cow_breaks()
+    }
+
+    /// Materialises private copies of every live chunk not backed by this
+    /// memory's own pristine image — quarantine hygiene for a poisoned core.
+    /// Chunks sharing with the pristine image stay shared: the image is
+    /// immutable after sealing, so that sharing cannot leak state.
+    pub(crate) fn unshare_all(&mut self) {
+        for c in 0..self.bytes.chunk_count() {
+            if !self.pristine.is_empty() && self.bytes.chunk_ptr_eq(c, &self.pristine) {
+                continue;
+            }
+            self.bytes.unshare_chunk(c);
+        }
+    }
+
+    /// Whether every live chunk is privately owned or shares only with this
+    /// memory's own pristine image (immutable, shared by design).
+    pub(crate) fn fully_private(&self) -> bool {
+        (0..self.bytes.chunk_count()).all(|c| {
+            (!self.pristine.is_empty() && self.bytes.chunk_ptr_eq(c, &self.pristine))
+                || self.bytes.chunk_private(c)
+        })
     }
 
     /// Whether the live bytes are identical to the state `delta` captured.
@@ -436,14 +486,19 @@ impl Memory {
             };
             match chunk {
                 Some(d) => {
-                    if self.bytes[self.chunk_range(c)] != *d.data {
+                    // Handle equality (the common case after a handle-swap
+                    // restore) proves byte equality without reading.
+                    if !Arc::ptr_eq(&self.bytes.chunk_handle(c), &d.data)
+                        && self.bytes.chunk(c) != &d.data[..]
+                    {
                         return false;
                     }
                 }
                 None => {
                     if self.is_dirty(c) {
-                        let range = self.chunk_range(c);
-                        if self.bytes[range.clone()] != *self.pristine_slice(range) {
+                        let pristine_handle =
+                            !self.pristine.is_empty() && self.bytes.chunk_ptr_eq(c, &self.pristine);
+                        if !pristine_handle && self.bytes.chunk(c) != self.pristine_chunk(c) {
                             return false;
                         }
                     }
@@ -455,11 +510,14 @@ impl Memory {
 }
 
 /// One dirty chunk captured by [`Memory::delta_snapshot`]: its index and its
-/// live bytes (`CHUNK_BYTES` long except for a short final chunk).
+/// live bytes (`CHUNK_BYTES` long except for a short final chunk).  The
+/// bytes sit behind an `Arc` so capture and restore are handle swaps against
+/// the memory's [`CowBytes`] store; the sharing never reaches the wire — the
+/// binary encoding is the raw bytes, unchanged from the owned layout.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct DeltaChunk {
     index: u32,
-    data: Box<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 /// A chunk-level delta of the backing memory against the pristine program
@@ -533,7 +591,7 @@ impl BinCode for MemoryDelta {
             let size = (len as usize - start).min(CHUNK_BYTES);
             chunks.push(DeltaChunk {
                 index,
-                data: r.take(size)?.into(),
+                data: Arc::new(r.take(size)?.to_vec()),
             });
         }
         Ok(MemoryDelta { len, chunks })

@@ -5,9 +5,16 @@
 //! excludes reads performed by squashed instructions, so a reproduction
 //! without wrong-path execution would have nothing to exclude.
 
+use crate::cow::{CowTable, ForkBytes};
 use crate::touched::{Restorable, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::Rip;
+
+/// Copy-on-write page size for the direction counter tables, in counters.
+const COUNTER_PAGE: usize = 512;
+
+/// Copy-on-write page size for the BTB entry array, in entries.
+const BTB_PAGE: usize = 128;
 
 /// A 2-bit saturating counter direction predictor (bimodal) combined with a
 /// global-history gshare table; the stronger of the two provides the
@@ -20,8 +27,8 @@ use merlin_isa::Rip;
 /// history register is a scalar and always re-assigned).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchPredictor {
-    bimodal: Vec<u8>,
-    gshare: Vec<u8>,
+    bimodal: CowTable<u8>,
+    gshare: CowTable<u8>,
     history: u64,
     history_bits: u32,
     bimodal_touched: TouchedSet,
@@ -42,8 +49,8 @@ impl BranchPredictor {
     pub fn new(entries: usize) -> Self {
         let n = entries.next_power_of_two().max(16);
         BranchPredictor {
-            bimodal: vec![2; n],
-            gshare: vec![2; n],
+            bimodal: CowTable::new(n, 2, COUNTER_PAGE),
+            gshare: CowTable::new(n, 2, COUNTER_PAGE),
             history: 0,
             history_bits: 12,
             bimodal_touched: TouchedSet::new(n),
@@ -61,8 +68,8 @@ impl BranchPredictor {
 
     /// Predicts the direction of the conditional branch at `rip`.
     pub fn predict(&self, rip: Rip) -> bool {
-        let b = self.bimodal[self.bimodal_index(rip)];
-        let g = self.gshare[self.gshare_index(rip)];
+        let b = *self.bimodal.get(self.bimodal_index(rip));
+        let g = *self.gshare.get(self.gshare_index(rip));
         // "Tournament": trust whichever table is more confident; ties go to
         // the global-history table.
         let (bc, gc) = (confidence(b), confidence(g));
@@ -80,26 +87,23 @@ impl BranchPredictor {
         let gi = self.gshare_index(rip);
         self.bimodal_touched.mark(bi);
         self.gshare_touched.mark(gi);
-        self.bimodal[bi] = bump(self.bimodal[bi], taken);
-        self.gshare[gi] = bump(self.gshare[gi], taken);
+        *self.bimodal.get_mut(bi) = bump(*self.bimodal.get(bi), taken);
+        *self.gshare.get_mut(gi) = bump(*self.gshare.get(gi), taken);
         self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
     }
 
-    /// Per-table counter diff between `self` and `other`.
+    /// Per-table counter diff between `self` and `other`.  Pages sharing a
+    /// handle are skipped without being read.
     pub(crate) fn diff(&self, other: &Self) -> PredictorDiff {
         let n = self.bimodal.len();
         let mut d = PredictorDiff {
             bimodal: TouchedSet::new(n),
             gshare: TouchedSet::new(n),
         };
-        for i in 0..n {
-            if self.bimodal[i] != other.bimodal[i] {
-                d.bimodal.mark(i);
-            }
-            if self.gshare[i] != other.gshare[i] {
-                d.gshare.mark(i);
-            }
-        }
+        self.bimodal
+            .for_each_diff(&other.bimodal, |i| d.bimodal.mark(i));
+        self.gshare
+            .for_each_diff(&other.gshare, |i| d.gshare.mark(i));
         d
     }
 
@@ -110,11 +114,11 @@ impl BranchPredictor {
             && self
                 .bimodal_touched
                 .iter()
-                .all(|i| self.bimodal[i] == g.bimodal[i])
+                .all(|i| self.bimodal.get(i) == g.bimodal.get(i))
             && self
                 .gshare_touched
                 .iter()
-                .all(|i| self.gshare[i] == g.gshare[i])
+                .all(|i| self.gshare.get(i) == g.gshare.get(i))
     }
 
     /// Convergence probe against `g` given the restore-source diff.
@@ -124,25 +128,38 @@ impl BranchPredictor {
             && self.touched_matches(g)
     }
 
-    /// Copies `src`'s since-restore mutations into `self` (which must equal
-    /// `src`'s restore source), tagging them, so `self` becomes bit-identical
-    /// to `src` at O(touched) cost.  Returns bytes copied.
-    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+    /// Forks from `src` by sharing its page handles — no counter is copied —
+    /// and mirroring its tags, so `self` becomes bit-identical to `src` at
+    /// O(pages) cost.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> ForkBytes {
         debug_assert_eq!(self.bimodal.len(), src.bimodal.len());
         self.history = src.history;
         self.history_bits = src.history_bits;
-        let mut bytes = 0u64;
-        for i in src.bimodal_touched.iter() {
-            self.bimodal[i] = src.bimodal[i];
-            self.bimodal_touched.mark(i);
-            bytes += 1;
+        self.bimodal.share_from(&src.bimodal);
+        self.gshare.share_from(&src.gshare);
+        self.bimodal_touched.copy_from(&src.bimodal_touched);
+        self.gshare_touched.copy_from(&src.gshare_touched);
+        ForkBytes {
+            copied: 0,
+            eager: (src.bimodal_touched.count() + src.gshare_touched.count()) as u64,
+            shared: (src.bimodal.len() + src.gshare.len()) as u64,
         }
-        for i in src.gshare_touched.iter() {
-            self.gshare[i] = src.gshare[i];
-            self.gshare_touched.mark(i);
-            bytes += 1;
-        }
-        bytes
+    }
+
+    /// Un-share counters of both tables, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.bimodal.take_cow_breaks() + self.gshare.take_cow_breaks()
+    }
+
+    /// Materialises private copies of all shared pages.
+    pub(crate) fn unshare_all(&mut self) {
+        self.bimodal.unshare_all();
+        self.gshare.unshare_all();
+    }
+
+    /// Whether no page is shared with any other predictor.
+    pub(crate) fn fully_private(&self) -> bool {
+        self.bimodal.fully_private() && self.gshare.fully_private()
     }
 }
 
@@ -154,17 +171,17 @@ impl Restorable for BranchPredictor {
         if incremental {
             let mut bytes = 0u64;
             for i in self.bimodal_touched.drain() {
-                self.bimodal[i] = snap.bimodal[i];
+                *self.bimodal.get_mut(i) = *snap.bimodal.get(i);
                 bytes += 1;
             }
             for i in self.gshare_touched.drain() {
-                self.gshare[i] = snap.gshare[i];
+                *self.gshare.get_mut(i) = *snap.gshare.get(i);
                 bytes += 1;
             }
             bytes
         } else {
-            self.bimodal.copy_from_slice(&snap.bimodal);
-            self.gshare.copy_from_slice(&snap.gshare);
+            self.bimodal.share_from(&snap.bimodal);
+            self.gshare.share_from(&snap.gshare);
             self.bimodal_touched.clear_all();
             self.gshare_touched.clear_all();
             (self.bimodal.len() + self.gshare.len()) as u64
@@ -174,14 +191,14 @@ impl Restorable for BranchPredictor {
 
 impl BinCode for BranchPredictor {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.bimodal.encode(out);
-        self.gshare.encode(out);
+        self.bimodal.encode_seq(out);
+        self.gshare.encode_seq(out);
         self.history.encode(out);
         self.history_bits.encode(out);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
-        let bimodal = Vec::<u8>::decode(r)?;
-        let gshare = Vec::<u8>::decode(r)?;
+        let bimodal = CowTable::<u8>::decode_seq(r, COUNTER_PAGE)?;
+        let gshare = CowTable::<u8>::decode_seq(r, COUNTER_PAGE)?;
         if bimodal.is_empty() || !bimodal.len().is_power_of_two() || gshare.len() != bimodal.len() {
             return Err(DecodeError::Invalid("predictor table shape"));
         }
@@ -218,7 +235,7 @@ fn confidence(counter: u8) -> u8 {
 /// entry like the direction predictor's tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Btb {
-    entries: Vec<Option<(Rip, Rip)>>,
+    entries: CowTable<Option<(Rip, Rip)>>,
     touched: TouchedSet,
 }
 
@@ -227,7 +244,7 @@ impl Btb {
     pub fn new(entries: usize) -> Self {
         let n = entries.next_power_of_two().max(16);
         Btb {
-            entries: vec![None; n],
+            entries: CowTable::new(n, None, BTB_PAGE),
             touched: TouchedSet::new(n),
         }
     }
@@ -238,7 +255,7 @@ impl Btb {
 
     /// The last observed target of the indirect branch at `rip`, if any.
     pub fn predict(&self, rip: Rip) -> Option<Rip> {
-        match self.entries[self.index(rip)] {
+        match *self.entries.get(self.index(rip)) {
             Some((tag, target)) if tag == rip => Some(target),
             _ => None,
         }
@@ -248,23 +265,21 @@ impl Btb {
     pub fn update(&mut self, rip: Rip, target: Rip) {
         let idx = self.index(rip);
         self.touched.mark(idx);
-        self.entries[idx] = Some((rip, target));
+        *self.entries.get_mut(idx) = Some((rip, target));
     }
 
-    /// Entries where `self` and `other` differ.
+    /// Entries where `self` and `other` differ.  Shared pages are skipped.
     pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
         let mut d = TouchedSet::new(self.entries.len());
-        for i in 0..self.entries.len() {
-            if self.entries[i] != other.entries[i] {
-                d.mark(i);
-            }
-        }
+        self.entries.for_each_diff(&other.entries, |i| d.mark(i));
         d
     }
 
     /// Whether every tagged entry equals `g`'s copy.
     pub(crate) fn touched_matches(&self, g: &Self) -> bool {
-        self.touched.iter().all(|i| self.entries[i] == g.entries[i])
+        self.touched
+            .iter()
+            .all(|i| self.entries.get(i) == g.entries.get(i))
     }
 
     /// Convergence probe against `g` given the restore-source diff.
@@ -272,18 +287,32 @@ impl Btb {
         self.touched.contains_all(diff) && self.touched_matches(g)
     }
 
-    /// Copies `src`'s since-restore mutations into `self` (which must equal
-    /// `src`'s restore source), tagging them.  Returns bytes copied.
-    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+    /// Forks from `src` by sharing its page handles and mirroring its tags.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> ForkBytes {
         debug_assert_eq!(self.entries.len(), src.entries.len());
+        self.entries.share_from(&src.entries);
+        self.touched.copy_from(&src.touched);
         let entry_bytes = std::mem::size_of::<Option<(Rip, Rip)>>() as u64;
-        let mut bytes = 0u64;
-        for i in src.touched.iter() {
-            self.entries[i] = src.entries[i];
-            self.touched.mark(i);
-            bytes += entry_bytes;
+        ForkBytes {
+            copied: 0,
+            eager: src.touched.count() as u64 * entry_bytes,
+            shared: src.entries.len() as u64 * entry_bytes,
         }
-        bytes
+    }
+
+    /// Un-share counter of the entry array, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.entries.take_cow_breaks()
+    }
+
+    /// Materialises private copies of all shared pages.
+    pub(crate) fn unshare_all(&mut self) {
+        self.entries.unshare_all();
+    }
+
+    /// Whether no page is shared with any other BTB.
+    pub(crate) fn fully_private(&self) -> bool {
+        self.entries.fully_private()
     }
 }
 
@@ -294,12 +323,12 @@ impl Restorable for Btb {
         if incremental {
             let mut n = 0u64;
             for i in self.touched.drain() {
-                self.entries[i] = snap.entries[i];
+                *self.entries.get_mut(i) = *snap.entries.get(i);
                 n += entry_bytes;
             }
             n
         } else {
-            self.entries.copy_from_slice(&snap.entries);
+            self.entries.share_from(&snap.entries);
             self.touched.clear_all();
             self.entries.len() as u64 * entry_bytes
         }
@@ -308,10 +337,10 @@ impl Restorable for Btb {
 
 impl BinCode for Btb {
     fn encode(&self, out: &mut Vec<u8>) {
-        self.entries.encode(out);
+        self.entries.encode_seq(out);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
-        let entries = Vec::<Option<(Rip, Rip)>>::decode(r)?;
+        let entries = CowTable::<Option<(Rip, Rip)>>::decode_seq(r, BTB_PAGE)?;
         if entries.is_empty() || !entries.len().is_power_of_two() {
             return Err(DecodeError::Invalid("BTB shape"));
         }

@@ -4,10 +4,10 @@
 //! tags the touched entry, so same-snapshot restores rewrite only what the
 //! suffix changed and the convergence probe compares only tagged entries.
 
+use crate::cow::{CowSeq, CowTable, ForkBytes};
 use crate::touched::{fork_deque, restore_deque, Restorable, TouchedFlag, TouchedSet};
 use merlin_isa::binio::{BinCode, ByteReader, DecodeError};
 use merlin_isa::{ArchReg, NUM_ARCH_REGS};
-use std::collections::VecDeque;
 
 /// Index of a physical register.
 pub type PhysReg = u16;
@@ -16,12 +16,16 @@ pub type PhysReg = u16;
 /// value plus its ready bit).
 const PRF_ENTRY_BYTES: u64 = 9;
 
+/// Copy-on-write page size for the register-file arrays, in entries.
+const PRF_PAGE: usize = 64;
+
 /// The physical integer register file: actual 64-bit storage plus per-entry
-/// ready bits.  The value array is a fault-injection target.
+/// ready bits, both on copy-on-write pages so forks share untouched pages
+/// with their parent.  The value array is a fault-injection target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysRegFile {
-    values: Vec<u64>,
-    ready: Vec<bool>,
+    values: CowTable<u64>,
+    ready: CowTable<bool>,
     touched: TouchedSet,
 }
 
@@ -29,8 +33,8 @@ impl PhysRegFile {
     /// Creates a register file of `n` physical registers, all zero and ready.
     pub fn new(n: usize) -> Self {
         PhysRegFile {
-            values: vec![0; n],
-            ready: vec![true; n],
+            values: CowTable::new(n, 0, PRF_PAGE),
+            ready: CowTable::new(n, true, PRF_PAGE),
             touched: TouchedSet::new(n),
         }
     }
@@ -48,33 +52,33 @@ impl PhysRegFile {
 
     /// Reads a physical register's current value.
     pub fn read(&self, p: PhysReg) -> u64 {
-        self.values[p as usize]
+        *self.values.get(p as usize)
     }
 
     /// Writes a physical register and marks it ready.
     pub fn write(&mut self, p: PhysReg, value: u64) {
-        self.values[p as usize] = value;
-        self.ready[p as usize] = true;
+        *self.values.get_mut(p as usize) = value;
+        *self.ready.get_mut(p as usize) = true;
         self.touched.mark(p as usize);
     }
 
     /// Marks a freshly allocated register as not-ready (its producer has not
     /// executed yet).
     pub fn mark_pending(&mut self, p: PhysReg) {
-        self.ready[p as usize] = false;
+        *self.ready.get_mut(p as usize) = false;
         self.touched.mark(p as usize);
     }
 
     /// Marks a register ready without changing its value (used when squash
     /// recovery returns a register to the free pool).
     pub fn mark_ready(&mut self, p: PhysReg) {
-        self.ready[p as usize] = true;
+        *self.ready.get_mut(p as usize) = true;
         self.touched.mark(p as usize);
     }
 
     /// Whether the register's value has been produced.
     pub fn is_ready(&self, p: PhysReg) -> bool {
-        self.ready[p as usize]
+        *self.ready.get(p as usize)
     }
 
     /// Flips one stored bit — the register-file fault-injection hook.  The
@@ -82,18 +86,16 @@ impl PhysRegFile {
     /// in free registers are naturally masked because allocation writes the
     /// register before any read.
     pub fn flip_bit(&mut self, p: usize, bit: u8) {
-        self.values[p] ^= 1u64 << bit;
+        *self.values.get_mut(p) ^= 1u64 << bit;
         self.touched.mark(p);
     }
 
     /// Entries where `self` and `other` hold different values or ready bits.
+    /// Pages sharing a handle are skipped without being read.
     pub(crate) fn diff(&self, other: &Self) -> TouchedSet {
         let mut d = TouchedSet::new(self.values.len());
-        for i in 0..self.values.len() {
-            if self.values[i] != other.values[i] || self.ready[i] != other.ready[i] {
-                d.mark(i);
-            }
-        }
+        self.values.for_each_diff(&other.values, |i| d.mark(i));
+        self.ready.for_each_diff(&other.ready, |i| d.mark(i));
         d
     }
 
@@ -102,7 +104,7 @@ impl PhysRegFile {
     pub(crate) fn touched_matches(&self, g: &Self) -> bool {
         self.touched
             .iter()
-            .all(|i| self.values[i] == g.values[i] && self.ready[i] == g.ready[i])
+            .all(|i| self.values.get(i) == g.values.get(i) && self.ready.get(i) == g.ready.get(i))
     }
 
     /// Convergence probe: `self == g` given that untagged entries equal the
@@ -111,18 +113,35 @@ impl PhysRegFile {
         self.touched.contains_all(diff) && self.touched_matches(g)
     }
 
-    /// Copies `src`'s since-restore mutations into `self` (which must equal
-    /// `src`'s restore source), tagging them.  Returns bytes copied.
-    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+    /// Forks from `src` by sharing its page handles — O(pages), no entry is
+    /// copied — and mirroring its tags (the fork's divergence from the
+    /// shared restore base is exactly the source's).
+    pub(crate) fn fork_from(&mut self, src: &Self) -> ForkBytes {
         debug_assert_eq!(self.values.len(), src.values.len());
-        let mut n = 0u64;
-        for i in src.touched.iter() {
-            self.values[i] = src.values[i];
-            self.ready[i] = src.ready[i];
-            n += PRF_ENTRY_BYTES;
+        self.values.share_from(&src.values);
+        self.ready.share_from(&src.ready);
+        self.touched.copy_from(&src.touched);
+        ForkBytes {
+            copied: 0,
+            eager: src.touched.count() as u64 * PRF_ENTRY_BYTES,
+            shared: src.values.len() as u64 * PRF_ENTRY_BYTES,
         }
-        self.touched.merge(&src.touched);
-        n
+    }
+
+    /// Un-share counters of both arrays, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.values.take_cow_breaks() + self.ready.take_cow_breaks()
+    }
+
+    /// Materialises private copies of all shared pages.
+    pub(crate) fn unshare_all(&mut self) {
+        self.values.unshare_all();
+        self.ready.unshare_all();
+    }
+
+    /// Whether no page is shared with any other register file.
+    pub(crate) fn fully_private(&self) -> bool {
+        self.values.fully_private() && self.ready.fully_private()
     }
 }
 
@@ -132,14 +151,14 @@ impl Restorable for PhysRegFile {
         if incremental {
             let mut n = 0u64;
             for i in self.touched.drain() {
-                self.values[i] = snap.values[i];
-                self.ready[i] = snap.ready[i];
+                *self.values.get_mut(i) = *snap.values.get(i);
+                *self.ready.get_mut(i) = *snap.ready.get(i);
                 n += PRF_ENTRY_BYTES;
             }
             n
         } else {
-            self.values.copy_from_slice(&snap.values);
-            self.ready.copy_from_slice(&snap.ready);
+            self.values.share_from(&snap.values);
+            self.ready.share_from(&snap.ready);
             self.touched.clear_all();
             self.values.len() as u64 * PRF_ENTRY_BYTES
         }
@@ -148,14 +167,14 @@ impl Restorable for PhysRegFile {
 
 impl BinCode for PhysRegFile {
     fn encode(&self, out: &mut Vec<u8>) {
-        // Tags are bookkeeping, never serialised — the on-disk format is
-        // identical to the pre-epoch layout.
-        self.values.encode(out);
-        self.ready.encode(out);
+        // Tags and page boundaries are bookkeeping, never serialised — the
+        // on-disk format is identical to the pre-epoch, pre-CoW layout.
+        self.values.encode_seq(out);
+        self.ready.encode_seq(out);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
-        let values = Vec::<u64>::decode(r)?;
-        let ready = Vec::<bool>::decode(r)?;
+        let values = CowTable::<u64>::decode_seq(r, PRF_PAGE)?;
+        let ready = CowTable::<bool>::decode_seq(r, PRF_PAGE)?;
         if values.len() != ready.len() {
             return Err(DecodeError::Invalid("register file array lengths"));
         }
@@ -169,10 +188,11 @@ impl BinCode for PhysRegFile {
 }
 
 /// FIFO free list of physical registers.  Queue-shaped, so it carries a
-/// whole-structure [`TouchedFlag`] instead of per-entry tags.
+/// whole-structure [`TouchedFlag`] instead of per-entry tags, and sits
+/// behind one copy-on-write handle a fork shares instead of copying.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FreeList {
-    free: VecDeque<PhysReg>,
+    free: CowSeq<PhysReg>,
     touched: TouchedFlag,
 }
 
@@ -180,7 +200,7 @@ impl FreeList {
     /// Creates a free list containing registers `first..n`.
     pub fn new(first: usize, n: usize) -> Self {
         FreeList {
-            free: (first as PhysReg..n as PhysReg).collect(),
+            free: CowSeq::from_deque((first as PhysReg..n as PhysReg).collect()),
             touched: TouchedFlag::default(),
         }
     }
@@ -188,7 +208,7 @@ impl FreeList {
     /// Takes a register from the free list.
     pub fn allocate(&mut self) -> Option<PhysReg> {
         self.touched.mark();
-        self.free.pop_front()
+        self.free.make_mut().pop_front()
     }
 
     /// Returns a register to the free list.
@@ -198,7 +218,7 @@ impl FreeList {
             "physical register {p} released twice"
         );
         self.touched.mark();
-        self.free.push_back(p);
+        self.free.make_mut().push_back(p);
     }
 
     /// Registers currently free.
@@ -211,10 +231,24 @@ impl FreeList {
         self.touched.is_set()
     }
 
-    /// Queue-shaped fork: copied wholesale iff `src` diverged from the
-    /// shared restore base.  Returns bytes copied.
-    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
+    /// Queue-shaped fork: one handle share, mirroring the source's tag.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> ForkBytes {
         fork_deque(&mut self.free, &src.free, &src.touched, &mut self.touched)
+    }
+
+    /// Un-share counter of the queue, reset.
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        self.free.take_cow_breaks()
+    }
+
+    /// Materialises a private copy if the queue is shared.
+    pub(crate) fn unshare_all(&mut self) {
+        self.free.unshare_all();
+    }
+
+    /// Whether the queue is privately owned.
+    pub(crate) fn fully_private(&self) -> bool {
+        self.free.fully_private()
     }
 }
 
@@ -230,7 +264,7 @@ impl BinCode for FreeList {
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
         Ok(FreeList {
-            free: VecDeque::decode(r)?,
+            free: CowSeq::decode(r)?,
             touched: TouchedFlag::default(),
         })
     }
@@ -295,16 +329,17 @@ impl RenameTable {
         self.touched.contains_all(diff) && self.touched_matches(g)
     }
 
-    /// Copies `src`'s since-restore mutations into `self` (which must equal
-    /// `src`'s restore source), tagging them.  Returns bytes copied.
-    pub(crate) fn fork_from(&mut self, src: &Self) -> u64 {
-        let mut n = 0u64;
-        for i in src.touched.iter() {
-            self.map[i] = src.map[i];
-            n += std::mem::size_of::<PhysReg>() as u64;
+    /// Forks from `src` by copying the whole map — at [`NUM_ARCH_REGS`]
+    /// entries it is smaller than a page handle, so eager is the cheap
+    /// option — and mirroring the source's tags.
+    pub(crate) fn fork_from(&mut self, src: &Self) -> ForkBytes {
+        self.map = src.map;
+        self.touched.copy_from(&src.touched);
+        ForkBytes {
+            copied: (NUM_ARCH_REGS * std::mem::size_of::<PhysReg>()) as u64,
+            eager: src.touched.count() as u64 * std::mem::size_of::<PhysReg>() as u64,
+            shared: 0,
         }
-        self.touched.merge(&src.touched);
-        n
     }
 }
 

@@ -26,7 +26,7 @@
 //! can keep `#[derive(PartialEq)]` and snapshot comparisons see only real
 //! data.
 
-use std::collections::VecDeque;
+use crate::cow::{CowSeq, ForkBytes};
 
 /// A fixed-capacity bitset tagging which entries of an array-shaped
 /// structure were mutated since the last restore.
@@ -106,6 +106,14 @@ impl TouchedSet {
         }
     }
 
+    /// Replaces this set's tags with `other`'s in one word-parallel pass —
+    /// the CoW fork path, where the fork's state *is* the source's state
+    /// (page handles included), discards its own stale tags wholesale.
+    pub fn copy_from(&mut self, other: &TouchedSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Iterates the tagged entry indices in ascending order without
     /// clearing them (the convergence probe must not disturb the tags).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
@@ -173,6 +181,12 @@ impl TouchedFlag {
     pub fn clear(&mut self) {
         self.touched = false;
     }
+
+    /// Replaces this tag's state with `other`'s (the CoW fork path, which
+    /// makes the fork's queue identical to the source's, tags included).
+    pub fn copy_from(&mut self, other: &TouchedFlag) {
+        self.touched = other.touched;
+    }
 }
 
 impl PartialEq for TouchedFlag {
@@ -200,12 +214,13 @@ pub trait Restorable {
     fn restore_from(&mut self, snap: &Self, incremental: bool) -> u64;
 }
 
-/// Rewrites a queue in place to equal its snapshot copy, skipping the work
-/// entirely when `incremental` holds and the queue's tag is clear.  Reuses
-/// the live queue's allocation; returns bytes rewritten.
+/// Restores a queue to equal its snapshot copy, skipping the work entirely
+/// when `incremental` holds and the queue's tag is clear.  A rewrite is one
+/// handle share (O(1)); the returned byte count is the queue state made
+/// equal to the snapshot, mirroring the pre-CoW element-wise accounting.
 pub fn restore_deque<T: Clone>(
-    live: &mut VecDeque<T>,
-    snap: &VecDeque<T>,
+    live: &mut CowSeq<T>,
+    snap: &CowSeq<T>,
     tag: &mut TouchedFlag,
     incremental: bool,
 ) -> u64 {
@@ -213,31 +228,31 @@ pub fn restore_deque<T: Clone>(
         debug_assert_eq!(live.len(), snap.len());
         return 0;
     }
-    live.clear();
-    live.extend(snap.iter().cloned());
+    live.share_from(snap);
     tag.clear();
     (snap.len() * std::mem::size_of::<T>()) as u64
 }
 
-/// Copies a queue from a lockstep fork source: when the source's tag says it
-/// diverged from the shared restore base, the live queue is rewritten
-/// element-wise (reusing its allocation) and its own tag set; an untouched
-/// source queue still equals the base — and so does `live` — so the copy is
-/// skipped.  Returns bytes copied.
+/// Forks a queue from its source by cloning the handle — the fork shares the
+/// source's storage until one of them writes — and mirrors the source's tag
+/// (the fork's divergence from the shared restore base is exactly the
+/// source's).  The returned [`ForkBytes`] reports the whole queue as shared
+/// and, as the eager baseline, the bytes the pre-CoW path would have copied
+/// (the full queue iff the source had diverged).
 pub fn fork_deque<T: Clone>(
-    live: &mut VecDeque<T>,
-    src: &VecDeque<T>,
+    live: &mut CowSeq<T>,
+    src: &CowSeq<T>,
     src_tag: &TouchedFlag,
     live_tag: &mut TouchedFlag,
-) -> u64 {
-    if !src_tag.is_set() {
-        debug_assert_eq!(live.len(), src.len());
-        return 0;
+) -> ForkBytes {
+    let bytes = (src.len() * std::mem::size_of::<T>()) as u64;
+    live.share_from(src);
+    live_tag.copy_from(src_tag);
+    ForkBytes {
+        copied: 0,
+        eager: if src_tag.is_set() { bytes } else { 0 },
+        shared: bytes,
     }
-    live.clear();
-    live.extend(src.iter().cloned());
-    live_tag.mark();
-    (src.len() * std::mem::size_of::<T>()) as u64
 }
 
 #[cfg(test)]
@@ -295,20 +310,25 @@ mod tests {
     }
 
     #[test]
-    fn fork_deque_copies_only_diverged_queues() {
-        let base: VecDeque<u32> = (0..4).collect();
+    fn fork_deque_shares_and_mirrors_divergence() {
+        let base: CowSeq<u32> = CowSeq::from_deque((0..4).collect());
         let mut src = base.clone();
         let src_tag = TouchedFlag::default();
         let mut live = base.clone();
         let mut live_tag = TouchedFlag::default();
-        // Source still equals the shared base: nothing to copy.
-        assert_eq!(fork_deque(&mut live, &src, &src_tag, &mut live_tag), 0);
+        // Source still equals the shared base: the fork shares the handle and
+        // nothing would have been copied eagerly.
+        let fb = fork_deque(&mut live, &src, &src_tag, &mut live_tag);
+        assert_eq!((fb.copied, fb.eager, fb.shared), (0, 0, 4 * 4));
         assert!(!live_tag.is_set());
-        // A diverged source is copied wholesale and the fork tagged.
-        src.push_back(9);
+        // A diverged source is shared too, but the eager baseline records the
+        // wholesale copy the pre-CoW path would have made, and the fork's tag
+        // mirrors the source's divergence.
+        src.make_mut().push_back(9);
         let mut src_tag = TouchedFlag::default();
         src_tag.mark();
-        assert_eq!(fork_deque(&mut live, &src, &src_tag, &mut live_tag), 5 * 4);
+        let fb = fork_deque(&mut live, &src, &src_tag, &mut live_tag);
+        assert_eq!((fb.copied, fb.eager, fb.shared), (0, 5 * 4, 5 * 4));
         assert_eq!(live, src);
         assert!(live_tag.is_set());
     }
@@ -330,13 +350,14 @@ mod tests {
 
     #[test]
     fn deque_restore_skips_clean_and_rewrites_dirty() {
-        let snap: VecDeque<u32> = (0..8).collect();
+        let snap: CowSeq<u32> = CowSeq::from_deque((0..8).collect());
         let mut live = snap.clone();
         let mut tag = TouchedFlag::default();
         // Clean incremental restore touches nothing.
         assert_eq!(restore_deque(&mut live, &snap, &mut tag, true), 0);
-        // A mutated queue is rewritten and the tag cleared.
-        live.pop_front();
+        // A mutated queue is rewritten (by re-sharing the snapshot's handle)
+        // and the tag cleared.
+        live.make_mut().pop_front();
         tag.mark();
         let bytes = restore_deque(&mut live, &snap, &mut tag, true);
         assert_eq!(bytes, 8 * 4);

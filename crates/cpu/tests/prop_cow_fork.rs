@@ -1,0 +1,251 @@
+//! Property-based validation of copy-on-write forking: a fork that adopts
+//! its parent's state by structural sharing must be indistinguishable — in
+//! snapshot, in continuation, and under arbitrary faults — from a core that
+//! materialised a full private copy of the same state, and writes on either
+//! side of the share must never leak across it.
+
+use merlin_cpu::{Cpu, CpuConfig, FaultSpec, NullProbe, Structure};
+use merlin_isa::{reg, AluOp, Cond, MemRef, ProgramBuilder};
+use proptest::prelude::*;
+
+/// Random always-terminating test program biased toward memory traffic, so
+/// forks carry non-trivial cache, store-queue and memory state (same shape
+/// as the generator in `prop_snapshot.rs`).
+#[derive(Debug, Clone)]
+enum Step {
+    Alu(AluOp, usize, usize, usize),
+    Mov(usize, i64),
+    Store(usize, i64),
+    Load(usize, i64),
+    Out(usize),
+    Loop(usize, u8),
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Shl,
+    ])
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (arb_alu(), 1usize..10, 1usize..10, 1usize..10)
+            .prop_map(|(op, a, b, c)| Step::Alu(op, a, b, c)),
+        (1usize..10, -1000i64..1000).prop_map(|(r, v)| Step::Mov(r, v)),
+        (1usize..10, 0i64..32).prop_map(|(r, o)| Step::Store(r, o * 8)),
+        (1usize..10, 0i64..32).prop_map(|(r, o)| Step::Load(r, o * 8)),
+        (1usize..10).prop_map(Step::Out),
+        (1usize..10, 2u8..10).prop_map(|(r, n)| Step::Loop(r, n)),
+    ]
+}
+
+fn build_program(steps: &[Step]) -> merlin_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let buf = b.reserve(64 * 8);
+    b.movi(reg(10), buf as i64);
+    for r in 1..10 {
+        b.movi(reg(r), (r as i64) * 23 + 5);
+    }
+    for step in steps {
+        match step {
+            Step::Alu(op, a, s1, s2) => {
+                b.alu_rr(*op, reg(*a), reg(*s1), reg(*s2));
+            }
+            Step::Mov(r, v) => {
+                b.movi(reg(*r), *v);
+            }
+            Step::Store(r, off) => {
+                b.store(reg(*r), MemRef::base(reg(10)).disp(*off));
+            }
+            Step::Load(r, off) => {
+                b.load(reg(*r), MemRef::base(reg(10)).disp(*off));
+            }
+            Step::Out(r) => {
+                b.out(reg(*r));
+            }
+            Step::Loop(r, n) => {
+                b.movi(reg(11), *n as i64);
+                let top = b.bind_label();
+                b.alu_rr(AluOp::Add, reg(*r), reg(*r), reg(11));
+                b.alu_ri(AluOp::Sub, reg(11), reg(11), 1);
+                b.branch_ri(Cond::Gt, reg(11), 0, top);
+            }
+        }
+    }
+    for r in 1..10 {
+        b.out(reg(r));
+    }
+    b.halt();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batched driver's fork sequence — restore a pool core from the
+    /// range snapshot, then [`Cpu::fork_from`] the live golden core — must
+    /// produce a core bit-identical to an eager full copy of the golden
+    /// state (a fresh core full-restoring the golden core's own snapshot),
+    /// and both must classify an arbitrary fault identically.  Writes on
+    /// the fork must never reach the golden parent through the shared
+    /// structures: the parent's continuation stays bit-identical to an
+    /// unshared reference run.
+    #[test]
+    fn cow_fork_is_bit_identical_to_an_eager_copy(
+        steps in prop::collection::vec(arb_step(), 1..25),
+        range_frac in 0u64..10,
+        fork_gap in 0u64..10,
+        entry in 0usize..64,
+        bit in 0u8..64,
+        structure in prop::sample::select(
+            vec![Structure::RegisterFile, Structure::StoreQueue, Structure::L1DCache]),
+    ) {
+        let program = build_program(&steps);
+        let mut reference = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let golden = reference.run(2_000_000, &mut NullProbe);
+        prop_assert!(golden.exit.is_halted());
+        let budget = golden.cycles * 3 + 1000;
+
+        // Range snapshot, then the golden replay core advances to the
+        // injection cycle — exactly the batched driver's prefix.
+        let range_cycle = golden.cycles * range_frac / 10;
+        let mut golden_cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        while golden_cpu.cycle() < range_cycle && !golden_cpu.is_finished() {
+            golden_cpu.step(&mut NullProbe);
+        }
+        let range_state = golden_cpu.snapshot();
+        let fork_cycle = range_cycle + (golden.cycles - range_cycle) * fork_gap / 10;
+        while golden_cpu.cycle() < fork_cycle && !golden_cpu.is_finished() {
+            golden_cpu.step(&mut NullProbe);
+        }
+        let at_fork = golden_cpu.snapshot();
+
+        // CoW fork, exactly as the batched driver spawns one.
+        let mut fork = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        fork.restore_from(&range_state);
+        let stats = fork.fork_from(&golden_cpu);
+        prop_assert!(fork.matches_state(&at_fork));
+        prop_assert_eq!(&fork.snapshot(), &at_fork);
+        // Sharing replaces copying: the fork adopts the bulk of the state
+        // by handle and moves almost nothing.
+        prop_assert!(stats.shared.total() > 0, "a fork must share structurally");
+        prop_assert!(
+            stats.copied.total() < stats.shared.total(),
+            "copied {} >= shared {}",
+            stats.copied.total(),
+            stats.shared.total()
+        );
+
+        // Eager baseline: a fresh core materialising a full private copy of
+        // the same state through the dense restore path.
+        let mut eager = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        eager.restore_from(&at_fork);
+        prop_assert_eq!(&eager.snapshot(), &at_fork);
+
+        // Same fault into both; identical classification-relevant results.
+        let fault_entry = entry % fork.structure_entries(structure).max(1);
+        let fault = FaultSpec::new(structure, fault_entry, bit, fork_cycle.max(1));
+        fork.inject_fault(fault).unwrap();
+        eager.inject_fault(fault).unwrap();
+        let fork_result = fork.run(budget, &mut NullProbe);
+        let eager_result = eager.run(budget, &mut NullProbe);
+        prop_assert_eq!(&fork_result, &eager_result);
+
+        // The faulty fork's writes never reach its parent: the golden core
+        // continues bit-identically to the uninterrupted reference run.
+        let cont = golden_cpu.run(budget, &mut NullProbe);
+        prop_assert_eq!(&cont, &golden);
+    }
+
+    /// Quarantine on a forked core must drop every shared handle (the
+    /// poisoned core may not keep references into a healthy parent), and a
+    /// foreign restore after a fork must produce the foreign state exactly
+    /// — sharing is invisible to restore semantics.
+    #[test]
+    fn fork_unshares_on_quarantine_and_survives_foreign_restore(
+        steps in prop::collection::vec(arb_step(), 1..25),
+        range_frac in 0u64..10,
+        fork_gap in 0u64..10,
+    ) {
+        let program = build_program(&steps);
+        let mut reference = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        let golden = reference.run(2_000_000, &mut NullProbe);
+        prop_assert!(golden.exit.is_halted());
+        let budget = golden.cycles * 3 + 1000;
+
+        let range_cycle = golden.cycles * range_frac / 10;
+        let mut golden_cpu = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        while golden_cpu.cycle() < range_cycle && !golden_cpu.is_finished() {
+            golden_cpu.step(&mut NullProbe);
+        }
+        let range_state = golden_cpu.snapshot();
+        let fork_cycle = range_cycle + (golden.cycles - range_cycle) * fork_gap / 10;
+        while golden_cpu.cycle() < fork_cycle && !golden_cpu.is_finished() {
+            golden_cpu.step(&mut NullProbe);
+        }
+
+        let mut fork = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        fork.restore_from(&range_state);
+        fork.fork_from(&golden_cpu);
+
+        // Quarantine severs every share: the core owns all of its state
+        // privately (or shares only with its own immutable pristine image).
+        fork.quarantine();
+        prop_assert!(fork.fully_private(), "quarantine must un-share everything");
+        // The forced full restore then rebuilds the range state bit for bit
+        // and the replay matches the reference run.
+        let restore = fork.restore_from(&range_state);
+        prop_assert!(restore.from_quarantine);
+        prop_assert_eq!(&fork.snapshot(), &range_state);
+        let replay = fork.run(budget, &mut NullProbe);
+        prop_assert_eq!(&replay, &golden);
+
+        // Foreign restore after a fresh fork: advance the parent, snapshot,
+        // and restore the forked core from that unrelated state — the fork's
+        // shares from the earlier parent state must not bleed through.
+        let mut fork2 = Cpu::new(program.clone(), CpuConfig::default()).unwrap();
+        fork2.restore_from(&range_state);
+        fork2.fork_from(&golden_cpu);
+        for _ in 0..3 {
+            if !golden_cpu.is_finished() {
+                golden_cpu.step(&mut NullProbe);
+            }
+        }
+        let foreign = golden_cpu.snapshot();
+        fork2.restore_from(&foreign);
+        prop_assert!(fork2.matches_state(&foreign));
+        prop_assert_eq!(&fork2.snapshot(), &foreign);
+        let replay2 = fork2.run(budget, &mut NullProbe);
+        prop_assert_eq!(&replay2, &golden);
+
+        // Writes after a fork surface as sharing breaks, and the tally
+        // drains: bookkeeping, never state.
+        let mut fork3 = Cpu::new(program, CpuConfig::default()).unwrap();
+        fork3.restore_from(&range_state);
+        fork3.fork_from(&golden_cpu);
+        fork3.take_cow_breaks();
+        let before = fork3.snapshot();
+        let mut breaks = 0u64;
+        let mut stepped = false;
+        for _ in 0..500 {
+            if fork3.is_finished() || breaks > 0 {
+                break;
+            }
+            fork3.step(&mut NullProbe);
+            stepped = true;
+            breaks += fork3.take_cow_breaks();
+        }
+        if stepped {
+            prop_assert!(breaks > 0, "running a fork must break at least one share");
+        }
+        prop_assert_eq!(fork3.take_cow_breaks(), 0, "the break tally drains on take");
+        // Draining the tally is invisible to state equality.
+        fork3.restore_from(&before);
+        prop_assert_eq!(&fork3.snapshot(), &before);
+    }
+}

@@ -67,7 +67,7 @@
 
 use crate::campaign::{DiffCache, FaultRun, GoldenCheckpoints, GoldenRun};
 use crate::classify::{classify, FaultEffect};
-use merlin_cpu::{Cpu, CpuConfig, FaultSpec, NullProbe, RestoreStats, RestoredBytes};
+use merlin_cpu::{Cpu, CpuConfig, FaultSpec, ForkStats, NullProbe, RestoreStats, RestoredBytes};
 use merlin_isa::{DecodedProgram, Program};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -105,6 +105,10 @@ pub(crate) struct ForkPool {
     decoded: Arc<DecodedProgram>,
     cfg: Arc<CpuConfig>,
     idle: Vec<Cpu>,
+    /// Copy-on-write sharing breaks drained from cores as they return to
+    /// the pool (see [`Cpu::take_cow_breaks`]); harvested into
+    /// [`BatchStats::cow_breaks`] at the end of each batched range.
+    cow_breaks: u64,
 }
 
 impl ForkPool {
@@ -118,6 +122,7 @@ impl ForkPool {
             decoded: Arc::clone(decoded),
             cfg: Arc::clone(cfg),
             idle: Vec::new(),
+            cow_breaks: 0,
         }
     }
 
@@ -135,8 +140,14 @@ impl ForkPool {
         })
     }
 
-    pub(crate) fn put(&mut self, cpu: Cpu) {
+    pub(crate) fn put(&mut self, mut cpu: Cpu) {
+        self.cow_breaks += cpu.take_cow_breaks();
         self.idle.push(cpu);
+    }
+
+    /// Drains the sharing-break tally accumulated by [`ForkPool::put`].
+    pub(crate) fn take_cow_breaks(&mut self) -> u64 {
+        std::mem::take(&mut self.cow_breaks)
     }
 
     /// Drops every pooled core (range retries start from fresh cores).
@@ -163,6 +174,22 @@ pub(crate) struct BatchStats {
     pub golden_incremental_restores: u64,
     pub golden_poisoned_restores: u64,
     pub golden_restored_bytes: RestoredBytes,
+    /// Fork copy economics of every fork the range spawned: bytes actually
+    /// copied under copy-on-write, the bytes an eager (pre-CoW) fork would
+    /// have copied for the same forks, and the bytes adopted by handle
+    /// sharing.  Kept out of the per-fault [`FaultRun`] accounting so
+    /// `restored_bytes` stays directly comparable between the batched and
+    /// per-fault engines.
+    pub fork_bytes: ForkStats,
+    /// Copy-on-write sharing breaks drained from cores as they returned to
+    /// the pool during this range (first private write after a fork or a
+    /// handle-sharing restore).
+    pub cow_breaks: u64,
+    /// Merge-prefilter fingerprint collisions: candidate pairs whose cheap
+    /// [`Cpu::merge_fingerprint`] matched and advanced to the exact state
+    /// comparison.  [`BatchStats::forks_merged`] counts the confirmations;
+    /// the gap between the two is the prefilter's false-positive volume.
+    pub merge_prefilter_hits: u64,
 }
 
 /// A fork whose outcome was adopted from its merge representative; only
@@ -171,7 +198,6 @@ pub(crate) struct BatchStats {
 struct MergedFork {
     idx: usize,
     restore: RestoreStats,
-    fork_bytes: RestoredBytes,
 }
 
 /// One faulty core forked from the golden replay, fault injected, not yet
@@ -180,7 +206,6 @@ struct Fork {
     idx: usize,
     spawn_cycle: u64,
     restore: RestoreStats,
-    fork_bytes: RestoredBytes,
     core: Cpu,
     /// Same-cycle forks merged into this one; they share its eventual
     /// outcome.
@@ -191,17 +216,18 @@ fn fault_run(
     effect: FaultEffect,
     early_exit: bool,
     restore: RestoreStats,
-    fork_bytes: RestoredBytes,
     suffix_cycles: u64,
 ) -> FaultRun {
-    let mut bytes = restore.bytes;
-    bytes += fork_bytes;
+    // Fork bytes are deliberately *not* folded into `bytes`: under
+    // copy-on-write a fork copies almost nothing, and what it does move is
+    // reported separately as [`BatchStats::fork_bytes`] so the restore
+    // accounting stays directly comparable to the per-fault engine's.
     FaultRun {
         effect,
         early_exit,
         restored: true,
         incremental: restore.incremental,
-        bytes,
+        bytes: restore.bytes,
         suffix_cycles,
         skipped_site: false,
         from_quarantine: restore.from_quarantine,
@@ -222,21 +248,14 @@ fn retire_fork(
     let Fork {
         idx,
         restore,
-        fork_bytes,
         core,
         followers,
         ..
     } = fork;
     pool.put(core);
-    out.push((
-        idx,
-        fault_run(effect, early_exit, restore, fork_bytes, suffix_cycles),
-    ));
+    out.push((idx, fault_run(effect, early_exit, restore, suffix_cycles)));
     for f in followers {
-        out.push((
-            f.idx,
-            fault_run(effect, early_exit, f.restore, f.fork_bytes, 0),
-        ));
+        out.push((f.idx, fault_run(effect, early_exit, f.restore, 0)));
     }
 }
 
@@ -360,6 +379,7 @@ pub(crate) fn run_batched_range(
                     return None;
                 }
             };
+            stats.fork_bytes += fork_bytes;
             if core.inject_fault(fault).is_err() {
                 // Absent fault site: same resolution as the per-fault
                 // engine.
@@ -370,28 +390,34 @@ pub(crate) fn run_batched_range(
             stats.forks_spawned += 1;
             let merged = catch_unwind(AssertUnwindSafe(|| {
                 let fp = core.merge_fingerprint();
-                cohort.iter().position(|rep| {
-                    rep.core.merge_fingerprint() == fp && rep.core.matches_state(&core.snapshot())
-                })
+                let mut prefilter_hits = 0u64;
+                let hit = cohort.iter().position(|rep| {
+                    if rep.core.merge_fingerprint() != fp {
+                        return false;
+                    }
+                    prefilter_hits += 1;
+                    rep.core.matches_state(&core.snapshot())
+                });
+                (hit, prefilter_hits)
             }));
             match merged {
-                Ok(Some(k)) => {
-                    pool.put(core);
-                    stats.forks_merged += 1;
-                    cohort[k].followers.push(MergedFork {
-                        idx,
-                        restore,
-                        fork_bytes,
-                    });
+                Ok((hit, prefilter_hits)) => {
+                    stats.merge_prefilter_hits += prefilter_hits;
+                    match hit {
+                        Some(k) => {
+                            pool.put(core);
+                            stats.forks_merged += 1;
+                            cohort[k].followers.push(MergedFork { idx, restore });
+                        }
+                        None => cohort.push(Fork {
+                            idx,
+                            spawn_cycle: cycle,
+                            restore,
+                            core,
+                            followers: Vec::new(),
+                        }),
+                    }
                 }
-                Ok(None) => cohort.push(Fork {
-                    idx,
-                    spawn_cycle: cycle,
-                    restore,
-                    fork_bytes,
-                    core,
-                    followers: Vec::new(),
-                }),
                 Err(_) => {
                     // The comparison touched several cores and left no
                     // single culprit; return everything and let the
@@ -453,5 +479,6 @@ pub(crate) fn run_batched_range(
         }
     }
     pool.put(golden_core);
+    stats.cow_breaks = pool.take_cow_breaks();
     Some((out, stats))
 }

@@ -140,6 +140,17 @@ pub struct ScheduleStats {
     /// earlier live fork's (fault equivalence): they adopted that fork's
     /// eventual outcome and released their core without simulating their
     /// own suffix.
+    ///
+    /// Expect this near zero on sampled campaigns: merging requires two
+    /// faults in the same range to produce *bit-identical* whole-core
+    /// state at the same cycle, which in practice means duplicate
+    /// (structure, entry, bit) sites injected at cycles that round to the
+    /// same fetch — vanishingly rare under uniform sampling over
+    /// `sites × cycles` (none occur in the 200-fault bench lists).  The
+    /// counter pays its way on adversarial or exhaustive per-site lists,
+    /// where duplicates are common.  Compare with
+    /// [`ScheduleStats::merge_prefilter_hits`] to see how often the cheap
+    /// fingerprint sent a candidate pair to the exact comparison at all.
     pub forks_merged: u64,
     /// Cycles the batched driver's shared golden cores replayed — the
     /// per-range prefix work paid *once* instead of per fault.  Kept
@@ -147,6 +158,29 @@ pub struct ScheduleStats {
     /// faulty-core cycles only, so batched and per-fault suffix work
     /// stay directly comparable.
     pub golden_replay_cycles: u64,
+    /// Bytes the batched driver's copy-on-write forks actually copied at
+    /// fork time.  Structural sharing makes [`Cpu::fork_from`](merlin_cpu::Cpu::fork_from)
+    /// O(metadata): handles are adopted instead of bytes moved, so this
+    /// stays tiny regardless of how much state the golden core touched.
+    pub fork_bytes_copied: u64,
+    /// Bytes an eager fork — the pre-CoW touched-entry copy — would have
+    /// moved for the same forks: the baseline `fork_bytes_copied` is
+    /// measured against.
+    pub fork_bytes_eager: u64,
+    /// Bytes whose content the forks adopted by O(1) handle sharing
+    /// instead of copying.
+    pub fork_bytes_shared: u64,
+    /// Copy-on-write sharing breaks: structures privatised (copied after
+    /// all) on their first write following a fork or a handle-sharing
+    /// restore.  The deferred remainder of the copy work `fork_bytes_copied`
+    /// avoided up front — only state a fork actually touches is ever paid
+    /// for.
+    pub cow_breaks: u64,
+    /// Merge-prefilter fingerprint matches that advanced to the exact
+    /// state comparison; [`ScheduleStats::forks_merged`] counts how many
+    /// were confirmed.  Identical values mean the cheap fingerprint never
+    /// sent a non-equivalent pair to the expensive comparison.
+    pub merge_prefilter_hits: u64,
 }
 
 /// Per-worker tallies, merged into [`ScheduleStats`] after the join.  Also
@@ -172,6 +206,11 @@ struct WorkerStats {
     forks_retired: u64,
     forks_merged: u64,
     golden_replay_cycles: u64,
+    fork_bytes_copied: u64,
+    fork_bytes_eager: u64,
+    fork_bytes_shared: u64,
+    cow_breaks: u64,
+    merge_prefilter_hits: u64,
 }
 
 impl WorkerStats {
@@ -194,6 +233,11 @@ impl WorkerStats {
         self.forks_retired += other.forks_retired;
         self.forks_merged += other.forks_merged;
         self.golden_replay_cycles += other.golden_replay_cycles;
+        self.fork_bytes_copied += other.fork_bytes_copied;
+        self.fork_bytes_eager += other.fork_bytes_eager;
+        self.fork_bytes_shared += other.fork_bytes_shared;
+        self.cow_breaks += other.cow_breaks;
+        self.merge_prefilter_hits += other.merge_prefilter_hits;
     }
 }
 
@@ -491,6 +535,11 @@ impl<'a> CampaignScheduler<'a> {
                 },
             ));
         }
+        // Handle-sharing restores defer copies to first write; harvest the
+        // break tally so per-fault campaigns report their CoW traffic too.
+        if let Some(core) = cpu.as_mut() {
+            delta.cow_breaks += core.take_cow_breaks();
+        }
     }
 
     /// Executes one range through the fork-on-divergence batched driver
@@ -557,6 +606,11 @@ impl<'a> CampaignScheduler<'a> {
         delta.forks_retired += bstats.forks_retired;
         delta.forks_merged += bstats.forks_merged;
         delta.golden_replay_cycles += bstats.golden_replay_cycles;
+        delta.fork_bytes_copied += bstats.fork_bytes.copied.total();
+        delta.fork_bytes_eager += bstats.fork_bytes.eager.total();
+        delta.fork_bytes_shared += bstats.fork_bytes.shared.total();
+        delta.cow_breaks += bstats.cow_breaks;
+        delta.merge_prefilter_hits += bstats.merge_prefilter_hits;
         delta.restores += bstats.golden_restores;
         delta.full_restores += bstats.golden_full_restores;
         delta.incremental_restores += bstats.golden_incremental_restores;
@@ -695,6 +749,7 @@ impl<'a> CampaignScheduler<'a> {
                             if let Some(core) = slot {
                                 pool.put(core);
                             }
+                            delta.cow_breaks += pool.take_cow_breaks();
                         } else {
                             self.run_bucket_per_fault(
                                 bucket, &mut cpu, &mut diffs, &mut local, &mut delta,
@@ -791,6 +846,11 @@ impl<'a> CampaignScheduler<'a> {
             schedule.forks_retired += stats.forks_retired;
             schedule.forks_merged += stats.forks_merged;
             schedule.golden_replay_cycles += stats.golden_replay_cycles;
+            schedule.fork_bytes_copied += stats.fork_bytes_copied;
+            schedule.fork_bytes_eager += stats.fork_bytes_eager;
+            schedule.fork_bytes_shared += stats.fork_bytes_shared;
+            schedule.cow_breaks += stats.cow_breaks;
+            schedule.merge_prefilter_hits += stats.merge_prefilter_hits;
             early_exits += stats.early_exits;
             for (idx, outcome) in collected {
                 outcomes[idx] = Some(outcome);
